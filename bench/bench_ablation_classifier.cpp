@@ -1,0 +1,64 @@
+// Ablation: linear first-match scan (the paper's implementation) vs a
+// first-tuple-indexed classifier.
+//
+// The paper calls out the linear scan as the source of Fig 8's growth and
+// leaves indexing as an obvious improvement; this bench quantifies it —
+// the indexed variant is O(#distinct first-tuple groups), flat in the
+// number of same-shaped filters.
+#include <benchmark/benchmark.h>
+
+#include "vwire/core/engine/classifier.hpp"
+
+using namespace vwire;
+
+namespace {
+
+core::FilterTable make_filters(int n) {
+  core::FilterTable t;
+  for (int i = 0; i < n; ++i) {
+    core::FilterEntry e;
+    e.name = "f" + std::to_string(i);
+    // All entries share the first tuple's shape (offset 34, 2 bytes) but
+    // differ in pattern — the indexable case.
+    e.tuples.push_back({34, 2, 0xffff, static_cast<u64>(0x7000 + i),
+                        core::kInvalidId});
+    e.tuples.push_back({36, 2, 0xffff, 0x0007, core::kInvalidId});
+    t.entries.push_back(std::move(e));
+  }
+  return t;
+}
+
+Bytes make_frame(u16 src_port) {
+  Bytes frame(64, 0);
+  write_u16(frame, 12, 0x0800);
+  write_u16(frame, 34, src_port);
+  write_u16(frame, 36, 0x0007);
+  return frame;
+}
+
+void BM_Linear(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  core::Classifier cls(make_filters(n));
+  core::VarStore vars(0);
+  Bytes frame = make_frame(static_cast<u16>(0x7000 + n - 1));  // last entry
+  for (auto _ : state) {
+    auto r = cls.classify(frame, vars);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Indexed(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  core::IndexedClassifier cls(make_filters(n));
+  core::VarStore vars(0);
+  Bytes frame = make_frame(static_cast<u16>(0x7000 + n - 1));
+  for (auto _ : state) {
+    auto r = cls.classify(frame, vars);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Linear)->Arg(5)->Arg(25)->Arg(100)->Arg(400);
+BENCHMARK(BM_Indexed)->Arg(5)->Arg(25)->Arg(100)->Arg(400);

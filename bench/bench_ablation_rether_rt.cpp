@@ -1,0 +1,114 @@
+// Ablation: Rether's real-time reservation (the protocol's reason to
+// exist — software bandwidth guarantees on shared Ethernet).
+//
+// A 3-node ring carries a paced real-time stream from n2 while n2 ITSELF
+// also pushes bulk best-effort traffic (token round-robin already isolates
+// nodes from each other, so the interesting contention is a node's own
+// mixed workload).  Without a reservation the RT frames queue FIFO behind
+// the node's best-effort backlog and their inter-arrival gaps balloon;
+// with one they bypass the backlog and keep their cadence.
+#include <cstdio>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/rether/rether_layer.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+using namespace vwire;
+
+namespace {
+
+struct Outcome {
+  int rt_delivered{0};
+  int be_delivered{0};
+  double max_rt_gap_ms{0};  ///< worst inter-arrival gap of the RT stream
+};
+
+Outcome run(bool with_reservation, double flood_rate_fps) {
+  TestbedConfig cfg;
+  cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+  cfg.install_engine = false;
+  cfg.install_rll = false;
+  cfg.install_trace = false;
+  Testbed tb(cfg);
+  const char* names[] = {"n1", "n2", "n3"};
+  std::vector<net::MacAddress> ring;
+  for (const char* n : names) {
+    tb.add_node(n);
+    ring.push_back(tb.node(n).mac());
+  }
+  rether::RetherParams rp;
+  rp.hold_quantum_frames = 2;
+  rp.target_cycle = millis(3);
+  std::vector<rether::RetherLayer*> layers;
+  for (const char* n : names) {
+    layers.push_back(static_cast<rether::RetherLayer*>(&tb.node(n).add_layer(
+        std::make_unique<rether::RetherLayer>(tb.simulator(), rp, ring))));
+  }
+  udp::UdpLayer u1(tb.node("n1")), u2(tb.node("n2")), u3(tb.node("n3"));
+
+  Outcome o;
+  TimePoint last_rt{.ns = -1};
+  u3.bind(9, [&](net::Ipv4Address, u16 sport, BytesView) {
+    if (sport == 50001) {
+      ++o.rt_delivered;
+      if (last_rt.ns >= 0) {
+        o.max_rt_gap_ms =
+            std::max(o.max_rt_gap_ms, (tb.simulator().now() - last_rt).millis_f());
+      }
+      last_rt = tb.simulator().now();
+    } else {
+      ++o.be_delivered;
+    }
+  });
+  layers[1]->set_rt_classifier([](const net::Packet& pkt) {
+    return pkt.size() > 36 && read_u16(pkt.view(), 34) == 50001;
+  });
+
+  for (std::size_t i = 0; i < layers.size(); ++i) layers[i]->start(i == 0);
+  tb.simulator().run_until({millis(5).ns});
+  if (with_reservation) {
+    layers[1]->request_reservation(2);
+    tb.simulator().run_until({millis(25).ns});
+  }
+
+  // Bulk best-effort flood from n2 itself for 300 ms; the RT stream
+  // (also from n2) must share the node's token holds with it.
+  const Duration window = millis(300);
+  int flood_frames = static_cast<int>(flood_rate_fps * window.seconds());
+  for (int i = 0; i < flood_frames; ++i) {
+    tb.simulator().after(seconds_f(i / flood_rate_fps), [&] {
+      u2.send(tb.node("n3").ip(), 9, 50000, Bytes(1400, 0));
+    });
+  }
+  (void)u1;
+  const int rt_frames = static_cast<int>(window.ns / millis(2).ns);
+  for (int i = 0; i < rt_frames; ++i) {
+    tb.simulator().after(millis(2) * i, [&] {
+      u2.send(tb.node("n3").ip(), 9, 50001, Bytes(700, 1));
+    });
+  }
+  tb.simulator().run_until(tb.simulator().now() + window + millis(100));
+  for (auto* l : layers) l->stop();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Rether RT reservation ablation — 150 RT frames offered at\n");
+  std::printf("# 500 f/s from n2 while n2 also floods best-effort bulk\n");
+  std::printf("%-16s %-18s %14s %14s %16s\n", "flood (f/s)", "reservation",
+              "RT delivered", "BE delivered", "max RT gap ms");
+  for (double flood : {1000.0, 3000.0, 6000.0}) {
+    for (bool rsv : {false, true}) {
+      Outcome o = run(rsv, flood);
+      std::printf("%-16.0f %-18s %11d/150 %14d %16.2f\n", flood,
+                  rsv ? "2 frames/cycle" : "none", o.rt_delivered,
+                  o.be_delivered, o.max_rt_gap_ms);
+    }
+  }
+  std::printf("# expectation: with the reservation the RT stream keeps its\n");
+  std::printf("# ~3 ms cycle cadence at every flood rate; without it the RT\n");
+  std::printf("# frames queue behind the bulk backlog and gaps balloon.\n");
+  return 0;
+}

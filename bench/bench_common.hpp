@@ -1,0 +1,87 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Calibration (DESIGN.md §5): the engine charges per-packet processing as
+// latency — cost_base 150 ns + 30 ns per filter tuple compared + 50 ns per
+// action executed — standing in for the paper's Pentium-4 CPU.  The RLL
+// used for Fig 7/8 is the paper-faithful variant (standalone ack per data
+// frame, no piggybacking).  Absolute values are calibrated so the *shape*
+// of Fig 7/8 reproduces: linear growth in #filters, curve ordering
+// (filters) < (+actions) < (+RLL), ≤ ~7-10 % in the measured range.
+#pragma once
+
+#include <string>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/util/hex.hpp"
+
+namespace vwbench {
+
+/// RLL configured like the paper's: every data frame acked immediately
+/// with a standalone ack frame.
+inline vwire::rll::RllParams paper_rll() {
+  vwire::rll::RllParams p;
+  p.piggyback = false;
+  p.ack_every = 1;
+  return p;
+}
+
+/// `total` filter entries; all but the last two are decoys that fail on
+/// their first tuple, so a matching packet pays the full linear scan the
+/// paper measures ("searches linearly through the packet type
+/// definitions", §7).  The last two match UDP request/response or TCP
+/// data/ack depending on `tcp`.
+inline std::string filter_table(int total, bool tcp) {
+  std::string out = "FILTER_TABLE\n";
+  for (int i = 0; i < total - 2; ++i) {
+    // Decoy: impossible source port, two more tuples never reached.
+    out += "  decoy" + std::to_string(i) + ": (34 2 " +
+           vwire::to_hex(0x7100 + i, 4) + "), (36 2 0x0001), (47 1 0x3f)\n";
+  }
+  if (tcp) {
+    out +=
+        "  TCP_fwd: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)\n"
+        "  TCP_rev: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)\n";
+  } else {
+    out +=
+        "  udp_req: (34 2 0x9c40), (36 2 0x0007), (23 1 0x11)\n"
+        "  udp_rsp: (34 2 0x0007), (36 2 0x9c40), (23 1 0x11)\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+/// A scenario firing `actions_per_packet` counter actions on every matched
+/// packet at both receive sides — the paper's "25 actions ... triggered for
+/// each packet".  The RESET re-arms the edge so the rule fires per packet.
+inline std::string per_packet_actions_scenario(const std::string& fwd_type,
+                                               const std::string& rev_type,
+                                               const std::string& src,
+                                               const std::string& dst,
+                                               int actions_per_packet) {
+  std::string out = "SCENARIO per_packet_load\n";
+  out += "  FWD: (" + fwd_type + ", " + src + ", " + dst + ", RECV)\n";
+  out += "  REV: (" + rev_type + ", " + dst + ", " + src + ", RECV)\n";
+  out += "  XF: (" + dst + ")\n";
+  out += "  XR: (" + src + ")\n";
+  out += "  (TRUE) >> ENABLE_CNTR(FWD); ENABLE_CNTR(REV); "
+         "ENABLE_CNTR(XF); ENABLE_CNTR(XR);\n";
+  auto rule = [&](const char* cnt, const char* x) {
+    std::string r = "  ((" + std::string(cnt) + " > 0)) >> RESET_CNTR(" +
+                    cnt + ");";
+    for (int i = 0; i < actions_per_packet - 1; ++i) {
+      r += " INCR_CNTR(" + std::string(x) + ", 1);";
+    }
+    return r + "\n";
+  };
+  out += rule("FWD", "XF");
+  out += rule("REV", "XR");
+  out += "END\n";
+  return out;
+}
+
+/// An empty scenario: filters classify (and cost), nothing else happens.
+inline std::string classify_only_scenario() {
+  return "SCENARIO classify_only\nEND\n";
+}
+
+}  // namespace vwbench

@@ -1,0 +1,139 @@
+// Fig 6 / §6.2 reproduction as a reportable run: Rether single-node-failure
+// detection and ring reconstruction, with the token-retransmission budget
+// swept to show the analysis script catching a miscounting implementation.
+//
+// Paper's checks, all verified by the script alone:
+//   * after FAIL(node3), node2 transmits the token to node3 exactly 3
+//     times (`(TokensFrom2 > 3) >> FLAG_ERROR`);
+//   * the reconstructed 3-node ring completes a full round-robin within
+//     the 1-second inactivity window (`STOP`, else timeout = error).
+#include <cstdio>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/rether/rether_layer.hpp"
+#include "vwire/tcp/apps.hpp"
+
+using namespace vwire;
+
+namespace {
+
+const char* kFilters =
+    "FILTER_TABLE\n"
+    "  tr_token:     (12 2 0x9900), (14 2 0x0001)\n"
+    "  tr_token_ack: (12 2 0x9900), (14 2 0x0010)\n"
+    "  TCP_data:     (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)\n"
+    "END\n";
+
+const char* kScenario =
+    "SCENARIO Test_Single_Node_Failure 1sec\n"
+    "  CNT_DATA:    (TCP_data, node1, node4, RECV)\n"
+    "  TokensTo2:   (tr_token, node1, node2, RECV)\n"
+    "  TokensFrom2: (tr_token, node2, node3, SEND)\n"
+    "  TokensTo4:   (tr_token, node2, node4, RECV)\n"
+    "  TokensTo1:   (tr_token, node4, node1, RECV)\n"
+    "  (TRUE) >> ENABLE_CNTR( CNT_DATA );\n"
+    "  ((CNT_DATA > 1000)) >> ENABLE_CNTR( TokensTo2 );\n"
+    "  ((TokensTo2 = 1)) >> FAIL( node3 );\n"
+    "                ENABLE_CNTR( TokensFrom2 );\n"
+    "                RESET_CNTR( TokensTo2 );\n"
+    "  ((TokensFrom2 = 3)) >> ENABLE_CNTR( TokensTo4 );\n"
+    "  ((TokensTo4 = 1)) >> ENABLE_CNTR( TokensTo1 );\n"
+    "  ((TokensFrom2 > 3)) >> FLAG_ERROR;\n"
+    "  ((TokensTo2 = 1) && (TokensTo4 = 1) && (TokensTo1 = 1)) >> STOP;\n"
+    "END\n";
+
+struct RunResult {
+  bool pass{false};
+  bool stopped{false};
+  i64 tokens_from2{0};
+  std::size_t ring_size{0};
+  u64 evicted{0};
+  double ended_s{0};
+};
+
+/// `budget` = the implementation's total token transmissions before it
+/// declares the successor dead.  The script expects 3: a faulty
+/// implementation retrying more gets FLAG_ERROR'd; one retrying less never
+/// matches `TokensFrom2 = 3`, TokensTo4 is never enabled and the scenario
+/// times out — also an error.  This is the analysis script *catching bugs*.
+RunResult run_once(u32 budget) {
+  TestbedConfig cfg;
+  cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+  Testbed tb(cfg);
+  const char* names[] = {"node1", "node2", "node3", "node4"};
+  for (const char* n : names) tb.add_node(n);
+
+  std::vector<net::MacAddress> ring;
+  for (const char* n : names) ring.push_back(tb.node(n).mac());
+
+  rether::RetherParams rp;
+  rp.token_max_transmissions = budget;
+  std::vector<rether::RetherLayer*> layers;
+  for (const char* n : names) {
+    layers.push_back(static_cast<rether::RetherLayer*>(&tb.node(n).add_layer(
+        std::make_unique<rether::RetherLayer>(tb.simulator(), rp, ring))));
+  }
+
+  tcp::TcpLayer tcp1(tb.node("node1"));
+  tcp::TcpLayer tcp4(tb.node("node4"));
+  tcp::BulkSink sink(tcp4, 16384);
+  tcp::BulkSender::Params sp;
+  sp.dst_ip = tb.node("node4").ip();
+  sp.dst_port = 16384;
+  sp.src_port = 24576;
+  sp.total_bytes = 0;
+  tcp::BulkSender sender(tcp1, sp);
+
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() + kScenario;
+  spec.workload = [&] {
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      layers[i]->start(i == 0);
+    }
+    sender.start();
+  };
+  spec.options.deadline = seconds(60);
+  auto result = runner.run(spec);
+
+  RunResult out;
+  out.pass = result.passed();
+  out.stopped = result.stopped;
+  out.tokens_from2 = result.counters["TokensFrom2"];
+  out.ring_size = layers[1]->ring().size();
+  out.evicted = layers[1]->stats().nodes_evicted;
+  out.ended_s = result.ended_at.seconds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Fig 6 / §6.2 — Rether token recovery after FAIL(node3)\n");
+  std::printf("# script expects exactly 3 token transmissions to the dead "
+              "node, then ring reconstruction within 1 s\n");
+  std::printf("%-22s %-8s %-8s %-12s %-10s %-10s %-10s\n",
+              "token tx budget", "verdict", "STOP?", "TokensFrom2",
+              "ring size", "evicted", "ended (s)");
+  bool ok = true;
+  for (u32 budget : {2u, 3u, 5u}) {
+    RunResult r = run_once(budget);
+    const char* verdict = r.pass ? "PASS" : "FAIL";
+    // Only the conforming implementation (budget 3) should pass.
+    bool expected = budget == 3 ? (r.pass && r.stopped && r.tokens_from2 == 3)
+                                : !r.pass;
+    ok = ok && expected;
+    std::printf("%-22u %-8s %-8s %-12lld %-10zu %-10llu %-10.3f %s\n", budget,
+                verdict, r.stopped ? "yes" : "no",
+                static_cast<long long>(r.tokens_from2), r.ring_size,
+                static_cast<unsigned long long>(r.evicted), r.ended_s,
+                expected ? "" : "<-- unexpected");
+  }
+  std::printf("# paper result: fault detected after 3 retransmissions, ring "
+              "reconstructed, STOP before the 1 s timeout\n");
+  std::printf("# our result:   %s\n",
+              ok ? "conforming run PASSES; non-conforming budgets are "
+                   "correctly flagged"
+                 : "UNEXPECTED — see rows above");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Fig 8 reproduction: extra protocol-processing latency added by the Fault
+// Injection Layer, measured as % increase in UDP echo round-trip time
+// between two hosts, sweeping the number of packet type definitions 1..25.
+//
+// Paper's three configurations:
+//   (i)   N packet matching rules
+//   (ii)  N rules, each matched packet triggering 25 actions
+//   (iii) (ii) with the Reliable Link Layer turned on
+//
+// Paper's findings to reproduce in shape: latency grows linearly with the
+// number of filters (linear search), each added mechanism costs more
+// ((iii) > (ii) > (i)), and the worst case stays in the single-digit
+// percent range ("around 7%").
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vwire/udp/echo.hpp"
+
+using namespace vwire;
+
+namespace {
+
+struct EchoSetup {
+  Testbed tb;
+  std::unique_ptr<udp::UdpLayer> client_udp, server_udp;
+  std::unique_ptr<udp::EchoServer> server;
+  std::unique_ptr<udp::EchoClient> client;
+
+  explicit EchoSetup(TestbedConfig cfg) : tb(std::move(cfg)) {
+    tb.add_node("client");
+    tb.add_node("server");
+    client_udp = std::make_unique<udp::UdpLayer>(tb.node("client"));
+    server_udp = std::make_unique<udp::UdpLayer>(tb.node("server"));
+    server = std::make_unique<udp::EchoServer>(*server_udp, 7);
+    udp::EchoClient::Params cp;
+    cp.server_ip = tb.node("server").ip();
+    cp.server_port = 7;
+    cp.local_port = 40000;
+    cp.payload_size = 64;
+    cp.count = 400;
+    cp.interval = millis(1);
+    client = std::make_unique<udp::EchoClient>(*client_udp, cp);
+  }
+};
+
+double run_echo_rtt_us(TestbedConfig cfg, const std::string& script) {
+  EchoSetup s(std::move(cfg));
+  if (!script.empty()) {
+    core::TableSet tables = fsl::compile_script(script);
+    control::Controller ctrl(s.tb.simulator(), s.tb.managed_nodes(),
+                             "client");
+    ctrl.arm(tables);
+    s.client->start();
+    s.tb.simulator().run_until(s.tb.simulator().now() + seconds(2));
+  } else {
+    s.client->start();
+    s.tb.simulator().run_until({seconds(2).ns});
+  }
+  return s.client->mean_rtt().micros_f();
+}
+
+}  // namespace
+
+int main() {
+  // Baseline: no VirtualWire layer at all.
+  TestbedConfig base_cfg;
+  base_cfg.install_engine = false;
+  base_cfg.install_rll = false;
+  base_cfg.install_trace = false;
+  double base_us = run_echo_rtt_us(base_cfg, "");
+
+  std::printf("# Fig 8 — %% increase in UDP round-trip latency vs number of\n");
+  std::printf("# packet type definitions (paper: linear growth, (iii) ~7%% max)\n");
+  std::printf("# baseline RTT (no VirtualWire): %.2f us\n", base_us);
+  std::printf("%-8s %10s %8s %12s %8s %12s %8s\n", "filters", "(i) us", "%",
+              "(ii) us", "%", "(iii) us", "%");
+
+  for (int n : {1, 5, 10, 15, 20, 25}) {
+    TestbedConfig cfg_i;  // engine only, no RLL
+    cfg_i.install_rll = false;
+    cfg_i.install_trace = false;
+    std::string node_table;
+    {
+      // Build the node table from a throwaway testbed with the same
+      // deterministic addressing.
+      Testbed t(cfg_i);
+      t.add_node("client");
+      t.add_node("server");
+      node_table = t.node_table_fsl();
+    }
+    std::string filters = vwbench::filter_table(n, /*tcp=*/false);
+    std::string script_i =
+        filters + node_table + vwbench::classify_only_scenario();
+    std::string script_ii =
+        filters + node_table +
+        vwbench::per_packet_actions_scenario("udp_req", "udp_rsp", "client",
+                                             "server", 25);
+
+    double us_i = run_echo_rtt_us(cfg_i, script_i);
+    double us_ii = run_echo_rtt_us(cfg_i, script_ii);
+
+    TestbedConfig cfg_iii = cfg_i;  // + paper-faithful RLL
+    cfg_iii.install_rll = true;
+    cfg_iii.rll = vwbench::paper_rll();
+    double us_iii = run_echo_rtt_us(cfg_iii, script_ii);
+
+    auto pct = [&](double us) { return (us - base_us) / base_us * 100.0; };
+    std::printf("%-8d %10.2f %7.2f%% %12.2f %7.2f%% %12.2f %7.2f%%\n", n,
+                us_i, pct(us_i), us_ii, pct(us_ii), us_iii, pct(us_iii));
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmark: FSL front-end speed — tokenize, parse, and full compile
+// of the paper's two published scripts.  The front-end runs once per test
+// case on the control node (paper §5.1), so this is not hot-path, but it
+// bounds regression-suite startup cost.
+#include <benchmark/benchmark.h>
+
+#include "vwire/core/fsl/compiler.hpp"
+#include "vwire/core/fsl/parser.hpp"
+
+namespace {
+
+const char* kFig5 = R"(
+FILTER_TABLE
+  TCP_syn:    (34 2 0x6000), (36 2 0x4000), (47 1 0x02 0x02)
+  TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)
+  TCP_data:   (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+  TCP_ack:    (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+  node1 00:46:61:af:fe:23 192.168.1.1
+  node2 00:23:31:df:af:12 192.168.1.2
+END
+SCENARIO TCP_SS_CA_algo
+  SYNACK:   (TCP_synack, node2, node1, RECV)
+  SA_ACK:   (TCP_data, node1, node2, SEND)
+  DATA:     (TCP_data, node1, node2, SEND)
+  ACK:      (TCP_ack, node2, node1, RECV)
+  CWND:     (node1)
+  CanTx:    (node1)
+  CCNT:     (node1)
+  SSTHRESH: (node1)
+  (TRUE) >> ENABLE_CNTR(SYNACK); ENABLE_CNTR(SA_ACK); ENABLE_CNTR(ACK);
+            ASSIGN_CNTR(CWND, 1); ASSIGN_CNTR(CanTx, 1);
+            ENABLE_CNTR(CCNT); ASSIGN_CNTR(SSTHRESH, 2);
+  ((SYNACK > 0) && (SYNACK < 2)) >> DROP TCP_synack, node2, node1, RECV;
+  ((SA_ACK = 1)) >> ENABLE_CNTR(DATA); DISABLE_CNTR(SA_ACK);
+  ((DATA = 1)) >> RESET_CNTR(DATA); DECR_CNTR(CanTx, 1);
+  ((CWND <= SSTHRESH) && (ACK = 1)) >> RESET_CNTR(ACK);
+            INCR_CNTR(CWND, 1); INCR_CNTR(CanTx, 2);
+  ((CWND > SSTHRESH) && (ACK = 1)) >> RESET_CNTR(ACK);
+            INCR_CNTR(CanTx, 1); INCR_CNTR(CCNT, 1);
+  ((CWND > SSTHRESH) && (CCNT > CWND)) >> RESET_CNTR(CCNT);
+            INCR_CNTR(CWND, 1); INCR_CNTR(CanTx, 1);
+  ((CanTx < 0)) >> FLAG_ERROR;
+END
+)";
+
+const char* kFig6 = R"(
+FILTER_TABLE
+  tr_token:     (12 2 0x9900), (14 2 0x0001)
+  tr_token_ack: (12 2 0x9900), (14 2 0x0010)
+  TCP_data:     (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+  node1 02:00:00:00:00:00 10.0.0.1
+  node2 02:00:00:00:00:01 10.0.0.2
+  node3 02:00:00:00:00:02 10.0.0.3
+  node4 02:00:00:00:00:03 10.0.0.4
+END
+SCENARIO Test_Single_Node_Failure 1sec
+  CNT_DATA:    (TCP_data, node1, node4, RECV)
+  TokensTo2:   (tr_token, node1, node2, RECV)
+  TokensFrom2: (tr_token, node2, node3, SEND)
+  TokensTo4:   (tr_token, node2, node4, RECV)
+  TokensTo1:   (tr_token, node4, node1, RECV)
+  (TRUE) >> ENABLE_CNTR(CNT_DATA);
+  ((CNT_DATA > 1000)) >> ENABLE_CNTR(TokensTo2);
+  ((TokensTo2 = 1)) >> FAIL(node3); ENABLE_CNTR(TokensFrom2);
+            RESET_CNTR(TokensTo2);
+  ((TokensFrom2 = 3)) >> ENABLE_CNTR(TokensTo4);
+  ((TokensTo4 = 1)) >> ENABLE_CNTR(TokensTo1);
+  ((TokensFrom2 > 3)) >> FLAG_ERROR;
+  ((TokensTo2 = 1) && (TokensTo4 = 1) && (TokensTo1 = 1)) >> STOP;
+END
+)";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    auto toks = vwire::fsl::tokenize(kFig5);
+    benchmark::DoNotOptimize(toks);
+  }
+}
+
+void BM_ParseFig5(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ast = vwire::fsl::parse_script(kFig5);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+
+void BM_CompileFig5(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tables = vwire::fsl::compile_script(kFig5);
+    benchmark::DoNotOptimize(tables);
+  }
+}
+
+void BM_CompileFig6(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tables = vwire::fsl::compile_script(kFig6);
+    benchmark::DoNotOptimize(tables);
+  }
+}
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  auto tables = vwire::fsl::compile_script(kFig6);
+  for (auto _ : state) {
+    auto bytes = vwire::core::serialize(tables);
+    auto back = vwire::core::deserialize_tables(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tokenize);
+BENCHMARK(BM_ParseFig5);
+BENCHMARK(BM_CompileFig5);
+BENCHMARK(BM_CompileFig6);
+BENCHMARK(BM_SerializeRoundTrip);

@@ -1,0 +1,111 @@
+// rether_failover — reproduction of the paper's §6.2 / Fig 6 experiment:
+// single-node-failure recovery in the Rether token-passing protocol, with
+// distributed rule execution (the counter lives on node2, the FAIL action
+// executes on node3, the STOP condition spans three nodes).
+//
+// Testbed: four nodes on a shared bus (Rether's natural medium), token
+// ring order node1 → node2 → node3 → node4.  node1 streams TCP to node4;
+// node2 and node3 carry no data.  After 1000 TCP data packets, the next
+// token that reaches node2 triggers FAIL(node3).  node2 must then send the
+// token to the dead node3 exactly 3 times (more is a protocol error),
+// evict it, and the reconstructed ring node1→node2→node4 must complete a
+// full round-robin within the scenario's 1-second inactivity window.
+#include <cstdio>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/rether/rether_layer.hpp"
+#include "vwire/tcp/apps.hpp"
+
+using namespace vwire;
+
+namespace {
+
+const char* kFilters =
+    "FILTER_TABLE\n"
+    "  tr_token:     (12 2 0x9900), (14 2 0x0001)\n"
+    "  tr_token_ack: (12 2 0x9900), (14 2 0x0010)\n"
+    "  TCP_data:     (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)\n"
+    "END\n";
+
+const char* kScenario =
+    "SCENARIO Test_Single_Node_Failure 1sec\n"
+    "  CNT_DATA:    (TCP_data, node1, node4, RECV)\n"
+    "  TokensTo2:   (tr_token, node1, node2, RECV)\n"
+    "  TokensFrom2: (tr_token, node2, node3, SEND)\n"
+    "  TokensTo4:   (tr_token, node2, node4, RECV)\n"
+    "  TokensTo1:   (tr_token, node4, node1, RECV)\n"
+    "  (TRUE) >> ENABLE_CNTR( CNT_DATA );\n"
+    "  ((CNT_DATA > 1000)) >> ENABLE_CNTR( TokensTo2 );\n"
+    "  ((TokensTo2 = 1)) >> FAIL( node3 );\n"
+    "                ENABLE_CNTR( TokensFrom2 );\n"
+    "                RESET_CNTR( TokensTo2 );\n"
+    "  ((TokensFrom2 = 3)) >> ENABLE_CNTR( TokensTo4 );\n"
+    "  ((TokensTo4 = 1)) >> ENABLE_CNTR( TokensTo1 );\n"
+    "  /*** ANALYSIS SCRIPT ***/\n"
+    "  ((TokensFrom2 > 3)) >> FLAG_ERROR;\n"
+    "  ((TokensTo2 = 1) && (TokensTo4 = 1) && (TokensTo1 = 1)) >> STOP;\n"
+    "END\n";
+
+}  // namespace
+
+int main() {
+  TestbedConfig cfg;
+  cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+  Testbed tb(cfg);
+  const char* names[] = {"node1", "node2", "node3", "node4"};
+  for (const char* n : names) tb.add_node(n);
+
+  // Ring order matches the paper's round-robin: node1, node2, node3, node4.
+  std::vector<net::MacAddress> ring;
+  for (const char* n : names) ring.push_back(tb.node(n).mac());
+
+  rether::RetherParams rp;  // 3 total token transmissions, 10 ms ack timeout
+  std::vector<rether::RetherLayer*> rether_layers;
+  for (const char* n : names) {
+    auto layer = std::make_unique<rether::RetherLayer>(tb.simulator(), rp, ring);
+    rether_layers.push_back(static_cast<rether::RetherLayer*>(
+        &tb.node(n).add_layer(std::move(layer))));
+  }
+
+  tcp::TcpLayer tcp1(tb.node("node1"));
+  tcp::TcpLayer tcp4(tb.node("node4"));
+  tcp::BulkSink sink(tcp4, /*port=*/16384);
+  tcp::BulkSender::Params sp;
+  sp.dst_ip = tb.node("node4").ip();
+  sp.dst_port = 16384;
+  sp.src_port = 24576;
+  sp.total_bytes = 0;  // stream until the scenario STOPs
+  tcp::BulkSender sender(tcp1, sp);
+
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() + kScenario;
+  spec.workload = [&] {
+    for (std::size_t i = 0; i < rether_layers.size(); ++i) {
+      rether_layers[i]->start(/*with_token=*/i == 0);
+    }
+    sender.start();
+  };
+  spec.options.deadline = seconds(60);
+  auto result = runner.run(spec);
+
+  std::printf("%s\n", result.summary().c_str());
+  for (const char* n : {"CNT_DATA", "TokensTo2", "TokensFrom2", "TokensTo4",
+                        "TokensTo1"}) {
+    std::printf("counter %-12s = %lld\n", n,
+                static_cast<long long>(result.counters[n]));
+  }
+  const auto& r2 = *rether_layers[1];
+  std::printf("node2 rether: ring size %zu, evicted %llu, retransmits %llu\n",
+              r2.ring().size(),
+              static_cast<unsigned long long>(r2.stats().nodes_evicted),
+              static_cast<unsigned long long>(r2.stats().token_retransmits));
+  std::printf("sink received %llu bytes through the token ring\n",
+              static_cast<unsigned long long>(sink.bytes_received()));
+
+  bool ok = result.passed() && result.stopped &&
+            result.counters["TokensFrom2"] == 3 &&
+            r2.stats().nodes_evicted == 1 && r2.ring().size() == 3;
+  std::printf("rether_failover: %s\n", ok ? "OK" : "UNEXPECTED RESULT");
+  return ok ? 0 : 1;
+}

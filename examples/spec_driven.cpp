@@ -1,0 +1,126 @@
+// spec_driven — the paper's §8 long-term goal, implemented: generate the
+// fault-injection and analysis scripts directly from a protocol
+// specification, "truly making the testing process completely automated".
+//
+// We describe a strict request/response protocol as a finite state machine,
+// generate (a) a conformance-analysis scenario and (b) a drop-fault
+// campaign with one scenario per transition, then run all of it against a
+// retransmitting client and an echo server.  Nobody wrote a line of FSL.
+#include <cstdio>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/core/gen/script_gen.hpp"
+#include "vwire/sim/timer.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+using namespace vwire;
+
+namespace {
+
+constexpr const char* kFilters =
+    "FILTER_TABLE\n"
+    "  req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+    "  rsp: (12 2 0x0800), (23 1 0x11), (34 2 0x0007), (36 2 0x9c40)\n"
+    "END\n";
+
+gen::ProtocolSpec make_spec(int rounds) {
+  gen::ProtocolSpec spec;
+  spec.name = "pingpong";
+  spec.monitor_node = "server";
+  spec.states = {"IDLE", "WAIT"};
+  spec.initial_state = "IDLE";
+  spec.accept_state = "IDLE";
+  spec.accept_visits = rounds;
+  spec.deadline = seconds(3);
+  spec.transitions = {
+      {"IDLE", "WAIT", {"req", "client", "server", net::Direction::kRecv}},
+      {"WAIT", "IDLE", {"rsp", "server", "client", net::Direction::kSend}},
+  };
+  return spec;
+}
+
+struct Session {
+  Testbed tb;
+  std::unique_ptr<udp::UdpLayer> cu, su;
+
+  Session() {
+    tb.add_node("client");
+    tb.add_node("server");
+    cu = std::make_unique<udp::UdpLayer>(tb.node("client"));
+    su = std::make_unique<udp::UdpLayer>(tb.node("server"));
+    su->bind(7, [this](net::Ipv4Address src, u16 sport, BytesView payload) {
+      su->send(src, sport, 7, payload);
+    });
+  }
+
+  /// Ping-pong client with a 100 ms application retransmission timer —
+  /// robust against a single drop anywhere.
+  std::function<void()> robust_client(int rounds) {
+    return [this, rounds] {
+      auto send_req = std::make_shared<std::function<void()>>();
+      *send_req = [this] {
+        cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+      };
+      auto retry = std::make_shared<sim::Timer>(tb.simulator(),
+                                                [send_req] { (*send_req)(); });
+      auto remaining = std::make_shared<int>(rounds);
+      cu->bind(40000, [this, remaining, send_req, retry](net::Ipv4Address,
+                                                         u16, BytesView) {
+        retry->cancel();
+        if (--*remaining > 0) {
+          (*send_req)();
+          retry->start(millis(100));
+        }
+      });
+      (*send_req)();
+      retry->start(millis(100));
+    };
+  }
+
+  control::ScenarioResult run(const std::string& scenario, int rounds) {
+    ScenarioRunner runner(tb);
+    ScenarioSpec s;
+    s.script = std::string(kFilters) + tb.node_table_fsl() + scenario;
+    s.workload = robust_client(rounds);
+    s.options.deadline = seconds(10);
+    return runner.run(s);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int kRounds = 3;
+  gen::ProtocolSpec spec = make_spec(kRounds);
+  std::string problem = gen::validate(spec);
+  if (!problem.empty()) {
+    std::printf("spec invalid: %s\n", problem.c_str());
+    return 1;
+  }
+
+  std::string analysis = gen::generate_analysis_scenario(spec);
+  std::printf("=== generated conformance scenario ===\n%s\n", analysis.c_str());
+
+  bool all_ok = true;
+  {
+    Session s;
+    auto r = s.run(analysis, kRounds);
+    std::printf("conformance run: %s\n", r.summary().c_str());
+    all_ok = all_ok && r.passed() && r.stopped;
+  }
+
+  auto campaign = gen::generate_drop_campaign(spec);
+  std::printf("\n=== generated drop campaign: %zu scenarios ===\n",
+              campaign.size());
+  for (const auto& g : campaign) {
+    Session s;
+    auto r = s.run(g.fsl, kRounds);
+    std::printf("%-28s %s\n", g.name.c_str(), r.summary().c_str());
+    all_ok = all_ok && r.passed() && r.stopped;
+  }
+
+  std::printf("\nspec_driven: %s\n",
+              all_ok ? "OK — protocol survives every generated fault"
+                     : "UNEXPECTED RESULT");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Offline trace analysis: run an FSL analysis script over a recorded
+// packet trace, after the fact.
+//
+// The paper's motivation (§1) is replacing the manual inspection of
+// collected tcpdump traces; the FAE does this live.  OfflineAnalyzer closes
+// the loop for post-mortem work: the same compiled six tables are replayed
+// against a TraceBuffer, with the same counter/term/condition semantics.
+//
+// Differences from the live engines, by construction:
+//  * evaluation is globally ordered and instantaneous — there is no
+//    control-plane propagation delay, so distributed rules behave as if
+//    every node shared one clock (the "ideal observer" view);
+//  * fault actions cannot be applied to the past; they are tallied as
+//    `would_have_fired` instead.
+#pragma once
+
+#include <unordered_map>
+
+#include "vwire/core/engine/classifier.hpp"
+#include "vwire/trace/trace.hpp"
+
+namespace vwire::core {
+
+struct OfflineError {
+  std::size_t record_index;
+  TimePoint at;
+  CondId cond;
+};
+
+struct OfflineResult {
+  std::vector<OfflineError> errors;
+  bool stopped{false};
+  std::size_t stop_index{0};          ///< record that triggered STOP
+  std::size_t records_processed{0};
+  u64 would_have_fired_faults{0};     ///< DROP/DELAY/… activations observed
+  std::unordered_map<std::string, i64> counters;
+
+  bool passed() const { return errors.empty(); }
+};
+
+class OfflineAnalyzer {
+ public:
+  explicit OfflineAnalyzer(TableSet tables);
+
+  /// Replays `trace` in record order; stops early at a STOP action.
+  OfflineResult analyze(const trace::TraceBuffer& trace);
+
+ private:
+  struct CounterState {
+    i64 value{0};
+    bool enabled{false};
+  };
+
+  void initial_sweep();
+  void process_record(const trace::TraceRecord& rec, std::size_t index);
+  void set_counter(CounterId id, i64 value);
+  void eval_term(TermId id);
+  void eval_condition(CondId id);
+  void drain_fired(std::size_t record_index);
+  void exec_action(ActionId id, CondId cond, std::size_t record_index);
+
+  TableSet tables_;
+  Classifier classifier_;
+  VarStore vars_;
+
+  std::vector<CounterState> counters_;
+  std::vector<char> term_state_;
+  std::vector<char> cond_state_;
+  std::vector<CondId> fired_;
+
+  TimePoint now_{};
+  OfflineResult result_;
+  bool done_{false};
+};
+
+}  // namespace vwire::core

@@ -1,0 +1,46 @@
+#include "vwire/core/api/scenario_runner.hpp"
+
+namespace vwire {
+
+ScenarioRunner::ScenarioRunner(Testbed& testbed) : testbed_(testbed) {}
+
+void ScenarioRunner::validate_nodes(const core::TableSet& tables) {
+  for (const core::NodeEntry& e : tables.nodes.entries) {
+    bool found = false;
+    for (const std::string& name : testbed_.node_names()) {
+      host::Node& n = testbed_.node(name);
+      if (n.name() != e.name) continue;
+      found = true;
+      if (!(n.mac() == e.mac) || !(n.ip() == e.ip)) {
+        throw fsl::ParseError(
+            {0, 0}, "NODE_TABLE entry '" + e.name +
+                        "' does not match the testbed node (script says " +
+                        e.mac.to_string() + "/" + e.ip.to_string() +
+                        ", testbed has " + n.mac().to_string() + "/" +
+                        n.ip().to_string() + ")");
+      }
+    }
+    if (!found) {
+      throw fsl::ParseError(
+          {0, 0}, "NODE_TABLE entry '" + e.name + "' is not a testbed node");
+    }
+  }
+}
+
+control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  fsl::CompileOptions copts;
+  copts.scenario = spec.scenario;
+  core::TableSet tables = fsl::compile_script(spec.script, copts);
+  validate_nodes(tables);
+
+  std::string control = spec.control_node.empty()
+                            ? testbed_.node_names().front()
+                            : spec.control_node;
+  controller_ = std::make_unique<control::Controller>(
+      testbed_.simulator(), testbed_.managed_nodes(), control);
+  controller_->arm(tables);
+  if (spec.workload) spec.workload();
+  return controller_->run(spec.options);
+}
+
+}  // namespace vwire

@@ -1,0 +1,47 @@
+// ScenarioRunner — one-call façade: compile an FSL script, distribute it,
+// launch the workload, supervise the run, return the verdict.
+//
+// This is the experience the paper promises: "10 to 20 lines of script is
+// sufficient to specify the test scenario" — everything else is automated.
+#pragma once
+
+#include <functional>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/core/fsl/compiler.hpp"
+
+namespace vwire {
+
+struct ScenarioSpec {
+  /// FSL source (FILTER_TABLE / NODE_TABLE / SCENARIO sections).
+  std::string script;
+  /// Scenario to run; empty = the script's first.
+  std::string scenario;
+  /// Node hosting the programming front-end; empty = the first node.
+  std::string control_node;
+  /// Started after the engines are armed, before supervision begins —
+  /// connect TCP flows, start token rings, launch echo clients here.
+  std::function<void()> workload;
+  control::RunOptions options{};
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Testbed& testbed);
+
+  /// Compiles and validates the script against the testbed (every script
+  /// node must exist with matching MAC and IP), then runs it end-to-end.
+  /// Throws fsl::ParseError on script errors.
+  control::ScenarioResult run(const ScenarioSpec& spec);
+
+  /// The controller from the most recent run (valid until the next run).
+  control::Controller* controller() { return controller_.get(); }
+
+ private:
+  void validate_nodes(const core::TableSet& tables);
+
+  Testbed& testbed_;
+  std::unique_ptr<control::Controller> controller_;
+};
+
+}  // namespace vwire

@@ -1,0 +1,114 @@
+#include "vwire/core/api/testbed.hpp"
+
+#include "vwire/util/assert.hpp"
+
+namespace vwire {
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  if (config_.medium == TestbedConfig::MediumKind::kSwitchedLan) {
+    medium_ = std::make_unique<phy::SwitchedLan>(sim_, config_.link,
+                                                 config_.seed);
+  } else {
+    medium_ = std::make_unique<phy::SharedBus>(sim_, config_.link,
+                                               config_.seed);
+  }
+  trace_ = trace::TraceBuffer(config_.trace_capacity);
+}
+
+host::Node& Testbed::add_node(const std::string& name) {
+  u32 idx = static_cast<u32>(entries_.size());
+  return add_node(name, net::MacAddress::from_index(idx),
+                  net::Ipv4Address(0x0a000001u + idx));  // 10.0.0.1+
+}
+
+host::Node& Testbed::add_node(const std::string& name, net::MacAddress mac,
+                              net::Ipv4Address ip) {
+  host::NodeParams params;
+  params.name = name;
+  params.mac = mac;
+  params.ip = ip;
+  params.rx_stack_cost = config_.rx_stack_cost;
+  params.tx_stack_cost = config_.tx_stack_cost;
+
+  auto node = std::make_unique<host::Node>(sim_, *medium_, params);
+  NodeHandles h;
+  h.node = node.get();
+
+  if (config_.install_rll) {
+    auto rll = std::make_unique<rll::RllLayer>(sim_, config_.rll);
+    h.rll = static_cast<rll::RllLayer*>(&node->add_layer(std::move(rll)));
+  }
+  if (config_.install_trace) {
+    auto tap = std::make_unique<trace::TapLayer>(trace_);
+    h.tap = static_cast<trace::TapLayer*>(&node->add_layer(std::move(tap)));
+  }
+  {
+    auto agent = std::make_unique<control::ControlAgent>();
+    h.agent =
+        static_cast<control::ControlAgent*>(&node->add_layer(std::move(agent)));
+  }
+  if (config_.install_engine) {
+    core::EngineParams ep = config_.engine;
+    ep.seed = config_.engine.seed ^ (static_cast<u64>(entries_.size()) << 32);
+    auto engine = std::make_unique<core::EngineLayer>(sim_, ep);
+    h.engine =
+        static_cast<core::EngineLayer*>(&node->add_layer(std::move(engine)));
+    h.engine->set_control(h.agent);
+  }
+
+  // Full-mesh static ARP.
+  for (auto& [other_name, other] : entries_) {
+    other.node->add_neighbor(ip, mac);
+    node->add_neighbor(other.node->ip(), other.node->mac());
+  }
+
+  host::Node& ref = *node;
+  entries_.emplace_back(name, h);
+  nodes_.push_back(std::move(node));
+  return ref;
+}
+
+host::Node& Testbed::node(std::string_view name) {
+  return *handles(name).node;
+}
+
+NodeHandles& Testbed::handles(std::string_view name) {
+  for (auto& [n, h] : entries_) {
+    if (n == name) return h;
+  }
+  VWIRE_ASSERT(false, "unknown testbed node");
+  __builtin_unreachable();
+}
+
+std::vector<std::string> Testbed::node_names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, h] : entries_) out.push_back(n);
+  return out;
+}
+
+std::string Testbed::node_table_fsl() const {
+  std::string out = "NODE_TABLE\n";
+  for (const auto& [name, h] : entries_) {
+    out += "  " + name + " " + h.node->mac().to_string() + " " +
+           h.node->ip().to_string() + "\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+std::vector<control::ManagedNode> Testbed::managed_nodes() {
+  std::vector<control::ManagedNode> out;
+  for (auto& [name, h] : entries_) {
+    VWIRE_ASSERT(h.engine != nullptr,
+                 "managed_nodes requires install_engine=true");
+    control::ManagedNode m;
+    m.name = name;
+    m.mac = h.node->mac();
+    m.engine = h.engine;
+    m.agent = h.agent;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace vwire

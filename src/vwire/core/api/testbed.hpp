@@ -1,0 +1,97 @@
+// Testbed — the top-level fixture users assemble (paper §3.1).
+//
+// A Testbed owns the simulator, a medium (switched LAN or shared bus), and
+// the nodes.  Every node gets the full VirtualWire stack by default,
+// mirroring Fig 4(a):
+//
+//      IP demux                      (host::IpLayer)
+//      [protocol under test]         (added by the user, e.g. Rether)
+//      FIE/FAE engine                (core::EngineLayer)
+//      control agent                 (control::ControlAgent)
+//      packet tap                    (trace::TapLayer)
+//      Reliable Link Layer           (rll::RllLayer)
+//      NIC / driver                  (host::Nic)
+//
+// Transport protocols (TCP/UDP) and applications attach on top via the
+// node's IP layer, exactly like userspace sockets above a kernel stack.
+#pragma once
+
+#include "vwire/core/control/controller.hpp"
+#include "vwire/phy/shared_bus.hpp"
+#include "vwire/phy/switched_lan.hpp"
+#include "vwire/rll/rll_layer.hpp"
+#include "vwire/trace/trace.hpp"
+
+namespace vwire {
+
+struct TestbedConfig {
+  enum class MediumKind { kSwitchedLan, kSharedBus };
+  MediumKind medium{MediumKind::kSwitchedLan};
+  phy::LinkParams link{};
+
+  bool install_rll{true};
+  rll::RllParams rll{};
+
+  bool install_engine{true};
+  core::EngineParams engine{};
+
+  bool install_trace{true};
+  std::size_t trace_capacity{1'000'000};
+
+  /// Per-node kernel-stack processing charged above the chain.
+  Duration rx_stack_cost{micros(28)};
+  Duration tx_stack_cost{micros(17)};
+
+  u64 seed{42};
+};
+
+struct NodeHandles {
+  host::Node* node{nullptr};
+  rll::RllLayer* rll{nullptr};
+  trace::TapLayer* tap{nullptr};
+  control::ControlAgent* agent{nullptr};
+  core::EngineLayer* engine{nullptr};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Adds a node with an auto-assigned MAC (02:00:00::idx) and IP
+  /// (10.0.0.idx+1).  All pairwise neighbor entries are maintained.
+  host::Node& add_node(const std::string& name);
+
+  /// Adds a node with explicit addresses (to match a script's NODE_TABLE).
+  host::Node& add_node(const std::string& name, net::MacAddress mac,
+                       net::Ipv4Address ip);
+
+  host::Node& node(std::string_view name);
+  NodeHandles& handles(std::string_view name);
+  std::size_t node_count() const { return entries_.size(); }
+  std::vector<std::string> node_names() const;
+
+  sim::Simulator& simulator() { return sim_; }
+  phy::Medium& medium() { return *medium_; }
+  trace::TraceBuffer& trace() { return trace_; }
+  const TestbedConfig& config() const { return config_; }
+
+  /// Emits an FSL NODE_TABLE section matching this testbed, so scripts can
+  /// be generated rather than hand-synchronized.
+  std::string node_table_fsl() const;
+
+  /// Builds the controller view (engine+agent per node) for Controller.
+  std::vector<control::ManagedNode> managed_nodes();
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  trace::TraceBuffer trace_;
+  std::vector<std::pair<std::string, NodeHandles>> entries_;
+  std::vector<std::unique_ptr<host::Node>> nodes_;
+};
+
+}  // namespace vwire

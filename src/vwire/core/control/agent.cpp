@@ -1,0 +1,25 @@
+#include "vwire/core/control/agent.hpp"
+
+namespace vwire::control {
+
+void ControlAgent::send_to(const net::MacAddress& dst, BytesView payload) {
+  ++stats_.tx_messages;
+  pass_down(net::Packet(net::make_frame(
+      dst, node_->mac(), static_cast<u16>(net::EtherType::kVwControl),
+      payload)));
+}
+
+void ControlAgent::receive_up(net::Packet pkt) {
+  if (pkt.ethertype() != static_cast<u16>(net::EtherType::kVwControl)) {
+    pass_up(std::move(pkt));
+    return;
+  }
+  auto eth = pkt.ethernet();
+  if (!eth || (!(eth->dst == node_->mac()) && !eth->dst.is_broadcast())) {
+    return;  // not for us
+  }
+  ++stats_.rx_messages;
+  if (handler_) handler_(eth->src, pkt.l3_payload());
+}
+
+}  // namespace vwire::control

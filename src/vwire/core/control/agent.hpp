@@ -1,0 +1,41 @@
+// Per-node control agent: transports control-plane payloads in raw
+// Ethernet frames (ethertype 0x88B5), below the FIE/FAE so engines never
+// classify VirtualWire's own traffic, above the RLL so control messages are
+// delivered reliably (paper §3.3, §5.2).
+#pragma once
+
+#include <functional>
+
+#include "vwire/host/node.hpp"
+
+namespace vwire::control {
+
+struct AgentStats {
+  u64 tx_messages{0};
+  u64 rx_messages{0};
+  u64 rx_malformed{0};
+};
+
+class ControlAgent final : public host::Layer {
+ public:
+  using Handler =
+      std::function<void(const net::MacAddress& from, BytesView payload)>;
+
+  std::string_view name() const override { return "vwctl"; }
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Sends a payload to the node owning `dst`.
+  void send_to(const net::MacAddress& dst, BytesView payload);
+
+  /// Consumes inbound control frames addressed to this node.
+  void receive_up(net::Packet pkt) override;
+
+  const AgentStats& stats() const { return stats_; }
+
+ private:
+  Handler handler_;
+  AgentStats stats_;
+};
+
+}  // namespace vwire::control

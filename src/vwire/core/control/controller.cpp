@@ -1,0 +1,188 @@
+#include "vwire/core/control/controller.hpp"
+
+#include <sstream>
+
+#include "vwire/util/assert.hpp"
+#include "vwire/util/logging.hpp"
+
+namespace vwire::control {
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream os;
+  os << "scenario '" << scenario << "': "
+     << (passed() ? "PASS" : "FAIL")
+     << (stopped ? " (STOP)" : timed_out ? " (inactivity timeout)"
+                  : deadline_reached     ? " (deadline)"
+                                         : "")
+     << ", " << errors.size() << " error(s), ended at " << ended_at.seconds()
+     << "s";
+  return os.str();
+}
+
+Controller::Controller(sim::Simulator& sim, std::vector<ManagedNode> nodes,
+                       std::string_view control_node)
+    : sim_(sim), nodes_(std::move(nodes)) {
+  bool found = false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == control_node) {
+      control_index_ = i;
+      found = true;
+    }
+  }
+  VWIRE_ASSERT(found, "control node not among managed nodes");
+}
+
+void Controller::wire_dispatch() {
+  for (ManagedNode& n : nodes_) {
+    VWIRE_ASSERT(n.agent != nullptr, "managed node lacks a control agent");
+    n.agent->set_handler(
+        [this, &n](const net::MacAddress& from, BytesView payload) {
+          on_control(n, from, payload);
+        });
+  }
+}
+
+void Controller::on_control(ManagedNode& node, const net::MacAddress& from,
+                            BytesView payload) {
+  auto msg = decode(payload);
+  if (!msg) return;
+  switch (msg->type) {
+    case MsgType::kInit: {
+      const auto& m = std::get<InitMsg>(msg->body);
+      try {
+        node.engine->load(core::deserialize_tables(m.tables));
+      } catch (const std::exception& e) {
+        VWIRE_ERROR() << node.name << ": bad INIT tables: " << e.what();
+      }
+      return;
+    }
+    case MsgType::kStart: {
+      const auto& m = std::get<StartMsg>(msg->body);
+      node.engine->start(m.controller_node);
+      return;
+    }
+    case MsgType::kCounterUpdate:
+    case MsgType::kTermStatus:
+      node.engine->handle_control(from, payload);
+      return;
+    case MsgType::kStopped:
+      if (&node == &nodes_[control_index_]) ++stop_reports_;
+      return;
+    case MsgType::kError:
+      if (&node == &nodes_[control_index_]) ++error_reports_;
+      return;
+  }
+}
+
+void Controller::arm(const core::TableSet& tables) {
+  tables_ = tables;
+  context_.reset();
+  wire_dispatch();
+
+  // Identify each managed node in the script's node table and hand engines
+  // their context.
+  core::NodeId controller_id = core::kInvalidId;
+  for (ManagedNode& n : nodes_) {
+    n.id = tables_.nodes.find_mac(n.mac);
+    n.engine->set_context(&context_);
+  }
+  controller_id = nodes_[control_index_].id;
+
+  // Distribute the tables, then the start signal, over the control plane
+  // ("For simplicity, all FIEs and FAEs are sent the entire set of tables",
+  // paper §5.1).  The control node initializes itself without a wire hop.
+  ControlAgent* my_agent = nodes_[control_index_].agent;
+  Bytes init = encode(make_init(tables_));
+  Bytes start = encode(make_start(controller_id));
+  for (ManagedNode& n : nodes_) {
+    if (&n == &nodes_[control_index_]) {
+      on_control(n, n.mac, init);
+    } else {
+      my_agent->send_to(n.mac, init);
+    }
+  }
+  for (ManagedNode& n : nodes_) {
+    if (&n == &nodes_[control_index_]) {
+      on_control(n, n.mac, start);
+    } else {
+      my_agent->send_to(n.mac, start);
+    }
+  }
+
+  // Let distribution drain: run until every engine reports running, capped
+  // at a generous bound.
+  TimePoint give_up = sim_.now() + seconds(5);
+  while (sim_.now() < give_up) {
+    bool all = true;
+    for (const ManagedNode& n : nodes_) all = all && n.engine->running();
+    if (all) break;
+    sim_.run_until(sim_.now() + millis(1));
+  }
+  for (const ManagedNode& n : nodes_) {
+    VWIRE_ASSERT(n.engine->running(), "engine failed to start (INIT lost?)");
+  }
+  context_.note_activity(sim_.now());  // the run starts "active"
+  armed_ = true;
+}
+
+ScenarioResult Controller::run(const RunOptions& opts) {
+  VWIRE_ASSERT(armed_, "run() before arm()");
+  ScenarioResult result;
+  result.scenario = tables_.scenario_name;
+
+  // The scenario's declared timeout ("SCENARIO name 1sec") is a completion
+  // deadline: the scripted sequence must reach STOP within the window
+  // (paper §6.2 — "the fault detection and recovery should complete within
+  // 1 sec, an error is flagged if the scenario is terminated due to
+  // inactivity").
+  const Duration timeout = tables_.inactivity_timeout;
+  const TimePoint scenario_deadline =
+      timeout.ns > 0 ? sim_.now() + timeout : TimePoint{};
+  const TimePoint deadline = sim_.now() + opts.deadline;
+
+  for (;;) {
+    sim_.run_until(sim_.now() + opts.poll);
+    if (context_.stopped()) {
+      result.stopped = true;
+      break;
+    }
+    if (opts.stop_on_first_error && !context_.errors().empty()) break;
+    if (timeout.ns > 0 && sim_.now() >= scenario_deadline) {
+      result.timed_out = true;
+      break;
+    }
+    if (sim_.now() >= deadline) {
+      result.deadline_reached = true;
+      break;
+    }
+    if (sim_.pending_events() == 0) {
+      // Nothing left to simulate: without a declared timeout this is the
+      // natural end of the run.
+      if (timeout.ns > 0) result.timed_out = true;
+      break;
+    }
+  }
+  result.ended_at = sim_.now();
+  result.errors = context_.errors();
+
+  // The paper (§6.2): termination by the inactivity timer without a STOP
+  // is itself a verification failure.
+  if (result.timed_out && !result.stopped) {
+    result.errors.push_back({sim_.now(), core::kInvalidId, core::kInvalidId});
+  }
+
+  // Final counter values from their home engines (the FAE report).
+  for (std::size_t c = 0; c < tables_.counters.entries.size(); ++c) {
+    const core::CounterEntry& e = tables_.counters.entries[c];
+    for (const ManagedNode& n : nodes_) {
+      if (n.id == e.home) {
+        result.counters[e.name] =
+            n.engine->counter_value(static_cast<core::CounterId>(c));
+      }
+    }
+  }
+  armed_ = false;
+  return result;
+}
+
+}  // namespace vwire::control

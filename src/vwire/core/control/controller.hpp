@@ -1,0 +1,89 @@
+// The programming front-end (paper §3.2, §5.1).
+//
+// "A central node interprets the script and initializes the test nodes with
+//  the relevant data structures."  The Controller lives on the control
+//  node: it serializes the compiled six-table bundle, distributes it to
+//  every testbed node as INIT control messages over the (simulated) wire,
+//  starts the engines with START, then supervises the run — collecting
+//  STOP/FLAG_ERROR reports and enforcing the scenario's inactivity timeout
+//  and the harness deadline.
+#pragma once
+
+#include <unordered_map>
+
+#include "vwire/core/engine/engine.hpp"
+
+namespace vwire::control {
+
+struct RunOptions {
+  /// Hard stop in simulated time, measured from run() entry.
+  Duration deadline{seconds(30)};
+  /// Supervision granularity.
+  Duration poll{millis(1)};
+  /// Stop the whole run at the first FLAG_ERROR.
+  bool stop_on_first_error{false};
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  bool stopped{false};        ///< a STOP action ended the run
+  bool timed_out{false};      ///< the script's inactivity timeout expired
+  bool deadline_reached{false};
+  TimePoint ended_at{};
+  std::vector<core::ScenarioError> errors;
+  std::unordered_map<std::string, i64> counters;  ///< final home values
+
+  /// The paper's pass criterion: no FLAG_ERROR fired, and if the scenario
+  /// declared an inactivity timeout, it ended via STOP rather than silence.
+  bool passed() const { return errors.empty(); }
+
+  std::string summary() const;
+};
+
+/// A node under the controller's management.
+struct ManagedNode {
+  core::NodeId id{core::kInvalidId};
+  net::MacAddress mac;
+  std::string name;
+  core::EngineLayer* engine{nullptr};
+  ControlAgent* agent{nullptr};
+};
+
+class Controller {
+ public:
+  /// `self` identifies the control node among `nodes` (by name).
+  Controller(sim::Simulator& sim, std::vector<ManagedNode> nodes,
+             std::string_view control_node);
+
+  /// Compiled-scenario setup: wires agent dispatch, distributes INIT and
+  /// START over the control plane, and advances the simulation until every
+  /// engine is running.  Call before starting the workload.
+  void arm(const core::TableSet& tables);
+
+  /// Supervises the armed scenario to completion.
+  ScenarioResult run(const RunOptions& opts = {});
+
+  core::ScenarioContext& context() { return context_; }
+
+  u64 stop_reports() const { return stop_reports_; }
+  u64 error_reports() const { return error_reports_; }
+
+ private:
+  void wire_dispatch();
+  void on_control(ManagedNode& node, const net::MacAddress& from,
+                  BytesView payload);
+
+  sim::Simulator& sim_;
+  std::vector<ManagedNode> nodes_;
+  std::size_t control_index_{0};
+  core::ScenarioContext context_;
+  core::TableSet tables_;
+  bool armed_{false};
+
+  // Wire-delivered reports (the context is the in-process authority; these
+  // counters prove the control plane actually carried the news).
+  u64 stop_reports_{0};
+  u64 error_reports_{0};
+};
+
+}  // namespace vwire::control

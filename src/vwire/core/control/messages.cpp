@@ -1,0 +1,116 @@
+#include "vwire/core/control/messages.hpp"
+
+namespace vwire::control {
+
+Bytes encode(const ControlMessage& msg) {
+  ByteWriter w;
+  w.u8v(static_cast<u8>(msg.type));
+  switch (msg.type) {
+    case MsgType::kInit: {
+      const auto& m = std::get<InitMsg>(msg.body);
+      w.u32v(static_cast<u32>(m.tables.size()));
+      w.raw(m.tables);
+      break;
+    }
+    case MsgType::kStart:
+      w.u16v(std::get<StartMsg>(msg.body).controller_node);
+      break;
+    case MsgType::kCounterUpdate: {
+      const auto& m = std::get<CounterUpdateMsg>(msg.body);
+      w.u16v(m.counter);
+      w.u64v(static_cast<u64>(m.value));
+      break;
+    }
+    case MsgType::kTermStatus: {
+      const auto& m = std::get<TermStatusMsg>(msg.body);
+      w.u16v(m.term);
+      w.u8v(m.state ? 1 : 0);
+      break;
+    }
+    case MsgType::kStopped:
+      w.u16v(std::get<StoppedMsg>(msg.body).node);
+      break;
+    case MsgType::kError: {
+      const auto& m = std::get<ErrorMsg>(msg.body);
+      w.u16v(m.node);
+      w.u64v(static_cast<u64>(m.time_ns));
+      w.u16v(m.cond);
+      break;
+    }
+  }
+  return w.take();
+}
+
+std::optional<ControlMessage> decode(BytesView payload) {
+  try {
+    ByteReader r(payload);
+    ControlMessage msg;
+    u8 t = r.u8v();
+    switch (static_cast<MsgType>(t)) {
+      case MsgType::kInit: {
+        msg.type = MsgType::kInit;
+        u32 n = r.u32v();
+        msg.body = InitMsg{r.raw(n)};
+        return msg;
+      }
+      case MsgType::kStart:
+        msg.type = MsgType::kStart;
+        msg.body = StartMsg{r.u16v()};
+        return msg;
+      case MsgType::kCounterUpdate: {
+        msg.type = MsgType::kCounterUpdate;
+        CounterUpdateMsg m;
+        m.counter = r.u16v();
+        m.value = static_cast<i64>(r.u64v());
+        msg.body = m;
+        return msg;
+      }
+      case MsgType::kTermStatus: {
+        msg.type = MsgType::kTermStatus;
+        TermStatusMsg m;
+        m.term = r.u16v();
+        m.state = r.u8v() != 0;
+        msg.body = m;
+        return msg;
+      }
+      case MsgType::kStopped:
+        msg.type = MsgType::kStopped;
+        msg.body = StoppedMsg{r.u16v()};
+        return msg;
+      case MsgType::kError: {
+        msg.type = MsgType::kError;
+        ErrorMsg m;
+        m.node = r.u16v();
+        m.time_ns = static_cast<i64>(r.u64v());
+        m.cond = r.u16v();
+        msg.body = m;
+        return msg;
+      }
+      default:
+        return std::nullopt;
+    }
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+ControlMessage make_init(const core::TableSet& tables) {
+  return {MsgType::kInit, InitMsg{core::serialize(tables)}};
+}
+ControlMessage make_start(core::NodeId controller) {
+  return {MsgType::kStart, StartMsg{controller}};
+}
+ControlMessage make_counter_update(core::CounterId c, i64 v) {
+  return {MsgType::kCounterUpdate, CounterUpdateMsg{c, v}};
+}
+ControlMessage make_term_status(core::TermId t, bool s) {
+  return {MsgType::kTermStatus, TermStatusMsg{t, s}};
+}
+ControlMessage make_stopped(core::NodeId n) {
+  return {MsgType::kStopped, StoppedMsg{n}};
+}
+ControlMessage make_error(core::NodeId n, TimePoint at, core::CondId cond) {
+  return {MsgType::kError, ErrorMsg{n, at.ns, cond}};
+}
+
+}  // namespace vwire::control

@@ -1,0 +1,75 @@
+// Control plane message codec (paper §5.2).
+//
+// "The control plane messages are implemented as payloads of raw Ethernet
+//  frames.  Control messages are exchanged to communicate changes in
+//  counter values and term state to the appropriate nodes."
+//
+// Message payload: [type:1][body...], carried in ethertype-0x88B5 frames
+// and made reliable by the RLL underneath.
+#pragma once
+
+#include <variant>
+
+#include "vwire/core/tables/tables.hpp"
+
+namespace vwire::control {
+
+enum class MsgType : u8 {
+  kInit = 1,           ///< controller → node: the serialized six tables
+  kStart = 2,          ///< controller → node: begin the scenario
+  kCounterUpdate = 3,  ///< counter home → mirroring nodes
+  kTermStatus = 4,     ///< term home → condition-evaluating nodes
+  kStopped = 5,        ///< node → controller: a STOP action fired
+  kError = 6,          ///< node → controller: a FLAG_ERROR fired
+};
+
+struct InitMsg {
+  Bytes tables;  ///< serialized core::TableSet
+};
+
+struct StartMsg {
+  core::NodeId controller_node{0};
+};
+
+struct CounterUpdateMsg {
+  core::CounterId counter{0};
+  i64 value{0};
+};
+
+struct TermStatusMsg {
+  core::TermId term{0};
+  bool state{false};
+};
+
+struct StoppedMsg {
+  core::NodeId node{0};
+};
+
+struct ErrorMsg {
+  core::NodeId node{0};
+  i64 time_ns{0};
+  core::CondId cond{0};
+};
+
+struct ControlMessage {
+  MsgType type{MsgType::kStart};
+  std::variant<InitMsg, StartMsg, CounterUpdateMsg, TermStatusMsg, StoppedMsg,
+               ErrorMsg>
+      body;
+};
+
+Bytes encode(const ControlMessage& msg);
+
+/// Decodes a payload; nullopt on malformed/truncated input (a corrupted
+/// control frame must not crash the engine).
+std::optional<ControlMessage> decode(BytesView payload);
+
+// Convenience constructors.
+ControlMessage make_init(const core::TableSet& tables);
+ControlMessage make_start(core::NodeId controller);
+ControlMessage make_counter_update(core::CounterId c, i64 v);
+ControlMessage make_term_status(core::TermId t, bool s);
+ControlMessage make_stopped(core::NodeId n);
+ControlMessage make_error(core::NodeId n, TimePoint at, core::CondId cond);
+
+}  // namespace vwire::control

@@ -1,0 +1,130 @@
+// Packet-fault application — the injection half of the FIE (Table II).
+//
+// Fault actions are level-triggered: while the owning condition holds, every
+// packet matching the action's (packet type, source, destination, direction)
+// is subjected to the fault.  This matches the paper's Fig 5 usage, where
+// `((SYNACK > 0) && (SYNACK < 2)) >> DROP ...` drops exactly the first
+// SYNACK: the counter moving to 2 turns the condition off again.
+#include "vwire/core/engine/engine.hpp"
+#include "vwire/util/logging.hpp"
+
+namespace vwire::core {
+
+EngineLayer::Fate EngineLayer::apply_faults(net::Packet& pkt,
+                                            net::Direction dir,
+                                            FilterId filter, NodeId src,
+                                            NodeId dst) {
+  if (filter == kInvalidId) return Fate::kRelease;
+  for (ActionId a : local_fault_actions_) {
+    const ActionEntry& e = tables_.actions.entries[a];
+    if (e.dir != dir || e.filter != filter) continue;
+    if (e.src_node != src || e.dst_node != dst) continue;
+    CondId cond = action_cond_[a];
+    bool active = cond != kInvalidId && cond_state_[cond] != 0;
+    if (e.kind == ActionKind::kReorder && !active) {
+      // A reorder window that started collecting completes even if its
+      // trigger condition has meanwhile gone false (e.g. an equality on
+      // the very counter the captured packets increment).
+      auto it = reorder_buf_.find(a);
+      active = it != reorder_buf_.end() && !it->second.empty();
+    }
+    if (!active) continue;
+    Fate fate = apply_one(e, a, pkt, dir);
+    if (fate != Fate::kRelease) return fate;
+    // MODIFY/DUP release the packet but stop further fault matching: one
+    // fault per packet, in script order.
+    return Fate::kRelease;
+  }
+  return Fate::kRelease;
+}
+
+EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
+                                         net::Packet& pkt,
+                                         net::Direction dir) {
+  ++stats_.actions_executed;
+  ++actions_this_packet_;
+  switch (e.kind) {
+    case ActionKind::kDrop:
+      ++stats_.drops;
+      VWIRE_DEBUG() << "DROP uid=" << pkt.uid() << " at "
+                    << sim_.now().seconds() << "s";
+      return Fate::kConsumed;
+
+    case ActionKind::kDelay: {
+      ++stats_.delays;
+      // Jiffy quantization, as in the paper's Linux 2.4 implementation.
+      Duration d = sim::quantize_up(e.delay, params_.delay_quantum);
+      auto shared = std::make_shared<net::Packet>(std::move(pkt));
+      sim_.after(d, [this, shared, dir] {
+        release_now(std::move(*shared), dir);
+      });
+      return Fate::kDiverted;
+    }
+
+    case ActionKind::kDup: {
+      ++stats_.dups;
+      // The twin follows the original immediately (fresh uid).
+      net::Packet twin = pkt.clone();
+      auto shared = std::make_shared<net::Packet>(std::move(twin));
+      sim_.after({0}, [this, shared, dir] {
+        release_now(std::move(*shared), dir);
+      });
+      return Fate::kRelease;
+    }
+
+    case ActionKind::kModify: {
+      ++stats_.modifies;
+      Bytes& b = pkt.mutable_bytes();
+      if (!e.modify_bytes.empty()) {
+        // Explicit rewrite; the checksum is deliberately left to the script
+        // author ("The checksum in such a case must be set correctly by the
+        // user", paper §5.2).
+        for (const ModifyByte& m : e.modify_bytes) {
+          if (m.offset < b.size()) {
+            b[m.offset] =
+                static_cast<u8>((b[m.offset] & ~m.mask) | (m.value & m.mask));
+          }
+        }
+      } else if (b.size() > net::EthernetHeader::kSize) {
+        // Default: random perturbation of 1..4 payload bytes.
+        int flips = static_cast<int>(rng_.range(1, 4));
+        for (int i = 0; i < flips; ++i) {
+          std::size_t off = net::EthernetHeader::kSize +
+                            rng_.below(b.size() - net::EthernetHeader::kSize);
+          u8 x = static_cast<u8>(rng_.range(1, 255));
+          b[off] ^= x;
+        }
+      }
+      return Fate::kRelease;
+    }
+
+    case ActionKind::kReorder: {
+      if (reorder_done_[id]) return Fate::kRelease;  // window already served
+      auto& buf = reorder_buf_[id];
+      reorder_dir_[id] = dir;
+      buf.push_back(std::move(pkt));
+      ++stats_.reorders_held;
+      if (buf.size() < e.reorder_count) return Fate::kDiverted;
+      // Window full: release in the scripted permutation "in burst when
+      // the bottom half is scheduled next" — here, one event later.
+      std::vector<net::Packet> window = std::move(buf);
+      reorder_buf_.erase(id);
+      reorder_done_[id] = true;
+      auto shared =
+          std::make_shared<std::vector<net::Packet>>(std::move(window));
+      std::vector<u16> order = e.reorder_order;
+      sim_.after({0}, [this, shared, order, dir] {
+        for (u16 idx : order) {
+          ++stats_.reorders_released;
+          release_now(std::move((*shared)[idx - 1]), dir);
+        }
+      });
+      return Fate::kDiverted;
+    }
+
+    default:
+      return Fate::kRelease;
+  }
+}
+
+}  // namespace vwire::core

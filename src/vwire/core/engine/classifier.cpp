@@ -1,0 +1,113 @@
+#include "vwire/core/engine/classifier.hpp"
+
+#include <algorithm>
+
+namespace vwire::core {
+
+std::optional<u64> extract_field(BytesView frame, u16 offset, u16 length) {
+  if (frame.size() < static_cast<std::size_t>(offset) + length) {
+    return std::nullopt;
+  }
+  u64 v = 0;
+  for (u16 i = 0; i < length; ++i) {
+    v = (v << 8) | frame[offset + i];
+  }
+  return v;
+}
+
+Classifier::Classifier(const FilterTable& table) : table_(table) {}
+
+bool Classifier::entry_matches(const FilterEntry& entry, BytesView frame,
+                               const VarStore& vars,
+                               std::vector<std::pair<VarId, u64>>& bindings,
+                               std::size_t& compared) const {
+  for (const FilterTuple& t : entry.tuples) {
+    ++compared;
+    auto field = extract_field(frame, t.offset, t.length);
+    if (!field) return false;
+    u64 v = *field & t.mask;
+    if (t.is_var()) {
+      if (vars.bound(t.var)) {
+        if (v != (vars.value(t.var) & t.mask)) return false;
+      } else {
+        // Check this packet hasn't already tentatively bound it to a
+        // different value within the same entry.
+        bool conflict = false;
+        for (const auto& [var, val] : bindings) {
+          if (var == t.var && val != v) conflict = true;
+        }
+        if (conflict) return false;
+        bindings.emplace_back(t.var, v);
+      }
+    } else {
+      if (v != (t.pattern & t.mask)) return false;
+    }
+  }
+  return true;
+}
+
+ClassifyResult Classifier::classify(BytesView frame, VarStore& vars) const {
+  ClassifyResult r;
+  std::vector<std::pair<VarId, u64>> bindings;
+  for (std::size_t i = 0; i < table_.entries.size(); ++i) {
+    bindings.clear();
+    if (entry_matches(table_.entries[i], frame, vars, bindings,
+                      r.tuples_compared)) {
+      for (const auto& [var, val] : bindings) vars.bind(var, val);
+      r.filter = static_cast<FilterId>(i);
+      return r;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// IndexedClassifier
+
+IndexedClassifier::IndexedClassifier(const FilterTable& table)
+    : base_(table) {
+  for (std::size_t i = 0; i < table.entries.size(); ++i) {
+    const FilterEntry& e = table.entries[i];
+    if (e.tuples.empty() || e.tuples.front().is_var()) {
+      unindexable_.push_back(static_cast<FilterId>(i));
+      continue;
+    }
+    const FilterTuple& t0 = e.tuples.front();
+    Key key{t0.offset, t0.length, t0.mask};
+    auto it = std::find_if(groups_.begin(), groups_.end(),
+                           [&](const auto& g) { return g.first == key; });
+    if (it == groups_.end()) {
+      groups_.push_back({key, {}});
+      it = groups_.end() - 1;
+    }
+    it->second[t0.pattern & t0.mask].push_back(static_cast<FilterId>(i));
+  }
+}
+
+ClassifyResult IndexedClassifier::classify(BytesView frame,
+                                           VarStore& vars) const {
+  ClassifyResult r;
+  std::vector<FilterId> candidates(unindexable_);
+  for (const auto& [key, map] : groups_) {
+    ++r.tuples_compared;  // one field extraction per group
+    auto field = extract_field(frame, key.offset, key.length);
+    if (!field) continue;
+    auto it = map.find(*field & key.mask);
+    if (it == map.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());  // priority order
+  std::vector<std::pair<VarId, u64>> bindings;
+  for (FilterId id : candidates) {
+    bindings.clear();
+    if (base_.entry_matches(base_.table().entries[id], frame, vars, bindings,
+                            r.tuples_compared)) {
+      for (const auto& [var, val] : bindings) vars.bind(var, val);
+      r.filter = id;
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace vwire::core

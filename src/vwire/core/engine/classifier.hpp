@@ -1,0 +1,102 @@
+// Packet classification against the filter table.
+//
+// "The priority of the filter rules is in descending order of occurrence.
+//  If a match is found with one rule then there is no need to match the
+//  subsequent rules." (paper §6.1)
+//
+// The default classifier searches linearly, which is exactly the cost the
+// paper measures in Fig 8 ("the current VirtualWire implementation searches
+// linearly through the packet type definitions").  `tuples_compared` feeds
+// the simulated-cost model; bench_ablation_classifier compares this against
+// the first-tuple-indexed variant.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "vwire/core/tables/tables.hpp"
+#include "vwire/util/rng.hpp"
+
+namespace vwire::core {
+
+/// Run-time store for VAR filter variables: a variable tuple matches
+/// anything while unbound and binds on the first fully-matching packet;
+/// once bound it matches only that value.
+class VarStore {
+ public:
+  explicit VarStore(std::size_t count) : values_(count) {}
+
+  bool bound(VarId v) const { return values_[v].has_value(); }
+  u64 value(VarId v) const { return values_[v].value_or(0); }
+  void bind(VarId v, u64 val) { values_[v] = val; }
+  void reset() { std::fill(values_.begin(), values_.end(), std::nullopt); }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::optional<u64>> values_;
+};
+
+struct ClassifyResult {
+  FilterId filter{kInvalidId};
+  std::size_t tuples_compared{0};  ///< work done, for the cost model
+};
+
+/// Extracts `length` bytes big-endian at `offset`; nullopt when the frame
+/// is too short.
+std::optional<u64> extract_field(BytesView frame, u16 offset, u16 length);
+
+class Classifier {
+ public:
+  explicit Classifier(const FilterTable& table);
+
+  /// First-match classification with variable binding.
+  /// Returns the matched filter (or kInvalidId) and the comparison count.
+  ClassifyResult classify(BytesView frame, VarStore& vars) const;
+
+  const FilterTable& table() const { return table_; }
+
+  /// True if every tuple of `entry` matches; collects pending VAR bindings
+  /// which the caller commits only on a full entry match.  Exposed for the
+  /// indexed variant and for tests.
+  bool entry_matches(const FilterEntry& entry, BytesView frame,
+                     const VarStore& vars,
+                     std::vector<std::pair<VarId, u64>>& bindings,
+                     std::size_t& compared) const;
+
+ private:
+  FilterTable table_;
+};
+
+/// Ablation variant: buckets entries by their first tuple's
+/// (offset, length, mask) and hashes the extracted value, falling back to a
+/// short candidate list.  Semantics identical to Classifier for filter
+/// tables whose entries all start with a discriminating first tuple.
+class IndexedClassifier {
+ public:
+  explicit IndexedClassifier(const FilterTable& table);
+
+  ClassifyResult classify(BytesView frame, VarStore& vars) const;
+
+ private:
+  struct Key {
+    u16 offset;
+    u16 length;
+    u64 mask;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      u64 s = (static_cast<u64>(k.offset) << 48) ^
+              (static_cast<u64>(k.length) << 40) ^ k.mask;
+      return static_cast<std::size_t>(splitmix64(s));
+    }
+  };
+
+  Classifier base_;
+  // Group → (pattern value → filter ids in priority order).
+  std::vector<std::pair<Key, std::unordered_map<u64, std::vector<FilterId>>>>
+      groups_;
+  std::vector<FilterId> unindexable_;  ///< var-first or empty entries
+};
+
+}  // namespace vwire::core

@@ -1,0 +1,427 @@
+#include "vwire/core/engine/engine.hpp"
+
+#include "vwire/util/logging.hpp"
+
+namespace vwire::core {
+
+EngineLayer::EngineLayer(sim::Simulator& sim, EngineParams params)
+    : sim_(sim), params_(params), rng_(params.seed) {}
+
+EngineLayer::~EngineLayer() = default;
+
+void EngineLayer::load(TableSet tables) {
+  tables_ = std::move(tables);
+  classifier_ = std::make_unique<Classifier>(tables_.filters);
+  vars_ = std::make_unique<VarStore>(tables_.filters.var_names.size());
+  counters_.assign(tables_.counters.entries.size(), {});
+  term_state_.assign(tables_.terms.entries.size(), 0);
+  cond_state_.assign(tables_.conditions.entries.size(), 0);
+
+  self_ = node_ != nullptr ? tables_.nodes.find_mac(node_->mac()) : kInvalidId;
+
+  counters_by_filter_.assign(tables_.filters.entries.size(), {});
+  for (std::size_t c = 0; c < tables_.counters.entries.size(); ++c) {
+    const CounterEntry& e = tables_.counters.entries[c];
+    if (e.kind == CounterKind::kEvent && e.home == self_ &&
+        e.filter != kInvalidId) {
+      counters_by_filter_[e.filter].push_back(static_cast<CounterId>(c));
+    }
+  }
+
+  action_cond_.assign(tables_.actions.entries.size(), kInvalidId);
+  for (std::size_t c = 0; c < tables_.conditions.entries.size(); ++c) {
+    for (ActionId a : tables_.conditions.entries[c].actions) {
+      action_cond_[a] = static_cast<CondId>(c);
+    }
+  }
+  local_fault_actions_.clear();
+  for (std::size_t a = 0; a < tables_.actions.entries.size(); ++a) {
+    const ActionEntry& e = tables_.actions.entries[a];
+    if (is_packet_fault(e.kind) && e.exec_node == self_) {
+      local_fault_actions_.push_back(static_cast<ActionId>(a));
+    }
+  }
+  reorder_buf_.clear();
+  reorder_dir_.clear();
+  loaded_ = true;
+  running_ = false;
+}
+
+void EngineLayer::start(NodeId controller_node) {
+  if (!loaded_) return;
+  controller_ = controller_node;
+  running_ = true;
+  // Initial sweep: conditions whose value is already true (notably TRUE
+  // rules) fire their edge now, on every node that owns actions.
+  for (std::size_t c = 0; c < tables_.conditions.entries.size(); ++c) {
+    eval_condition(static_cast<CondId>(c), /*depth=*/0);
+  }
+  drain_fired();
+}
+
+void EngineLayer::reset() {
+  std::fill(counters_.begin(), counters_.end(), CounterState{});
+  std::fill(term_state_.begin(), term_state_.end(), 0);
+  std::fill(cond_state_.begin(), cond_state_.end(), 0);
+  if (vars_) vars_->reset();
+  reorder_buf_.clear();
+  reorder_dir_.clear();
+  running_ = false;
+}
+
+i64 EngineLayer::counter_value(CounterId id) const {
+  return counters_[id].value;
+}
+bool EngineLayer::counter_enabled(CounterId id) const {
+  return counters_[id].enabled;
+}
+bool EngineLayer::term_state(TermId id) const { return term_state_[id] != 0; }
+bool EngineLayer::condition_state(CondId id) const {
+  return cond_state_[id] != 0;
+}
+
+bool EngineLayer::is_transport_frame(const net::Packet& pkt) const {
+  u16 et = pkt.ethertype();
+  return et == static_cast<u16>(net::EtherType::kVwControl) ||
+         et == static_cast<u16>(net::EtherType::kRll);
+}
+
+// ---------------------------------------------------------------------------
+// Packet path
+
+void EngineLayer::send_down(net::Packet pkt) {
+  if (!running_ || self_ == kInvalidId || is_transport_frame(pkt)) {
+    pass_down(std::move(pkt));
+    return;
+  }
+  process(std::move(pkt), net::Direction::kSend);
+}
+
+void EngineLayer::receive_up(net::Packet pkt) {
+  if (!running_ || self_ == kInvalidId || is_transport_frame(pkt)) {
+    pass_up(std::move(pkt));
+    return;
+  }
+  process(std::move(pkt), net::Direction::kRecv);
+}
+
+void EngineLayer::process(net::Packet pkt, net::Direction dir) {
+  ++stats_.packets_seen;
+  actions_this_packet_ = 0;
+
+  ClassifyResult cls = classifier_->classify(pkt.view(), *vars_);
+
+  NodeId src = kInvalidId, dst = kInvalidId;
+  if (auto eth = pkt.ethernet()) {
+    src = tables_.nodes.find_mac(eth->src);
+    dst = tables_.nodes.find_mac(eth->dst);
+  }
+
+  if (cls.filter != kInvalidId) {
+    ++stats_.packets_matched;
+    // Event counters homed here that watch this packet type and flow.
+    // Eligibility is SNAPSHOT before any update: a counter enabled by a
+    // cascade this packet triggers must not count the packet itself (the
+    // paper's Fig 5 script relies on this — the handshake ACK enables the
+    // DATA counter without being counted as data).
+    CounterId eligible[16];
+    std::size_t n_eligible = 0;
+    for (CounterId cid : counters_by_filter_[cls.filter]) {
+      const CounterEntry& e = tables_.counters.entries[cid];
+      if (!counters_[cid].enabled) continue;
+      if (e.dir != dir) continue;
+      if (e.src_node != src || e.dst_node != dst) continue;
+      if (n_eligible < std::size(eligible)) eligible[n_eligible++] = cid;
+    }
+    for (std::size_t i = 0; i < n_eligible; ++i) {
+      if (context_ != nullptr) context_->note_activity(sim_.now());
+      set_counter(eligible[i], counters_[eligible[i]].value + 1, 0);
+    }
+    drain_fired();
+  }
+
+  Fate fate = apply_faults(pkt, dir, cls.filter, src, dst);
+
+  Duration cost{};
+  if (params_.charge_costs) {
+    cost = params_.cost_base +
+           Duration{static_cast<i64>(cls.tuples_compared) *
+                    params_.cost_per_tuple.ns} +
+           Duration{static_cast<i64>(actions_this_packet_) *
+                    params_.cost_per_action.ns};
+  }
+  if (fate == Fate::kRelease) {
+    release(std::move(pkt), dir, cost);
+  }
+  // kConsumed: nothing.  kDiverted: the fault owns re-injection.
+}
+
+void EngineLayer::release(net::Packet pkt, net::Direction dir, Duration cost) {
+  if (cost.ns <= 0) {
+    release_now(std::move(pkt), dir);
+    return;
+  }
+  // Processing cost is latency only — packets of one direction never
+  // overtake each other inside the engine.
+  std::size_t d = static_cast<std::size_t>(dir);
+  TimePoint at = std::max(sim_.now() + cost, last_release_[d]);
+  last_release_[d] = at;
+  auto shared = std::make_shared<net::Packet>(std::move(pkt));
+  sim_.at(at, [this, shared, dir] { release_now(std::move(*shared), dir); });
+}
+
+void EngineLayer::release_now(net::Packet&& pkt, net::Direction dir) {
+  if (dir == net::Direction::kSend) {
+    pass_down(std::move(pkt));
+  } else {
+    pass_up(std::move(pkt));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4(b) cascade
+
+void EngineLayer::set_counter(CounterId id, i64 value, int depth) {
+  if (depth > static_cast<int>(params_.max_cascade_depth)) {
+    ++stats_.cascade_overflows;
+    if (context_ != nullptr) {
+      context_->on_error({sim_.now(), self_, kInvalidId});
+    }
+    VWIRE_ERROR() << "engine cascade depth exceeded (rule loop?)";
+    return;
+  }
+  counters_[id].value = value;
+  ++stats_.counter_updates;
+  touch_counter(id, depth);
+}
+
+void EngineLayer::touch_counter(CounterId id, int depth) {
+  const CounterEntry& e = tables_.counters.entries[id];
+  // Mirror the new value to remote term-evaluating nodes (paper §5.2).
+  for (NodeId n : e.notify_nodes) {
+    send_control(n, control::make_counter_update(id, counters_[id].value));
+  }
+  // Re-evaluate local terms.
+  for (TermId t : e.terms) {
+    if (tables_.terms.entries[t].eval_node == self_) {
+      eval_term(t, depth + 1);
+    }
+  }
+}
+
+void EngineLayer::eval_term(TermId id, int depth) {
+  const TermEntry& e = tables_.terms.entries[id];
+  auto value = [this](const Operand& o) {
+    return o.is_counter ? counters_[o.counter].value : o.constant;
+  };
+  bool s = eval_rel(e.op, value(e.lhs), value(e.rhs));
+  ++stats_.terms_evaluated;
+  if (static_cast<bool>(term_state_[id]) == s) return;
+  term_state_[id] = s ? 1 : 0;
+  // Status change: tell remote condition evaluators (paper: "a term status
+  // is conveyed only in case of a change in its status").
+  for (NodeId n : e.notify_nodes) {
+    send_control(n, control::make_term_status(id, s));
+  }
+  for (CondId c : e.conds) {
+    const CondEntry& cond = tables_.conditions.entries[c];
+    for (NodeId n : cond.eval_nodes) {
+      if (n == self_) {
+        eval_condition(c, depth + 1);
+        break;
+      }
+    }
+  }
+}
+
+void EngineLayer::eval_condition(CondId id, int depth) {
+  (void)depth;  // kept for symmetry with the rest of the cascade
+  const CondEntry& e = tables_.conditions.entries[id];
+  // Only evaluate where one of the condition's actions lives.
+  bool ours = false;
+  for (NodeId n : e.eval_nodes) ours = ours || n == self_;
+  if (!ours) return;
+
+  ++stats_.conditions_evaluated;
+  // Postfix evaluation over term states.
+  bool stack[32];
+  int sp = 0;
+  for (const CondInstr& in : e.postfix) {
+    switch (in.op) {
+      case BoolOp::kTrue:
+        stack[sp++] = true;
+        break;
+      case BoolOp::kTerm:
+        stack[sp++] = term_state_[in.term] != 0;
+        break;
+      case BoolOp::kNot:
+        stack[sp - 1] = !stack[sp - 1];
+        break;
+      case BoolOp::kAnd:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] && stack[sp];
+        break;
+      case BoolOp::kOr:
+        --sp;
+        stack[sp - 1] = stack[sp - 1] || stack[sp];
+        break;
+    }
+  }
+  bool now = sp > 0 && stack[0];
+  bool before = cond_state_[id] != 0;
+  cond_state_[id] = now ? 1 : 0;
+  if (now && !before) {
+    fired_.push_back(id);  // rising edge: queue the rule (two-phase firing)
+    // A fresh edge re-arms any completed REORDER windows of this rule.
+    for (ActionId a : e.actions) {
+      if (tables_.actions.entries[a].kind == ActionKind::kReorder) {
+        reorder_done_.erase(a);
+      }
+    }
+  }
+}
+
+void EngineLayer::drain_fired() {
+  if (draining_) return;  // the outermost drain owns the queue
+  draining_ = true;
+  std::size_t rounds = 0;
+  while (!fired_.empty()) {
+    if (++rounds > static_cast<std::size_t>(params_.max_cascade_depth) * 16) {
+      ++stats_.cascade_overflows;
+      if (context_ != nullptr) {
+        context_->on_error({sim_.now(), self_, kInvalidId});
+      }
+      VWIRE_ERROR() << "engine rule-firing loop exceeded bound";
+      fired_.clear();
+      break;
+    }
+    CondId c = fired_.front();
+    fired_.pop_front();
+    fire_actions(c);
+  }
+  draining_ = false;
+}
+
+void EngineLayer::fire_actions(CondId id) {
+  for (ActionId a : tables_.conditions.entries[id].actions) {
+    const ActionEntry& e = tables_.actions.entries[a];
+    if (e.exec_node != self_) continue;  // that node fires it itself
+    if (is_packet_fault(e.kind)) continue;  // level-triggered on packets
+    exec_immediate(a, id);
+  }
+}
+
+void EngineLayer::exec_immediate(ActionId id, CondId cond) {
+  const int depth = 0;
+  const ActionEntry& e = tables_.actions.entries[id];
+  ++stats_.actions_executed;
+  ++actions_this_packet_;
+  switch (e.kind) {
+    case ActionKind::kAssignCntr:
+      counters_[e.counter].enabled = true;
+      set_counter(e.counter, e.value, depth + 1);
+      return;
+    case ActionKind::kEnableCntr:
+      counters_[e.counter].enabled = true;
+      return;
+    case ActionKind::kDisableCntr:
+      counters_[e.counter].enabled = false;
+      return;
+    case ActionKind::kIncrCntr:
+      set_counter(e.counter, counters_[e.counter].value + e.value, depth + 1);
+      return;
+    case ActionKind::kDecrCntr:
+      set_counter(e.counter, counters_[e.counter].value - e.value, depth + 1);
+      return;
+    case ActionKind::kResetCntr:
+      set_counter(e.counter, 0, depth + 1);
+      return;
+    case ActionKind::kSetCurtime:
+      set_counter(e.counter, sim_.now().ns / 1'000'000, depth + 1);  // ms
+      return;
+    case ActionKind::kElapsedTime:
+      set_counter(e.counter,
+                  sim_.now().ns / 1'000'000 - counters_[e.counter].value,
+                  depth + 1);
+      return;
+    case ActionKind::kFail:
+      VWIRE_INFO() << "FAIL(" << tables_.nodes.entries[e.fail_node].name
+                   << ") at " << sim_.now().seconds() << "s";
+      if (node_ != nullptr) node_->fail();
+      return;
+    case ActionKind::kStop:
+      if (context_ != nullptr) context_->on_stop(self_, sim_.now());
+      if (controller_ != kInvalidId) {
+        send_control(controller_, control::make_stopped(self_));
+      }
+      return;
+    case ActionKind::kFlagError:
+      VWIRE_WARN() << "FLAG_ERROR on node "
+                   << (self_ < tables_.nodes.entries.size()
+                           ? tables_.nodes.entries[self_].name
+                           : "?")
+                   << " (condition " << cond << ") at "
+                   << sim_.now().seconds() << "s";
+      if (context_ != nullptr) context_->on_error({sim_.now(), self_, cond});
+      if (controller_ != kInvalidId) {
+        send_control(controller_, control::make_error(self_, sim_.now(), cond));
+      }
+      return;
+    default:
+      return;  // packet faults handled on the packet path
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+
+void EngineLayer::send_control(NodeId to, const control::ControlMessage& msg) {
+  if (control_ == nullptr || to >= tables_.nodes.entries.size()) return;
+  if (to == self_) {
+    // Local shortcut: the paper's engine also consumes its own updates
+    // without a wire hop.
+    ++stats_.control_tx;
+    handle_control(node_->mac(), control::encode(msg));
+    return;
+  }
+  ++stats_.control_tx;
+  control_->send_to(tables_.nodes.entries[to].mac, control::encode(msg));
+}
+
+void EngineLayer::handle_control(const net::MacAddress& /*from*/,
+                                 BytesView payload) {
+  auto msg = control::decode(payload);
+  if (!msg) return;
+  ++stats_.control_rx;
+  switch (msg->type) {
+    case control::MsgType::kCounterUpdate: {
+      const auto& m = std::get<control::CounterUpdateMsg>(msg->body);
+      if (m.counter >= counters_.size()) return;
+      counters_[m.counter].value = m.value;
+      if (context_ != nullptr) context_->note_activity(sim_.now());
+      // Mirrored counters only drive local term evaluation; they are not
+      // re-broadcast (their home does that).
+      for (TermId t : tables_.counters.entries[m.counter].terms) {
+        if (tables_.terms.entries[t].eval_node == self_) eval_term(t, 0);
+      }
+      drain_fired();
+      return;
+    }
+    case control::MsgType::kTermStatus: {
+      const auto& m = std::get<control::TermStatusMsg>(msg->body);
+      if (m.term >= term_state_.size()) return;
+      if (static_cast<bool>(term_state_[m.term]) == m.state) return;
+      term_state_[m.term] = m.state ? 1 : 0;
+      if (context_ != nullptr) context_->note_activity(sim_.now());
+      for (CondId c : tables_.terms.entries[m.term].conds) {
+        eval_condition(c, 0);
+      }
+      drain_fired();
+      return;
+    }
+    default:
+      return;  // kInit/kStart are routed by the runner, not here
+  }
+}
+
+}  // namespace vwire::core

@@ -1,0 +1,233 @@
+// The Fault Injection Engine / Fault Analysis Engine (paper §3.3, §5.2).
+//
+// One EngineLayer per node implements both the FIE and the FAE — the paper
+// notes they share the same mechanism ("the basic mechanism of flagging
+// errors is based on the same idea of counting events").  Inserted between
+// the driver (plus RLL and control agent) and the IP stack, it runs the
+// control flow of Fig 4(b) for every packet:
+//
+//   classify → update counters → evaluate terms → evaluate conditions →
+//   trigger actions (faults consume/divert the packet, counter updates
+//   release it)
+//
+// Distributed state (paper §5.2): counters mirror to the nodes that
+// evaluate terms over them; term status mirrors to the nodes that evaluate
+// dependent conditions; conditions are evaluated at the nodes where their
+// actions execute.  All mirroring rides the control plane, so it takes
+// real (simulated) wire time — exactly the deployment the paper describes.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "vwire/core/control/agent.hpp"
+#include "vwire/core/control/messages.hpp"
+#include "vwire/core/engine/classifier.hpp"
+#include "vwire/sim/timer.hpp"
+
+namespace vwire::core {
+
+struct EngineParams {
+  /// Simulated per-packet processing charges; see DESIGN.md §5
+  /// (calibration).  These stand in for the Pentium-4 CPU time the paper
+  /// measures in Fig 8 and scale linearly with classification work.
+  Duration cost_base{nanos(150)};
+  Duration cost_per_tuple{nanos(30)};
+  Duration cost_per_action{nanos(50)};
+  bool charge_costs{true};
+
+  /// The DELAY primitive quantizes upward to this tick — the paper's
+  /// "granularity of delay can be no less than a jiffy, i.e. 10 ms".
+  Duration delay_quantum{sim::kJiffy};
+
+  u64 seed{0x7ee1};  ///< randomness for MODIFY's default perturbation
+  u32 max_cascade_depth{64};
+};
+
+struct EngineStats {
+  u64 packets_seen{0};
+  u64 packets_matched{0};
+  u64 counter_updates{0};
+  u64 terms_evaluated{0};
+  u64 conditions_evaluated{0};
+  u64 actions_executed{0};
+  u64 drops{0};
+  u64 delays{0};
+  u64 dups{0};
+  u64 modifies{0};
+  u64 reorders_held{0};
+  u64 reorders_released{0};
+  u64 control_tx{0};
+  u64 control_rx{0};
+  u64 cascade_overflows{0};
+};
+
+struct ScenarioError {
+  TimePoint at;
+  NodeId node{kInvalidId};
+  CondId cond{kInvalidId};
+};
+
+/// Shared run bookkeeping: engines report stops, errors and activity; the
+/// runner polls it.  (In the paper these travel as control messages to the
+/// control node — ours are sent too; the context is the runner's
+/// authoritative, race-free copy.)
+class ScenarioContext {
+ public:
+  void note_activity(TimePoint t) {
+    if (t > last_activity_) last_activity_ = t;
+  }
+  TimePoint last_activity() const { return last_activity_; }
+
+  void on_stop(NodeId node, TimePoint t) {
+    if (!stopped_) {
+      stopped_ = true;
+      stop_node_ = node;
+      stop_time_ = t;
+    }
+  }
+  bool stopped() const { return stopped_; }
+  NodeId stop_node() const { return stop_node_; }
+  TimePoint stop_time() const { return stop_time_; }
+
+  void on_error(ScenarioError e) { errors_.push_back(e); }
+  const std::vector<ScenarioError>& errors() const { return errors_; }
+
+  void reset() {
+    last_activity_ = {};
+    stopped_ = false;
+    stop_node_ = kInvalidId;
+    errors_.clear();
+  }
+
+ private:
+  TimePoint last_activity_{};
+  bool stopped_{false};
+  NodeId stop_node_{kInvalidId};
+  TimePoint stop_time_{};
+  std::vector<ScenarioError> errors_;
+};
+
+class EngineLayer final : public host::Layer {
+ public:
+  EngineLayer(sim::Simulator& sim, EngineParams params = {});
+  ~EngineLayer() override;
+
+  std::string_view name() const override { return "vwire"; }
+
+  // --- wiring (done by the Testbed / ScenarioRunner) ----------------------
+  void set_control(control::ControlAgent* agent) { control_ = agent; }
+  void set_context(ScenarioContext* ctx) { context_ = ctx; }
+
+  /// Installs a table set (normally deserialized from an INIT message) and
+  /// resolves this node's identity by MAC.  A node absent from the table
+  /// becomes a transparent bystander.
+  void load(TableSet tables);
+
+  /// Begins the scenario: performs the initial condition sweep, so (TRUE)
+  /// rules fire (the idiom the paper's Fig 5 uses for initialization).
+  void start(NodeId controller_node);
+
+  /// Clears all run-time state (between scenarios).
+  void reset();
+  bool loaded() const { return loaded_; }
+  bool running() const { return running_; }
+
+  // --- chain ----------------------------------------------------------------
+  void send_down(net::Packet pkt) override;
+  void receive_up(net::Packet pkt) override;
+
+  // --- control-plane inputs ---------------------------------------------------
+  void handle_control(const net::MacAddress& from, BytesView payload);
+
+  // --- introspection (FAE reporting, tests) -----------------------------------
+  i64 counter_value(CounterId id) const;
+  bool counter_enabled(CounterId id) const;
+  bool term_state(TermId id) const;
+  bool condition_state(CondId id) const;
+  const EngineStats& stats() const { return stats_; }
+  const TableSet& tables() const { return tables_; }
+  NodeId self() const { return self_; }
+
+ private:
+  struct CounterState {
+    i64 value{0};
+    bool enabled{false};
+  };
+
+  /// How a fault disposed of the packet in flight.
+  enum class Fate : u8 { kRelease, kConsumed, kDiverted };
+
+  void process(net::Packet pkt, net::Direction dir);
+  void release(net::Packet pkt, net::Direction dir, Duration cost);
+  void release_now(net::Packet&& pkt, net::Direction dir);
+
+  // Fig 4(b) cascade.  Rule firing is two-phase: condition evaluation
+  // happens against the state of the triggering event and rising edges are
+  // QUEUED; actions execute afterwards (drain_fired).  This matters when
+  // one rule's action (e.g. RESET_CNTR) would immediately falsify a sibling
+  // condition that was true at event time — the paper's Fig 6 script fires
+  // FAIL+RESET and STOP off the same counter value.
+  void set_counter(CounterId id, i64 value, int depth);
+  void touch_counter(CounterId id, int depth);  ///< cascade after a change
+  void eval_term(TermId id, int depth);
+  void eval_condition(CondId id, int depth);
+  void drain_fired();
+  void fire_actions(CondId id);
+  void exec_immediate(ActionId id, CondId cond);
+
+  // Fault application; implemented in actions.cpp.
+  Fate apply_faults(net::Packet& pkt, net::Direction dir, FilterId filter,
+                    NodeId src, NodeId dst);
+  Fate apply_one(const ActionEntry& a, ActionId id, net::Packet& pkt,
+                 net::Direction dir);
+
+  void send_control(NodeId to, const control::ControlMessage& msg);
+
+  bool is_transport_frame(const net::Packet& pkt) const;
+
+  sim::Simulator& sim_;
+  EngineParams params_;
+  control::ControlAgent* control_{nullptr};
+  ScenarioContext* context_{nullptr};
+
+  TableSet tables_;
+  std::unique_ptr<Classifier> classifier_;
+  std::unique_ptr<VarStore> vars_;
+  bool loaded_{false};
+  bool running_{false};
+  NodeId self_{kInvalidId};
+  NodeId controller_{kInvalidId};
+
+  std::vector<CounterState> counters_;
+  std::vector<char> term_state_;
+  std::vector<char> cond_state_;
+
+  // Precomputed per-node indices.
+  std::vector<std::vector<CounterId>> counters_by_filter_;  ///< home==self
+  std::vector<ActionId> local_fault_actions_;  ///< packet faults, exec==self
+  std::vector<CondId> action_cond_;            ///< owning condition per action
+
+  // REORDER buffers, keyed by action id.  A REORDER collects one window of
+  // packets per rising edge of its condition, releases them in the scripted
+  // permutation, and is done until the condition re-arms.
+  std::unordered_map<ActionId, std::vector<net::Packet>> reorder_buf_;
+  std::unordered_map<ActionId, net::Direction> reorder_dir_;
+  std::unordered_map<ActionId, bool> reorder_done_;
+
+  // Per-direction release ordering guard: costs are latency, never
+  // reordering.
+  TimePoint last_release_[2] = {};
+
+  // Cost accounting for the packet currently being processed.
+  std::size_t actions_this_packet_{0};
+
+  // Two-phase rule firing (see above).
+  std::deque<CondId> fired_;
+  bool draining_{false};
+
+  Rng rng_;
+  EngineStats stats_;
+};
+
+}  // namespace vwire::core

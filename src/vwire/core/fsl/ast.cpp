@@ -1,0 +1,80 @@
+// AST pretty-printing, used by diagnostics and parser tests.
+#include "vwire/core/fsl/ast.hpp"
+
+#include <sstream>
+
+namespace vwire::fsl {
+
+namespace {
+
+void dump_cond(const AstCond& c, std::ostream& os) {
+  switch (c.kind) {
+    case AstCond::Kind::kTrue:
+      os << "TRUE";
+      return;
+    case AstCond::Kind::kTerm:
+      if (c.term.lhs.is_int) {
+        os << c.term.lhs.value;
+      } else {
+        os << c.term.lhs.name;
+      }
+      os << ' ' << core::to_string(c.term.op) << ' ';
+      if (c.term.rhs.is_int) {
+        os << c.term.rhs.value;
+      } else {
+        os << c.term.rhs.name;
+      }
+      return;
+    case AstCond::Kind::kAnd:
+      os << '(';
+      dump_cond(*c.a, os);
+      os << ") && (";
+      dump_cond(*c.b, os);
+      os << ')';
+      return;
+    case AstCond::Kind::kOr:
+      os << '(';
+      dump_cond(*c.a, os);
+      os << ") || (";
+      dump_cond(*c.b, os);
+      os << ')';
+      return;
+    case AstCond::Kind::kNot:
+      os << "!(";
+      dump_cond(*c.a, os);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string dump(const AstCond& cond) {
+  std::ostringstream os;
+  dump_cond(cond, os);
+  return os.str();
+}
+
+std::string dump(const AstScript& script) {
+  std::ostringstream os;
+  os << "vars: " << script.vars.size() << ", filters: "
+     << script.filters.size() << ", nodes: " << script.nodes.size()
+     << ", scenarios: " << script.scenarios.size() << '\n';
+  for (const auto& sc : script.scenarios) {
+    os << "scenario " << sc.name << ": " << sc.counters.size()
+       << " counters, " << sc.rules.size() << " rules\n";
+    for (const auto& r : sc.rules) {
+      os << "  (";
+      dump_cond(r.cond, os);
+      os << ") >> ";
+      for (std::size_t i = 0; i < r.actions.size(); ++i) {
+        if (i) os << "; ";
+        os << r.actions[i].name << "/" << r.actions[i].args.size();
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vwire::fsl

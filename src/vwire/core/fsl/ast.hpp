@@ -1,0 +1,117 @@
+// FSL abstract syntax tree.
+//
+// The parser produces this name-based representation; the compiler resolves
+// names and emits the six run-time tables.  Keeping the stages separate
+// gives tests direct access to both and makes diagnostics precise.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vwire/core/fsl/diagnostics.hpp"
+#include "vwire/core/tables/tables.hpp"
+
+namespace vwire::fsl {
+
+struct AstFilterTuple {
+  SourceLoc loc;
+  u16 offset{0};
+  u16 length{0};
+  std::optional<u64> mask;     ///< absent in the 3-element form
+  std::optional<u64> pattern;  ///< absent when `var` names a VAR
+  std::string var;
+};
+
+struct AstFilter {
+  SourceLoc loc;
+  std::string name;
+  std::vector<AstFilterTuple> tuples;
+};
+
+struct AstNodeDef {
+  SourceLoc loc;
+  std::string name;
+  std::string mac;
+  std::string ip;
+};
+
+struct AstCounterDecl {
+  SourceLoc loc;
+  std::string name;
+  bool is_local{false};
+  // Event form: (pkt_type, src, dst, SEND|RECV).
+  std::string pkt_type;
+  std::string src_node;
+  std::string dst_node;
+  net::Direction dir{net::Direction::kRecv};
+  // Local form: (node).
+  std::string node;
+};
+
+struct AstOperand {
+  SourceLoc loc;
+  bool is_int{false};
+  i64 value{0};
+  std::string name;  ///< counter name when !is_int
+};
+
+struct AstTerm {
+  AstOperand lhs;
+  core::RelOp op{core::RelOp::kEq};
+  AstOperand rhs;
+};
+
+/// Condition expression tree.
+struct AstCond {
+  enum class Kind : u8 { kTrue, kTerm, kAnd, kOr, kNot };
+  Kind kind{Kind::kTrue};
+  SourceLoc loc;
+  AstTerm term;  ///< kTerm
+  std::unique_ptr<AstCond> a, b;
+};
+
+/// A generic action argument; the compiler type-checks per action.
+struct AstArg {
+  enum class Kind : u8 { kIdent, kInt, kDuration, kTuple };
+  Kind kind{Kind::kIdent};
+  SourceLoc loc;
+  std::string ident;
+  i64 value{0};
+  Duration duration{};
+  std::vector<u64> tuple;  ///< "(off len [mask] value)" for MODIFY
+};
+
+struct AstAction {
+  SourceLoc loc;
+  std::string name;
+  std::vector<AstArg> args;
+};
+
+struct AstRule {
+  SourceLoc loc;
+  AstCond cond;
+  std::vector<AstAction> actions;
+};
+
+struct AstScenario {
+  SourceLoc loc;
+  std::string name;
+  std::optional<Duration> timeout;
+  std::vector<AstCounterDecl> counters;
+  std::vector<AstRule> rules;
+};
+
+struct AstScript {
+  std::vector<std::string> vars;
+  std::vector<AstFilter> filters;
+  std::vector<AstNodeDef> nodes;
+  std::vector<AstScenario> scenarios;
+};
+
+/// Debug renderings used by tests and error reports.
+std::string dump(const AstCond& cond);
+std::string dump(const AstScript& script);
+
+}  // namespace vwire::fsl

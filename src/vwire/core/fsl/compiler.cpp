@@ -1,0 +1,499 @@
+#include "vwire/core/fsl/compiler.hpp"
+
+#include <algorithm>
+
+#include "vwire/core/fsl/parser.hpp"
+
+namespace vwire::fsl {
+
+namespace {
+
+using core::ActionEntry;
+using core::ActionKind;
+using core::CondEntry;
+using core::CondInstr;
+using core::CounterEntry;
+using core::CounterId;
+using core::kInvalidId;
+using core::NodeId;
+using core::TableSet;
+using core::TermEntry;
+using core::TermId;
+
+template <typename T>
+void add_unique(std::vector<T>& v, T x) {
+  if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+}
+
+core::RelOp flip(core::RelOp op) {
+  switch (op) {
+    case core::RelOp::kGt: return core::RelOp::kLt;
+    case core::RelOp::kLt: return core::RelOp::kGt;
+    case core::RelOp::kGe: return core::RelOp::kLe;
+    case core::RelOp::kLe: return core::RelOp::kGe;
+    default: return op;  // = and != are symmetric
+  }
+}
+
+class Compiler {
+ public:
+  Compiler(const AstScript& script, const CompileOptions& opts)
+      : script_(script), opts_(opts) {}
+
+  TableSet run() {
+    compile_filters();
+    compile_nodes();
+    const AstScenario& sc = pick_scenario();
+    out_.scenario_name = sc.name;
+    out_.inactivity_timeout = sc.timeout.value_or(Duration{});
+    compile_counters(sc);
+    for (const AstRule& rule : sc.rules) compile_rule(rule);
+    wire_dependencies();
+    return std::move(out_);
+  }
+
+ private:
+  [[noreturn]] void fail(SourceLoc loc, const std::string& msg) const {
+    throw ParseError(loc, msg);
+  }
+
+  // --- filters and nodes ---------------------------------------------------
+
+  void compile_filters() {
+    out_.filters.var_names = script_.vars;
+    for (const AstFilter& f : script_.filters) {
+      if (out_.filters.find(f.name) != kInvalidId) {
+        fail(f.loc, "duplicate packet type '" + f.name + "'");
+      }
+      core::FilterEntry e;
+      e.name = f.name;
+      for (const AstFilterTuple& t : f.tuples) {
+        core::FilterTuple tp;
+        if (t.length < 1 || t.length > 8) {
+          fail(t.loc, "filter tuple length must be 1..8 bytes");
+        }
+        tp.offset = t.offset;
+        tp.length = t.length;
+        u64 cap = t.length >= 8 ? ~0ull : ((1ull << (8 * t.length)) - 1);
+        tp.mask = t.mask.value_or(cap);
+        if (tp.mask > cap) {
+          fail(t.loc, "mask wider than the tuple's byte count");
+        }
+        if (!t.var.empty()) {
+          auto it = std::find(script_.vars.begin(), script_.vars.end(), t.var);
+          if (it == script_.vars.end()) {
+            fail(t.loc, "unknown VAR '" + t.var + "' in filter tuple");
+          }
+          tp.var = static_cast<u16>(it - script_.vars.begin());
+        } else {
+          tp.pattern = t.pattern.value_or(0);
+          if (tp.pattern > cap) {
+            fail(t.loc, "pattern wider than the tuple's byte count");
+          }
+        }
+        e.tuples.push_back(tp);
+      }
+      out_.filters.entries.push_back(std::move(e));
+    }
+  }
+
+  void compile_nodes() {
+    for (const AstNodeDef& n : script_.nodes) {
+      if (out_.nodes.find(n.name) != kInvalidId) {
+        fail(n.loc, "duplicate node '" + n.name + "'");
+      }
+      auto mac = net::MacAddress::parse(n.mac);
+      if (!mac) fail(n.loc, "malformed MAC address '" + n.mac + "'");
+      auto ip = net::Ipv4Address::parse(n.ip);
+      if (!ip) fail(n.loc, "malformed IP address '" + n.ip + "'");
+      out_.nodes.entries.push_back({n.name, *mac, *ip});
+    }
+  }
+
+  const AstScenario& pick_scenario() const {
+    if (script_.scenarios.empty()) {
+      fail(SourceLoc{1, 1}, "script contains no SCENARIO");
+    }
+    if (opts_.scenario.empty()) return script_.scenarios.front();
+    for (const auto& sc : script_.scenarios) {
+      if (sc.name == opts_.scenario) return sc;
+    }
+    fail(SourceLoc{1, 1}, "no scenario named '" + opts_.scenario + "'");
+  }
+
+  // --- name resolution helpers ----------------------------------------------
+
+  NodeId node_ref(SourceLoc loc, const std::string& name) const {
+    NodeId id = out_.nodes.find(name);
+    if (id == kInvalidId) fail(loc, "unknown node '" + name + "'");
+    return id;
+  }
+
+  core::FilterId filter_ref(SourceLoc loc, const std::string& name) const {
+    core::FilterId id = out_.filters.find(name);
+    if (id == kInvalidId) fail(loc, "unknown packet type '" + name + "'");
+    return id;
+  }
+
+  CounterId counter_ref(SourceLoc loc, const std::string& name) const {
+    CounterId id = out_.counters.find(name);
+    if (id == kInvalidId) fail(loc, "unknown counter '" + name + "'");
+    return id;
+  }
+
+  // --- counters --------------------------------------------------------------
+
+  void compile_counters(const AstScenario& sc) {
+    for (const AstCounterDecl& d : sc.counters) {
+      if (out_.counters.find(d.name) != kInvalidId) {
+        fail(d.loc, "duplicate counter '" + d.name + "'");
+      }
+      CounterEntry c;
+      c.name = d.name;
+      if (d.is_local) {
+        c.kind = core::CounterKind::kLocal;
+        c.home = node_ref(d.loc, d.node);
+      } else {
+        c.kind = core::CounterKind::kEvent;
+        c.filter = filter_ref(d.loc, d.pkt_type);
+        c.src_node = node_ref(d.loc, d.src_node);
+        c.dst_node = node_ref(d.loc, d.dst_node);
+        c.dir = d.dir;
+        // SEND events are observable at the source, RECV at the destination.
+        c.home = d.dir == net::Direction::kSend ? c.src_node : c.dst_node;
+      }
+      out_.counters.entries.push_back(std::move(c));
+    }
+  }
+
+  // --- conditions -------------------------------------------------------------
+
+  /// Emits (and dedupes) a term; returns its id.
+  TermId term_ref(const AstTerm& ast, SourceLoc loc) {
+    core::Operand lhs = operand(ast.lhs);
+    core::Operand rhs = operand(ast.rhs);
+    core::RelOp op = ast.op;
+    if (!lhs.is_counter && rhs.is_counter) {
+      std::swap(lhs, rhs);
+      op = flip(op);
+    }
+    if (!lhs.is_counter) {
+      fail(loc, "a term must reference at least one counter");
+    }
+    for (std::size_t i = 0; i < out_.terms.entries.size(); ++i) {
+      const TermEntry& e = out_.terms.entries[i];
+      if (e.op == op && e.lhs.is_counter == lhs.is_counter &&
+          e.lhs.counter == lhs.counter && e.lhs.constant == lhs.constant &&
+          e.rhs.is_counter == rhs.is_counter && e.rhs.counter == rhs.counter &&
+          e.rhs.constant == rhs.constant) {
+        return static_cast<TermId>(i);
+      }
+    }
+    TermEntry e;
+    e.lhs = lhs;
+    e.op = op;
+    e.rhs = rhs;
+    e.eval_node = out_.counters.entries[lhs.counter].home;
+    out_.terms.entries.push_back(e);
+    return static_cast<TermId>(out_.terms.entries.size() - 1);
+  }
+
+  core::Operand operand(const AstOperand& o) {
+    core::Operand out;
+    if (o.is_int) {
+      out.is_counter = false;
+      out.constant = o.value;
+    } else {
+      out.is_counter = true;
+      out.counter = counter_ref(o.loc, o.name);
+    }
+    return out;
+  }
+
+  void emit_postfix(const AstCond& c, std::vector<CondInstr>& out) {
+    switch (c.kind) {
+      case AstCond::Kind::kTrue:
+        out.push_back({core::BoolOp::kTrue, kInvalidId});
+        return;
+      case AstCond::Kind::kTerm:
+        out.push_back({core::BoolOp::kTerm, term_ref(c.term, c.loc)});
+        return;
+      case AstCond::Kind::kAnd:
+        emit_postfix(*c.a, out);
+        emit_postfix(*c.b, out);
+        out.push_back({core::BoolOp::kAnd, kInvalidId});
+        return;
+      case AstCond::Kind::kOr:
+        emit_postfix(*c.a, out);
+        emit_postfix(*c.b, out);
+        out.push_back({core::BoolOp::kOr, kInvalidId});
+        return;
+      case AstCond::Kind::kNot:
+        emit_postfix(*c.a, out);
+        out.push_back({core::BoolOp::kNot, kInvalidId});
+        return;
+    }
+  }
+
+  void compile_rule(const AstRule& rule) {
+    CondEntry cond;
+    emit_postfix(rule.cond, cond.postfix);
+
+    // The anchor node hosts actions with no natural location (STOP,
+    // FLAG_ERROR): the eval node of the condition's first term, or node 0
+    // for a (TRUE) rule.
+    NodeId anchor = 0;
+    for (const CondInstr& in : cond.postfix) {
+      if (in.op == core::BoolOp::kTerm) {
+        anchor = out_.terms.entries[in.term].eval_node;
+        break;
+      }
+    }
+
+    for (const AstAction& a : rule.actions) {
+      core::ActionId id = compile_action(a, anchor);
+      cond.actions.push_back(id);
+      add_unique(cond.eval_nodes, out_.actions.entries[id].exec_node);
+    }
+    out_.conditions.entries.push_back(std::move(cond));
+  }
+
+  // --- actions ---------------------------------------------------------------
+
+  const AstArg& arg(const AstAction& a, std::size_t i,
+                    AstArg::Kind want, const char* what) const {
+    if (i >= a.args.size()) {
+      fail(a.loc, a.name + ": missing argument " + std::to_string(i + 1) +
+                      " (" + what + ")");
+    }
+    const AstArg& g = a.args[i];
+    if (g.kind != want) {
+      fail(g.loc, a.name + ": argument " + std::to_string(i + 1) +
+                      " must be " + what);
+    }
+    return g;
+  }
+
+  void check_argc(const AstAction& a, std::size_t lo, std::size_t hi) const {
+    if (a.args.size() < lo || a.args.size() > hi) {
+      fail(a.loc, a.name + ": expected " + std::to_string(lo) +
+                      (hi == lo ? "" : ".." + std::to_string(hi)) +
+                      " arguments, got " + std::to_string(a.args.size()));
+    }
+  }
+
+  /// Parses the common (pkt_type, src, dst, SEND|RECV) prefix of faults.
+  void fault_prefix(const AstAction& a, ActionEntry& e) {
+    e.filter = filter_ref(a.loc, arg(a, 0, AstArg::Kind::kIdent,
+                                     "a packet type").ident);
+    e.src_node = node_ref(a.loc, arg(a, 1, AstArg::Kind::kIdent,
+                                     "the source node").ident);
+    e.dst_node = node_ref(a.loc, arg(a, 2, AstArg::Kind::kIdent,
+                                     "the destination node").ident);
+    const std::string& dir =
+        arg(a, 3, AstArg::Kind::kIdent, "SEND or RECV").ident;
+    if (dir == "SEND") {
+      e.dir = net::Direction::kSend;
+    } else if (dir == "RECV") {
+      e.dir = net::Direction::kRecv;
+    } else {
+      fail(a.loc, a.name + ": direction must be SEND or RECV");
+    }
+    // Faults intercept packets where they are observable.
+    e.exec_node = e.dir == net::Direction::kSend ? e.src_node : e.dst_node;
+  }
+
+  core::ActionId compile_action(const AstAction& a, NodeId anchor) {
+    ActionEntry e;
+    const std::string& n = a.name;
+
+    if (n == "DROP" || n == "DUP") {
+      check_argc(a, 4, 4);
+      e.kind = n == "DROP" ? ActionKind::kDrop : ActionKind::kDup;
+      fault_prefix(a, e);
+    } else if (n == "DELAY") {
+      check_argc(a, 5, 5);
+      e.kind = ActionKind::kDelay;
+      fault_prefix(a, e);
+      const AstArg& d = a.args[4];
+      if (d.kind == AstArg::Kind::kDuration) {
+        e.delay = d.duration;
+      } else if (d.kind == AstArg::Kind::kInt) {
+        e.delay = millis(d.value);  // bare integers are milliseconds
+      } else {
+        fail(d.loc, "DELAY: duration must be e.g. 50ms or an integer (ms)");
+      }
+      if (e.delay.ns <= 0) fail(d.loc, "DELAY: duration must be positive");
+    } else if (n == "REORDER") {
+      e.kind = ActionKind::kReorder;
+      if (a.args.size() < 5) {
+        fail(a.loc, "REORDER: expected (pkt, src, dst, DIR, #pkts [, order...])");
+      }
+      fault_prefix(a, e);
+      e.reorder_count = static_cast<u16>(
+          arg(a, 4, AstArg::Kind::kInt, "the packet count").value);
+      if (e.reorder_count < 2 || e.reorder_count > 64) {
+        fail(a.loc, "REORDER: #pkts must be 2..64");
+      }
+      if (a.args.size() > 5) {
+        for (std::size_t i = 5; i < a.args.size(); ++i) {
+          e.reorder_order.push_back(static_cast<u16>(
+              arg(a, i, AstArg::Kind::kInt, "an order index").value));
+        }
+      } else {
+        // Default release order: reversed.
+        for (u16 i = e.reorder_count; i >= 1; --i) e.reorder_order.push_back(i);
+      }
+      // Must be a permutation of 1..count.
+      auto sorted = e.reorder_order;
+      std::sort(sorted.begin(), sorted.end());
+      bool perm = sorted.size() == e.reorder_count;
+      for (u16 i = 0; perm && i < e.reorder_count; ++i) {
+        perm = sorted[i] == i + 1;
+      }
+      if (!perm) {
+        fail(a.loc, "REORDER: order must be a permutation of 1..#pkts");
+      }
+    } else if (n == "MODIFY") {
+      e.kind = ActionKind::kModify;
+      if (a.args.size() < 4) {
+        fail(a.loc, "MODIFY: expected (pkt, src, dst, DIR [, (off len val)...])");
+      }
+      fault_prefix(a, e);
+      for (std::size_t i = 4; i < a.args.size(); ++i) {
+        const AstArg& t = arg(a, i, AstArg::Kind::kTuple, "a byte tuple");
+        if (t.tuple.size() != 3 && t.tuple.size() != 4) {
+          fail(t.loc, "MODIFY tuple must be (offset len value) or "
+                      "(offset len mask value)");
+        }
+        u16 off = static_cast<u16>(t.tuple[0]);
+        u16 len = static_cast<u16>(t.tuple[1]);
+        if (len < 1 || len > 8) fail(t.loc, "MODIFY tuple length must be 1..8");
+        u64 mask = t.tuple.size() == 4 ? t.tuple[2] : ~0ull;
+        u64 value = t.tuple.back();
+        // Expand into per-byte rewrites, big-endian like filters.
+        for (u16 b = 0; b < len; ++b) {
+          int shift = 8 * (len - 1 - b);
+          u8 mb = static_cast<u8>(mask >> shift);
+          if (mb == 0) continue;
+          e.modify_bytes.push_back(
+              {static_cast<u16>(off + b), mb, static_cast<u8>(value >> shift)});
+        }
+      }
+    } else if (n == "FAIL") {
+      check_argc(a, 1, 1);
+      e.kind = ActionKind::kFail;
+      e.fail_node = node_ref(a.loc, arg(a, 0, AstArg::Kind::kIdent,
+                                        "the node to crash").ident);
+      e.exec_node = e.fail_node;
+    } else if (n == "STOP") {
+      check_argc(a, 0, 0);
+      e.kind = ActionKind::kStop;
+      e.exec_node = anchor;
+    } else if (n == "FLAG_ERROR" || n == "FLAG_ERR") {
+      check_argc(a, 0, 0);
+      e.kind = ActionKind::kFlagError;
+      e.exec_node = anchor;
+    } else {
+      // Counter primitives.
+      static const std::pair<const char*, ActionKind> kCounterOps[] = {
+          {"ASSIGN_CNTR", ActionKind::kAssignCntr},
+          {"ENABLE_CNTR", ActionKind::kEnableCntr},
+          {"DISABLE_CNTR", ActionKind::kDisableCntr},
+          {"INCR_CNTR", ActionKind::kIncrCntr},
+          {"DECR_CNTR", ActionKind::kDecrCntr},
+          {"RESET_CNTR", ActionKind::kResetCntr},
+          {"SET_CURTIME", ActionKind::kSetCurtime},
+          {"ELAPSED_TIME", ActionKind::kElapsedTime},
+      };
+      const ActionKind* kind = nullptr;
+      for (const auto& [name, k] : kCounterOps) {
+        if (n == name) {
+          kind = &k;
+          break;
+        }
+      }
+      if (kind == nullptr) fail(a.loc, "unknown action '" + n + "'");
+      e.kind = *kind;
+      e.counter = counter_ref(a.loc, arg(a, 0, AstArg::Kind::kIdent,
+                                         "a counter name").ident);
+      e.exec_node = out_.counters.entries[e.counter].home;
+      if (e.kind == ActionKind::kAssignCntr || e.kind == ActionKind::kIncrCntr ||
+          e.kind == ActionKind::kDecrCntr) {
+        check_argc(a, 1, 2);
+        if (a.args.size() == 2) {
+          e.value = arg(a, 1, AstArg::Kind::kInt, "an integer value").value;
+        } else {
+          // ASSIGN without a value zeroes; INCR/DECR default to 1.
+          e.value = e.kind == ActionKind::kAssignCntr ? 0 : 1;
+        }
+      } else {
+        check_argc(a, 1, 1);
+      }
+    }
+    out_.actions.entries.push_back(std::move(e));
+    return static_cast<core::ActionId>(out_.actions.entries.size() - 1);
+  }
+
+  // --- dependency wiring --------------------------------------------------------
+
+  void wire_dependencies() {
+    // counter → terms.
+    for (std::size_t t = 0; t < out_.terms.entries.size(); ++t) {
+      TermEntry& term = out_.terms.entries[t];
+      add_unique(out_.counters.entries[term.lhs.counter].terms,
+                 static_cast<TermId>(t));
+      if (term.rhs.is_counter) {
+        add_unique(out_.counters.entries[term.rhs.counter].terms,
+                   static_cast<TermId>(t));
+      }
+    }
+    // term → conditions.
+    for (std::size_t c = 0; c < out_.conditions.entries.size(); ++c) {
+      for (const CondInstr& in : out_.conditions.entries[c].postfix) {
+        if (in.op == core::BoolOp::kTerm) {
+          add_unique(out_.terms.entries[in.term].conds,
+                     static_cast<core::CondId>(c));
+        }
+      }
+    }
+    // term → nodes that need its status (condition evaluation sites).
+    for (TermEntry& term : out_.terms.entries) {
+      for (core::CondId c : term.conds) {
+        for (NodeId n : out_.conditions.entries[c].eval_nodes) {
+          if (n != term.eval_node) add_unique(term.notify_nodes, n);
+        }
+      }
+    }
+    // counter → nodes that need its value (remote term operands).
+    for (const TermEntry& term : out_.terms.entries) {
+      auto wire_operand = [&](const core::Operand& o) {
+        if (!o.is_counter) return;
+        CounterEntry& cnt = out_.counters.entries[o.counter];
+        if (cnt.home != term.eval_node) {
+          add_unique(cnt.notify_nodes, term.eval_node);
+        }
+      };
+      wire_operand(term.lhs);
+      wire_operand(term.rhs);
+    }
+  }
+
+  const AstScript& script_;
+  const CompileOptions& opts_;
+  TableSet out_;
+};
+
+}  // namespace
+
+core::TableSet compile(const AstScript& script, const CompileOptions& opts) {
+  return Compiler(script, opts).run();
+}
+
+core::TableSet compile_script(std::string_view source,
+                              const CompileOptions& opts) {
+  AstScript ast = parse_script(source);
+  return compile(ast, opts);
+}
+
+}  // namespace vwire::fsl

@@ -1,0 +1,25 @@
+// FSL compiler: AST → the six run-time tables.
+//
+// Resolves every name, normalizes terms (counter on the left), deduplicates
+// shared terms, chooses the node that owns each counter/term/action, and
+// precomputes the dependency fan-out the engines chase at run time
+// (paper §5.1, Fig 3).
+#pragma once
+
+#include "vwire/core/fsl/ast.hpp"
+
+namespace vwire::fsl {
+
+struct CompileOptions {
+  /// Scenario to compile; empty = the script's first scenario.
+  std::string scenario;
+};
+
+/// Compiles a parsed script; throws ParseError on semantic errors.
+core::TableSet compile(const AstScript& script, const CompileOptions& = {});
+
+/// Convenience: parse + compile in one step.
+core::TableSet compile_script(std::string_view source,
+                              const CompileOptions& = {});
+
+}  // namespace vwire::fsl

@@ -1,0 +1,14 @@
+#include "vwire/core/fsl/diagnostics.hpp"
+
+namespace vwire::fsl {
+
+std::string format_diagnostic(const Diagnostic& d) {
+  return std::to_string(d.loc.line) + ":" + std::to_string(d.loc.col) + ": " +
+         d.message;
+}
+
+ParseError::ParseError(SourceLoc loc, std::string message)
+    : std::runtime_error(format_diagnostic({loc, message})),
+      diag_{loc, std::move(message)} {}
+
+}  // namespace vwire::fsl

@@ -1,0 +1,36 @@
+// Source locations and compile errors for the Fault Specification Language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::fsl {
+
+struct SourceLoc {
+  u32 line{0};  ///< 1-based
+  u32 col{0};   ///< 1-based
+};
+
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+};
+
+std::string format_diagnostic(const Diagnostic& d);
+
+/// Thrown by the FSL lexer, parser and compiler on the first hard error;
+/// `what()` carries "line:col: message".
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(SourceLoc loc, std::string message);
+
+  const Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+}  // namespace vwire::fsl

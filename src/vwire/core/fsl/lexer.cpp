@@ -1,0 +1,275 @@
+#include "vwire/core/fsl/lexer.hpp"
+
+#include <cctype>
+
+#include "vwire/util/hex.hpp"
+
+namespace vwire::fsl {
+
+const char* to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kMac: return "MAC address";
+    case TokKind::kIp: return "IP address";
+    case TokKind::kDuration: return "duration";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kArrow: return "'>>'";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+    case TokKind::kNot: return "'!'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kEof: return "end of script";
+  }
+  return "?";
+}
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      Token t = next();
+      bool eof = t.kind == TokKind::kEof;
+      out.push_back(std::move(t));
+      if (eof) return out;
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  SourceLoc loc() const { return {line_, col_}; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(loc(), msg);
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<u8>(peek()))) {
+        advance();
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        SourceLoc start = loc();
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) {
+          advance();
+        }
+        if (pos_ >= src_.size()) throw ParseError(start, "unterminated comment");
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool is_hex_digit(char c) {
+    return std::isxdigit(static_cast<u8>(c)) != 0;
+  }
+
+  /// aa:bb:cc:dd:ee:ff starting at the current position?
+  bool looks_like_mac() const {
+    for (int group = 0; group < 6; ++group) {
+      std::size_t base = static_cast<std::size_t>(group) * 3;
+      if (!is_hex_digit(peek(base)) || !is_hex_digit(peek(base + 1))) {
+        return false;
+      }
+      if (group < 5 && peek(base + 2) != ':') return false;
+    }
+    // Must not be followed by more identifier-ish characters.
+    char after = peek(17);
+    return !(std::isalnum(static_cast<u8>(after)) || after == ':' ||
+             after == '_');
+  }
+
+  Token make(TokKind k, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.loc = tok_loc_;
+    return t;
+  }
+
+  Token lex_mac() {
+    std::string text;
+    for (int i = 0; i < 17; ++i) text.push_back(advance());
+    return make(TokKind::kMac, std::move(text));
+  }
+
+  Token lex_number_or_ip_or_duration() {
+    std::string digits;
+    while (std::isdigit(static_cast<u8>(peek()))) digits.push_back(advance());
+
+    if (peek() == '.') {
+      // Dotted-quad IP literal.
+      std::string text = digits;
+      for (int group = 0; group < 3; ++group) {
+        if (peek() != '.') fail("malformed IP literal");
+        text.push_back(advance());
+        if (!std::isdigit(static_cast<u8>(peek()))) {
+          fail("malformed IP literal");
+        }
+        while (std::isdigit(static_cast<u8>(peek()))) {
+          text.push_back(advance());
+        }
+      }
+      return make(TokKind::kIp, std::move(text));
+    }
+
+    if (std::isalpha(static_cast<u8>(peek()))) {
+      // Duration: 1sec / 500ms / 10us / 2min / 3s.
+      std::string unit;
+      while (std::isalpha(static_cast<u8>(peek()))) unit.push_back(advance());
+      auto v = parse_dec(digits);
+      if (!v) fail("bad number in duration");
+      Token t = make(TokKind::kDuration, digits + unit);
+      i64 n = static_cast<i64>(*v);
+      if (unit == "sec" || unit == "s") {
+        t.duration = seconds(n);
+      } else if (unit == "ms") {
+        t.duration = millis(n);
+      } else if (unit == "us") {
+        t.duration = micros(n);
+      } else if (unit == "min") {
+        t.duration = seconds(n * 60);
+      } else {
+        fail("unknown duration unit '" + unit + "'");
+      }
+      return t;
+    }
+
+    auto v = parse_dec(digits);
+    if (!v) fail("integer literal overflows");
+    Token t = make(TokKind::kInt, std::move(digits));
+    t.value = *v;
+    return t;
+  }
+
+  Token lex_hex() {
+    std::string text = "0x";
+    advance();  // 0
+    advance();  // x
+    while (is_hex_digit(peek())) text.push_back(advance());
+    auto v = parse_hex(text);
+    if (!v) fail("bad hex literal '" + text + "'");
+    Token t = make(TokKind::kInt, std::move(text));
+    t.value = *v;
+    t.is_hex = true;
+    return t;
+  }
+
+  Token lex_ident() {
+    std::string text;
+    while (std::isalnum(static_cast<u8>(peek())) || peek() == '_') {
+      text.push_back(advance());
+    }
+    return make(TokKind::kIdent, std::move(text));
+  }
+
+  Token next() {
+    tok_loc_ = loc();
+    if (pos_ >= src_.size()) return make(TokKind::kEof);
+
+    if (looks_like_mac()) return lex_mac();
+    char c = peek();
+    if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) return lex_hex();
+    if (std::isdigit(static_cast<u8>(c))) return lex_number_or_ip_or_duration();
+    if (std::isalpha(static_cast<u8>(c)) || c == '_') return lex_ident();
+
+    advance();
+    switch (c) {
+      case '(': return make(TokKind::kLParen);
+      case ')': return make(TokKind::kRParen);
+      case ',': return make(TokKind::kComma);
+      case ';': return make(TokKind::kSemi);
+      case ':': return make(TokKind::kColon);
+      case '>':
+        if (peek() == '>') {
+          advance();
+          return make(TokKind::kArrow);
+        }
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kGe);
+        }
+        return make(TokKind::kGt);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kLe);
+        }
+        return make(TokKind::kLt);
+      case '=':
+        if (peek() == '=') advance();  // '==' is an accepted spelling
+        return make(TokKind::kEq);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kNe);
+        }
+        return make(TokKind::kNot);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokKind::kAndAnd);
+        }
+        fail("stray '&' (did you mean '&&'?)");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokKind::kOrOr);
+        }
+        fail("stray '|' (did you mean '||'?)");
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_{0};
+  u32 line_{1};
+  u32 col_{1};
+  SourceLoc tok_loc_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Scanner(source).run();
+}
+
+}  // namespace vwire::fsl

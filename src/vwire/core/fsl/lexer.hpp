@@ -1,0 +1,54 @@
+// FSL lexer.
+//
+// Tokenizes the declarative scripting language of paper §4: identifiers,
+// decimal and hex integers, MAC literals (aa:bb:cc:dd:ee:ff), dotted-quad
+// IP literals, duration literals (1sec, 500ms), the rule arrow `>>`,
+// relational and boolean operators, and C-style comments.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "vwire/core/fsl/diagnostics.hpp"
+
+namespace vwire::fsl {
+
+enum class TokKind : u8 {
+  kIdent,
+  kInt,       ///< decimal or 0x-hex; value in `value`
+  kMac,       ///< text form kept in `text`
+  kIp,        ///< text form kept in `text`
+  kDuration,  ///< value in `duration`
+  kLParen,
+  kRParen,
+  kComma,
+  kSemi,
+  kColon,
+  kArrow,  ///< >>
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,  ///< = (FSL uses single '=' for equality; '==' also accepted)
+  kNe,  ///< !=
+  kEof,
+};
+
+const char* to_string(TokKind k);
+
+struct Token {
+  TokKind kind{TokKind::kEof};
+  std::string text;  ///< identifier / literal spelling
+  u64 value{0};      ///< kInt
+  bool is_hex{false};  ///< kInt written as 0x...
+  Duration duration{};
+  SourceLoc loc;
+};
+
+/// Tokenizes a full script; throws ParseError on bad characters/literals.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace vwire::fsl

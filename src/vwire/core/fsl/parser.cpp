@@ -1,0 +1,402 @@
+#include "vwire/core/fsl/parser.hpp"
+
+#include <unordered_set>
+
+namespace vwire::fsl {
+
+namespace {
+
+const std::unordered_set<std::string>& action_names() {
+  static const std::unordered_set<std::string> names = {
+      "DROP",        "DELAY",      "REORDER",      "DUP",
+      "MODIFY",      "FAIL",       "STOP",         "FLAG_ERROR",
+      "FLAG_ERR",    "ASSIGN_CNTR", "ENABLE_CNTR", "DISABLE_CNTR",
+      "INCR_CNTR",   "DECR_CNTR",  "RESET_CNTR",   "SET_CURTIME",
+      "ELAPSED_TIME"};
+  return names;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  AstScript run() {
+    AstScript script;
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == TokKind::kEof) return script;
+      if (t.kind != TokKind::kIdent) {
+        fail(t, "expected a top-level section (VAR, FILTER_TABLE, "
+                "NODE_TABLE or SCENARIO)");
+      }
+      if (t.text == "VAR") {
+        parse_vars(script);
+      } else if (t.text == "FILTER_TABLE") {
+        parse_filters(script);
+      } else if (t.text == "NODE_TABLE") {
+        parse_nodes(script);
+      } else if (t.text == "SCENARIO") {
+        parse_scenario(script);
+      } else {
+        fail(t, "unknown section '" + t.text + "'");
+      }
+    }
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+
+  const Token& advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  [[noreturn]] void fail(const Token& t, const std::string& msg) const {
+    throw ParseError(t.loc, msg);
+  }
+
+  const Token& expect(TokKind k, const char* what) {
+    const Token& t = peek();
+    if (t.kind != k) {
+      fail(t, std::string("expected ") + what + ", found " +
+                  to_string(t.kind) +
+                  (t.text.empty() ? "" : " '" + t.text + "'"));
+    }
+    return advance();
+  }
+
+  bool accept(TokKind k) {
+    if (peek().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string expect_ident(const char* what) {
+    return expect(TokKind::kIdent, what).text;
+  }
+
+  bool at_keyword(const char* kw) const {
+    return peek().kind == TokKind::kIdent && peek().text == kw;
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw)) {
+      fail(peek(), std::string("expected '") + kw + "'");
+    }
+    ++pos_;
+  }
+
+  // --- sections ----------------------------------------------------------
+
+  void parse_vars(AstScript& script) {
+    expect_keyword("VAR");
+    script.vars.push_back(expect_ident("variable name"));
+    while (accept(TokKind::kComma)) {
+      script.vars.push_back(expect_ident("variable name"));
+    }
+    expect(TokKind::kSemi, "';' after VAR declaration");
+  }
+
+  void parse_filters(AstScript& script) {
+    expect_keyword("FILTER_TABLE");
+    while (!at_keyword("END")) {
+      AstFilter f;
+      f.loc = peek().loc;
+      f.name = expect_ident("packet type name");
+      expect(TokKind::kColon, "':' after packet type name");
+      f.tuples.push_back(parse_filter_tuple());
+      while (accept(TokKind::kComma)) {
+        f.tuples.push_back(parse_filter_tuple());
+      }
+      script.filters.push_back(std::move(f));
+    }
+    expect_keyword("END");
+  }
+
+  AstFilterTuple parse_filter_tuple() {
+    AstFilterTuple t;
+    t.loc = peek().loc;
+    expect(TokKind::kLParen, "'(' opening a filter tuple");
+    t.offset = static_cast<u16>(expect(TokKind::kInt, "byte offset").value);
+    t.length = static_cast<u16>(expect(TokKind::kInt, "byte count").value);
+    // Remaining elements before ')': one of
+    //   pattern | mask pattern | VAR-name
+    std::vector<Token> rest;
+    while (peek().kind != TokKind::kRParen) {
+      const Token& tok = peek();
+      if (tok.kind != TokKind::kInt && tok.kind != TokKind::kIdent) {
+        fail(tok, "expected a pattern, mask or VAR name in filter tuple");
+      }
+      rest.push_back(advance());
+    }
+    expect(TokKind::kRParen, "')'");
+    if (rest.size() == 1 && rest[0].kind == TokKind::kIdent) {
+      t.var = rest[0].text;
+    } else if (rest.size() == 1 && rest[0].kind == TokKind::kInt) {
+      t.pattern = rest[0].value;
+    } else if (rest.size() == 2 && rest[0].kind == TokKind::kInt &&
+               rest[1].kind == TokKind::kInt) {
+      t.mask = rest[0].value;
+      t.pattern = rest[1].value;
+    } else {
+      fail(rest.empty() ? peek() : rest[0],
+           "filter tuple must be (offset len pattern), "
+           "(offset len mask pattern) or (offset len VAR)");
+    }
+    return t;
+  }
+
+  void parse_nodes(AstScript& script) {
+    expect_keyword("NODE_TABLE");
+    while (!at_keyword("END")) {
+      AstNodeDef n;
+      n.loc = peek().loc;
+      n.name = expect_ident("node name");
+      n.mac = expect(TokKind::kMac, "MAC address").text;
+      n.ip = expect(TokKind::kIp, "IP address").text;
+      script.nodes.push_back(std::move(n));
+    }
+    expect_keyword("END");
+  }
+
+  void parse_scenario(AstScript& script) {
+    AstScenario sc;
+    sc.loc = peek().loc;
+    expect_keyword("SCENARIO");
+    sc.name = expect_ident("scenario name");
+    if (peek().kind == TokKind::kDuration) {
+      sc.timeout = advance().duration;
+    }
+    for (;;) {
+      if (at_keyword("END")) {
+        advance();
+        break;
+      }
+      if (peek().kind == TokKind::kIdent &&
+          peek(1).kind == TokKind::kColon) {
+        sc.counters.push_back(parse_counter_decl());
+      } else if (peek().kind == TokKind::kLParen) {
+        sc.rules.push_back(parse_rule());
+      } else {
+        fail(peek(), "expected a counter declaration, a rule, or END");
+      }
+    }
+    script.scenarios.push_back(std::move(sc));
+  }
+
+  AstCounterDecl parse_counter_decl() {
+    AstCounterDecl d;
+    d.loc = peek().loc;
+    d.name = expect_ident("counter name");
+    expect(TokKind::kColon, "':'");
+    expect(TokKind::kLParen, "'('");
+    std::string first = expect_ident("packet type or node name");
+    if (accept(TokKind::kComma)) {
+      d.is_local = false;
+      d.pkt_type = std::move(first);
+      d.src_node = expect_ident("source node");
+      expect(TokKind::kComma, "','");
+      d.dst_node = expect_ident("destination node");
+      expect(TokKind::kComma, "','");
+      std::string dir = expect_ident("SEND or RECV");
+      if (dir == "SEND") {
+        d.dir = net::Direction::kSend;
+      } else if (dir == "RECV") {
+        d.dir = net::Direction::kRecv;
+      } else {
+        fail(peek(), "direction must be SEND or RECV");
+      }
+    } else {
+      d.is_local = true;
+      d.node = std::move(first);
+    }
+    expect(TokKind::kRParen, "')'");
+    return d;
+  }
+
+  // --- conditions ----------------------------------------------------------
+
+  AstRule parse_rule() {
+    AstRule r;
+    r.loc = peek().loc;
+    expect(TokKind::kLParen, "'(' opening a rule condition");
+    r.cond = parse_or();
+    expect(TokKind::kRParen, "')' closing the rule condition");
+    expect(TokKind::kArrow, "'>>'");
+    r.actions.push_back(parse_action());
+    // Actions are ';'-separated; the list ends before the next rule,
+    // counter declaration, or END.
+    while (true) {
+      if (peek().kind == TokKind::kSemi) advance();
+      if (peek().kind == TokKind::kIdent &&
+          action_names().count(peek().text) > 0) {
+        r.actions.push_back(parse_action());
+        continue;
+      }
+      break;
+    }
+    return r;
+  }
+
+  AstCond parse_or() {
+    AstCond lhs = parse_and();
+    while (peek().kind == TokKind::kOrOr) {
+      SourceLoc loc = advance().loc;
+      AstCond node;
+      node.kind = AstCond::Kind::kOr;
+      node.loc = loc;
+      node.a = std::make_unique<AstCond>(std::move(lhs));
+      node.b = std::make_unique<AstCond>(parse_and());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  AstCond parse_and() {
+    AstCond lhs = parse_unary();
+    while (peek().kind == TokKind::kAndAnd) {
+      SourceLoc loc = advance().loc;
+      AstCond node;
+      node.kind = AstCond::Kind::kAnd;
+      node.loc = loc;
+      node.a = std::make_unique<AstCond>(std::move(lhs));
+      node.b = std::make_unique<AstCond>(parse_unary());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  AstCond parse_unary() {
+    if (peek().kind == TokKind::kNot) {
+      SourceLoc loc = advance().loc;
+      AstCond node;
+      node.kind = AstCond::Kind::kNot;
+      node.loc = loc;
+      node.a = std::make_unique<AstCond>(parse_unary());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  AstCond parse_primary() {
+    const Token& t = peek();
+    if (t.kind == TokKind::kLParen) {
+      advance();
+      AstCond inner = parse_or();
+      expect(TokKind::kRParen, "')'");
+      return inner;
+    }
+    if (t.kind == TokKind::kIdent && t.text == "TRUE") {
+      advance();
+      AstCond node;
+      node.kind = AstCond::Kind::kTrue;
+      node.loc = t.loc;
+      return node;
+    }
+    // A bare term: operand relop operand.
+    AstCond node;
+    node.kind = AstCond::Kind::kTerm;
+    node.loc = t.loc;
+    node.term.lhs = parse_operand();
+    node.term.op = parse_relop();
+    node.term.rhs = parse_operand();
+    return node;
+  }
+
+  AstOperand parse_operand() {
+    const Token& t = peek();
+    AstOperand o;
+    o.loc = t.loc;
+    if (t.kind == TokKind::kInt) {
+      o.is_int = true;
+      o.value = static_cast<i64>(advance().value);
+      return o;
+    }
+    if (t.kind == TokKind::kIdent) {
+      o.name = advance().text;
+      return o;
+    }
+    fail(t, "expected a counter name or integer");
+  }
+
+  core::RelOp parse_relop() {
+    switch (peek().kind) {
+      case TokKind::kGt: advance(); return core::RelOp::kGt;
+      case TokKind::kLt: advance(); return core::RelOp::kLt;
+      case TokKind::kGe: advance(); return core::RelOp::kGe;
+      case TokKind::kLe: advance(); return core::RelOp::kLe;
+      case TokKind::kEq: advance(); return core::RelOp::kEq;
+      case TokKind::kNe: advance(); return core::RelOp::kNe;
+      default:
+        fail(peek(), "expected a relational operator (> < >= <= = !=)");
+    }
+  }
+
+  // --- actions -------------------------------------------------------------
+
+  AstAction parse_action() {
+    AstAction a;
+    a.loc = peek().loc;
+    a.name = expect_ident("action name");
+    if (action_names().count(a.name) == 0) {
+      fail(toks_[pos_ - 1], "unknown action '" + a.name + "'");
+    }
+    if (accept(TokKind::kLParen)) {
+      // Call form: NAME(arg, arg, ...).
+      if (!accept(TokKind::kRParen)) {
+        a.args.push_back(parse_arg());
+        while (accept(TokKind::kComma)) a.args.push_back(parse_arg());
+        expect(TokKind::kRParen, "')' closing the action arguments");
+      }
+    } else if (peek().kind != TokKind::kSemi &&
+               peek().kind != TokKind::kEof) {
+      // Bare form used in the paper: "DROP TCP_synack, node2, node1, RECV;"
+      a.args.push_back(parse_arg());
+      while (accept(TokKind::kComma)) a.args.push_back(parse_arg());
+    }
+    return a;
+  }
+
+  AstArg parse_arg() {
+    const Token& t = peek();
+    AstArg arg;
+    arg.loc = t.loc;
+    switch (t.kind) {
+      case TokKind::kIdent:
+        arg.kind = AstArg::Kind::kIdent;
+        arg.ident = advance().text;
+        return arg;
+      case TokKind::kInt:
+        arg.kind = AstArg::Kind::kInt;
+        arg.value = static_cast<i64>(advance().value);
+        return arg;
+      case TokKind::kDuration:
+        arg.kind = AstArg::Kind::kDuration;
+        arg.duration = advance().duration;
+        return arg;
+      case TokKind::kLParen: {
+        // Byte tuple, e.g. (47 1 0x04) in a MODIFY pattern.
+        advance();
+        arg.kind = AstArg::Kind::kTuple;
+        while (peek().kind != TokKind::kRParen) {
+          arg.tuple.push_back(expect(TokKind::kInt, "integer in tuple").value);
+        }
+        expect(TokKind::kRParen, "')'");
+        return arg;
+      }
+      default:
+        fail(t, "expected an action argument");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+AstScript parse_script(std::string_view source) {
+  return Parser(tokenize(source)).run();
+}
+
+}  // namespace vwire::fsl

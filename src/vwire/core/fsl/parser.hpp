@@ -1,0 +1,12 @@
+// FSL recursive-descent parser.
+#pragma once
+
+#include "vwire/core/fsl/ast.hpp"
+#include "vwire/core/fsl/lexer.hpp"
+
+namespace vwire::fsl {
+
+/// Parses a complete script; throws ParseError on the first syntax error.
+AstScript parse_script(std::string_view source);
+
+}  // namespace vwire::fsl

@@ -1,0 +1,189 @@
+#include "vwire/core/gen/script_gen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace vwire::gen {
+
+namespace {
+
+const char* dir_name(net::Direction d) {
+  return d == net::Direction::kSend ? "SEND" : "RECV";
+}
+
+std::string sanitize(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+std::string state_counter(const std::string& state) {
+  return "ST_" + sanitize(state);
+}
+
+/// Distinct events in first-appearance order, with per-event counter names.
+std::vector<PacketEvent> distinct_events(const ProtocolSpec& spec) {
+  std::vector<PacketEvent> out;
+  for (const Transition& t : spec.transitions) {
+    if (std::find(out.begin(), out.end(), t.event) == out.end()) {
+      out.push_back(t.event);
+    }
+  }
+  return out;
+}
+
+std::string event_counter(const std::vector<PacketEvent>& events,
+                          const PacketEvent& e) {
+  auto it = std::find(events.begin(), events.end(), e);
+  return "EV_" + std::to_string(it - events.begin()) + "_" +
+         sanitize(e.packet_type);
+}
+
+std::string duration_literal(Duration d) {
+  if (d.ns % seconds(1).ns == 0) {
+    return std::to_string(d.ns / seconds(1).ns) + "sec";
+  }
+  return std::to_string(d.ns / millis(1).ns) + "ms";
+}
+
+/// Emits the shared FSM-tracking body (counters, init, transitions,
+/// violations, accept) into `os`.
+void emit_fsm(const ProtocolSpec& spec,
+              const std::vector<PacketEvent>& events, std::ostringstream& os) {
+  // Counter declarations.
+  for (const PacketEvent& e : events) {
+    os << "  " << event_counter(events, e) << ": (" << e.packet_type << ", "
+       << e.src << ", " << e.dst << ", " << dir_name(e.dir) << ")\n";
+  }
+  for (const std::string& s : spec.states) {
+    os << "  " << state_counter(s) << ": (" << spec.monitor_node << ")\n";
+  }
+  os << "  VISITS: (" << spec.monitor_node << ")\n";
+
+  // Initialization.
+  os << "  (TRUE) >>";
+  for (const PacketEvent& e : events) {
+    os << " ENABLE_CNTR(" << event_counter(events, e) << ");";
+  }
+  for (const std::string& s : spec.states) {
+    os << " ASSIGN_CNTR(" << state_counter(s) << ", "
+       << (s == spec.initial_state ? 1 : 0) << ");";
+  }
+  os << " ENABLE_CNTR(VISITS);\n";
+
+  // Transition rules.
+  for (const Transition& t : spec.transitions) {
+    const std::string ev = event_counter(events, t.event);
+    os << "  ((" << state_counter(t.from) << " = 1) && (" << ev
+       << " = 1)) >> RESET_CNTR(" << ev << ");";
+    if (t.from != t.to) {
+      os << " ASSIGN_CNTR(" << state_counter(t.from) << ", 0);"
+         << " ASSIGN_CNTR(" << state_counter(t.to) << ", 1);";
+    } else {
+      os << " ASSIGN_CNTR(" << state_counter(t.to) << ", 1);";
+    }
+    if (t.to == spec.accept_state) {
+      os << " INCR_CNTR(VISITS, 1);";
+    }
+    os << "\n";
+  }
+
+  // Violation rules: every (state, event) pair with no matching transition.
+  for (const std::string& s : spec.states) {
+    for (const PacketEvent& e : events) {
+      bool allowed = std::any_of(
+          spec.transitions.begin(), spec.transitions.end(),
+          [&](const Transition& t) { return t.from == s && t.event == e; });
+      if (allowed) continue;
+      const std::string ev = event_counter(events, e);
+      os << "  ((" << state_counter(s) << " = 1) && (" << ev
+         << " = 1)) >> RESET_CNTR(" << ev << "); FLAG_ERROR;\n";
+    }
+  }
+
+  // Liveness.
+  os << "  ((VISITS = " << spec.accept_visits << ")) >> STOP;\n";
+}
+
+}  // namespace
+
+std::string validate(const ProtocolSpec& spec) {
+  if (spec.name.empty()) return "spec needs a name";
+  if (spec.monitor_node.empty()) return "spec needs a monitor node";
+  if (spec.states.empty()) return "spec needs at least one state";
+  auto known = [&](const std::string& s) {
+    return std::find(spec.states.begin(), spec.states.end(), s) !=
+           spec.states.end();
+  };
+  if (!known(spec.initial_state)) return "initial state not in state list";
+  if (!known(spec.accept_state)) return "accept state not in state list";
+  if (spec.accept_visits < 1) return "accept_visits must be >= 1";
+  if (spec.transitions.empty()) return "spec needs at least one transition";
+  for (const Transition& t : spec.transitions) {
+    if (!known(t.from)) return "transition from unknown state '" + t.from + "'";
+    if (!known(t.to)) return "transition to unknown state '" + t.to + "'";
+    if (t.event.packet_type.empty()) return "transition event needs a packet type";
+    // Race-freedom requirement: the event must be observable on the
+    // monitor node, so every generated counter is homed there.
+    const std::string& observer = t.event.dir == net::Direction::kRecv
+                                      ? t.event.dst
+                                      : t.event.src;
+    if (observer != spec.monitor_node) {
+      return "event '" + t.event.packet_type +
+             "' is not observable at the monitor node '" +
+             spec.monitor_node + "' (observed at '" + observer +
+             "'); flip its direction or move the monitor";
+    }
+  }
+  std::set<std::string> uniq(spec.states.begin(), spec.states.end());
+  if (uniq.size() != spec.states.size()) return "duplicate state names";
+  if (spec.deadline.ns <= 0) return "deadline must be positive";
+  return {};
+}
+
+std::string generate_analysis_scenario(const ProtocolSpec& spec) {
+  std::ostringstream os;
+  os << "SCENARIO " << sanitize(spec.name) << "_analysis "
+     << duration_literal(spec.deadline) << "\n";
+  auto events = distinct_events(spec);
+  emit_fsm(spec, events, os);
+  os << "END\n";
+  return os.str();
+}
+
+std::vector<GeneratedScenario> generate_drop_campaign(
+    const ProtocolSpec& spec) {
+  std::vector<GeneratedScenario> out;
+  auto events = distinct_events(spec);
+  for (std::size_t i = 0; i < spec.transitions.size(); ++i) {
+    const Transition& t = spec.transitions[i];
+    const PacketEvent& e = t.event;
+    // Inject the drop on the side OPPOSITE the event's observation point,
+    // so the conformance counters never see the destroyed packet and the
+    // tracked FSM stays consistent with the protocol's real view.
+    net::Direction drop_dir = e.dir == net::Direction::kRecv
+                                  ? net::Direction::kSend
+                                  : net::Direction::kRecv;
+    std::ostringstream os;
+    std::string name = sanitize(spec.name) + "_drop" + std::to_string(i) +
+                       "_" + sanitize(e.packet_type);
+    os << "SCENARIO " << name << " " << duration_literal(spec.deadline)
+       << "\n";
+    os << "  INJ: (" << e.packet_type << ", " << e.src << ", " << e.dst
+       << ", " << dir_name(drop_dir) << ")\n";
+    emit_fsm(spec, events, os);
+    os << "  /* fault: destroy this transition's first packet in flight */\n";
+    os << "  (TRUE) >> ENABLE_CNTR(INJ);\n";
+    os << "  ((INJ = 1)) >> DROP(" << e.packet_type << ", " << e.src << ", "
+       << e.dst << ", " << dir_name(drop_dir) << ");\n";
+    os << "END\n";
+    out.push_back({name, os.str(), i});
+  }
+  return out;
+}
+
+}  // namespace vwire::gen

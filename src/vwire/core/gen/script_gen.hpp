@@ -1,0 +1,86 @@
+// Script generation from protocol specifications — the paper's stated
+// long-term goal (§8): "it will be interesting to investigate the
+// possibility of generating the fault injection and packet trace analysis
+// scripts directly from the protocol specification.  This will truly make
+// the testing process completely automated."
+//
+// A ProtocolSpec is a finite state machine over wire-observable packet
+// events.  From it we generate:
+//
+//  * an ANALYSIS scenario — counters track the FSM purely from the wire;
+//    any event that is not permitted in the current state FLAG_ERRORs, and
+//    reaching the accept state the requested number of times STOPs; and
+//  * a FAULT CAMPAIGN — one scenario per transition, each dropping that
+//    transition's packet the first time it appears.  A robust protocol
+//    (one that retransmits / recovers) still reaches accept before the
+//    scenario deadline; a brittle one times out, which the runner reports
+//    as a failure.
+//
+// State counters are one-hot and live on a designated monitor node.  Every
+// spec event must be OBSERVABLE AT THE MONITOR NODE (its RECV destination
+// or SEND source is the monitor) — validate() enforces this.  With all
+// counters homed on one node the generated FSM needs no cross-node
+// mirroring and is therefore free of control-plane races; the paper makes
+// the same observation (§3.1): "the network activity can be monitored
+// completely either on the sender or the receiver node".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vwire/net/packet.hpp"
+
+namespace vwire::gen {
+
+/// A wire-observable protocol event: packets of `packet_type` flowing
+/// src → dst, observed on `dir`'s side.
+struct PacketEvent {
+  std::string packet_type;
+  std::string src;
+  std::string dst;
+  net::Direction dir{net::Direction::kRecv};
+
+  friend bool operator==(const PacketEvent&, const PacketEvent&) = default;
+};
+
+struct Transition {
+  std::string from;
+  std::string to;  ///< may equal `from` (self-loop, e.g. retransmission)
+  PacketEvent event;
+};
+
+struct ProtocolSpec {
+  std::string name;
+  std::string monitor_node;  ///< hosts the FSM state counters
+  std::vector<std::string> states;
+  std::string initial_state;
+  std::vector<Transition> transitions;
+
+  /// Liveness: STOP after the FSM enters `accept_state` `accept_visits`
+  /// times.  Required — every generated scenario must terminate.
+  std::string accept_state;
+  int accept_visits{1};
+
+  /// Completion deadline stamped into each generated scenario.
+  Duration deadline{seconds(5)};
+};
+
+/// Validates the spec; returns a human-readable error, or empty when ok.
+std::string validate(const ProtocolSpec& spec);
+
+/// The conformance-analysis scenario (SCENARIO block only; concatenate
+/// with FILTER_TABLE / NODE_TABLE sections).
+std::string generate_analysis_scenario(const ProtocolSpec& spec);
+
+struct GeneratedScenario {
+  std::string name;
+  std::string fsl;  ///< SCENARIO block
+  std::size_t transition_index;
+};
+
+/// One drop-fault scenario per transition: conformance analysis plus a
+/// single injected drop of that transition's packet.
+std::vector<GeneratedScenario> generate_drop_campaign(
+    const ProtocolSpec& spec);
+
+}  // namespace vwire::gen

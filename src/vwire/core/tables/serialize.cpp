@@ -1,0 +1,254 @@
+// Binary wire format for the table bundle.
+//
+// The control node "initializes the test nodes with the relevant data
+// structures" (paper §3.2); faithfully, the tables travel over the
+// simulated network as the payload of the control plane's INIT message, so
+// every engine works from a deserialized copy, never from shared memory.
+#include <stdexcept>
+
+#include "vwire/core/tables/tables.hpp"
+
+namespace vwire::core {
+
+namespace {
+
+constexpr u32 kMagic = 0x56575442;  // "VWTB"
+constexpr u16 kVersion = 1;
+
+void put_ids(ByteWriter& w, const std::vector<u16>& v) {
+  w.u16v(static_cast<u16>(v.size()));
+  for (u16 x : v) w.u16v(x);
+}
+
+std::vector<u16> get_ids(ByteReader& r) {
+  u16 n = r.u16v();
+  std::vector<u16> v(n);
+  for (auto& x : v) x = r.u16v();
+  return v;
+}
+
+void put_mac(ByteWriter& w, const net::MacAddress& m) {
+  w.raw(BytesView(m.bytes().data(), 6));
+}
+
+net::MacAddress get_mac(ByteReader& r) {
+  Bytes b = r.raw(6);
+  std::array<u8, 6> a{};
+  std::copy(b.begin(), b.end(), a.begin());
+  return net::MacAddress(a);
+}
+
+}  // namespace
+
+Bytes serialize(const TableSet& t) {
+  ByteWriter w;
+  w.u32v(kMagic);
+  w.u16v(kVersion);
+  w.str(t.scenario_name);
+  w.u64v(static_cast<u64>(t.inactivity_timeout.ns));
+
+  // Filter table.
+  w.u16v(static_cast<u16>(t.filters.var_names.size()));
+  for (const auto& v : t.filters.var_names) w.str(v);
+  w.u16v(static_cast<u16>(t.filters.entries.size()));
+  for (const auto& e : t.filters.entries) {
+    w.str(e.name);
+    w.u16v(static_cast<u16>(e.tuples.size()));
+    for (const auto& tp : e.tuples) {
+      w.u16v(tp.offset);
+      w.u16v(tp.length);
+      w.u64v(tp.mask);
+      w.u64v(tp.pattern);
+      w.u16v(tp.var);
+    }
+  }
+
+  // Node table.
+  w.u16v(static_cast<u16>(t.nodes.entries.size()));
+  for (const auto& n : t.nodes.entries) {
+    w.str(n.name);
+    put_mac(w, n.mac);
+    w.u32v(n.ip.value());
+  }
+
+  // Counter table.
+  w.u16v(static_cast<u16>(t.counters.entries.size()));
+  for (const auto& c : t.counters.entries) {
+    w.str(c.name);
+    w.u8v(static_cast<u8>(c.kind));
+    w.u16v(c.filter);
+    w.u16v(c.src_node);
+    w.u16v(c.dst_node);
+    w.u8v(static_cast<u8>(c.dir));
+    w.u16v(c.home);
+    put_ids(w, c.terms);
+    put_ids(w, c.notify_nodes);
+  }
+
+  // Term table.
+  w.u16v(static_cast<u16>(t.terms.entries.size()));
+  for (const auto& e : t.terms.entries) {
+    auto put_operand = [&w](const Operand& o) {
+      w.u8v(o.is_counter ? 1 : 0);
+      w.u16v(o.counter);
+      w.u64v(static_cast<u64>(o.constant));
+    };
+    put_operand(e.lhs);
+    w.u8v(static_cast<u8>(e.op));
+    put_operand(e.rhs);
+    w.u16v(e.eval_node);
+    put_ids(w, e.conds);
+    put_ids(w, e.notify_nodes);
+  }
+
+  // Condition table.
+  w.u16v(static_cast<u16>(t.conditions.entries.size()));
+  for (const auto& c : t.conditions.entries) {
+    w.u16v(static_cast<u16>(c.postfix.size()));
+    for (const auto& in : c.postfix) {
+      w.u8v(static_cast<u8>(in.op));
+      w.u16v(in.term);
+    }
+    put_ids(w, c.actions);
+    put_ids(w, c.eval_nodes);
+  }
+
+  // Action table.
+  w.u16v(static_cast<u16>(t.actions.entries.size()));
+  for (const auto& a : t.actions.entries) {
+    w.u8v(static_cast<u8>(a.kind));
+    w.u16v(a.exec_node);
+    w.u16v(a.filter);
+    w.u16v(a.src_node);
+    w.u16v(a.dst_node);
+    w.u8v(static_cast<u8>(a.dir));
+    w.u64v(static_cast<u64>(a.delay.ns));
+    w.u16v(a.reorder_count);
+    put_ids(w, a.reorder_order);
+    w.u16v(static_cast<u16>(a.modify_bytes.size()));
+    for (const auto& m : a.modify_bytes) {
+      w.u16v(m.offset);
+      w.u8v(m.mask);
+      w.u8v(m.value);
+    }
+    w.u16v(a.fail_node);
+    w.u16v(a.counter);
+    w.u64v(static_cast<u64>(a.value));
+  }
+  return w.take();
+}
+
+TableSet deserialize_tables(BytesView bytes) {
+  ByteReader r(bytes);
+  if (r.u32v() != kMagic) throw std::invalid_argument("bad table magic");
+  if (r.u16v() != kVersion) throw std::invalid_argument("bad table version");
+  TableSet t;
+  t.scenario_name = r.str();
+  t.inactivity_timeout = Duration{static_cast<i64>(r.u64v())};
+
+  u16 nvars = r.u16v();
+  for (u16 i = 0; i < nvars; ++i) t.filters.var_names.push_back(r.str());
+  u16 nfilters = r.u16v();
+  for (u16 i = 0; i < nfilters; ++i) {
+    FilterEntry e;
+    e.name = r.str();
+    u16 ntuples = r.u16v();
+    for (u16 j = 0; j < ntuples; ++j) {
+      FilterTuple tp;
+      tp.offset = r.u16v();
+      tp.length = r.u16v();
+      tp.mask = r.u64v();
+      tp.pattern = r.u64v();
+      tp.var = r.u16v();
+      e.tuples.push_back(tp);
+    }
+    t.filters.entries.push_back(std::move(e));
+  }
+
+  u16 nnodes = r.u16v();
+  for (u16 i = 0; i < nnodes; ++i) {
+    NodeEntry n;
+    n.name = r.str();
+    n.mac = get_mac(r);
+    n.ip = net::Ipv4Address(r.u32v());
+    t.nodes.entries.push_back(std::move(n));
+  }
+
+  u16 ncounters = r.u16v();
+  for (u16 i = 0; i < ncounters; ++i) {
+    CounterEntry c;
+    c.name = r.str();
+    c.kind = static_cast<CounterKind>(r.u8v());
+    c.filter = r.u16v();
+    c.src_node = r.u16v();
+    c.dst_node = r.u16v();
+    c.dir = static_cast<net::Direction>(r.u8v());
+    c.home = r.u16v();
+    c.terms = get_ids(r);
+    c.notify_nodes = get_ids(r);
+    t.counters.entries.push_back(std::move(c));
+  }
+
+  u16 nterms = r.u16v();
+  for (u16 i = 0; i < nterms; ++i) {
+    TermEntry e;
+    auto get_operand = [&r] {
+      Operand o;
+      o.is_counter = r.u8v() != 0;
+      o.counter = r.u16v();
+      o.constant = static_cast<i64>(r.u64v());
+      return o;
+    };
+    e.lhs = get_operand();
+    e.op = static_cast<RelOp>(r.u8v());
+    e.rhs = get_operand();
+    e.eval_node = r.u16v();
+    e.conds = get_ids(r);
+    e.notify_nodes = get_ids(r);
+    t.terms.entries.push_back(std::move(e));
+  }
+
+  u16 nconds = r.u16v();
+  for (u16 i = 0; i < nconds; ++i) {
+    CondEntry c;
+    u16 nin = r.u16v();
+    for (u16 j = 0; j < nin; ++j) {
+      CondInstr in;
+      in.op = static_cast<BoolOp>(r.u8v());
+      in.term = r.u16v();
+      c.postfix.push_back(in);
+    }
+    c.actions = get_ids(r);
+    c.eval_nodes = get_ids(r);
+    t.conditions.entries.push_back(std::move(c));
+  }
+
+  u16 nactions = r.u16v();
+  for (u16 i = 0; i < nactions; ++i) {
+    ActionEntry a;
+    a.kind = static_cast<ActionKind>(r.u8v());
+    a.exec_node = r.u16v();
+    a.filter = r.u16v();
+    a.src_node = r.u16v();
+    a.dst_node = r.u16v();
+    a.dir = static_cast<net::Direction>(r.u8v());
+    a.delay = Duration{static_cast<i64>(r.u64v())};
+    a.reorder_count = r.u16v();
+    a.reorder_order = get_ids(r);
+    u16 nmod = r.u16v();
+    for (u16 j = 0; j < nmod; ++j) {
+      ModifyByte m;
+      m.offset = r.u16v();
+      m.mask = r.u8v();
+      m.value = r.u8v();
+      a.modify_bytes.push_back(m);
+    }
+    a.fail_node = r.u16v();
+    a.counter = r.u16v();
+    a.value = static_cast<i64>(r.u64v());
+    t.actions.entries.push_back(std::move(a));
+  }
+  return t;
+}
+
+}  // namespace vwire::core

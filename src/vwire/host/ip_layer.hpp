@@ -1,0 +1,52 @@
+// IPv4 layer: top of the chain; builds frames going down, verifies and
+// demultiplexes going up.
+//
+// Transport protocols (TCP, UDP) register per-protocol handlers rather than
+// being chain layers — they exchange L4 segments, not frames, exactly like
+// the kernel stack above the paper's Netfilter hook.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "vwire/host/layer.hpp"
+#include "vwire/net/decode.hpp"
+
+namespace vwire::host {
+
+struct IpStats {
+  u64 tx_packets{0};
+  u64 rx_packets{0};
+  u64 rx_bad_checksum{0};   ///< IP header checksum failures (MODIFY faults)
+  u64 rx_no_handler{0};
+  u64 rx_not_mine{0};
+  u64 tx_no_route{0};
+};
+
+class IpLayer final : public Layer {
+ public:
+  /// Handler receives the validated IP header and the L4 bytes (header +
+  /// payload).  Transport checksum verification is the handler's job.
+  using ProtoHandler =
+      std::function<void(const net::Ipv4Header&, BytesView l4)>;
+
+  std::string_view name() const override { return "ip"; }
+
+  void register_protocol(net::IpProto proto, ProtoHandler handler);
+
+  /// Builds Ethernet+IPv4 framing around `l4_bytes` and sends it down the
+  /// chain.  Destination MAC comes from the node's neighbor table.
+  void send(net::Ipv4Address dst, net::IpProto proto, Bytes l4_bytes);
+
+  /// Chain-top: parse, verify, demux.  Never calls pass_up.
+  void receive_up(net::Packet pkt) override;
+
+  const IpStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<u8, ProtoHandler> handlers_;
+  IpStats stats_;
+  u16 next_ip_id_{1};
+};
+
+}  // namespace vwire::host

@@ -1,0 +1,8 @@
+#include "vwire/host/layer.hpp"
+
+namespace vwire::host {
+
+// Out-of-line key function anchors the vtable in this translation unit.
+Layer::~Layer() = default;
+
+}  // namespace vwire::host

@@ -1,0 +1,58 @@
+// The protocol-layer chain of a host network stack.
+//
+// The paper inserts the FIE/FAE "between the network interface card's device
+// driver and the IP protocol stack" via Netfilter hooks (§3.3, §5.2) without
+// modifying either side.  Layer reproduces that contract: a chain of layers
+// between the NIC (bottom) and the IP demux (top), where any layer can
+// observe, consume, delay, reorder or rewrite packets flowing in both
+// directions while being completely transparent to its neighbours.
+#pragma once
+
+#include <string_view>
+
+#include "vwire/net/packet.hpp"
+
+namespace vwire::host {
+
+class Node;
+
+class Layer {
+ public:
+  virtual ~Layer();
+
+  virtual std::string_view name() const = 0;
+
+  /// A packet moving toward the wire.  Default behaviour: transparent.
+  virtual void send_down(net::Packet pkt) { pass_down(std::move(pkt)); }
+
+  /// A packet moving up from the wire.  Default behaviour: transparent.
+  virtual void receive_up(net::Packet pkt) { pass_up(std::move(pkt)); }
+
+  /// Called once the node's chain is linked, before traffic flows.
+  virtual void attached(Node& node) { node_ = &node; }
+
+  void set_lower(Layer* l) { lower_ = l; }
+  void set_upper(Layer* u) { upper_ = u; }
+  Layer* lower() const { return lower_; }
+  Layer* upper() const { return upper_; }
+
+ protected:
+  /// Forwards toward the wire; silently drops at the chain's end (a NIC
+  /// always terminates the chain in a well-formed node).
+  void pass_down(net::Packet pkt) {
+    if (lower_ != nullptr) lower_->send_down(std::move(pkt));
+  }
+
+  /// Forwards toward the IP stack.
+  void pass_up(net::Packet pkt) {
+    if (upper_ != nullptr) upper_->receive_up(std::move(pkt));
+  }
+
+  Node* node_{nullptr};
+
+ private:
+  Layer* lower_{nullptr};
+  Layer* upper_{nullptr};
+};
+
+}  // namespace vwire::host

@@ -1,0 +1,36 @@
+#include "vwire/host/nic.hpp"
+
+namespace vwire::host {
+
+Nic::Nic(sim::Simulator& sim, phy::Medium& medium, net::MacAddress mac)
+    : sim_(sim), medium_(medium), mac_(mac) {
+  port_ = medium_.attach(this);
+}
+
+void Nic::send_down(net::Packet pkt) {
+  if (!up_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  ++stats_.tx_frames;
+  stats_.tx_bytes += pkt.size();
+  if (pkt.created_at.ns == 0) pkt.created_at = sim_.now();
+  medium_.transmit(port_, std::move(pkt));
+}
+
+void Nic::medium_deliver(net::Packet pkt) {
+  if (!up_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += pkt.size();
+  pass_up(std::move(pkt));
+}
+
+void Nic::set_up(bool up) {
+  up_ = up;
+  medium_.set_port_up(port_, up);
+}
+
+}  // namespace vwire::host

@@ -1,0 +1,47 @@
+// NIC: the bottom of a node's layer chain and its attachment to the medium.
+#pragma once
+
+#include "vwire/host/layer.hpp"
+#include "vwire/phy/medium.hpp"
+
+namespace vwire::host {
+
+struct NicStats {
+  u64 tx_frames{0};
+  u64 rx_frames{0};
+  u64 tx_bytes{0};
+  u64 rx_bytes{0};
+  u64 dropped_down{0};
+};
+
+class Nic final : public Layer, public phy::MediumClient {
+ public:
+  Nic(sim::Simulator& sim, phy::Medium& medium, net::MacAddress mac);
+
+  std::string_view name() const override { return "nic"; }
+
+  /// Chain-bottom: transmit onto the medium.
+  void send_down(net::Packet pkt) override;
+
+  /// MediumClient: frame arrived from the wire; push it up the chain.
+  void medium_deliver(net::Packet pkt) override;
+  net::MacAddress medium_mac() const override { return mac_; }
+
+  /// Administrative state; a down NIC neither sends nor receives (the
+  /// observable effect of the FAIL fault primitive).
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  const NicStats& stats() const { return stats_; }
+  const net::MacAddress& mac() const { return mac_; }
+
+ private:
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  phy::PortId port_;
+  net::MacAddress mac_;
+  bool up_{true};
+  NicStats stats_;
+};
+
+}  // namespace vwire::host

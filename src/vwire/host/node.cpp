@@ -1,0 +1,59 @@
+#include "vwire/host/node.hpp"
+
+namespace vwire::host {
+
+Node::Node(sim::Simulator& sim, phy::Medium& medium, NodeParams params)
+    : sim_(sim), params_(std::move(params)), nic_(sim, medium, params_.mac) {
+  relink();
+  nic_.attached(*this);
+  ip_.attached(*this);
+}
+
+Layer& Node::add_layer(std::unique_ptr<Layer> layer) {
+  Layer& ref = *layer;
+  middle_.push_back(std::move(layer));
+  relink();
+  ref.attached(*this);
+  return ref;
+}
+
+Layer* Node::find_layer(std::string_view name) {
+  for (auto& l : middle_) {
+    if (l->name() == name) return l.get();
+  }
+  return nullptr;
+}
+
+void Node::relink() {
+  // Chain: nic_ <-> middle_[0] <-> ... <-> middle_[n-1] <-> ip_
+  Layer* below = &nic_;
+  for (auto& l : middle_) {
+    below->set_upper(l.get());
+    l->set_lower(below);
+    below = l.get();
+  }
+  below->set_upper(&ip_);
+  ip_.set_lower(below);
+}
+
+void Node::fail() {
+  failed_ = true;
+  nic_.set_up(false);
+}
+
+void Node::recover() {
+  failed_ = false;
+  nic_.set_up(true);
+}
+
+void Node::add_neighbor(net::Ipv4Address ip, net::MacAddress mac) {
+  neighbors_[ip] = mac;
+}
+
+std::optional<net::MacAddress> Node::resolve(net::Ipv4Address ip) const {
+  auto it = neighbors_.find(ip);
+  if (it == neighbors_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace vwire::host

@@ -1,0 +1,73 @@
+// Node: one testbed host — a NIC, a stack of insertable layers, an IP
+// layer, and a static neighbor table.
+//
+// Layers are added bottom-up between NIC and IP, reproducing the paper's
+// stack (Fig 4a): driver / RLL / VirtualWire FIE+FAE / (Rether) / IP.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vwire/host/ip_layer.hpp"
+#include "vwire/host/nic.hpp"
+
+namespace vwire::host {
+
+struct NodeParams {
+  std::string name;
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  /// Kernel-stack processing charged per packet above the chain (one-way),
+  /// standing in for the paper's Pentium-4 protocol processing time.
+  Duration rx_stack_cost{micros(28)};
+  Duration tx_stack_cost{micros(17)};
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, phy::Medium& medium, NodeParams params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Inserts `layer` directly below the IP layer (i.e., above all layers
+  /// added before it).  Call before traffic flows.
+  Layer& add_layer(std::unique_ptr<Layer> layer);
+
+  /// Finds an added layer by name; nullptr if absent.
+  Layer* find_layer(std::string_view name);
+
+  /// Crashes the node: NIC down, apps see failed().  The observable
+  /// behaviour of the FAIL fault primitive — total silence.
+  void fail();
+  /// Restores a failed node (used by recovery/rejoin tests).
+  void recover();
+  bool failed() const { return failed_; }
+
+  const std::string& name() const { return params_.name; }
+  const net::MacAddress& mac() const { return params_.mac; }
+  const net::Ipv4Address& ip() const { return params_.ip; }
+  const NodeParams& params() const { return params_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  Nic& nic() { return nic_; }
+  IpLayer& ip_layer() { return ip_; }
+
+  /// Static ARP: maps a peer IP to its MAC.
+  void add_neighbor(net::Ipv4Address ip, net::MacAddress mac);
+  std::optional<net::MacAddress> resolve(net::Ipv4Address ip) const;
+
+ private:
+  void relink();
+
+  sim::Simulator& sim_;
+  NodeParams params_;
+  Nic nic_;
+  IpLayer ip_;
+  std::vector<std::unique_ptr<Layer>> middle_;  // bottom-to-top
+  std::unordered_map<net::Ipv4Address, net::MacAddress> neighbors_;
+  bool failed_{false};
+};
+
+}  // namespace vwire::host

@@ -1,0 +1,82 @@
+#include "vwire/net/address.hpp"
+
+#include <cstdio>
+
+#include "vwire/util/hex.hpp"
+
+namespace vwire::net {
+
+std::optional<MacAddress> MacAddress::parse(std::string_view s) {
+  std::array<u8, 6> b{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= s.size() || s[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    if (pos + 2 > s.size()) return std::nullopt;
+    auto v = parse_hex(s.substr(pos, 2));
+    if (!v) return std::nullopt;
+    b[static_cast<std::size_t>(i)] = static_cast<u8>(*v);
+    pos += 2;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return MacAddress(b);
+}
+
+MacAddress MacAddress::broadcast() {
+  return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+}
+
+MacAddress MacAddress::from_index(u32 index) {
+  // 0x02 = locally administered, unicast.
+  return MacAddress({0x02, 0x00, 0x00,
+                     static_cast<u8>(index >> 16),
+                     static_cast<u8>(index >> 8),
+                     static_cast<u8>(index)});
+}
+
+bool MacAddress::is_broadcast() const {
+  for (auto b : bytes_) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  u32 value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    std::size_t start = pos;
+    u32 octet = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      octet = octet * 10 + static_cast<u32>(s[pos] - '0');
+      if (octet > 255) return std::nullopt;
+      ++pos;
+    }
+    if (pos == start || pos - start > 3) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace vwire::net

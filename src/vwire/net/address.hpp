@@ -1,0 +1,76 @@
+// Link-layer and network-layer addresses.
+//
+// The FSL NODE_TABLE maps a node name to its MAC and IPv4 address (paper
+// Fig 2); both types parse the textual forms used there and serialize to the
+// exact wire layouts the filter offsets assume.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "vwire/util/bytes.hpp"
+
+namespace vwire::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<u8, 6> b) : bytes_(b) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; nullopt on malformed input.
+  static std::optional<MacAddress> parse(std::string_view s);
+
+  /// ff:ff:ff:ff:ff:ff
+  static MacAddress broadcast();
+
+  /// A locally-administered unicast address derived from a small host index,
+  /// used by testbed auto-configuration.
+  static MacAddress from_index(u32 index);
+
+  const std::array<u8, 6>& bytes() const { return bytes_; }
+  bool is_broadcast() const;
+  std::string to_string() const;
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<u8, 6> bytes_{};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(u32 v) : value_(v) {}
+
+  /// Parses dotted-quad "192.168.1.1"; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view s);
+
+  u32 value() const { return value_; }
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  u32 value_{0};
+};
+
+}  // namespace vwire::net
+
+namespace std {
+template <>
+struct hash<vwire::net::MacAddress> {
+  size_t operator()(const vwire::net::MacAddress& m) const {
+    size_t h = 1469598103934665603ull;
+    for (auto b : m.bytes()) h = (h ^ b) * 1099511628211ull;
+    return h;
+  }
+};
+template <>
+struct hash<vwire::net::Ipv4Address> {
+  size_t operator()(const vwire::net::Ipv4Address& a) const {
+    return std::hash<vwire::u32>{}(a.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,88 @@
+#include "vwire/net/decode.hpp"
+
+#include <sstream>
+
+#include "vwire/util/hex.hpp"
+
+namespace vwire::net {
+
+std::optional<DecodedFrame> decode(BytesView frame) {
+  auto eth = EthernetHeader::read(frame);
+  if (!eth) return std::nullopt;
+  DecodedFrame d;
+  d.eth = *eth;
+  if (eth->ethertype != static_cast<u16>(EtherType::kIpv4)) return d;
+
+  constexpr std::size_t ip_off = EthernetHeader::kSize;
+  auto ip = Ipv4Header::read(frame, ip_off);
+  if (!ip) {
+    d.truncated = true;
+    return d;
+  }
+  d.ip = *ip;
+  d.ip_checksum_ok = Ipv4Header::verify_checksum(frame, ip_off);
+
+  const std::size_t l4_off = ip_off + Ipv4Header::kSize;
+  if (ip->total_length < Ipv4Header::kSize ||
+      frame.size() < ip_off + ip->total_length) {
+    d.truncated = true;
+    return d;
+  }
+  const std::size_t l4_len = ip->total_length - Ipv4Header::kSize;
+
+  if (ip->protocol == static_cast<u8>(IpProto::kTcp)) {
+    auto tcp = TcpHeader::read(frame, l4_off);
+    if (!tcp || l4_len < TcpHeader::kSize) {
+      d.truncated = true;
+      return d;
+    }
+    d.tcp = *tcp;
+    d.l4_payload_len = l4_len - TcpHeader::kSize;
+    d.l4_checksum_ok =
+        TcpHeader::verify_checksum(frame, l4_off, l4_len, ip->src, ip->dst);
+  } else if (ip->protocol == static_cast<u8>(IpProto::kUdp)) {
+    auto udp = UdpHeader::read(frame, l4_off);
+    if (!udp || l4_len < UdpHeader::kSize) {
+      d.truncated = true;
+      return d;
+    }
+    d.udp = *udp;
+    d.l4_payload_len = l4_len - UdpHeader::kSize;
+    d.l4_checksum_ok =
+        UdpHeader::verify_checksum(frame, l4_off, l4_len, ip->src, ip->dst);
+  }
+  return d;
+}
+
+std::string summarize(BytesView frame) {
+  auto d = decode(frame);
+  if (!d) return "short-frame len=" + std::to_string(frame.size());
+
+  std::ostringstream os;
+  if (!d->ip) {
+    os << d->eth.src.to_string() << " > " << d->eth.dst.to_string()
+       << " ethertype " << to_hex(d->eth.ethertype, 4) << " len "
+       << frame.size();
+    return os.str();
+  }
+  if (d->tcp) {
+    os << "ip " << d->ip->src.to_string() << ":" << d->tcp->src_port << " > "
+       << d->ip->dst.to_string() << ":" << d->tcp->dst_port << " tcp "
+       << d->tcp->flags_string() << " seq=" << d->tcp->seq
+       << " ack=" << d->tcp->ack << " win=" << d->tcp->window
+       << " len=" << d->l4_payload_len;
+  } else if (d->udp) {
+    os << "ip " << d->ip->src.to_string() << ":" << d->udp->src_port << " > "
+       << d->ip->dst.to_string() << ":" << d->udp->dst_port << " udp len="
+       << d->l4_payload_len;
+  } else {
+    os << "ip " << d->ip->src.to_string() << " > " << d->ip->dst.to_string()
+       << " proto " << static_cast<int>(d->ip->protocol);
+  }
+  if (!d->ip_checksum_ok) os << " [bad ip csum]";
+  if (!d->l4_checksum_ok) os << " [bad l4 csum]";
+  if (d->truncated) os << " [truncated]";
+  return os.str();
+}
+
+}  // namespace vwire::net

@@ -1,0 +1,34 @@
+// Frame decoding: structured view + tcpdump-style one-line summaries.
+//
+// This is the analysis half of the paper's motivation — instead of
+// "collecting tcpdump traces and inspecting them manually" (§1), traces are
+// decoded automatically; the FAE uses the raw bytes, humans use these
+// summaries.
+#pragma once
+
+#include "vwire/net/packet.hpp"
+#include "vwire/net/tcp_header.hpp"
+#include "vwire/net/udp_header.hpp"
+
+namespace vwire::net {
+
+struct DecodedFrame {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::size_t l4_payload_len{0};
+  bool ip_checksum_ok{true};
+  bool l4_checksum_ok{true};
+  bool truncated{false};
+};
+
+/// Decodes as far as the bytes allow; nullopt if not even an Ethernet
+/// header is present.
+std::optional<DecodedFrame> decode(BytesView frame);
+
+/// One-line human-readable summary, e.g.
+/// "ip 10.0.0.1:24576 > 10.0.0.2:16384 tcp S seq=100 ack=0 len=0".
+std::string summarize(BytesView frame);
+
+}  // namespace vwire::net

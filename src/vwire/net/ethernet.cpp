@@ -1,0 +1,40 @@
+#include "vwire/net/ethernet.hpp"
+
+#include <algorithm>
+
+namespace vwire::net {
+
+void EthernetHeader::write(BytesSpan out, std::size_t off) const {
+  std::copy(dst.bytes().begin(), dst.bytes().end(), out.begin() + off);
+  std::copy(src.bytes().begin(), src.bytes().end(), out.begin() + off + 6);
+  write_u16(out, off + 12, ethertype);
+}
+
+std::optional<EthernetHeader> EthernetHeader::read(BytesView in,
+                                                   std::size_t off) {
+  if (in.size() < off + kSize) return std::nullopt;
+  EthernetHeader h;
+  std::array<u8, 6> d{}, s{};
+  std::copy_n(in.begin() + off, 6, d.begin());
+  std::copy_n(in.begin() + off + 6, 6, s.begin());
+  h.dst = MacAddress(d);
+  h.src = MacAddress(s);
+  h.ethertype = read_u16(in, off + 12);
+  return h;
+}
+
+Bytes make_frame(const MacAddress& dst, const MacAddress& src, u16 ethertype,
+                 BytesView payload) {
+  Bytes frame(EthernetHeader::kSize + payload.size());
+  EthernetHeader{dst, src, ethertype}.write(frame);
+  std::copy(payload.begin(), payload.end(),
+            frame.begin() + EthernetHeader::kSize);
+  return frame;
+}
+
+u16 frame_ethertype(BytesView frame) {
+  if (frame.size() < EthernetHeader::kSize) return 0;
+  return read_u16(frame, 12);
+}
+
+}  // namespace vwire::net

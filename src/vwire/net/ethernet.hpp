@@ -1,0 +1,41 @@
+// Ethernet II framing.
+//
+// Frames on the simulated wire carry the standard 14-byte header, so the
+// paper's filter offsets hold: ethertype at offset 12 (Rether's filter
+// `(12 2 0x9900)`), IPv4 header at 14, TCP ports at 34/36, TCP flags at 47.
+#pragma once
+
+#include "vwire/net/address.hpp"
+
+namespace vwire::net {
+
+/// Ethertypes seen on the VirtualWire testbed wire.
+enum class EtherType : u16 {
+  kIpv4 = 0x0800,
+  kRether = 0x9900,     // the paper's Rether protocol identifier (Fig 6)
+  kVwControl = 0x88B5,  // VirtualWire control plane (experimental range)
+  kRll = 0x88B6,        // Reliable Link Layer encapsulation
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  u16 ethertype{0};
+
+  /// Serializes into `out` at `off`; `out` must have 14 bytes of room.
+  void write(BytesSpan out, std::size_t off = 0) const;
+
+  /// Parses from `in` at `off`; nullopt if fewer than 14 bytes remain.
+  static std::optional<EthernetHeader> read(BytesView in, std::size_t off = 0);
+};
+
+/// Builds a complete frame: header + payload.
+Bytes make_frame(const MacAddress& dst, const MacAddress& src, u16 ethertype,
+                 BytesView payload);
+
+/// The ethertype field of a raw frame (0 if truncated).
+u16 frame_ethertype(BytesView frame);
+
+}  // namespace vwire::net

@@ -1,0 +1,59 @@
+#include "vwire/net/ipv4.hpp"
+
+#include "vwire/util/checksum.hpp"
+
+namespace vwire::net {
+
+void Ipv4Header::write(BytesSpan out, std::size_t off, bool compute_checksum) {
+  write_u8(out, off + 0, 0x45);  // version 4, IHL 5
+  write_u8(out, off + 1, tos);
+  write_u16(out, off + 2, total_length);
+  write_u16(out, off + 4, identification);
+  write_u16(out, off + 6, 0x4000);  // DF, no fragmentation on the testbed
+  write_u8(out, off + 8, ttl);
+  write_u8(out, off + 9, protocol);
+  write_u16(out, off + 10, 0);
+  write_u32(out, off + 12, src.value());
+  write_u32(out, off + 16, dst.value());
+  if (compute_checksum) {
+    checksum = internet_checksum(BytesView(out).subspan(off, kSize));
+    write_u16(out, off + 10, checksum);
+  } else {
+    write_u16(out, off + 10, checksum);
+  }
+}
+
+std::optional<Ipv4Header> Ipv4Header::read(BytesView in, std::size_t off) {
+  if (in.size() < off + kSize) return std::nullopt;
+  if ((read_u8(in, off) >> 4) != 4) return std::nullopt;
+  Ipv4Header h;
+  h.tos = read_u8(in, off + 1);
+  h.total_length = read_u16(in, off + 2);
+  h.identification = read_u16(in, off + 4);
+  h.ttl = read_u8(in, off + 8);
+  h.protocol = read_u8(in, off + 9);
+  h.checksum = read_u16(in, off + 10);
+  h.src = Ipv4Address(read_u32(in, off + 12));
+  h.dst = Ipv4Address(read_u32(in, off + 16));
+  return h;
+}
+
+bool Ipv4Header::verify_checksum(BytesView in, std::size_t off) {
+  if (in.size() < off + kSize) return false;
+  // Summing the header including its stored checksum yields 0 when valid.
+  return internet_checksum(in.subspan(off, kSize)) == 0;
+}
+
+u32 pseudo_header_sum(const Ipv4Address& src, const Ipv4Address& dst,
+                      IpProto proto, u16 length) {
+  u32 acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += static_cast<u32>(proto);
+  acc += length;
+  return acc;
+}
+
+}  // namespace vwire::net

@@ -1,0 +1,39 @@
+// IPv4 header (20 bytes, no options) with real checksum handling.
+#pragma once
+
+#include "vwire/net/address.hpp"
+
+namespace vwire::net {
+
+enum class IpProto : u8 {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  u8 tos{0};
+  u16 total_length{0};  ///< header + payload, bytes
+  u16 identification{0};
+  u8 ttl{64};
+  u8 protocol{0};
+  u16 checksum{0};  ///< filled by write() when compute_checksum
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes at `off`; computes and stores the header checksum unless
+  /// `compute_checksum` is false (used by tests that need bad checksums).
+  void write(BytesSpan out, std::size_t off = 0, bool compute_checksum = true);
+
+  static std::optional<Ipv4Header> read(BytesView in, std::size_t off = 0);
+
+  /// True if the stored checksum matches the header bytes.
+  static bool verify_checksum(BytesView in, std::size_t off = 0);
+};
+
+/// Sum of the TCP/UDP pseudo-header fields (src, dst, proto, length).
+u32 pseudo_header_sum(const Ipv4Address& src, const Ipv4Address& dst,
+                      IpProto proto, u16 length);
+
+}  // namespace vwire::net

@@ -1,0 +1,27 @@
+#include "vwire/net/packet.hpp"
+
+namespace vwire::net {
+
+const char* to_string(Direction d) {
+  return d == Direction::kSend ? "SEND" : "RECV";
+}
+
+Packet::Packet(Bytes frame) : frame_(std::move(frame)), uid_(next_uid()) {}
+
+BytesView Packet::l3_payload() const {
+  if (frame_.size() <= EthernetHeader::kSize) return {};
+  return BytesView(frame_).subspan(EthernetHeader::kSize);
+}
+
+Packet Packet::clone() const {
+  Packet copy(frame_);
+  copy.created_at = created_at;
+  return copy;
+}
+
+u64 Packet::next_uid() {
+  static u64 counter = 0;
+  return ++counter;
+}
+
+}  // namespace vwire::net

@@ -1,0 +1,60 @@
+// Packet — an owning raw Ethernet frame plus testbed metadata.
+//
+// The frame bytes are authoritative: every layer (IP, TCP, Rether, the
+// FIE/FAE classifier) reads and writes the same byte buffer, so a MODIFY
+// fault that flips a byte is visible to everything downstream exactly as it
+// would be on a real wire.
+#pragma once
+
+#include <memory>
+
+#include "vwire/net/ethernet.hpp"
+
+namespace vwire::net {
+
+/// Direction of a packet relative to the node whose stack it traverses.
+enum class Direction : u8 {
+  kSend = 0,  ///< leaving this node (driver-bound)
+  kRecv = 1,  ///< arriving at this node (IP-bound)
+};
+
+const char* to_string(Direction d);
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes frame);
+
+  /// Unique id assigned at construction; survives copies so that DUP
+  /// produces a distinguishable twin (the copy gets a fresh uid).
+  u64 uid() const { return uid_; }
+
+  const Bytes& bytes() const { return frame_; }
+  Bytes& mutable_bytes() { return frame_; }
+  std::size_t size() const { return frame_.size(); }
+
+  BytesView view() const { return frame_; }
+
+  /// Ethernet header accessors on the raw bytes.
+  std::optional<EthernetHeader> ethernet() const {
+    return EthernetHeader::read(frame_);
+  }
+  u16 ethertype() const { return frame_ethertype(frame_); }
+
+  /// Payload view past the Ethernet header (empty if truncated).
+  BytesView l3_payload() const;
+
+  /// Deep copy with a fresh uid (the DUP primitive).
+  Packet clone() const;
+
+  /// Timestamp of initial transmission, stamped by the sending NIC;
+  /// used by traces and by latency measurement.
+  TimePoint created_at{};
+
+ private:
+  static u64 next_uid();
+  Bytes frame_;
+  u64 uid_{0};
+};
+
+}  // namespace vwire::net

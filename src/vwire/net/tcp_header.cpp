@@ -1,0 +1,64 @@
+#include "vwire/net/tcp_header.hpp"
+
+#include "vwire/util/checksum.hpp"
+
+namespace vwire::net {
+
+void TcpHeader::write_raw(BytesSpan out, std::size_t off) const {
+  write_u16(out, off + 0, src_port);
+  write_u16(out, off + 2, dst_port);
+  write_u32(out, off + 4, seq);
+  write_u32(out, off + 8, ack);
+  write_u8(out, off + 12, 0x50);  // data offset 5 words, no options
+  write_u8(out, off + 13, flags);
+  write_u16(out, off + 14, window);
+  write_u16(out, off + 16, checksum);
+  write_u16(out, off + 18, 0);  // urgent pointer unused
+}
+
+void TcpHeader::write(BytesSpan out, std::size_t off, BytesView payload,
+                      const Ipv4Address& src, const Ipv4Address& dst) {
+  checksum = 0;
+  write_raw(out, off);
+  u16 seg_len = static_cast<u16>(kSize + payload.size());
+  u32 acc = pseudo_header_sum(src, dst, IpProto::kTcp, seg_len);
+  acc = checksum_partial(BytesView(out).subspan(off, kSize), acc);
+  acc = checksum_partial(payload, acc);
+  checksum = checksum_finish(acc);
+  write_u16(out, off + 16, checksum);
+}
+
+std::optional<TcpHeader> TcpHeader::read(BytesView in, std::size_t off) {
+  if (in.size() < off + kSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = read_u16(in, off + 0);
+  h.dst_port = read_u16(in, off + 2);
+  h.seq = read_u32(in, off + 4);
+  h.ack = read_u32(in, off + 8);
+  h.flags = read_u8(in, off + 13);
+  h.window = read_u16(in, off + 14);
+  h.checksum = read_u16(in, off + 16);
+  return h;
+}
+
+bool TcpHeader::verify_checksum(BytesView in, std::size_t off,
+                                std::size_t seg_len, const Ipv4Address& src,
+                                const Ipv4Address& dst) {
+  if (in.size() < off + seg_len || seg_len < kSize) return false;
+  u32 acc = pseudo_header_sum(src, dst, IpProto::kTcp, static_cast<u16>(seg_len));
+  acc = checksum_partial(in.subspan(off, seg_len), acc);
+  return checksum_finish(acc) == 0;
+}
+
+std::string TcpHeader::flags_string() const {
+  std::string s;
+  if (flags & tcp_flags::kSyn) s += "S";
+  if (flags & tcp_flags::kFin) s += "F";
+  if (flags & tcp_flags::kRst) s += "R";
+  if (flags & tcp_flags::kPsh) s += "P";
+  if (flags & tcp_flags::kAck) s += ".";
+  if (flags & tcp_flags::kUrg) s += "U";
+  return s.empty() ? "-" : s;
+}
+
+}  // namespace vwire::net

@@ -1,0 +1,51 @@
+// TCP header (20 bytes, no options).
+//
+// Layout matters to the reproduction: in an Ethernet+IPv4 frame the source
+// port lands at byte 34, destination port at 36, sequence number at 38,
+// acknowledgement at 42 and the flags byte at 47 — exactly the offsets the
+// paper's Fig 2 filter table uses.
+#pragma once
+
+#include "vwire/net/ipv4.hpp"
+
+namespace vwire::net {
+
+namespace tcp_flags {
+inline constexpr u8 kFin = 0x01;
+inline constexpr u8 kSyn = 0x02;
+inline constexpr u8 kRst = 0x04;
+inline constexpr u8 kPsh = 0x08;
+inline constexpr u8 kAck = 0x10;
+inline constexpr u8 kUrg = 0x20;
+}  // namespace tcp_flags
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  u16 src_port{0};
+  u16 dst_port{0};
+  u32 seq{0};
+  u32 ack{0};
+  u8 flags{0};
+  u16 window{0};
+  u16 checksum{0};
+
+  /// Serializes at `off` and, when src/dst are given, computes the real
+  /// checksum over pseudo-header + header + `payload`.
+  void write(BytesSpan out, std::size_t off, BytesView payload,
+             const Ipv4Address& src, const Ipv4Address& dst);
+
+  /// Serialization without checksum computation (checksum field as-is).
+  void write_raw(BytesSpan out, std::size_t off = 0) const;
+
+  static std::optional<TcpHeader> read(BytesView in, std::size_t off = 0);
+
+  /// Verifies the transport checksum of a TCP segment (`in` spans header
+  /// plus payload of `seg_len` bytes starting at `off`).
+  static bool verify_checksum(BytesView in, std::size_t off, std::size_t seg_len,
+                              const Ipv4Address& src, const Ipv4Address& dst);
+
+  std::string flags_string() const;
+};
+
+}  // namespace vwire::net

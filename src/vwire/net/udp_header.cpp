@@ -1,0 +1,44 @@
+#include "vwire/net/udp_header.hpp"
+
+#include "vwire/util/checksum.hpp"
+
+namespace vwire::net {
+
+void UdpHeader::write(BytesSpan out, std::size_t off, BytesView payload,
+                      const Ipv4Address& src, const Ipv4Address& dst) {
+  length = static_cast<u16>(kSize + payload.size());
+  write_u16(out, off + 0, src_port);
+  write_u16(out, off + 2, dst_port);
+  write_u16(out, off + 4, length);
+  write_u16(out, off + 6, 0);
+  u32 acc = pseudo_header_sum(src, dst, IpProto::kUdp, length);
+  acc = checksum_partial(BytesView(out).subspan(off, kSize), acc);
+  acc = checksum_partial(payload, acc);
+  checksum = checksum_finish(acc);
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  write_u16(out, off + 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::read(BytesView in, std::size_t off) {
+  if (in.size() < off + kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = read_u16(in, off + 0);
+  h.dst_port = read_u16(in, off + 2);
+  h.length = read_u16(in, off + 4);
+  h.checksum = read_u16(in, off + 6);
+  return h;
+}
+
+bool UdpHeader::verify_checksum(BytesView in, std::size_t off,
+                                std::size_t dgram_len, const Ipv4Address& src,
+                                const Ipv4Address& dst) {
+  if (in.size() < off + dgram_len || dgram_len < kSize) return false;
+  if (read_u16(in, off + 6) == 0) return true;  // checksum disabled
+  u32 acc = pseudo_header_sum(src, dst, IpProto::kUdp, static_cast<u16>(dgram_len));
+  acc = checksum_partial(in.subspan(off, dgram_len), acc);
+  u16 result = checksum_finish(acc);
+  // A transmitted 0 is sent as 0xffff; sum including it yields 0 or 0xffff.
+  return result == 0 || result == 0xffff;
+}
+
+}  // namespace vwire::net

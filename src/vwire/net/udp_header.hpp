@@ -1,0 +1,27 @@
+// UDP header (8 bytes) with real checksum handling.
+#pragma once
+
+#include "vwire/net/ipv4.hpp"
+
+namespace vwire::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  u16 src_port{0};
+  u16 dst_port{0};
+  u16 length{0};  ///< header + payload
+  u16 checksum{0};
+
+  /// Serializes at `off`, computing the checksum over pseudo-header +
+  /// header + payload.
+  void write(BytesSpan out, std::size_t off, BytesView payload,
+             const Ipv4Address& src, const Ipv4Address& dst);
+
+  static std::optional<UdpHeader> read(BytesView in, std::size_t off = 0);
+
+  static bool verify_checksum(BytesView in, std::size_t off, std::size_t dgram_len,
+                              const Ipv4Address& src, const Ipv4Address& dst);
+};
+
+}  // namespace vwire::net

@@ -1,0 +1,18 @@
+#include "vwire/phy/bit_error.hpp"
+
+#include <cmath>
+
+namespace vwire::phy {
+
+BitErrorModel::BitErrorModel(double ber, u64 seed) : ber_(ber), rng_(seed) {}
+
+bool BitErrorModel::corrupt(std::size_t bytes) {
+  if (ber_ <= 0.0) return false;
+  double bits = static_cast<double>(bytes) * 8.0;
+  // P(at least one bit flips) = 1 - (1-ber)^bits, computed in log space to
+  // stay accurate for tiny error rates.
+  double p_ok = std::exp(bits * std::log1p(-ber_));
+  return rng_.chance(1.0 - p_ok);
+}
+
+}  // namespace vwire::phy

@@ -1,0 +1,27 @@
+// Per-frame bit-error lottery.
+//
+// A frame of n bits survives with probability (1-ber)^n.  A corrupted frame
+// is treated the way a real NIC treats a bad-FCS frame: silently discarded.
+// These silent losses are precisely the "faults VirtualWire cannot account
+// for" that the paper's Reliable Link Layer masks (§3.3).
+#pragma once
+
+#include "vwire/util/rng.hpp"
+
+namespace vwire::phy {
+
+class BitErrorModel {
+ public:
+  BitErrorModel(double ber, u64 seed);
+
+  /// True if a frame of `bytes` octets gets corrupted in transit.
+  bool corrupt(std::size_t bytes);
+
+  double ber() const { return ber_; }
+
+ private:
+  double ber_;
+  Rng rng_;
+};
+
+}  // namespace vwire::phy

@@ -1,0 +1,49 @@
+#include "vwire/phy/medium.hpp"
+
+#include "vwire/util/assert.hpp"
+#include "vwire/util/logging.hpp"
+
+namespace vwire::phy {
+
+Medium::Medium(sim::Simulator& sim, LinkParams params, u64 seed)
+    : sim_(sim), params_(params), bit_errors_(params.bit_error_rate, seed) {}
+
+PortId Medium::attach(MediumClient* client) {
+  VWIRE_ASSERT(client != nullptr, "attach null client");
+  ports_.push_back(Port{client, true, {}, 0});
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void Medium::set_port_up(PortId port, bool up) {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  ports_[port].up = up;
+}
+
+bool Medium::port_up(PortId port) const {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  return ports_[port].up;
+}
+
+Duration Medium::serialization_time(std::size_t bytes) const {
+  std::size_t wire_bytes = std::max(bytes, params_.min_frame_bytes);
+  double secs = static_cast<double>(wire_bytes) * 8.0 / params_.bandwidth_bps;
+  return seconds_f(secs);
+}
+
+bool Medium::corrupts_frame(std::size_t bytes) {
+  return bit_errors_.corrupt(bytes);
+}
+
+void Medium::deliver_to_port(PortId port, net::Packet pkt) {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  Port& p = ports_[port];
+  if (!p.up) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += pkt.size();
+  p.client->medium_deliver(std::move(pkt));
+}
+
+}  // namespace vwire::phy

@@ -1,0 +1,103 @@
+// Physical medium abstraction.
+//
+// This module replaces the paper's physical testbed (100 Mbps switch /
+// shared Ethernet segment between Pentium-4 hosts).  A Medium connects NICs
+// (MediumClient attachment points), charges serialization + propagation
+// delay for every frame, bounds queues (overload drops), and can corrupt
+// frames with a bit-error model — the uncontrolled loss the Reliable Link
+// Layer exists to hide (paper §3.3).
+#pragma once
+
+#include "vwire/net/packet.hpp"
+#include "vwire/phy/bit_error.hpp"
+#include "vwire/sim/simulator.hpp"
+
+namespace vwire::phy {
+
+/// Port index on a medium.
+using PortId = u32;
+inline constexpr PortId kInvalidPort = 0xffffffffu;
+
+/// A NIC's view of the medium: it receives frames via deliver().
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+
+  /// A frame has arrived at this attachment point.
+  virtual void medium_deliver(net::Packet pkt) = 0;
+
+  /// The MAC address frames are addressed to (switch forwarding key).
+  virtual net::MacAddress medium_mac() const = 0;
+};
+
+struct LinkParams {
+  double bandwidth_bps{100e6};          ///< the paper's 100 Mbps testbed
+  Duration propagation{micros(5)};      ///< one-way propagation per hop
+  std::size_t queue_limit{128};         ///< frames per port queue
+  double bit_error_rate{0.0};           ///< per-bit corruption probability
+  std::size_t min_frame_bytes{64};      ///< Ethernet minimum frame size
+};
+
+struct MediumStats {
+  u64 frames_offered{0};
+  u64 frames_delivered{0};
+  u64 frames_dropped_error{0};  ///< corrupted by bit errors (silent loss)
+  u64 frames_dropped_queue{0};  ///< queue overflow under overload
+  u64 frames_dropped_down{0};   ///< destination port down (FAIL'ed node)
+  u64 bytes_delivered{0};
+  u64 collisions{0};            ///< shared-bus deferrals
+};
+
+class Medium {
+ public:
+  explicit Medium(sim::Simulator& sim, LinkParams params, u64 seed = 1);
+  virtual ~Medium() = default;
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Attaches a client; the returned port is used for transmit().
+  PortId attach(MediumClient* client);
+
+  /// Administratively downs/ups a port (the FAIL primitive downs the
+  /// failed node's port; a down port neither sends nor receives).
+  void set_port_up(PortId port, bool up);
+  bool port_up(PortId port) const;
+
+  /// Hands a frame to the medium for transmission from `port`.
+  virtual void transmit(PortId port, net::Packet pkt) = 0;
+
+  const MediumStats& stats() const { return stats_; }
+  const LinkParams& params() const { return params_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Wire time to serialize a frame of `bytes` (padded to the minimum
+  /// frame size, as a real MAC would).
+  Duration serialization_time(std::size_t bytes) const;
+
+ protected:
+  struct Port {
+    MediumClient* client{nullptr};
+    bool up{true};
+    // Transmit-side accounting: when the port's queue drains, and how many
+    // frames are waiting (for the queue-limit drop decision).
+    TimePoint busy_until{};
+    std::size_t queued{0};
+  };
+
+  /// Runs the bit-error lottery; true means the frame would fail its FCS
+  /// check and a real NIC would discard it silently.
+  bool corrupts_frame(std::size_t bytes);
+
+  /// Final hop: hands the frame to the destination port's client (unless
+  /// the port is down or the frame was corrupted).
+  void deliver_to_port(PortId port, net::Packet pkt);
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  BitErrorModel bit_errors_;
+  std::vector<Port> ports_;
+  MediumStats stats_;
+};
+
+}  // namespace vwire::phy

@@ -1,0 +1,32 @@
+// Half-duplex shared Ethernet segment (single collision domain).
+//
+// Rether was designed to regulate access to exactly this kind of medium: a
+// shared bus where simultaneous transmitters collide.  All attached NICs
+// share one channel; a frame occupies the channel for its serialization
+// time, contending transmitters defer (counted as collisions) and pay a
+// CSMA/CD-style randomized backoff before their slot.
+#pragma once
+
+#include "vwire/phy/medium.hpp"
+
+namespace vwire::phy {
+
+class SharedBus final : public Medium {
+ public:
+  SharedBus(sim::Simulator& sim, LinkParams params, u64 seed = 1);
+
+  void transmit(PortId port, net::Packet pkt) override;
+
+ private:
+  void complete(PortId src_port, net::Packet pkt);
+
+  TimePoint channel_busy_until_{};
+  std::size_t channel_queued_{0};
+  Rng backoff_rng_;
+
+  /// 512-bit times at 10 Mbps in classic Ethernet; kept independent of the
+  /// configured rate as a plain contention penalty.
+  static constexpr Duration kSlot = micros(51);
+};
+
+}  // namespace vwire::phy

@@ -1,0 +1,89 @@
+#include "vwire/phy/switched_lan.hpp"
+
+#include "vwire/util/logging.hpp"
+
+namespace vwire::phy {
+
+SwitchedLan::SwitchedLan(sim::Simulator& sim, LinkParams params, u64 seed)
+    : Medium(sim, params, seed) {}
+
+std::optional<TimePoint> SwitchedLan::enqueue_leg(TimePoint& busy_until,
+                                                  std::size_t& queued,
+                                                  std::size_t bytes) {
+  if (queued >= params_.queue_limit) return std::nullopt;
+  TimePoint start = std::max(sim_.now(), busy_until);
+  TimePoint done = start + serialization_time(bytes);
+  busy_until = done;
+  ++queued;
+  return done;
+}
+
+PortId SwitchedLan::lookup(const net::MacAddress& dst) const {
+  for (PortId p = 0; p < ports_.size(); ++p) {
+    if (ports_[p].client->medium_mac() == dst) return p;
+  }
+  return kInvalidPort;
+}
+
+void SwitchedLan::transmit(PortId port, net::Packet pkt) {
+  ++stats_.frames_offered;
+  if (!port_up(port)) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
+  Port& in = ports_[port];
+  auto done = enqueue_leg(in.busy_until, in.queued, pkt.size());
+  if (!done) {
+    ++stats_.frames_dropped_queue;
+    return;
+  }
+  // Frame fully received by the switch after serialization + propagation.
+  TimePoint at_switch = *done + params_.propagation;
+  auto shared = std::make_shared<net::Packet>(std::move(pkt));
+  sim_.at(at_switch, [this, port, shared] {
+    --ports_[port].queued;
+    switch_forward(port, std::move(*shared));
+  });
+}
+
+void SwitchedLan::switch_forward(PortId ingress, net::Packet pkt) {
+  auto eth = pkt.ethernet();
+  if (!eth) return;
+
+  if (egress_.size() < ports_.size()) egress_.resize(ports_.size());
+
+  auto send_out = [this, ingress, &pkt](PortId out) {
+    if (out == ingress) return;
+    Leg& leg = egress_[out];
+    auto done = enqueue_leg(leg.busy_until, leg.queued, pkt.size());
+    if (!done) {
+      ++stats_.frames_dropped_queue;
+      return;
+    }
+    TimePoint arrive = *done + params_.propagation;
+    bool corrupted = corrupts_frame(pkt.size());
+    auto shared = std::make_shared<net::Packet>(pkt.clone());
+    sim_.at(arrive, [this, out, corrupted, shared] {
+      --egress_[out].queued;
+      if (corrupted) {
+        ++stats_.frames_dropped_error;
+        return;
+      }
+      deliver_to_port(out, std::move(*shared));
+    });
+  };
+
+  if (eth->dst.is_broadcast()) {
+    for (PortId p = 0; p < ports_.size(); ++p) send_out(p);
+    return;
+  }
+  PortId out = lookup(eth->dst);
+  if (out == kInvalidPort) {
+    // Unknown unicast floods, like a real learning switch pre-learning.
+    for (PortId p = 0; p < ports_.size(); ++p) send_out(p);
+    return;
+  }
+  send_out(out);
+}
+
+}  // namespace vwire::phy

@@ -1,0 +1,40 @@
+// Store-and-forward switched LAN (the paper's "100 Mbps switch" testbed).
+//
+// Each frame crosses two hops: sender → switch (ingress link) and switch →
+// destination (egress link).  Every hop charges serialization at the link
+// rate plus propagation; each direction of each link has its own capacity,
+// i.e. the switch is full duplex.  Per-port FIFO queues with a frame limit
+// model output buffering: overload drops, which is how offered load beyond
+// line rate manifests (Fig 7's saturation region).
+#pragma once
+
+#include "vwire/phy/medium.hpp"
+
+namespace vwire::phy {
+
+class SwitchedLan final : public Medium {
+ public:
+  SwitchedLan(sim::Simulator& sim, LinkParams params, u64 seed = 1);
+
+  void transmit(PortId port, net::Packet pkt) override;
+
+ private:
+  /// Queues `pkt` on a transmit leg described by (busy_until, queued) and
+  /// returns the completion time, or nullopt if the queue is full.
+  std::optional<TimePoint> enqueue_leg(TimePoint& busy_until,
+                                       std::size_t& queued, std::size_t bytes);
+
+  /// Frame has fully arrived at the switch; forward out the egress leg.
+  void switch_forward(PortId ingress, net::Packet pkt);
+
+  /// Looks up the destination port for a MAC; kInvalidPort when unknown.
+  PortId lookup(const net::MacAddress& dst) const;
+
+  struct Leg {
+    TimePoint busy_until{};
+    std::size_t queued{0};
+  };
+  std::vector<Leg> egress_;  // switch → node, indexed by port
+};
+
+}  // namespace vwire::phy

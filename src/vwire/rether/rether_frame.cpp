@@ -1,0 +1,59 @@
+#include "vwire/rether/rether_frame.hpp"
+
+#include <algorithm>
+
+namespace vwire::rether {
+
+net::Packet RetherFrame::build(const net::MacAddress& dst,
+                               const net::MacAddress& src) const {
+  Bytes payload(2 + 4 + 4 + 2 + 8 * ring.size());
+  write_u16(payload, 0, static_cast<u16>(op));
+  write_u32(payload, 2, token_seq);
+  write_u32(payload, 6, ring_version);
+  write_u16(payload, 10, static_cast<u16>(ring.size()));
+  std::size_t off = 12;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    std::copy(ring[i].bytes().begin(), ring[i].bytes().end(),
+              payload.begin() + static_cast<std::ptrdiff_t>(off));
+    off += 6;
+    write_u16(payload, off, i < rt_quota.size() ? rt_quota[i] : 0);
+    off += 2;
+  }
+  return net::Packet(net::make_frame(
+      dst, src, static_cast<u16>(net::EtherType::kRether), payload));
+}
+
+std::optional<RetherFrame> RetherFrame::parse(BytesView frame) {
+  if (net::frame_ethertype(frame) != static_cast<u16>(net::EtherType::kRether)) {
+    return std::nullopt;
+  }
+  BytesView p = frame.subspan(net::EthernetHeader::kSize);
+  if (p.size() < 12) return std::nullopt;
+  RetherFrame f;
+  u16 op = read_u16(p, 0);
+  switch (op) {
+    case static_cast<u16>(RetherOp::kToken):
+    case static_cast<u16>(RetherOp::kTokenAck):
+    case static_cast<u16>(RetherOp::kJoinReq):
+    case static_cast<u16>(RetherOp::kJoinAck):
+      f.op = static_cast<RetherOp>(op);
+      break;
+    default:
+      return std::nullopt;
+  }
+  f.token_seq = read_u32(p, 2);
+  f.ring_version = read_u32(p, 6);
+  u16 count = read_u16(p, 10);
+  if (p.size() < 12 + 8u * count) return std::nullopt;
+  f.ring.reserve(count);
+  f.rt_quota.reserve(count);
+  for (u16 i = 0; i < count; ++i) {
+    std::array<u8, 6> mac{};
+    std::copy_n(p.begin() + 12 + 8 * i, 6, mac.begin());
+    f.ring.emplace_back(mac);
+    f.rt_quota.push_back(read_u16(p, 12 + 8 * i + 6));
+  }
+  return f;
+}
+
+}  // namespace vwire::rether

@@ -1,0 +1,48 @@
+// Rether wire format.
+//
+// Rether control frames are raw Ethernet frames with ethertype 0x9900 (the
+// paper's Fig 6 filter: `tr_token: (12 2 0x9900), (14 2 0x0001)`), so the
+// opcode lands at frame offset 14 where the paper's filters match it.
+//
+// Layout after the Ethernet header:
+//   [opcode:2][token_seq:4][ring_version:4][member_count:2]
+//   ([6B MAC][rt_quota:2])*count
+//
+// The token carries the current ring membership, its version, and each
+// member's real-time reservation (frames per cycle); a node that evicts a
+// dead member or admits a reservation bumps the version and the next token
+// pass propagates the new state (paper §6.2; Rether's bandwidth guarantee
+// per Venkatramani & Chiueh).
+#pragma once
+
+#include <vector>
+
+#include "vwire/net/packet.hpp"
+
+namespace vwire::rether {
+
+enum class RetherOp : u16 {
+  kToken = 0x0001,     // matches the paper's tr_token filter
+  kTokenAck = 0x0010,  // matches the paper's tr_token_ack filter
+  kJoinReq = 0x0020,
+  kJoinAck = 0x0021,
+};
+
+struct RetherFrame {
+  RetherOp op{RetherOp::kToken};
+  u32 token_seq{0};
+  u32 ring_version{0};
+  std::vector<net::MacAddress> ring;  ///< token / join-ack only
+  /// Per-member RT reservation (frames/cycle), parallel to `ring`; zero =
+  /// best-effort only.  Sized to `ring` on the wire.
+  std::vector<u16> rt_quota;
+
+  /// Builds a complete Ethernet frame carrying this Rether message.
+  net::Packet build(const net::MacAddress& dst,
+                    const net::MacAddress& src) const;
+
+  /// Parses an ethertype-0x9900 frame; nullopt on malformed bytes.
+  static std::optional<RetherFrame> parse(BytesView frame);
+};
+
+}  // namespace vwire::rether

@@ -1,0 +1,344 @@
+#include "vwire/rether/rether_layer.hpp"
+
+#include "vwire/util/logging.hpp"
+
+namespace vwire::rether {
+
+RetherLayer::RetherLayer(sim::Simulator& sim, RetherParams params,
+                         std::vector<net::MacAddress> initial_ring)
+    : sim_(sim),
+      params_(params),
+      ring_(std::move(initial_ring), /*version=*/1),
+      ack_timer_(sim, [this] { on_ack_timeout(); }),
+      hold_timer_(sim, [this] { pass_token(); }),
+      watchdog_(sim, [this] { on_watchdog(); }) {}
+
+void RetherLayer::start(bool with_token) {
+  started_ = true;
+  if (with_token) {
+    token_seq_ = 1;
+    highest_seq_seen_ = 1;
+    hold_token();
+  } else {
+    kick_watchdog();
+  }
+}
+
+void RetherLayer::stop() {
+  started_ = false;
+  ack_timer_.cancel();
+  hold_timer_.cancel();
+  watchdog_.cancel();
+}
+
+void RetherLayer::kick_watchdog() {
+  if (started_ && params_.watchdog) watchdog_.start(params_.regen_timeout);
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+
+void RetherLayer::send_down(net::Packet pkt) {
+  if (!started_) {
+    pass_down(std::move(pkt));  // protocol not running: unregulated
+    return;
+  }
+  // RT classification only takes effect under an admitted reservation;
+  // otherwise reserved-class traffic competes as best effort.
+  bool rt = rt_classifier_ && rt_classifier_(pkt) &&
+            ring_.quota_of(node_->mac()) > 0;
+  if (holding_ && queue_.empty() && rt_queue_.empty()) {
+    ++stats_.data_sent;
+    if (rt) ++stats_.rt_sent;
+    pass_down(std::move(pkt));
+    return;
+  }
+  std::deque<net::Packet>& q = rt ? rt_queue_ : queue_;
+  if (q.size() >= params_.queue_limit) {
+    ++stats_.data_dropped_queue;
+    return;
+  }
+  ++stats_.data_queued;
+  q.push_back(std::move(pkt));
+}
+
+void RetherLayer::request_reservation(u16 frames) {
+  pending_reservation_ = frames;
+  reservation_state_ = ReservationState::kPending;
+}
+
+void RetherLayer::resolve_pending_reservation() {
+  if (reservation_state_ != ReservationState::kPending) return;
+  // Admission control against the target cycle: the other members' quotas
+  // plus ours, plus fixed per-hop overhead, must fit the cycle.
+  u32 others = ring_.total_quota() - ring_.quota_of(node_->mac());
+  i64 estimated =
+      static_cast<i64>(others + pending_reservation_) *
+          params_.rt_frame_time.ns +
+      static_cast<i64>(ring_.size()) * params_.per_hop_overhead.ns;
+  if (estimated <= params_.target_cycle.ns) {
+    ring_.set_quota(node_->mac(), pending_reservation_);
+    reservation_state_ = pending_reservation_ == 0
+                             ? ReservationState::kNone
+                             : ReservationState::kAdmitted;
+    ++stats_.reservations_admitted;
+    VWIRE_INFO() << node_->name() << ": rether reservation of "
+                 << pending_reservation_ << " frames/cycle admitted";
+  } else {
+    reservation_state_ = ReservationState::kRejected;
+    ++stats_.reservations_rejected;
+    VWIRE_INFO() << node_->name() << ": rether reservation of "
+                 << pending_reservation_ << " frames/cycle REJECTED";
+  }
+}
+
+void RetherLayer::receive_up(net::Packet pkt) {
+  if (pkt.ethertype() != static_cast<u16>(net::EtherType::kRether)) {
+    pass_up(std::move(pkt));
+    return;
+  }
+  if (node_ != nullptr && node_->failed()) return;  // crashed: silent
+  auto eth = pkt.ethernet();
+  auto f = RetherFrame::parse(pkt.view());
+  if (!eth || !f) return;
+  kick_watchdog();
+  switch (f->op) {
+    case RetherOp::kToken:
+      handle_token(eth->src, *f);
+      break;
+    case RetherOp::kTokenAck:
+      handle_ack(eth->src, *f);
+      break;
+    case RetherOp::kJoinReq:
+      handle_join_req(eth->src);
+      break;
+    case RetherOp::kJoinAck:
+      handle_join_ack(*f);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token handling
+
+void RetherLayer::handle_token(const net::MacAddress& from,
+                               const RetherFrame& f) {
+  if (f.token_seq < highest_seq_seen_) {
+    // A strictly older token is a duplicate from a partitioned holder:
+    // drop it unacknowledged so its sender's retransmissions dry up.
+    ++stats_.stale_tokens_dropped;
+    return;
+  }
+  ring_.adopt_if_newer(f.ring, f.rt_quota, f.ring_version);
+  ++stats_.tokens_received;
+  highest_seq_seen_ = std::max(highest_seq_seen_, f.token_seq);
+  token_seq_ = f.token_seq;
+
+  // Acknowledge to the previous holder.
+  RetherFrame ack;
+  ack.op = RetherOp::kTokenAck;
+  ack.token_seq = f.token_seq;
+  ack.ring_version = ring_.version();
+  ++stats_.acks_sent;
+  pass_down(ack.build(from, node_->mac()));
+
+  if (holding_) return;  // duplicate delivery of the token we already hold
+  hold_token();
+}
+
+void RetherLayer::hold_token() {
+  holding_ = true;
+  awaiting_ack_from_.reset();
+  ack_timer_.cancel();
+  // Cycle-time measurement feeds best-effort shedding and admission.
+  TimePoint now = sim_.now();
+  last_cycle_ = last_hold_.ns >= 0 ? now - last_hold_ : Duration{0};
+  last_hold_ = now;
+  resolve_pending_reservation();
+  drain_quantum();
+}
+
+void RetherLayer::drain_quantum() {
+  std::size_t sent = 0;
+  // Reserved traffic first: the guaranteed share is sent every hold.
+  u16 quota = ring_.quota_of(node_->mac());
+  while (!rt_queue_.empty() && sent < quota) {
+    ++stats_.data_sent;
+    ++stats_.rt_sent;
+    pass_down(std::move(rt_queue_.front()));
+    rt_queue_.pop_front();
+    ++sent;
+  }
+  // Best effort only while the cycle is on schedule — when the ring runs
+  // behind its target cycle, best effort is shed to protect the
+  // reservations (Rether's core guarantee).
+  std::size_t be_budget = params_.hold_quantum_frames;
+  if (ring_.total_quota() > 0 && last_cycle_.ns > params_.target_cycle.ns) {
+    be_budget = 0;
+    if (!queue_.empty()) ++stats_.be_shed_holds;
+  }
+  std::size_t be_sent = 0;
+  // A released reservation may strand frames in the RT queue; they drain
+  // at best-effort priority ahead of the regular queue.
+  while (quota == 0 && !rt_queue_.empty() && be_sent < be_budget) {
+    ++stats_.data_sent;
+    pass_down(std::move(rt_queue_.front()));
+    rt_queue_.pop_front();
+    ++be_sent;
+    ++sent;
+  }
+  while (!queue_.empty() && be_sent < be_budget) {
+    ++stats_.data_sent;
+    pass_down(std::move(queue_.front()));
+    queue_.pop_front();
+    ++be_sent;
+    ++sent;
+  }
+  if (ring_.size() <= 1) {
+    // Alone in the ring: keep the token, poll the queue periodically.
+    hold_timer_.start(params_.idle_hold);
+    return;
+  }
+  if (sent == 0) {
+    // Nothing to send: hold briefly so an idle ring doesn't spin at wire
+    // speed, then pass on.
+    hold_timer_.start(params_.idle_hold);
+  } else {
+    pass_token();
+  }
+}
+
+void RetherLayer::pass_token() {
+  if (!holding_) return;
+  if (ring_.size() <= 1) {
+    drain_quantum();
+    return;
+  }
+  auto succ = ring_.successor_of(node_->mac());
+  if (!succ) {
+    // We were evicted (falsely suspected): wait to be re-admitted.
+    holding_ = false;
+    return;
+  }
+  ++token_seq_;
+  highest_seq_seen_ = std::max(highest_seq_seen_, token_seq_);
+  transmissions_ = 0;
+  awaiting_ack_from_ = *succ;
+  holding_ = false;
+  send_token_to(*succ);
+}
+
+void RetherLayer::send_token_to(const net::MacAddress& dst) {
+  RetherFrame tok;
+  tok.op = RetherOp::kToken;
+  tok.token_seq = token_seq_;
+  tok.ring_version = ring_.version();
+  tok.ring = ring_.members();
+  tok.rt_quota = ring_.quotas();
+  ++transmissions_;
+  ++stats_.token_sends;
+  if (transmissions_ == 1) {
+    ++stats_.tokens_passed;
+  } else {
+    ++stats_.token_retransmits;
+  }
+  pass_down(tok.build(dst, node_->mac()));
+  ack_timer_.start(params_.token_ack_timeout);
+}
+
+void RetherLayer::handle_ack(const net::MacAddress& from,
+                             const RetherFrame& f) {
+  if (!awaiting_ack_from_ || !(from == *awaiting_ack_from_) ||
+      f.token_seq != token_seq_) {
+    return;  // stale ack
+  }
+  ++stats_.acks_received;
+  awaiting_ack_from_.reset();
+  ack_timer_.cancel();
+}
+
+void RetherLayer::on_ack_timeout() {
+  if (!awaiting_ack_from_) return;
+  if (transmissions_ < params_.token_max_transmissions) {
+    send_token_to(*awaiting_ack_from_);
+    return;
+  }
+  evict_successor_and_retry();
+}
+
+void RetherLayer::evict_successor_and_retry() {
+  // The paper §6.2: "the fault detection mechanism should be able to
+  // reconstruct the ring by detecting that there is no token-ack ... —
+  // the successor is declared dead and removed".
+  net::MacAddress dead = *awaiting_ack_from_;
+  awaiting_ack_from_.reset();
+  ++stats_.nodes_evicted;
+  ring_.remove(dead);
+  VWIRE_INFO() << node_->name() << ": rether evicted "
+               << dead.to_string() << ", ring size " << ring_.size();
+  holding_ = true;  // we still own the token
+  if (ring_.size() <= 1) {
+    drain_quantum();
+    return;
+  }
+  auto succ = ring_.successor_of(node_->mac());
+  if (!succ) {
+    holding_ = false;
+    return;
+  }
+  ++token_seq_;
+  highest_seq_seen_ = std::max(highest_seq_seen_, token_seq_);
+  transmissions_ = 0;
+  awaiting_ack_from_ = *succ;
+  holding_ = false;
+  send_token_to(*succ);
+}
+
+// ---------------------------------------------------------------------------
+// Token-loss watchdog
+
+void RetherLayer::on_watchdog() {
+  if (!started_ || node_->failed()) return;
+  kick_watchdog();
+  if (holding_ || awaiting_ack_from_) return;
+  // Silence for a full regeneration window: if we are the lowest surviving
+  // member, mint a replacement token.  The big sequence jump dominates any
+  // stale token still wandering the network.
+  auto low = ring_.lowest();
+  if (!low || !(*low == node_->mac())) return;
+  ++stats_.tokens_regenerated;
+  token_seq_ = highest_seq_seen_ + 1000;
+  highest_seq_seen_ = token_seq_;
+  VWIRE_INFO() << node_->name() << ": rether regenerated token seq "
+               << token_seq_;
+  hold_token();
+}
+
+// ---------------------------------------------------------------------------
+// Join (extension)
+
+void RetherLayer::request_join() {
+  RetherFrame req;
+  req.op = RetherOp::kJoinReq;
+  pass_down(req.build(net::MacAddress::broadcast(), node_->mac()));
+}
+
+void RetherLayer::handle_join_req(const net::MacAddress& from) {
+  if (!holding_) return;  // only the token holder admits members
+  if (!ring_.contains(from)) {
+    ring_.add(from);
+    ++stats_.joins_admitted;
+  }
+  RetherFrame ack;
+  ack.op = RetherOp::kJoinAck;
+  ack.ring_version = ring_.version();
+  ack.ring = ring_.members();
+  ack.rt_quota = ring_.quotas();
+  pass_down(ack.build(from, node_->mac()));
+}
+
+void RetherLayer::handle_join_ack(const RetherFrame& f) {
+  ring_.adopt_if_newer(f.ring, f.rt_quota, f.ring_version);
+}
+
+}  // namespace vwire::rether

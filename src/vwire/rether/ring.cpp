@@ -1,0 +1,80 @@
+#include "vwire/rether/ring.hpp"
+
+#include <algorithm>
+
+namespace vwire::rether {
+
+namespace {
+
+std::ptrdiff_t index_of(const std::vector<net::MacAddress>& v,
+                        const net::MacAddress& mac) {
+  auto it = std::find(v.begin(), v.end(), mac);
+  return it == v.end() ? -1 : it - v.begin();
+}
+
+}  // namespace
+
+bool Ring::contains(const net::MacAddress& mac) const {
+  return index_of(members_, mac) >= 0;
+}
+
+std::optional<net::MacAddress> Ring::successor_of(
+    const net::MacAddress& mac) const {
+  std::ptrdiff_t i = index_of(members_, mac);
+  if (i < 0) return std::nullopt;
+  return members_[static_cast<std::size_t>(i + 1) % members_.size()];
+}
+
+void Ring::remove(const net::MacAddress& mac) {
+  std::ptrdiff_t i = index_of(members_, mac);
+  if (i < 0) return;
+  members_.erase(members_.begin() + i);
+  quotas_.erase(quotas_.begin() + i);
+  ++version_;
+}
+
+void Ring::add(const net::MacAddress& mac) {
+  if (contains(mac)) return;
+  members_.push_back(mac);
+  quotas_.push_back(0);
+  ++version_;
+}
+
+u16 Ring::quota_of(const net::MacAddress& mac) const {
+  std::ptrdiff_t i = index_of(members_, mac);
+  return i < 0 ? 0 : quotas_[static_cast<std::size_t>(i)];
+}
+
+void Ring::set_quota(const net::MacAddress& mac, u16 frames) {
+  std::ptrdiff_t i = index_of(members_, mac);
+  if (i < 0 || quotas_[static_cast<std::size_t>(i)] == frames) return;
+  quotas_[static_cast<std::size_t>(i)] = frames;
+  ++version_;
+}
+
+u32 Ring::total_quota() const {
+  u32 total = 0;
+  for (u16 q : quotas_) total += q;
+  return total;
+}
+
+bool Ring::adopt_if_newer(const std::vector<net::MacAddress>& other,
+                          const std::vector<u16>& other_quotas, u32 version) {
+  if (version <= version_) return false;
+  members_ = other;
+  quotas_ = other_quotas;
+  quotas_.resize(members_.size(), 0);
+  version_ = version;
+  return true;
+}
+
+std::optional<net::MacAddress> Ring::lowest() const {
+  if (members_.empty()) return std::nullopt;
+  return *std::min_element(
+      members_.begin(), members_.end(),
+      [](const net::MacAddress& a, const net::MacAddress& b) {
+        return a.bytes() < b.bytes();
+      });
+}
+
+}  // namespace vwire::rether

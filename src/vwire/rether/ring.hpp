@@ -1,0 +1,62 @@
+// Versioned token-ring membership with per-member real-time reservations.
+//
+// The ring is an ordered list of MAC addresses; the token visits members in
+// list order, wrapping around.  Every mutation (eviction of a dead node,
+// admission of a joiner, a reservation change) bumps the version; nodes
+// adopt whichever ring carries the highest version they have seen, so a
+// reconstruction spreads with the next token pass.
+#pragma once
+
+#include <vector>
+
+#include "vwire/net/address.hpp"
+
+namespace vwire::rether {
+
+class Ring {
+ public:
+  Ring() = default;
+  Ring(std::vector<net::MacAddress> members, u32 version)
+      : members_(std::move(members)),
+        quotas_(members_.size(), 0),
+        version_(version) {}
+
+  const std::vector<net::MacAddress>& members() const { return members_; }
+  const std::vector<u16>& quotas() const { return quotas_; }
+  u32 version() const { return version_; }
+  std::size_t size() const { return members_.size(); }
+  bool contains(const net::MacAddress& mac) const;
+
+  /// The member after `mac` in token order; `mac` itself when it is the
+  /// only member; nullopt when `mac` is not in the ring.
+  std::optional<net::MacAddress> successor_of(const net::MacAddress& mac) const;
+
+  /// Removes a member (no-op when absent); bumps the version on change.
+  void remove(const net::MacAddress& mac);
+
+  /// Appends a member with no reservation (no-op when present); bumps the
+  /// version on change.
+  void add(const net::MacAddress& mac);
+
+  /// Member's real-time reservation in frames per cycle (0 = best effort).
+  u16 quota_of(const net::MacAddress& mac) const;
+  /// Sets a member's reservation; bumps the version on change.  No-op for
+  /// non-members.
+  void set_quota(const net::MacAddress& mac, u16 frames);
+  /// Sum of all reservations.
+  u32 total_quota() const;
+
+  /// Adopts `other` if it is strictly newer; returns true on adoption.
+  bool adopt_if_newer(const std::vector<net::MacAddress>& other,
+                      const std::vector<u16>& other_quotas, u32 version);
+
+  /// The lowest MAC in the ring — tiebreaker for token regeneration.
+  std::optional<net::MacAddress> lowest() const;
+
+ private:
+  std::vector<net::MacAddress> members_;
+  std::vector<u16> quotas_;
+  u32 version_{0};
+};
+
+}  // namespace vwire::rether

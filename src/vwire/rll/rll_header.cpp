@@ -1,0 +1,82 @@
+#include "vwire/rll/rll_header.hpp"
+
+#include <algorithm>
+
+namespace vwire::rll {
+
+void RllHeader::write(BytesSpan out, std::size_t off) const {
+  write_u8(out, off + 0, static_cast<u8>(type));
+  write_u8(out, off + 1, flags);
+  write_u16(out, off + 2, orig_ethertype);
+  write_u32(out, off + 4, seq);
+  write_u32(out, off + 8, ack);
+}
+
+std::optional<RllHeader> RllHeader::read(BytesView in, std::size_t off) {
+  if (in.size() < off + kSize) return std::nullopt;
+  RllHeader h;
+  u8 t = read_u8(in, off + 0);
+  if (t != static_cast<u8>(RllType::kData) &&
+      t != static_cast<u8>(RllType::kAck)) {
+    return std::nullopt;
+  }
+  h.type = static_cast<RllType>(t);
+  h.flags = read_u8(in, off + 1);
+  h.orig_ethertype = read_u16(in, off + 2);
+  h.seq = read_u32(in, off + 4);
+  h.ack = read_u32(in, off + 8);
+  return h;
+}
+
+bool seq_less(u32 a, u32 b) {
+  return a != b && (b - a) < 0x80000000u;
+}
+
+net::Packet encapsulate(const net::Packet& frame, u32 seq, u32 ack, u8 flags) {
+  const Bytes& in = frame.bytes();
+  Bytes out(in.size() + RllHeader::kSize);
+  // MAC addresses stay; ethertype becomes kRll.
+  std::copy_n(in.begin(), 12, out.begin());
+  write_u16(out, 12, static_cast<u16>(net::EtherType::kRll));
+  RllHeader h;
+  h.type = RllType::kData;
+  h.flags = flags;
+  h.orig_ethertype = net::frame_ethertype(in);
+  h.seq = seq;
+  h.ack = ack;
+  h.write(out, RllHeader::kOffset);
+  std::copy(in.begin() + net::EthernetHeader::kSize, in.end(),
+            out.begin() + net::EthernetHeader::kSize + RllHeader::kSize);
+  net::Packet pkt(std::move(out));
+  pkt.created_at = frame.created_at;
+  return pkt;
+}
+
+std::optional<net::Packet> decapsulate(const net::Packet& pkt) {
+  auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+  if (!h || h->type != RllType::kData) return std::nullopt;
+  const Bytes& in = pkt.bytes();
+  Bytes out(in.size() - RllHeader::kSize);
+  std::copy_n(in.begin(), 12, out.begin());
+  write_u16(out, 12, h->orig_ethertype);
+  std::copy(in.begin() + net::EthernetHeader::kSize + RllHeader::kSize,
+            in.end(), out.begin() + net::EthernetHeader::kSize);
+  net::Packet restored(std::move(out));
+  restored.created_at = pkt.created_at;
+  return restored;
+}
+
+net::Packet make_ack(const net::MacAddress& dst, const net::MacAddress& src,
+                     u32 ack) {
+  Bytes out(net::EthernetHeader::kSize + RllHeader::kSize);
+  net::EthernetHeader{dst, src, static_cast<u16>(net::EtherType::kRll)}.write(
+      out);
+  RllHeader h;
+  h.type = RllType::kAck;
+  h.flags = rll_flags::kAckValid;
+  h.ack = ack;
+  h.write(out, RllHeader::kOffset);
+  return net::Packet(std::move(out));
+}
+
+}  // namespace vwire::rll

@@ -1,0 +1,65 @@
+// Reliable Link Layer wire format.
+//
+// RLL encapsulation keeps the Ethernet MAC header in place and replaces the
+// ethertype with kRll; a 12-byte RLL header (carrying the original
+// ethertype) follows, then the original payload.  Decapsulation therefore
+// restores the frame byte-for-byte, which is what keeps the FSL filter
+// offsets valid above this layer.
+//
+//   0               1               2               3
+//   +------+--------+---------------+-------------------------------+
+//   | type | flags  |   original ethertype          |
+//   +------+--------+-------------------------------+
+//   |                sequence number (u32)          |
+//   +-----------------------------------------------+
+//   |                acknowledgement (u32)          |
+//   +-----------------------------------------------+
+#pragma once
+
+#include "vwire/net/packet.hpp"
+
+namespace vwire::rll {
+
+enum class RllType : u8 {
+  kData = 1,  ///< carries an encapsulated frame
+  kAck = 2,   ///< standalone cumulative acknowledgement
+};
+
+namespace rll_flags {
+inline constexpr u8 kAckValid = 0x01;  ///< the ack field is meaningful
+/// First frame of a new sender epoch: the receiver realigns its expected
+/// sequence to this frame's seq (used after a peer was declared dead and
+/// its outstanding traffic discarded, so a recovered node resynchronizes).
+inline constexpr u8 kReset = 0x02;
+}
+
+struct RllHeader {
+  static constexpr std::size_t kSize = 12;
+  /// Offset of the RLL header within an encapsulated frame.
+  static constexpr std::size_t kOffset = net::EthernetHeader::kSize;
+
+  RllType type{RllType::kData};
+  u8 flags{0};
+  u16 orig_ethertype{0};
+  u32 seq{0};  ///< cumulative: sequence of this data frame
+  u32 ack{0};  ///< next sequence expected from the peer
+
+  void write(BytesSpan out, std::size_t off) const;
+  static std::optional<RllHeader> read(BytesView in, std::size_t off);
+};
+
+/// True if a < b in 32-bit sequence space (RFC 1982 style).
+bool seq_less(u32 a, u32 b);
+
+/// Wraps `frame` (a full Ethernet frame) into an RLL data frame.
+net::Packet encapsulate(const net::Packet& frame, u32 seq, u32 ack, u8 flags);
+
+/// Reverses encapsulate(); nullopt if `pkt` is not a well-formed RLL data
+/// frame.  The restored frame keeps the original ethertype and payload.
+std::optional<net::Packet> decapsulate(const net::Packet& pkt);
+
+/// Builds a standalone ack frame from `src` to `dst`.
+net::Packet make_ack(const net::MacAddress& dst, const net::MacAddress& src,
+                     u32 ack);
+
+}  // namespace vwire::rll

@@ -1,0 +1,185 @@
+#include "vwire/rll/rll_layer.hpp"
+
+#include "vwire/util/logging.hpp"
+
+namespace vwire::rll {
+
+RllLayer::RllLayer(sim::Simulator& sim, RllParams params)
+    : sim_(sim), params_(params) {}
+
+RllLayer::PeerState::PeerState(sim::Simulator& sim, RllLayer* self,
+                               net::MacAddress peer)
+    : peer_mac(peer),
+      rto_timer(sim, [self, this] { self->on_rto(*this); }),
+      ack_timer(sim, [self, this] { self->send_standalone_ack(*this); }) {}
+
+RllLayer::PeerState& RllLayer::peer(const net::MacAddress& mac) {
+  auto it = peers_.find(mac);
+  if (it == peers_.end()) {
+    it = peers_.emplace(mac, std::make_unique<PeerState>(sim_, this, mac))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t RllLayer::unacked_frames() const {
+  std::size_t n = 0;
+  for (const auto& [mac, p] : peers_) n += p->inflight.size();
+  return n;
+}
+
+void RllLayer::send_down(net::Packet pkt) {
+  auto eth = pkt.ethernet();
+  if (!eth || eth->dst.is_broadcast()) {
+    // No single retransmission peer exists for broadcast; let it through.
+    ++stats_.passthrough;
+    pass_down(std::move(pkt));
+    return;
+  }
+  PeerState& p = peer(eth->dst);
+  if (p.inflight.size() >= params_.window) {
+    if (p.pending.size() >= params_.tx_queue_limit) {
+      ++stats_.dropped_queue_full;
+      return;
+    }
+    p.pending.push_back(std::move(pkt));
+    return;
+  }
+  send_data_frame(p, pkt);
+}
+
+void RllLayer::send_data_frame(PeerState& p, const net::Packet& raw) {
+  // Encapsulate with a fresh sequence and a piggybacked cumulative ack.
+  u8 flags = rll_flags::kAckValid;
+  if (p.announce_reset) {
+    flags |= rll_flags::kReset;
+    p.announce_reset = false;
+  }
+  net::Packet data = encapsulate(raw, p.next_seq, ack_value(p), flags);
+  ++p.next_seq;
+  p.inflight.push_back(data.clone());
+  ++stats_.data_tx;
+  if (params_.piggyback) {
+    // The piggybacked ack supersedes any pending standalone one.
+    p.unacked_rx = 0;
+    p.ack_timer.cancel();
+  }
+  if (!p.rto_timer.armed()) p.rto_timer.start(params_.rto);
+  pass_down(std::move(data));
+}
+
+void RllLayer::transmit_window(PeerState& p) {
+  while (p.inflight.size() < params_.window && !p.pending.empty()) {
+    net::Packet raw = std::move(p.pending.front());
+    p.pending.pop_front();
+    send_data_frame(p, raw);
+  }
+}
+
+void RllLayer::handle_ack(PeerState& p, u32 ack) {
+  bool advanced = false;
+  while (!p.inflight.empty() && seq_less(p.send_una, ack)) {
+    p.inflight.pop_front();
+    ++p.send_una;
+    advanced = true;
+  }
+  if (!advanced) return;
+  p.retry_rounds = 0;
+  if (p.inflight.empty()) {
+    p.rto_timer.cancel();
+  } else {
+    p.rto_timer.start(params_.rto);
+  }
+  transmit_window(p);
+}
+
+void RllLayer::on_rto(PeerState& p) {
+  if (p.inflight.empty()) return;
+  if (++p.retry_rounds > params_.max_retry_rounds) {
+    // Peer is unreachable (crashed or FAIL'ed): stop retransmitting so the
+    // rest of the testbed can make progress.  Sequence counters advance as
+    // if acked so the peer resynchronizes if it ever returns.
+    ++stats_.peers_aborted;
+    p.send_una = p.next_seq;
+    p.inflight.clear();
+    p.pending.clear();
+    p.retry_rounds = 0;
+    p.announce_reset = true;  // realign the peer if it ever comes back
+    return;
+  }
+  // Go-back-N: resend everything outstanding.
+  stats_.retransmits += p.inflight.size();
+  for (const net::Packet& frame : p.inflight) {
+    pass_down(frame.clone());
+  }
+  p.rto_timer.start(params_.rto);
+}
+
+void RllLayer::send_standalone_ack(PeerState& p) {
+  ++stats_.acks_tx;
+  p.unacked_rx = 0;
+  p.ack_timer.cancel();
+  pass_down(make_ack(p.peer_mac, node_->mac(), p.recv_next));
+}
+
+void RllLayer::receive_up(net::Packet pkt) {
+  if (pkt.ethertype() != static_cast<u16>(net::EtherType::kRll)) {
+    pass_up(std::move(pkt));  // unencapsulated (e.g. broadcast passthrough)
+    return;
+  }
+  auto eth = pkt.ethernet();
+  auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+  if (!eth || !h) return;  // malformed; a real NIC would have FCS-dropped it
+  PeerState& p = peer(eth->src);
+
+  if (h->flags & rll_flags::kAckValid) handle_ack(p, h->ack);
+  if (h->type == RllType::kAck) {
+    ++stats_.acks_rx;
+    return;
+  }
+
+  ++stats_.data_rx;
+  if (h->flags & rll_flags::kReset) {
+    // Sender started a new epoch (it gave up on us while we were down):
+    // realign and drop any stale reorder state.
+    p.recv_next = h->seq;
+    p.reorder.clear();
+  }
+  if (seq_less(h->seq, p.recv_next)) {
+    // Duplicate of something we already delivered: our ack was lost, so
+    // re-ack immediately to stop the retransmissions.
+    ++stats_.duplicates_rx;
+    send_standalone_ack(p);
+    return;
+  }
+  if (h->seq != p.recv_next) {
+    ++stats_.out_of_order_rx;
+    p.reorder.emplace(h->seq, std::move(pkt));
+    return;
+  }
+
+  // In-order: deliver, then drain any buffered successors.
+  auto deliver = [this, &p](const net::Packet& data) {
+    if (auto restored = decapsulate(data)) {
+      ++stats_.delivered;
+      ++p.unacked_rx;
+      pass_up(std::move(*restored));
+    }
+  };
+  deliver(pkt);
+  ++p.recv_next;
+  for (auto it = p.reorder.find(p.recv_next); it != p.reorder.end();
+       it = p.reorder.find(p.recv_next)) {
+    deliver(it->second);
+    p.reorder.erase(it);
+    ++p.recv_next;
+  }
+
+  if (p.unacked_rx >= params_.ack_every) {
+    send_standalone_ack(p);
+  } else if (!p.ack_timer.armed()) {
+    p.ack_timer.start(params_.delayed_ack);
+  }
+}
+
+}  // namespace vwire::rll

@@ -1,0 +1,117 @@
+// Reliable Link Layer — the paper's sliding-window ARQ (§3.3).
+//
+// "VirtualWire implements a Reliable Link Layer (RLL) to prevent MAC layer
+//  bit errors from causing a packet drop when the FIE/FAE is unaware of the
+//  packet loss.  The RLL guarantees reliable delivery of packets handed
+//  over to it by the VirtualWire layer, and is based on a simple sliding
+//  window protocol."
+//
+// Implementation notes:
+//  * Per-peer (per remote MAC) sender and receiver state.
+//  * Cumulative acknowledgements, piggybacked on reverse data when
+//    possible; a standalone ack goes out after `ack_every` unacked data
+//    frames or when the delayed-ack timer fires — this is the extra
+//    traffic responsible for the Fig 7 throughput dip.
+//  * Go-back-N retransmission on timeout; duplicates are discarded and
+//    frames are delivered upward strictly in sequence order.
+//  * Broadcast frames cannot be ARQ'd to a single peer and bypass RLL
+//    untouched.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "vwire/host/node.hpp"
+#include "vwire/rll/rll_header.hpp"
+#include "vwire/sim/timer.hpp"
+
+namespace vwire::rll {
+
+struct RllParams {
+  std::size_t window{32};          ///< max in-flight data frames per peer
+  Duration rto{millis(20)};        ///< retransmission timeout
+  std::size_t ack_every{2};        ///< standalone-ack threshold
+  Duration delayed_ack{millis(5)};
+  /// When true, an outgoing data frame's cumulative ack satisfies the
+  /// peer's ack expectation and suppresses the standalone ack.  The
+  /// paper's 2003-era RLL had no such optimization — its ack-per-frame
+  /// behaviour is what degrades throughput at high load (Fig 7) — so the
+  /// Fig 7/8 benches run with piggyback=false, ack_every=1.
+  bool piggyback{true};
+  std::size_t tx_queue_limit{1024};  ///< frames awaiting a window slot
+  /// Consecutive timeout rounds before the peer is declared unreachable
+  /// and its outstanding traffic is discarded (a crashed node must not
+  /// keep the link retransmitting forever).
+  u32 max_retry_rounds{8};
+};
+
+struct RllStats {
+  u64 data_tx{0};
+  u64 data_rx{0};
+  u64 acks_tx{0};        ///< standalone ack frames
+  u64 acks_rx{0};
+  u64 retransmits{0};
+  u64 duplicates_rx{0};
+  u64 out_of_order_rx{0};
+  u64 delivered{0};
+  u64 dropped_queue_full{0};
+  u64 passthrough{0};    ///< broadcast frames not encapsulated
+  u64 peers_aborted{0};  ///< peers declared unreachable after max retries
+};
+
+class RllLayer final : public host::Layer {
+ public:
+  explicit RllLayer(sim::Simulator& sim, RllParams params = {});
+
+  std::string_view name() const override { return "rll"; }
+
+  void send_down(net::Packet pkt) override;
+  void receive_up(net::Packet pkt) override;
+
+  const RllStats& stats() const { return stats_; }
+  const RllParams& params() const { return params_; }
+
+  /// Frames currently held for retransmission across all peers (test hook).
+  std::size_t unacked_frames() const;
+
+ private:
+  struct PeerState {
+    explicit PeerState(sim::Simulator& sim, RllLayer* self,
+                       net::MacAddress peer);
+
+    net::MacAddress peer_mac;
+
+    // --- sender side ---
+    u32 next_seq{1};       ///< sequence for the next fresh data frame
+    u32 send_una{1};       ///< oldest unacknowledged sequence
+    std::deque<net::Packet> inflight;  ///< encapsulated, seq send_una..next_seq-1
+    std::deque<net::Packet> pending;   ///< raw frames awaiting window space
+    sim::Timer rto_timer;
+    u32 retry_rounds{0};  ///< consecutive timeouts without progress
+    bool announce_reset{false};  ///< next data frame carries kReset
+
+    // --- receiver side ---
+    u32 recv_next{1};  ///< next in-order sequence expected
+    std::map<u32, net::Packet> reorder;  ///< OOO frames keyed by seq
+    std::size_t unacked_rx{0};           ///< data since last ack we sent
+    sim::Timer ack_timer;
+  };
+
+  PeerState& peer(const net::MacAddress& mac);
+
+  void send_data_frame(PeerState& p, const net::Packet& raw);
+  void transmit_window(PeerState& p);
+  void handle_ack(PeerState& p, u32 ack);
+  void on_rto(PeerState& p);
+  void send_standalone_ack(PeerState& p);
+  /// Current cumulative ack value for piggybacking onto reverse data.
+  u32 ack_value(PeerState& p) const { return p.recv_next; }
+
+  sim::Simulator& sim_;
+  RllParams params_;
+  RllStats stats_;
+  std::unordered_map<net::MacAddress, std::unique_ptr<PeerState>> peers_;
+};
+
+}  // namespace vwire::rll

@@ -1,0 +1,51 @@
+#include "vwire/sim/event_queue.hpp"
+
+#include "vwire/util/assert.hpp"
+
+namespace vwire::sim {
+
+EventId EventQueue::schedule(TimePoint at, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Ignore ids that already fired or were already cancelled.
+  if (pending_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  --live_count_;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() {
+  skim();
+  VWIRE_ASSERT(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().at;
+}
+
+TimePoint EventQueue::pop_and_run() {
+  skim();
+  VWIRE_ASSERT(!heap_.empty(), "pop_and_run on empty queue");
+  // Copy the entry out before popping: running the callback may schedule
+  // new events and mutate the heap.
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.id);
+  --live_count_;
+  top.fn();
+  return top.at;
+}
+
+}  // namespace vwire::sim

@@ -1,0 +1,68 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps fire in insertion order (a strictly increasing
+// sequence number breaks ties), so a scenario run is a pure function of its
+// inputs and seeds.  Cancellation is lazy: cancelled entries stay in the heap
+// and are skipped on pop, which keeps cancel O(1) — the RLL and TCP
+// retransmit timers cancel far more often than they fire.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.  Value 0 is "no event".
+using EventId = u64;
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`; returns a cancellable id.
+  EventId schedule(TimePoint at, EventFn fn);
+
+  /// Cancels a pending event; harmless if already fired or cancelled.
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; queue must be non-empty.
+  TimePoint next_time();
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  /// Queue must be non-empty.
+  TimePoint pop_and_run();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    u64 seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled and not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in heap_
+  std::size_t live_count_{0};
+  u64 next_seq_{1};
+  EventId next_id_{1};
+};
+
+}  // namespace vwire::sim

@@ -1,0 +1,44 @@
+#include "vwire/sim/simulator.hpp"
+
+namespace vwire::sim {
+
+EventId Simulator::after(Duration delay, EventFn fn) {
+  if (delay.ns < 0) delay.ns = 0;
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::at(TimePoint t, EventFn fn) {
+  if (t < now_) t = now_;
+  return queue_.schedule(t, std::move(fn));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // Advance the clock BEFORE executing: the callback must observe its own
+    // scheduled time through now().
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++executed_;
+  return true;
+}
+
+}  // namespace vwire::sim

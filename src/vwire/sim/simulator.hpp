@@ -1,0 +1,52 @@
+// The simulation kernel: a clock plus the event queue.
+//
+// Every component in a testbed holds a Simulator& and schedules work through
+// it.  The run loop advances virtual time to each event; nothing in the
+// system reads wall-clock time, which is what makes scenario runs exactly
+// reproducible (DESIGN.md §6.1).
+#pragma once
+
+#include "vwire/sim/event_queue.hpp"
+
+namespace vwire::sim {
+
+class Simulator {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` after `delay` from now.  Negative delays clamp to now.
+  EventId after(Duration delay, EventFn fn);
+
+  /// Schedules `fn` at an absolute time (clamped to now if in the past).
+  EventId at(TimePoint t, EventFn fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= deadline; leaves later events queued.
+  /// Advances the clock to `deadline` even if the queue drains early.
+  void run_until(TimePoint deadline);
+
+  /// Runs at most one event; returns false if the queue was empty.
+  bool step();
+
+  /// Makes `run()`/`run_until()` return after the current event completes.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Monotone count of executed events, useful for progress diagnostics
+  /// and runaway detection in tests.
+  u64 executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_{};
+  bool stopped_{false};
+  u64 executed_{0};
+};
+
+}  // namespace vwire::sim

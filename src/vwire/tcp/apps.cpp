@@ -1,0 +1,99 @@
+#include "vwire/tcp/apps.hpp"
+
+namespace vwire::tcp {
+
+BulkSink::BulkSink(TcpLayer& tcp, u16 port) : tcp_(tcp) {
+  tcp_.listen(port, [this](std::shared_ptr<TcpConnection> conn) {
+    ++accepted_;
+    conn->on_closed = [this] { ++closed_; };
+    conn->on_data = [this](BytesView data) {
+      TimePoint now = tcp_.node().simulator().now();
+      if (bytes_ == 0) first_byte_at_ = now;
+      bytes_ += data.size();
+      last_byte_at_ = now;
+    };
+    // Echo the peer's close so the connection tears down fully.
+    auto weak = std::weak_ptr<TcpConnection>(conn);
+    conn->on_peer_closed = [weak] {
+      if (auto c = weak.lock()) c->close();
+    };
+  });
+}
+
+BulkSender::BulkSender(TcpLayer& tcp, Params params)
+    : tcp_(tcp),
+      params_(params),
+      pace_timer_(tcp.node().simulator(), [this] { paced_tick(); }) {
+  if (params_.offered_rate_bps > 0.0) {
+    double secs_per_chunk =
+        static_cast<double>(params_.chunk) * 8.0 / params_.offered_rate_bps;
+    pace_interval_ = seconds_f(secs_per_chunk);
+  }
+}
+
+void BulkSender::start() {
+  conn_ = params_.tcp_params
+              ? tcp_.connect(params_.dst_ip, params_.dst_port,
+                             params_.src_port, *params_.tcp_params)
+              : tcp_.connect(params_.dst_ip, params_.dst_port,
+                             params_.src_port);
+  conn_->on_established = [this] {
+    if (params_.offered_rate_bps > 0.0) {
+      paced_tick();
+    } else {
+      pump();
+    }
+  };
+  conn_->on_send_space = [this] {
+    if (params_.offered_rate_bps <= 0.0) pump();
+  };
+}
+
+void BulkSender::stop() {
+  stopped_ = true;
+  pace_timer_.cancel();
+  if (conn_ && params_.close_when_done) conn_->close();
+}
+
+void BulkSender::pump() {
+  if (finished_ || stopped_ || !conn_) return;
+  static const Bytes block(8 * 1024, 0xAB);
+  while (true) {
+    u64 remaining = params_.total_bytes == 0
+                        ? block.size()
+                        : params_.total_bytes - offered_;
+    if (params_.total_bytes != 0 && remaining == 0) break;
+    std::size_t want = static_cast<std::size_t>(
+        std::min<u64>({remaining, params_.chunk, block.size()}));
+    std::size_t accepted = conn_->send(BytesView(block).subspan(0, want));
+    offered_ += accepted;
+    if (accepted < want) return;  // buffer full; on_send_space resumes us
+    if (params_.total_bytes == 0) return;  // unlimited: refill on demand
+  }
+  finished_ = true;
+  if (params_.close_when_done) conn_->close();
+  if (on_complete) on_complete();
+}
+
+void BulkSender::paced_tick() {
+  if (finished_ || stopped_ || !conn_) return;
+  static const Bytes block(64 * 1024, 0xCD);
+  u64 remaining =
+      params_.total_bytes == 0 ? params_.chunk : params_.total_bytes - offered_;
+  std::size_t want = static_cast<std::size_t>(
+      std::min<u64>({remaining, params_.chunk, block.size()}));
+  if (want > 0) {
+    // What the buffer refuses is simply lost offered load, like an app
+    // whose write() would block at this pumping rate.
+    offered_ += conn_->send(BytesView(block).subspan(0, want));
+  }
+  if (params_.total_bytes != 0 && offered_ >= params_.total_bytes) {
+    finished_ = true;
+    if (params_.close_when_done) conn_->close();
+    if (on_complete) on_complete();
+    return;
+  }
+  pace_timer_.start(pace_interval_);
+}
+
+}  // namespace vwire::tcp

@@ -1,0 +1,45 @@
+#include "vwire/tcp/congestion.hpp"
+
+#include <algorithm>
+
+namespace vwire::tcp {
+
+CongestionControl::CongestionControl(CongestionParams params)
+    : params_(params),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh) {}
+
+void CongestionControl::on_new_ack(u32 acked_segments) {
+  for (u32 i = 0; i < acked_segments; ++i) {
+    if (in_slow_start()) {
+      ++cwnd_;
+    } else {
+      // Linux 2.4 tcp_cong_avoid: grow when the counter has already
+      // reached cwnd, i.e. on the (cwnd+1)-th ack — the paper's script
+      // checks exactly this as `CCNT > CWND`.
+      if (ca_acks_ >= cwnd_) {
+        ca_acks_ = 0;
+        ++cwnd_;
+      } else {
+        ++ca_acks_;
+      }
+    }
+  }
+}
+
+void CongestionControl::collapse() {
+  ssthresh_ = std::max(cwnd_ / 2, params_.min_ssthresh);
+  ca_acks_ = 0;
+}
+
+void CongestionControl::on_timeout() {
+  collapse();
+  cwnd_ = 1;
+}
+
+void CongestionControl::on_fast_retransmit() {
+  collapse();
+  cwnd_ = params_.flavor == CongestionFlavor::kTahoe ? 1 : ssthresh_;
+}
+
+}  // namespace vwire::tcp

@@ -1,0 +1,63 @@
+// TCP congestion control — slow start and congestion avoidance as described
+// in RFC 2581 / Stevens (the paper's reference [19]) and as modelled by the
+// paper's Fig 5 analysis script.
+//
+// The paper's wording (§6.1) is Tahoe-style: "If there is retransmission of
+// any packet, then cwnd is reset to 1, and ssthresh drops to half the size
+// of cwnd but not less than 2 MSS."  That includes the SYN retransmission
+// the Fig 5 scenario forces (dropping a SYNACK), which is what lands the
+// connection at ssthresh = 2, cwnd = 1.
+//
+// cwnd and ssthresh are counted in segments, matching the script's
+// packet-counting view of the window:
+//   slow start           (cwnd <= ssthresh): cwnd += 1 per new ack
+//   congestion avoidance (cwnd >  ssthresh): cwnd += 1 on the (cwnd+1)-th
+//     new ack (Linux 2.4's check-then-increment; the script's CCNT > CWND)
+#pragma once
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::tcp {
+
+enum class CongestionFlavor {
+  kTahoe,  ///< loss ⇒ cwnd = 1 (paper's description of Linux 2.4.17)
+  kReno,   ///< fast retransmit ⇒ cwnd = ssthresh (fast recovery, simplified)
+};
+
+struct CongestionParams {
+  u32 initial_cwnd{1};       ///< RFC allows 1, 2 or 4 segments (paper §6.1)
+  u32 initial_ssthresh{44};  ///< 64 KB / 1460 B MSS, the paper's default
+  u32 min_ssthresh{2};       ///< "not less than 2 MSS"
+  CongestionFlavor flavor{CongestionFlavor::kTahoe};
+};
+
+class CongestionControl {
+ public:
+  explicit CongestionControl(CongestionParams params = {});
+
+  u32 cwnd() const { return cwnd_; }
+  u32 ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ <= ssthresh_; }
+
+  /// A new cumulative acknowledgement advanced snd_una by `acked_segments`.
+  void on_new_ack(u32 acked_segments = 1);
+
+  /// Retransmission timeout fired (any packet, including SYN).
+  void on_timeout();
+
+  /// Fast retransmit triggered by 3 duplicate acks.
+  void on_fast_retransmit();
+
+  /// Counters the analysis side observes (the Fig 5 script mirrors these).
+  u32 ca_ack_count() const { return ca_acks_; }
+
+ private:
+  void collapse();
+
+  CongestionParams params_;
+  u32 cwnd_;
+  u32 ssthresh_;
+  u32 ca_acks_{0};  ///< acks accumulated toward the next CA increment
+};
+
+}  // namespace vwire::tcp

@@ -1,0 +1,471 @@
+#include "vwire/tcp/tcp_connection.hpp"
+
+#include <algorithm>
+
+#include "vwire/util/assert.hpp"
+#include "vwire/util/logging.hpp"
+
+namespace vwire::tcp {
+
+using namespace net::tcp_flags;
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(sim::Simulator& sim, ConnKey key,
+                             net::Ipv4Address local_ip, TcpParams params,
+                             Output output, Reaper reaper)
+    : sim_(sim),
+      key_(key),
+      local_ip_(local_ip),
+      params_(params),
+      output_(std::move(output)),
+      reaper_(std::move(reaper)),
+      cc_(params.congestion),
+      rto_timer_(sim, [this] { on_rto(); }),
+      ack_timer_(sim, [this] { on_delayed_ack(); }),
+      time_wait_timer_(sim, [this] { on_time_wait_done(); }) {
+  // Deterministic ISS derived from the four-tuple: replays are identical.
+  u64 seed = (static_cast<u64>(local_ip.value()) << 32) ^
+             (static_cast<u64>(key.remote_ip.value()) << 8) ^
+             (static_cast<u64>(key.local_port) << 16) ^ key.remote_port;
+  iss_ = static_cast<u32>(splitmix64(seed) | 1);
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+
+void TcpConnection::emit(u8 flags, u32 seq, BytesView payload) {
+  net::TcpHeader h;
+  h.src_port = key_.local_port;
+  h.dst_port = key_.remote_port;
+  h.seq = seq;
+  h.ack = (flags & kAck) ? rcv_nxt_ : 0;
+  h.flags = flags;
+  h.window = params_.advertised_window;
+  ++stats_.segments_sent;
+  output_(h, payload);
+}
+
+void TcpConnection::send_syn(bool with_ack) {
+  last_syn_sent_ = sim_.now();
+  emit(with_ack ? static_cast<u8>(kSyn | kAck) : kSyn, iss_, {});
+}
+
+void TcpConnection::send_ack_now() {
+  delayed_ack_count_ = 0;
+  ack_timer_.cancel();
+  emit(kAck, snd_nxt_, {});
+}
+
+void TcpConnection::connect() {
+  VWIRE_ASSERT(state_ == TcpState::kClosed, "connect on non-closed conn");
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;  // SYN occupies one sequence number
+  state_ = TcpState::kSynSent;
+  send_syn(/*with_ack=*/false);
+  rto_timer_.start(params_.syn_rto);
+}
+
+void TcpConnection::accept(const net::TcpHeader& syn) {
+  VWIRE_ASSERT(state_ == TcpState::kClosed, "accept on non-closed conn");
+  irs_ = syn.seq;
+  rcv_nxt_ = syn.seq + 1;
+  snd_wnd_ = syn.window;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = TcpState::kSynRcvd;
+  send_syn(/*with_ack=*/true);
+  rto_timer_.start(params_.syn_rto);
+}
+
+std::size_t TcpConnection::send(BytesView data) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kSynSent &&
+      state_ != TcpState::kSynRcvd && state_ != TcpState::kCloseWait) {
+    return 0;
+  }
+  if (fin_pending_ || fin_sent_) return 0;
+  std::size_t room = params_.send_buffer_limit > send_buf_.size()
+                         ? params_.send_buffer_limit - send_buf_.size()
+                         : 0;
+  std::size_t accepted = std::min(room, data.size());
+  send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + accepted);
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    maybe_send_data();
+  }
+  return accepted;
+}
+
+void TcpConnection::close() {
+  switch (state_) {
+    case TcpState::kClosed:
+      return;
+    case TcpState::kSynSent:
+      become_closed();
+      return;
+    case TcpState::kSynRcvd:
+    case TcpState::kEstablished:
+    case TcpState::kCloseWait:
+      fin_pending_ = true;
+      maybe_send_data();
+      return;
+    default:
+      return;  // close already in progress
+  }
+}
+
+void TcpConnection::maybe_send_data() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return;
+  }
+  const u32 mss = params_.mss;
+  const u32 wnd = std::min<u32>(cc_.cwnd() * mss, snd_wnd_);
+  for (;;) {
+    u32 in_flight = snd_nxt_ - snd_una_;
+    std::size_t unsent = send_buf_.size() - in_flight;
+    if (unsent == 0 || in_flight >= wnd) break;
+    u32 len = static_cast<u32>(
+        std::min<std::size_t>({mss, unsent, wnd - in_flight}));
+    Bytes chunk(send_buf_.begin() + in_flight,
+                send_buf_.begin() + in_flight + len);
+    u8 flags = kAck;
+    if (len == unsent) flags |= kPsh;
+    if (!rtt_sampling_) {
+      rtt_sampling_ = true;
+      rtt_seq_ = snd_nxt_ + len;
+      rtt_sent_at_ = sim_.now();
+    }
+    emit(flags, snd_nxt_, chunk);
+    snd_nxt_ += len;
+    if (!rto_timer_.armed()) rto_timer_.start(current_rto());
+  }
+  // FIN goes out only once everything buffered has been sent.
+  if (fin_pending_ && !fin_sent_ &&
+      send_buf_.size() == static_cast<std::size_t>(snd_nxt_ - snd_una_)) {
+    emit(static_cast<u8>(kFin | kAck), snd_nxt_, {});
+    snd_nxt_ += 1;  // FIN occupies one sequence number
+    fin_sent_ = true;
+    fin_pending_ = false;
+    state_ = state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                            : TcpState::kFinWait1;
+    if (!rto_timer_.armed()) rto_timer_.start(current_rto());
+  }
+}
+
+void TcpConnection::retransmit_one() {
+  u32 outstanding = snd_nxt_ - snd_una_;
+  if (outstanding == 0) return;
+  if (!send_buf_.empty()) {
+    u32 len = static_cast<u32>(
+        std::min<std::size_t>(params_.mss, send_buf_.size()));
+    Bytes chunk(send_buf_.begin(), send_buf_.begin() + len);
+    emit(kAck, snd_una_, chunk);
+  } else if (fin_sent_) {
+    emit(static_cast<u8>(kFin | kAck), snd_una_, {});
+  }
+  rtt_sampling_ = false;  // Karn: never sample a retransmitted sequence
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+Duration TcpConnection::current_rto() const {
+  Duration base;
+  if (!srtt_valid_) {
+    base = params_.syn_rto;
+  } else {
+    base = srtt_ + Duration{std::max<i64>(4 * rttvar_.ns, millis(10).ns)};
+  }
+  base = Duration{base.ns * rto_backoff_};
+  return std::clamp(base, params_.min_rto, params_.max_rto);
+}
+
+void TcpConnection::sample_rtt(Duration rtt) {
+  if (!srtt_valid_) {
+    srtt_ = rtt;
+    rttvar_ = {rtt.ns / 2};
+    srtt_valid_ = true;
+    return;
+  }
+  i64 err = rtt.ns - srtt_.ns;
+  rttvar_ = {(3 * rttvar_.ns + std::abs(err)) / 4};
+  srtt_ = {srtt_.ns + err / 8};
+}
+
+void TcpConnection::on_rto() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      if (++syn_tries_ > params_.max_syn_retries) {
+        become_closed();
+        return;
+      }
+      ++stats_.syn_retransmits;
+      // The paper (§6.1): a SYN retransmission collapses the congestion
+      // state — this is exactly how the Fig 5 scenario gets ssthresh = 2.
+      cc_.on_timeout();
+      send_syn(false);
+      rto_timer_.start(Duration{params_.syn_rto.ns << std::min(syn_tries_, 4u)});
+      return;
+    case TcpState::kSynRcvd:
+      if (++syn_tries_ > params_.max_syn_retries) {
+        become_closed();
+        return;
+      }
+      ++stats_.syn_retransmits;
+      send_syn(true);
+      rto_timer_.start(Duration{params_.syn_rto.ns << std::min(syn_tries_, 4u)});
+      return;
+    default:
+      break;
+  }
+  if (snd_nxt_ == snd_una_) return;  // nothing outstanding
+  ++stats_.rto_retransmits;
+  cc_.on_timeout();
+  rto_backoff_ = std::min(rto_backoff_ * 2, 64u);
+  dup_acks_ = 0;
+  retransmit_one();
+  rto_timer_.start(current_rto());
+}
+
+void TcpConnection::on_delayed_ack() {
+  if (delayed_ack_count_ > 0) send_ack_now();
+}
+
+void TcpConnection::on_time_wait_done() { become_closed(); }
+
+void TcpConnection::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  rto_timer_.cancel();
+  time_wait_timer_.start(params_.time_wait);
+}
+
+void TcpConnection::become_closed() {
+  if (state_ == TcpState::kClosed) return;
+  state_ = TcpState::kClosed;
+  rto_timer_.cancel();
+  ack_timer_.cancel();
+  time_wait_timer_.cancel();
+  if (on_closed) on_closed();
+  if (reaper_) reaper_(key_);
+}
+
+// ---------------------------------------------------------------------------
+// Input
+
+void TcpConnection::on_segment(const net::TcpHeader& h, BytesView payload) {
+  ++stats_.segments_received;
+  if (h.flags & kRst) {
+    become_closed();
+    return;
+  }
+
+  switch (state_) {
+    case TcpState::kClosed:
+      return;
+    case TcpState::kSynSent: {
+      if ((h.flags & kSyn) && (h.flags & kAck) && h.ack == iss_ + 1) {
+        irs_ = h.seq;
+        rcv_nxt_ = h.seq + 1;
+        snd_una_ = h.ack;
+        snd_wnd_ = h.window;
+        state_ = TcpState::kEstablished;
+        rto_timer_.cancel();
+        rto_backoff_ = 1;
+        send_ack_now();  // completes the handshake
+        if (on_established) on_established();
+        maybe_send_data();
+      }
+      return;
+    }
+    case TcpState::kSynRcvd: {
+      if (h.flags & kSyn) {
+        // Duplicate SYN: our SYNACK was lost (the Fig 5 fault).  Resend it,
+        // but rate-limited — if our own retransmission timer just fired we
+        // must not answer with a second SYNACK (the peer would ack both,
+        // and the spurious pure ACK is indistinguishable from data to
+        // byte-offset filters).
+        if (sim_.now() - last_syn_sent_ >= params_.min_rto) {
+          send_syn(true);
+        }
+        return;
+      }
+      if ((h.flags & kAck) && h.ack == snd_nxt_) {
+        snd_una_ = h.ack;
+        snd_wnd_ = h.window;
+        state_ = TcpState::kEstablished;
+        rto_timer_.cancel();
+        rto_backoff_ = 1;
+        if (on_established) on_established();
+        if (!payload.empty() || (h.flags & kFin)) {
+          process_payload(h, payload);
+        }
+        maybe_send_data();
+      }
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Synchronized states.
+  if (h.flags & kSyn) {
+    // Stale duplicate SYN of this connection; re-ack our current state.
+    send_ack_now();
+    return;
+  }
+  process_ack(h);
+  if (state_ == TcpState::kClosed) return;
+  process_payload(h, payload);
+}
+
+void TcpConnection::process_ack(const net::TcpHeader& h) {
+  if (!(h.flags & kAck)) return;
+  snd_wnd_ = h.window;
+  const u32 ack = h.ack;
+
+  if (seq_gt(ack, snd_nxt_)) return;  // acks data we never sent; ignore
+
+  if (seq_gt(ack, snd_una_)) {
+    const u32 acked = ack - snd_una_;
+    // Split the acked span into payload bytes (from the buffer) and at most
+    // one FIN sequence number.
+    u32 data_acked = static_cast<u32>(
+        std::min<std::size_t>(acked, send_buf_.size()));
+    send_buf_.erase(send_buf_.begin(), send_buf_.begin() + data_acked);
+    stats_.bytes_sent += data_acked;
+    bool fin_acked = fin_sent_ && ack == snd_nxt_;
+
+    if (data_acked > 0) {
+      u32 segs = (data_acked + params_.mss - 1) / params_.mss;
+      cc_.on_new_ack(segs);
+    }
+    snd_una_ = ack;
+    dup_acks_ = 0;
+    rto_backoff_ = 1;
+
+    if (rtt_sampling_ && seq_ge(ack, rtt_seq_)) {
+      sample_rtt(sim_.now() - rtt_sent_at_);
+      rtt_sampling_ = false;
+    }
+    if (snd_una_ == snd_nxt_) {
+      rto_timer_.cancel();
+    } else {
+      rto_timer_.start(current_rto());
+    }
+
+    if (fin_acked) {
+      if (state_ == TcpState::kFinWait1) {
+        state_ = TcpState::kFinWait2;
+      } else if (state_ == TcpState::kClosing) {
+        enter_time_wait();
+      } else if (state_ == TcpState::kLastAck) {
+        become_closed();
+        return;
+      }
+    }
+    maybe_send_data();
+    if (on_send_space && send_buf_.size() < params_.send_buffer_limit) {
+      on_send_space();
+    }
+    return;
+  }
+
+  // Not an advance: a pure duplicate ack signals loss after 3 repeats.
+  if (ack == snd_una_ && snd_nxt_ != snd_una_) {
+    ++dup_acks_;
+    ++stats_.dup_acks_received;
+    if (dup_acks_ == 3) {
+      ++stats_.fast_retransmits;
+      cc_.on_fast_retransmit();
+      retransmit_one();
+      rto_timer_.start(current_rto());
+    }
+  }
+}
+
+void TcpConnection::process_payload(const net::TcpHeader& h,
+                                    BytesView payload) {
+  bool advanced = false;
+
+  if (!payload.empty()) {
+    if (h.seq == rcv_nxt_) {
+      stats_.bytes_received += payload.size();
+      rcv_nxt_ += static_cast<u32>(payload.size());
+      advanced = true;
+      if (on_data) on_data(payload);
+      // Drain any buffered out-of-order successors.
+      for (auto it = reassembly_.find(rcv_nxt_); it != reassembly_.end();
+           it = reassembly_.find(rcv_nxt_)) {
+        stats_.bytes_received += it->second.size();
+        rcv_nxt_ += static_cast<u32>(it->second.size());
+        if (on_data) on_data(it->second);
+        reassembly_.erase(it);
+      }
+    } else if (seq_gt(h.seq, rcv_nxt_)) {
+      ++stats_.out_of_order;
+      reassembly_.emplace(h.seq, Bytes(payload.begin(), payload.end()));
+      send_ack_now();  // duplicate ack: tells the sender what we expect
+      return;
+    } else {
+      // Entirely old data (a retransmission we already have): re-ack.
+      send_ack_now();
+      return;
+    }
+  }
+
+  if (h.flags & kFin) {
+    u32 fin_seq = h.seq + static_cast<u32>(payload.size());
+    if (fin_seq == rcv_nxt_) {
+      rcv_nxt_ += 1;
+      switch (state_) {
+        case TcpState::kEstablished:
+          state_ = TcpState::kCloseWait;
+          break;
+        case TcpState::kFinWait1:
+          state_ = TcpState::kClosing;
+          break;
+        case TcpState::kFinWait2:
+          enter_time_wait();
+          break;
+        default:
+          break;
+      }
+      send_ack_now();
+      if (on_peer_closed) on_peer_closed();
+      return;
+    }
+    if (seq_lt(fin_seq, rcv_nxt_)) {
+      send_ack_now();  // duplicate FIN (e.g. in TIME_WAIT)
+      return;
+    }
+  }
+
+  if (advanced) schedule_ack();
+}
+
+void TcpConnection::schedule_ack() {
+  if (!params_.delayed_ack) {
+    send_ack_now();
+    return;
+  }
+  if (++delayed_ack_count_ >= 2) {
+    send_ack_now();
+  } else if (!ack_timer_.armed()) {
+    ack_timer_.start(params_.delayed_ack_timeout);
+  }
+}
+
+}  // namespace vwire::tcp

@@ -1,0 +1,199 @@
+// TCP connection state machine.
+//
+// A from-scratch TCP sufficient to stand in for the Linux 2.4.17 stack the
+// paper tests: three-way handshake with SYN retransmission, MSS
+// segmentation, cumulative acknowledgements, RTT-estimated retransmission
+// timeout with exponential backoff, fast retransmit on three duplicate
+// acks, receive-side reassembly, flow control from the advertised window,
+// and the congestion control in congestion.hpp.  No options (fixed MSS, no
+// SACK/timestamps) — the paper's filters assume 20-byte TCP headers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "vwire/net/tcp_header.hpp"
+#include "vwire/sim/timer.hpp"
+#include "vwire/tcp/congestion.hpp"
+#include "vwire/util/rng.hpp"
+
+namespace vwire::tcp {
+
+enum class TcpState {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kClosing,
+  kTimeWait,
+};
+
+const char* to_string(TcpState s);
+
+struct TcpParams {
+  u16 mss{1460};
+  std::size_t send_buffer_limit{256 * 1024};
+  u16 advertised_window{0xffff};  ///< 64 KB - 1, the classic default
+  Duration syn_rto{seconds(1)};
+  u32 max_syn_retries{5};
+  Duration min_rto{millis(200)};
+  Duration max_rto{seconds(16)};
+  Duration time_wait{seconds(1)};  ///< shortened 2MSL, sim-friendly
+  bool delayed_ack{false};         ///< off: ack every data segment (§6.1)
+  Duration delayed_ack_timeout{millis(40)};
+  CongestionParams congestion{};
+};
+
+struct TcpStats {
+  u64 segments_sent{0};
+  u64 segments_received{0};
+  u64 bytes_sent{0};      ///< payload bytes accepted from the app and acked
+  u64 bytes_received{0};  ///< payload bytes delivered to the app
+  u64 rto_retransmits{0};
+  u64 fast_retransmits{0};
+  u64 syn_retransmits{0};
+  u64 dup_acks_received{0};
+  u64 bad_checksum{0};
+  u64 out_of_order{0};
+};
+
+/// Four-tuple identifying a connection on a node.
+struct ConnKey {
+  net::Ipv4Address remote_ip;
+  u16 remote_port{0};
+  u16 local_port{0};
+  friend bool operator==(const ConnKey&, const ConnKey&) = default;
+};
+
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  /// Sends a finished segment toward the peer (provided by TcpLayer).
+  using Output = std::function<void(const net::TcpHeader&, BytesView payload)>;
+  /// Tells the owning layer this connection is gone.
+  using Reaper = std::function<void(const ConnKey&)>;
+
+  TcpConnection(sim::Simulator& sim, ConnKey key, net::Ipv4Address local_ip,
+                TcpParams params, Output output, Reaper reaper);
+
+  // --- application interface -------------------------------------------
+  std::function<void()> on_established;
+  std::function<void(BytesView)> on_data;
+  std::function<void()> on_send_space;  ///< send buffer dipped below limit
+  std::function<void()> on_peer_closed;  ///< peer's FIN arrived (EOF)
+  std::function<void()> on_closed;
+
+  /// Active open: emits the SYN.
+  void connect();
+  /// Passive open: adopts an incoming SYN (called by TcpLayer).
+  void accept(const net::TcpHeader& syn);
+
+  /// Appends to the send buffer; returns the bytes accepted (0 when full).
+  std::size_t send(BytesView data);
+  /// Graceful close (FIN after pending data drains).
+  void close();
+
+  // --- introspection -----------------------------------------------------
+  TcpState state() const { return state_; }
+  const CongestionControl& congestion() const { return cc_; }
+  const TcpStats& stats() const { return stats_; }
+  const ConnKey& key() const { return key_; }
+  std::size_t send_buffer_bytes() const { return send_buf_.size(); }
+  std::size_t unacked_bytes() const { return snd_nxt_ - snd_una_; }
+
+  /// Segment arrival from TcpLayer; checksum already verified.
+  void on_segment(const net::TcpHeader& h, BytesView payload);
+
+ private:
+  // Sending machinery.
+  void emit(u8 flags, u32 seq, BytesView payload);
+  void send_syn(bool with_ack);
+  void send_ack_now();
+  void maybe_send_data();
+  void retransmit_one();
+  void enter_time_wait();
+  void become_closed();
+
+  // Timer callbacks.
+  void on_rto();
+  void on_delayed_ack();
+  void on_time_wait_done();
+
+  // Segment processing helpers.
+  void process_ack(const net::TcpHeader& h);
+  void process_payload(const net::TcpHeader& h, BytesView payload);
+  void schedule_ack();
+
+  Duration current_rto() const;
+  void sample_rtt(Duration rtt);
+
+  sim::Simulator& sim_;
+  ConnKey key_;
+  net::Ipv4Address local_ip_;
+  TcpParams params_;
+  Output output_;
+  Reaper reaper_;
+
+  TcpState state_{TcpState::kClosed};
+  CongestionControl cc_;
+  TcpStats stats_;
+
+  // Send sequence space (RFC 793 names).
+  u32 iss_{0};
+  u32 snd_una_{0};
+  u32 snd_nxt_{0};
+  u32 snd_wnd_{0xffff};
+  std::deque<u8> send_buf_;  ///< unacked + unsent payload, base seq snd_una_
+  bool fin_pending_{false};
+  bool fin_sent_{false};
+
+  // Receive sequence space.
+  u32 irs_{0};
+  u32 rcv_nxt_{0};
+  std::map<u32, Bytes> reassembly_;
+  u32 delayed_ack_count_{0};
+
+  // Loss detection.
+  sim::Timer rto_timer_;
+  sim::Timer ack_timer_;
+  sim::Timer time_wait_timer_;
+  u32 dup_acks_{0};
+  u32 syn_tries_{0};
+  u32 rto_backoff_{1};
+  TimePoint last_syn_sent_{.ns = -1'000'000'000};  ///< SYNACK rate limiting
+
+  // RTT estimation (Jacobson/Karels); Karn's rule: no samples from
+  // retransmitted sequences.
+  bool srtt_valid_{false};
+  Duration srtt_{};
+  Duration rttvar_{};
+  u32 rtt_seq_{0};        ///< sequence whose ack will be sampled
+  TimePoint rtt_sent_at_{};
+  bool rtt_sampling_{false};
+};
+
+/// 32-bit sequence-space comparison helpers.
+inline bool seq_lt(u32 a, u32 b) { return static_cast<i32>(a - b) < 0; }
+inline bool seq_le(u32 a, u32 b) { return static_cast<i32>(a - b) <= 0; }
+inline bool seq_gt(u32 a, u32 b) { return static_cast<i32>(a - b) > 0; }
+inline bool seq_ge(u32 a, u32 b) { return static_cast<i32>(a - b) >= 0; }
+
+}  // namespace vwire::tcp
+
+namespace std {
+template <>
+struct hash<vwire::tcp::ConnKey> {
+  size_t operator()(const vwire::tcp::ConnKey& k) const {
+    vwire::u64 v = (static_cast<vwire::u64>(k.remote_ip.value()) << 32) |
+                   (static_cast<vwire::u64>(k.remote_port) << 16) |
+                   k.local_port;
+    vwire::u64 s = v;
+    return static_cast<size_t>(vwire::splitmix64(s));
+  }
+};
+}  // namespace std

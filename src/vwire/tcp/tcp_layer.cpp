@@ -1,0 +1,114 @@
+#include "vwire/tcp/tcp_layer.hpp"
+
+#include "vwire/util/logging.hpp"
+
+namespace vwire::tcp {
+
+TcpLayer::TcpLayer(host::Node& node, TcpParams defaults)
+    : node_(node), defaults_(defaults) {
+  node_.ip_layer().register_protocol(
+      net::IpProto::kTcp,
+      [this](const net::Ipv4Header& ip, BytesView l4) { on_ip(ip, l4); });
+}
+
+void TcpLayer::listen(u16 port, AcceptFn on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+void TcpLayer::stop_listening(u16 port) { listeners_.erase(port); }
+
+std::shared_ptr<TcpConnection> TcpLayer::make_connection(
+    const ConnKey& key, const TcpParams& params) {
+  auto output = [this, key](const net::TcpHeader& h, BytesView payload) {
+    Bytes l4(net::TcpHeader::kSize + payload.size());
+    std::copy(payload.begin(), payload.end(),
+              l4.begin() + net::TcpHeader::kSize);
+    net::TcpHeader hdr = h;
+    hdr.write(l4, 0, payload, node_.ip(), key.remote_ip);
+    node_.ip_layer().send(key.remote_ip, net::IpProto::kTcp, std::move(l4));
+  };
+  auto reaper = [this](const ConnKey& k) {
+    // Deferred: the connection may be deep in its own call stack.
+    node_.simulator().after({0}, [this, k] { conns_.erase(k); });
+  };
+  auto conn = std::make_shared<TcpConnection>(node_.simulator(), key,
+                                              node_.ip(), params,
+                                              std::move(output),
+                                              std::move(reaper));
+  conns_[key] = conn;
+  return conn;
+}
+
+std::shared_ptr<TcpConnection> TcpLayer::connect(net::Ipv4Address dst,
+                                                 u16 dst_port, u16 src_port) {
+  return connect(dst, dst_port, src_port, defaults_);
+}
+
+std::shared_ptr<TcpConnection> TcpLayer::connect(net::Ipv4Address dst,
+                                                 u16 dst_port, u16 src_port,
+                                                 TcpParams params) {
+  if (src_port == 0) src_port = next_ephemeral_++;
+  ConnKey key{dst, dst_port, src_port};
+  auto conn = make_connection(key, params);
+  conn->connect();
+  return conn;
+}
+
+std::shared_ptr<TcpConnection> TcpLayer::find(const ConnKey& key) const {
+  auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+void TcpLayer::send_reset(net::Ipv4Address dst, const net::TcpHeader& cause) {
+  ++stats_.resets_sent;
+  net::TcpHeader rst;
+  rst.src_port = cause.dst_port;
+  rst.dst_port = cause.src_port;
+  rst.seq = (cause.flags & net::tcp_flags::kAck) ? cause.ack : 0;
+  rst.ack = cause.seq + 1;
+  rst.flags = net::tcp_flags::kRst | net::tcp_flags::kAck;
+  Bytes l4(net::TcpHeader::kSize);
+  rst.write(l4, 0, {}, node_.ip(), dst);
+  node_.ip_layer().send(dst, net::IpProto::kTcp, std::move(l4));
+}
+
+void TcpLayer::on_ip(const net::Ipv4Header& ip, BytesView l4) {
+  ++stats_.rx_segments;
+  auto h = net::TcpHeader::read(l4);
+  if (!h) {
+    ++stats_.rx_bad_checksum;
+    return;
+  }
+  if (!net::TcpHeader::verify_checksum(l4, 0, l4.size(), ip.src, ip.dst)) {
+    // MODIFY faults that corrupt TCP bytes without fixing the checksum are
+    // discarded here, just as a real stack would.
+    ++stats_.rx_bad_checksum;
+    return;
+  }
+  BytesView payload = l4.subspan(net::TcpHeader::kSize);
+
+  ConnKey key{ip.src, h->src_port, h->dst_port};
+  if (auto conn = find(key)) {
+    // Hold a local ref: processing may close and reap the connection.
+    auto alive = conn;
+    alive->on_segment(*h, payload);
+    return;
+  }
+
+  // No connection: a SYN for a listening port performs a passive open.
+  if ((h->flags & net::tcp_flags::kSyn) && !(h->flags & net::tcp_flags::kAck)) {
+    auto lit = listeners_.find(h->dst_port);
+    if (lit != listeners_.end()) {
+      auto conn = make_connection(key, defaults_);
+      lit->second(conn);  // caller wires callbacks before the SYNACK
+      conn->accept(*h);
+      return;
+    }
+  }
+  ++stats_.rx_no_connection;
+  if (!(h->flags & net::tcp_flags::kRst)) {
+    send_reset(ip.src, *h);
+  }
+}
+
+}  // namespace vwire::tcp

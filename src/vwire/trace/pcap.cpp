@@ -1,0 +1,99 @@
+#include "vwire/trace/pcap.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vwire::trace {
+
+namespace {
+
+constexpr u32 kMagic = 0xa1b2c3d4;  // µs-resolution, writer byte order
+constexpr u32 kLinkTypeEthernet = 1;
+
+void put_u16(std::ostream& out, u16 v) {
+  out.put(static_cast<char>(v & 0xff));
+  out.put(static_cast<char>(v >> 8));
+}
+
+void put_u32(std::ostream& out, u32 v) {
+  put_u16(out, static_cast<u16>(v & 0xffff));
+  put_u16(out, static_cast<u16>(v >> 16));
+}
+
+u16 get_u16(std::istream& in) {
+  int lo = in.get(), hi = in.get();
+  if (hi == EOF) throw std::invalid_argument("pcap: truncated");
+  return static_cast<u16>(lo | (hi << 8));
+}
+
+u32 get_u32(std::istream& in) {
+  u32 lo = get_u16(in);
+  u32 hi = get_u16(in);
+  return lo | (hi << 16);
+}
+
+}  // namespace
+
+void write_pcap(const TraceBuffer& buffer, std::ostream& out) {
+  put_u32(out, kMagic);
+  put_u16(out, 2);   // version major
+  put_u16(out, 4);   // version minor
+  put_u32(out, 0);   // thiszone
+  put_u32(out, 0);   // sigfigs
+  put_u32(out, 65535);  // snaplen
+  put_u32(out, kLinkTypeEthernet);
+  for (const TraceRecord& r : buffer.records()) {
+    i64 usecs = r.at.ns / 1000;
+    put_u32(out, static_cast<u32>(usecs / 1'000'000));
+    put_u32(out, static_cast<u32>(usecs % 1'000'000));
+    put_u32(out, static_cast<u32>(r.frame.size()));
+    put_u32(out, static_cast<u32>(r.frame.size()));
+    out.write(reinterpret_cast<const char*>(r.frame.data()),
+              static_cast<std::streamsize>(r.frame.size()));
+  }
+}
+
+bool write_pcap_file(const TraceBuffer& buffer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_pcap(buffer, out);
+  return static_cast<bool>(out);
+}
+
+std::vector<TraceRecord> read_pcap(std::istream& in) {
+  if (get_u32(in) != kMagic) {
+    throw std::invalid_argument("pcap: bad magic (or foreign byte order)");
+  }
+  get_u16(in);  // version major
+  get_u16(in);  // version minor
+  get_u32(in);  // thiszone
+  get_u32(in);  // sigfigs
+  get_u32(in);  // snaplen
+  if (get_u32(in) != kLinkTypeEthernet) {
+    throw std::invalid_argument("pcap: not an Ethernet capture");
+  }
+  std::vector<TraceRecord> out;
+  while (in.peek() != EOF) {
+    u32 sec = get_u32(in);
+    u32 usec = get_u32(in);
+    u32 incl = get_u32(in);
+    u32 orig = get_u32(in);
+    if (incl != orig || incl > 1 << 20) {
+      throw std::invalid_argument("pcap: unsupported truncated packet");
+    }
+    TraceRecord r;
+    r.at = TimePoint{(static_cast<i64>(sec) * 1'000'000 + usec) * 1000};
+    r.dir = net::Direction::kSend;
+    r.frame.resize(incl);
+    in.read(reinterpret_cast<char*>(r.frame.data()), incl);
+    if (in.gcount() != static_cast<std::streamsize>(incl)) {
+      throw std::invalid_argument("pcap: truncated packet body");
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace vwire::trace

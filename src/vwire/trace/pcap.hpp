@@ -1,0 +1,26 @@
+// Classic pcap (libpcap 2.4) export/import for traces.
+//
+// Lets a recorded testbed trace be opened in standard tooling (tcpdump,
+// Wireshark) — the bridge between VirtualWire's automated analysis and the
+// manual workflows the paper replaces.  Timestamps are simulated time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vwire/trace/trace.hpp"
+
+namespace vwire::trace {
+
+/// Writes `buffer` as a pcap stream (linktype Ethernet, µs resolution).
+void write_pcap(const TraceBuffer& buffer, std::ostream& out);
+
+/// Convenience: writes to a file; returns false on I/O failure.
+bool write_pcap_file(const TraceBuffer& buffer, const std::string& path);
+
+/// Reads a pcap stream back into records (node name and direction are not
+/// representable in pcap and come back empty/kSend).  Throws
+/// std::invalid_argument on malformed input.
+std::vector<TraceRecord> read_pcap(std::istream& in);
+
+}  // namespace vwire::trace

@@ -1,0 +1,33 @@
+#include <cstdio>
+
+#include "vwire/net/decode.hpp"
+#include "vwire/net/tcp_header.hpp"
+#include "vwire/trace/trace.hpp"
+
+namespace vwire::trace {
+
+std::string format_record(const TraceRecord& rec) {
+  char head[96];
+  std::snprintf(head, sizeof head, "%12.6f %-8s %-4s ", rec.at.seconds(),
+                rec.node.c_str(), net::to_string(rec.dir));
+  return head + net::summarize(rec.frame);
+}
+
+TraceBuffer::Predicate tcp_frames(u8 flags_set, u16 src_port, u16 dst_port) {
+  return [=](const TraceRecord& r) {
+    auto d = net::decode(r.frame);
+    if (!d || !d->tcp) return false;
+    if ((d->tcp->flags & flags_set) != flags_set) return false;
+    if (src_port != 0 && d->tcp->src_port != src_port) return false;
+    if (dst_port != 0 && d->tcp->dst_port != dst_port) return false;
+    return true;
+  };
+}
+
+TraceBuffer::Predicate ethertype_frames(u16 ethertype) {
+  return [=](const TraceRecord& r) {
+    return net::frame_ethertype(r.frame) == ethertype;
+  };
+}
+
+}  // namespace vwire::trace

@@ -1,0 +1,63 @@
+#include "vwire/trace/trace.hpp"
+
+#include "vwire/host/node.hpp"
+#include "vwire/net/decode.hpp"
+
+namespace vwire::trace {
+
+void TraceBuffer::record(TimePoint at, std::string_view node,
+                         net::Direction dir, const net::Packet& pkt) {
+  ++total_;
+  if (records_.size() >= max_records_) {
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(
+                                          max_records_ / 10 + 1));
+  }
+  records_.push_back(
+      TraceRecord{at, std::string(node), dir, pkt.uid(), pkt.bytes()});
+}
+
+void TraceBuffer::clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+std::vector<const TraceRecord*> TraceBuffer::select(
+    const Predicate& pred) const {
+  std::vector<const TraceRecord*> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::size_t TraceBuffer::count(const Predicate& pred) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (pred(r)) ++n;
+  }
+  return n;
+}
+
+std::string TraceBuffer::dump() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += format_record(r);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void TapLayer::send_down(net::Packet pkt) {
+  buffer_.record(node_->simulator().now(), node_->name(),
+                 net::Direction::kSend, pkt);
+  pass_down(std::move(pkt));
+}
+
+void TapLayer::receive_up(net::Packet pkt) {
+  buffer_.record(node_->simulator().now(), node_->name(),
+                 net::Direction::kRecv, pkt);
+  pass_up(std::move(pkt));
+}
+
+}  // namespace vwire::trace

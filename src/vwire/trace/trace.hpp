@@ -1,0 +1,81 @@
+// Packet trace capture.
+//
+// The paper's motivation (§1) includes replacing "collecting tcpdump traces
+// and inspecting them manually".  TraceBuffer is the testbed-wide capture:
+// TapLayer instances inserted into node stacks record every frame with a
+// timestamp, capturing node and direction.  The FAE works on live packets;
+// the trace is for humans, tests and offline queries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vwire/host/layer.hpp"
+#include "vwire/net/packet.hpp"
+
+namespace vwire::trace {
+
+struct TraceRecord {
+  TimePoint at;
+  std::string node;
+  net::Direction dir;
+  u64 uid;
+  Bytes frame;
+};
+
+class TraceBuffer {
+ public:
+  /// Caps memory; older records are discarded first when full.
+  explicit TraceBuffer(std::size_t max_records = 1'000'000)
+      : max_records_(max_records) {}
+
+  void record(TimePoint at, std::string_view node, net::Direction dir,
+              const net::Packet& pkt);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  u64 total_recorded() const { return total_; }
+  void clear();
+
+  using Predicate = std::function<bool(const TraceRecord&)>;
+  std::vector<const TraceRecord*> select(const Predicate& pred) const;
+  std::size_t count(const Predicate& pred) const;
+
+  /// Formats every record as one summary line ("time node dir decoded").
+  std::string dump() const;
+
+ private:
+  std::size_t max_records_;
+  std::vector<TraceRecord> records_;
+  u64 total_{0};
+};
+
+/// Transparent capture layer; inserts anywhere in a node's chain.
+class TapLayer final : public host::Layer {
+ public:
+  explicit TapLayer(TraceBuffer& buffer) : buffer_(buffer) {}
+
+  std::string_view name() const override { return "tap"; }
+
+  void send_down(net::Packet pkt) override;
+  void receive_up(net::Packet pkt) override;
+
+ private:
+  TraceBuffer& buffer_;
+};
+
+/// Formats a single record as a one-line summary.
+std::string format_record(const TraceRecord& rec);
+
+// ---- common predicates used by tests and examples ----
+
+/// Matches TCP frames with all `flags_set` bits set between the given ports
+/// (0 = any port).
+TraceBuffer::Predicate tcp_frames(u8 flags_set, u16 src_port = 0,
+                                  u16 dst_port = 0);
+
+/// Matches frames of a given ethertype.
+TraceBuffer::Predicate ethertype_frames(u16 ethertype);
+
+}  // namespace vwire::trace

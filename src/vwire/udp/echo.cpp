@@ -1,0 +1,58 @@
+#include "vwire/udp/echo.hpp"
+
+#include "vwire/util/assert.hpp"
+
+namespace vwire::udp {
+
+EchoServer::EchoServer(UdpLayer& udp, u16 port) : udp_(udp), port_(port) {
+  udp_.bind(port_, [this](net::Ipv4Address src_ip, u16 src_port,
+                          BytesView payload) {
+    ++echoed_;
+    udp_.send(src_ip, src_port, port_, payload);
+  });
+}
+
+EchoClient::EchoClient(UdpLayer& udp, Params params)
+    : udp_(udp),
+      params_(params),
+      send_timer_(udp.node().simulator(), [this] { send_probe(); }) {
+  VWIRE_ASSERT(params_.payload_size >= 4, "probe payload carries a u32 id");
+  udp_.bind(params_.local_port,
+            [this](net::Ipv4Address, u16, BytesView payload) {
+              on_reply(payload);
+            });
+}
+
+void EchoClient::start() {
+  // -1 = "not sent / already answered"; 0 is a legitimate send time.
+  sent_at_.assign(params_.count, TimePoint{.ns = -1});
+  send_probe();
+}
+
+void EchoClient::send_probe() {
+  if (sent_ >= params_.count) return;
+  Bytes payload(params_.payload_size, 0);
+  write_u32(payload, 0, sent_);
+  sent_at_[sent_] = udp_.node().simulator().now();
+  udp_.send(params_.server_ip, params_.server_port, params_.local_port,
+            payload);
+  ++sent_;
+  if (sent_ < params_.count) send_timer_.start(params_.interval);
+}
+
+void EchoClient::on_reply(BytesView payload) {
+  if (payload.size() < 4) return;
+  u32 id = read_u32(payload, 0);
+  if (id >= sent_at_.size() || sent_at_[id].ns < 0) return;
+  rtts_.push_back(udp_.node().simulator().now() - sent_at_[id]);
+  sent_at_[id] = TimePoint{.ns = -1};  // guard against duplicates (DUP)
+}
+
+Duration EchoClient::mean_rtt() const {
+  if (rtts_.empty()) return {};
+  i64 total = 0;
+  for (auto r : rtts_) total += r.ns;
+  return {total / static_cast<i64>(rtts_.size())};
+}
+
+}  // namespace vwire::udp

@@ -1,0 +1,62 @@
+// UDP echo applications — the workload of the paper's Fig 8 latency
+// experiment ("an echo connection using UDP between the 2 test machines").
+#pragma once
+
+#include <vector>
+
+#include "vwire/sim/timer.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::udp {
+
+/// Echoes every datagram straight back to its sender.
+class EchoServer {
+ public:
+  EchoServer(UdpLayer& udp, u16 port);
+
+  u64 echoed() const { return echoed_; }
+
+ private:
+  UdpLayer& udp_;
+  u16 port_;
+  u64 echoed_{0};
+};
+
+/// Sends `count` probes of `payload_size` bytes at a fixed interval and
+/// records each round-trip time.  Lost probes simply never complete.
+class EchoClient {
+ public:
+  struct Params {
+    net::Ipv4Address server_ip;
+    u16 server_port{7};
+    u16 local_port{30000};
+    std::size_t payload_size{64};
+    u32 count{100};
+    Duration interval{millis(5)};
+  };
+
+  EchoClient(UdpLayer& udp, Params params);
+
+  /// Begins probing; RTTs accumulate as replies arrive.
+  void start();
+
+  const std::vector<Duration>& rtts() const { return rtts_; }
+  u32 sent() const { return sent_; }
+  u32 received() const { return static_cast<u32>(rtts_.size()); }
+  bool done() const { return sent_ == params_.count; }
+
+  Duration mean_rtt() const;
+
+ private:
+  void send_probe();
+  void on_reply(BytesView payload);
+
+  UdpLayer& udp_;
+  Params params_;
+  sim::Timer send_timer_;
+  std::vector<Duration> rtts_;
+  std::vector<TimePoint> sent_at_;
+  u32 sent_{0};
+};
+
+}  // namespace vwire::udp

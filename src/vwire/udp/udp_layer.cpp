@@ -1,0 +1,52 @@
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::udp {
+
+UdpLayer::UdpLayer(host::Node& node) : node_(node) {
+  node_.ip_layer().register_protocol(
+      net::IpProto::kUdp,
+      [this](const net::Ipv4Header& ip, BytesView l4) { on_ip(ip, l4); });
+}
+
+void UdpLayer::bind(u16 port, Handler handler) {
+  sockets_[port] = std::move(handler);
+}
+
+void UdpLayer::unbind(u16 port) { sockets_.erase(port); }
+
+void UdpLayer::send(net::Ipv4Address dst_ip, u16 dst_port, u16 src_port,
+                    BytesView payload) {
+  Bytes l4(net::UdpHeader::kSize + payload.size());
+  std::copy(payload.begin(), payload.end(),
+            l4.begin() + net::UdpHeader::kSize);
+  net::UdpHeader h;
+  h.src_port = src_port;
+  h.dst_port = dst_port;
+  h.write(l4, 0, payload, node_.ip(), dst_ip);
+  ++stats_.tx_datagrams;
+  node_.ip_layer().send(dst_ip, net::IpProto::kUdp, std::move(l4));
+}
+
+void UdpLayer::on_ip(const net::Ipv4Header& ip, BytesView l4) {
+  auto h = net::UdpHeader::read(l4);
+  if (!h || h->length > l4.size() || h->length < net::UdpHeader::kSize) {
+    ++stats_.rx_bad_checksum;
+    return;
+  }
+  if (!net::UdpHeader::verify_checksum(l4, 0, h->length, ip.src, ip.dst)) {
+    // A MODIFY fault that corrupts the payload lands here: the datagram is
+    // discarded exactly as a real stack would.
+    ++stats_.rx_bad_checksum;
+    return;
+  }
+  auto it = sockets_.find(h->dst_port);
+  if (it == sockets_.end()) {
+    ++stats_.rx_no_socket;
+    return;
+  }
+  ++stats_.rx_datagrams;
+  it->second(ip.src, h->src_port,
+             l4.subspan(net::UdpHeader::kSize, h->length - net::UdpHeader::kSize));
+}
+
+}  // namespace vwire::udp

@@ -1,0 +1,50 @@
+// Minimal UDP on top of the simulated IPv4 stack.
+//
+// Mirrors the kernel socket surface closely enough for the paper's
+// evaluation workloads: the Fig 8 latency experiment is a UDP echo between
+// two hosts.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "vwire/host/node.hpp"
+#include "vwire/net/udp_header.hpp"
+
+namespace vwire::udp {
+
+struct UdpStats {
+  u64 tx_datagrams{0};
+  u64 rx_datagrams{0};
+  u64 rx_bad_checksum{0};
+  u64 rx_no_socket{0};
+};
+
+class UdpLayer {
+ public:
+  /// Registers with the node's IP layer for protocol 17.
+  explicit UdpLayer(host::Node& node);
+
+  using Handler = std::function<void(net::Ipv4Address src_ip, u16 src_port,
+                                     BytesView payload)>;
+
+  /// Binds a local port; datagrams for it invoke `handler`.  Rebinding an
+  /// occupied port replaces the handler.
+  void bind(u16 port, Handler handler);
+  void unbind(u16 port);
+
+  void send(net::Ipv4Address dst_ip, u16 dst_port, u16 src_port,
+            BytesView payload);
+
+  const UdpStats& stats() const { return stats_; }
+  host::Node& node() { return node_; }
+
+ private:
+  void on_ip(const net::Ipv4Header& ip, BytesView l4);
+
+  host::Node& node_;
+  std::unordered_map<u16, Handler> sockets_;
+  UdpStats stats_;
+};
+
+}  // namespace vwire::udp

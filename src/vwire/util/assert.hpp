@@ -1,0 +1,17 @@
+// Invariant checking that is always on.  Simulation correctness depends on
+// internal invariants (event ordering, sequence-number accounting); silently
+// corrupting them in release builds would produce wrong experiment results,
+// so violations abort with a location message in every build type.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define VWIRE_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "VWIRE_ASSERT failed at %s:%d: %s — %s\n",    \
+                   __FILE__, __LINE__, #cond, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

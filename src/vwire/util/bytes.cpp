@@ -1,0 +1,122 @@
+#include "vwire/util/bytes.hpp"
+
+#include <stdexcept>
+
+#include "vwire/util/assert.hpp"
+
+namespace vwire {
+
+u8 read_u8(BytesView b, std::size_t off) {
+  VWIRE_ASSERT(off + 1 <= b.size(), "read_u8 out of range");
+  return b[off];
+}
+
+u16 read_u16(BytesView b, std::size_t off) {
+  VWIRE_ASSERT(off + 2 <= b.size(), "read_u16 out of range");
+  return static_cast<u16>((b[off] << 8) | b[off + 1]);
+}
+
+u32 read_u32(BytesView b, std::size_t off) {
+  VWIRE_ASSERT(off + 4 <= b.size(), "read_u32 out of range");
+  return (static_cast<u32>(b[off]) << 24) | (static_cast<u32>(b[off + 1]) << 16) |
+         (static_cast<u32>(b[off + 2]) << 8) | static_cast<u32>(b[off + 3]);
+}
+
+u64 read_u64(BytesView b, std::size_t off) {
+  u64 hi = read_u32(b, off);
+  u64 lo = read_u32(b, off + 4);
+  return (hi << 32) | lo;
+}
+
+void write_u8(BytesSpan b, std::size_t off, u8 v) {
+  VWIRE_ASSERT(off + 1 <= b.size(), "write_u8 out of range");
+  b[off] = v;
+}
+
+void write_u16(BytesSpan b, std::size_t off, u16 v) {
+  VWIRE_ASSERT(off + 2 <= b.size(), "write_u16 out of range");
+  b[off] = static_cast<u8>(v >> 8);
+  b[off + 1] = static_cast<u8>(v);
+}
+
+void write_u32(BytesSpan b, std::size_t off, u32 v) {
+  VWIRE_ASSERT(off + 4 <= b.size(), "write_u32 out of range");
+  b[off] = static_cast<u8>(v >> 24);
+  b[off + 1] = static_cast<u8>(v >> 16);
+  b[off + 2] = static_cast<u8>(v >> 8);
+  b[off + 3] = static_cast<u8>(v);
+}
+
+void write_u64(BytesSpan b, std::size_t off, u64 v) {
+  write_u32(b, off, static_cast<u32>(v >> 32));
+  write_u32(b, off + 4, static_cast<u32>(v));
+}
+
+void ByteWriter::u16v(u16 v) {
+  buf_.push_back(static_cast<u8>(v >> 8));
+  buf_.push_back(static_cast<u8>(v));
+}
+
+void ByteWriter::u32v(u32 v) {
+  u16v(static_cast<u16>(v >> 16));
+  u16v(static_cast<u16>(v));
+}
+
+void ByteWriter::u64v(u64 v) {
+  u32v(static_cast<u32>(v >> 32));
+  u32v(static_cast<u32>(v));
+}
+
+void ByteWriter::str(const std::string& s) {
+  VWIRE_ASSERT(s.size() <= 0xffff, "string too long for wire format");
+  u16v(static_cast<u16>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw std::out_of_range("ByteReader: truncated message");
+  }
+}
+
+u8 ByteReader::u8v() {
+  need(1);
+  return buf_[pos_++];
+}
+
+u16 ByteReader::u16v() {
+  need(2);
+  u16 v = static_cast<u16>((buf_[pos_] << 8) | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+u32 ByteReader::u32v() {
+  u32 hi = u16v();
+  u32 lo = u16v();
+  return (hi << 16) | lo;
+}
+
+u64 ByteReader::u64v() {
+  u64 hi = u32v();
+  u64 lo = u32v();
+  return (hi << 32) | lo;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  u16 n = u16v();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace vwire

@@ -1,0 +1,74 @@
+// Big-endian (network order) byte-buffer readers and writers.
+//
+// All wire formats in VirtualWire — Ethernet, IPv4, TCP, UDP, the RLL header,
+// the control-plane messages, and the Rether frames — are serialized through
+// these helpers so endianness handling lives in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire {
+
+using Bytes = std::vector<u8>;
+using BytesView = std::span<const u8>;
+using BytesSpan = std::span<u8>;
+
+/// Reads big-endian scalars out of a fixed buffer.  Bounds are the caller's
+/// responsibility (checked by VWIRE_ASSERT in debug-critical paths).
+u8 read_u8(BytesView b, std::size_t off);
+u16 read_u16(BytesView b, std::size_t off);
+u32 read_u32(BytesView b, std::size_t off);
+u64 read_u64(BytesView b, std::size_t off);
+
+void write_u8(BytesSpan b, std::size_t off, u8 v);
+void write_u16(BytesSpan b, std::size_t off, u16 v);
+void write_u32(BytesSpan b, std::size_t off, u32 v);
+void write_u64(BytesSpan b, std::size_t off, u64 v);
+
+/// Append-style writer used by the control-plane codec.
+class ByteWriter {
+ public:
+  void u8v(u8 v) { buf_.push_back(v); }
+  void u16v(u16 v);
+  void u32v(u32 v);
+  void u64v(u64 v);
+  void raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  void str(const std::string& s);  ///< u16 length prefix + bytes
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Cursor-style reader matching ByteWriter.  Throws std::out_of_range on
+/// truncated input — control messages come off the (simulated) wire and a
+/// malformed one must not crash the engine.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView b) : buf_(b) {}
+
+  u8 u8v();
+  u16 u16v();
+  u32 u32v();
+  u64 u64v();
+  Bytes raw(std::size_t n);
+  std::string str();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  BytesView buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace vwire

@@ -1,0 +1,54 @@
+#include "vwire/util/checksum.hpp"
+
+#include <array>
+
+namespace vwire {
+
+u32 checksum_partial(BytesView data, u32 acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<u32>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    acc += static_cast<u32>(data[i] << 8);
+  }
+  return acc;
+}
+
+u16 checksum_finish(u32 acc) {
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  return static_cast<u16>(~acc & 0xffff);
+}
+
+u16 internet_checksum(BytesView data, u32 seed) {
+  return checksum_finish(checksum_partial(data, seed));
+}
+
+namespace {
+
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> t{};
+  for (u32 n = 0; n < 256; ++n) {
+    u32 c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[n] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+u32 crc32(BytesView data) {
+  static const std::array<u32, 256> table = make_crc_table();
+  u32 c = 0xffffffffu;
+  for (u8 b : data) {
+    c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace vwire

@@ -1,0 +1,29 @@
+// Checksums used on the simulated wire.
+//
+//  * internet_checksum — RFC 1071 ones-complement sum for IPv4/TCP/UDP
+//    headers.  The MODIFY fault primitive deliberately produces frames whose
+//    checksum no longer matches, and the receiving stack must detect that,
+//    so these are computed and verified for real.
+//  * crc32 — IEEE 802.3 FCS polynomial, used by the PHY bit-error model to
+//    decide whether a corrupted frame would have been discarded by a real
+//    NIC (which is what makes the Reliable Link Layer necessary).
+#pragma once
+
+#include "vwire/util/bytes.hpp"
+
+namespace vwire {
+
+/// RFC 1071 internet checksum over `data`, with an optional seed for
+/// pseudo-header folding.  Returns the final complemented 16-bit value.
+u16 internet_checksum(BytesView data, u32 seed = 0);
+
+/// Partial (uncomplemented) sum, for composing pseudo-header + payload.
+u32 checksum_partial(BytesView data, u32 acc = 0);
+
+/// Folds a 32-bit partial sum and complements it.
+u16 checksum_finish(u32 acc);
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320).
+u32 crc32(BytesView data);
+
+}  // namespace vwire

@@ -1,0 +1,92 @@
+#include "vwire/util/hex.hpp"
+
+#include <cctype>
+
+namespace vwire {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<u64> parse_hex(std::string_view s) {
+  if (s.starts_with("0x") || s.starts_with("0X")) {
+    s.remove_prefix(2);
+  }
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  u64 v = 0;
+  for (char c : s) {
+    int d = hex_digit(c);
+    if (d < 0) return std::nullopt;
+    v = (v << 4) | static_cast<u64>(d);
+  }
+  return v;
+}
+
+std::optional<u64> parse_dec(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  u64 v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    u64 next = v * 10 + static_cast<u64>(c - '0');
+    if (next < v) return std::nullopt;  // overflow
+    v = next;
+  }
+  return v;
+}
+
+std::string to_hex(u64 v, int width) {
+  static const char* digits = "0123456789abcdef";
+  std::string body;
+  do {
+    body.push_back(digits[v & 0xf]);
+    v >>= 4;
+  } while (v != 0);
+  while (static_cast<int>(body.size()) < width) body.push_back('0');
+  std::string out = "0x";
+  out.append(body.rbegin(), body.rend());
+  return out;
+}
+
+std::string hex_bytes(BytesView b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 3);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i) out.push_back(' ');
+    out.push_back(digits[b[i] >> 4]);
+    out.push_back(digits[b[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string hexdump(BytesView b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t off = 0; off < b.size(); off += 16) {
+    out += to_hex(off, 4).substr(2);
+    out += "  ";
+    std::string ascii;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < b.size()) {
+        u8 c = b[off + i];
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0xf]);
+        out.push_back(' ');
+        ascii.push_back(std::isprint(c) ? static_cast<char>(c) : '.');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |" + ascii + "|\n";
+  }
+  return out;
+}
+
+}  // namespace vwire

@@ -1,0 +1,33 @@
+// Hex parsing and formatting.
+//
+// FSL filter tuples carry patterns and masks as hex literals ("0x6000");
+// trace summaries and diagnostics print byte ranges as hex.  Parsing is
+// strict — the FSL compiler reports bad literals with source locations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "vwire/util/bytes.hpp"
+
+namespace vwire {
+
+/// Parses "0x..." or bare hex digits into a value; nullopt on any bad char
+/// or overflow past 64 bits.
+std::optional<u64> parse_hex(std::string_view s);
+
+/// Parses a decimal unsigned integer; nullopt on bad char/overflow.
+std::optional<u64> parse_dec(std::string_view s);
+
+/// Formats `v` as a 0x-prefixed, zero-padded hex string of `width` nibbles
+/// (width 0 = minimal).
+std::string to_hex(u64 v, int width = 0);
+
+/// Hex string of a byte range, e.g. "de ad be ef".
+std::string hex_bytes(BytesView b);
+
+/// Classic 16-bytes-per-line hexdump with offsets, for trace debugging.
+std::string hexdump(BytesView b);
+
+}  // namespace vwire

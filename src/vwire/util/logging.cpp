@@ -1,0 +1,41 @@
+#include "vwire/util/logging.hpp"
+
+#include <cstdio>
+
+namespace vwire {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+void reset_log_sink() { g_sink = nullptr; }
+
+void log_message(LogLevel lvl, const std::string& msg) {
+  if (lvl < g_level) return;
+  if (g_sink) {
+    g_sink(lvl, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  }
+}
+
+}  // namespace vwire

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The engines log rule firings and fault injections at Debug; examples turn
+// this up to show the FIE/FAE at work, tests and benches keep it at Warn so
+// output stays parseable.  A single global sink keeps hot paths to one
+// branch when logging is off.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vwire {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped before formatting.
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+/// Replaces the sink (default: stderr).  Used by tests to capture output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+void reset_log_sink();
+
+void log_message(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { log_message(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define VWIRE_LOG(lvl)                                   \
+  if (::vwire::log_level() <= (lvl)) ::vwire::detail::LogLine(lvl)
+#define VWIRE_TRACE() VWIRE_LOG(::vwire::LogLevel::kTrace)
+#define VWIRE_DEBUG() VWIRE_LOG(::vwire::LogLevel::kDebug)
+#define VWIRE_INFO() VWIRE_LOG(::vwire::LogLevel::kInfo)
+#define VWIRE_WARN() VWIRE_LOG(::vwire::LogLevel::kWarn)
+#define VWIRE_ERROR() VWIRE_LOG(::vwire::LogLevel::kError)
+
+}  // namespace vwire

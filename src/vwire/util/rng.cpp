@@ -1,0 +1,61 @@
+#include "vwire/util/rng.hpp"
+
+namespace vwire {
+
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling: discard the biased tail of the 64-bit range.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::range(i64 lo, i64 hi) {
+  return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace vwire

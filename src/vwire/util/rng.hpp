@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (bit-error model, MODIFY's random byte
+// perturbation, workload generators) draws from its own seeded Rng so that
+// a scenario replays identically given the same seeds — the property the
+// paper calls a "truly controlled environment" (§3.3).
+//
+// The generator is xoshiro256**, seeded through SplitMix64 per Blackman &
+// Vigna's recommendation.
+#pragma once
+
+#include "vwire/util/types.hpp"
+
+namespace vwire {
+
+/// SplitMix64 step; used standalone for hashing and for seeding.
+u64 splitmix64(u64& state);
+
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Uniform over the full 64-bit range.
+  u64 next();
+
+  /// Uniform in [0, bound) with rejection to avoid modulo bias.
+  u64 below(u64 bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng fork();
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace vwire

@@ -1,0 +1,54 @@
+// Fundamental scalar and time types shared by every VirtualWire module.
+//
+// Simulated time is a signed 64-bit count of nanoseconds since the start of
+// the simulation.  Using a strong typedef (rather than std::chrono) keeps the
+// hot-path arithmetic trivial while the helper constructors below keep call
+// sites readable (`millis(10)`, `micros(50)`).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace vwire {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+struct Duration {
+  i64 ns{0};
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration operator*(i64 k) const { return {ns * k}; }
+  constexpr Duration operator/(i64 k) const { return {ns / k}; }
+  constexpr Duration& operator+=(Duration o) { ns += o.ns; return *this; }
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  constexpr double millis_f() const { return static_cast<double>(ns) * 1e-6; }
+  constexpr double micros_f() const { return static_cast<double>(ns) * 1e-3; }
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+struct TimePoint {
+  i64 ns{0};
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr Duration operator-(TimePoint o) const { return {ns - o.ns}; }
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+};
+
+constexpr Duration nanos(i64 v) { return {v}; }
+constexpr Duration micros(i64 v) { return {v * 1'000}; }
+constexpr Duration millis(i64 v) { return {v * 1'000'000}; }
+constexpr Duration seconds(i64 v) { return {v * 1'000'000'000}; }
+constexpr Duration seconds_f(double v) {
+  return {static_cast<i64>(v * 1e9)};
+}
+
+}  // namespace vwire

@@ -1,0 +1,113 @@
+// Testbed facade: construction, addressing, stack composition, FSL
+// node-table generation.
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/core/fsl/parser.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire {
+namespace {
+
+TEST(Testbed, AutoAddressingIsDeterministic) {
+  Testbed a, b;
+  a.add_node("x");
+  a.add_node("y");
+  b.add_node("x");
+  b.add_node("y");
+  EXPECT_EQ(a.node("x").mac(), b.node("x").mac());
+  EXPECT_EQ(a.node("y").ip(), b.node("y").ip());
+  EXPECT_NE(a.node("x").mac(), a.node("y").mac());
+  EXPECT_NE(a.node("x").ip().value(), a.node("y").ip().value());
+}
+
+TEST(Testbed, ExplicitAddressing) {
+  Testbed tb;
+  auto mac = *net::MacAddress::parse("00:46:61:af:fe:23");
+  auto ip = *net::Ipv4Address::parse("192.168.1.1");
+  tb.add_node("node0", mac, ip);
+  EXPECT_EQ(tb.node("node0").mac(), mac);
+  EXPECT_EQ(tb.node("node0").ip(), ip);
+}
+
+TEST(Testbed, NodeTableFslParsesBack) {
+  Testbed tb;
+  tb.add_node("client");
+  tb.add_node("server");
+  tb.add_node("witness");
+  fsl::AstScript ast = fsl::parse_script(tb.node_table_fsl());
+  ASSERT_EQ(ast.nodes.size(), 3u);
+  EXPECT_EQ(ast.nodes[0].name, "client");
+  EXPECT_EQ(*net::MacAddress::parse(ast.nodes[1].mac),
+            tb.node("server").mac());
+  EXPECT_EQ(*net::Ipv4Address::parse(ast.nodes[2].ip),
+            tb.node("witness").ip());
+}
+
+TEST(Testbed, DefaultStackHasAllLayers) {
+  Testbed tb;
+  tb.add_node("n");
+  NodeHandles& h = tb.handles("n");
+  EXPECT_NE(h.rll, nullptr);
+  EXPECT_NE(h.tap, nullptr);
+  EXPECT_NE(h.agent, nullptr);
+  EXPECT_NE(h.engine, nullptr);
+  // And they are discoverable by layer name in stack order.
+  EXPECT_NE(tb.node("n").find_layer("rll"), nullptr);
+  EXPECT_NE(tb.node("n").find_layer("vwire"), nullptr);
+  EXPECT_NE(tb.node("n").find_layer("vwctl"), nullptr);
+}
+
+TEST(Testbed, OptionalLayersCanBeOmitted) {
+  TestbedConfig cfg;
+  cfg.install_rll = false;
+  cfg.install_engine = false;
+  cfg.install_trace = false;
+  Testbed tb(cfg);
+  tb.add_node("n");
+  NodeHandles& h = tb.handles("n");
+  EXPECT_EQ(h.rll, nullptr);
+  EXPECT_EQ(h.tap, nullptr);
+  EXPECT_EQ(h.engine, nullptr);
+  EXPECT_NE(h.agent, nullptr);  // the control agent is always present
+}
+
+TEST(Testbed, SharedBusMediumSelectable) {
+  TestbedConfig cfg;
+  cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+  cfg.install_engine = false;
+  Testbed tb(cfg);
+  tb.add_node("a");
+  tb.add_node("b");
+  udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+  int got = 0;
+  ub.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  ua.send(tb.node("b").ip(), 9, 30000, Bytes(4, 0));
+  tb.simulator().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Testbed, FullMeshNeighborsMaintained) {
+  Testbed tb;
+  for (int i = 0; i < 4; ++i) tb.add_node("n" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      auto mac = tb.node("n" + std::to_string(i))
+                     .resolve(tb.node("n" + std::to_string(j)).ip());
+      ASSERT_TRUE(mac);
+      EXPECT_EQ(*mac, tb.node("n" + std::to_string(j)).mac());
+    }
+  }
+}
+
+TEST(Testbed, NodeNamesEnumerateInOrder) {
+  Testbed tb;
+  tb.add_node("alpha");
+  tb.add_node("beta");
+  EXPECT_EQ(tb.node_names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(tb.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace vwire

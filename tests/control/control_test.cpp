@@ -1,0 +1,135 @@
+// Control plane: message codec and the per-node agent.
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/core/control/messages.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::control {
+namespace {
+
+TEST(Messages, CounterUpdateRoundTrip) {
+  auto msg = make_counter_update(7, -42);
+  auto back = decode(encode(msg));
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->type, MsgType::kCounterUpdate);
+  const auto& m = std::get<CounterUpdateMsg>(back->body);
+  EXPECT_EQ(m.counter, 7);
+  EXPECT_EQ(m.value, -42);
+}
+
+TEST(Messages, TermStatusRoundTrip) {
+  for (bool s : {true, false}) {
+    auto back = decode(encode(make_term_status(3, s)));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(std::get<TermStatusMsg>(back->body).state, s);
+  }
+}
+
+TEST(Messages, StartStopErrorRoundTrip) {
+  auto start = decode(encode(make_start(2)));
+  ASSERT_TRUE(start);
+  EXPECT_EQ(std::get<StartMsg>(start->body).controller_node, 2);
+
+  auto stopped = decode(encode(make_stopped(1)));
+  ASSERT_TRUE(stopped);
+  EXPECT_EQ(std::get<StoppedMsg>(stopped->body).node, 1);
+
+  auto err = decode(encode(make_error(3, {123456}, 9)));
+  ASSERT_TRUE(err);
+  const auto& e = std::get<ErrorMsg>(err->body);
+  EXPECT_EQ(e.node, 3);
+  EXPECT_EQ(e.time_ns, 123456);
+  EXPECT_EQ(e.cond, 9);
+}
+
+TEST(Messages, InitCarriesTables) {
+  core::TableSet t;
+  t.scenario_name = "x";
+  auto back = decode(encode(make_init(t)));
+  ASSERT_TRUE(back);
+  auto tables =
+      core::deserialize_tables(std::get<InitMsg>(back->body).tables);
+  EXPECT_EQ(tables.scenario_name, "x");
+}
+
+TEST(Messages, MalformedInputRejectedNotThrown) {
+  EXPECT_FALSE(decode(Bytes{}));
+  EXPECT_FALSE(decode(Bytes{0x63}));          // unknown type
+  EXPECT_FALSE(decode(Bytes{0x03, 0x00}));    // truncated counter update
+  Bytes init = {0x01, 0x00, 0x00, 0xff, 0xff};  // claims huge table blob
+  EXPECT_FALSE(decode(init));
+}
+
+struct AgentFixture : ::testing::Test {
+  TestbedConfig cfg;
+  std::unique_ptr<Testbed> tb;
+
+  void SetUp() override {
+    cfg.install_engine = false;  // agents only
+    tb = std::make_unique<Testbed>(cfg);
+    tb->add_node("a");
+    tb->add_node("b");
+    tb->add_node("c");
+  }
+
+  ControlAgent& agent(const char* n) { return *tb->handles(n).agent; }
+};
+
+TEST_F(AgentFixture, UnicastPayloadDelivered) {
+  std::string got_from;
+  Bytes got;
+  agent("b").set_handler([&](const net::MacAddress& from, BytesView payload) {
+    got_from = from.to_string();
+    got.assign(payload.begin(), payload.end());
+  });
+  Bytes payload = {1, 2, 3};
+  agent("a").send_to(tb->node("b").mac(), payload);
+  tb->simulator().run();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(got_from, tb->node("a").mac().to_string());
+  EXPECT_EQ(agent("b").stats().rx_messages, 1u);
+}
+
+TEST_F(AgentFixture, OtherNodesDoNotReceiveUnicast) {
+  int c_got = 0;
+  agent("c").set_handler(
+      [&](const net::MacAddress&, BytesView) { ++c_got; });
+  agent("a").send_to(tb->node("b").mac(), Bytes{9});
+  tb->simulator().run();
+  EXPECT_EQ(c_got, 0);
+}
+
+TEST_F(AgentFixture, ControlRidesTheRll) {
+  // Control frames are encapsulated by the RLL below the agent, so a
+  // corrupted control frame is retransmitted, not lost (paper §3.3).
+  TestbedConfig lossy;
+  lossy.install_engine = false;
+  lossy.link.bit_error_rate = 1e-3;
+  lossy.seed = 11;
+  Testbed noisy(lossy);
+  noisy.add_node("a");
+  noisy.add_node("b");
+  int got = 0;
+  noisy.handles("b").agent->set_handler(
+      [&](const net::MacAddress&, BytesView) { ++got; });
+  for (int i = 0; i < 50; ++i) {
+    noisy.handles("a").agent->send_to(noisy.node("b").mac(), Bytes{7});
+  }
+  noisy.simulator().run_until({seconds(5).ns});
+  EXPECT_EQ(got, 50);
+  EXPECT_GE(noisy.handles("a").rll->stats().retransmits, 1u);
+}
+
+TEST_F(AgentFixture, NonControlTrafficPassesThrough) {
+  // The agent must be transparent to ordinary frames.
+  udp::UdpLayer ua(tb->node("a")), ub(tb->node("b"));
+  int got = 0;
+  ub.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  ua.send(tb->node("b").ip(), 9, 30000, Bytes(4, 0));
+  tb->simulator().run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace vwire::control

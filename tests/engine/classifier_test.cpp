@@ -1,0 +1,165 @@
+#include "vwire/core/engine/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/core/fsl/compiler.hpp"
+
+namespace vwire::core {
+namespace {
+
+/// Builds a filter table from FSL source (plus a throwaway node/scenario).
+FilterTable filters_of(const std::string& filter_block,
+                       const std::string& vars = "") {
+  std::string src = vars + "FILTER_TABLE\n" + filter_block +
+                    "END\n"
+                    "NODE_TABLE\n  n 02:00:00:00:00:00 10.0.0.1\nEND\n"
+                    "SCENARIO s\nEND\n";
+  return fsl::compile_script(src).filters;
+}
+
+Bytes frame_with(std::initializer_list<std::pair<u16, u16>> u16_fields,
+                 std::size_t size = 64) {
+  Bytes f(size, 0);
+  for (auto [off, val] : u16_fields) write_u16(f, off, val);
+  return f;
+}
+
+TEST(ExtractField, BigEndianWidths) {
+  Bytes f = {0x11, 0x22, 0x33, 0x44, 0x55};
+  EXPECT_EQ(extract_field(f, 0, 1), 0x11u);
+  EXPECT_EQ(extract_field(f, 1, 2), 0x2233u);
+  EXPECT_EQ(extract_field(f, 1, 4), 0x22334455u);
+  EXPECT_FALSE(extract_field(f, 3, 4));  // runs off the end
+}
+
+TEST(Classifier, FirstMatchWinsInTableOrder) {
+  // The paper §6.1: "priority of the filter rules is in descending order
+  // of occurrence.  If a match is found ... no need to match the
+  // subsequent rules."  Both entries match this frame; the first is
+  // reported.
+  auto table = filters_of(
+      "  first: (12 2 0x0800)\n"
+      "  second: (12 2 0x0800), (14 2 0x0000)\n");
+  Classifier cls(table);
+  VarStore vars(0);
+  auto r = cls.classify(frame_with({{12, 0x0800}}), vars);
+  EXPECT_EQ(r.filter, table.find("first"));
+}
+
+TEST(Classifier, AllTuplesMustMatch) {
+  auto table = filters_of("  f: (12 2 0x0800), (34 2 0x6000)\n");
+  Classifier cls(table);
+  VarStore vars(0);
+  EXPECT_EQ(cls.classify(frame_with({{12, 0x0800}}), vars).filter,
+            kInvalidId);
+  EXPECT_EQ(cls.classify(frame_with({{12, 0x0800}, {34, 0x6000}}), vars)
+                .filter,
+            table.find("f"));
+}
+
+TEST(Classifier, MaskSelectsBits) {
+  // The paper's TCP flag tuples: (47 1 0x10 0x10) matches any frame with
+  // the ACK bit set, whatever the other flags.
+  auto table = filters_of("  ackish: (47 1 0x10 0x10)\n");
+  Classifier cls(table);
+  VarStore vars(0);
+  Bytes psh_ack(64, 0);
+  psh_ack[47] = 0x18;
+  Bytes syn_only(64, 0);
+  syn_only[47] = 0x02;
+  EXPECT_EQ(cls.classify(psh_ack, vars).filter, 0);
+  EXPECT_EQ(cls.classify(syn_only, vars).filter, kInvalidId);
+}
+
+TEST(Classifier, ShortFrameNeverMatches) {
+  auto table = filters_of("  f: (60 2 0x1234)\n");
+  Classifier cls(table);
+  VarStore vars(0);
+  Bytes tiny(32, 0);
+  EXPECT_EQ(cls.classify(tiny, vars).filter, kInvalidId);
+}
+
+TEST(Classifier, TuplesComparedCountsWork) {
+  auto table = filters_of(
+      "  a: (12 2 0x7777)\n"
+      "  b: (12 2 0x8888)\n"
+      "  c: (12 2 0x0800), (14 2 0x0000)\n");
+  Classifier cls(table);
+  VarStore vars(0);
+  auto r = cls.classify(frame_with({{12, 0x0800}}), vars);
+  EXPECT_EQ(r.filter, 2);
+  // a: 1 compare, b: 1, c: 2 — the linear-scan cost Fig 8 measures.
+  EXPECT_EQ(r.tuples_compared, 4u);
+}
+
+TEST(Classifier, VarBindsOnFirstMatchThenFilters) {
+  // The paper's TCP_data_rt1 idiom: (38 4 SeqNoData) binds the first
+  // matching packet's sequence number; afterwards only packets carrying
+  // THAT sequence (i.e. retransmissions) match.
+  auto table = filters_of(
+      "  rt: (12 2 0x0800), (38 4 SEQ)\n"
+      "  plain: (12 2 0x0800)\n",
+      "VAR SEQ;\n");
+  Classifier cls(table);
+  VarStore vars(1);
+
+  Bytes first = frame_with({{12, 0x0800}, {38, 0x1111}, {40, 0x2222}});
+  EXPECT_EQ(cls.classify(first, vars).filter, table.find("rt"));
+  EXPECT_TRUE(vars.bound(0));
+  EXPECT_EQ(vars.value(0), 0x11112222u);
+
+  // A different sequence now falls through to the plain filter...
+  Bytes other = frame_with({{12, 0x0800}, {38, 0x9999}});
+  EXPECT_EQ(cls.classify(other, vars).filter, table.find("plain"));
+  // ...but a retransmission of the bound sequence matches rt again.
+  EXPECT_EQ(cls.classify(first, vars).filter, table.find("rt"));
+}
+
+TEST(Classifier, VarBindingOnlyCommitsOnFullEntryMatch) {
+  auto table = filters_of(
+      "  rt: (38 4 SEQ), (12 2 0x0800)\n",
+      "VAR SEQ;\n");
+  Classifier cls(table);
+  VarStore vars(1);
+  // Var tuple would match, but the ethertype tuple fails: no binding.
+  Bytes wrong = frame_with({{12, 0x9900}, {38, 0x4242}});
+  EXPECT_EQ(cls.classify(wrong, vars).filter, kInvalidId);
+  EXPECT_FALSE(vars.bound(0));
+}
+
+TEST(Classifier, VarStoreReset) {
+  VarStore vars(2);
+  vars.bind(1, 77);
+  EXPECT_TRUE(vars.bound(1));
+  vars.reset();
+  EXPECT_FALSE(vars.bound(1));
+}
+
+// Equivalence: the indexed classifier must agree with the linear one on
+// every frame, across a generated corpus.
+TEST(IndexedClassifier, AgreesWithLinearScan) {
+  auto table = filters_of(
+      "  a: (34 2 0x6000), (36 2 0x4000)\n"
+      "  b: (34 2 0x6000), (36 2 0x9999)\n"
+      "  c: (34 2 0x7000)\n"
+      "  d: (12 2 0x9900), (14 2 0x0001)\n"
+      "  e: (12 2 0x9900)\n");
+  Classifier linear(table);
+  IndexedClassifier indexed(table);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes f(64, 0);
+    // Bias fields toward interesting values.
+    const u16 vals[] = {0x6000, 0x4000, 0x7000, 0x9900, 0x0001, 0x1234};
+    write_u16(f, 12, vals[rng.below(6)]);
+    write_u16(f, 14, vals[rng.below(6)]);
+    write_u16(f, 34, vals[rng.below(6)]);
+    write_u16(f, 36, vals[rng.below(6)]);
+    VarStore v1(0), v2(0);
+    EXPECT_EQ(linear.classify(f, v1).filter, indexed.classify(f, v2).filter)
+        << "frame " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vwire::core

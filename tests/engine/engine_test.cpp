@@ -1,0 +1,243 @@
+// FIE/FAE engine semantics: counters, terms, conditions, rule firing —
+// the control flow of the paper's Fig 4(b), plus every counter primitive
+// of Table I.
+#include "vwire/core/engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace vwire::core {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(Engine, DisabledCountersDoNotCount) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "END\n");  // never enabled
+  h.send_requests(5);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("REQ"), 0);
+}
+
+TEST(Engine, EventCounterCountsExactlyItsFlow) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  RSP: (udp_rsp, server, client, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(RSP);\n"
+      "END\n");
+  h.send_requests(7);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("REQ"), 7);
+  EXPECT_EQ(h.counter("RSP"), 7);
+}
+
+TEST(Engine, SendAndRecvSidesCountIndependently) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  AT_SRC: (udp_req, client, server, SEND)\n"
+      "  AT_DST: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(AT_SRC); ENABLE_CNTR(AT_DST);\n"
+      "END\n");
+  h.send_requests(4);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("AT_SRC"), 4);  // on the client engine
+  EXPECT_EQ(h.counter("AT_DST"), 4);  // on the server engine
+  EXPECT_EQ(h.engine("client").self(), h.tables.nodes.find("client"));
+}
+
+TEST(Engine, TableIPrimitives) {
+  // ASSIGN / ENABLE / DISABLE / INCR / DECR / RESET driven purely by rules.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  X:   (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ASSIGN_CNTR(X, 10);\n"
+      "  ((REQ = 1)) >> INCR_CNTR(X, 5);\n"
+      "  ((REQ = 2)) >> DECR_CNTR(X, 3);\n"
+      "  ((REQ = 3)) >> RESET_CNTR(X);\n"
+      "  ((REQ = 4)) >> INCR_CNTR(X, 1);\n"
+      "  ((REQ = 5)) >> DISABLE_CNTR(REQ);\n"
+      "END\n");
+  h.send_requests(8);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("X"), 1);    // 10 +5 -3 →reset→ +1
+  EXPECT_EQ(h.counter("REQ"), 5);  // disabled at 5; later requests ignored
+}
+
+TEST(Engine, SetCurtimeAndElapsedTime) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  T:   (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 1)) >> SET_CURTIME(T);\n"
+      "  ((REQ = 5)) >> ELAPSED_TIME(T);\n"
+      "END\n");
+  h.send_requests(5, millis(10));
+  h.run_for(millis(200));
+  // Requests 1..5 are 40 ms apart; ELAPSED_TIME counts in milliseconds.
+  EXPECT_GE(h.counter("T"), 39);
+  EXPECT_LE(h.counter("T"), 42);
+}
+
+TEST(Engine, RelationalOperatorsAll) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  GT: (server)\n  LT: (server)\n  GE: (server)\n"
+      "  LE: (server)\n  EQ: (server)\n  NE: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(GT); ENABLE_CNTR(LT);\n"
+      "            ENABLE_CNTR(GE); ENABLE_CNTR(LE); ENABLE_CNTR(EQ);\n"
+      "            ENABLE_CNTR(NE);\n"
+      "  ((REQ > 2))  >> INCR_CNTR(GT, 1);\n"
+      "  ((REQ < 2))  >> INCR_CNTR(LT, 1);\n"
+      "  ((REQ >= 2)) >> INCR_CNTR(GE, 1);\n"
+      "  ((REQ <= 2)) >> INCR_CNTR(LE, 1);\n"
+      "  ((REQ = 2))  >> INCR_CNTR(EQ, 1);\n"
+      "  ((REQ != 2)) >> INCR_CNTR(NE, 1);\n"
+      "END\n");
+  h.send_requests(3);
+  h.run_for(millis(100));
+  // Edge-triggered: each fires once per false→true transition.
+  EXPECT_EQ(h.counter("GT"), 1);  // at REQ=3
+  EXPECT_EQ(h.counter("LT"), 1);  // at REQ=1 (0→1 happens pre-armed... )
+  EXPECT_EQ(h.counter("GE"), 1);  // at REQ=2
+  EXPECT_EQ(h.counter("LE"), 1);  // true from the start: initial sweep edge
+  EXPECT_EQ(h.counter("EQ"), 1);  // at REQ=2
+  EXPECT_EQ(h.counter("NE"), 2);  // at REQ=1 and again at REQ=3
+}
+
+TEST(Engine, EdgeTriggeringRearmsAfterFalse) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  FIRES: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(FIRES);\n"
+      "  ((REQ > 0)) >> RESET_CNTR(REQ); INCR_CNTR(FIRES, 1);\n"
+      "END\n");
+  h.send_requests(6);
+  h.run_for(millis(100));
+  // The RESET re-arms the rule, so it fires once per request.
+  EXPECT_EQ(h.counter("FIRES"), 6);
+  EXPECT_EQ(h.counter("REQ"), 0);
+}
+
+TEST(Engine, TwoPhaseFiringSiblingRulesSeeEventState) {
+  // Two rules keyed to the same counter value; the first RESETs it.  With
+  // event-consistent (two-phase) firing both must trigger — the paper's
+  // Fig 6 script depends on this.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  A: (server)\n  B: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(A); ENABLE_CNTR(B);\n"
+      "  ((REQ = 2)) >> RESET_CNTR(REQ); INCR_CNTR(A, 1);\n"
+      "  ((REQ = 2)) >> INCR_CNTR(B, 1);\n"
+      "END\n");
+  h.send_requests(2);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("A"), 1);
+  EXPECT_EQ(h.counter("B"), 1);
+}
+
+TEST(Engine, CompoundConditionsAndOrNot) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  RSP: (udp_rsp, server, client, RECV)\n"
+      "  BOTH: (server)\n  EITHER: (server)\n  NOTYET: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(RSP);\n"
+      "            ENABLE_CNTR(BOTH); ENABLE_CNTR(EITHER);\n"
+      "            ENABLE_CNTR(NOTYET);\n"
+      "  ((REQ >= 3) && (RSP >= 3)) >> INCR_CNTR(BOTH, 1);\n"
+      "  ((REQ >= 1) || (RSP >= 50)) >> INCR_CNTR(EITHER, 1);\n"
+      "  (!(REQ > 0)) >> INCR_CNTR(NOTYET, 1);\n"
+      "END\n");
+  h.send_requests(3);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("BOTH"), 1);
+  EXPECT_EQ(h.counter("EITHER"), 1);
+  // NOT(REQ>0) was true during the initial sweep: one edge before traffic.
+  EXPECT_EQ(h.counter("NOTYET"), 1);
+}
+
+TEST(Engine, CounterVsCounterTerms) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  LIMIT: (server)\n  HIT: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ASSIGN_CNTR(LIMIT, 4);\n"
+      "            ENABLE_CNTR(HIT);\n"
+      "  ((REQ > LIMIT)) >> INCR_CNTR(HIT, 1);\n"
+      "END\n");
+  h.send_requests(6);
+  h.run_for(millis(100));
+  EXPECT_EQ(h.counter("HIT"), 1);  // fires once when REQ reaches 5
+}
+
+TEST(Engine, RuleLoopGuardTrips) {
+  // A self-sustaining rule (INCR re-triggers its own condition) must be
+  // cut off by the firing-loop bound and reported, not hang the engine.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  X: (server)\n"
+      "  (TRUE) >> ASSIGN_CNTR(X, 0);\n"
+      "  ((X = 0)) >> INCR_CNTR(X, 1);\n"  // ping...
+      "  ((X = 1)) >> RESET_CNTR(X);\n"    // ...pong, forever
+      "END\n");
+  h.run_for(millis(100));
+  EXPECT_GE(h.engine("server").stats().cascade_overflows +
+                h.engine("client").stats().cascade_overflows,
+            1u);
+}
+
+TEST(Engine, NonParticipatingNodeIsTransparent) {
+  // Three nodes; the script only names client and server.  Traffic through
+  // or at n2 must still flow, unclassified.
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "END\n");
+  int got = 0;
+  h.udp[2]->bind(99, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.udp[0]->send(h.tb->node("n2").ip(), 99, 40000, Bytes(8, 0));
+  h.run_for(millis(50));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Engine, StatsAccumulate) {
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ > 100)) >> STOP;\n"
+      "END\n");
+  h.send_requests(5);
+  h.run_for(millis(100));
+  const EngineStats& s = h.engine("server").stats();
+  EXPECT_GE(s.packets_seen, 10u);  // 5 req in + 5 rsp out
+  EXPECT_GE(s.packets_matched, 10u);
+  EXPECT_EQ(s.counter_updates, 5u);
+  EXPECT_GE(s.terms_evaluated, 5u);
+}
+
+}  // namespace
+}  // namespace vwire::core

@@ -1,0 +1,114 @@
+// Ordering invariants of the engine's cost model: processing charges are
+// LATENCY, never reordering — packets of one direction leave the engine in
+// arrival order, whatever filter/action mix they hit (DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "vwire/util/hex.hpp"
+
+namespace vwire::core {
+namespace {
+
+using testing::EngineHarness;
+
+class CostOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostOrdering, ArrivalOrderPreservedUnderMixedCosts) {
+  const int n_filters = GetParam();
+  EngineHarness h;
+  std::vector<u32> order;
+  h.udp[1]->unbind(7);
+  h.udp[1]->bind(7, [&](net::Ipv4Address, u16, BytesView payload) {
+    order.push_back(read_u32(payload, 0));
+  });
+  // Filter table where only udp_req matches (others are decoys), plus a
+  // per-packet action rule — mixed classification costs per packet.
+  std::string filters = "FILTER_TABLE\n";
+  for (int i = 0; i < n_filters; ++i) {
+    filters += "  decoy" + std::to_string(i) + ": (34 2 " +
+               to_hex(0x7200 + i, 4) + ")\n";
+  }
+  filters +=
+      "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+      "END\n";
+  h.arm(
+      "SCENARIO order\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  X: (server)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(X);\n"
+      "  ((REQ > 0)) >> RESET_CNTR(REQ); INCR_CNTR(X, 1);\n"
+      "END\n",
+      filters);
+  // Back-to-back burst: all requests hit the engine nearly simultaneously.
+  const int kCount = 40;
+  for (int i = 0; i < kCount; ++i) {
+    h.tb->simulator().after(micros(10) * i, [&h, i] {
+      Bytes body(16, 0);
+      write_u32(body, 0, static_cast<u32>(i));
+      h.udp[0]->send(h.tb->node("server").ip(), 7, 40000, body);
+    });
+  }
+  h.run_for(millis(100));
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], static_cast<u32>(i))
+        << "filters=" << n_filters;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterCounts, CostOrdering,
+                         ::testing::Values(0, 5, 25, 60));
+
+TEST(CostModel, ZeroCostConfigSkipsDeferral) {
+  TestbedConfig cfg;
+  cfg.engine.charge_costs = false;
+  EngineHarness h(2, cfg);
+  h.arm(
+      "SCENARIO free\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "END\n");
+  h.send_requests(3);
+  h.run_for(millis(50));
+  EXPECT_EQ(h.counter("REQ"), 3);
+}
+
+TEST(CostModel, CostsScaleRttWithFilterCount) {
+  // The Fig 8 mechanism in miniature: more filters, more per-packet
+  // latency, strictly monotone.
+  auto rtt_with_filters = [](int n) {
+    EngineHarness h;
+    std::string filters = "FILTER_TABLE\n";
+    for (int i = 0; i < n; ++i) {
+      filters += "  d" + std::to_string(i) + ": (34 2 " +
+                 to_hex(0x7300 + i, 4) + ")\n";
+    }
+    filters +=
+        "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40),"
+        " (36 2 0x0007)\n"
+        "  udp_rsp: (12 2 0x0800), (23 1 0x11), (34 2 0x0007),"
+        " (36 2 0x9c40)\n"
+        "END\n";
+    h.arm("SCENARIO f\nEND\n", filters);
+    TimePoint sent = h.tb->simulator().now();
+    TimePoint got{};
+    h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) {
+      got = h.tb->simulator().now();
+    });
+    h.udp[0]->send(h.tb->node("server").ip(), 7, 40000, Bytes(16, 0));
+    h.run_for(millis(20));
+    return (got - sent).ns;
+  };
+  i64 rtt0 = rtt_with_filters(0);
+  i64 rtt20 = rtt_with_filters(20);
+  i64 rtt60 = rtt_with_filters(60);
+  EXPECT_GT(rtt20, rtt0);
+  EXPECT_GT(rtt60, rtt20);
+  // Linear-ish: the 60-filter delta is ~3x the 20-filter delta.
+  double ratio = static_cast<double>(rtt60 - rtt0) / (rtt20 - rtt0);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace vwire::core

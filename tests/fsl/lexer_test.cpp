@@ -1,0 +1,114 @@
+#include "vwire/core/fsl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::fsl {
+namespace {
+
+std::vector<TokKind> kinds(std::string_view src) {
+  std::vector<TokKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  EXPECT_EQ(kinds("( ) , ; : >> && || ! < > <= >= = !="),
+            (std::vector<TokKind>{
+                TokKind::kLParen, TokKind::kRParen, TokKind::kComma,
+                TokKind::kSemi, TokKind::kColon, TokKind::kArrow,
+                TokKind::kAndAnd, TokKind::kOrOr, TokKind::kNot,
+                TokKind::kLt, TokKind::kGt, TokKind::kLe, TokKind::kGe,
+                TokKind::kEq, TokKind::kNe, TokKind::kEof}));
+}
+
+TEST(Lexer, ArrowBeforeGreaterThan) {
+  auto toks = tokenize("A >> B > 1");
+  EXPECT_EQ(toks[1].kind, TokKind::kArrow);
+  EXPECT_EQ(toks[3].kind, TokKind::kGt);
+}
+
+TEST(Lexer, IntegersDecimalAndHex) {
+  auto toks = tokenize("34 0x6000 0");
+  EXPECT_EQ(toks[0].value, 34u);
+  EXPECT_FALSE(toks[0].is_hex);
+  EXPECT_EQ(toks[1].value, 0x6000u);
+  EXPECT_TRUE(toks[1].is_hex);
+  EXPECT_EQ(toks[2].value, 0u);
+}
+
+TEST(Lexer, MacLiteral) {
+  auto toks = tokenize("node0 00:46:61:af:fe:23 192.168.1.1");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokKind::kMac);
+  EXPECT_EQ(toks[1].text, "00:46:61:af:fe:23");
+  EXPECT_EQ(toks[2].kind, TokKind::kIp);
+  EXPECT_EQ(toks[2].text, "192.168.1.1");
+}
+
+TEST(Lexer, DurationLiterals) {
+  auto toks = tokenize("1sec 500ms 10us 2min 3s");
+  EXPECT_EQ(toks[0].duration.ns, seconds(1).ns);
+  EXPECT_EQ(toks[1].duration.ns, millis(500).ns);
+  EXPECT_EQ(toks[2].duration.ns, micros(10).ns);
+  EXPECT_EQ(toks[3].duration.ns, seconds(120).ns);
+  EXPECT_EQ(toks[4].duration.ns, seconds(3).ns);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = tokenize("A /* comment >> ( */ B // line\nC");
+  ASSERT_EQ(toks.size(), 4u);  // A B C EOF
+  EXPECT_EQ(toks[0].text, "A");
+  EXPECT_EQ(toks[1].text, "B");
+  EXPECT_EQ(toks[2].text, "C");
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW(tokenize("A /* never ends"), ParseError);
+}
+
+TEST(Lexer, LineColumnTracking) {
+  auto toks = tokenize("AA\n  BB");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, StrayCharactersThrowWithLocation) {
+  try {
+    tokenize("A\n  $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.diagnostic().loc.line, 2u);
+    EXPECT_NE(std::string(e.what()).find("unexpected character"),
+              std::string::npos);
+  }
+}
+
+TEST(Lexer, SingleAmpersandRejected) {
+  EXPECT_THROW(tokenize("A & B"), ParseError);
+  EXPECT_THROW(tokenize("A | B"), ParseError);
+}
+
+TEST(Lexer, IdentifiersWithUnderscoresAndDigits) {
+  auto toks = tokenize("TCP_data_rt1 FLAG_ERROR node2");
+  EXPECT_EQ(toks[0].text, "TCP_data_rt1");
+  EXPECT_EQ(toks[1].text, "FLAG_ERROR");
+  EXPECT_EQ(toks[2].text, "node2");
+}
+
+TEST(Lexer, DoubleEqualsAccepted) {
+  auto toks = tokenize("A == 1");
+  EXPECT_EQ(toks[1].kind, TokKind::kEq);
+}
+
+TEST(Lexer, MacNotConfusedWithHexPair) {
+  // "12 2" must stay two ints, not the start of a MAC.
+  auto toks = tokenize("(12 2 0x9900)");
+  EXPECT_EQ(toks[1].kind, TokKind::kInt);
+  EXPECT_EQ(toks[2].kind, TokKind::kInt);
+}
+
+}  // namespace
+}  // namespace vwire::fsl

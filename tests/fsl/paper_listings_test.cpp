@@ -1,0 +1,163 @@
+// The paper's published listings, as close to verbatim as its typography
+// allows, must go through the front-end: Fig 2's tables, Fig 5's scenario
+// (including the bare-call action form "DROP TCP_synack, node2, node1,
+// RECV;"), and Fig 6's scenario with its 1sec timeout.
+#include <gtest/gtest.h>
+
+#include "vwire/core/fsl/compiler.hpp"
+
+namespace vwire::fsl {
+namespace {
+
+// Fig 2 + Fig 5, lines 1-31 of the paper's listing (comments preserved).
+constexpr const char* kFig5Verbatim = R"(
+VAR SeqNoData, SeqNoAck;
+FILTER_TABLE
+TCP_data_rt1: (34 2 0x6000), (36 2 0x4000), (38 4 SeqNoData), (47 1 0x10 0x10)
+TCP_ack_rt1: (34 2 0x4000), (36 2 0x6000), (42 4 SeqNoAck), (47 1 0x10 0x10)
+TCP_syn: (34 2 0x6000), (36 2 0x4000), (47 1 0x02 0x02)
+TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+TCP_ack: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+END
+SCENARIO TCP_SS_CA_algo
+SYNACK: (TCP_synack, node2, node1, RECV)
+SA_ACK: (TCP_data, node1, node2, SEND)
+DATA: (TCP_data, node1, node2, SEND)
+ACK: (TCP_ack, node2, node1, RECV)
+CWND: (node1)
+CanTx: (node1)
+CCNT: (node1)
+SSTHRESH: (node1)
+(TRUE) >> ENABLE_CNTR( SYNACK );
+     ENABLE_CNTR( SA_ACK );
+     ENABLE_CNTR( ACK );
+     ASSIGN_CNTR( CWND, 1 );
+     ASSIGN_CNTR( CanTx );
+     ENABLE_CNTR( CCNT );
+     ASSIGN_CNTR( SSTHRESH, 2 );
+/* Fault Injection: Drop SynAck at Receiver node */
+((SYNACK > 0) && (SYNACK < 2)) >>
+     DROP TCP_synack, node2, node1, RECV;
+/*** ANALYSIS SCRIPT ***/
+/* ACK in response to SYNACK matches tcp_data */
+((SA_ACK = 1)) >> ENABLE_CNTR( DATA );
+     DISABLE_CNTR( SA_ACK );
+((DATA = 1)) >> RESET_CNTR( DATA );
+     DECR_CNTR( CanTx , 1 );
+/* slow-start */
+((CWND <= SSTHRESH) && (ACK = 1)) >>
+     RESET_CNTR( ACK );
+     INCR_CNTR( CWND, 1);
+     INCR_CNTR( CanTx, 1);
+/* congestion avoidance */
+((CWND > SSTHRESH) && (ACK = 1)) >>
+  RESET_CNTR( ACK );
+     INCR_CNTR( CanTx, 1 );
+     INCR_CNTR( CCNT, 1 );
+((CWND > SSTHRESH) && (CCNT > CWND)) >>
+     RESET_CNTR( CCNT );
+     INCR_CNTR(CWND, 1);
+     INCR_CNTR(CanTx, 1);
+/* Number of data packets that can be sent out
+   is never negative */
+((CanTx < 0)) >> FLAG_ERROR;
+END
+)";
+
+TEST(PaperListings, Fig5CompilesVerbatim) {
+  core::TableSet t = fsl::compile_script(kFig5Verbatim);
+  EXPECT_EQ(t.scenario_name, "TCP_SS_CA_algo");
+  EXPECT_EQ(t.filters.entries.size(), 6u);
+  EXPECT_EQ(t.filters.var_names.size(), 2u);
+  EXPECT_EQ(t.nodes.entries.size(), 2u);
+  EXPECT_EQ(t.counters.entries.size(), 8u);
+  // 8 rules → 8 conditions; the DROP uses the paper's bare-call form.
+  EXPECT_EQ(t.conditions.entries.size(), 8u);
+  bool found_drop = false;
+  for (const auto& a : t.actions.entries) {
+    if (a.kind == core::ActionKind::kDrop) {
+      found_drop = true;
+      EXPECT_EQ(a.filter, t.filters.find("TCP_synack"));
+      EXPECT_EQ(a.exec_node, t.nodes.find("node1"));  // RECV side
+    }
+  }
+  EXPECT_TRUE(found_drop);
+  // ASSIGN_CNTR( CanTx ) without a value compiles to assign-zero.
+  bool found_bare_assign = false;
+  for (const auto& a : t.actions.entries) {
+    if (a.kind == core::ActionKind::kAssignCntr &&
+        a.counter == t.counters.find("CanTx")) {
+      found_bare_assign = true;
+      EXPECT_EQ(a.value, 0);
+    }
+  }
+  EXPECT_TRUE(found_bare_assign);
+}
+
+// Fig 6, lines 1-20 (the 0010 opcode written as its evident hex value).
+constexpr const char* kFig6Verbatim = R"(
+FILTER_TABLE
+tr_token: (12 2 0x9900), (14 2 0x0001)
+tr_token_ack: (12 2 0x9900), (14 2 0x0010)
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:46:61:af:fe:23 192.168.1.1
+node2 00:23:31:df:af:12 192.168.1.2
+node3 00:23:31:df:af:13 192.168.1.3
+node4 00:23:31:df:af:14 192.168.1.4
+END
+SCENARIO Test_Single_Node_Failure 1sec
+CNT_DATA: (TCP_data, node1, node4, RECV)
+TokensTo2: (tr_token, node1, node2, RECV)
+TokensFrom2: (tr_token, node2, node3, SEND)
+TokensTo4: (tr_token, node2, node4, RECV)
+TokensTo1: (tr_token, node4, node1, RECV)
+((CNT_DATA > 1000)) >>
+     ENABLE_CNTR( TokensTo2 );
+((TokensTo2 = 1)) >> FAIL(node3);
+              ENABLE_CNTR( TokensFrom2 );
+              RESET_CNTR( TokensTo2 );
+((TokensFrom2 = 3)) >> ENABLE_CNTR(TokensTo4);
+((TokensTo4 = 1)) >> ENABLE_CNTR(TokensTo1);
+/*** ANALYSIS SCRIPT ***/
+((TokensFrom2 > 3)) >> FLAG_ERROR;
+((TokensTo2 = 1) && (TokensTo4 = 1)
+     && (TokensTo1 = 1)) >> STOP;
+END
+)";
+
+TEST(PaperListings, Fig6CompilesVerbatim) {
+  core::TableSet t = fsl::compile_script(kFig6Verbatim);
+  EXPECT_EQ(t.scenario_name, "Test_Single_Node_Failure");
+  EXPECT_EQ(t.inactivity_timeout.ns, seconds(1).ns);
+  EXPECT_EQ(t.nodes.entries.size(), 4u);
+  EXPECT_EQ(t.counters.entries.size(), 5u);
+  // The FAIL targets node3 and executes there; its condition's term lives
+  // on node2 (TokensTo2's home) and must notify node3.
+  core::NodeId node3 = t.nodes.find("node3");
+  bool found_fail = false;
+  for (const auto& a : t.actions.entries) {
+    if (a.kind == core::ActionKind::kFail) {
+      found_fail = true;
+      EXPECT_EQ(a.fail_node, node3);
+      EXPECT_EQ(a.exec_node, node3);
+    }
+  }
+  EXPECT_TRUE(found_fail);
+  // The STOP condition spans three terms on three different home nodes.
+  const auto& stop_cond = t.conditions.entries.back();
+  std::size_t term_count = 0;
+  for (const auto& in : stop_cond.postfix) {
+    if (in.op == core::BoolOp::kTerm) ++term_count;
+  }
+  EXPECT_EQ(term_count, 3u);
+}
+
+}  // namespace
+}  // namespace vwire::fsl

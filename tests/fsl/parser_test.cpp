@@ -1,0 +1,183 @@
+#include "vwire/core/fsl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::fsl {
+namespace {
+
+// The paper's Fig 2 filter and node tables, verbatim (with the 0010
+// corrected to its evident hex meaning in the Fig 6 listing).
+constexpr const char* kFig2 = R"(
+VAR SeqNoData, SeqNoAck;
+FILTER_TABLE
+TCP_data_rt1: (34 2 0x6000), (36 2 0x4000), (38 4 SeqNoData), (47 1 0x10 0x10)
+TCP_ack_rt1: (34 2 0x4000), (36 2 0x6000), (42 4 SeqNoAck), (47 1 0x10 0x10)
+TCP_syn: (34 2 0x6000), (36 2 0x4000), (47 1 0x02 0x02)
+TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+TCP_ack: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node0 00:46:61:af:fe:23 192.168.1.1
+node1 00:23:31:df:af:12 192.168.1.2
+END
+)";
+
+TEST(Parser, Fig2FilterAndNodeTables) {
+  AstScript s = parse_script(kFig2);
+  EXPECT_EQ(s.vars, (std::vector<std::string>{"SeqNoData", "SeqNoAck"}));
+  ASSERT_EQ(s.filters.size(), 6u);
+  EXPECT_EQ(s.filters[0].name, "TCP_data_rt1");
+  ASSERT_EQ(s.filters[0].tuples.size(), 4u);
+  // Tuple forms: (off len pattern), (off len VAR), (off len mask pattern).
+  EXPECT_EQ(s.filters[0].tuples[0].offset, 34);
+  EXPECT_EQ(s.filters[0].tuples[0].pattern, 0x6000u);
+  EXPECT_FALSE(s.filters[0].tuples[0].mask);
+  EXPECT_EQ(s.filters[0].tuples[2].var, "SeqNoData");
+  EXPECT_EQ(s.filters[0].tuples[3].mask, 0x10u);
+  EXPECT_EQ(s.filters[0].tuples[3].pattern, 0x10u);
+  ASSERT_EQ(s.nodes.size(), 2u);
+  EXPECT_EQ(s.nodes[0].name, "node0");
+  EXPECT_EQ(s.nodes[0].mac, "00:46:61:af:fe:23");
+  EXPECT_EQ(s.nodes[1].ip, "192.168.1.2");
+}
+
+TEST(Parser, ScenarioCountersBothForms) {
+  AstScript s = parse_script(R"(
+SCENARIO test
+  EV: (pkt, a, b, RECV)
+  SV: (pkt, a, b, SEND)
+  LV: (a)
+END
+)");
+  ASSERT_EQ(s.scenarios.size(), 1u);
+  const AstScenario& sc = s.scenarios[0];
+  EXPECT_EQ(sc.name, "test");
+  EXPECT_FALSE(sc.timeout);
+  ASSERT_EQ(sc.counters.size(), 3u);
+  EXPECT_FALSE(sc.counters[0].is_local);
+  EXPECT_EQ(sc.counters[0].dir, net::Direction::kRecv);
+  EXPECT_EQ(sc.counters[1].dir, net::Direction::kSend);
+  EXPECT_TRUE(sc.counters[2].is_local);
+  EXPECT_EQ(sc.counters[2].node, "a");
+}
+
+TEST(Parser, ScenarioTimeout) {
+  AstScript s = parse_script("SCENARIO t 1sec\nEND\n");
+  ASSERT_TRUE(s.scenarios[0].timeout);
+  EXPECT_EQ(s.scenarios[0].timeout->ns, seconds(1).ns);
+}
+
+TEST(Parser, RuleConditionPrecedence) {
+  AstScript s = parse_script(R"(
+SCENARIO t
+  A: (n)
+  B: (n)
+  ((A = 1) && (B > 2) || !(A < 0)) >> STOP;
+END
+)");
+  const AstCond& c = s.scenarios[0].rules[0].cond;
+  // || binds loosest: top is OR(AND(term,term), NOT(term)).
+  ASSERT_EQ(c.kind, AstCond::Kind::kOr);
+  EXPECT_EQ(c.a->kind, AstCond::Kind::kAnd);
+  EXPECT_EQ(c.b->kind, AstCond::Kind::kNot);
+  EXPECT_EQ(dump(c), "((A = 1) && (B > 2)) || (!(A < 0))");
+}
+
+TEST(Parser, BothActionCallForms) {
+  // The paper mixes DROP TCP_synack, node2, node1, RECV; and FAIL(node3).
+  AstScript s = parse_script(R"(
+SCENARIO t
+  A: (n)
+  ((A = 1)) >> DROP pkt, n1, n2, RECV;
+  ((A = 2)) >> FAIL(n3);
+END
+)");
+  const auto& rules = s.scenarios[0].rules;
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].actions[0].name, "DROP");
+  ASSERT_EQ(rules[0].actions[0].args.size(), 4u);
+  EXPECT_EQ(rules[0].actions[0].args[3].ident, "RECV");
+  EXPECT_EQ(rules[1].actions[0].name, "FAIL");
+  EXPECT_EQ(rules[1].actions[0].args[0].ident, "n3");
+}
+
+TEST(Parser, MultiActionRule) {
+  AstScript s = parse_script(R"(
+SCENARIO t
+  A: (n)
+  (TRUE) >> ENABLE_CNTR(A);
+            ASSIGN_CNTR(A, 5);
+            INCR_CNTR(A, 1);
+  ((A = 1)) >> STOP;
+END
+)");
+  ASSERT_EQ(s.scenarios[0].rules.size(), 2u);
+  EXPECT_EQ(s.scenarios[0].rules[0].actions.size(), 3u);
+  EXPECT_EQ(s.scenarios[0].rules[0].cond.kind, AstCond::Kind::kTrue);
+  EXPECT_EQ(s.scenarios[0].rules[0].actions[1].args[1].value, 5);
+}
+
+TEST(Parser, DurationAndTupleArguments) {
+  AstScript s = parse_script(R"(
+SCENARIO t
+  A: (n)
+  ((A = 1)) >> DELAY(pkt, n1, n2, RECV, 50ms);
+  ((A = 2)) >> MODIFY(pkt, n1, n2, SEND, (47 1 0x04));
+END
+)");
+  const auto& delay = s.scenarios[0].rules[0].actions[0];
+  EXPECT_EQ(delay.args[4].kind, AstArg::Kind::kDuration);
+  EXPECT_EQ(delay.args[4].duration.ns, millis(50).ns);
+  const auto& mod = s.scenarios[0].rules[1].actions[0];
+  ASSERT_EQ(mod.args[4].kind, AstArg::Kind::kTuple);
+  EXPECT_EQ(mod.args[4].tuple, (std::vector<u64>{47, 1, 0x04}));
+}
+
+TEST(Parser, MultipleScenarios) {
+  AstScript s = parse_script(R"(
+SCENARIO one
+END
+SCENARIO two 5sec
+END
+)");
+  ASSERT_EQ(s.scenarios.size(), 2u);
+  EXPECT_EQ(s.scenarios[0].name, "one");
+  EXPECT_EQ(s.scenarios[1].name, "two");
+}
+
+struct BadInput {
+  const char* src;
+  const char* expect_in_message;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrors, ReportedWithContext) {
+  try {
+    parse_script(GetParam().src);
+    FAIL() << "expected ParseError for: " << GetParam().src;
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect_in_message),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadInput{"GARBAGE", "unknown section"},
+        BadInput{"VAR ;", "variable name"},
+        BadInput{"FILTER_TABLE\nx (34 2 1)\nEND", "':'"},
+        BadInput{"FILTER_TABLE\nx: (34)\nEND", "byte count"},
+        BadInput{"FILTER_TABLE\nx: (34 2 1 2 3)\nEND", "filter tuple"},
+        BadInput{"NODE_TABLE\nn 10.0.0.1\nEND", "MAC"},
+        BadInput{"SCENARIO t\n  (A > ) >> STOP;\nEND",
+                 "counter name or integer"},
+        BadInput{"SCENARIO t\n  (A) >> STOP;\nEND", "relational"},
+        BadInput{"SCENARIO t\n  (TRUE) >> EXPLODE;\nEND", "unknown action"},
+        BadInput{"SCENARIO t\n  (TRUE) STOP;\nEND", "'>>'"}));
+
+}  // namespace
+}  // namespace vwire::fsl

@@ -1,0 +1,134 @@
+// Round-trip of the six-table bundle through the control plane's wire
+// format — what INIT messages actually carry (paper §5.1).
+#include <gtest/gtest.h>
+
+#include "vwire/core/fsl/compiler.hpp"
+
+namespace vwire::core {
+namespace {
+
+constexpr const char* kScript = R"(
+VAR SEQ;
+FILTER_TABLE
+  pkt: (12 2 0x0800), (38 4 SEQ), (47 1 0x10 0x10)
+  tok: (12 2 0x9900)
+END
+NODE_TABLE
+  n1 02:00:00:00:00:00 10.0.0.1
+  n2 02:00:00:00:00:01 10.0.0.2
+END
+SCENARIO round_trip 3sec
+  A: (pkt, n1, n2, RECV)
+  B: (n1)
+  (TRUE) >> ENABLE_CNTR(A); ASSIGN_CNTR(B, 7);
+  ((A > 2) && (B != 0)) >> DELAY(pkt, n1, n2, RECV, 30ms);
+  ((A = 5)) >> REORDER(tok, n2, n1, SEND, 4, 2, 1, 4, 3);
+  ((B < 0)) >> MODIFY(pkt, n1, n2, SEND, (40 2 0xbeef));
+  ((A = 9)) >> FAIL(n2);
+  ((A = 10)) >> STOP;
+END
+)";
+
+TEST(TableSerialization, RoundTripIsLossless) {
+  TableSet original = fsl::compile_script(kScript);
+  Bytes wire = serialize(original);
+  TableSet copy = deserialize_tables(wire);
+
+  EXPECT_EQ(copy.scenario_name, "round_trip");
+  EXPECT_EQ(copy.inactivity_timeout.ns, seconds(3).ns);
+
+  // Filters.
+  ASSERT_EQ(copy.filters.entries.size(), original.filters.entries.size());
+  EXPECT_EQ(copy.filters.var_names, original.filters.var_names);
+  for (std::size_t i = 0; i < original.filters.entries.size(); ++i) {
+    const auto& a = original.filters.entries[i];
+    const auto& b = copy.filters.entries[i];
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.tuples.size(), b.tuples.size());
+    for (std::size_t j = 0; j < a.tuples.size(); ++j) {
+      EXPECT_EQ(a.tuples[j].offset, b.tuples[j].offset);
+      EXPECT_EQ(a.tuples[j].length, b.tuples[j].length);
+      EXPECT_EQ(a.tuples[j].mask, b.tuples[j].mask);
+      EXPECT_EQ(a.tuples[j].pattern, b.tuples[j].pattern);
+      EXPECT_EQ(a.tuples[j].var, b.tuples[j].var);
+    }
+  }
+  // Nodes.
+  ASSERT_EQ(copy.nodes.entries.size(), 2u);
+  EXPECT_EQ(copy.nodes.entries[1].mac, original.nodes.entries[1].mac);
+  EXPECT_EQ(copy.nodes.entries[1].ip, original.nodes.entries[1].ip);
+
+  // Counters with dependency fan-out.
+  ASSERT_EQ(copy.counters.entries.size(), original.counters.entries.size());
+  for (std::size_t i = 0; i < original.counters.entries.size(); ++i) {
+    const auto& a = original.counters.entries[i];
+    const auto& b = copy.counters.entries[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.home, b.home);
+    EXPECT_EQ(a.terms, b.terms);
+    EXPECT_EQ(a.notify_nodes, b.notify_nodes);
+  }
+  // Terms.
+  ASSERT_EQ(copy.terms.entries.size(), original.terms.entries.size());
+  for (std::size_t i = 0; i < original.terms.entries.size(); ++i) {
+    EXPECT_EQ(copy.terms.entries[i].op, original.terms.entries[i].op);
+    EXPECT_EQ(copy.terms.entries[i].eval_node,
+              original.terms.entries[i].eval_node);
+    EXPECT_EQ(copy.terms.entries[i].conds, original.terms.entries[i].conds);
+  }
+  // Conditions.
+  ASSERT_EQ(copy.conditions.entries.size(),
+            original.conditions.entries.size());
+  for (std::size_t i = 0; i < original.conditions.entries.size(); ++i) {
+    EXPECT_EQ(copy.conditions.entries[i].actions,
+              original.conditions.entries[i].actions);
+    EXPECT_EQ(copy.conditions.entries[i].eval_nodes,
+              original.conditions.entries[i].eval_nodes);
+    ASSERT_EQ(copy.conditions.entries[i].postfix.size(),
+              original.conditions.entries[i].postfix.size());
+  }
+  // Actions.
+  ASSERT_EQ(copy.actions.entries.size(), original.actions.entries.size());
+  for (std::size_t i = 0; i < original.actions.entries.size(); ++i) {
+    const auto& a = original.actions.entries[i];
+    const auto& b = copy.actions.entries[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.exec_node, b.exec_node);
+    EXPECT_EQ(a.delay.ns, b.delay.ns);
+    EXPECT_EQ(a.reorder_order, b.reorder_order);
+    EXPECT_EQ(a.modify_bytes.size(), b.modify_bytes.size());
+    EXPECT_EQ(a.fail_node, b.fail_node);
+    EXPECT_EQ(a.counter, b.counter);
+    EXPECT_EQ(a.value, b.value);
+  }
+  // Double round-trip produces identical bytes (canonical form).
+  EXPECT_EQ(serialize(copy), wire);
+}
+
+TEST(TableSerialization, RejectsGarbage) {
+  Bytes junk = {1, 2, 3, 4, 5};
+  EXPECT_THROW(deserialize_tables(junk), std::exception);
+  Bytes empty;
+  EXPECT_THROW(deserialize_tables(empty), std::exception);
+}
+
+TEST(TableSerialization, RejectsTruncatedBundle) {
+  TableSet original = fsl::compile_script(kScript);
+  Bytes wire = serialize(original);
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(deserialize_tables(wire), std::exception);
+}
+
+TEST(TableSerialization, EmptyTablesSurvive) {
+  TableSet t;
+  t.scenario_name = "empty";
+  Bytes wire = serialize(t);
+  TableSet copy = deserialize_tables(wire);
+  EXPECT_EQ(copy.scenario_name, "empty");
+  EXPECT_TRUE(copy.filters.entries.empty());
+  EXPECT_TRUE(copy.actions.entries.empty());
+}
+
+}  // namespace
+}  // namespace vwire::core

@@ -1,0 +1,189 @@
+// Script generation from protocol specifications (paper §8 future work).
+#include "vwire/core/gen/script_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/sim/timer.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::gen {
+namespace {
+
+constexpr const char* kFilters =
+    "FILTER_TABLE\n"
+    "  req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+    "  rsp: (12 2 0x0800), (23 1 0x11), (34 2 0x0007), (36 2 0x9c40)\n"
+    "END\n";
+
+/// Strict request/response ping-pong: IDLE --req--> WAIT --rsp--> IDLE.
+ProtocolSpec echo_spec(int rounds) {
+  ProtocolSpec spec;
+  spec.name = "echo";
+  spec.monitor_node = "server";
+  spec.states = {"IDLE", "WAIT"};
+  spec.initial_state = "IDLE";
+  spec.accept_state = "IDLE";
+  spec.accept_visits = rounds;
+  spec.deadline = seconds(2);
+  // Both events observed at the monitor (server): requests on its receive
+  // path, responses on its send path.
+  PacketEvent req{"req", "client", "server", net::Direction::kRecv};
+  PacketEvent rsp{"rsp", "server", "client", net::Direction::kSend};
+  spec.transitions = {{"IDLE", "WAIT", req}, {"WAIT", "IDLE", rsp}};
+  return spec;
+}
+
+TEST(SpecValidation, CatchesStructuralMistakes) {
+  ProtocolSpec good = echo_spec(1);
+  EXPECT_TRUE(validate(good).empty());
+
+  ProtocolSpec bad = good;
+  bad.initial_state = "GHOST";
+  EXPECT_NE(validate(bad).find("initial state"), std::string::npos);
+
+  bad = good;
+  bad.transitions[0].to = "NOWHERE";
+  EXPECT_NE(validate(bad).find("unknown state"), std::string::npos);
+
+  bad = good;
+  bad.states.push_back("IDLE");
+  EXPECT_NE(validate(bad).find("duplicate"), std::string::npos);
+
+  bad = good;
+  bad.accept_visits = 0;
+  EXPECT_FALSE(validate(bad).empty());
+
+  bad = good;
+  bad.transitions.clear();
+  EXPECT_FALSE(validate(bad).empty());
+
+  // Race-freedom rule: events must be observable at the monitor.
+  bad = good;
+  bad.transitions[1].event.dir = net::Direction::kRecv;  // now at client
+  EXPECT_NE(validate(bad).find("not observable"), std::string::npos);
+}
+
+TEST(GeneratedScript, CompilesAgainstRealTables) {
+  Testbed tb;
+  tb.add_node("client");
+  tb.add_node("server");
+  std::string script = std::string(kFilters) + tb.node_table_fsl() +
+                       generate_analysis_scenario(echo_spec(3));
+  core::TableSet tables = fsl::compile_script(script);
+  EXPECT_EQ(tables.scenario_name, "echo_analysis");
+  EXPECT_EQ(tables.inactivity_timeout.ns, seconds(2).ns);
+  // 2 events + 2 states + VISITS.
+  EXPECT_EQ(tables.counters.entries.size(), 5u);
+  // init + 2 transitions + 2 violations (req in WAIT, rsp in IDLE) + STOP.
+  EXPECT_EQ(tables.conditions.entries.size(), 6u);
+}
+
+struct GenFixture : ::testing::Test {
+  Testbed tb;
+  std::unique_ptr<udp::UdpLayer> cu, su;
+
+  void SetUp() override {
+    tb.add_node("client");
+    tb.add_node("server");
+    cu = std::make_unique<udp::UdpLayer>(tb.node("client"));
+    su = std::make_unique<udp::UdpLayer>(tb.node("server"));
+    su->bind(7, [this](net::Ipv4Address src, u16 sport, BytesView payload) {
+      su->send(src, sport, 7, payload);
+    });
+  }
+
+  control::ScenarioResult run(const std::string& scenario,
+                              std::function<void()> workload) {
+    ScenarioRunner runner(tb);
+    ScenarioSpec spec;
+    spec.script = std::string(kFilters) + tb.node_table_fsl() + scenario;
+    spec.workload = std::move(workload);
+    spec.options.deadline = seconds(10);
+    return runner.run(spec);
+  }
+
+  /// Well-behaved ping-pong client: next request only after the response.
+  std::function<void()> pingpong_workload(int rounds) {
+    return [this, rounds] {
+      auto remaining = std::make_shared<int>(rounds);
+      cu->bind(40000, [this, remaining](net::Ipv4Address, u16, BytesView) {
+        if (--*remaining > 0) {
+          cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+        }
+      });
+      cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+    };
+  }
+};
+
+TEST_F(GenFixture, ConformingRunPasses) {
+  auto r = run(generate_analysis_scenario(echo_spec(3)),
+               pingpong_workload(3));
+  EXPECT_TRUE(r.passed()) << r.summary();
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.counters.at("VISITS"), 3);
+}
+
+TEST_F(GenFixture, ProtocolViolationFlagged) {
+  // A client that fires two requests back-to-back violates the FSM (a
+  // request is illegal in WAIT) — the generated script must catch it.
+  auto r = run(generate_analysis_scenario(echo_spec(3)), [this] {
+    cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+    cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+  });
+  EXPECT_FALSE(r.passed());
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST_F(GenFixture, DropCampaignCoversEveryTransition) {
+  auto campaign = generate_drop_campaign(echo_spec(2));
+  ASSERT_EQ(campaign.size(), 2u);
+  for (const auto& g : campaign) {
+    std::string script = std::string(kFilters) + tb.node_table_fsl() + g.fsl;
+    EXPECT_NO_THROW(fsl::compile_script(script)) << g.name;
+    EXPECT_NE(g.fsl.find("DROP("), std::string::npos);
+  }
+}
+
+TEST_F(GenFixture, RobustClientSurvivesDropCampaign) {
+  // A client with an application-level retransmission timer recovers from
+  // the injected drop and the generated scenario PASSes.
+  auto campaign = generate_drop_campaign(echo_spec(2));
+  for (const auto& g : campaign) {
+    auto r = run(g.fsl, [this] {
+      auto send_req = std::make_shared<std::function<void()>>();
+      *send_req = [this] {
+        cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+      };
+      auto retry = std::make_shared<sim::Timer>(
+          tb.simulator(), [send_req] { (*send_req)(); });
+      auto remaining = std::make_shared<int>(2);
+      // The retry timer lives as long as the handler that captures it.
+      cu->bind(40000, [this, remaining, send_req, retry](net::Ipv4Address,
+                                                         u16, BytesView) {
+        retry->cancel();
+        if (--*remaining > 0) {
+          (*send_req)();
+          retry->start(millis(100));
+        }
+      });
+      (*send_req)();
+      retry->start(millis(100));
+    });
+    EXPECT_TRUE(r.passed()) << g.name << ": " << r.summary();
+    EXPECT_TRUE(r.stopped) << g.name;
+  }
+}
+
+TEST_F(GenFixture, FragileClientCaughtByDropCampaign) {
+  // The same campaign against a client with NO retransmission: the dropped
+  // packet stalls the protocol, the deadline expires, verdict FAIL.
+  auto campaign = generate_drop_campaign(echo_spec(2));
+  auto r = run(campaign[0].fsl, pingpong_workload(2));
+  EXPECT_FALSE(r.passed());
+  EXPECT_TRUE(r.timed_out);
+}
+
+}  // namespace
+}  // namespace vwire::gen

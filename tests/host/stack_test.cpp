@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "vwire/host/node.hpp"
+#include "vwire/phy/switched_lan.hpp"
+
+namespace vwire::host {
+namespace {
+
+struct TwoNodes : ::testing::Test {
+  sim::Simulator sim;
+  phy::SwitchedLan lan{sim, {}};
+  NodeParams pa{"a", net::MacAddress::from_index(0),
+                net::Ipv4Address(0x0a000001)};
+  NodeParams pb{"b", net::MacAddress::from_index(1),
+                net::Ipv4Address(0x0a000002)};
+  Node a{sim, lan, pa};
+  Node b{sim, lan, pb};
+
+  void SetUp() override {
+    a.add_neighbor(b.ip(), b.mac());
+    b.add_neighbor(a.ip(), a.mac());
+  }
+};
+
+/// Transparent layer that counts traversals in both directions.
+class CountingLayer final : public Layer {
+ public:
+  std::string_view name() const override { return "counting"; }
+  void send_down(net::Packet pkt) override {
+    ++down;
+    pass_down(std::move(pkt));
+  }
+  void receive_up(net::Packet pkt) override {
+    ++up;
+    pass_up(std::move(pkt));
+  }
+  int down{0};
+  int up{0};
+};
+
+TEST_F(TwoNodes, IpDeliversToRegisteredProtocol) {
+  int got = 0;
+  b.ip_layer().register_protocol(
+      net::IpProto::kUdp,
+      [&](const net::Ipv4Header& ip, BytesView l4) {
+        ++got;
+        EXPECT_EQ(ip.src, a.ip());
+        EXPECT_EQ(l4.size(), 12u);
+      });
+  a.ip_layer().send(b.ip(), net::IpProto::kUdp, Bytes(12, 0xaa));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(b.ip_layer().stats().rx_packets, 1u);
+}
+
+TEST_F(TwoNodes, UnknownProtocolCounted) {
+  a.ip_layer().send(b.ip(), net::IpProto::kTcp, Bytes(20, 0));
+  sim.run();
+  EXPECT_EQ(b.ip_layer().stats().rx_no_handler, 1u);
+}
+
+TEST_F(TwoNodes, NoRouteCounted) {
+  a.ip_layer().send(net::Ipv4Address(0x0a0000ff), net::IpProto::kUdp,
+                    Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(a.ip_layer().stats().tx_no_route, 1u);
+}
+
+TEST_F(TwoNodes, InsertedLayerSeesBothDirections) {
+  auto layer = std::make_unique<CountingLayer>();
+  CountingLayer& counting = static_cast<CountingLayer&>(
+      b.add_layer(std::move(layer)));
+  b.ip_layer().register_protocol(net::IpProto::kUdp,
+                                 [](const net::Ipv4Header&, BytesView) {});
+  a.ip_layer().send(b.ip(), net::IpProto::kUdp, Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(counting.up, 1);
+  EXPECT_EQ(counting.down, 0);
+  b.ip_layer().send(a.ip(), net::IpProto::kUdp, Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(counting.down, 1);
+}
+
+TEST_F(TwoNodes, LayersStackInInsertionOrder) {
+  auto l1 = std::make_unique<CountingLayer>();
+  auto l2 = std::make_unique<CountingLayer>();
+  Layer& first = b.add_layer(std::move(l1));
+  Layer& second = b.add_layer(std::move(l2));
+  // first sits below second: nic -> first -> second -> ip.
+  EXPECT_EQ(first.upper(), &second);
+  EXPECT_EQ(second.lower(), &first);
+  EXPECT_EQ(second.upper(), &b.ip_layer());
+  EXPECT_EQ(first.lower(), &b.nic());
+}
+
+TEST_F(TwoNodes, FindLayerByName) {
+  b.add_layer(std::make_unique<CountingLayer>());
+  EXPECT_NE(b.find_layer("counting"), nullptr);
+  EXPECT_EQ(b.find_layer("absent"), nullptr);
+}
+
+TEST_F(TwoNodes, FailedNodeIsSilent) {
+  int got = 0;
+  b.ip_layer().register_protocol(net::IpProto::kUdp,
+                                 [&](const net::Ipv4Header&, BytesView) {
+                                   ++got;
+                                 });
+  b.fail();
+  EXPECT_TRUE(b.failed());
+  a.ip_layer().send(b.ip(), net::IpProto::kUdp, Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(got, 0);
+  // And it cannot send either.
+  b.ip_layer().send(a.ip(), net::IpProto::kUdp, Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(lan.stats().frames_dropped_down +
+                b.nic().stats().dropped_down,
+            2u);
+}
+
+TEST_F(TwoNodes, RecoveredNodeWorksAgain) {
+  int got = 0;
+  b.ip_layer().register_protocol(net::IpProto::kUdp,
+                                 [&](const net::Ipv4Header&, BytesView) {
+                                   ++got;
+                                 });
+  b.fail();
+  b.recover();
+  a.ip_layer().send(b.ip(), net::IpProto::kUdp, Bytes(4, 0));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(TwoNodes, WrongDestinationIpIgnored) {
+  // Craft a frame with b's MAC but a different IP destination.
+  Bytes l4(4, 0);
+  Bytes ip_l4(net::Ipv4Header::kSize + l4.size());
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = static_cast<u8>(net::IpProto::kUdp);
+  ip.src = a.ip();
+  ip.dst = net::Ipv4Address(0x0a0000aa);  // not b
+  ip.write(ip_l4);
+  net::Packet pkt(net::make_frame(b.mac(), a.mac(),
+                                  static_cast<u16>(net::EtherType::kIpv4),
+                                  ip_l4));
+  a.nic().send_down(std::move(pkt));
+  sim.run();
+  EXPECT_EQ(b.ip_layer().stats().rx_not_mine, 1u);
+}
+
+TEST_F(TwoNodes, CorruptedIpHeaderDropped) {
+  Bytes l4(4, 0);
+  Bytes ip_l4(net::Ipv4Header::kSize + l4.size());
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = static_cast<u8>(net::IpProto::kUdp);
+  ip.src = a.ip();
+  ip.dst = b.ip();
+  ip.write(ip_l4);
+  ip_l4[8] ^= 0xff;  // mangle TTL after checksumming
+  net::Packet pkt(net::make_frame(b.mac(), a.mac(),
+                                  static_cast<u16>(net::EtherType::kIpv4),
+                                  ip_l4));
+  a.nic().send_down(std::move(pkt));
+  sim.run();
+  EXPECT_EQ(b.ip_layer().stats().rx_bad_checksum, 1u);
+}
+
+}  // namespace
+}  // namespace vwire::host

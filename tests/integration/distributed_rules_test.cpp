@@ -1,0 +1,147 @@
+// Distributed rule execution (paper §5.2, §6.2): counters, terms,
+// conditions and actions spread across nodes, glued by real control-plane
+// messages with real propagation delay.
+#include <gtest/gtest.h>
+
+#include "../engine/engine_test_util.hpp"
+
+namespace vwire::core {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(DistributedRules, RemoteActionFires) {
+  // Counter at server; FAIL at a third node.
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 2)) >> FAIL(n2);\n"
+      "END\n");
+  h.send_requests(4);
+  h.run_for(millis(100));
+  EXPECT_TRUE(h.tb->node("n2").failed());
+  // The term status crossed the wire as a control message.
+  EXPECT_GE(h.engine("server").stats().control_tx, 1u);
+  EXPECT_GE(h.engine("n2").stats().control_rx, 1u);
+}
+
+TEST(DistributedRules, RemoteActionLagsByControlFlightTime) {
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 1)) >> FAIL(n2);\n"
+      "END\n");
+  h.send_requests(1);
+  // Poll finely: the node must NOT be failed the instant the packet is
+  // counted — the control message needs wire time.
+  bool was_alive_after_count = false;
+  while (h.tb->simulator().now().ns < millis(50).ns) {
+    h.tb->simulator().run_until(h.tb->simulator().now() + micros(2));
+    if (h.counter("REQ") == 1 && !h.tb->node("n2").failed()) {
+      was_alive_after_count = true;
+    }
+    if (h.tb->node("n2").failed()) break;
+  }
+  EXPECT_TRUE(was_alive_after_count);
+  EXPECT_TRUE(h.tb->node("n2").failed());
+}
+
+TEST(DistributedRules, CrossNodeCounterComparison) {
+  // Term over counters homed on different nodes: mirrored values drive it.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  SENT: (udp_req, client, server, SEND)\n"   // home: client
+      "  SEEN: (udp_req, client, server, RECV)\n"   // home: server
+      "  LOST: (client)\n"
+      "  (TRUE) >> ENABLE_CNTR(SENT); ENABLE_CNTR(SEEN); ENABLE_CNTR(LOST);\n"
+      "  ((SENT > SEEN)) >> INCR_CNTR(LOST, 1);\n"
+      "END\n");
+  h.send_requests(5);
+  h.run_for(millis(100));
+  // Transiently SENT > SEEN while each datagram is in flight, so the rule
+  // fired at least once; mirrors eventually agree at 5=5.
+  EXPECT_GE(h.counter("LOST"), 1);
+  EXPECT_EQ(h.counter("SENT"), 5);
+  EXPECT_EQ(h.counter("SEEN"), 5);
+}
+
+TEST(DistributedRules, ConditionSpanningThreeNodes) {
+  // The Fig 6 STOP shape: three terms, three homes, one condition.
+  EngineHarness h(3);
+  // n2 echoes on port 9 so each node sees distinct traffic.
+  h.udp[2]->bind(9, [&h](net::Ipv4Address src, u16 sport, BytesView payload) {
+    h.udp[2]->send(src, sport, 9, payload);
+  });
+  h.arm(
+      "SCENARIO s\n"
+      "  A: (udp_req, client, server, RECV)\n"  // home: server
+      "  B: (udp_req, client, server, SEND)\n"  // home: client
+      "  DONE: (client)\n"
+      "  (TRUE) >> ENABLE_CNTR(A); ENABLE_CNTR(B); ENABLE_CNTR(DONE);\n"
+      "  ((A >= 3) && (B >= 3)) >> INCR_CNTR(DONE, 1); STOP;\n"
+      "END\n");
+  h.send_requests(3);
+  auto result = h.ctrl->run({});
+  EXPECT_TRUE(result.stopped);
+  EXPECT_EQ(h.counter("DONE"), 1);
+}
+
+TEST(DistributedRules, TermStatusOnlySentOnChange) {
+  // Paper §5.2: "a term status is conveyed only in case of a change in its
+  // status."  20 requests flip (REQ > 0) exactly once.
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  X: (n2)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(X);\n"
+      "  ((REQ > 0)) >> INCR_CNTR(X, 1);\n"
+      "END\n");
+  h.send_requests(20);
+  h.run_for(millis(200));
+  EXPECT_EQ(h.counter("X"), 1);
+  // One term-status message total, not twenty.
+  EXPECT_EQ(h.engine("server").stats().control_tx, 1u);
+}
+
+TEST(DistributedRules, CounterMirrorsSentPerChange) {
+  // A counter operand that lives remotely must be mirrored on every update.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  SENT: (udp_req, client, server, SEND)\n"
+      "  SEEN: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(SENT); ENABLE_CNTR(SEEN);\n"
+      "  ((SEEN > SENT)) >> FLAG_ERROR;\n"  // term homed at server
+      "END\n");
+  h.send_requests(6);
+  h.run_for(millis(100));
+  // SENT (client) mirrors to server: 6 updates → 6 control messages.
+  EXPECT_EQ(h.engine("client").stats().control_tx, 6u);
+  EXPECT_TRUE(h.ctrl->context().errors().empty());
+}
+
+TEST(DistributedRules, FailedNodeStopsParticipating) {
+  EngineHarness h(3);
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  HOPS: (n2)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ); ENABLE_CNTR(HOPS);\n"
+      "  ((REQ = 1)) >> FAIL(n2);\n"
+      "  ((REQ = 3)) >> INCR_CNTR(HOPS, 1);\n"  // would run on n2 — dead
+      "END\n");
+  h.send_requests(4);
+  h.run_for(millis(100));
+  EXPECT_TRUE(h.tb->node("n2").failed());
+  // HOPS lives on the failed node; its engine never saw the trigger.
+  EXPECT_EQ(h.engine("n2").counter_value(h.tables.counters.find("HOPS")), 0);
+}
+
+}  // namespace
+}  // namespace vwire::core

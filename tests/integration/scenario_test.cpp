@@ -1,0 +1,160 @@
+// ScenarioRunner / Controller end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/udp/echo.hpp"
+
+namespace vwire {
+namespace {
+
+constexpr const char* kFilters =
+    "FILTER_TABLE\n"
+    "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+    "END\n";
+
+struct RunnerFixture : ::testing::Test {
+  Testbed tb;
+  std::unique_ptr<udp::UdpLayer> cu, su;
+  std::unique_ptr<udp::EchoServer> server;
+
+  void SetUp() override {
+    tb.add_node("client");
+    tb.add_node("server");
+    cu = std::make_unique<udp::UdpLayer>(tb.node("client"));
+    su = std::make_unique<udp::UdpLayer>(tb.node("server"));
+    server = std::make_unique<udp::EchoServer>(*su, 7);
+  }
+
+  void send_requests(int n, Duration gap = millis(2)) {
+    for (int i = 0; i < n; ++i) {
+      tb.simulator().after(Duration{gap.ns * i}, [this] {
+        cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+      });
+    }
+  }
+};
+
+TEST_F(RunnerFixture, StopYieldsPassWithCounters) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "SCENARIO ok\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "  ((REQ = 4)) >> STOP;\n"
+                "END\n";
+  spec.workload = [&] { send_requests(10); };
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.counters.at("REQ"), 4);
+  EXPECT_EQ(r.scenario, "ok");
+}
+
+TEST_F(RunnerFixture, DeclaredTimeoutWithoutStopIsError) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "SCENARIO too_slow 50ms\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "  ((REQ = 100)) >> STOP;\n"  // unreachable
+                "END\n";
+  spec.workload = [&] { send_requests(3); };
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.stopped);
+  EXPECT_FALSE(r.passed());  // paper §6.2: timeout termination = error
+}
+
+TEST_F(RunnerFixture, TimeoutBeatenByStopIsPass) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "SCENARIO fast_enough 1sec\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "  ((REQ = 3)) >> STOP;\n"
+                "END\n";
+  spec.workload = [&] { send_requests(5); };
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_TRUE(r.passed());
+  EXPECT_LT(r.ended_at.seconds(), 1.0);
+}
+
+TEST_F(RunnerFixture, HarnessDeadlineWithoutScriptTimeoutIsNotAnError) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "SCENARIO open_ended\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "END\n";
+  spec.workload = [&] { send_requests(2); };
+  spec.options.deadline = millis(100);
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  EXPECT_FALSE(r.stopped);
+}
+
+TEST_F(RunnerFixture, NodeTableMismatchRejected) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) +
+                "NODE_TABLE\n"
+                "  client 0a:0b:0c:0d:0e:0f 10.0.0.1\n"  // wrong MAC
+                "  server 02:00:00:00:00:01 10.0.0.2\n"
+                "END\n"
+                "SCENARIO s\nEND\n";
+  EXPECT_THROW(runner.run(spec), fsl::ParseError);
+}
+
+TEST_F(RunnerFixture, UnknownNodeRejected) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "NODE_TABLE\n  ghost 02:99:00:00:00:09 10.9.9.9\nEND\n"
+                "SCENARIO s\nEND\n";
+  EXPECT_THROW(runner.run(spec), fsl::ParseError);
+}
+
+TEST_F(RunnerFixture, BackToBackScenariosOnOneTestbed) {
+  // Regression testing means running many scripts against one testbed.
+  ScenarioRunner runner(tb);
+  for (int round = 0; round < 3; ++round) {
+    ScenarioSpec spec;
+    spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                  "SCENARIO again\n"
+                  "  REQ: (udp_req, client, server, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                  "  ((REQ = 2)) >> STOP;\n"
+                  "END\n";
+    spec.workload = [&] { send_requests(4); };
+    auto r = runner.run(spec);
+    EXPECT_TRUE(r.passed()) << "round " << round;
+    EXPECT_EQ(r.counters.at("REQ"), 2) << "round " << round;
+  }
+}
+
+TEST_F(RunnerFixture, InitTablesTravelTheWire) {
+  // The serialized tables really cross the simulated network: the remote
+  // engine ends up loaded with the same scenario name.
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                "SCENARIO wired\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "  ((REQ = 1)) >> STOP;\n"
+                "END\n";
+  spec.control_node = "client";
+  spec.workload = [&] { send_requests(1); };
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  EXPECT_EQ(tb.handles("server").engine->tables().scenario_name, "wired");
+  EXPECT_GE(tb.handles("server").agent->stats().rx_messages, 2u);  // INIT+START
+}
+
+}  // namespace
+}  // namespace vwire

@@ -1,0 +1,65 @@
+#include "vwire/net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::net {
+namespace {
+
+TEST(MacAddress, ParsesPaperExamples) {
+  // From the paper's Fig 2 node table.
+  auto mac = MacAddress::parse("00:46:61:af:fe:23");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "00:46:61:af:fe:23");
+  EXPECT_EQ(mac->bytes()[0], 0x00);
+  EXPECT_EQ(mac->bytes()[5], 0x23);
+}
+
+TEST(MacAddress, RejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse(""));
+  EXPECT_FALSE(MacAddress::parse("00:46:61:af:fe"));
+  EXPECT_FALSE(MacAddress::parse("00:46:61:af:fe:23:11"));
+  EXPECT_FALSE(MacAddress::parse("00-46-61-af-fe-23"));
+  EXPECT_FALSE(MacAddress::parse("0g:46:61:af:fe:23"));
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_index(0).is_broadcast());
+  EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddress, FromIndexIsUniquePerIndex) {
+  EXPECT_NE(MacAddress::from_index(0), MacAddress::from_index(1));
+  EXPECT_EQ(MacAddress::from_index(7), MacAddress::from_index(7));
+  // Locally administered, unicast.
+  EXPECT_EQ(MacAddress::from_index(3).bytes()[0], 0x02);
+}
+
+TEST(MacAddress, HashUsableInMaps) {
+  std::hash<MacAddress> h;
+  EXPECT_NE(h(MacAddress::from_index(1)), h(MacAddress::from_index(2)));
+}
+
+TEST(Ipv4Address, ParsesPaperExamples) {
+  auto ip = Ipv4Address::parse("192.168.1.1");
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->value(), 0xc0a80101u);
+  EXPECT_EQ(ip->to_string(), "192.168.1.1");
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0"));
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.256"));
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.1x"));
+  EXPECT_FALSE(Ipv4Address::parse("10..0.1"));
+}
+
+TEST(Ipv4Address, Extremes) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+}  // namespace
+}  // namespace vwire::net

@@ -1,0 +1,113 @@
+#include "vwire/net/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/net/udp_header.hpp"
+
+namespace vwire::net {
+namespace {
+
+Bytes tcp_frame(u16 sport, u16 dport, u8 flags, std::size_t payload_len) {
+  Bytes l4(TcpHeader::kSize + payload_len, 0x33);
+  TcpHeader t;
+  t.src_port = sport;
+  t.dst_port = dport;
+  t.seq = 100;
+  t.flags = flags;
+  Ipv4Address src(0x0a000001), dst(0x0a000002);
+  t.write(l4, 0, BytesView(l4).subspan(TcpHeader::kSize), src, dst);
+  Bytes ip_l4(Ipv4Header::kSize + l4.size());
+  Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = static_cast<u8>(IpProto::kTcp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.write(ip_l4);
+  std::copy(l4.begin(), l4.end(), ip_l4.begin() + Ipv4Header::kSize);
+  return make_frame(MacAddress::from_index(1), MacAddress::from_index(0),
+                    static_cast<u16>(EtherType::kIpv4), ip_l4);
+}
+
+TEST(Decode, TcpFrameFullyDecoded) {
+  Bytes frame = tcp_frame(24576, 16384, tcp_flags::kAck | tcp_flags::kPsh, 10);
+  auto d = decode(frame);
+  ASSERT_TRUE(d);
+  ASSERT_TRUE(d->ip);
+  ASSERT_TRUE(d->tcp);
+  EXPECT_FALSE(d->udp);
+  EXPECT_EQ(d->tcp->src_port, 24576);
+  EXPECT_EQ(d->tcp->dst_port, 16384);
+  EXPECT_EQ(d->l4_payload_len, 10u);
+  EXPECT_TRUE(d->ip_checksum_ok);
+  EXPECT_TRUE(d->l4_checksum_ok);
+  EXPECT_FALSE(d->truncated);
+}
+
+TEST(Decode, NonIpFrameStopsAtEthernet) {
+  Bytes body = {1, 2, 3};
+  Bytes frame = make_frame(MacAddress::broadcast(), MacAddress::from_index(0),
+                           static_cast<u16>(EtherType::kRether), body);
+  auto d = decode(frame);
+  ASSERT_TRUE(d);
+  EXPECT_FALSE(d->ip);
+  EXPECT_EQ(d->eth.ethertype, 0x9900);
+}
+
+TEST(Decode, DetectsBadTcpChecksum) {
+  Bytes frame = tcp_frame(1, 2, tcp_flags::kAck, 8);
+  frame[EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize] ^= 0x55;
+  auto d = decode(frame);
+  ASSERT_TRUE(d && d->tcp);
+  EXPECT_FALSE(d->l4_checksum_ok);
+  EXPECT_NE(summarize(frame).find("bad l4 csum"), std::string::npos);
+}
+
+TEST(Decode, TruncatedIpFlagged) {
+  Bytes frame = tcp_frame(1, 2, tcp_flags::kAck, 8);
+  frame.resize(EthernetHeader::kSize + 10);
+  auto d = decode(frame);
+  ASSERT_TRUE(d);
+  EXPECT_TRUE(d->truncated);
+  EXPECT_FALSE(d->ip);
+}
+
+TEST(Decode, FrameShorterThanEthernetIsNull) {
+  Bytes frame(8, 0);
+  EXPECT_FALSE(decode(frame));
+  EXPECT_NE(summarize(frame).find("short-frame"), std::string::npos);
+}
+
+TEST(Summarize, TcpLineShape) {
+  Bytes frame = tcp_frame(24576, 16384, tcp_flags::kSyn, 0);
+  std::string s = summarize(frame);
+  EXPECT_NE(s.find("10.0.0.1:24576 > 10.0.0.2:16384"), std::string::npos);
+  EXPECT_NE(s.find("tcp S"), std::string::npos);
+  EXPECT_NE(s.find("len=0"), std::string::npos);
+}
+
+TEST(Summarize, UdpLineShape) {
+  Bytes payload(5, 0);
+  Bytes dgram(UdpHeader::kSize + payload.size());
+  std::copy(payload.begin(), payload.end(), dgram.begin() + UdpHeader::kSize);
+  UdpHeader u;
+  u.src_port = 40000;
+  u.dst_port = 7;
+  Ipv4Address src(0x0a000001), dst(0x0a000002);
+  u.write(dgram, 0, payload, src, dst);
+  Bytes ip_l4(Ipv4Header::kSize + dgram.size());
+  Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = static_cast<u8>(IpProto::kUdp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.write(ip_l4);
+  std::copy(dgram.begin(), dgram.end(), ip_l4.begin() + Ipv4Header::kSize);
+  Bytes frame = make_frame(MacAddress::from_index(1),
+                           MacAddress::from_index(0),
+                           static_cast<u16>(EtherType::kIpv4), ip_l4);
+  std::string s = summarize(frame);
+  EXPECT_NE(s.find("udp len=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwire::net

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "vwire/net/ethernet.hpp"
+#include "vwire/net/ipv4.hpp"
+#include "vwire/net/tcp_header.hpp"
+#include "vwire/net/udp_header.hpp"
+
+namespace vwire::net {
+namespace {
+
+TEST(Ethernet, RoundTrip) {
+  EthernetHeader h{MacAddress::from_index(2), MacAddress::from_index(1),
+                   0x0800};
+  Bytes buf(EthernetHeader::kSize);
+  h.write(buf);
+  auto back = EthernetHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->ethertype, 0x0800);
+}
+
+TEST(Ethernet, EthertypeAtOffset12) {
+  // The paper's Rether filter matches "(12 2 0x9900)" — the ethertype must
+  // live at frame offset 12.
+  Bytes frame = make_frame(MacAddress::broadcast(), MacAddress::from_index(0),
+                           static_cast<u16>(EtherType::kRether), {});
+  EXPECT_EQ(read_u16(frame, 12), 0x9900);
+}
+
+TEST(Ethernet, ReadRejectsShortBuffers) {
+  Bytes tiny(10, 0);
+  EXPECT_FALSE(EthernetHeader::read(tiny));
+}
+
+TEST(Ipv4, RoundTripAndChecksum) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.identification = 0x1234;
+  h.protocol = 6;
+  h.src = Ipv4Address(0x0a000001);
+  h.dst = Ipv4Address(0x0a000002);
+  Bytes buf(Ipv4Header::kSize);
+  h.write(buf);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(buf));
+  auto back = Ipv4Header::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->total_length, 40);
+  EXPECT_EQ(back->protocol, 6);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+}
+
+TEST(Ipv4, CorruptionFailsVerification) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.protocol = 17;
+  h.src = Ipv4Address(1);
+  h.dst = Ipv4Address(2);
+  Bytes buf(Ipv4Header::kSize);
+  h.write(buf);
+  buf[15] ^= 0x40;
+  EXPECT_FALSE(Ipv4Header::verify_checksum(buf));
+}
+
+// The layout property the whole reproduction leans on: in a full frame the
+// paper's Fig 2 offsets select exactly the TCP fields they claim.
+TEST(TcpHeader, PaperFilterOffsets) {
+  Bytes l4(TcpHeader::kSize);
+  TcpHeader t;
+  t.src_port = 0x6000;  // 24576, the paper's sender port
+  t.dst_port = 0x4000;  // 16384, the paper's receiver port
+  t.seq = 0x11223344;
+  t.ack = 0x55667788;
+  t.flags = tcp_flags::kSyn | tcp_flags::kAck;
+  Ipv4Address src(0x0a000001), dst(0x0a000002);
+  t.write(l4, 0, {}, src, dst);
+
+  Bytes ip_l4(Ipv4Header::kSize + l4.size());
+  Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = static_cast<u8>(IpProto::kTcp);
+  ip.src = src;
+  ip.dst = dst;
+  ip.write(ip_l4);
+  std::copy(l4.begin(), l4.end(), ip_l4.begin() + Ipv4Header::kSize);
+  Bytes frame = make_frame(MacAddress::from_index(1), MacAddress::from_index(0),
+                           static_cast<u16>(EtherType::kIpv4), ip_l4);
+
+  EXPECT_EQ(read_u16(frame, 34), 0x6000);      // (34 2 0x6000)
+  EXPECT_EQ(read_u16(frame, 36), 0x4000);      // (36 2 0x4000)
+  EXPECT_EQ(read_u32(frame, 38), 0x11223344u); // (38 4 SeqNoData)
+  EXPECT_EQ(read_u32(frame, 42), 0x55667788u); // (42 4 SeqNoAck)
+  EXPECT_EQ(read_u8(frame, 47) & 0x12, 0x12);  // (47 1 0x12 0x12)
+}
+
+TEST(TcpHeader, ChecksumCoversPayloadAndPseudoHeader) {
+  Bytes payload = {1, 2, 3, 4, 5};
+  Bytes seg(TcpHeader::kSize + payload.size());
+  std::copy(payload.begin(), payload.end(), seg.begin() + TcpHeader::kSize);
+  TcpHeader t;
+  t.src_port = 80;
+  t.dst_port = 12345;
+  t.flags = tcp_flags::kAck;
+  Ipv4Address src(0x0a000001), dst(0x0a000002);
+  t.write(seg, 0, payload, src, dst);
+  EXPECT_TRUE(TcpHeader::verify_checksum(seg, 0, seg.size(), src, dst));
+  // Payload corruption breaks it.
+  seg[TcpHeader::kSize + 2] ^= 0xff;
+  EXPECT_FALSE(TcpHeader::verify_checksum(seg, 0, seg.size(), src, dst));
+  // So does a different pseudo-header (wrong src address).
+  seg[TcpHeader::kSize + 2] ^= 0xff;
+  EXPECT_FALSE(
+      TcpHeader::verify_checksum(seg, 0, seg.size(), Ipv4Address(9), dst));
+}
+
+TEST(TcpHeader, FlagStrings) {
+  TcpHeader t;
+  t.flags = tcp_flags::kSyn;
+  EXPECT_EQ(t.flags_string(), "S");
+  t.flags = tcp_flags::kSyn | tcp_flags::kAck;
+  EXPECT_EQ(t.flags_string(), "S.");
+  t.flags = 0;
+  EXPECT_EQ(t.flags_string(), "-");
+}
+
+TEST(UdpHeader, RoundTripAndChecksum) {
+  Bytes payload(64, 0xaa);
+  Bytes dgram(UdpHeader::kSize + payload.size());
+  std::copy(payload.begin(), payload.end(), dgram.begin() + UdpHeader::kSize);
+  UdpHeader u;
+  u.src_port = 40000;
+  u.dst_port = 7;
+  Ipv4Address src(0x0a000001), dst(0x0a000002);
+  u.write(dgram, 0, payload, src, dst);
+  EXPECT_EQ(u.length, dgram.size());
+  EXPECT_TRUE(UdpHeader::verify_checksum(dgram, 0, dgram.size(), src, dst));
+  dgram[UdpHeader::kSize] ^= 0x01;
+  EXPECT_FALSE(UdpHeader::verify_checksum(dgram, 0, dgram.size(), src, dst));
+}
+
+TEST(UdpHeader, ZeroChecksumMeansDisabled) {
+  Bytes dgram(UdpHeader::kSize, 0);
+  write_u16(dgram, 0, 1);
+  write_u16(dgram, 2, 2);
+  write_u16(dgram, 4, UdpHeader::kSize);
+  write_u16(dgram, 6, 0);  // RFC 768: no checksum
+  EXPECT_TRUE(UdpHeader::verify_checksum(dgram, 0, dgram.size(),
+                                         Ipv4Address(1), Ipv4Address(2)));
+}
+
+}  // namespace
+}  // namespace vwire::net

@@ -1,0 +1,65 @@
+#include "vwire/phy/bit_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy_test_util.hpp"
+#include "vwire/phy/switched_lan.hpp"
+
+namespace vwire::phy {
+namespace {
+
+TEST(BitError, ZeroRateNeverCorrupts) {
+  BitErrorModel m(0.0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.corrupt(1500));
+}
+
+TEST(BitError, RatePointOneAlwaysCorruptsBigFrames) {
+  BitErrorModel m(0.1, 1);
+  int corrupted = 0;
+  for (int i = 0; i < 100; ++i) corrupted += m.corrupt(1500) ? 1 : 0;
+  EXPECT_EQ(corrupted, 100);  // 1-(0.9)^12000 ≈ 1
+}
+
+// Corruption probability tracks 1-(1-p)^bits within sampling error.
+class BitErrorRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BitErrorRateTest, MatchesAnalyticRate) {
+  const double ber = GetParam();
+  const std::size_t bytes = 1000;
+  BitErrorModel m(ber, 99);
+  const int trials = 20000;
+  int corrupted = 0;
+  for (int i = 0; i < trials; ++i) corrupted += m.corrupt(bytes) ? 1 : 0;
+  double expected =
+      1.0 - std::exp(8.0 * static_cast<double>(bytes) * std::log1p(-ber));
+  EXPECT_NEAR(corrupted / static_cast<double>(trials), expected,
+              0.015 + expected * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitErrorRateTest,
+                         ::testing::Values(1e-6, 5e-6, 1e-5, 5e-5, 1e-4));
+
+TEST(BitError, CorruptedFramesVanishSilently) {
+  // End-to-end through a medium: with a brutal BER every frame is lost and
+  // the medium reports them as error drops — the silent losses the RLL
+  // exists to mask (paper §3.3).
+  sim::Simulator sim;
+  LinkParams p;
+  p.bit_error_rate = 0.01;
+  SwitchedLan lan(sim, p, 5);
+  testing::StubClient a(sim, net::MacAddress::from_index(0));
+  testing::StubClient b(sim, net::MacAddress::from_index(1));
+  lan.attach(&a);
+  lan.attach(&b);
+  for (int i = 0; i < 50; ++i) {
+    lan.transmit(0, testing::frame_between(0, 1, 1000));
+  }
+  sim.run();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(lan.stats().frames_dropped_error, 50u);
+}
+
+}  // namespace
+}  // namespace vwire::phy

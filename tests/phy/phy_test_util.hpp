@@ -1,0 +1,38 @@
+// Shared stub client for medium-level tests.
+#pragma once
+
+#include <vector>
+
+#include "vwire/phy/medium.hpp"
+
+namespace vwire::phy::testing {
+
+class StubClient final : public MediumClient {
+ public:
+  StubClient(sim::Simulator& sim, net::MacAddress mac) : sim_(sim), mac_(mac) {}
+
+  void medium_deliver(net::Packet pkt) override {
+    arrivals.push_back({sim_.now(), std::move(pkt)});
+  }
+  net::MacAddress medium_mac() const override { return mac_; }
+
+  struct Arrival {
+    TimePoint at;
+    net::Packet pkt;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+  net::MacAddress mac_;
+};
+
+inline net::Packet frame_between(u32 src_idx, u32 dst_idx,
+                                 std::size_t payload = 100) {
+  Bytes body(payload, 0x5a);
+  return net::Packet(net::make_frame(net::MacAddress::from_index(dst_idx),
+                                     net::MacAddress::from_index(src_idx),
+                                     0x0800, body));
+}
+
+}  // namespace vwire::phy::testing

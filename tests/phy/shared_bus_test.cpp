@@ -1,0 +1,105 @@
+#include "vwire/phy/shared_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy_test_util.hpp"
+
+namespace vwire::phy {
+namespace {
+
+using testing::StubClient;
+using testing::frame_between;
+
+struct BusFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::unique_ptr<SharedBus> bus;
+  std::vector<std::unique_ptr<StubClient>> clients;
+
+  void build(int n, LinkParams p = {}) {
+    bus = std::make_unique<SharedBus>(sim, p, /*seed=*/3);
+    for (int i = 0; i < n; ++i) {
+      clients.push_back(std::make_unique<StubClient>(
+          sim, net::MacAddress::from_index(static_cast<u32>(i))));
+      bus->attach(clients.back().get());
+    }
+  }
+};
+
+TEST_F(BusFixture, UnicastFilteredByMac) {
+  build(3);
+  bus->transmit(0, frame_between(0, 2));
+  sim.run();
+  EXPECT_TRUE(clients[1]->arrivals.empty());
+  EXPECT_EQ(clients[2]->arrivals.size(), 1u);
+}
+
+TEST_F(BusFixture, BroadcastSeenByAllOthers) {
+  build(4);
+  Bytes body(10, 0);
+  bus->transmit(2, net::Packet(net::make_frame(
+                       net::MacAddress::broadcast(),
+                       net::MacAddress::from_index(2), 0x9900, body)));
+  sim.run();
+  EXPECT_TRUE(clients[2]->arrivals.empty());
+  for (int i : {0, 1, 3}) {
+    EXPECT_EQ(clients[static_cast<size_t>(i)]->arrivals.size(), 1u);
+  }
+}
+
+TEST_F(BusFixture, SingleHopLatency) {
+  LinkParams p;
+  build(2, p);
+  bus->transmit(0, frame_between(0, 1, 1000));
+  sim.run();
+  ASSERT_EQ(clients[1]->arrivals.size(), 1u);
+  i64 expected =
+      bus->serialization_time(1000 + net::EthernetHeader::kSize).ns +
+      p.propagation.ns;
+  EXPECT_EQ(clients[1]->arrivals[0].at.ns, expected);
+}
+
+TEST_F(BusFixture, ConcurrentTransmittersContend) {
+  build(3);
+  bus->transmit(0, frame_between(0, 2, 1000));
+  bus->transmit(1, frame_between(1, 2, 1000));
+  sim.run();
+  ASSERT_EQ(clients[2]->arrivals.size(), 2u);
+  // The second transmission deferred: counted as a collision and separated
+  // by at least one serialization time.
+  EXPECT_GE(bus->stats().collisions, 1u);
+  i64 gap = clients[2]->arrivals[1].at.ns - clients[2]->arrivals[0].at.ns;
+  EXPECT_GE(gap,
+            bus->serialization_time(1000 + net::EthernetHeader::kSize).ns);
+}
+
+TEST_F(BusFixture, HalfDuplexSharedCapacity) {
+  // Opposite "directions" still share the one channel, unlike the switch.
+  build(2);
+  bus->transmit(0, frame_between(0, 1, 1000));
+  bus->transmit(1, frame_between(1, 0, 1000));
+  sim.run();
+  ASSERT_EQ(clients[0]->arrivals.size(), 1u);
+  ASSERT_EQ(clients[1]->arrivals.size(), 1u);
+  EXPECT_NE(clients[0]->arrivals[0].at.ns, clients[1]->arrivals[0].at.ns);
+}
+
+TEST_F(BusFixture, ChannelQueueLimitDrops) {
+  LinkParams p;
+  p.queue_limit = 3;
+  build(2, p);
+  for (int i = 0; i < 10; ++i) bus->transmit(0, frame_between(0, 1, 1000));
+  sim.run();
+  EXPECT_EQ(clients[1]->arrivals.size(), 3u);
+  EXPECT_EQ(bus->stats().frames_dropped_queue, 7u);
+}
+
+TEST_F(BusFixture, DownPortIsSilent) {
+  build(2);
+  bus->set_port_up(0, false);
+  bus->transmit(0, frame_between(0, 1));
+  sim.run();
+  EXPECT_TRUE(clients[1]->arrivals.empty());
+}
+
+}  // namespace
+}  // namespace vwire::phy

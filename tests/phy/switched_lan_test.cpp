@@ -1,0 +1,139 @@
+#include "vwire/phy/switched_lan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy_test_util.hpp"
+
+namespace vwire::phy {
+namespace {
+
+using testing::StubClient;
+using testing::frame_between;
+
+struct SwitchedFixture : ::testing::Test {
+  sim::Simulator sim;
+  LinkParams params;
+  std::unique_ptr<SwitchedLan> lan;
+  std::vector<std::unique_ptr<StubClient>> clients;
+
+  void build(int n, LinkParams p = {}) {
+    params = p;
+    lan = std::make_unique<SwitchedLan>(sim, params);
+    for (int i = 0; i < n; ++i) {
+      clients.push_back(std::make_unique<StubClient>(
+          sim, net::MacAddress::from_index(static_cast<u32>(i))));
+      lan->attach(clients.back().get());
+    }
+  }
+};
+
+TEST_F(SwitchedFixture, UnicastReachesOnlyDestination) {
+  build(3);
+  lan->transmit(0, frame_between(0, 1));
+  sim.run();
+  EXPECT_EQ(clients[1]->arrivals.size(), 1u);
+  EXPECT_TRUE(clients[0]->arrivals.empty());
+  EXPECT_TRUE(clients[2]->arrivals.empty());
+}
+
+TEST_F(SwitchedFixture, BroadcastReachesEveryoneExceptSender) {
+  build(4);
+  Bytes body(10, 0);
+  lan->transmit(1, net::Packet(net::make_frame(
+                       net::MacAddress::broadcast(),
+                       net::MacAddress::from_index(1), 0x0800, body)));
+  sim.run();
+  EXPECT_TRUE(clients[1]->arrivals.empty());
+  for (int i : {0, 2, 3}) {
+    EXPECT_EQ(clients[static_cast<size_t>(i)]->arrivals.size(), 1u) << i;
+  }
+}
+
+TEST_F(SwitchedFixture, LatencyIsTwoHopsOfSerializationPlusPropagation) {
+  build(2);
+  const std::size_t payload = 1000;
+  lan->transmit(0, frame_between(0, 1, payload));
+  sim.run();
+  ASSERT_EQ(clients[1]->arrivals.size(), 1u);
+  Duration ser = lan->serialization_time(payload + net::EthernetHeader::kSize);
+  i64 expected = 2 * ser.ns + 2 * params.propagation.ns;
+  EXPECT_EQ(clients[1]->arrivals[0].at.ns, expected);
+}
+
+TEST_F(SwitchedFixture, MinimumFrameSizePadding) {
+  build(2);
+  // A tiny frame still pays 64-byte serialization.
+  Duration tiny = lan->serialization_time(20);
+  Duration min = lan->serialization_time(64);
+  EXPECT_EQ(tiny.ns, min.ns);
+  EXPECT_GT(lan->serialization_time(65).ns, min.ns);
+}
+
+TEST_F(SwitchedFixture, FullDuplexDirectionsDontContend) {
+  build(2);
+  // Same-direction frames queue; opposite directions do not.
+  lan->transmit(0, frame_between(0, 1, 1000));
+  lan->transmit(1, frame_between(1, 0, 1000));
+  sim.run();
+  ASSERT_EQ(clients[0]->arrivals.size(), 1u);
+  ASSERT_EQ(clients[1]->arrivals.size(), 1u);
+  EXPECT_EQ(clients[0]->arrivals[0].at.ns, clients[1]->arrivals[0].at.ns);
+}
+
+TEST_F(SwitchedFixture, SameDirectionFramesSerialize) {
+  build(2);
+  lan->transmit(0, frame_between(0, 1, 1000));
+  lan->transmit(0, frame_between(0, 1, 1000));
+  sim.run();
+  ASSERT_EQ(clients[1]->arrivals.size(), 2u);
+  Duration ser = lan->serialization_time(1000 + net::EthernetHeader::kSize);
+  EXPECT_EQ(clients[1]->arrivals[1].at.ns - clients[1]->arrivals[0].at.ns,
+            ser.ns);
+}
+
+TEST_F(SwitchedFixture, QueueOverflowDrops) {
+  LinkParams p;
+  p.queue_limit = 4;
+  build(2, p);
+  for (int i = 0; i < 20; ++i) lan->transmit(0, frame_between(0, 1, 1400));
+  sim.run();
+  EXPECT_EQ(clients[1]->arrivals.size(), 4u);
+  EXPECT_EQ(lan->stats().frames_dropped_queue, 16u);
+}
+
+TEST_F(SwitchedFixture, DownPortNeitherSendsNorReceives) {
+  build(2);
+  lan->set_port_up(1, false);
+  lan->transmit(0, frame_between(0, 1));
+  lan->transmit(1, frame_between(1, 0));
+  sim.run();
+  EXPECT_TRUE(clients[0]->arrivals.empty());
+  EXPECT_TRUE(clients[1]->arrivals.empty());
+  EXPECT_GE(lan->stats().frames_dropped_down, 2u);
+}
+
+TEST_F(SwitchedFixture, FifoPerDestination) {
+  build(2);
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p = frame_between(0, 1, 64);
+    write_u8(p.mutable_bytes(), 20, static_cast<u8>(i));
+    lan->transmit(0, std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(clients[1]->arrivals.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(clients[1]->arrivals[static_cast<size_t>(i)].pkt.bytes()[20], i);
+  }
+}
+
+TEST_F(SwitchedFixture, StatsAccumulate) {
+  build(2);
+  lan->transmit(0, frame_between(0, 1, 200));
+  sim.run();
+  EXPECT_EQ(lan->stats().frames_offered, 1u);
+  EXPECT_EQ(lan->stats().frames_delivered, 1u);
+  EXPECT_EQ(lan->stats().bytes_delivered, 200 + net::EthernetHeader::kSize);
+}
+
+}  // namespace
+}  // namespace vwire::phy

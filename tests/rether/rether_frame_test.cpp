@@ -1,0 +1,83 @@
+#include "vwire/rether/rether_frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::rether {
+namespace {
+
+net::MacAddress mac(u32 i) { return net::MacAddress::from_index(i); }
+
+TEST(RetherFrame, TokenRoundTripWithRingAndQuotas) {
+  RetherFrame f;
+  f.op = RetherOp::kToken;
+  f.token_seq = 1234;
+  f.ring_version = 56;
+  f.ring = {mac(1), mac(2), mac(3)};
+  f.rt_quota = {0, 4, 0};
+  net::Packet pkt = f.build(mac(2), mac(1));
+  auto back = RetherFrame::parse(pkt.view());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->op, RetherOp::kToken);
+  EXPECT_EQ(back->token_seq, 1234u);
+  EXPECT_EQ(back->ring_version, 56u);
+  EXPECT_EQ(back->ring, f.ring);
+  EXPECT_EQ(back->rt_quota, f.rt_quota);
+}
+
+TEST(RetherFrame, PaperFilterOffsetsMatch) {
+  // The Fig 6 filters: ethertype 0x9900 at offset 12, opcode at offset 14.
+  RetherFrame tok;
+  tok.op = RetherOp::kToken;
+  net::Packet p1 = tok.build(mac(2), mac(1));
+  EXPECT_EQ(read_u16(p1.view(), 12), 0x9900);
+  EXPECT_EQ(read_u16(p1.view(), 14), 0x0001);  // tr_token
+
+  RetherFrame ack;
+  ack.op = RetherOp::kTokenAck;
+  net::Packet p2 = ack.build(mac(1), mac(2));
+  EXPECT_EQ(read_u16(p2.view(), 14), 0x0010);  // tr_token_ack
+}
+
+TEST(RetherFrame, QuotaVectorShorterThanRingPadsZero) {
+  RetherFrame f;
+  f.ring = {mac(1), mac(2)};
+  f.rt_quota = {7};  // only the first member's quota given
+  auto back = RetherFrame::parse(f.build(mac(2), mac(1)).view());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->rt_quota, (std::vector<u16>{7, 0}));
+}
+
+TEST(RetherFrame, RejectsWrongEthertype) {
+  Bytes body(12, 0);
+  net::Packet p(net::make_frame(mac(1), mac(0), 0x0800, body));
+  EXPECT_FALSE(RetherFrame::parse(p.view()));
+}
+
+TEST(RetherFrame, RejectsUnknownOpcode) {
+  RetherFrame f;
+  f.op = RetherOp::kToken;
+  net::Packet p = f.build(mac(1), mac(0));
+  write_u16(p.mutable_bytes(), 14, 0x7777);
+  EXPECT_FALSE(RetherFrame::parse(p.view()));
+}
+
+TEST(RetherFrame, RejectsTruncatedMemberList) {
+  RetherFrame f;
+  f.op = RetherOp::kToken;
+  f.ring = {mac(1), mac(2), mac(3)};
+  net::Packet p = f.build(mac(1), mac(0));
+  p.mutable_bytes().resize(p.size() - 5);  // cut into the last member
+  EXPECT_FALSE(RetherFrame::parse(p.view()));
+}
+
+TEST(RetherFrame, EmptyRingIsValid) {
+  RetherFrame f;
+  f.op = RetherOp::kJoinReq;
+  auto back = RetherFrame::parse(f.build(net::MacAddress::broadcast(),
+                                         mac(0)).view());
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->ring.empty());
+}
+
+}  // namespace
+}  // namespace vwire::rether

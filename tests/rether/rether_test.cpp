@@ -1,0 +1,313 @@
+#include "vwire/rether/rether_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::rether {
+namespace {
+
+struct RetherFixture : ::testing::Test {
+  std::unique_ptr<Testbed> tb;
+  std::vector<RetherLayer*> layers;
+  std::vector<std::string> names;
+
+  void build(int n, RetherParams params = {}) {
+    TestbedConfig cfg;
+    cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+    cfg.install_engine = false;
+    cfg.install_rll = false;
+    cfg.install_trace = false;
+    tb = std::make_unique<Testbed>(cfg);
+    std::vector<net::MacAddress> ring;
+    for (int i = 0; i < n; ++i) {
+      names.push_back("n" + std::to_string(i + 1));
+      tb->add_node(names.back());
+      ring.push_back(tb->node(names.back()).mac());
+    }
+    for (const auto& name : names) {
+      layers.push_back(static_cast<RetherLayer*>(&tb->node(name).add_layer(
+          std::make_unique<RetherLayer>(tb->simulator(), params, ring))));
+    }
+  }
+
+  void start_all() {
+    for (std::size_t i = 0; i < layers.size(); ++i) layers[i]->start(i == 0);
+  }
+
+  void run_for(Duration d) {
+    tb->simulator().run_until(tb->simulator().now() + d);
+  }
+
+  void stop_all() {
+    for (auto* l : layers) l->stop();
+  }
+};
+
+TEST_F(RetherFixture, TokenCirculatesRoundRobin) {
+  build(4);
+  start_all();
+  run_for(millis(50));
+  stop_all();
+  // Everyone received tokens, roughly equally (round-robin).
+  u64 lo = ~0ull, hi = 0;
+  for (auto* l : layers) {
+    lo = std::min(lo, l->stats().tokens_received);
+    hi = std::max(hi, l->stats().tokens_received);
+  }
+  EXPECT_GT(lo, 5u);
+  EXPECT_LE(hi - lo, 2u);
+}
+
+TEST_F(RetherFixture, EveryTokenPassIsAcked) {
+  build(3);
+  start_all();
+  run_for(millis(50));
+  stop_all();
+  for (auto* l : layers) {
+    // At most one pass can still be awaiting its ack when the clock stops.
+    EXPECT_GE(l->stats().acks_received + 1, l->stats().tokens_passed);
+    EXPECT_LE(l->stats().acks_received, l->stats().tokens_passed);
+    EXPECT_EQ(l->stats().token_retransmits, 0u);
+  }
+}
+
+TEST_F(RetherFixture, DataOnlyFlowsWithToken) {
+  build(3);
+  // Send from n2, which does NOT hold the token at start: the data must
+  // queue until the token arrives.
+  udp::UdpLayer u2(tb->node("n2"));
+  udp::UdpLayer u3(tb->node("n3"));
+  int got = 0;
+  u3.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  start_all();
+  for (int i = 0; i < 5; ++i) {
+    u2.send(tb->node("n3").ip(), 9, 30000, Bytes(32, 0));
+  }
+  run_for(millis(50));
+  stop_all();
+  EXPECT_EQ(got, 5);
+  EXPECT_GE(layers[1]->stats().data_queued, 1u);  // regulated, not immediate
+}
+
+TEST_F(RetherFixture, QuantumBoundsBurstPerHold) {
+  RetherParams params;
+  params.hold_quantum_frames = 2;
+  build(3, params);
+  udp::UdpLayer u1(tb->node("n1"));
+  udp::UdpLayer u2(tb->node("n2"));
+  int got = 0;
+  u2.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  start_all();
+  for (int i = 0; i < 10; ++i) {
+    u1.send(tb->node("n2").ip(), 9, 30000, Bytes(32, 0));
+  }
+  run_for(millis(200));
+  stop_all();
+  EXPECT_EQ(got, 10);
+  // 10 frames at 2 per hold means at least 5 token holds on n1.
+  EXPECT_GE(layers[0]->stats().tokens_received, 4u);
+}
+
+TEST_F(RetherFixture, DeadSuccessorEvictedAfterBudget) {
+  RetherParams params;  // budget: 3 transmissions (the paper's number)
+  build(4, params);
+  start_all();
+  run_for(millis(20));
+  tb->node("n3").fail();
+  run_for(millis(100));
+  stop_all();
+  // n2 evicted n3 and the ring shrank everywhere that saw the new token.
+  EXPECT_EQ(layers[1]->stats().nodes_evicted, 1u);
+  EXPECT_EQ(layers[1]->stats().token_retransmits, 2u);  // 3 sends total
+  EXPECT_EQ(layers[1]->ring().size(), 3u);
+  EXPECT_FALSE(layers[1]->ring().contains(tb->node("n3").mac()));
+  EXPECT_EQ(layers[0]->ring().size(), 3u);
+  EXPECT_EQ(layers[3]->ring().size(), 3u);
+  // The survivors keep circulating.
+  u64 before = layers[0]->stats().tokens_received;
+  tb->simulator().run_until(tb->simulator().now() + millis(50));
+  EXPECT_GE(layers[0]->stats().tokens_received, before);
+}
+
+TEST_F(RetherFixture, TokenRegeneratedAfterHolderDies) {
+  RetherParams params;
+  params.regen_timeout = millis(100);
+  build(3, params);
+  start_all();
+  run_for(millis(20));
+  // Kill whichever node currently holds or is about to receive the token:
+  // failing n2 mid-circulation loses the token whenever it is in flight to
+  // or held by n2.  Run until the watchdog must have fired.
+  tb->node("n2").fail();
+  run_for(millis(600));
+  stop_all();
+  u64 regenerated = 0;
+  for (auto* l : layers) regenerated += l->stats().tokens_regenerated;
+  // Either the token survived (n2 wasn't holding) or it was regenerated;
+  // in both cases circulation among survivors continued.
+  u64 n1_before = layers[0]->stats().tokens_received;
+  EXPECT_GT(n1_before, 10u);
+  // The SURVIVORS' rings shrink (the dead node's own view is frozen).
+  EXPECT_EQ(layers[0]->ring().size(), 2u);
+  EXPECT_EQ(layers[2]->ring().size(), 2u);
+  (void)regenerated;
+}
+
+TEST_F(RetherFixture, StaleTokenDropped) {
+  build(3);
+  start_all();
+  run_for(millis(30));
+  stop_all();
+  // Inject an old token (seq 1) directly at n2's NIC; by now the live
+  // sequence is far beyond 1, so it must be discarded unacknowledged.
+  RetherFrame stale;
+  stale.op = RetherOp::kToken;
+  stale.token_seq = 1;
+  stale.ring_version = 1;
+  u64 acks_before = layers[1]->stats().acks_sent;
+  layers[1]->receive_up(stale.build(tb->node("n2").mac(),
+                                    tb->node("n1").mac()));
+  EXPECT_EQ(layers[1]->stats().stale_tokens_dropped, 1u);
+  EXPECT_EQ(layers[1]->stats().acks_sent, acks_before);
+}
+
+TEST_F(RetherFixture, JoinAdmitsNewNode) {
+  RetherParams params;
+  build(4, params);
+  // n4 starts outside the ring: give the others a 3-ring.
+  std::vector<net::MacAddress> small_ring;
+  for (int i = 0; i < 3; ++i) small_ring.push_back(tb->node(names[static_cast<size_t>(i)]).mac());
+  // Rebuild layers 0..2 with the small ring; n4 keeps the full one but
+  // isn't in the others' ring, so it must join.
+  TestbedConfig cfg;
+  cfg.medium = TestbedConfig::MediumKind::kSharedBus;
+  cfg.install_engine = false;
+  cfg.install_rll = false;
+  cfg.install_trace = false;
+  tb = std::make_unique<Testbed>(cfg);
+  layers.clear();
+  std::vector<net::MacAddress> ring3;
+  for (int i = 0; i < 4; ++i) {
+    tb->add_node("m" + std::to_string(i + 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ring3.push_back(tb->node("m" + std::to_string(i + 1)).mac());
+  }
+  for (int i = 0; i < 3; ++i) {
+    layers.push_back(static_cast<RetherLayer*>(
+        &tb->node("m" + std::to_string(i + 1))
+             .add_layer(std::make_unique<RetherLayer>(tb->simulator(),
+                                                      params, ring3))));
+  }
+  auto* joiner = static_cast<RetherLayer*>(
+      &tb->node("m4").add_layer(std::make_unique<RetherLayer>(
+          tb->simulator(), params, std::vector<net::MacAddress>{})));
+  for (std::size_t i = 0; i < 3; ++i) layers[i]->start(i == 0);
+  joiner->start(false);
+  tb->simulator().run_until({millis(20).ns});
+  joiner->request_join();
+  tb->simulator().run_until({millis(100).ns});
+  for (auto* l : layers) l->stop();
+  joiner->stop();
+  EXPECT_TRUE(joiner->ring().contains(tb->node("m4").mac()));
+  EXPECT_GE(joiner->stats().tokens_received, 1u);
+}
+
+
+TEST_F(RetherFixture, ReservationAdmittedWhenItFits) {
+  build(3);
+  start_all();
+  run_for(millis(5));
+  layers[1]->request_reservation(4);
+  EXPECT_EQ(layers[1]->reservation_state(), ReservationState::kPending);
+  run_for(millis(20));  // resolved at n2's next token hold
+  stop_all();
+  EXPECT_EQ(layers[1]->reservation_state(), ReservationState::kAdmitted);
+  EXPECT_EQ(layers[1]->ring().quota_of(tb->node("n2").mac()), 4);
+  // The admitted quota propagated with the token to the other members.
+  EXPECT_EQ(layers[0]->ring().quota_of(tb->node("n2").mac()), 4);
+}
+
+TEST_F(RetherFixture, ReservationRejectedWhenCycleCannotFit) {
+  RetherParams params;
+  params.target_cycle = millis(2);     // tiny cycle budget
+  params.rt_frame_time = micros(130);
+  params.per_hop_overhead = micros(250);
+  build(3, params);
+  start_all();
+  run_for(millis(5));
+  // 3 hops x 250us = 750us overhead; 20 frames x 130us = 2.6ms > 2ms.
+  layers[1]->request_reservation(20);
+  run_for(millis(20));
+  stop_all();
+  EXPECT_EQ(layers[1]->reservation_state(), ReservationState::kRejected);
+  EXPECT_EQ(layers[1]->ring().quota_of(tb->node("n2").mac()), 0);
+  EXPECT_EQ(layers[1]->stats().reservations_rejected, 1u);
+}
+
+TEST_F(RetherFixture, ReservedTrafficOutlivesBestEffortFlood) {
+  // n2 holds a reservation and marks its frames RT; n1 floods best-effort.
+  // Over the run, n2's RT stream must keep its per-cycle quota while n1's
+  // flood is bounded by the best-effort quantum and shed when the cycle
+  // runs late.
+  RetherParams params;
+  params.hold_quantum_frames = 2;
+  params.target_cycle = millis(3);
+  build(3, params);
+  udp::UdpLayer u1(tb->node("n1"));
+  udp::UdpLayer u2(tb->node("n2"));
+  udp::UdpLayer u3(tb->node("n3"));
+  int rt_got = 0, be_got = 0;
+  u3.bind(9, [&](net::Ipv4Address, u16 sport, BytesView) {
+    (sport == 50001 ? rt_got : be_got)++;
+  });
+  layers[1]->set_rt_classifier([](const net::Packet& pkt) {
+    // RT = UDP frames from source port 50001 (offset 34).
+    return pkt.size() > 36 && read_u16(pkt.view(), 34) == 50001;
+  });
+  start_all();
+  run_for(millis(5));
+  layers[1]->request_reservation(2);
+  run_for(millis(20));
+  ASSERT_EQ(layers[1]->reservation_state(), ReservationState::kAdmitted);
+  // Flood: n1 offers far more best-effort than the ring can carry, while
+  // n2 paces 2 RT frames per target cycle.
+  for (int i = 0; i < 400; ++i) {
+    tb->simulator().after(micros(100) * i, [&] {
+      u1.send(tb->node("n3").ip(), 9, 50000, Bytes(1400, 0));
+    });
+  }
+  for (int i = 0; i < 60; ++i) {
+    tb->simulator().after(Duration{millis(3).ns / 2 * i}, [&] {
+      u2.send(tb->node("n3").ip(), 9, 50001, Bytes(700, 1));
+    });
+  }
+  run_for(millis(150));
+  stop_all();
+  // Every RT frame made it through within the run.
+  EXPECT_EQ(rt_got, 60);
+  EXPECT_GE(layers[1]->stats().rt_sent, 60u);
+  // The flood exceeded capacity: best-effort was queued/shed, not
+  // unlimited.
+  EXPECT_LT(be_got, 400);
+  EXPECT_GT(be_got, 0);
+}
+
+TEST_F(RetherFixture, ReleasingReservationReturnsToBestEffort) {
+  build(2);
+  start_all();
+  run_for(millis(5));
+  layers[1]->request_reservation(3);
+  run_for(millis(20));
+  ASSERT_EQ(layers[1]->reservation_state(), ReservationState::kAdmitted);
+  layers[1]->request_reservation(0);
+  run_for(millis(20));
+  stop_all();
+  EXPECT_EQ(layers[1]->reservation_state(), ReservationState::kNone);
+  EXPECT_EQ(layers[1]->ring().total_quota(), 0u);
+}
+
+}  // namespace
+}  // namespace vwire::rether

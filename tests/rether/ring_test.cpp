@@ -1,0 +1,87 @@
+#include "vwire/rether/ring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::rether {
+namespace {
+
+net::MacAddress mac(u32 i) { return net::MacAddress::from_index(i); }
+
+std::vector<net::MacAddress> macs(std::initializer_list<u32> idx) {
+  std::vector<net::MacAddress> out;
+  for (u32 i : idx) out.push_back(mac(i));
+  return out;
+}
+
+TEST(Ring, SuccessorWrapsAround) {
+  Ring r(macs({1, 2, 3, 4}), 1);
+  EXPECT_EQ(r.successor_of(mac(1)), mac(2));
+  EXPECT_EQ(r.successor_of(mac(4)), mac(1));
+  EXPECT_FALSE(r.successor_of(mac(9)));
+}
+
+TEST(Ring, SingleMemberIsItsOwnSuccessor) {
+  Ring r(macs({5}), 1);
+  EXPECT_EQ(r.successor_of(mac(5)), mac(5));
+}
+
+TEST(Ring, RemoveBumpsVersionAndRelinks) {
+  Ring r(macs({1, 2, 3, 4}), 1);
+  r.remove(mac(3));
+  EXPECT_EQ(r.version(), 2u);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.successor_of(mac(2)), mac(4));  // the paper's Fig 6 rewiring
+  EXPECT_FALSE(r.contains(mac(3)));
+}
+
+TEST(Ring, RemoveAbsentIsNoOp) {
+  Ring r(macs({1, 2}), 5);
+  r.remove(mac(9));
+  EXPECT_EQ(r.version(), 5u);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Ring, AddAppendsAndDedupes) {
+  Ring r(macs({1, 2}), 1);
+  r.add(mac(3));
+  EXPECT_EQ(r.version(), 2u);
+  EXPECT_EQ(r.successor_of(mac(2)), mac(3));
+  r.add(mac(3));  // already present
+  EXPECT_EQ(r.version(), 2u);
+}
+
+TEST(Ring, AdoptOnlyNewerVersions) {
+  Ring r(macs({1, 2, 3}), 5);
+  EXPECT_FALSE(r.adopt_if_newer(macs({7, 8}), {0, 0}, 5));
+  EXPECT_FALSE(r.adopt_if_newer(macs({7, 8}), {0, 0}, 4));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.adopt_if_newer(macs({7, 8}), {4, 0}, 6));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.version(), 6u);
+  EXPECT_EQ(r.quota_of(mac(7)), 4);  // reservations travel with the ring
+}
+
+TEST(Ring, QuotaAccounting) {
+  Ring r(macs({1, 2, 3}), 1);
+  EXPECT_EQ(r.total_quota(), 0u);
+  r.set_quota(mac(2), 5);
+  EXPECT_EQ(r.version(), 2u);
+  EXPECT_EQ(r.quota_of(mac(2)), 5);
+  EXPECT_EQ(r.total_quota(), 5u);
+  r.set_quota(mac(2), 5);  // unchanged: version stable
+  EXPECT_EQ(r.version(), 2u);
+  r.set_quota(mac(9), 7);  // non-member: ignored
+  EXPECT_EQ(r.total_quota(), 5u);
+  r.remove(mac(2));        // eviction releases the reservation
+  EXPECT_EQ(r.total_quota(), 0u);
+}
+
+TEST(Ring, LowestMember) {
+  Ring r(macs({3, 1, 2}), 1);
+  EXPECT_EQ(r.lowest(), mac(1));
+  Ring empty;
+  EXPECT_FALSE(empty.lowest());
+}
+
+}  // namespace
+}  // namespace vwire::rether

@@ -1,0 +1,189 @@
+#include "vwire/rll/rll_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rll_test_util.hpp"
+
+namespace vwire::rll {
+namespace {
+
+using testing::RllPair;
+
+TEST(RllHeader, EncapsulateDecapsulateIsIdentity) {
+  Bytes payload = {9, 8, 7, 6, 5};
+  net::Packet original(net::make_frame(net::MacAddress::from_index(1),
+                                       net::MacAddress::from_index(0), 0x9900,
+                                       payload));
+  net::Packet wrapped = encapsulate(original, 42, 17, rll_flags::kAckValid);
+  EXPECT_EQ(wrapped.ethertype(), static_cast<u16>(net::EtherType::kRll));
+  auto hdr = RllHeader::read(wrapped.view(), RllHeader::kOffset);
+  ASSERT_TRUE(hdr);
+  EXPECT_EQ(hdr->seq, 42u);
+  EXPECT_EQ(hdr->ack, 17u);
+  EXPECT_EQ(hdr->orig_ethertype, 0x9900);
+  auto restored = decapsulate(wrapped);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored->bytes(), original.bytes());
+}
+
+TEST(RllHeader, AckFrameParses) {
+  net::Packet ack = make_ack(net::MacAddress::from_index(1),
+                             net::MacAddress::from_index(0), 99);
+  auto hdr = RllHeader::read(ack.view(), RllHeader::kOffset);
+  ASSERT_TRUE(hdr);
+  EXPECT_EQ(hdr->type, RllType::kAck);
+  EXPECT_EQ(hdr->ack, 99u);
+  EXPECT_FALSE(decapsulate(ack));  // acks carry no payload frame
+}
+
+TEST(RllHeader, SeqLess) {
+  EXPECT_TRUE(seq_less(1, 2));
+  EXPECT_FALSE(seq_less(2, 2));
+  EXPECT_FALSE(seq_less(3, 2));
+  // Wraparound.
+  EXPECT_TRUE(seq_less(0xfffffffe, 2));
+  EXPECT_FALSE(seq_less(2, 0xfffffffe));
+}
+
+TEST(RllLayer, LosslessInOrderDelivery) {
+  RllPair p;
+  for (u32 i = 0; i < 20; ++i) p.send(true, i);
+  p.sim.run_until({seconds(1).ns});
+  std::vector<u32> want(20);
+  for (u32 i = 0; i < 20; ++i) want[i] = i;
+  EXPECT_EQ(p.sink_b->payload_seqs(), want);
+  EXPECT_EQ(p.rll_a->stats().retransmits, 0u);
+}
+
+TEST(RllLayer, RecoverFromDroppedDataFrame) {
+  RllPair p;
+  int seen = 0;
+  p.filter_b->drop_rx = [&](const net::Packet& pkt) {
+    if (pkt.ethertype() != static_cast<u16>(net::EtherType::kRll)) {
+      return false;
+    }
+    auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+    if (h && h->type == RllType::kData) {
+      ++seen;
+      return seen == 3;  // kill the third data frame's first copy
+    }
+    return false;
+  };
+  for (u32 i = 0; i < 10; ++i) p.send(true, i);
+  p.sim.run_until({seconds(1).ns});
+  std::vector<u32> want(10);
+  for (u32 i = 0; i < 10; ++i) want[i] = i;
+  EXPECT_EQ(p.sink_b->payload_seqs(), want);
+  EXPECT_GE(p.rll_a->stats().retransmits, 1u);
+  EXPECT_GE(p.rll_b->stats().out_of_order_rx, 1u);
+}
+
+TEST(RllLayer, RecoverFromDroppedAck) {
+  RllPair p;
+  bool dropped_one = false;
+  p.filter_a->drop_rx = [&](const net::Packet& pkt) {
+    auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+    if (h && h->type == RllType::kAck && !dropped_one) {
+      dropped_one = true;
+      return true;
+    }
+    return false;
+  };
+  for (u32 i = 0; i < 6; ++i) p.send(true, i);
+  p.sim.run_until({seconds(1).ns});
+  std::vector<u32> want(6);
+  for (u32 i = 0; i < 6; ++i) want[i] = i;
+  // Exactly-once despite the lost ack causing duplicate data.
+  EXPECT_EQ(p.sink_b->payload_seqs(), want);
+  EXPECT_TRUE(dropped_one);
+}
+
+TEST(RllLayer, DuplicateDataReAckedNotRedelivered) {
+  RllPair p;
+  p.send(true, 7);
+  p.sim.run_until({millis(100).ns});
+  ASSERT_EQ(p.sink_b->frames.size(), 1u);
+  // Force a duplicate by replaying the same sequence from a's side.
+  net::Packet dup = encapsulate(
+      net::Packet(net::make_frame(p.b->mac(), p.a->mac(), 0x1234,
+                                  Bytes{0, 0, 0, 7})),
+      /*seq=*/1, /*ack=*/1, rll_flags::kAckValid);
+  p.a->nic().send_down(std::move(dup));  // inject straight onto the wire
+  p.sim.run_until({millis(200).ns});
+  EXPECT_EQ(p.sink_b->frames.size(), 1u);
+  EXPECT_GE(p.rll_b->stats().duplicates_rx, 1u);
+}
+
+TEST(RllLayer, BroadcastBypassesArq) {
+  RllPair p;
+  Bytes payload(8, 0x11);
+  net::Packet bc(net::make_frame(net::MacAddress::broadcast(), p.a->mac(),
+                                 0x9900, payload));
+  p.rll_a->send_down(std::move(bc));
+  p.sim.run_until({millis(100).ns});
+  ASSERT_EQ(p.sink_b->frames.size(), 1u);
+  EXPECT_EQ(p.sink_b->frames[0].ethertype(), 0x9900);
+  EXPECT_EQ(p.rll_a->stats().passthrough, 1u);
+  EXPECT_EQ(p.rll_a->stats().data_tx, 0u);
+}
+
+TEST(RllLayer, WindowBacklogDrainsCompletely) {
+  RllParams params;
+  params.window = 4;
+  RllPair p(params);
+  for (u32 i = 0; i < 100; ++i) p.send(true, i);
+  p.sim.run_until({seconds(2).ns});
+  EXPECT_EQ(p.sink_b->frames.size(), 100u);
+  EXPECT_EQ(p.rll_a->unacked_frames(), 0u);
+}
+
+TEST(RllLayer, DeadPeerAbortsAfterRetryBudget) {
+  RllParams params;
+  params.max_retry_rounds = 3;
+  RllPair p(params);
+  p.b->fail();
+  for (u32 i = 0; i < 5; ++i) p.send(true, i);
+  p.sim.run_until({seconds(2).ns});
+  EXPECT_EQ(p.rll_a->stats().peers_aborted, 1u);
+  EXPECT_EQ(p.rll_a->unacked_frames(), 0u);
+  EXPECT_TRUE(p.sink_b->frames.empty());
+}
+
+TEST(RllLayer, RecoveredPeerResynchronizesViaReset) {
+  RllParams params;
+  params.max_retry_rounds = 2;
+  RllPair p(params);
+  p.b->fail();
+  for (u32 i = 0; i < 3; ++i) p.send(true, i);
+  p.sim.run_until({seconds(2).ns});
+  ASSERT_EQ(p.rll_a->stats().peers_aborted, 1u);
+  p.b->recover();
+  // Fresh traffic after recovery must flow despite the sequence gap.
+  for (u32 i = 100; i < 105; ++i) p.send(true, i);
+  p.sim.run_until({seconds(4).ns});
+  EXPECT_EQ(p.sink_b->payload_seqs(),
+            (std::vector<u32>{100, 101, 102, 103, 104}));
+}
+
+TEST(RllLayer, PiggybackSuppressesStandaloneAcks) {
+  RllParams chatty;
+  chatty.piggyback = false;
+  chatty.ack_every = 1;
+  RllParams quiet;  // defaults: piggyback on
+  RllPair loud(chatty), soft(quiet);
+  // Bidirectional ping-pong so there is always reverse data to carry acks.
+  for (u32 i = 0; i < 30; ++i) {
+    loud.send(true, i);
+    loud.send(false, i);
+    soft.send(true, i);
+    soft.send(false, i);
+  }
+  loud.sim.run_until({seconds(1).ns});
+  soft.sim.run_until({seconds(1).ns});
+  EXPECT_EQ(loud.sink_b->frames.size(), 30u);
+  EXPECT_EQ(soft.sink_b->frames.size(), 30u);
+  EXPECT_GT(loud.rll_b->stats().acks_tx, soft.rll_b->stats().acks_tx);
+}
+
+}  // namespace
+}  // namespace vwire::rll

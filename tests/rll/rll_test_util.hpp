@@ -1,0 +1,103 @@
+// Fixture for RLL tests: two nodes with RLL layers, an optional
+// deterministic drop layer UNDER the RLL (sees encapsulated wire frames),
+// and a recording sink above it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "vwire/host/node.hpp"
+#include "vwire/phy/switched_lan.hpp"
+#include "vwire/rll/rll_layer.hpp"
+
+namespace vwire::rll::testing {
+
+/// Drops wire frames selected by a predicate; sits below the RLL.
+class WireFilter final : public host::Layer {
+ public:
+  std::string_view name() const override { return "wirefilter"; }
+  void send_down(net::Packet pkt) override {
+    if (drop_tx && drop_tx(pkt)) {
+      ++dropped;
+      return;
+    }
+    pass_down(std::move(pkt));
+  }
+  void receive_up(net::Packet pkt) override {
+    if (drop_rx && drop_rx(pkt)) {
+      ++dropped;
+      return;
+    }
+    pass_up(std::move(pkt));
+  }
+  std::function<bool(const net::Packet&)> drop_tx;
+  std::function<bool(const net::Packet&)> drop_rx;
+  int dropped{0};
+};
+
+/// Records every frame the RLL delivers upward.
+class Sink final : public host::Layer {
+ public:
+  std::string_view name() const override { return "sink"; }
+  void receive_up(net::Packet pkt) override {
+    frames.push_back(std::move(pkt));
+  }
+  std::vector<net::Packet> frames;
+
+  std::vector<u32> payload_seqs() const {
+    std::vector<u32> out;
+    for (const auto& f : frames) {
+      out.push_back(read_u32(f.view(), net::EthernetHeader::kSize));
+    }
+    return out;
+  }
+};
+
+struct RllPair {
+  sim::Simulator sim;
+  std::unique_ptr<phy::SwitchedLan> lan;
+  std::unique_ptr<host::Node> a, b;
+  WireFilter* filter_a{nullptr};
+  WireFilter* filter_b{nullptr};
+  RllLayer* rll_a{nullptr};
+  RllLayer* rll_b{nullptr};
+  Sink* sink_a{nullptr};
+  Sink* sink_b{nullptr};
+
+  explicit RllPair(RllParams params = {}, phy::LinkParams link = {},
+                   u64 seed = 1) {
+    lan = std::make_unique<phy::SwitchedLan>(sim, link, seed);
+    a = std::make_unique<host::Node>(
+        sim, *lan,
+        host::NodeParams{"a", net::MacAddress::from_index(0),
+                         net::Ipv4Address(0x0a000001)});
+    b = std::make_unique<host::Node>(
+        sim, *lan,
+        host::NodeParams{"b", net::MacAddress::from_index(1),
+                         net::Ipv4Address(0x0a000002)});
+    auto wire = [&](host::Node& n) {
+      return static_cast<WireFilter*>(
+          &n.add_layer(std::make_unique<WireFilter>()));
+    };
+    filter_a = wire(*a);
+    filter_b = wire(*b);
+    rll_a = static_cast<RllLayer*>(
+        &a->add_layer(std::make_unique<RllLayer>(sim, params)));
+    rll_b = static_cast<RllLayer*>(
+        &b->add_layer(std::make_unique<RllLayer>(sim, params)));
+    sink_a = static_cast<Sink*>(&a->add_layer(std::make_unique<Sink>()));
+    sink_b = static_cast<Sink*>(&b->add_layer(std::make_unique<Sink>()));
+  }
+
+  /// Sends a numbered test frame from a to b (or b to a).
+  void send(bool from_a, u32 seq, std::size_t size = 200) {
+    Bytes payload(std::max<std::size_t>(size, 4), 0);
+    write_u32(payload, 0, seq);
+    host::Node& src = from_a ? *a : *b;
+    host::Node& dst = from_a ? *b : *a;
+    net::Packet pkt(net::make_frame(dst.mac(), src.mac(), 0x1234, payload));
+    (from_a ? rll_a : rll_b)->send_down(std::move(pkt));
+  }
+};
+
+}  // namespace vwire::rll::testing

@@ -1,0 +1,87 @@
+#include "vwire/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule({30}, [&] { order.push_back(3); });
+  q.schedule({10}, [&] { order.push_back(1); });
+  q.schedule({20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule({100}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelledEventNeverRuns) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule({10}, [&] { ran = true; });
+  q.schedule({20}, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  EventId id = q.schedule({10}, [] {});
+  q.pop_and_run();
+  q.cancel(id);  // must not corrupt the live count
+  EXPECT_TRUE(q.empty());
+  bool ran = false;
+  q.schedule({20}, [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, DoubleCancelIsHarmless) {
+  EventQueue q;
+  EventId id = q.schedule({10}, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.schedule({50}, [] {});
+  EventId early = q.schedule({10}, [] {});
+  EXPECT_EQ(q.next_time().ns, 10);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time().ns, 50);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreSeen) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule({10}, [&] {
+    order.push_back(1);
+    q.schedule({5}, [&] { order.push_back(2); });  // earlier, runs next
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.schedule({123}, [] {});
+  EXPECT_EQ(q.pop_and_run().ns, 123);
+}
+
+}  // namespace
+}  // namespace vwire::sim

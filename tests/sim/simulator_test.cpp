@@ -1,0 +1,95 @@
+#include "vwire/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::sim {
+namespace {
+
+// Regression for the clock bug found during bring-up: a callback must
+// observe its own scheduled time through now(), not the previous event's.
+TEST(Simulator, CallbackSeesItsOwnTime) {
+  Simulator sim;
+  std::vector<i64> observed;
+  for (int i = 0; i < 3; ++i) {
+    sim.after(millis(20 * i), [&] { observed.push_back(sim.now().ns); });
+  }
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<i64>{0, millis(20).ns, millis(40).ns}));
+}
+
+TEST(Simulator, NestedSchedulingUsesCurrentNow) {
+  Simulator sim;
+  TimePoint inner{};
+  sim.after(millis(5), [&] {
+    sim.after(micros(10), [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner.ns, millis(5).ns + micros(10).ns);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.after(millis(1), [&] { ++ran; });
+  sim.after(millis(10), [&] { ++ran; });
+  sim.run_until({millis(5).ns});
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now().ns, millis(5).ns);  // clock advanced to the deadline
+  sim.run_until({millis(20).ns});
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunUntilInSlicesMatchesSingleRun) {
+  Simulator a, b;
+  std::vector<i64> ta, tb;
+  for (int i = 0; i < 5; ++i) {
+    a.after(micros(700 * i + 1), [&a, &ta] { ta.push_back(a.now().ns); });
+    b.after(micros(700 * i + 1), [&b, &tb] { tb.push_back(b.now().ns); });
+  }
+  a.run();
+  for (int k = 0; k < 10; ++k) b.run_until(b.now() + millis(1));
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int ran = 0;
+  sim.after(millis(1), [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.after(millis(2), [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();  // resumes
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.after(millis(3), [&] {
+    TimePoint at_schedule = sim.now();
+    sim.after({-500}, [&, at_schedule] { EXPECT_EQ(sim.now(), at_schedule); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelThroughSimulator) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.after(millis(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.after(micros(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 17u);
+}
+
+}  // namespace
+}  // namespace vwire::sim

@@ -1,0 +1,91 @@
+#include "vwire/sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::sim {
+namespace {
+
+TEST(Timer, FiresOnceAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start(millis(10));
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(sim.now().ns, millis(10).ns);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start(millis(10));
+  sim.after(millis(5), [&] { t.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RestartSupersedesPreviousSchedule) {
+  Simulator sim;
+  std::vector<i64> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now().ns); });
+  t.start(millis(10));
+  sim.after(millis(5), [&] { t.start(millis(10)); });  // push deadline out
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], millis(15).ns);
+}
+
+TEST(Timer, RearmFromItsOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer* tp = nullptr;
+  Timer t(sim, [&] {
+    if (++fired < 3) tp->start(millis(1));
+  });
+  tp = &t;
+  t.start(millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now().ns, millis(3).ns);
+}
+
+TEST(Timer, DeadlineAccessor) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  sim.after(millis(2), [&] {
+    t.start(millis(7));
+    EXPECT_EQ(t.deadline().ns, millis(9).ns);
+  });
+  sim.run();
+}
+
+TEST(Timer, DestructionCancelsCleanly) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.start(millis(1));
+  }
+  sim.run();  // the dead timer's event must be inert
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(QuantizeUp, JiffySemantics) {
+  // The paper: "the granularity of delay can be no less than a jiffy,
+  // i.e. 10 ms" — delays round UP to whole jiffies.
+  EXPECT_EQ(quantize_up(millis(1), kJiffy).ns, millis(10).ns);
+  EXPECT_EQ(quantize_up(millis(10), kJiffy).ns, millis(10).ns);
+  EXPECT_EQ(quantize_up(millis(11), kJiffy).ns, millis(20).ns);
+  EXPECT_EQ(quantize_up(millis(50), kJiffy).ns, millis(50).ns);
+}
+
+TEST(QuantizeUp, DegenerateInputs) {
+  EXPECT_EQ(quantize_up({0}, kJiffy).ns, 0);
+  EXPECT_EQ(quantize_up(millis(5), {0}).ns, millis(5).ns);
+}
+
+}  // namespace
+}  // namespace vwire::sim

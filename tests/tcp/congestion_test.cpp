@@ -1,0 +1,134 @@
+#include "vwire/tcp/congestion.hpp"
+
+#include "vwire/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::tcp {
+namespace {
+
+TEST(Congestion, SlowStartDoublesPerRtt) {
+  CongestionControl cc;
+  EXPECT_EQ(cc.cwnd(), 1u);
+  EXPECT_TRUE(cc.in_slow_start());
+  // One ack per segment: cwnd grows by 1 per ack while below ssthresh.
+  cc.on_new_ack();
+  EXPECT_EQ(cc.cwnd(), 2u);
+  cc.on_new_ack(2);
+  EXPECT_EQ(cc.cwnd(), 4u);
+  cc.on_new_ack(4);
+  EXPECT_EQ(cc.cwnd(), 8u);
+}
+
+TEST(Congestion, TimeoutCollapsesPerPaper) {
+  // "cwnd is reset to 1, and ssthresh drops to half the size of cwnd but
+  //  not less than 2 MSS" (paper §6.1).
+  CongestionParams p;
+  p.initial_cwnd = 1;
+  CongestionControl cc(p);
+  for (int i = 0; i < 9; ++i) cc.on_new_ack();
+  ASSERT_EQ(cc.cwnd(), 10u);
+  cc.on_timeout();
+  EXPECT_EQ(cc.cwnd(), 1u);
+  EXPECT_EQ(cc.ssthresh(), 5u);
+}
+
+TEST(Congestion, SsthreshFloorIsTwo) {
+  CongestionControl cc;  // cwnd = 1
+  cc.on_timeout();
+  EXPECT_EQ(cc.ssthresh(), 2u);  // max(0, 2) — the Fig 5 scenario's value
+  EXPECT_EQ(cc.cwnd(), 1u);
+}
+
+TEST(Congestion, TransitionAtSsthresh) {
+  // The exact behaviour the Fig 5 script verifies: with ssthresh=2 the
+  // window slow-starts to 3 (two acks) and then switches to congestion
+  // avoidance.
+  CongestionParams p;
+  p.initial_cwnd = 1;
+  p.initial_ssthresh = 2;
+  CongestionControl cc(p);
+  cc.on_new_ack();  // cwnd 2 (<= ssthresh: still slow start)
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_new_ack();  // cwnd 3 — crossed
+  EXPECT_EQ(cc.cwnd(), 3u);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(Congestion, CaGrowsOnCwndPlusOneAcks) {
+  // Linux 2.4 / paper Fig 5 semantics: CCNT must EXCEED cwnd, so growth
+  // happens on the (cwnd+1)-th congestion-avoidance ack.
+  CongestionParams p;
+  p.initial_cwnd = 1;
+  p.initial_ssthresh = 2;
+  CongestionControl cc(p);
+  cc.on_new_ack();
+  cc.on_new_ack();  // cwnd = 3, in CA
+  ASSERT_EQ(cc.cwnd(), 3u);
+  cc.on_new_ack();  // ca_acks 1
+  cc.on_new_ack();  // 2
+  cc.on_new_ack();  // 3 == cwnd, still no growth
+  EXPECT_EQ(cc.cwnd(), 3u);
+  cc.on_new_ack();  // 4th ack: grow
+  EXPECT_EQ(cc.cwnd(), 4u);
+  EXPECT_EQ(cc.ca_ack_count(), 0u);
+}
+
+TEST(Congestion, TahoeFastRetransmitResetsToOne) {
+  CongestionParams p;
+  p.flavor = CongestionFlavor::kTahoe;
+  CongestionControl cc(p);
+  for (int i = 0; i < 9; ++i) cc.on_new_ack();
+  cc.on_fast_retransmit();
+  EXPECT_EQ(cc.cwnd(), 1u);
+  EXPECT_EQ(cc.ssthresh(), 5u);
+}
+
+TEST(Congestion, RenoFastRetransmitHalves) {
+  CongestionParams p;
+  p.flavor = CongestionFlavor::kReno;
+  CongestionControl cc(p);
+  for (int i = 0; i < 9; ++i) cc.on_new_ack();
+  cc.on_fast_retransmit();
+  EXPECT_EQ(cc.ssthresh(), 5u);
+  EXPECT_EQ(cc.cwnd(), 5u);
+}
+
+TEST(Congestion, InitialWindowOptions) {
+  for (u32 iw : {1u, 2u, 4u}) {  // RFC-permitted initial windows (paper §6.1)
+    CongestionParams p;
+    p.initial_cwnd = iw;
+    CongestionControl cc(p);
+    EXPECT_EQ(cc.cwnd(), iw);
+  }
+}
+
+// Property: cwnd never exceeds what cumulative acks justify, and never
+// drops below 1.
+class CongestionRandomWalk : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CongestionRandomWalk, CwndStaysSane) {
+  Rng rng(GetParam());
+  CongestionControl cc;
+  u32 acks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double dice = rng.uniform();
+    if (dice < 0.9) {
+      cc.on_new_ack();
+      ++acks;
+    } else if (dice < 0.95) {
+      cc.on_timeout();
+    } else {
+      cc.on_fast_retransmit();
+    }
+    ASSERT_GE(cc.cwnd(), 1u);
+    ASSERT_LE(cc.cwnd(), acks + 4u);
+    ASSERT_GE(cc.ssthresh(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongestionRandomWalk,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace vwire::tcp

@@ -1,0 +1,189 @@
+#include "vwire/tcp/tcp_connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace vwire::tcp {
+namespace {
+
+using testing::TcpPair;
+
+TEST(TcpConnection, HandshakeEstablishesBothSides) {
+  TcpPair p;
+  std::shared_ptr<TcpConnection> server_conn;
+  p.tcp_b->listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+  });
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 80, 45000);
+  bool established = false;
+  client->on_established = [&] { established = true; };
+  p.run_for(seconds(1));
+  EXPECT_TRUE(established);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  ASSERT_TRUE(server_conn);
+  EXPECT_EQ(server_conn->state(), TcpState::kEstablished);
+}
+
+TEST(TcpConnection, DataFlowsBothWays) {
+  TcpPair p;
+  Bytes server_got, client_got;
+  p.tcp_b->listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    c->on_data = [&server_got, cw = std::weak_ptr<TcpConnection>(c)](
+                     BytesView d) {
+      server_got.insert(server_got.end(), d.begin(), d.end());
+      if (auto conn = cw.lock()) {
+        Bytes reply = {'o', 'k'};
+        conn->send(reply);
+      }
+    };
+  });
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 80);
+  client->on_data = [&](BytesView d) {
+    client_got.insert(client_got.end(), d.begin(), d.end());
+  };
+  client->on_established = [&] {
+    Bytes msg = {'h', 'i'};
+    client->send(msg);
+  };
+  p.run_for(seconds(1));
+  EXPECT_EQ(server_got, (Bytes{'h', 'i'}));
+  EXPECT_EQ(client_got, (Bytes{'o', 'k'}));
+}
+
+TEST(TcpConnection, BulkTransferExactBytes) {
+  TcpPair p;
+  BulkSink sink(*p.tcp_b, 80);
+  BulkSender::Params sp;
+  sp.dst_ip = p.tb->node("b").ip();
+  sp.dst_port = 80;
+  sp.total_bytes = 300 * 1000;
+  BulkSender sender(*p.tcp_a, sp);
+  sender.start();
+  p.run_for(seconds(5));
+  EXPECT_TRUE(sender.finished());
+  EXPECT_EQ(sink.bytes_received(), 300'000u);
+}
+
+TEST(TcpConnection, SegmentationRespectsMss) {
+  TcpPair p;
+  BulkSink sink(*p.tcp_b, 80);
+  TcpParams params;
+  params.mss = 536;
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 80, 45000, params);
+  client->on_established = [&] { client->send(Bytes(5000, 0x7e)); };
+  p.run_for(seconds(2));
+  EXPECT_EQ(sink.bytes_received(), 5000u);
+  // No wire frame may exceed MSS worth of TCP payload.
+  auto frames = p.tb->trace().select([](const trace::TraceRecord& r) {
+    auto d = net::decode(r.frame);
+    return d && d->tcp && d->l4_payload_len > 536;
+  });
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(TcpConnection, GracefulCloseBothDirections) {
+  TcpPair p;
+  std::shared_ptr<TcpConnection> server_conn;
+  p.tcp_b->listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+    c->on_peer_closed = [cw = std::weak_ptr<TcpConnection>(c)] {
+      if (auto conn = cw.lock()) conn->close();
+    };
+  });
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 80);
+  bool client_closed = false;
+  client->on_closed = [&] { client_closed = true; };
+  client->on_established = [&] {
+    client->send(Bytes(100, 1));
+    client->close();
+  };
+  p.run_for(seconds(5));
+  // Server reached CLOSE_WAIT via the FIN, closed, client TIME_WAITed out.
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(p.tcp_a->connection_count(), 0u);
+}
+
+TEST(TcpConnection, ConnectToClosedPortGetsReset) {
+  TcpPair p;
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 81);
+  bool closed = false;
+  client->on_closed = [&] { closed = true; };
+  p.run_for(seconds(2));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_GE(p.tcp_b->stats().resets_sent, 1u);
+}
+
+TEST(TcpConnection, SendBufferBackpressure) {
+  TcpPair p;
+  BulkSink sink(*p.tcp_b, 80);
+  TcpParams params;
+  params.send_buffer_limit = 8 * 1024;
+  auto client = p.tcp_a->connect(p.tb->node("b").ip(), 80, 45000, params);
+  std::size_t accepted_at_once = 0;
+  client->on_established = [&] {
+    accepted_at_once = client->send(Bytes(100 * 1024, 0));
+  };
+  p.run_for(seconds(1));
+  EXPECT_EQ(accepted_at_once, 8 * 1024u);  // only the buffer's worth
+  EXPECT_EQ(sink.bytes_received(), 8 * 1024u);
+}
+
+TEST(TcpConnection, EphemeralPortsDistinct) {
+  TcpPair p;
+  BulkSink sink(*p.tcp_b, 80);
+  auto c1 = p.tcp_a->connect(p.tb->node("b").ip(), 80);
+  auto c2 = p.tcp_a->connect(p.tb->node("b").ip(), 80);
+  EXPECT_NE(c1->key().local_port, c2->key().local_port);
+  p.run_for(seconds(1));
+  EXPECT_EQ(c1->state(), TcpState::kEstablished);
+  EXPECT_EQ(c2->state(), TcpState::kEstablished);
+  EXPECT_EQ(sink.connections_accepted(), 2u);
+}
+
+TEST(TcpConnection, DeterministicIssPerTuple) {
+  TcpPair p1, p2;
+  auto c1 = p1.tcp_a->connect(p1.tb->node("b").ip(), 80, 45000);
+  auto c2 = p2.tcp_a->connect(p2.tb->node("b").ip(), 80, 45000);
+  p1.run_for(millis(10));
+  p2.run_for(millis(10));
+  // Same four-tuple in identical testbeds → identical wire trace start.
+  auto syn1 = p1.tb->trace().select(trace::tcp_frames(net::tcp_flags::kSyn));
+  auto syn2 = p2.tb->trace().select(trace::tcp_frames(net::tcp_flags::kSyn));
+  ASSERT_FALSE(syn1.empty());
+  ASSERT_FALSE(syn2.empty());
+  EXPECT_EQ(syn1[0]->frame, syn2[0]->frame);
+}
+
+TEST(TcpConnection, DelayedAckHalvesAckTraffic) {
+  // Two identical transfers; the lazy receiver runs with delayed acks.
+  // The sender's received-segment count is (acks + synack), so it directly
+  // measures the receiver's ack volume.
+  TcpPair quick, lazy;
+  TcpParams lazy_params;
+  lazy_params.delayed_ack = true;
+  lazy.tcp_b = std::make_unique<TcpLayer>(lazy.tb->node("b"), lazy_params);
+  BulkSink s1(*quick.tcp_b, 80), s2(*lazy.tcp_b, 80);
+  BulkSender::Params sp;
+  sp.dst_ip = quick.tb->node("b").ip();
+  sp.dst_port = 80;
+  sp.total_bytes = 200 * 1000;
+  BulkSender send1(*quick.tcp_a, sp);
+  sp.dst_ip = lazy.tb->node("b").ip();
+  BulkSender send2(*lazy.tcp_a, sp);
+  send1.start();
+  send2.start();
+  quick.run_for(seconds(5));
+  lazy.run_for(seconds(5));
+  EXPECT_EQ(s1.bytes_received(), 200'000u);
+  EXPECT_EQ(s2.bytes_received(), 200'000u);
+  // The delayed-ack receiver acknowledges roughly every other segment.
+  u64 acks_quick = send1.connection()->stats().segments_received;
+  u64 acks_lazy = send2.connection()->stats().segments_received;
+  EXPECT_LT(acks_lazy, acks_quick * 3 / 4);
+  EXPECT_GT(acks_lazy, acks_quick / 3);
+}
+
+}  // namespace
+}  // namespace vwire::tcp

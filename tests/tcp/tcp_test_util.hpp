@@ -1,0 +1,64 @@
+// Fixture for TCP tests: two plain nodes (no VirtualWire) with TCP layers,
+// plus helpers to run transfers and inject wire-level faults through a
+// filter layer.
+#pragma once
+
+#include <functional>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/net/decode.hpp"
+#include "vwire/tcp/apps.hpp"
+
+namespace vwire::tcp::testing {
+
+/// Selective wire-frame dropper/mangler for deterministic loss tests.
+class TcpWireFilter final : public host::Layer {
+ public:
+  std::string_view name() const override { return "tcpfilter"; }
+  void send_down(net::Packet pkt) override {
+    if (on_tx && on_tx(pkt)) return;  // consumed
+    pass_down(std::move(pkt));
+  }
+  void receive_up(net::Packet pkt) override {
+    if (on_rx && on_rx(pkt)) return;
+    pass_up(std::move(pkt));
+  }
+  /// Return true to drop the frame.
+  std::function<bool(net::Packet&)> on_tx;
+  std::function<bool(net::Packet&)> on_rx;
+};
+
+struct TcpPair {
+  std::unique_ptr<Testbed> tb;
+  TcpWireFilter* filter_a{nullptr};  ///< on the client node
+  TcpWireFilter* filter_b{nullptr};  ///< on the server node
+  std::unique_ptr<TcpLayer> tcp_a, tcp_b;
+
+  TcpPair() {
+    TestbedConfig cfg;
+    cfg.install_engine = false;
+    cfg.install_rll = false;
+    cfg.install_trace = true;
+    tb = std::make_unique<Testbed>(cfg);
+    tb->add_node("a");
+    tb->add_node("b");
+    filter_a = static_cast<TcpWireFilter*>(
+        &tb->node("a").add_layer(std::make_unique<TcpWireFilter>()));
+    filter_b = static_cast<TcpWireFilter*>(
+        &tb->node("b").add_layer(std::make_unique<TcpWireFilter>()));
+    tcp_a = std::make_unique<TcpLayer>(tb->node("a"));
+    tcp_b = std::make_unique<TcpLayer>(tb->node("b"));
+  }
+
+  sim::Simulator& sim() { return tb->simulator(); }
+  void run_for(Duration d) { sim().run_until(sim().now() + d); }
+};
+
+/// Decodes a wire frame's TCP header if it is a TCP frame.
+inline std::optional<net::TcpHeader> tcp_of(const net::Packet& pkt) {
+  auto d = net::decode(pkt.view());
+  if (!d || !d->tcp) return std::nullopt;
+  return d->tcp;
+}
+
+}  // namespace vwire::tcp::testing

@@ -1,0 +1,127 @@
+#include "vwire/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/net/decode.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire::trace {
+namespace {
+
+net::Packet dummy_frame(u16 ethertype, std::size_t len = 40) {
+  Bytes body(len, 0x5a);
+  return net::Packet(net::make_frame(net::MacAddress::from_index(1),
+                                     net::MacAddress::from_index(0),
+                                     ethertype, body));
+}
+
+TEST(TraceBuffer, RecordsInOrderWithMetadata) {
+  TraceBuffer buf;
+  buf.record({100}, "a", net::Direction::kSend, dummy_frame(0x0800));
+  buf.record({200}, "b", net::Direction::kRecv, dummy_frame(0x9900));
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.records()[0].at.ns, 100);
+  EXPECT_EQ(buf.records()[0].node, "a");
+  EXPECT_EQ(buf.records()[1].dir, net::Direction::kRecv);
+  EXPECT_EQ(net::frame_ethertype(buf.records()[1].frame), 0x9900);
+}
+
+TEST(TraceBuffer, CapacityEvictsOldestFirst) {
+  TraceBuffer buf(100);
+  for (int i = 0; i < 150; ++i) {
+    net::Packet p = dummy_frame(0x0800);
+    write_u16(p.mutable_bytes(), 20, static_cast<u16>(i));
+    buf.record({i}, "n", net::Direction::kSend, p);
+  }
+  EXPECT_LE(buf.size(), 100u);
+  EXPECT_EQ(buf.total_recorded(), 150u);
+  // The newest record survives.
+  EXPECT_EQ(read_u16(buf.records().back().frame, 20), 149);
+}
+
+TEST(TraceBuffer, SelectAndCount) {
+  TraceBuffer buf;
+  for (int i = 0; i < 6; ++i) {
+    buf.record({i}, i % 2 ? "odd" : "even", net::Direction::kSend,
+               dummy_frame(i % 2 ? 0x9900 : 0x0800));
+  }
+  EXPECT_EQ(buf.count(ethertype_frames(0x9900)), 3u);
+  auto evens = buf.select(
+      [](const TraceRecord& r) { return r.node == "even"; });
+  EXPECT_EQ(evens.size(), 3u);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer buf;
+  buf.record({1}, "n", net::Direction::kSend, dummy_frame(0x0800));
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.total_recorded(), 0u);
+}
+
+TEST(TraceBuffer, FormatRecordLine) {
+  TraceBuffer buf;
+  buf.record({1'500'000}, "node1", net::Direction::kRecv,
+             dummy_frame(0x9900));
+  std::string line = format_record(buf.records()[0]);
+  EXPECT_NE(line.find("0.001500"), std::string::npos);
+  EXPECT_NE(line.find("node1"), std::string::npos);
+  EXPECT_NE(line.find("RECV"), std::string::npos);
+  EXPECT_NE(line.find("0x9900"), std::string::npos);
+}
+
+TEST(TapLayer, CapturesLiveTrafficBothDirections) {
+  TestbedConfig cfg;
+  cfg.install_engine = false;
+  cfg.install_rll = false;
+  Testbed tb(cfg);
+  tb.add_node("a");
+  tb.add_node("b");
+  udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+  ub.bind(9, [&](net::Ipv4Address src, u16 sp, BytesView pl) {
+    ub.send(src, sp, 9, pl);
+  });
+  ua.send(tb.node("b").ip(), 9, 30000, Bytes(8, 0));
+  tb.simulator().run();
+
+  // 4 observations: a SEND, b RECV, b SEND, a RECV.
+  EXPECT_EQ(tb.trace().size(), 4u);
+  EXPECT_EQ(tb.trace().count([](const TraceRecord& r) {
+              return r.dir == net::Direction::kSend;
+            }),
+            2u);
+  std::string dump = tb.trace().dump();
+  EXPECT_NE(dump.find("udp len=8"), std::string::npos);
+}
+
+TEST(TapLayer, TcpPredicateHelpers) {
+  TraceBuffer buf;
+  // Compose a SYN frame via the helper in net tests' style.
+  Bytes l4(net::TcpHeader::kSize);
+  net::TcpHeader t;
+  t.src_port = 24576;
+  t.dst_port = 16384;
+  t.flags = net::tcp_flags::kSyn;
+  net::Ipv4Address src(1), dst(2);
+  t.write(l4, 0, {}, src, dst);
+  Bytes ip_l4(net::Ipv4Header::kSize + l4.size());
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<u16>(ip_l4.size());
+  ip.protocol = 6;
+  ip.src = src;
+  ip.dst = dst;
+  ip.write(ip_l4);
+  std::copy(l4.begin(), l4.end(), ip_l4.begin() + net::Ipv4Header::kSize);
+  buf.record({0}, "n", net::Direction::kSend,
+             net::Packet(net::make_frame(
+                 net::MacAddress::from_index(1), net::MacAddress::from_index(0),
+                 static_cast<u16>(net::EtherType::kIpv4), ip_l4)));
+  EXPECT_EQ(buf.count(tcp_frames(net::tcp_flags::kSyn)), 1u);
+  EXPECT_EQ(buf.count(tcp_frames(net::tcp_flags::kSyn, 24576, 16384)), 1u);
+  EXPECT_EQ(buf.count(tcp_frames(net::tcp_flags::kSyn, 9, 0)), 0u);
+  EXPECT_EQ(buf.count(tcp_frames(net::tcp_flags::kAck)), 0u);
+}
+
+}  // namespace
+}  // namespace vwire::trace

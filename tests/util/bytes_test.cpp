@@ -1,0 +1,85 @@
+#include "vwire/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire {
+namespace {
+
+TEST(Bytes, ScalarRoundTrip) {
+  Bytes buf(16, 0);
+  write_u8(buf, 0, 0xab);
+  write_u16(buf, 1, 0x1234);
+  write_u32(buf, 3, 0xdeadbeef);
+  write_u64(buf, 7, 0x0123456789abcdefull);
+  EXPECT_EQ(read_u8(buf, 0), 0xab);
+  EXPECT_EQ(read_u16(buf, 1), 0x1234);
+  EXPECT_EQ(read_u32(buf, 3), 0xdeadbeefu);
+  EXPECT_EQ(read_u64(buf, 7), 0x0123456789abcdefull);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  Bytes buf(4, 0);
+  write_u32(buf, 0, 0x11223344);
+  EXPECT_EQ(buf[0], 0x11);
+  EXPECT_EQ(buf[1], 0x22);
+  EXPECT_EQ(buf[2], 0x33);
+  EXPECT_EQ(buf[3], 0x44);
+}
+
+TEST(ByteWriter, AppendsInOrder) {
+  ByteWriter w;
+  w.u8v(1);
+  w.u16v(0x0203);
+  w.u32v(0x04050607);
+  ASSERT_EQ(w.bytes().size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(w.bytes()[i], i + 1);
+  }
+}
+
+TEST(ByteWriter, StringWithLengthPrefix) {
+  ByteWriter w;
+  w.str("hi");
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(read_u16(w.bytes(), 0), 2);
+  EXPECT_EQ(w.bytes()[2], 'h');
+}
+
+TEST(ByteReader, RoundTripsWriter) {
+  ByteWriter w;
+  w.u8v(7);
+  w.u64v(0xfeedfacecafebeefull);
+  w.str("virtualwire");
+  w.u32v(42);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8v(), 7);
+  EXPECT_EQ(r.u64v(), 0xfeedfacecafebeefull);
+  EXPECT_EQ(r.str(), "virtualwire");
+  EXPECT_EQ(r.u32v(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  ByteWriter w;
+  w.u16v(0x1234);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16v(), 0x1234);
+  EXPECT_THROW(r.u8v(), std::out_of_range);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedString) {
+  Bytes bad = {0x00, 0x10, 'x'};  // claims 16 bytes, has 1
+  ByteReader r(bad);
+  EXPECT_THROW(r.str(), std::out_of_range);
+}
+
+TEST(ByteReader, RawSlices) {
+  Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  Bytes first = r.raw(2);
+  EXPECT_EQ(first, (Bytes{1, 2}));
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace vwire

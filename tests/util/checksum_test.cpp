@@ -1,0 +1,71 @@
+#include "vwire/util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire {
+namespace {
+
+// RFC 1071's worked example.
+TEST(InternetChecksum, Rfc1071Example) {
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x00010 + ... folded; RFC gives the one's complement 0x220d for
+  // sum 0xddf2.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, VerificationSumsToZero) {
+  Bytes data = {0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00,
+                0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                0x0a, 0x00, 0x00, 0x02};
+  u16 sum = internet_checksum(data);
+  data[10] = static_cast<u8>(sum >> 8);
+  data[11] = static_cast<u8>(sum);
+  // Including a correct checksum, the complement-sum is zero.
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(InternetChecksum, OddLengthHandled) {
+  Bytes odd = {0xab, 0xcd, 0xef};
+  // Last byte padded with zero: sum = 0xabcd + 0xef00.
+  u32 sum = 0xabcd + 0xef00;
+  sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(internet_checksum(odd), static_cast<u16>(~sum & 0xffff));
+}
+
+TEST(InternetChecksum, DetectsSingleByteCorruption) {
+  Bytes data(40, 0x5c);
+  u16 good = internet_checksum(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(internet_checksum(data), good);
+}
+
+TEST(InternetChecksum, PartialComposition) {
+  Bytes a = {0x12, 0x34};
+  Bytes b = {0x56, 0x78};
+  Bytes joined = {0x12, 0x34, 0x56, 0x78};
+  u32 acc = checksum_partial(a);
+  acc = checksum_partial(b, acc);
+  EXPECT_EQ(checksum_finish(acc), internet_checksum(joined));
+}
+
+// Standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+TEST(Crc32, StandardCheckValue) {
+  const char* s = "123456789";
+  Bytes data(s, s + 9);
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, SensitiveToEveryBit) {
+  Bytes data(64, 0x00);
+  u32 base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 13) {
+    Bytes mutated = data;
+    mutated[i] ^= 0x80;
+    EXPECT_NE(crc32(mutated), base) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vwire

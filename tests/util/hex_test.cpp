@@ -1,0 +1,61 @@
+#include "vwire/util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire {
+namespace {
+
+TEST(ParseHex, AcceptsPrefixedAndBare) {
+  EXPECT_EQ(parse_hex("0x6000"), 0x6000u);
+  EXPECT_EQ(parse_hex("6000"), 0x6000u);
+  EXPECT_EQ(parse_hex("0xAbCd"), 0xabcdu);
+  EXPECT_EQ(parse_hex("0"), 0u);
+}
+
+TEST(ParseHex, RejectsGarbage) {
+  EXPECT_FALSE(parse_hex(""));
+  EXPECT_FALSE(parse_hex("0x"));
+  EXPECT_FALSE(parse_hex("0xg1"));
+  EXPECT_FALSE(parse_hex("12 34"));
+  EXPECT_FALSE(parse_hex("0x11223344556677889"));  // > 64 bits
+}
+
+TEST(ParseHex, Full64Bits) {
+  EXPECT_EQ(parse_hex("0xffffffffffffffff"), ~0ull);
+}
+
+TEST(ParseDec, Basics) {
+  EXPECT_EQ(parse_dec("0"), 0u);
+  EXPECT_EQ(parse_dec("1000"), 1000u);
+  EXPECT_FALSE(parse_dec(""));
+  EXPECT_FALSE(parse_dec("12a"));
+  EXPECT_FALSE(parse_dec("-3"));
+}
+
+TEST(ParseDec, OverflowRejected) {
+  EXPECT_EQ(parse_dec("18446744073709551615"), ~0ull);
+  EXPECT_FALSE(parse_dec("18446744073709551616"));
+}
+
+TEST(ToHex, WidthPadding) {
+  EXPECT_EQ(to_hex(0x1a), "0x1a");
+  EXPECT_EQ(to_hex(0x1a, 4), "0x001a");
+  EXPECT_EQ(to_hex(0, 2), "0x00");
+}
+
+TEST(HexBytes, Format) {
+  Bytes b = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(hex_bytes(b), "de ad be ef");
+  EXPECT_EQ(hex_bytes({}), "");
+}
+
+TEST(Hexdump, LineStructure) {
+  Bytes b(20, 0x41);  // 'A'
+  std::string dump = hexdump(b);
+  // Two lines: 16 + 4 bytes, ASCII gutters present.
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAA|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwire

@@ -1,0 +1,88 @@
+#include "vwire/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    u64 va = a.next(), vb = b.next(), vc = c.next();
+    all_equal = all_equal && va == vb;
+    any_diff = any_diff || va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(1), 0u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    i64 v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(42);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  u64 s = 0;
+  u64 first = splitmix64(s);
+  u64 second = splitmix64(s);
+  // Regression pin: deterministic replay depends on these not changing.
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFull);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace vwire
