@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rether_rt.dir/bench_ablation_rether_rt.cpp.o"
+  "CMakeFiles/bench_ablation_rether_rt.dir/bench_ablation_rether_rt.cpp.o.d"
+  "bench_ablation_rether_rt"
+  "bench_ablation_rether_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rether_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rll.dir/bench_ablation_rll.cpp.o"
+  "CMakeFiles/bench_ablation_rll.dir/bench_ablation_rll.cpp.o.d"
+  "bench_ablation_rll"
+  "bench_ablation_rll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

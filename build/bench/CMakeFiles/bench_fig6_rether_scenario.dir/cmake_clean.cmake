@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rether_scenario.dir/bench_fig6_rether_scenario.cpp.o"
+  "CMakeFiles/bench_fig6_rether_scenario.dir/bench_fig6_rether_scenario.cpp.o.d"
+  "bench_fig6_rether_scenario"
+  "bench_fig6_rether_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rether_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

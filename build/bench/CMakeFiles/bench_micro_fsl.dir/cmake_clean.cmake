@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fsl.dir/bench_micro_fsl.cpp.o"
+  "CMakeFiles/bench_micro_fsl.dir/bench_micro_fsl.cpp.o.d"
+  "bench_micro_fsl"
+  "bench_micro_fsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

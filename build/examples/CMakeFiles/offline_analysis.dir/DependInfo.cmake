@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/offline_analysis.cpp" "examples/CMakeFiles/offline_analysis.dir/offline_analysis.cpp.o" "gcc" "examples/CMakeFiles/offline_analysis.dir/offline_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_rll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_rether.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

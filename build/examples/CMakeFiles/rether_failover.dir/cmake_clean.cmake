@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rether_failover.dir/rether_failover.cpp.o"
+  "CMakeFiles/rether_failover.dir/rether_failover.cpp.o.d"
+  "rether_failover"
+  "rether_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rether_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

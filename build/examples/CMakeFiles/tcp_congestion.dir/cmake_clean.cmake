@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_congestion.dir/tcp_congestion.cpp.o"
+  "CMakeFiles/tcp_congestion.dir/tcp_congestion.cpp.o.d"
+  "tcp_congestion"
+  "tcp_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vwire/core/analysis/offline.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/analysis/offline.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/analysis/offline.cpp.o.d"
+  "/root/repo/src/vwire/core/api/scenario_runner.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/api/scenario_runner.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/api/scenario_runner.cpp.o.d"
+  "/root/repo/src/vwire/core/api/testbed.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/api/testbed.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/api/testbed.cpp.o.d"
+  "/root/repo/src/vwire/core/control/agent.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/control/agent.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/control/agent.cpp.o.d"
+  "/root/repo/src/vwire/core/control/controller.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/control/controller.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/control/controller.cpp.o.d"
+  "/root/repo/src/vwire/core/control/messages.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/control/messages.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/control/messages.cpp.o.d"
+  "/root/repo/src/vwire/core/engine/actions.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/engine/actions.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/engine/actions.cpp.o.d"
+  "/root/repo/src/vwire/core/engine/classifier.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/engine/classifier.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/engine/classifier.cpp.o.d"
+  "/root/repo/src/vwire/core/engine/engine.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/engine/engine.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/engine/engine.cpp.o.d"
+  "/root/repo/src/vwire/core/fsl/ast.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/ast.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/ast.cpp.o.d"
+  "/root/repo/src/vwire/core/fsl/compiler.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/compiler.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/compiler.cpp.o.d"
+  "/root/repo/src/vwire/core/fsl/diagnostics.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/diagnostics.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/diagnostics.cpp.o.d"
+  "/root/repo/src/vwire/core/fsl/lexer.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/lexer.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/lexer.cpp.o.d"
+  "/root/repo/src/vwire/core/fsl/parser.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/parser.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/fsl/parser.cpp.o.d"
+  "/root/repo/src/vwire/core/gen/script_gen.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/gen/script_gen.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/gen/script_gen.cpp.o.d"
+  "/root/repo/src/vwire/core/tables/serialize.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/tables/serialize.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/tables/serialize.cpp.o.d"
+  "/root/repo/src/vwire/core/tables/tables.cpp" "src/CMakeFiles/vw_core.dir/vwire/core/tables/tables.cpp.o" "gcc" "src/CMakeFiles/vw_core.dir/vwire/core/tables/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vw_rll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_rether.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvw_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_host.dir/vwire/host/ip_layer.cpp.o"
+  "CMakeFiles/vw_host.dir/vwire/host/ip_layer.cpp.o.d"
+  "CMakeFiles/vw_host.dir/vwire/host/layer.cpp.o"
+  "CMakeFiles/vw_host.dir/vwire/host/layer.cpp.o.d"
+  "CMakeFiles/vw_host.dir/vwire/host/nic.cpp.o"
+  "CMakeFiles/vw_host.dir/vwire/host/nic.cpp.o.d"
+  "CMakeFiles/vw_host.dir/vwire/host/node.cpp.o"
+  "CMakeFiles/vw_host.dir/vwire/host/node.cpp.o.d"
+  "libvw_host.a"
+  "libvw_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

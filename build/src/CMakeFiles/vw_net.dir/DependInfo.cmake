@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vwire/net/address.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/address.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/address.cpp.o.d"
+  "/root/repo/src/vwire/net/decode.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/decode.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/decode.cpp.o.d"
+  "/root/repo/src/vwire/net/ethernet.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/ethernet.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/ethernet.cpp.o.d"
+  "/root/repo/src/vwire/net/ipv4.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/ipv4.cpp.o.d"
+  "/root/repo/src/vwire/net/packet.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/packet.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/packet.cpp.o.d"
+  "/root/repo/src/vwire/net/tcp_header.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/tcp_header.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/tcp_header.cpp.o.d"
+  "/root/repo/src/vwire/net/udp_header.cpp" "src/CMakeFiles/vw_net.dir/vwire/net/udp_header.cpp.o" "gcc" "src/CMakeFiles/vw_net.dir/vwire/net/udp_header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

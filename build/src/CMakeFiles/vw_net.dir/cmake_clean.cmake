@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_net.dir/vwire/net/address.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/address.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/decode.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/decode.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/ethernet.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/ethernet.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/ipv4.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/ipv4.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/packet.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/packet.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/tcp_header.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/tcp_header.cpp.o.d"
+  "CMakeFiles/vw_net.dir/vwire/net/udp_header.cpp.o"
+  "CMakeFiles/vw_net.dir/vwire/net/udp_header.cpp.o.d"
+  "libvw_net.a"
+  "libvw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vwire/phy/bit_error.cpp" "src/CMakeFiles/vw_phy.dir/vwire/phy/bit_error.cpp.o" "gcc" "src/CMakeFiles/vw_phy.dir/vwire/phy/bit_error.cpp.o.d"
+  "/root/repo/src/vwire/phy/medium.cpp" "src/CMakeFiles/vw_phy.dir/vwire/phy/medium.cpp.o" "gcc" "src/CMakeFiles/vw_phy.dir/vwire/phy/medium.cpp.o.d"
+  "/root/repo/src/vwire/phy/shared_bus.cpp" "src/CMakeFiles/vw_phy.dir/vwire/phy/shared_bus.cpp.o" "gcc" "src/CMakeFiles/vw_phy.dir/vwire/phy/shared_bus.cpp.o.d"
+  "/root/repo/src/vwire/phy/switched_lan.cpp" "src/CMakeFiles/vw_phy.dir/vwire/phy/switched_lan.cpp.o" "gcc" "src/CMakeFiles/vw_phy.dir/vwire/phy/switched_lan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_phy.dir/vwire/phy/bit_error.cpp.o"
+  "CMakeFiles/vw_phy.dir/vwire/phy/bit_error.cpp.o.d"
+  "CMakeFiles/vw_phy.dir/vwire/phy/medium.cpp.o"
+  "CMakeFiles/vw_phy.dir/vwire/phy/medium.cpp.o.d"
+  "CMakeFiles/vw_phy.dir/vwire/phy/shared_bus.cpp.o"
+  "CMakeFiles/vw_phy.dir/vwire/phy/shared_bus.cpp.o.d"
+  "CMakeFiles/vw_phy.dir/vwire/phy/switched_lan.cpp.o"
+  "CMakeFiles/vw_phy.dir/vwire/phy/switched_lan.cpp.o.d"
+  "libvw_phy.a"
+  "libvw_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

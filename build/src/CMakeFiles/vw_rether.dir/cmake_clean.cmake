@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_rether.dir/vwire/rether/rether_frame.cpp.o"
+  "CMakeFiles/vw_rether.dir/vwire/rether/rether_frame.cpp.o.d"
+  "CMakeFiles/vw_rether.dir/vwire/rether/rether_layer.cpp.o"
+  "CMakeFiles/vw_rether.dir/vwire/rether/rether_layer.cpp.o.d"
+  "CMakeFiles/vw_rether.dir/vwire/rether/ring.cpp.o"
+  "CMakeFiles/vw_rether.dir/vwire/rether/ring.cpp.o.d"
+  "libvw_rether.a"
+  "libvw_rether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_rether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

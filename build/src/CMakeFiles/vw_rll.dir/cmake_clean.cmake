@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_rll.dir/vwire/rll/rll_header.cpp.o"
+  "CMakeFiles/vw_rll.dir/vwire/rll/rll_header.cpp.o.d"
+  "CMakeFiles/vw_rll.dir/vwire/rll/rll_layer.cpp.o"
+  "CMakeFiles/vw_rll.dir/vwire/rll/rll_layer.cpp.o.d"
+  "libvw_rll.a"
+  "libvw_rll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_rll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_sim.dir/vwire/sim/event_queue.cpp.o"
+  "CMakeFiles/vw_sim.dir/vwire/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vw_sim.dir/vwire/sim/simulator.cpp.o"
+  "CMakeFiles/vw_sim.dir/vwire/sim/simulator.cpp.o.d"
+  "CMakeFiles/vw_sim.dir/vwire/sim/timer.cpp.o"
+  "CMakeFiles/vw_sim.dir/vwire/sim/timer.cpp.o.d"
+  "libvw_sim.a"
+  "libvw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

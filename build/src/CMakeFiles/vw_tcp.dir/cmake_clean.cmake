@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/apps.cpp.o"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/apps.cpp.o.d"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/congestion.cpp.o"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/congestion.cpp.o.d"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/tcp_connection.cpp.o"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/tcp_connection.cpp.o.d"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/tcp_layer.cpp.o"
+  "CMakeFiles/vw_tcp.dir/vwire/tcp/tcp_layer.cpp.o.d"
+  "libvw_tcp.a"
+  "libvw_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

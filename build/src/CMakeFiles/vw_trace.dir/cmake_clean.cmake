@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_trace.dir/vwire/trace/pcap.cpp.o"
+  "CMakeFiles/vw_trace.dir/vwire/trace/pcap.cpp.o.d"
+  "CMakeFiles/vw_trace.dir/vwire/trace/summary.cpp.o"
+  "CMakeFiles/vw_trace.dir/vwire/trace/summary.cpp.o.d"
+  "CMakeFiles/vw_trace.dir/vwire/trace/trace.cpp.o"
+  "CMakeFiles/vw_trace.dir/vwire/trace/trace.cpp.o.d"
+  "libvw_trace.a"
+  "libvw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

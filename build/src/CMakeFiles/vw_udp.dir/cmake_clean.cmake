@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_udp.dir/vwire/udp/echo.cpp.o"
+  "CMakeFiles/vw_udp.dir/vwire/udp/echo.cpp.o.d"
+  "CMakeFiles/vw_udp.dir/vwire/udp/udp_layer.cpp.o"
+  "CMakeFiles/vw_udp.dir/vwire/udp/udp_layer.cpp.o.d"
+  "libvw_udp.a"
+  "libvw_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

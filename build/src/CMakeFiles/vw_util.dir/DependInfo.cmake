@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vwire/util/bytes.cpp" "src/CMakeFiles/vw_util.dir/vwire/util/bytes.cpp.o" "gcc" "src/CMakeFiles/vw_util.dir/vwire/util/bytes.cpp.o.d"
+  "/root/repo/src/vwire/util/checksum.cpp" "src/CMakeFiles/vw_util.dir/vwire/util/checksum.cpp.o" "gcc" "src/CMakeFiles/vw_util.dir/vwire/util/checksum.cpp.o.d"
+  "/root/repo/src/vwire/util/hex.cpp" "src/CMakeFiles/vw_util.dir/vwire/util/hex.cpp.o" "gcc" "src/CMakeFiles/vw_util.dir/vwire/util/hex.cpp.o.d"
+  "/root/repo/src/vwire/util/logging.cpp" "src/CMakeFiles/vw_util.dir/vwire/util/logging.cpp.o" "gcc" "src/CMakeFiles/vw_util.dir/vwire/util/logging.cpp.o.d"
+  "/root/repo/src/vwire/util/rng.cpp" "src/CMakeFiles/vw_util.dir/vwire/util/rng.cpp.o" "gcc" "src/CMakeFiles/vw_util.dir/vwire/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_util.dir/vwire/util/bytes.cpp.o"
+  "CMakeFiles/vw_util.dir/vwire/util/bytes.cpp.o.d"
+  "CMakeFiles/vw_util.dir/vwire/util/checksum.cpp.o"
+  "CMakeFiles/vw_util.dir/vwire/util/checksum.cpp.o.d"
+  "CMakeFiles/vw_util.dir/vwire/util/hex.cpp.o"
+  "CMakeFiles/vw_util.dir/vwire/util/hex.cpp.o.d"
+  "CMakeFiles/vw_util.dir/vwire/util/logging.cpp.o"
+  "CMakeFiles/vw_util.dir/vwire/util/logging.cpp.o.d"
+  "CMakeFiles/vw_util.dir/vwire/util/rng.cpp.o"
+  "CMakeFiles/vw_util.dir/vwire/util/rng.cpp.o.d"
+  "libvw_util.a"
+  "libvw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsl_test.dir/fsl/compiler_test.cpp.o"
+  "CMakeFiles/fsl_test.dir/fsl/compiler_test.cpp.o.d"
+  "CMakeFiles/fsl_test.dir/fsl/lexer_test.cpp.o"
+  "CMakeFiles/fsl_test.dir/fsl/lexer_test.cpp.o.d"
+  "CMakeFiles/fsl_test.dir/fsl/paper_listings_test.cpp.o"
+  "CMakeFiles/fsl_test.dir/fsl/paper_listings_test.cpp.o.d"
+  "CMakeFiles/fsl_test.dir/fsl/parser_test.cpp.o"
+  "CMakeFiles/fsl_test.dir/fsl/parser_test.cpp.o.d"
+  "CMakeFiles/fsl_test.dir/fsl/serialize_test.cpp.o"
+  "CMakeFiles/fsl_test.dir/fsl/serialize_test.cpp.o.d"
+  "fsl_test"
+  "fsl_test.pdb"
+  "fsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

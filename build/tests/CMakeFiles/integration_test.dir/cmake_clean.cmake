@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/distributed_rules_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/distributed_rules_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fault_matrix_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fault_matrix_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/scenario_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/scenario_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/tcp_fault_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/tcp_fault_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/var_filter_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/var_filter_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rether_test.dir/rether/rether_frame_test.cpp.o"
+  "CMakeFiles/rether_test.dir/rether/rether_frame_test.cpp.o.d"
+  "CMakeFiles/rether_test.dir/rether/rether_test.cpp.o"
+  "CMakeFiles/rether_test.dir/rether/rether_test.cpp.o.d"
+  "CMakeFiles/rether_test.dir/rether/ring_test.cpp.o"
+  "CMakeFiles/rether_test.dir/rether/ring_test.cpp.o.d"
+  "rether_test"
+  "rether_test.pdb"
+  "rether_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rether_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_test.dir/rll/rll_property_test.cpp.o"
+  "CMakeFiles/rll_test.dir/rll/rll_property_test.cpp.o.d"
+  "CMakeFiles/rll_test.dir/rll/rll_test.cpp.o"
+  "CMakeFiles/rll_test.dir/rll/rll_test.cpp.o.d"
+  "rll_test"
+  "rll_test.pdb"
+  "rll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
