@@ -45,7 +45,9 @@ Outcome run(bool remote_action) {
       tb.node_table_fsl() + scenario;
 
   control::Controller ctrl(tb.simulator(), tb.managed_nodes(), "a");
-  ctrl.arm(fsl::compile_script(script));
+  control::RunOptions opts;
+  opts.heartbeat_period = {};  // no liveness beacons in the measurement
+  ctrl.arm(fsl::compile_script(script), opts);
 
   u64 ctl_before = tb.handles("a").agent->stats().rx_messages +
                    tb.handles("b").agent->stats().rx_messages +

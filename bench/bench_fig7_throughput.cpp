@@ -53,7 +53,9 @@ double run_tcp_mbps(bool with_virtualwire, double offered_mbps) {
                                              "node2", 25);
     ctrl = std::make_unique<control::Controller>(sim, tb.managed_nodes(),
                                                  "node1");
-    ctrl->arm(fsl::compile_script(script));
+    control::RunOptions opts;
+    opts.heartbeat_period = {};  // no liveness beacons in the measurement
+    ctrl->arm(fsl::compile_script(script), opts);
   }
   sender.start();
 

@@ -49,7 +49,9 @@ double run_echo_rtt_us(TestbedConfig cfg, const std::string& script) {
     core::TableSet tables = fsl::compile_script(script);
     control::Controller ctrl(s.tb.simulator(), s.tb.managed_nodes(),
                              "client");
-    ctrl.arm(tables);
+    control::RunOptions opts;
+    opts.heartbeat_period = {};  // no liveness beacons in the measurement
+    ctrl.arm(tables, opts);
     s.client->start();
     s.tb.simulator().run_until(s.tb.simulator().now() + seconds(2));
   } else {

@@ -1,5 +1,8 @@
 #include "vwire/core/api/scenario_runner.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace vwire {
 
 ScenarioRunner::ScenarioRunner(Testbed& testbed) : testbed_(testbed) {}
@@ -32,13 +35,31 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   copts.scenario = spec.scenario;
   core::TableSet tables = fsl::compile_script(spec.script, copts);
   validate_nodes(tables);
+  for (const NodeCrash& c : spec.crashes) {
+    const std::vector<std::string>& names = testbed_.node_names();
+    if (std::find(names.begin(), names.end(), c.node) == names.end()) {
+      throw std::invalid_argument("ScenarioSpec::crashes names unknown node '" +
+                                  c.node + "'");
+    }
+  }
 
   std::string control = spec.control_node.empty()
                             ? testbed_.node_names().front()
                             : spec.control_node;
   controller_ = std::make_unique<control::Controller>(
       testbed_.simulator(), testbed_.managed_nodes(), control);
-  controller_->arm(tables);
+  controller_->arm(tables, spec.options);
+
+  // Schedule whole-node faults relative to the (post-arm) start of the run.
+  sim::Simulator& sim = testbed_.simulator();
+  for (const NodeCrash& c : spec.crashes) {
+    host::Node* n = &testbed_.node(c.node);
+    sim.at(sim.now() + c.at, [n] { n->crash(); });
+    if (c.recover_at > c.at) {
+      sim.at(sim.now() + c.recover_at, [n] { n->recover(); });
+    }
+  }
+
   if (spec.workload) spec.workload();
   return controller_->run(spec.options);
 }

@@ -12,6 +12,17 @@
 
 namespace vwire {
 
+/// A scheduled whole-node fault: at simulated time `at` (measured from the
+/// start of supervision) the node crashes — NIC silenced, queued traffic in
+/// every layer dropped.  If `recover_at` is later than `at`, the node comes
+/// back then and rejoins (RLL links resynchronize via the kReset announce;
+/// heartbeats resume).  With `recover_at <= at` the node stays down.
+struct NodeCrash {
+  std::string node;
+  Duration at{};
+  Duration recover_at{};
+};
+
 struct ScenarioSpec {
   /// FSL source (FILTER_TABLE / NODE_TABLE / SCENARIO sections).
   std::string script;
@@ -22,6 +33,8 @@ struct ScenarioSpec {
   /// Started after the engines are armed, before supervision begins —
   /// connect TCP flows, start token rings, launch echo clients here.
   std::function<void()> workload;
+  /// Whole-node crash/recover faults to inject during the run.
+  std::vector<NodeCrash> crashes;
   control::RunOptions options{};
 };
 

@@ -18,8 +18,71 @@ void ControlAgent::receive_up(net::Packet pkt) {
   if (!eth || (!(eth->dst == node_->mac()) && !eth->dst.is_broadcast())) {
     return;  // not for us
   }
+  BytesView payload = pkt.l3_payload();
+  if (fencing_) {
+    auto env = peek(payload);
+    if (!env) {
+      ++stats_.rx_malformed;
+      return;
+    }
+    if (is_epoch_fenced(env->type)) {
+      if (env->epoch != epoch_) {
+        ++stats_.rx_dropped_stale;
+        return;
+      }
+      u32& last = last_seq_[eth->src];
+      if (env->seq <= last) {
+        ++stats_.rx_dropped_dup;
+        return;
+      }
+      last = env->seq;
+    }
+  }
   ++stats_.rx_messages;
-  if (handler_) handler_(eth->src, pkt.l3_payload());
+  if (handler_) handler_(eth->src, payload);
+}
+
+void ControlAgent::set_epoch(u32 epoch) {
+  fencing_ = true;
+  if (epoch != epoch_) {
+    epoch_ = epoch;
+    last_seq_.clear();
+  }
+}
+
+void ControlAgent::start_heartbeats(const net::MacAddress& to,
+                                    core::NodeId self_id, Duration period) {
+  if (period.ns <= 0 || node_ == nullptr) return;
+  hb_target_ = to;
+  hb_self_ = self_id;
+  hb_period_ = period;
+  hb_configured_ = true;
+  if (!hb_timer_) {
+    hb_timer_.emplace(node_->simulator(), [this] { send_heartbeat(); });
+  }
+  send_heartbeat();
+}
+
+void ControlAgent::send_heartbeat() {
+  ControlMessage msg = make_heartbeat(hb_self_);
+  msg.epoch = epoch_;
+  msg.seq = next_seq();
+  ++stats_.heartbeats_tx;
+  send_to(hb_target_, encode(msg));
+  hb_timer_->start(hb_period_);
+}
+
+void ControlAgent::stop_heartbeats() {
+  hb_configured_ = false;
+  if (hb_timer_) hb_timer_->cancel();
+}
+
+void ControlAgent::on_node_crash() {
+  if (hb_timer_) hb_timer_->cancel();
+}
+
+void ControlAgent::on_node_recover() {
+  if (hb_configured_ && hb_timer_ && !hb_timer_->armed()) send_heartbeat();
 }
 
 }  // namespace vwire::control

@@ -2,18 +2,32 @@
 // Ethernet frames (ethertype 0x88B5), below the FIE/FAE so engines never
 // classify VirtualWire's own traffic, above the RLL so control messages are
 // delivered reliably (paper §3.3, §5.2).
+//
+// Beyond transport, the agent is the node's control-plane gatekeeper:
+//  * epoch fencing — once an epoch is set (by the scenario's INIT), inbound
+//    state-mirroring messages from another scenario generation are dropped
+//    instead of corrupting mirrored counters/terms;
+//  * duplicate suppression — per-source sequence numbers drop replays;
+//  * liveness — the agent emits periodic kHeartbeat beacons toward the
+//    controller so a crashed node is detected by a miss budget.
 #pragma once
 
 #include <functional>
+#include <optional>
 
+#include "vwire/core/control/messages.hpp"
 #include "vwire/host/node.hpp"
+#include "vwire/sim/timer.hpp"
 
 namespace vwire::control {
 
 struct AgentStats {
   u64 tx_messages{0};
   u64 rx_messages{0};
-  u64 rx_malformed{0};
+  u64 rx_malformed{0};        ///< undecodable envelope (fencing enabled)
+  u64 rx_dropped_stale{0};    ///< fenced message from another epoch
+  u64 rx_dropped_dup{0};      ///< fenced message with a replayed sequence
+  u64 heartbeats_tx{0};
 };
 
 class ControlAgent final : public host::Layer {
@@ -31,11 +45,46 @@ class ControlAgent final : public host::Layer {
   /// Consumes inbound control frames addressed to this node.
   void receive_up(net::Packet pkt) override;
 
+  // --- epoch fencing ----------------------------------------------------
+  /// Enters `epoch` and enables envelope fencing on the receive path.
+  /// A new epoch resets the per-source duplicate-detection state.
+  void set_epoch(u32 epoch);
+  u32 epoch() const { return epoch_; }
+  /// Fresh sequence number for an outbound fenced message.  One monotone
+  /// stream per node (controller and engine share it), so receivers can
+  /// dedup by source MAC alone.
+  u32 next_seq() { return ++tx_seq_; }
+
+  // --- liveness ---------------------------------------------------------
+  /// Starts (or re-targets) the periodic heartbeat toward `to`.  The first
+  /// beat is sent immediately.  A period <= 0 is ignored.
+  void start_heartbeats(const net::MacAddress& to, core::NodeId self_id,
+                        Duration period);
+  void stop_heartbeats();
+  bool heartbeating() const { return hb_timer_ && hb_timer_->armed(); }
+
+  /// Crash silences the beacon; recover resumes it if it was configured.
+  void on_node_crash() override;
+  void on_node_recover() override;
+
   const AgentStats& stats() const { return stats_; }
 
  private:
+  void send_heartbeat();
+
   Handler handler_;
   AgentStats stats_;
+
+  bool fencing_{false};
+  u32 epoch_{0};
+  u32 tx_seq_{0};
+  std::unordered_map<net::MacAddress, u32> last_seq_;  ///< per-source rx seq
+
+  std::optional<sim::Timer> hb_timer_;
+  net::MacAddress hb_target_;
+  core::NodeId hb_self_{core::kInvalidId};
+  Duration hb_period_{};
+  bool hb_configured_{false};
 };
 
 }  // namespace vwire::control

@@ -1,5 +1,6 @@
 #include "vwire/core/control/controller.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "vwire/util/assert.hpp"
@@ -11,11 +12,17 @@ std::string ScenarioResult::summary() const {
   std::ostringstream os;
   os << "scenario '" << scenario << "': "
      << (passed() ? "PASS" : "FAIL")
-     << (stopped ? " (STOP)" : timed_out ? " (inactivity timeout)"
-                  : deadline_reached     ? " (deadline)"
-                                         : "")
+     << (stopped ? " (STOP)"
+         : aborted_on_node_loss ? " (node loss)"
+         : timed_out            ? " (inactivity timeout)"
+         : deadline_reached     ? " (deadline)"
+                                : "")
      << ", " << errors.size() << " error(s), ended at " << ended_at.seconds()
      << "s";
+  if (!dead_nodes.empty()) {
+    os << ", dead:";
+    for (const std::string& n : dead_nodes) os << " " << n;
+  }
   return os.str();
 }
 
@@ -42,23 +49,54 @@ void Controller::wire_dispatch() {
   }
 }
 
+std::size_t Controller::index_by_mac(const net::MacAddress& mac) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].mac == mac) return i;
+  }
+  return nodes_.size();
+}
+
 void Controller::on_control(ManagedNode& node, const net::MacAddress& from,
                             BytesView payload) {
   auto msg = decode(payload);
   if (!msg) return;
+  const bool at_control = &node == &nodes_[control_index_];
   switch (msg->type) {
     case MsgType::kInit: {
       const auto& m = std::get<InitMsg>(msg->body);
+      // The INIT establishes this node's scenario epoch: the agent starts
+      // fencing stale cross-scenario traffic, the engine stamps outbound
+      // mirror updates.
+      node.agent->set_epoch(msg->epoch);
+      node.engine->set_epoch(msg->epoch);
+      bool ok = true;
       try {
         node.engine->load(core::deserialize_tables(m.tables));
       } catch (const std::exception& e) {
+        ok = false;
         VWIRE_ERROR() << node.name << ": bad INIT tables: " << e.what();
+      }
+      if (!at_control) {
+        ControlMessage ack = make_init_ack(node.id, ok);
+        ack.epoch = msg->epoch;
+        ack.seq = node.agent->next_seq();
+        node.agent->send_to(from, encode(ack));
       }
       return;
     }
     case MsgType::kStart: {
       const auto& m = std::get<StartMsg>(msg->body);
       node.engine->start(m.controller_node);
+      if (!at_control) {
+        if (m.heartbeat_period_ns > 0) {
+          node.agent->start_heartbeats(from, node.id,
+                                       Duration{m.heartbeat_period_ns});
+        }
+        ControlMessage ack = make_start_ack(node.id);
+        ack.epoch = msg->epoch;
+        ack.seq = node.agent->next_seq();
+        node.agent->send_to(from, encode(ack));
+      }
       return;
     }
     case MsgType::kCounterUpdate:
@@ -66,69 +104,161 @@ void Controller::on_control(ManagedNode& node, const net::MacAddress& from,
       node.engine->handle_control(from, payload);
       return;
     case MsgType::kStopped:
-      if (&node == &nodes_[control_index_]) ++stop_reports_;
+      if (at_control) ++stop_reports_;
       return;
     case MsgType::kError:
-      if (&node == &nodes_[control_index_]) ++error_reports_;
+      if (at_control) ++error_reports_;
       return;
+    case MsgType::kInitAck: {
+      if (!at_control) return;
+      std::size_t i = index_by_mac(from);
+      if (i >= nodes_.size()) return;
+      if (std::get<InitAckMsg>(msg->body).ok) {
+        rt_[i].init_acked = true;
+      } else if (!rt_[i].dead) {
+        // The tables themselves were rejected — retrying the same bytes
+        // cannot help.
+        rt_[i].dead = true;
+        report_.failed_nodes.push_back(nodes_[i].name);
+      }
+      return;
+    }
+    case MsgType::kStartAck: {
+      if (!at_control) return;
+      std::size_t i = index_by_mac(from);
+      if (i < nodes_.size()) rt_[i].start_acked = true;
+      return;
+    }
+    case MsgType::kHeartbeat: {
+      if (!at_control) return;
+      std::size_t i = index_by_mac(from);
+      if (i < nodes_.size()) rt_[i].last_heartbeat = sim_.now();
+      return;
+    }
   }
 }
 
-void Controller::arm(const core::TableSet& tables) {
+bool Controller::await_acks(bool start_phase, const RunOptions& opts) {
+  ControlAgent* my_agent = nodes_[control_index_].agent;
+  const core::NodeId controller_id = nodes_[control_index_].id;
+  auto acked = [&](std::size_t i) {
+    return start_phase ? rt_[i].start_acked : rt_[i].init_acked;
+  };
+  auto all_done = [&] {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == control_index_ || rt_[i].dead) continue;
+      if (!acked(i)) return false;
+    }
+    return true;
+  };
+
+  Duration backoff = opts.arm_retry_base;
+  for (u32 attempt = 0;; ++attempt) {
+    if (all_done()) return true;
+    if (attempt >= opts.arm_max_attempts) break;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == control_index_ || rt_[i].dead || acked(i)) continue;
+      ControlMessage msg =
+          start_phase ? make_start(controller_id, opts.heartbeat_period)
+                      : make_init(tables_);
+      msg.epoch = epoch_;
+      msg.seq = my_agent->next_seq();
+      my_agent->send_to(nodes_[i].mac, encode(msg));
+      if (attempt > 0) {
+        ++(start_phase ? report_.start_retries : report_.init_retries);
+      }
+    }
+    TimePoint wait_until = sim_.now() + backoff;
+    while (sim_.now() < wait_until && !all_done()) {
+      sim_.run_until(std::min(wait_until, sim_.now() + opts.poll));
+    }
+    backoff = backoff * 2;
+  }
+  if (all_done()) return true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == control_index_ || rt_[i].dead || acked(i)) continue;
+    rt_[i].dead = true;
+    report_.failed_nodes.push_back(nodes_[i].name);
+    VWIRE_WARN() << "node " << nodes_[i].name << " never acknowledged "
+                 << (start_phase ? "START" : "INIT") << " ("
+                 << opts.arm_max_attempts << " attempts)";
+  }
+  return false;
+}
+
+ArmReport Controller::arm(const core::TableSet& tables,
+                          const RunOptions& opts) {
   tables_ = tables;
   context_.reset();
   wire_dispatch();
+  armed_opts_ = opts;
+  report_ = {};
+  rt_.assign(nodes_.size(), {});
 
   // Identify each managed node in the script's node table and hand engines
   // their context.
-  core::NodeId controller_id = core::kInvalidId;
   for (ManagedNode& n : nodes_) {
     n.id = tables_.nodes.find_mac(n.mac);
     n.engine->set_context(&context_);
   }
-  controller_id = nodes_[control_index_].id;
+
+  // Enter a fresh scenario generation.  The agent's epoch survives this
+  // Controller object, so back-to-back scenarios on one testbed always get
+  // distinct epochs and late messages from a previous run are fenced off.
+  epoch_ = nodes_[control_index_].agent->epoch() + 1;
 
   // Distribute the tables, then the start signal, over the control plane
   // ("For simplicity, all FIEs and FAEs are sent the entire set of tables",
-  // paper §5.1).  The control node initializes itself without a wire hop.
-  ControlAgent* my_agent = nodes_[control_index_].agent;
-  Bytes init = encode(make_init(tables_));
-  Bytes start = encode(make_start(controller_id));
-  for (ManagedNode& n : nodes_) {
-    if (&n == &nodes_[control_index_]) {
-      on_control(n, n.mac, init);
-    } else {
-      my_agent->send_to(n.mac, init);
-    }
+  // paper §5.1).  The control node initializes itself without a wire hop;
+  // remote nodes are retried until they acknowledge.
+  ManagedNode& self = nodes_[control_index_];
+  {
+    ControlMessage init = make_init(tables_);
+    init.epoch = epoch_;
+    on_control(self, self.mac, encode(init));
+    rt_[control_index_].init_acked = true;
   }
-  for (ManagedNode& n : nodes_) {
-    if (&n == &nodes_[control_index_]) {
-      on_control(n, n.mac, start);
-    } else {
-      my_agent->send_to(n.mac, start);
-    }
+  await_acks(/*start_phase=*/false, opts);
+  {
+    ControlMessage start = make_start(self.id, opts.heartbeat_period);
+    start.epoch = epoch_;
+    on_control(self, self.mac, encode(start));
+    rt_[control_index_].start_acked = true;
   }
+  await_acks(/*start_phase=*/true, opts);
 
-  // Let distribution drain: run until every engine reports running, capped
-  // at a generous bound.
-  TimePoint give_up = sim_.now() + seconds(5);
-  while (sim_.now() < give_up) {
-    bool all = true;
-    for (const ManagedNode& n : nodes_) all = all && n.engine->running();
-    if (all) break;
-    sim_.run_until(sim_.now() + millis(1));
-  }
-  for (const ManagedNode& n : nodes_) {
-    VWIRE_ASSERT(n.engine->running(), "engine failed to start (INIT lost?)");
+  report_.ok = report_.failed_nodes.empty();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (rt_[i].dead) continue;
+    VWIRE_ASSERT(nodes_[i].engine->running(),
+                 "acked engine failed to start (handshake bug?)");
   }
   context_.note_activity(sim_.now());  // the run starts "active"
   armed_ = true;
+  return report_;
+}
+
+std::size_t Controller::background_events() const {
+  std::size_t n = 0;
+  for (const ManagedNode& m : nodes_) {
+    if (m.agent->heartbeating()) ++n;
+  }
+  return n;
 }
 
 ScenarioResult Controller::run(const RunOptions& opts) {
   VWIRE_ASSERT(armed_, "run() before arm()");
   ScenarioResult result;
   result.scenario = tables_.scenario_name;
+
+  // Nodes that never armed are dead from the start.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (rt_[i].dead) result.dead_nodes.push_back(nodes_[i].name);
+  }
+  const Duration hb = armed_opts_.heartbeat_period;
+  const Duration hb_budget = hb * static_cast<i64>(
+      std::max<u32>(1, armed_opts_.heartbeat_miss_budget));
+  for (NodeRt& rt : rt_) rt.last_heartbeat = sim_.now();
 
   // The scenario's declared timeout ("SCENARIO name 1sec") is a completion
   // deadline: the scripted sequence must reach STOP within the window
@@ -140,8 +270,26 @@ ScenarioResult Controller::run(const RunOptions& opts) {
       timeout.ns > 0 ? sim_.now() + timeout : TimePoint{};
   const TimePoint deadline = sim_.now() + opts.deadline;
 
-  for (;;) {
+  bool abort_on_loss =
+      opts.on_node_loss == NodeLossPolicy::kAbort && !result.dead_nodes.empty();
+  while (!abort_on_loss) {
     sim_.run_until(sim_.now() + opts.poll);
+    // Liveness: a node whose beacons stopped arriving is dead.
+    if (hb.ns > 0) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (i == control_index_ || rt_[i].dead) continue;
+        if (sim_.now() - rt_[i].last_heartbeat > hb_budget) {
+          rt_[i].dead = true;
+          result.dead_nodes.push_back(nodes_[i].name);
+          VWIRE_WARN() << "node " << nodes_[i].name << " declared dead (no "
+                       << "heartbeat for " << hb_budget.millis_f() << "ms)";
+          if (opts.on_node_loss == NodeLossPolicy::kAbort) {
+            abort_on_loss = true;
+          }
+        }
+      }
+      if (abort_on_loss) break;
+    }
     if (context_.stopped()) {
       result.stopped = true;
       break;
@@ -155,13 +303,30 @@ ScenarioResult Controller::run(const RunOptions& opts) {
       result.deadline_reached = true;
       break;
     }
-    if (sim_.pending_events() == 0) {
-      // Nothing left to simulate: without a declared timeout this is the
-      // natural end of the run.
-      if (timeout.ns > 0) result.timed_out = true;
-      break;
+    if (sim_.pending_events() <= background_events()) {
+      // Nothing left to simulate but liveness beacons ticking over.  Don't
+      // call it the natural end while any live node is suspect — its beat
+      // is overdue, or its beacon stopped emitting altogether (the agent
+      // check is harness bookkeeping like pending_events(), not something
+      // a real distributed controller could see) — the run must stay open
+      // until the miss budget renders the verdict.
+      bool suspect = false;
+      if (hb.ns > 0) {
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (i == control_index_ || rt_[i].dead) continue;
+          if (!nodes_[i].agent->heartbeating() ||
+              sim_.now() - rt_[i].last_heartbeat > hb) {
+            suspect = true;
+          }
+        }
+      }
+      if (!suspect) {
+        if (timeout.ns > 0) result.timed_out = true;
+        break;
+      }
     }
   }
+  result.aborted_on_node_loss = abort_on_loss;
   result.ended_at = sim_.now();
   result.errors = context_.errors();
 
@@ -171,16 +336,22 @@ ScenarioResult Controller::run(const RunOptions& opts) {
     result.errors.push_back({sim_.now(), core::kInvalidId, core::kInvalidId});
   }
 
-  // Final counter values from their home engines (the FAE report).
+  // Final counter values from their home engines (the FAE report).  A
+  // counter homed on a dead node is last-known, not authoritative.
   for (std::size_t c = 0; c < tables_.counters.entries.size(); ++c) {
     const core::CounterEntry& e = tables_.counters.entries[c];
-    for (const ManagedNode& n : nodes_) {
-      if (n.id == e.home) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].id != e.home) continue;
+      // A node that never armed has no engine state to report from.
+      if (nodes_[i].engine->loaded()) {
         result.counters[e.name] =
-            n.engine->counter_value(static_cast<core::CounterId>(c));
+            nodes_[i].engine->counter_value(static_cast<core::CounterId>(c));
       }
+      if (rt_[i].dead) result.degraded_counters.push_back(e.name);
     }
   }
+  // Tear down the liveness plane; the next arm() restarts it.
+  for (ManagedNode& n : nodes_) n.agent->stop_heartbeats();
   armed_ = false;
   return result;
 }

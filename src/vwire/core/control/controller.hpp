@@ -7,6 +7,13 @@
 //  starts the engines with START, then supervises the run — collecting
 //  STOP/FLAG_ERROR reports and enforcing the scenario's inactivity timeout
 //  and the harness deadline.
+//
+// Reliability model (see DESIGN.md, "Control-plane reliability model"):
+// INIT/START are acknowledged and retried with exponential backoff, so
+// arm() returns a definitive armed/failed verdict per node; every armed
+// scenario runs under a fresh epoch that fences off stale cross-scenario
+// control traffic; agents heartbeat the controller, and a node that misses
+// its budget is declared dead and either quarantined or aborts the run.
 #pragma once
 
 #include <unordered_map>
@@ -15,6 +22,13 @@
 
 namespace vwire::control {
 
+/// What the controller does when a node stops heartbeating mid-run (or
+/// never arms): carry on without it, or end the run immediately.
+enum class NodeLossPolicy : u8 {
+  kQuarantine,  ///< finish the scenario, report the node dead
+  kAbort,       ///< end the run as soon as the loss is detected
+};
+
 struct RunOptions {
   /// Hard stop in simulated time, measured from run() entry.
   Duration deadline{seconds(30)};
@@ -22,6 +36,26 @@ struct RunOptions {
   Duration poll{millis(1)};
   /// Stop the whole run at the first FLAG_ERROR.
   bool stop_on_first_error{false};
+
+  /// Reaction to a node that never arms or stops heartbeating.
+  NodeLossPolicy on_node_loss{NodeLossPolicy::kQuarantine};
+  /// Liveness beacon period for non-control nodes; 0 disables liveness.
+  Duration heartbeat_period{millis(20)};
+  /// Consecutive missed beats before a node is declared dead.
+  u32 heartbeat_miss_budget{5};
+
+  /// INIT/START handshake: first retry after this much silence, doubling
+  /// each attempt (exponential backoff), up to `arm_max_attempts` sends.
+  Duration arm_retry_base{millis(20)};
+  u32 arm_max_attempts{5};
+};
+
+/// Per-node verdict of the INIT/START distribution handshake.
+struct ArmReport {
+  bool ok{true};                         ///< every node armed
+  u32 init_retries{0};                   ///< INIT frames beyond the first
+  u32 start_retries{0};                  ///< START frames beyond the first
+  std::vector<std::string> failed_nodes; ///< never acked / rejected tables
 };
 
 struct ScenarioResult {
@@ -29,13 +63,23 @@ struct ScenarioResult {
   bool stopped{false};        ///< a STOP action ended the run
   bool timed_out{false};      ///< the script's inactivity timeout expired
   bool deadline_reached{false};
+  bool aborted_on_node_loss{false};  ///< kAbort policy ended the run
   TimePoint ended_at{};
   std::vector<core::ScenarioError> errors;
   std::unordered_map<std::string, i64> counters;  ///< final home values
+  /// Nodes that never armed or stopped heartbeating, in detection order.
+  std::vector<std::string> dead_nodes;
+  /// Counters whose home node died — their final value is last-known, not
+  /// authoritative.
+  std::vector<std::string> degraded_counters;
 
   /// The paper's pass criterion: no FLAG_ERROR fired, and if the scenario
   /// declared an inactivity timeout, it ended via STOP rather than silence.
-  bool passed() const { return errors.empty(); }
+  /// A run the controller had to abort on node loss cannot pass; under the
+  /// quarantine policy dead nodes degrade the result but do not fail it.
+  bool passed() const {
+    return errors.empty() && !(timed_out && !stopped) && !aborted_on_node_loss;
+  }
 
   std::string summary() const;
 };
@@ -55,23 +99,43 @@ class Controller {
   Controller(sim::Simulator& sim, std::vector<ManagedNode> nodes,
              std::string_view control_node);
 
-  /// Compiled-scenario setup: wires agent dispatch, distributes INIT and
-  /// START over the control plane, and advances the simulation until every
-  /// engine is running.  Call before starting the workload.
-  void arm(const core::TableSet& tables);
+  /// Compiled-scenario setup: wires agent dispatch, enters a fresh epoch,
+  /// and distributes INIT then START over the control plane with per-node
+  /// acknowledgement and retry.  A node that never acks (or rejects the
+  /// tables) is reported failed and treated as dead for the run.  Call
+  /// before starting the workload.
+  ArmReport arm(const core::TableSet& tables, const RunOptions& opts = {});
 
   /// Supervises the armed scenario to completion.
   ScenarioResult run(const RunOptions& opts = {});
 
   core::ScenarioContext& context() { return context_; }
+  const ArmReport& arm_report() const { return report_; }
+  u32 epoch() const { return epoch_; }
 
   u64 stop_reports() const { return stop_reports_; }
   u64 error_reports() const { return error_reports_; }
 
  private:
+  /// Per-node handshake/liveness state for the current scenario.
+  struct NodeRt {
+    bool init_acked{false};
+    bool start_acked{false};
+    bool dead{false};
+    TimePoint last_heartbeat{};
+  };
+
   void wire_dispatch();
   void on_control(ManagedNode& node, const net::MacAddress& from,
                   BytesView payload);
+  /// Retries `msg_for` to every unacked node until acked or the attempt
+  /// budget runs out; marks survivors dead.  Returns true if all acked.
+  bool await_acks(bool start_phase, const RunOptions& opts);
+  std::size_t index_by_mac(const net::MacAddress& mac) const;
+  /// Pending events that are just liveness beacons ticking over — used to
+  /// recognize the natural end of a run (the queue never fully drains
+  /// while heartbeat timers rearm themselves).
+  std::size_t background_events() const;
 
   sim::Simulator& sim_;
   std::vector<ManagedNode> nodes_;
@@ -79,6 +143,10 @@ class Controller {
   core::ScenarioContext context_;
   core::TableSet tables_;
   bool armed_{false};
+  u32 epoch_{0};
+  std::vector<NodeRt> rt_;
+  ArmReport report_;
+  RunOptions armed_opts_;
 
   // Wire-delivered reports (the context is the in-process authority; these
   // counters prove the control plane actually carried the news).

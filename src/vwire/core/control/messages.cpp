@@ -1,10 +1,29 @@
 #include "vwire/core/control/messages.hpp"
 
+#include "vwire/util/checksum.hpp"
+
 namespace vwire::control {
+
+namespace {
+
+/// Full envelope: checksum(2) + length(4) + type(1) + epoch(4) + seq(4).
+constexpr std::size_t kEnvelopeSize = 15;
+
+/// Checks the structural envelope: minimum size, the declared total length,
+/// and the RFC 1071 checksum over everything after the checksum field.
+bool envelope_ok(BytesView payload) {
+  if (payload.size() < kEnvelopeSize) return false;
+  if (read_u32(payload, 2) != payload.size()) return false;
+  return internet_checksum(payload.subspan(2)) == read_u16(payload, 0);
+}
+
+}  // namespace
 
 Bytes encode(const ControlMessage& msg) {
   ByteWriter w;
   w.u8v(static_cast<u8>(msg.type));
+  w.u32v(msg.epoch);
+  w.u32v(msg.seq);
   switch (msg.type) {
     case MsgType::kInit: {
       const auto& m = std::get<InitMsg>(msg.body);
@@ -12,9 +31,12 @@ Bytes encode(const ControlMessage& msg) {
       w.raw(m.tables);
       break;
     }
-    case MsgType::kStart:
-      w.u16v(std::get<StartMsg>(msg.body).controller_node);
+    case MsgType::kStart: {
+      const auto& m = std::get<StartMsg>(msg.body);
+      w.u16v(m.controller_node);
+      w.u64v(static_cast<u64>(m.heartbeat_period_ns));
       break;
+    }
     case MsgType::kCounterUpdate: {
       const auto& m = std::get<CounterUpdateMsg>(msg.body);
       w.u16v(m.counter);
@@ -37,33 +59,73 @@ Bytes encode(const ControlMessage& msg) {
       w.u16v(m.cond);
       break;
     }
+    case MsgType::kInitAck: {
+      const auto& m = std::get<InitAckMsg>(msg.body);
+      w.u16v(m.node);
+      w.u8v(m.ok ? 1 : 0);
+      break;
+    }
+    case MsgType::kStartAck:
+      w.u16v(std::get<StartAckMsg>(msg.body).node);
+      break;
+    case MsgType::kHeartbeat:
+      w.u16v(std::get<HeartbeatMsg>(msg.body).node);
+      break;
   }
-  return w.take();
+  Bytes rest = w.take();
+  ByteWriter tail;
+  tail.u32v(static_cast<u32>(rest.size() + 6));  // total: sum(2)+len(4)+rest
+  tail.raw(rest);
+  Bytes summed = tail.take();
+  ByteWriter out;
+  out.u16v(internet_checksum(summed));
+  out.raw(summed);
+  return out.take();
+}
+
+std::optional<Envelope> peek(BytesView payload) {
+  if (!envelope_ok(payload)) return std::nullopt;
+  u8 t = read_u8(payload, 6);
+  if (t < static_cast<u8>(MsgType::kInit) ||
+      t > static_cast<u8>(MsgType::kHeartbeat)) {
+    return std::nullopt;
+  }
+  return Envelope{static_cast<MsgType>(t), read_u32(payload, 7),
+                  read_u32(payload, 11)};
 }
 
 std::optional<ControlMessage> decode(BytesView payload) {
+  if (!envelope_ok(payload)) return std::nullopt;
   try {
     ByteReader r(payload);
+    r.u16v();  // checksum, verified above
+    r.u32v();  // length, verified above
     ControlMessage msg;
     u8 t = r.u8v();
+    msg.epoch = r.u32v();
+    msg.seq = r.u32v();
     switch (static_cast<MsgType>(t)) {
       case MsgType::kInit: {
         msg.type = MsgType::kInit;
         u32 n = r.u32v();
         msg.body = InitMsg{r.raw(n)};
-        return msg;
+        break;
       }
-      case MsgType::kStart:
+      case MsgType::kStart: {
         msg.type = MsgType::kStart;
-        msg.body = StartMsg{r.u16v()};
-        return msg;
+        StartMsg m;
+        m.controller_node = r.u16v();
+        m.heartbeat_period_ns = static_cast<i64>(r.u64v());
+        msg.body = m;
+        break;
+      }
       case MsgType::kCounterUpdate: {
         msg.type = MsgType::kCounterUpdate;
         CounterUpdateMsg m;
         m.counter = r.u16v();
         m.value = static_cast<i64>(r.u64v());
         msg.body = m;
-        return msg;
+        break;
       }
       case MsgType::kTermStatus: {
         msg.type = MsgType::kTermStatus;
@@ -71,12 +133,12 @@ std::optional<ControlMessage> decode(BytesView payload) {
         m.term = r.u16v();
         m.state = r.u8v() != 0;
         msg.body = m;
-        return msg;
+        break;
       }
       case MsgType::kStopped:
         msg.type = MsgType::kStopped;
         msg.body = StoppedMsg{r.u16v()};
-        return msg;
+        break;
       case MsgType::kError: {
         msg.type = MsgType::kError;
         ErrorMsg m;
@@ -84,33 +146,62 @@ std::optional<ControlMessage> decode(BytesView payload) {
         m.time_ns = static_cast<i64>(r.u64v());
         m.cond = r.u16v();
         msg.body = m;
-        return msg;
+        break;
       }
+      case MsgType::kInitAck: {
+        msg.type = MsgType::kInitAck;
+        InitAckMsg m;
+        m.node = r.u16v();
+        m.ok = r.u8v() != 0;
+        msg.body = m;
+        break;
+      }
+      case MsgType::kStartAck:
+        msg.type = MsgType::kStartAck;
+        msg.body = StartAckMsg{r.u16v()};
+        break;
+      case MsgType::kHeartbeat:
+        msg.type = MsgType::kHeartbeat;
+        msg.body = HeartbeatMsg{r.u16v()};
+        break;
       default:
         return std::nullopt;
     }
+    // Trailing bytes mean the payload is not what the sender encoded —
+    // a truncated longer message must not pass as a shorter one.
+    if (!r.done()) return std::nullopt;
+    return msg;
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }
 }
 
 ControlMessage make_init(const core::TableSet& tables) {
-  return {MsgType::kInit, InitMsg{core::serialize(tables)}};
+  return {MsgType::kInit, 0, 0, InitMsg{core::serialize(tables)}};
 }
-ControlMessage make_start(core::NodeId controller) {
-  return {MsgType::kStart, StartMsg{controller}};
+ControlMessage make_start(core::NodeId controller, Duration heartbeat_period) {
+  return {MsgType::kStart, 0, 0, StartMsg{controller, heartbeat_period.ns}};
 }
 ControlMessage make_counter_update(core::CounterId c, i64 v) {
-  return {MsgType::kCounterUpdate, CounterUpdateMsg{c, v}};
+  return {MsgType::kCounterUpdate, 0, 0, CounterUpdateMsg{c, v}};
 }
 ControlMessage make_term_status(core::TermId t, bool s) {
-  return {MsgType::kTermStatus, TermStatusMsg{t, s}};
+  return {MsgType::kTermStatus, 0, 0, TermStatusMsg{t, s}};
 }
 ControlMessage make_stopped(core::NodeId n) {
-  return {MsgType::kStopped, StoppedMsg{n}};
+  return {MsgType::kStopped, 0, 0, StoppedMsg{n}};
 }
 ControlMessage make_error(core::NodeId n, TimePoint at, core::CondId cond) {
-  return {MsgType::kError, ErrorMsg{n, at.ns, cond}};
+  return {MsgType::kError, 0, 0, ErrorMsg{n, at.ns, cond}};
+}
+ControlMessage make_init_ack(core::NodeId n, bool ok) {
+  return {MsgType::kInitAck, 0, 0, InitAckMsg{n, ok}};
+}
+ControlMessage make_start_ack(core::NodeId n) {
+  return {MsgType::kStartAck, 0, 0, StartAckMsg{n}};
+}
+ControlMessage make_heartbeat(core::NodeId n) {
+  return {MsgType::kHeartbeat, 0, 0, HeartbeatMsg{n}};
 }
 
 }  // namespace vwire::control

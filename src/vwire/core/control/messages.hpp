@@ -4,8 +4,23 @@
 //  frames.  Control messages are exchanged to communicate changes in
 //  counter values and term state to the appropriate nodes."
 //
-// Message payload: [type:1][body...], carried in ethertype-0x88B5 frames
-// and made reliable by the RLL underneath.
+// Message payload, carried in ethertype-0x88B5 frames and made reliable by
+// the RLL underneath:
+//
+//   [checksum:2][length:4][type:1][epoch:4][seq:4][body...]
+//
+// The envelope is the control plane's reliability contract:
+//  * checksum — RFC 1071 sum over everything after it; a corrupted control
+//    frame decodes to nullopt instead of poisoning mirrored state.
+//  * length — total payload size.  The ones-complement sum cannot see a
+//    truncated run of zero bytes; the explicit length can, so any cut or
+//    padded payload is rejected structurally.
+//  * epoch — the scenario generation, bumped by the controller at every
+//    arm().  State-mirroring messages from a previous scenario that are
+//    still in flight (or replayed) are fenced off by the receiving agent.
+//  * seq — per-sending-node monotone sequence, used by receivers to drop
+//    duplicate state updates.  INIT/START are exempt from fencing: they
+//    *establish* the epoch and are deliberately retransmitted until acked.
 #pragma once
 
 #include <variant>
@@ -21,7 +36,16 @@ enum class MsgType : u8 {
   kTermStatus = 4,     ///< term home → condition-evaluating nodes
   kStopped = 5,        ///< node → controller: a STOP action fired
   kError = 6,          ///< node → controller: a FLAG_ERROR fired
+  kInitAck = 7,        ///< node → controller: tables loaded (or rejected)
+  kStartAck = 8,       ///< node → controller: engine running
+  kHeartbeat = 9,      ///< node → controller: periodic liveness beacon
 };
+
+/// Messages that must match the receiver's current epoch.  INIT/START are
+/// exempt — they carry the new epoch and are retried until acknowledged.
+constexpr bool is_epoch_fenced(MsgType t) {
+  return t != MsgType::kInit && t != MsgType::kStart;
+}
 
 struct InitMsg {
   Bytes tables;  ///< serialized core::TableSet
@@ -29,6 +53,7 @@ struct InitMsg {
 
 struct StartMsg {
   core::NodeId controller_node{0};
+  i64 heartbeat_period_ns{0};  ///< 0 = liveness disabled for this run
 };
 
 struct CounterUpdateMsg {
@@ -51,25 +76,54 @@ struct ErrorMsg {
   core::CondId cond{0};
 };
 
+struct InitAckMsg {
+  core::NodeId node{0};
+  bool ok{true};  ///< false: the tables failed to deserialize
+};
+
+struct StartAckMsg {
+  core::NodeId node{0};
+};
+
+struct HeartbeatMsg {
+  core::NodeId node{0};
+};
+
 struct ControlMessage {
   MsgType type{MsgType::kStart};
+  u32 epoch{0};  ///< scenario generation (0 = unfenced/local)
+  u32 seq{0};    ///< per-sender monotone sequence number
   std::variant<InitMsg, StartMsg, CounterUpdateMsg, TermStatusMsg, StoppedMsg,
-               ErrorMsg>
+               ErrorMsg, InitAckMsg, StartAckMsg, HeartbeatMsg>
       body;
 };
 
 Bytes encode(const ControlMessage& msg);
 
-/// Decodes a payload; nullopt on malformed/truncated input (a corrupted
-/// control frame must not crash the engine).
+/// Decodes a payload; nullopt on malformed, truncated, corrupted (checksum
+/// mismatch) or trailing-garbage input — a damaged control frame must never
+/// crash the engine or decode as a different message.
 std::optional<ControlMessage> decode(BytesView payload);
 
-// Convenience constructors.
+/// The envelope alone, without parsing the body.  Verifies the checksum;
+/// used by the agent's epoch/duplicate fencing on the receive path.
+struct Envelope {
+  MsgType type{MsgType::kStart};
+  u32 epoch{0};
+  u32 seq{0};
+};
+std::optional<Envelope> peek(BytesView payload);
+
+// Convenience constructors (epoch/seq are stamped by the sender).
 ControlMessage make_init(const core::TableSet& tables);
-ControlMessage make_start(core::NodeId controller);
+ControlMessage make_start(core::NodeId controller,
+                          Duration heartbeat_period = {});
 ControlMessage make_counter_update(core::CounterId c, i64 v);
 ControlMessage make_term_status(core::TermId t, bool s);
 ControlMessage make_stopped(core::NodeId n);
 ControlMessage make_error(core::NodeId n, TimePoint at, core::CondId cond);
+ControlMessage make_init_ack(core::NodeId n, bool ok);
+ControlMessage make_start_ack(core::NodeId n);
+ControlMessage make_heartbeat(core::NodeId n);
 
 }  // namespace vwire::control

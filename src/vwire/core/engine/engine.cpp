@@ -167,7 +167,18 @@ void EngineLayer::release(net::Packet pkt, net::Direction dir, Duration cost) {
   TimePoint at = std::max(sim_.now() + cost, last_release_[d]);
   last_release_[d] = at;
   auto shared = std::make_shared<net::Packet>(std::move(pkt));
-  sim_.at(at, [this, shared, dir] { release_now(std::move(*shared), dir); });
+  sim_.at(at, [this, shared, dir, gen = purge_gen_] {
+    if (gen != purge_gen_) return;  // node crashed in the meantime
+    release_now(std::move(*shared), dir);
+  });
+}
+
+void EngineLayer::on_node_crash() {
+  for (auto& [a, buf] : reorder_buf_) stats_.drops += buf.size();
+  reorder_buf_.clear();
+  reorder_dir_.clear();
+  ++purge_gen_;
+  last_release_[0] = last_release_[1] = {};
 }
 
 void EngineLayer::release_now(net::Packet&& pkt, net::Direction dir) {
@@ -375,15 +386,18 @@ void EngineLayer::exec_immediate(ActionId id, CondId cond) {
 // ---------------------------------------------------------------------------
 // Control plane
 
-void EngineLayer::send_control(NodeId to, const control::ControlMessage& msg) {
+void EngineLayer::send_control(NodeId to, control::ControlMessage msg) {
   if (control_ == nullptr || to >= tables_.nodes.entries.size()) return;
+  msg.epoch = epoch_;
   if (to == self_) {
     // Local shortcut: the paper's engine also consumes its own updates
-    // without a wire hop.
+    // without a wire hop (and without spending a sequence number — the
+    // message never crosses the agent's fencing path).
     ++stats_.control_tx;
     handle_control(node_->mac(), control::encode(msg));
     return;
   }
+  msg.seq = control_->next_seq();
   ++stats_.control_tx;
   control_->send_to(tables_.nodes.entries[to].mac, control::encode(msg));
 }

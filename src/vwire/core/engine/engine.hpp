@@ -118,6 +118,9 @@ class EngineLayer final : public host::Layer {
   // --- wiring (done by the Testbed / ScenarioRunner) ----------------------
   void set_control(control::ControlAgent* agent) { control_ = agent; }
   void set_context(ScenarioContext* ctx) { context_ = ctx; }
+  /// Scenario epoch stamped onto every outbound control message so
+  /// receivers can fence stale cross-scenario traffic (set by INIT).
+  void set_epoch(u32 epoch) { epoch_ = epoch; }
 
   /// Installs a table set (normally deserialized from an INIT message) and
   /// resolves this node's identity by MAC.  A node absent from the table
@@ -136,6 +139,11 @@ class EngineLayer final : public host::Layer {
   // --- chain ----------------------------------------------------------------
   void send_down(net::Packet pkt) override;
   void receive_up(net::Packet pkt) override;
+
+  /// Node crash: packets the engine holds (REORDER windows, cost-delayed
+  /// releases) are lost with the node, exactly like frames sitting in a
+  /// real NIC ring at power-off.
+  void on_node_crash() override;
 
   // --- control-plane inputs ---------------------------------------------------
   void handle_control(const net::MacAddress& from, BytesView payload);
@@ -182,7 +190,7 @@ class EngineLayer final : public host::Layer {
   Fate apply_one(const ActionEntry& a, ActionId id, net::Packet& pkt,
                  net::Direction dir);
 
-  void send_control(NodeId to, const control::ControlMessage& msg);
+  void send_control(NodeId to, control::ControlMessage msg);
 
   bool is_transport_frame(const net::Packet& pkt) const;
 
@@ -198,6 +206,10 @@ class EngineLayer final : public host::Layer {
   bool running_{false};
   NodeId self_{kInvalidId};
   NodeId controller_{kInvalidId};
+  u32 epoch_{0};
+  /// Bumped by on_node_crash(); cost-delayed releases scheduled before the
+  /// crash check it and drop themselves instead of resurrecting packets.
+  u64 purge_gen_{0};
 
   std::vector<CounterState> counters_;
   std::vector<char> term_state_;

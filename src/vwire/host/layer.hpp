@@ -31,6 +31,12 @@ class Layer {
   /// Called once the node's chain is linked, before traffic flows.
   virtual void attached(Node& node) { node_ = &node; }
 
+  /// Node-level fault hooks (Node::crash / Node::recover).  A crash must
+  /// leave no queued traffic or armed timers behind — a crashed host loses
+  /// its buffers; recover() lets a layer re-announce itself to peers.
+  virtual void on_node_crash() {}
+  virtual void on_node_recover() {}
+
   void set_lower(Layer* l) { lower_ = l; }
   void set_upper(Layer* u) { upper_ = u; }
   Layer* lower() const { return lower_; }

@@ -41,9 +41,15 @@ void Node::fail() {
   nic_.set_up(false);
 }
 
+void Node::crash() {
+  fail();
+  for (auto& l : middle_) l->on_node_crash();
+}
+
 void Node::recover() {
   failed_ = false;
   nic_.set_up(true);
+  for (auto& l : middle_) l->on_node_recover();
 }
 
 void Node::add_neighbor(net::Ipv4Address ip, net::MacAddress mac) {

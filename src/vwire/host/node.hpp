@@ -38,10 +38,15 @@ class Node {
   /// Finds an added layer by name; nullptr if absent.
   Layer* find_layer(std::string_view name);
 
-  /// Crashes the node: NIC down, apps see failed().  The observable
-  /// behaviour of the FAIL fault primitive — total silence.
+  /// Fails the node: NIC down, apps see failed().  The observable
+  /// behaviour of the FAIL fault primitive — total silence on the wire.
   void fail();
-  /// Restores a failed node (used by recovery/rejoin tests).
+  /// Hard-crashes the node: everything fail() does, plus every layer drops
+  /// its queued traffic and silences its timers (a crashed host loses its
+  /// buffers).  The node-loss primitive scenario scripts schedule.
+  void crash();
+  /// Restores a failed/crashed node; layers may re-announce themselves to
+  /// peers (the RLL raises its kReset flag so sequence spaces realign).
   void recover();
   bool failed() const { return failed_; }
 

@@ -22,6 +22,23 @@ RllLayer::PeerState& RllLayer::peer(const net::MacAddress& mac) {
   return *it->second;
 }
 
+void RllLayer::on_node_crash() {
+  for (auto& [mac, p] : peers_) {
+    stats_.crash_purged += p->inflight.size() + p->pending.size();
+    p->rto_timer.cancel();
+    p->ack_timer.cancel();
+    p->inflight.clear();
+    p->pending.clear();
+    p->reorder.clear();
+    // Sequence counters advance as if acked (no seq reuse on rejoin); the
+    // kReset announce realigns the peer's receive window.
+    p->send_una = p->next_seq;
+    p->retry_rounds = 0;
+    p->unacked_rx = 0;
+    p->announce_reset = true;
+  }
+}
+
 std::size_t RllLayer::unacked_frames() const {
   std::size_t n = 0;
   for (const auto& [mac, p] : peers_) n += p->inflight.size();

@@ -58,6 +58,7 @@ struct RllStats {
   u64 dropped_queue_full{0};
   u64 passthrough{0};    ///< broadcast frames not encapsulated
   u64 peers_aborted{0};  ///< peers declared unreachable after max retries
+  u64 crash_purged{0};   ///< frames dropped by a node crash
 };
 
 class RllLayer final : public host::Layer {
@@ -68,6 +69,11 @@ class RllLayer final : public host::Layer {
 
   void send_down(net::Packet pkt) override;
   void receive_up(net::Packet pkt) override;
+
+  /// A crashed host loses its ARQ buffers: drop in-flight and queued
+  /// frames, silence the timers, and mark every peer for a kReset announce
+  /// so sequence spaces realign when the node rejoins.
+  void on_node_crash() override;
 
   const RllStats& stats() const { return stats_; }
   const RllParams& params() const { return params_; }

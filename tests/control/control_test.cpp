@@ -61,6 +61,75 @@ TEST(Messages, MalformedInputRejectedNotThrown) {
   EXPECT_FALSE(decode(init));
 }
 
+TEST(Messages, EnvelopeCarriesEpochAndSeq) {
+  ControlMessage msg = make_counter_update(2, 99);
+  msg.epoch = 0xdeadbeef;
+  msg.seq = 0x1234;
+  auto back = decode(encode(msg));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->epoch, 0xdeadbeefu);
+  EXPECT_EQ(back->seq, 0x1234u);
+
+  auto env = peek(encode(msg));
+  ASSERT_TRUE(env);
+  EXPECT_EQ(env->type, MsgType::kCounterUpdate);
+  EXPECT_EQ(env->epoch, 0xdeadbeefu);
+  EXPECT_EQ(env->seq, 0x1234u);
+}
+
+TEST(Messages, AckAndHeartbeatRoundTrip) {
+  for (bool ok : {true, false}) {
+    auto back = decode(encode(make_init_ack(4, ok)));
+    ASSERT_TRUE(back);
+    ASSERT_EQ(back->type, MsgType::kInitAck);
+    EXPECT_EQ(std::get<InitAckMsg>(back->body).node, 4);
+    EXPECT_EQ(std::get<InitAckMsg>(back->body).ok, ok);
+  }
+  auto sa = decode(encode(make_start_ack(5)));
+  ASSERT_TRUE(sa);
+  EXPECT_EQ(std::get<StartAckMsg>(sa->body).node, 5);
+
+  auto hb = decode(encode(make_heartbeat(6)));
+  ASSERT_TRUE(hb);
+  EXPECT_EQ(std::get<HeartbeatMsg>(hb->body).node, 6);
+}
+
+TEST(Messages, StartCarriesHeartbeatPeriod) {
+  auto back = decode(encode(make_start(1, millis(25))));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(std::get<StartMsg>(back->body).heartbeat_period_ns,
+            millis(25).ns);
+  // Default: liveness disabled.
+  auto off = decode(encode(make_start(1)));
+  ASSERT_TRUE(off);
+  EXPECT_EQ(std::get<StartMsg>(off->body).heartbeat_period_ns, 0);
+}
+
+TEST(Messages, CorruptedChecksumRejected) {
+  Bytes wire = encode(make_counter_update(1, 7));
+  wire[0] ^= 0x01;  // break the checksum itself
+  EXPECT_FALSE(decode(wire));
+  EXPECT_FALSE(peek(wire));
+}
+
+TEST(Messages, TrailingBytesRejected) {
+  // A longer buffer whose prefix is a valid message must not decode: the
+  // checksum covers the trailing garbage too.
+  Bytes wire = encode(make_stopped(3));
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(Messages, OnlyInitAndStartAreUnfenced) {
+  EXPECT_FALSE(is_epoch_fenced(MsgType::kInit));
+  EXPECT_FALSE(is_epoch_fenced(MsgType::kStart));
+  for (MsgType t : {MsgType::kCounterUpdate, MsgType::kTermStatus,
+                    MsgType::kStopped, MsgType::kError, MsgType::kInitAck,
+                    MsgType::kStartAck, MsgType::kHeartbeat}) {
+    EXPECT_TRUE(is_epoch_fenced(t));
+  }
+}
+
 struct AgentFixture : ::testing::Test {
   TestbedConfig cfg;
   std::unique_ptr<Testbed> tb;
@@ -119,6 +188,72 @@ TEST_F(AgentFixture, ControlRidesTheRll) {
   noisy.simulator().run_until({seconds(5).ns});
   EXPECT_EQ(got, 50);
   EXPECT_GE(noisy.handles("a").rll->stats().retransmits, 1u);
+}
+
+TEST_F(AgentFixture, FencingDropsStaleEpochAndDuplicates) {
+  // Once an epoch is set, the agent drops fenced messages from another
+  // scenario generation and replays of an already-seen sequence.
+  int got = 0;
+  agent("b").set_handler(
+      [&](const net::MacAddress&, BytesView) { ++got; });
+  agent("b").set_epoch(5);
+
+  auto send = [&](u32 epoch, u32 seq) {
+    ControlMessage msg = make_counter_update(0, 1);
+    msg.epoch = epoch;
+    msg.seq = seq;
+    agent("a").send_to(tb->node("b").mac(), encode(msg));
+    tb->simulator().run();
+  };
+  send(5, 1);  // current epoch, fresh seq: delivered
+  send(4, 2);  // stale epoch: dropped
+  send(5, 1);  // duplicate seq: dropped
+  send(5, 2);  // fresh again: delivered
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(agent("b").stats().rx_dropped_stale, 1u);
+  EXPECT_EQ(agent("b").stats().rx_dropped_dup, 1u);
+
+  // Entering a new epoch resets duplicate-detection state.
+  agent("b").set_epoch(6);
+  send(6, 1);
+  EXPECT_EQ(got, 3);
+}
+
+TEST_F(AgentFixture, FencingIsOptIn) {
+  // Without a set_epoch call the agent passes raw payloads untouched
+  // (standalone-agent deployments don't speak the envelope).
+  int got = 0;
+  agent("b").set_handler(
+      [&](const net::MacAddress&, BytesView) { ++got; });
+  agent("a").send_to(tb->node("b").mac(), Bytes{1, 2, 3});
+  tb->simulator().run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(agent("b").stats().rx_dropped_stale, 0u);
+}
+
+TEST_F(AgentFixture, HeartbeatsEmitUntilStopped) {
+  std::vector<u32> seqs;
+  agent("a").set_handler([&](const net::MacAddress&, BytesView payload) {
+    auto msg = decode(payload);
+    ASSERT_TRUE(msg);
+    ASSERT_EQ(msg->type, MsgType::kHeartbeat);
+    EXPECT_EQ(std::get<HeartbeatMsg>(msg->body).node, 2);
+    seqs.push_back(msg->seq);
+  });
+  agent("b").set_epoch(1);
+  agent("b").start_heartbeats(tb->node("a").mac(), 2, millis(10));
+  EXPECT_TRUE(agent("b").heartbeating());
+  tb->simulator().run_until({millis(95).ns});
+  // First beat immediate, then every 10ms: t=0..90 -> 10 beats.
+  EXPECT_EQ(seqs.size(), 10u);
+  EXPECT_EQ(agent("b").stats().heartbeats_tx, 10u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_GT(seqs[i], seqs[i - 1]);  // one monotone stream
+  }
+  agent("b").stop_heartbeats();
+  EXPECT_FALSE(agent("b").heartbeating());
+  tb->simulator().run_until({millis(200).ns});
+  EXPECT_EQ(seqs.size(), 10u);
 }
 
 TEST_F(AgentFixture, NonControlTrafficPassesThrough) {

@@ -165,6 +165,53 @@ TEST(RllLayer, RecoveredPeerResynchronizesViaReset) {
             (std::vector<u32>{100, 101, 102, 103, 104}));
 }
 
+TEST(RllLayer, CrashPurgesQueuesAndResetRealignsBothDirections) {
+  // A whole-node crash (stronger than fail(): layers lose their queues)
+  // followed by recovery must re-establish in-order delivery both ways via
+  // the kReset announce — the peer-abort path on the survivor, the
+  // crash-purge path on the crashed node.
+  RllParams params;
+  params.max_retry_rounds = 2;
+  RllPair p(params);
+  for (u32 i = 0; i < 5; ++i) {
+    p.send(true, i);
+    p.send(false, i);
+  }
+  p.sim.run_until({millis(500).ns});
+  ASSERT_EQ(p.sink_a->frames.size(), 5u);
+  ASSERT_EQ(p.sink_b->frames.size(), 5u);
+
+  // b crashes holding unacked frames of its own: they are purged, not
+  // retransmitted after recovery.
+  p.send(false, 50);
+  p.send(false, 51);
+  p.b->crash();
+  EXPECT_EQ(p.rll_b->stats().crash_purged, 2u);
+  EXPECT_EQ(p.rll_b->unacked_frames(), 0u);
+
+  // a keeps transmitting into the dead link until its retry budget gives
+  // up on the peer.
+  for (u32 i = 10; i < 13; ++i) p.send(true, i);
+  p.sim.run_until({seconds(2).ns});
+  EXPECT_EQ(p.rll_a->stats().peers_aborted, 1u);
+
+  p.b->recover();
+  // Fresh traffic resumes, in order, in both directions, despite the
+  // sequence gaps on both sides.
+  for (u32 i = 100; i < 105; ++i) {
+    p.send(true, i);
+    p.send(false, i);
+  }
+  p.sim.run_until({seconds(4).ns});
+  EXPECT_EQ(p.sink_b->payload_seqs(),
+            (std::vector<u32>{0, 1, 2, 3, 4, 100, 101, 102, 103, 104}));
+  // 50/51 left b's stack before the crash (already on the wire), so a saw
+  // them; the frames lost to the crash stay lost.
+  EXPECT_EQ(p.sink_a->payload_seqs(),
+            (std::vector<u32>{0, 1, 2, 3, 4, 50, 51, 100, 101, 102, 103,
+                              104}));
+}
+
 TEST(RllLayer, PiggybackSuppressesStandaloneAcks) {
   RllParams chatty;
   chatty.piggyback = false;
