@@ -9,12 +9,91 @@
 // (filters) < (+actions) < (+RLL), ≤ ~7-10 % in the measured range.
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "vwire/core/api/scenario_runner.hpp"
 #include "vwire/util/hex.hpp"
 
 namespace vwbench {
+
+/// Minimal machine-readable bench output (no external JSON dependency):
+/// one object — {"bench": ..., "meta": {...}, "rows": [{...}, ...]} — so CI
+/// and plotting scripts can diff figure data across commits instead of
+/// scraping stdout tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void meta(const std::string& key, const std::string& v) {
+    meta_.emplace_back(key, quote(v));
+  }
+  void meta(const std::string& key, double v) { meta_.emplace_back(key, num(v)); }
+
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, double v) {
+    rows_.back().emplace_back(key, num(v));
+  }
+  void field(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, quote(v));
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
+    std::fprintf(f, "  \"meta\": {");
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s%s: %s", i ? ", " : "", quote(meta_[i].first).c_str(),
+                   meta_[i].second.c_str());
+    }
+    std::fprintf(f, "},\n  \"rows\": [\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i ? ", " : "",
+                     quote(rows_[r][i].first).c_str(),
+                     rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
+
+/// True when the bench was invoked with `--smoke`: CI runs a scaled-down
+/// sweep that exercises the full code path in seconds, not minutes.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
 
 /// RLL configured like the paper's: every data frame acked immediately
 /// with a standalone ack frame.

@@ -20,7 +20,8 @@ using namespace vwire;
 
 namespace {
 
-double run_tcp_mbps(bool with_virtualwire, double offered_mbps) {
+double run_tcp_mbps(bool with_virtualwire, double offered_mbps,
+                    Duration warmup, Duration window) {
   TestbedConfig cfg;
   cfg.install_trace = false;
   cfg.install_engine = with_virtualwire;
@@ -60,8 +61,6 @@ double run_tcp_mbps(bool with_virtualwire, double offered_mbps) {
   sender.start();
 
   // Warm-up lets slow start converge; measure over the steady window.
-  const Duration warmup = seconds(1);
-  const Duration window = seconds(3);
   sim.run_until(sim.now() + warmup);
   u64 start_bytes = sink.bytes_received();
   sim.run_until(sim.now() + window);
@@ -71,19 +70,41 @@ double run_tcp_mbps(bool with_virtualwire, double offered_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = vwbench::smoke_mode(argc, argv);
+  const Duration warmup = smoke ? millis(200) : seconds(1);
+  const Duration window = smoke ? millis(800) : seconds(3);
+  const std::vector<double> sweep =
+      smoke ? std::vector<double>{10, 50, 90, 100}
+            : std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100};
+
   std::printf("# Fig 7 — TCP throughput vs offered data pumping rate\n");
   std::printf("# 100 Mbps switched LAN; VirtualWire = 25 filters + 25\n");
   std::printf("# actions/packet + RLL (ack per frame, no piggybacking)\n");
   std::printf("%-14s %16s %18s %10s\n", "offered Mbps", "plain Mbps",
               "virtualwire Mbps", "loss %");
-  for (double offered : {10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100}) {
-    double plain = run_tcp_mbps(false, offered);
-    double vw = run_tcp_mbps(true, offered);
+
+  vwbench::BenchJson out("fig7_throughput");
+  out.meta("figure", "Fig 7 — TCP throughput vs offered rate");
+  out.meta("smoke", smoke ? 1.0 : 0.0);
+  out.meta("window_s", window.seconds());
+  for (double offered : sweep) {
+    double plain = run_tcp_mbps(false, offered, warmup, window);
+    double vw = run_tcp_mbps(true, offered, warmup, window);
     double loss = plain > 0 ? (plain - vw) / plain * 100.0 : 0.0;
     std::printf("%-14.0f %16.2f %18.2f %9.2f%%\n", offered, plain, vw, loss);
+    out.begin_row();
+    out.field("offered_mbps", offered);
+    out.field("plain_mbps", plain);
+    out.field("virtualwire_mbps", vw);
+    out.field("loss_pct", loss);
   }
   std::printf("# PASS criteria (paper): knee at/after ~90 Mbps offered and\n");
   std::printf("# VirtualWire saturation within 10%% of the plain stack.\n");
+  if (!out.write("BENCH_fig7.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fig7.json\n");
+    return 1;
+  }
+  std::printf("# wrote BENCH_fig7.json\n");
   return 0;
 }

@@ -26,7 +26,7 @@ struct EchoSetup {
   std::unique_ptr<udp::EchoServer> server;
   std::unique_ptr<udp::EchoClient> client;
 
-  explicit EchoSetup(TestbedConfig cfg) : tb(std::move(cfg)) {
+  explicit EchoSetup(TestbedConfig cfg, int probes) : tb(std::move(cfg)) {
     tb.add_node("client");
     tb.add_node("server");
     client_udp = std::make_unique<udp::UdpLayer>(tb.node("client"));
@@ -37,14 +37,15 @@ struct EchoSetup {
     cp.server_port = 7;
     cp.local_port = 40000;
     cp.payload_size = 64;
-    cp.count = 400;
+    cp.count = probes;
     cp.interval = millis(1);
     client = std::make_unique<udp::EchoClient>(*client_udp, cp);
   }
 };
 
-double run_echo_rtt_us(TestbedConfig cfg, const std::string& script) {
-  EchoSetup s(std::move(cfg));
+double run_echo_rtt_us(TestbedConfig cfg, const std::string& script,
+                       int probes, Duration window) {
+  EchoSetup s(std::move(cfg), probes);
   if (!script.empty()) {
     core::TableSet tables = fsl::compile_script(script);
     control::Controller ctrl(s.tb.simulator(), s.tb.managed_nodes(),
@@ -53,23 +54,29 @@ double run_echo_rtt_us(TestbedConfig cfg, const std::string& script) {
     opts.heartbeat_period = {};  // no liveness beacons in the measurement
     ctrl.arm(tables, opts);
     s.client->start();
-    s.tb.simulator().run_until(s.tb.simulator().now() + seconds(2));
+    s.tb.simulator().run_until(s.tb.simulator().now() + window);
   } else {
     s.client->start();
-    s.tb.simulator().run_until({seconds(2).ns});
+    s.tb.simulator().run_until({window.ns});
   }
   return s.client->mean_rtt().micros_f();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = vwbench::smoke_mode(argc, argv);
+  const int probes = smoke ? 100 : 400;
+  const Duration window = smoke ? seconds(1) : seconds(2);
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{1, 25} : std::vector<int>{1, 5, 10, 15, 20, 25};
+
   // Baseline: no VirtualWire layer at all.
   TestbedConfig base_cfg;
   base_cfg.install_engine = false;
   base_cfg.install_rll = false;
   base_cfg.install_trace = false;
-  double base_us = run_echo_rtt_us(base_cfg, "");
+  double base_us = run_echo_rtt_us(base_cfg, "", probes, window);
 
   std::printf("# Fig 8 — %% increase in UDP round-trip latency vs number of\n");
   std::printf("# packet type definitions (paper: linear growth, (iii) ~7%% max)\n");
@@ -77,7 +84,11 @@ int main() {
   std::printf("%-8s %10s %8s %12s %8s %12s %8s\n", "filters", "(i) us", "%",
               "(ii) us", "%", "(iii) us", "%");
 
-  for (int n : {1, 5, 10, 15, 20, 25}) {
+  vwbench::BenchJson out("fig8_latency");
+  out.meta("figure", "Fig 8 — % RTT increase vs number of packet types");
+  out.meta("smoke", smoke ? 1.0 : 0.0);
+  out.meta("baseline_us", base_us);
+  for (int n : sweep) {
     TestbedConfig cfg_i;  // engine only, no RLL
     cfg_i.install_rll = false;
     cfg_i.install_trace = false;
@@ -98,17 +109,30 @@ int main() {
         vwbench::per_packet_actions_scenario("udp_req", "udp_rsp", "client",
                                              "server", 25);
 
-    double us_i = run_echo_rtt_us(cfg_i, script_i);
-    double us_ii = run_echo_rtt_us(cfg_i, script_ii);
+    double us_i = run_echo_rtt_us(cfg_i, script_i, probes, window);
+    double us_ii = run_echo_rtt_us(cfg_i, script_ii, probes, window);
 
     TestbedConfig cfg_iii = cfg_i;  // + paper-faithful RLL
     cfg_iii.install_rll = true;
     cfg_iii.rll = vwbench::paper_rll();
-    double us_iii = run_echo_rtt_us(cfg_iii, script_ii);
+    double us_iii = run_echo_rtt_us(cfg_iii, script_ii, probes, window);
 
     auto pct = [&](double us) { return (us - base_us) / base_us * 100.0; };
     std::printf("%-8d %10.2f %7.2f%% %12.2f %7.2f%% %12.2f %7.2f%%\n", n,
                 us_i, pct(us_i), us_ii, pct(us_ii), us_iii, pct(us_iii));
+    out.begin_row();
+    out.field("filters", n);
+    out.field("i_us", us_i);
+    out.field("i_pct", pct(us_i));
+    out.field("ii_us", us_ii);
+    out.field("ii_pct", pct(us_ii));
+    out.field("iii_us", us_iii);
+    out.field("iii_pct", pct(us_iii));
   }
+  if (!out.write("BENCH_fig8.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fig8.json\n");
+    return 1;
+  }
+  std::printf("# wrote BENCH_fig8.json\n");
   return 0;
 }

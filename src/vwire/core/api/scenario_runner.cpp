@@ -1,6 +1,7 @@
 #include "vwire/core/api/scenario_runner.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace vwire {
@@ -30,6 +31,107 @@ void ScenarioRunner::validate_nodes(const core::TableSet& tables) {
   }
 }
 
+void ScenarioRunner::validate_link_faults(
+    const std::vector<LinkFaultSpec>& faults) {
+  const std::vector<std::string>& names = testbed_.node_names();
+  for (const LinkFaultSpec& f : faults) {
+    auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("ScenarioSpec::link_faults on node '" +
+                                  f.node + "': " + why);
+    };
+    if (std::find(names.begin(), names.end(), f.node) == names.end()) {
+      fail("not a testbed node");
+    }
+    if (f.at.ns < 0) fail("fault time `at` is negative");
+    if (f.until.ns < 0) fail("fault end `until` is negative");
+    if (f.loss_tx < 0.0 || f.loss_tx > 1.0 || f.loss_rx < 0.0 ||
+        f.loss_rx > 1.0) {
+      fail("loss rates must be within [0, 1]");
+    }
+    if (f.extra_latency.ns < 0) fail("extra_latency is negative");
+    if (f.jitter.ns < 0) fail("jitter is negative");
+    if (f.bandwidth_bps < 0.0) fail("bandwidth_bps is negative");
+    switch (f.kind) {
+      case LinkFaultSpec::Kind::kCut:
+        break;
+      case LinkFaultSpec::Kind::kFlap:
+        if (f.flap_up.ns <= 0 || f.flap_down.ns <= 0) {
+          fail("flap_up and flap_down must both be positive");
+        }
+        break;
+      case LinkFaultSpec::Kind::kDegrade:
+        if (f.loss_tx == 0.0 && f.loss_rx == 0.0 && f.extra_latency.ns <= 0 &&
+            f.jitter.ns <= 0 && f.bandwidth_bps <= 0.0) {
+          fail("degrade fault has no effect (all knobs zero)");
+        }
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Translates a schedule entry into the phy layer's per-port fault state.
+phy::LinkFaultState to_fault_state(const LinkFaultSpec& f, TimePoint applied) {
+  phy::LinkFaultState st;
+  switch (f.kind) {
+    case LinkFaultSpec::Kind::kCut:
+      st.tx.cut = true;
+      st.rx.cut = true;
+      break;
+    case LinkFaultSpec::Kind::kFlap:
+      st.flap.up = f.flap_up;
+      st.flap.down = f.flap_down;
+      st.flap.origin = applied;
+      break;
+    case LinkFaultSpec::Kind::kDegrade:
+      st.tx.loss_rate = f.loss_tx;
+      st.rx.loss_rate = f.loss_rx;
+      st.rx.extra_latency = f.extra_latency;
+      st.rx.jitter = f.jitter;
+      st.bandwidth_bps = f.bandwidth_bps;
+      break;
+  }
+  return st;
+}
+
+std::string describe(const LinkFaultSpec& f) {
+  std::ostringstream os;
+  switch (f.kind) {
+    case LinkFaultSpec::Kind::kCut:
+      os << "link cut";
+      break;
+    case LinkFaultSpec::Kind::kFlap:
+      os << "link flap (up=" << f.flap_up.millis_f()
+         << "ms, down=" << f.flap_down.millis_f() << "ms)";
+      break;
+    case LinkFaultSpec::Kind::kDegrade:
+      os << "link degrade (";
+      bool first = true;
+      auto knob = [&](const char* name, const std::string& v) {
+        if (!first) os << ", ";
+        os << name << "=" << v;
+        first = false;
+      };
+      if (f.loss_tx > 0) knob("loss_tx", std::to_string(f.loss_tx));
+      if (f.loss_rx > 0) knob("loss_rx", std::to_string(f.loss_rx));
+      if (f.extra_latency.ns > 0) {
+        knob("latency", std::to_string(f.extra_latency.millis_f()) + "ms");
+      }
+      if (f.jitter.ns > 0) {
+        knob("jitter", std::to_string(f.jitter.millis_f()) + "ms");
+      }
+      if (f.bandwidth_bps > 0) {
+        knob("bw", std::to_string(f.bandwidth_bps) + "bps");
+      }
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
 control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   fsl::CompileOptions copts;
   copts.scenario = spec.scenario;
@@ -42,16 +144,55 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
                                   c.node + "'");
     }
   }
+  validate_link_faults(spec.link_faults);
+
+  // One seed drives every medium RNG stream for the run (satellite of the
+  // link-fault work: replaying a failure needs the exact same draw
+  // sequence).  spec.seed == 0 keeps the testbed's ongoing streams.
+  sim::Simulator& sim = testbed_.simulator();
+  phy::Medium& medium = testbed_.medium();
+  if (spec.seed != 0) medium.reseed(spec.seed);
+  const u64 effective_seed = spec.seed != 0 ? spec.seed : medium.seed();
 
   std::string control = spec.control_node.empty()
                             ? testbed_.node_names().front()
                             : spec.control_node;
   controller_ = std::make_unique<control::Controller>(
-      testbed_.simulator(), testbed_.managed_nodes(), control);
+      sim, testbed_.managed_nodes(), control);
   controller_->arm(tables, spec.options);
 
+  // Per-run robustness accounting works on deltas: a long-lived testbed
+  // accumulates stats across runs, so snapshot now, subtract later.
+  const phy::MediumStats medium_before = medium.stats();
+  rll::RllStats rll_before;
+  auto sum_rll = [this] {
+    rll::RllStats sum;
+    for (const std::string& n : testbed_.node_names()) {
+      rll::RllLayer* rll = testbed_.handles(n).rll;
+      if (!rll) continue;
+      sum.peers_aborted += rll->stats().peers_aborted;
+      sum.peers_recovered += rll->stats().peers_recovered;
+      sum.retransmits += rll->stats().retransmits;
+      sum.fast_retransmits += rll->stats().fast_retransmits;
+    }
+    return sum;
+  };
+  rll_before = sum_rll();
+
+  // Collect link events (scheduled faults and RLL transitions) as they
+  // happen; shared_ptr because the scheduled lambdas may outlive this frame
+  // if the run ends before a clear fires.
+  auto events = std::make_shared<std::vector<control::LinkFaultEvent>>();
+  testbed_.set_link_event_hook(
+      [events, &sim](const std::string& node, const net::MacAddress& peer,
+                     bool up) {
+        events->push_back({sim.now(), node,
+                           std::string(up ? "rll link-up peer "
+                                          : "rll link-down peer ") +
+                               peer.to_string()});
+      });
+
   // Schedule whole-node faults relative to the (post-arm) start of the run.
-  sim::Simulator& sim = testbed_.simulator();
   for (const NodeCrash& c : spec.crashes) {
     host::Node* n = &testbed_.node(c.node);
     sim.at(sim.now() + c.at, [n] { n->crash(); });
@@ -59,9 +200,55 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
       sim.at(sim.now() + c.recover_at, [n] { n->recover(); });
     }
   }
+  // And the link faults.  Later entries targeting the same node overwrite
+  // earlier ones while active; a clear removes whatever is installed.
+  for (const LinkFaultSpec& f : spec.link_faults) {
+    phy::PortId port = testbed_.node(f.node).nic().port();
+    std::string node_name = f.node;
+    std::string desc = describe(f);
+    LinkFaultSpec fault = f;
+    phy::Medium* med = &medium;
+    sim.at(sim.now() + f.at, [med, port, fault, node_name, desc, events,
+                              &sim] {
+      med->set_link_fault(port, to_fault_state(fault, sim.now()));
+      events->push_back({sim.now(), node_name, desc + " applied"});
+    });
+    if (f.until > f.at) {
+      sim.at(sim.now() + f.until, [med, port, node_name, desc, events,
+                                   &sim] {
+        med->clear_link_fault(port);
+        events->push_back({sim.now(), node_name, desc + " cleared"});
+      });
+    }
+  }
 
   if (spec.workload) spec.workload();
-  return controller_->run(spec.options);
+  control::ScenarioResult result = controller_->run(spec.options);
+  testbed_.set_link_event_hook({});
+
+  result.effective_seed = effective_seed;
+  result.link_events = std::move(*events);
+  const phy::MediumStats& m = medium.stats();
+  rll::RllStats rll_after = sum_rll();
+  result.robustness.rll_link_down =
+      rll_after.peers_aborted - rll_before.peers_aborted;
+  result.robustness.rll_link_up =
+      rll_after.peers_recovered - rll_before.peers_recovered;
+  result.robustness.rll_retransmits =
+      rll_after.retransmits - rll_before.retransmits;
+  result.robustness.rll_fast_retransmits =
+      rll_after.fast_retransmits - rll_before.fast_retransmits;
+  result.robustness.medium_dropped_down =
+      m.frames_dropped_down - medium_before.frames_dropped_down;
+  result.robustness.medium_dropped_queue =
+      m.frames_dropped_queue - medium_before.frames_dropped_queue;
+  result.robustness.medium_dropped_cut =
+      m.frames_dropped_cut - medium_before.frames_dropped_cut;
+  result.robustness.medium_dropped_flap =
+      m.frames_dropped_flap - medium_before.frames_dropped_flap;
+  result.robustness.medium_dropped_loss =
+      m.frames_dropped_loss - medium_before.frames_dropped_loss;
+  return result;
 }
 
 }  // namespace vwire

@@ -23,6 +23,35 @@ struct NodeCrash {
   Duration recover_at{};
 };
 
+/// A scheduled fault on one node's *link* (the node itself stays healthy).
+/// Applied at `at` (measured from the start of supervision) and cleared at
+/// `until`; with `until <= at` the fault lasts for the rest of the run.
+///
+///  - kCut:     hard partition — every frame in both directions is dropped.
+///  - kFlap:    square-wave partition: `flap_up` of connectivity, then
+///              `flap_down` of outage, repeating while the fault is active.
+///  - kDegrade: the link stays up but misbehaves — asymmetric random loss
+///              (`loss_tx` host→wire, `loss_rx` wire→host), added one-way
+///              latency and uniform jitter, and/or a bandwidth throttle.
+struct LinkFaultSpec {
+  enum class Kind : u8 { kCut, kFlap, kDegrade };
+  Kind kind{Kind::kCut};
+  std::string node;  ///< whose link (NIC port) the fault applies to
+  Duration at{};
+  Duration until{};
+
+  // kFlap: both must be > 0.
+  Duration flap_up{};
+  Duration flap_down{};
+
+  // kDegrade: at least one knob must take effect.
+  double loss_tx{0.0};       ///< P(drop) for frames the node transmits
+  double loss_rx{0.0};       ///< P(drop) for frames the node receives
+  Duration extra_latency{};  ///< added to every delivery toward the node
+  Duration jitter{};         ///< uniform extra delay in [0, jitter) (rx side)
+  double bandwidth_bps{0.0};  ///< throttle the port below the link rate
+};
+
 struct ScenarioSpec {
   /// FSL source (FILTER_TABLE / NODE_TABLE / SCENARIO sections).
   std::string script;
@@ -35,6 +64,12 @@ struct ScenarioSpec {
   std::function<void()> workload;
   /// Whole-node crash/recover faults to inject during the run.
   std::vector<NodeCrash> crashes;
+  /// Link faults (partition / flap / degrade) to schedule during the run.
+  std::vector<LinkFaultSpec> link_faults;
+  /// Deterministic seed for the run's media RNGs; 0 keeps the testbed's
+  /// configured seed.  The seed actually used is echoed in
+  /// ScenarioResult::effective_seed.
+  u64 seed{0};
   control::RunOptions options{};
 };
 
@@ -52,6 +87,10 @@ class ScenarioRunner {
 
  private:
   void validate_nodes(const core::TableSet& tables);
+  /// Rejects malformed fault schedules (unknown node, non-positive flap
+  /// phases, loss rates outside [0,1], no-op degrade…) with
+  /// std::invalid_argument before the run starts.
+  void validate_link_faults(const std::vector<LinkFaultSpec>& faults);
 
   Testbed& testbed_;
   std::unique_ptr<control::Controller> controller_;

@@ -37,6 +37,16 @@ host::Node& Testbed::add_node(const std::string& name, net::MacAddress mac,
   if (config_.install_rll) {
     auto rll = std::make_unique<rll::RllLayer>(sim_, config_.rll);
     h.rll = static_cast<rll::RllLayer*>(&node->add_layer(std::move(rll)));
+    h.rll->set_link_listener(
+        [this, name](const net::MacAddress& peer, bool up) {
+          if (config_.install_trace) {
+            trace_.annotate(sim_.now(), name,
+                            std::string(up ? "rll link-up peer "
+                                           : "rll link-down peer ") +
+                                peer.to_string());
+          }
+          if (link_hook_) link_hook_(name, peer, up);
+        });
   }
   if (config_.install_trace) {
     auto tap = std::make_unique<trace::TapLayer>(trace_);

@@ -85,6 +85,14 @@ class Testbed {
   /// Builds the controller view (engine+agent per node) for Controller.
   std::vector<control::ManagedNode> managed_nodes();
 
+  /// Observer of RLL link-down/link-up transitions on any node (peer
+  /// quarantined / healed).  Transitions are always annotated into the
+  /// trace; the hook is for whoever supervises the run (ScenarioRunner
+  /// collects them into ScenarioResult::link_events).
+  using LinkEventHook = std::function<void(
+      const std::string& node, const net::MacAddress& peer, bool up)>;
+  void set_link_event_hook(LinkEventHook hook) { link_hook_ = std::move(hook); }
+
  private:
   TestbedConfig config_;
   sim::Simulator sim_;
@@ -92,6 +100,7 @@ class Testbed {
   trace::TraceBuffer trace_;
   std::vector<std::pair<std::string, NodeHandles>> entries_;
   std::vector<std::unique_ptr<host::Node>> nodes_;
+  LinkEventHook link_hook_;
 };
 
 }  // namespace vwire

@@ -23,6 +23,29 @@ std::string ScenarioResult::summary() const {
     os << ", dead:";
     for (const std::string& n : dead_nodes) os << " " << n;
   }
+  if (effective_seed != 0) os << ", seed " << effective_seed;
+  if (!link_events.empty()) os << ", " << link_events.size() << " link event(s)";
+  if (robustness.any()) {
+    os << ", shed[";
+    const RobustnessReport& r = robustness;
+    bool first = true;
+    auto field = [&](const char* name, u64 v) {
+      if (v == 0) return;
+      if (!first) os << " ";
+      os << name << "=" << v;
+      first = false;
+    };
+    field("link_down", r.rll_link_down);
+    field("link_up", r.rll_link_up);
+    field("retx", r.rll_retransmits);
+    field("fast_retx", r.rll_fast_retransmits);
+    field("drop_down", r.medium_dropped_down);
+    field("drop_queue", r.medium_dropped_queue);
+    field("drop_cut", r.medium_dropped_cut);
+    field("drop_flap", r.medium_dropped_flap);
+    field("drop_loss", r.medium_dropped_loss);
+    os << "]";
+  }
   return os.str();
 }
 

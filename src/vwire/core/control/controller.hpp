@@ -58,6 +58,34 @@ struct ArmReport {
   std::vector<std::string> failed_nodes; ///< never acked / rejected tables
 };
 
+/// One link-fault lifecycle event observed during a run: a scheduled fault
+/// being applied/cleared, or an RLL peer link-down/link-up transition.
+struct LinkFaultEvent {
+  TimePoint at{};
+  std::string node;
+  std::string description;
+};
+
+/// Fault-shed accounting for one run (deltas over the run, not testbed
+/// lifetime totals): how much traffic the scheduled link faults discarded
+/// and how often the RLL's self-healing state machine transitioned.
+struct RobustnessReport {
+  u64 rll_link_down{0};      ///< peers quarantined by retry exhaustion
+  u64 rll_link_up{0};        ///< quarantined peers healed
+  u64 rll_fast_retransmits{0};
+  u64 rll_retransmits{0};
+  u64 medium_dropped_down{0};   ///< frames lost to down ports
+  u64 medium_dropped_queue{0};  ///< frames lost to full queues
+  u64 medium_dropped_cut{0};    ///< frames lost to scheduled cuts
+  u64 medium_dropped_flap{0};   ///< frames lost to flap down-phases
+  u64 medium_dropped_loss{0};   ///< frames lost to scheduled loss rates
+  bool any() const {
+    return rll_link_down || rll_link_up || rll_fast_retransmits ||
+           rll_retransmits || medium_dropped_down || medium_dropped_queue ||
+           medium_dropped_cut || medium_dropped_flap || medium_dropped_loss;
+  }
+};
+
 struct ScenarioResult {
   std::string scenario;
   bool stopped{false};        ///< a STOP action ended the run
@@ -72,6 +100,13 @@ struct ScenarioResult {
   /// Counters whose home node died — their final value is last-known, not
   /// authoritative.
   std::vector<std::string> degraded_counters;
+  /// The RNG seed the run's media actually used (echoed for replay).
+  u64 effective_seed{0};
+  /// Scheduled link faults applied/cleared and RLL link transitions, in
+  /// simulated-time order.
+  std::vector<LinkFaultEvent> link_events;
+  /// Per-run fault-shed counters (see RobustnessReport).
+  RobustnessReport robustness;
 
   /// The paper's pass criterion: no FLAG_ERROR fired, and if the scenario
   /// declared an inactivity timeout, it ended via STOP rather than silence.

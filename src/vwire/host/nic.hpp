@@ -35,6 +35,9 @@ class Nic final : public Layer, public phy::MediumClient {
   const NicStats& stats() const { return stats_; }
   const net::MacAddress& mac() const { return mac_; }
 
+  /// The medium port this NIC is attached to (link-fault scheduling key).
+  phy::PortId port() const { return port_; }
+
  private:
   sim::Simulator& sim_;
   phy::Medium& medium_;

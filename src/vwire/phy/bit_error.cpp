@@ -6,6 +6,8 @@ namespace vwire::phy {
 
 BitErrorModel::BitErrorModel(double ber, u64 seed) : ber_(ber), rng_(seed) {}
 
+void BitErrorModel::reseed(u64 seed) { rng_ = Rng(seed); }
+
 bool BitErrorModel::corrupt(std::size_t bytes) {
   if (ber_ <= 0.0) return false;
   double bits = static_cast<double>(bytes) * 8.0;

@@ -17,6 +17,9 @@ class BitErrorModel {
   /// True if a frame of `bytes` octets gets corrupted in transit.
   bool corrupt(std::size_t bytes);
 
+  /// Restarts the lottery's random stream from `seed` (same BER).
+  void reseed(u64 seed);
+
   double ber() const { return ber_; }
 
  private:

@@ -6,11 +6,25 @@
 namespace vwire::phy {
 
 Medium::Medium(sim::Simulator& sim, LinkParams params, u64 seed)
-    : sim_(sim), params_(params), bit_errors_(params.bit_error_rate, seed) {}
+    : sim_(sim),
+      params_(params),
+      bit_errors_(params.bit_error_rate, seed),
+      fault_rng_(seed) {
+  Medium::reseed(seed);
+}
+
+void Medium::reseed(u64 seed) {
+  // One master seed fans out to independent streams via SplitMix64, so the
+  // bit-error lottery and the fault lotteries never share draws.
+  seed_ = seed;
+  u64 s = seed;
+  bit_errors_.reseed(splitmix64(s));
+  fault_rng_ = Rng(splitmix64(s));
+}
 
 PortId Medium::attach(MediumClient* client) {
   VWIRE_ASSERT(client != nullptr, "attach null client");
-  ports_.push_back(Port{client, true, {}, 0});
+  ports_.push_back(Port{client, true, {}, 0, {}});
   return static_cast<PortId>(ports_.size() - 1);
 }
 
@@ -24,20 +38,115 @@ bool Medium::port_up(PortId port) const {
   return ports_[port].up;
 }
 
+void Medium::set_link_fault(PortId port, const LinkFaultState& fault) {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  ports_[port].fault = fault;
+}
+
+const LinkFaultState& Medium::link_fault(PortId port) const {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  return ports_[port].fault;
+}
+
+void Medium::clear_link_fault(PortId port) {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  ports_[port].fault = LinkFaultState{};
+}
+
+bool Medium::link_cut_tx(PortId port) const {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  const LinkFaultState& f = ports_[port].fault;
+  return f.tx.cut || f.flap.down_at(sim_.now());
+}
+
+bool Medium::link_cut_rx(PortId port) const {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  const LinkFaultState& f = ports_[port].fault;
+  return f.rx.cut || f.flap.down_at(sim_.now());
+}
+
 Duration Medium::serialization_time(std::size_t bytes) const {
   std::size_t wire_bytes = std::max(bytes, params_.min_frame_bytes);
   double secs = static_cast<double>(wire_bytes) * 8.0 / params_.bandwidth_bps;
   return seconds_f(secs);
 }
 
+Duration Medium::serialization_time_on(PortId port, std::size_t bytes) const {
+  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  double bps = params_.bandwidth_bps;
+  double throttle = ports_[port].fault.bandwidth_bps;
+  if (throttle > 0 && throttle < bps) bps = throttle;
+  std::size_t wire_bytes = std::max(bytes, params_.min_frame_bytes);
+  return seconds_f(static_cast<double>(wire_bytes) * 8.0 / bps);
+}
+
 bool Medium::corrupts_frame(std::size_t bytes) {
   return bit_errors_.corrupt(bytes);
+}
+
+bool Medium::dir_fault_drop(const LinkFaultDir& dir, bool flap_down,
+                            u64* cut_stat, u64* flap_stat, u64* loss_stat) {
+  if (dir.cut) {
+    ++*cut_stat;
+    return true;
+  }
+  if (flap_down) {
+    ++*flap_stat;
+    return true;
+  }
+  if (dir.loss_rate > 0 && fault_rng_.chance(dir.loss_rate)) {
+    ++*loss_stat;
+    return true;
+  }
+  return false;
+}
+
+Duration Medium::dir_fault_delay(const LinkFaultDir& dir) {
+  Duration d = dir.extra_latency;
+  if (dir.jitter.ns > 0) {
+    d += Duration{fault_rng_.range(0, dir.jitter.ns)};
+  }
+  if (d.ns > 0) ++stats_.frames_delayed_fault;
+  return d;
+}
+
+bool Medium::tx_fault_drop(PortId port) {
+  const LinkFaultState& f = ports_[port].fault;
+  return dir_fault_drop(f.tx, f.flap.down_at(sim_.now()),
+                        &stats_.frames_dropped_cut, &stats_.frames_dropped_flap,
+                        &stats_.frames_dropped_loss);
+}
+
+Duration Medium::tx_fault_delay(PortId port) {
+  return dir_fault_delay(ports_[port].fault.tx);
 }
 
 void Medium::deliver_to_port(PortId port, net::Packet pkt) {
   VWIRE_ASSERT(port < ports_.size(), "bad port id");
   Port& p = ports_[port];
   if (!p.up) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
+  if (dir_fault_drop(p.fault.rx, p.fault.flap.down_at(sim_.now()),
+                     &stats_.frames_dropped_cut, &stats_.frames_dropped_flap,
+                     &stats_.frames_dropped_loss)) {
+    return;
+  }
+  Duration extra = dir_fault_delay(p.fault.rx);
+  if (extra.ns > 0) {
+    auto shared = std::make_shared<net::Packet>(std::move(pkt));
+    sim_.at(sim_.now() + extra,
+            [this, port, shared] { finish_delivery(port, std::move(*shared)); });
+    return;
+  }
+  finish_delivery(port, std::move(pkt));
+}
+
+void Medium::finish_delivery(PortId port, net::Packet pkt) {
+  Port& p = ports_[port];
+  if (!p.up) {
+    // The port went down while the frame sat in the jitter delay.
     ++stats_.frames_dropped_down;
     return;
   }

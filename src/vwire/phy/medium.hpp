@@ -6,6 +6,12 @@
 // delay for every frame, bounds queues (overload drops), and can corrupt
 // frames with a bit-error model — the uncontrolled loss the Reliable Link
 // Layer exists to hide (paper §3.3).
+//
+// Beyond the static LinkParams, every port carries a *mutable* LinkFaultState
+// so scenarios can fault the link itself at runtime: partition (cut), timed
+// flap cycles, asymmetric loss, extra latency/jitter, and a bandwidth
+// throttle.  These are first-class schedulable fault primitives (see
+// ScenarioSpec::link_faults), one layer below the node-crash primitives.
 #pragma once
 
 #include "vwire/net/packet.hpp"
@@ -38,12 +44,61 @@ struct LinkParams {
   std::size_t min_frame_bytes{64};      ///< Ethernet minimum frame size
 };
 
+/// One direction of a port's fault state: `tx` applies to frames leaving
+/// the attached host, `rx` to frames arriving at it — so a loss rate or
+/// delay set on only one facet models an asymmetric degradation.
+struct LinkFaultDir {
+  bool cut{false};            ///< hard partition: every frame dropped
+  double loss_rate{0.0};      ///< per-frame drop probability [0,1]
+  Duration extra_latency{};   ///< fixed extra one-way delay
+  Duration jitter{};          ///< extra uniform random delay in [0, jitter]
+};
+
+/// Timed flap: a deterministic square wave computed from the simulation
+/// clock (no timers to leak).  The link is healthy for `up`, cut for
+/// `down`, repeating from `origin`.  Inactive while down == 0.
+struct LinkFlap {
+  Duration up{};
+  Duration down{};
+  TimePoint origin{};
+
+  bool active() const { return down.ns > 0; }
+  /// True when the flap's square wave has the link in its cut phase.
+  bool down_at(TimePoint now) const {
+    if (!active()) return false;
+    i64 period = up.ns + down.ns;
+    i64 phase = (now - origin).ns % period;
+    if (phase < 0) phase += period;
+    return phase >= up.ns;
+  }
+};
+
+/// The full mutable fault state of one port's link.
+struct LinkFaultState {
+  LinkFaultDir tx, rx;
+  LinkFlap flap;
+  /// When > 0, caps this port's link rate below LinkParams::bandwidth_bps
+  /// (a bandwidth bottleneck), both directions.
+  double bandwidth_bps{0.0};
+
+  bool any() const {
+    return tx.cut || rx.cut || tx.loss_rate > 0 || rx.loss_rate > 0 ||
+           tx.extra_latency.ns > 0 || rx.extra_latency.ns > 0 ||
+           tx.jitter.ns > 0 || rx.jitter.ns > 0 || flap.active() ||
+           bandwidth_bps > 0;
+  }
+};
+
 struct MediumStats {
   u64 frames_offered{0};
   u64 frames_delivered{0};
   u64 frames_dropped_error{0};  ///< corrupted by bit errors (silent loss)
   u64 frames_dropped_queue{0};  ///< queue overflow under overload
   u64 frames_dropped_down{0};   ///< destination port down (FAIL'ed node)
+  u64 frames_dropped_cut{0};    ///< scheduled link cut (partition)
+  u64 frames_dropped_flap{0};   ///< flap cycle's down phase
+  u64 frames_dropped_loss{0};   ///< scheduled probabilistic loss
+  u64 frames_delayed_fault{0};  ///< frames given extra latency/jitter
   u64 bytes_delivered{0};
   u64 collisions{0};            ///< shared-bus deferrals
 };
@@ -64,8 +119,25 @@ class Medium {
   void set_port_up(PortId port, bool up);
   bool port_up(PortId port) const;
 
+  /// Runtime link-fault state: replaces, reads or clears the whole fault
+  /// record of a port.  Takes effect on the next frame touching the port.
+  void set_link_fault(PortId port, const LinkFaultState& fault);
+  const LinkFaultState& link_fault(PortId port) const;
+  void clear_link_fault(PortId port);
+
+  /// True if the port's link is partitioned right now in `tx` or `rx`
+  /// direction respectively — by an explicit cut or a flap's down phase.
+  bool link_cut_tx(PortId port) const;
+  bool link_cut_rx(PortId port) const;
+
   /// Hands a frame to the medium for transmission from `port`.
   virtual void transmit(PortId port, net::Packet pkt) = 0;
+
+  /// Re-derives every RNG stream in this medium (bit errors, fault
+  /// lotteries, subclass extras) from one master seed via SplitMix64, so a
+  /// scenario's single seed pins all phy randomness.
+  virtual void reseed(u64 seed);
+  u64 seed() const { return seed_; }
 
   const MediumStats& stats() const { return stats_; }
   const LinkParams& params() const { return params_; }
@@ -75,6 +147,9 @@ class Medium {
   /// frame size, as a real MAC would).
   Duration serialization_time(std::size_t bytes) const;
 
+  /// Same, at the port's effective rate (bandwidth throttle if faulted).
+  Duration serialization_time_on(PortId port, std::size_t bytes) const;
+
  protected:
   struct Port {
     MediumClient* client{nullptr};
@@ -83,21 +158,41 @@ class Medium {
     // frames are waiting (for the queue-limit drop decision).
     TimePoint busy_until{};
     std::size_t queued{0};
+    LinkFaultState fault;
   };
 
   /// Runs the bit-error lottery; true means the frame would fail its FCS
   /// check and a real NIC would discard it silently.
   bool corrupts_frame(std::size_t bytes);
 
+  /// Transmit-side fault gate: true if the frame dies to a cut, flap-down
+  /// phase or loss lottery on its way out of `port` (stats counted here).
+  bool tx_fault_drop(PortId port);
+
+  /// Extra transmit-side delay (fixed latency + jitter draw) for `port`.
+  Duration tx_fault_delay(PortId port);
+
   /// Final hop: hands the frame to the destination port's client (unless
-  /// the port is down or the frame was corrupted).
+  /// the port is down, partitioned, or loses the rx lottery).  Rx-side
+  /// latency/jitter reschedules the hand-off — jitter may reorder frames,
+  /// which is exactly the hazard the adaptive RLL must survive.
   void deliver_to_port(PortId port, net::Packet pkt);
 
   sim::Simulator& sim_;
   LinkParams params_;
   BitErrorModel bit_errors_;
+  Rng fault_rng_;
   std::vector<Port> ports_;
   MediumStats stats_;
+  u64 seed_{0};
+
+ private:
+  /// Drop/delay decision shared by the tx and rx facets.
+  bool dir_fault_drop(const LinkFaultDir& dir, bool flap_down, u64* cut_stat,
+                      u64* flap_stat, u64* loss_stat);
+  Duration dir_fault_delay(const LinkFaultDir& dir);
+
+  void finish_delivery(PortId port, net::Packet pkt);
 };
 
 }  // namespace vwire::phy

@@ -3,7 +3,15 @@
 namespace vwire::phy {
 
 SharedBus::SharedBus(sim::Simulator& sim, LinkParams params, u64 seed)
-    : Medium(sim, params, seed), backoff_rng_(seed ^ 0xb5bab5ba) {}
+    : Medium(sim, params, seed), backoff_rng_(seed ^ 0xb5bab5ba) {
+  SharedBus::reseed(seed);
+}
+
+void SharedBus::reseed(u64 seed) {
+  Medium::reseed(seed);
+  u64 s = seed ^ 0xb5bab5ba;
+  backoff_rng_ = Rng(splitmix64(s));
+}
 
 void SharedBus::transmit(PortId port, net::Packet pkt) {
   ++stats_.frames_offered;
@@ -11,6 +19,7 @@ void SharedBus::transmit(PortId port, net::Packet pkt) {
     ++stats_.frames_dropped_down;
     return;
   }
+  if (tx_fault_drop(port)) return;
   if (channel_queued_ >= params_.queue_limit) {
     ++stats_.frames_dropped_queue;
     return;
@@ -22,11 +31,11 @@ void SharedBus::transmit(PortId port, net::Packet pkt) {
     ++stats_.collisions;
     start = channel_busy_until_ + kSlot * backoff_rng_.range(0, 3);
   }
-  TimePoint done = start + serialization_time(pkt.size());
+  TimePoint done = start + serialization_time_on(port, pkt.size());
   channel_busy_until_ = done;
   ++channel_queued_;
 
-  TimePoint arrive = done + params_.propagation;
+  TimePoint arrive = done + params_.propagation + tx_fault_delay(port);
   auto shared = std::make_shared<net::Packet>(std::move(pkt));
   sim_.at(arrive, [this, port, shared] {
     --channel_queued_;

@@ -16,6 +16,7 @@ class SharedBus final : public Medium {
   SharedBus(sim::Simulator& sim, LinkParams params, u64 seed = 1);
 
   void transmit(PortId port, net::Packet pkt) override;
+  void reseed(u64 seed) override;
 
  private:
   void complete(PortId src_port, net::Packet pkt);

@@ -9,10 +9,10 @@ SwitchedLan::SwitchedLan(sim::Simulator& sim, LinkParams params, u64 seed)
 
 std::optional<TimePoint> SwitchedLan::enqueue_leg(TimePoint& busy_until,
                                                   std::size_t& queued,
-                                                  std::size_t bytes) {
+                                                  Duration ser) {
   if (queued >= params_.queue_limit) return std::nullopt;
   TimePoint start = std::max(sim_.now(), busy_until);
-  TimePoint done = start + serialization_time(bytes);
+  TimePoint done = start + ser;
   busy_until = done;
   ++queued;
   return done;
@@ -31,14 +31,17 @@ void SwitchedLan::transmit(PortId port, net::Packet pkt) {
     ++stats_.frames_dropped_down;
     return;
   }
+  if (tx_fault_drop(port)) return;
   Port& in = ports_[port];
-  auto done = enqueue_leg(in.busy_until, in.queued, pkt.size());
+  auto done = enqueue_leg(in.busy_until, in.queued,
+                          serialization_time_on(port, pkt.size()));
   if (!done) {
     ++stats_.frames_dropped_queue;
     return;
   }
-  // Frame fully received by the switch after serialization + propagation.
-  TimePoint at_switch = *done + params_.propagation;
+  // Frame fully received by the switch after serialization + propagation,
+  // plus any scheduled tx-side latency/jitter on the host's link.
+  TimePoint at_switch = *done + params_.propagation + tx_fault_delay(port);
   auto shared = std::make_shared<net::Packet>(std::move(pkt));
   sim_.at(at_switch, [this, port, shared] {
     --ports_[port].queued;
@@ -55,7 +58,10 @@ void SwitchedLan::switch_forward(PortId ingress, net::Packet pkt) {
   auto send_out = [this, ingress, &pkt](PortId out) {
     if (out == ingress) return;
     Leg& leg = egress_[out];
-    auto done = enqueue_leg(leg.busy_until, leg.queued, pkt.size());
+    // The switch→node leg runs at the destination link's effective rate
+    // (a throttled port bottlenecks both directions of its link).
+    auto done = enqueue_leg(leg.busy_until, leg.queued,
+                            serialization_time_on(out, pkt.size()));
     if (!done) {
       ++stats_.frames_dropped_queue;
       return;

@@ -19,10 +19,11 @@ class SwitchedLan final : public Medium {
   void transmit(PortId port, net::Packet pkt) override;
 
  private:
-  /// Queues `pkt` on a transmit leg described by (busy_until, queued) and
-  /// returns the completion time, or nullopt if the queue is full.
+  /// Queues a frame taking `ser` wire time on a transmit leg described by
+  /// (busy_until, queued) and returns the completion time, or nullopt if
+  /// the queue is full.
   std::optional<TimePoint> enqueue_leg(TimePoint& busy_until,
-                                       std::size_t& queued, std::size_t bytes);
+                                       std::size_t& queued, Duration ser);
 
   /// Frame has fully arrived at the switch; forward out the egress leg.
   void switch_forward(PortId ingress, net::Packet pkt);

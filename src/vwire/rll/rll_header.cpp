@@ -17,7 +17,8 @@ std::optional<RllHeader> RllHeader::read(BytesView in, std::size_t off) {
   RllHeader h;
   u8 t = read_u8(in, off + 0);
   if (t != static_cast<u8>(RllType::kData) &&
-      t != static_cast<u8>(RllType::kAck)) {
+      t != static_cast<u8>(RllType::kAck) &&
+      t != static_cast<u8>(RllType::kProbe)) {
     return std::nullopt;
   }
   h.type = static_cast<RllType>(t);
@@ -73,6 +74,19 @@ net::Packet make_ack(const net::MacAddress& dst, const net::MacAddress& src,
       out);
   RllHeader h;
   h.type = RllType::kAck;
+  h.flags = rll_flags::kAckValid;
+  h.ack = ack;
+  h.write(out, RllHeader::kOffset);
+  return net::Packet(std::move(out));
+}
+
+net::Packet make_probe(const net::MacAddress& dst, const net::MacAddress& src,
+                       u32 ack) {
+  Bytes out(net::EthernetHeader::kSize + RllHeader::kSize);
+  net::EthernetHeader{dst, src, static_cast<u16>(net::EtherType::kRll)}.write(
+      out);
+  RllHeader h;
+  h.type = RllType::kProbe;
   h.flags = rll_flags::kAckValid;
   h.ack = ack;
   h.write(out, RllHeader::kOffset);

@@ -21,8 +21,9 @@
 namespace vwire::rll {
 
 enum class RllType : u8 {
-  kData = 1,  ///< carries an encapsulated frame
-  kAck = 2,   ///< standalone cumulative acknowledgement
+  kData = 1,   ///< carries an encapsulated frame
+  kAck = 2,    ///< standalone cumulative acknowledgement
+  kProbe = 3,  ///< link-liveness probe to a quarantined peer (elicits an ack)
 };
 
 namespace rll_flags {
@@ -61,5 +62,11 @@ std::optional<net::Packet> decapsulate(const net::Packet& pkt);
 /// Builds a standalone ack frame from `src` to `dst`.
 net::Packet make_ack(const net::MacAddress& dst, const net::MacAddress& src,
                      u32 ack);
+
+/// Builds a link-liveness probe from `src` to `dst`; the receiver answers
+/// any probe with an immediate standalone ack, which is how a sender that
+/// quarantined the peer learns the link healed.
+net::Packet make_probe(const net::MacAddress& dst, const net::MacAddress& src,
+                       u32 ack);
 
 }  // namespace vwire::rll

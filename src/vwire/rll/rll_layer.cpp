@@ -1,5 +1,7 @@
 #include "vwire/rll/rll_layer.hpp"
 
+#include <algorithm>
+
 #include "vwire/util/logging.hpp"
 
 namespace vwire::rll {
@@ -11,6 +13,7 @@ RllLayer::PeerState::PeerState(sim::Simulator& sim, RllLayer* self,
                                net::MacAddress peer)
     : peer_mac(peer),
       rto_timer(sim, [self, this] { self->on_rto(*this); }),
+      probe_timer(sim, [self, this] { self->on_probe_timer(*this); }),
       ack_timer(sim, [self, this] { self->send_standalone_ack(*this); }) {}
 
 RllLayer::PeerState& RllLayer::peer(const net::MacAddress& mac) {
@@ -27,6 +30,7 @@ void RllLayer::on_node_crash() {
     stats_.crash_purged += p->inflight.size() + p->pending.size();
     p->rto_timer.cancel();
     p->ack_timer.cancel();
+    p->probe_timer.cancel();
     p->inflight.clear();
     p->pending.clear();
     p->reorder.clear();
@@ -36,6 +40,22 @@ void RllLayer::on_node_crash() {
     p->retry_rounds = 0;
     p->unacked_rx = 0;
     p->announce_reset = true;
+    // A crashed host loses its ARQ soft state entirely.
+    p->link = LinkState::kUp;
+    p->probe_rounds = 0;
+    p->dup_acks = 0;
+    p->sample_armed = false;
+    p->srtt_valid = false;
+  }
+}
+
+void RllLayer::on_node_recover() {
+  // Probe quarantined peers right away: the outage may have been ours.
+  for (auto& [mac, p] : peers_) {
+    if (p->link != LinkState::kDown) continue;
+    p->probe_rounds = 0;
+    p->probe_timer.cancel();
+    on_probe_timer(*p);
   }
 }
 
@@ -43,6 +63,50 @@ std::size_t RllLayer::unacked_frames() const {
   std::size_t n = 0;
   for (const auto& [mac, p] : peers_) n += p->inflight.size();
   return n;
+}
+
+RllLayer::PeerInfo RllLayer::peer_info(const net::MacAddress& mac) const {
+  PeerInfo info;
+  auto it = peers_.find(mac);
+  if (it == peers_.end()) return info;
+  const PeerState& p = *it->second;
+  info.known = true;
+  info.up = p.link == LinkState::kUp;
+  info.srtt = p.srtt;
+  info.rttvar = p.rttvar;
+  info.rto = rto_for(p);
+  info.retry_rounds = p.retry_rounds;
+  info.inflight = p.inflight.size();
+  info.pending = p.pending.size();
+  return info;
+}
+
+Duration RllLayer::rto_for(const PeerState& p) const {
+  Duration base = params_.rto;
+  if (p.srtt_valid) base = p.srtt + p.rttvar * 4;
+  base = std::clamp(base, params_.min_rto, params_.max_rto);
+  // Exponential backoff per consecutive timeout round, capped.
+  for (u32 i = 0; i < p.retry_rounds && base < params_.max_rto; ++i) {
+    base = base * 2;
+  }
+  return std::min(base, params_.max_rto);
+}
+
+void RllLayer::take_rtt_sample(PeerState& p, Duration rtt) {
+  if (rtt.ns < 0) return;
+  if (!p.srtt_valid) {
+    p.srtt = rtt;
+    p.rttvar = rtt / 2;
+    p.srtt_valid = true;
+  } else {
+    // Jacobson/Karels: rttvar = 3/4·rttvar + 1/4·|srtt − rtt|,
+    //                  srtt   = 7/8·srtt   + 1/8·rtt.
+    Duration err = rtt - p.srtt;
+    if (err.ns < 0) err.ns = -err.ns;
+    p.rttvar = (p.rttvar * 3 + err) / 4;
+    p.srtt = (p.srtt * 7 + rtt) / 8;
+  }
+  ++stats_.rtt_samples;
 }
 
 void RllLayer::send_down(net::Packet pkt) {
@@ -54,6 +118,20 @@ void RllLayer::send_down(net::Packet pkt) {
     return;
   }
   PeerState& p = peer(eth->dst);
+  if (p.link == LinkState::kDown) {
+    // Quarantined peer: hold traffic (bounded) until the link heals, and
+    // make sure a probe cycle is watching for it.
+    if (p.pending.size() >= params_.tx_queue_limit) {
+      ++stats_.dropped_queue_full;
+      return;
+    }
+    p.pending.push_back(std::move(pkt));
+    if (!p.probe_timer.armed()) {
+      p.probe_rounds = 0;  // fresh interest in the peer: new probe budget
+      p.probe_timer.start(params_.probe_interval);
+    }
+    return;
+  }
   if (p.inflight.size() >= params_.window) {
     if (p.pending.size() >= params_.tx_queue_limit) {
       ++stats_.dropped_queue_full;
@@ -73,6 +151,13 @@ void RllLayer::send_data_frame(PeerState& p, const net::Packet& raw) {
     p.announce_reset = false;
   }
   net::Packet data = encapsulate(raw, p.next_seq, ack_value(p), flags);
+  // Karn's rule: only a frame transmitted exactly once may produce an RTT
+  // sample; arm the measurement on the first untimed fresh transmission.
+  if (!p.sample_armed) {
+    p.sample_armed = true;
+    p.sample_seq = p.next_seq;
+    p.sample_sent = sim_.now();
+  }
   ++p.next_seq;
   p.inflight.push_back(data.clone());
   ++stats_.data_tx;
@@ -81,11 +166,12 @@ void RllLayer::send_data_frame(PeerState& p, const net::Packet& raw) {
     p.unacked_rx = 0;
     p.ack_timer.cancel();
   }
-  if (!p.rto_timer.armed()) p.rto_timer.start(params_.rto);
+  if (!p.rto_timer.armed()) p.rto_timer.start(rto_for(p));
   pass_down(std::move(data));
 }
 
 void RllLayer::transmit_window(PeerState& p) {
+  if (p.link == LinkState::kDown) return;
   while (p.inflight.size() < params_.window && !p.pending.empty()) {
     net::Packet raw = std::move(p.pending.front());
     p.pending.pop_front();
@@ -93,19 +179,38 @@ void RllLayer::transmit_window(PeerState& p) {
   }
 }
 
-void RllLayer::handle_ack(PeerState& p, u32 ack) {
+void RllLayer::handle_ack(PeerState& p, u32 ack, bool standalone) {
   bool advanced = false;
   while (!p.inflight.empty() && seq_less(p.send_una, ack)) {
     p.inflight.pop_front();
     ++p.send_una;
     advanced = true;
   }
-  if (!advanced) return;
+  if (!advanced) {
+    // Only standalone acks are credible duplicate signals: piggybacked acks
+    // on reverse data repeat the ack value as a matter of course.
+    if (standalone && params_.fast_retx_dupacks > 0 && !p.inflight.empty() &&
+        ack == p.send_una) {
+      if (++p.dup_acks >= params_.fast_retx_dupacks) {
+        p.dup_acks = 0;
+        p.sample_armed = false;  // Karn: the resent frame must not be timed
+        ++stats_.retransmits;
+        ++stats_.fast_retransmits;
+        pass_down(p.inflight.front().clone());
+      }
+    }
+    return;
+  }
+  p.dup_acks = 0;
   p.retry_rounds = 0;
+  if (p.sample_armed && seq_less(p.sample_seq, ack)) {
+    take_rtt_sample(p, sim_.now() - p.sample_sent);
+    p.sample_armed = false;
+  }
   if (p.inflight.empty()) {
     p.rto_timer.cancel();
   } else {
-    p.rto_timer.start(params_.rto);
+    p.rto_timer.start(rto_for(p));
   }
   transmit_window(p);
 }
@@ -113,23 +218,67 @@ void RllLayer::handle_ack(PeerState& p, u32 ack) {
 void RllLayer::on_rto(PeerState& p) {
   if (p.inflight.empty()) return;
   if (++p.retry_rounds > params_.max_retry_rounds) {
-    // Peer is unreachable (crashed or FAIL'ed): stop retransmitting so the
-    // rest of the testbed can make progress.  Sequence counters advance as
-    // if acked so the peer resynchronizes if it ever returns.
-    ++stats_.peers_aborted;
-    p.send_una = p.next_seq;
-    p.inflight.clear();
-    p.pending.clear();
-    p.retry_rounds = 0;
-    p.announce_reset = true;  // realign the peer if it ever comes back
+    link_down(p);
     return;
   }
+  // Karn's rule: anything acked from here on may be a retransmission echo,
+  // so the armed sample (if any) is void.
+  p.sample_armed = false;
+  p.dup_acks = 0;
   // Go-back-N: resend everything outstanding.
   stats_.retransmits += p.inflight.size();
   for (const net::Packet& frame : p.inflight) {
     pass_down(frame.clone());
   }
-  p.rto_timer.start(params_.rto);
+  p.rto_timer.start(rto_for(p));  // backed off by retry_rounds, capped
+}
+
+void RllLayer::link_down(PeerState& p) {
+  // Peer is unreachable (crashed, FAIL'ed, or partitioned): quarantine it
+  // so the rest of the testbed can make progress.  Sequence counters
+  // advance as if acked so the peer resynchronizes when it returns.
+  ++stats_.peers_aborted;
+  stats_.down_purged += p.inflight.size() + p.pending.size();
+  p.link = LinkState::kDown;
+  p.send_una = p.next_seq;
+  p.inflight.clear();
+  p.pending.clear();
+  p.retry_rounds = 0;
+  p.dup_acks = 0;
+  p.sample_armed = false;
+  p.srtt_valid = false;  // the healed link may have different latency
+  p.announce_reset = true;  // realign the peer when it comes back
+  p.rto_timer.cancel();
+  p.probe_rounds = 0;
+  p.probe_timer.start(params_.probe_interval);
+  VWIRE_DEBUG() << "rll: peer quarantined (link-down)";
+  if (link_listener_) link_listener_(p.peer_mac, false);
+}
+
+void RllLayer::link_up(PeerState& p) {
+  ++stats_.peers_recovered;
+  p.link = LinkState::kUp;
+  p.probe_timer.cancel();
+  p.probe_rounds = 0;
+  p.retry_rounds = 0;
+  p.dup_acks = 0;
+  VWIRE_DEBUG() << "rll: quarantined peer healed (link-up)";
+  if (link_listener_) link_listener_(p.peer_mac, true);
+  transmit_window(p);  // flush traffic queued while down (kReset leads)
+}
+
+void RllLayer::on_probe_timer(PeerState& p) {
+  if (p.link != LinkState::kDown) return;
+  if (p.probe_rounds >= params_.max_probe_rounds) return;  // budget spent
+  ++p.probe_rounds;
+  ++stats_.probes_tx;
+  pass_down(make_probe(p.peer_mac, node_->mac(), p.recv_next));
+  // Back off: probe_interval doubled per round, capped at max_rto.
+  Duration next = params_.probe_interval;
+  for (u32 i = 0; i < p.probe_rounds && next < params_.max_rto; ++i) {
+    next = next * 2;
+  }
+  p.probe_timer.start(std::min(next, params_.max_rto));
 }
 
 void RllLayer::send_standalone_ack(PeerState& p) {
@@ -149,18 +298,32 @@ void RllLayer::receive_up(net::Packet pkt) {
   if (!eth || !h) return;  // malformed; a real NIC would have FCS-dropped it
   PeerState& p = peer(eth->src);
 
-  if (h->flags & rll_flags::kAckValid) handle_ack(p, h->ack);
+  // Hearing anything from a quarantined peer means the link healed.
+  if (p.link == LinkState::kDown) link_up(p);
+
+  if (h->flags & rll_flags::kAckValid) {
+    handle_ack(p, h->ack, h->type == RllType::kAck);
+  }
   if (h->type == RllType::kAck) {
     ++stats_.acks_rx;
+    return;
+  }
+  if (h->type == RllType::kProbe) {
+    // Answer immediately: the ack is what tells the prober we are back.
+    ++stats_.probes_rx;
+    send_standalone_ack(p);
     return;
   }
 
   ++stats_.data_rx;
   if (h->flags & rll_flags::kReset) {
-    // Sender started a new epoch (it gave up on us while we were down):
-    // realign and drop any stale reorder state.
-    p.recv_next = h->seq;
-    p.reorder.clear();
+    // Sender started a new epoch (it gave up on us while we were down).
+    // Only realign forward: a stale kReset frame delayed by jitter must not
+    // rewind recv_next, or already-delivered frames would repeat.
+    if (!seq_less(h->seq, p.recv_next)) {
+      p.recv_next = h->seq;
+      p.reorder.clear();
+    }
   }
   if (seq_less(h->seq, p.recv_next)) {
     // Duplicate of something we already delivered: our ack was lost, so
@@ -172,6 +335,9 @@ void RllLayer::receive_up(net::Packet pkt) {
   if (h->seq != p.recv_next) {
     ++stats_.out_of_order_rx;
     p.reorder.emplace(h->seq, std::move(pkt));
+    // Duplicate-ack the gap immediately so the sender's fast retransmit
+    // can fire without waiting out a full RTO.
+    send_standalone_ack(p);
     return;
   }
 

@@ -1,4 +1,5 @@
-// Reliable Link Layer — the paper's sliding-window ARQ (§3.3).
+// Reliable Link Layer — the paper's sliding-window ARQ (§3.3), upgraded to
+// an adaptive, self-healing ARQ.
 //
 // "VirtualWire implements a Reliable Link Layer (RLL) to prevent MAC layer
 //  bit errors from causing a packet drop when the FIE/FAE is unaware of the
@@ -14,11 +15,24 @@
 //    traffic responsible for the Fig 7 throughput dip.
 //  * Go-back-N retransmission on timeout; duplicates are discarded and
 //    frames are delivered upward strictly in sequence order.
+//  * Adaptive RTO: Jacobson SRTT/RTTVAR estimation with Karn's rule
+//    (retransmitted frames never produce samples), exponential timeout
+//    backoff capped at `max_rto`, and duplicate-ack fast retransmit (an
+//    out-of-order arrival triggers an immediate duplicate ack; the sender
+//    resends the window head after `fast_retx_dupacks` of them).
+//  * Link-down state machine: a peer that exhausts `max_retry_rounds`
+//    consecutive timeout rounds is *quarantined* — outstanding traffic is
+//    purged (counted, reported), the link listener is notified, and
+//    kProbe frames (bounded exponential backoff) watch for the link to
+//    heal.  Any frame from the peer revives the link; the first data
+//    frame after revival carries kReset so sequence spaces realign and no
+//    frame is ever delivered twice or out of order across a flap.
 //  * Broadcast frames cannot be ARQ'd to a single peer and bypass RLL
 //    untouched.
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <unordered_map>
 
@@ -30,7 +44,8 @@ namespace vwire::rll {
 
 struct RllParams {
   std::size_t window{32};          ///< max in-flight data frames per peer
-  Duration rto{millis(20)};        ///< retransmission timeout
+  /// Initial retransmission timeout, used until the first RTT sample.
+  Duration rto{millis(20)};
   std::size_t ack_every{2};        ///< standalone-ack threshold
   Duration delayed_ack{millis(5)};
   /// When true, an outgoing data frame's cumulative ack satisfies the
@@ -40,10 +55,26 @@ struct RllParams {
   /// Fig 7/8 benches run with piggyback=false, ack_every=1.
   bool piggyback{true};
   std::size_t tx_queue_limit{1024};  ///< frames awaiting a window slot
-  /// Consecutive timeout rounds before the peer is declared unreachable
-  /// and its outstanding traffic is discarded (a crashed node must not
-  /// keep the link retransmitting forever).
+  /// Consecutive timeout rounds before the peer is declared link-down and
+  /// quarantined (a crashed node must not keep the link retransmitting
+  /// forever).
   u32 max_retry_rounds{8};
+
+  // --- adaptive ARQ ---
+  /// RTO clamp floor.  Must exceed the peer's worst-case ack delay
+  /// (delayed_ack) or every tail frame spuriously retransmits.
+  Duration min_rto{millis(10)};
+  /// RTO backoff cap: consecutive timeouts double the timeout up to here.
+  Duration max_rto{seconds(1)};
+  /// Duplicate (standalone) acks that trigger a fast retransmit of the
+  /// window head; 0 disables fast retransmit.
+  u32 fast_retx_dupacks{3};
+  /// First link-liveness probe interval after quarantine; doubles per
+  /// probe, capped at max_rto.
+  Duration probe_interval{millis(40)};
+  /// Probes per quarantine episode before giving up (fresh outbound
+  /// traffic to the quarantined peer restarts a probe cycle).
+  u32 max_probe_rounds{10};
 };
 
 struct RllStats {
@@ -52,13 +83,19 @@ struct RllStats {
   u64 acks_tx{0};        ///< standalone ack frames
   u64 acks_rx{0};
   u64 retransmits{0};
+  u64 fast_retransmits{0};  ///< subset of retransmits from dup-ack recovery
   u64 duplicates_rx{0};
   u64 out_of_order_rx{0};
   u64 delivered{0};
   u64 dropped_queue_full{0};
   u64 passthrough{0};    ///< broadcast frames not encapsulated
-  u64 peers_aborted{0};  ///< peers declared unreachable after max retries
+  u64 peers_aborted{0};  ///< link-down transitions (peer quarantined)
+  u64 peers_recovered{0};  ///< link-up transitions (quarantined peer healed)
+  u64 down_purged{0};    ///< frames purged when a peer was quarantined
   u64 crash_purged{0};   ///< frames dropped by a node crash
+  u64 rtt_samples{0};    ///< RTT measurements accepted (Karn-filtered)
+  u64 probes_tx{0};
+  u64 probes_rx{0};
 };
 
 class RllLayer final : public host::Layer {
@@ -75,13 +112,38 @@ class RllLayer final : public host::Layer {
   /// so sequence spaces realign when the node rejoins.
   void on_node_crash() override;
 
+  /// A recovered node probes every quarantined peer immediately so links
+  /// heal as fast as the wire allows.
+  void on_node_recover() override;
+
+  /// Invoked on every per-peer link transition: up=false when the peer is
+  /// quarantined after exhausting its retry budget, up=true when a frame
+  /// from the peer (usually a probe's ack) revives the link.
+  using LinkEventFn = std::function<void(const net::MacAddress& peer, bool up)>;
+  void set_link_listener(LinkEventFn fn) { link_listener_ = std::move(fn); }
+
   const RllStats& stats() const { return stats_; }
   const RllParams& params() const { return params_; }
 
   /// Frames currently held for retransmission across all peers (test hook).
   std::size_t unacked_frames() const;
 
+  /// Introspection of one peer's ARQ state (test hook).
+  struct PeerInfo {
+    bool known{false};
+    bool up{true};
+    Duration srtt{};
+    Duration rttvar{};
+    Duration rto{};  ///< effective timeout, including current backoff
+    u32 retry_rounds{0};
+    std::size_t inflight{0};
+    std::size_t pending{0};
+  };
+  PeerInfo peer_info(const net::MacAddress& mac) const;
+
  private:
+  enum class LinkState : u8 { kUp, kDown };
+
   struct PeerState {
     explicit PeerState(sim::Simulator& sim, RllLayer* self,
                        net::MacAddress peer);
@@ -97,6 +159,22 @@ class RllLayer final : public host::Layer {
     u32 retry_rounds{0};  ///< consecutive timeouts without progress
     bool announce_reset{false};  ///< next data frame carries kReset
 
+    // RTT estimation (Jacobson); sample tracking implements Karn's rule.
+    bool srtt_valid{false};
+    Duration srtt{};
+    Duration rttvar{};
+    bool sample_armed{false};
+    u32 sample_seq{0};
+    TimePoint sample_sent{};
+
+    // Duplicate-ack fast retransmit.
+    u32 dup_acks{0};
+
+    // Link-down quarantine state.
+    LinkState link{LinkState::kUp};
+    sim::Timer probe_timer;
+    u32 probe_rounds{0};
+
     // --- receiver side ---
     u32 recv_next{1};  ///< next in-order sequence expected
     std::map<u32, net::Packet> reorder;  ///< OOO frames keyed by seq
@@ -108,15 +186,28 @@ class RllLayer final : public host::Layer {
 
   void send_data_frame(PeerState& p, const net::Packet& raw);
   void transmit_window(PeerState& p);
-  void handle_ack(PeerState& p, u32 ack);
+  void handle_ack(PeerState& p, u32 ack, bool standalone);
   void on_rto(PeerState& p);
+  void on_probe_timer(PeerState& p);
   void send_standalone_ack(PeerState& p);
   /// Current cumulative ack value for piggybacking onto reverse data.
   u32 ack_value(PeerState& p) const { return p.recv_next; }
 
+  /// Effective retransmission timeout for the peer: the Jacobson estimate
+  /// (or the configured initial value before the first sample), doubled
+  /// per consecutive timeout round, clamped to [min_rto, max_rto].
+  Duration rto_for(const PeerState& p) const;
+  void take_rtt_sample(PeerState& p, Duration rtt);
+
+  /// Quarantines the peer: purge traffic, notify, start probing.
+  void link_down(PeerState& p);
+  /// Revives a quarantined peer and flushes traffic queued while down.
+  void link_up(PeerState& p);
+
   sim::Simulator& sim_;
   RllParams params_;
   RllStats stats_;
+  LinkEventFn link_listener_;
   std::unordered_map<net::MacAddress, std::unique_ptr<PeerState>> peers_;
 };
 

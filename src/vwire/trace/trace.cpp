@@ -1,5 +1,7 @@
 #include "vwire/trace/trace.hpp"
 
+#include <cstdio>
+
 #include "vwire/host/node.hpp"
 #include "vwire/net/decode.hpp"
 
@@ -17,8 +19,16 @@ void TraceBuffer::record(TimePoint at, std::string_view node,
       TraceRecord{at, std::string(node), dir, pkt.uid(), pkt.bytes()});
 }
 
+void TraceBuffer::annotate(TimePoint at, std::string_view node,
+                           std::string_view text) {
+  if (annotations_.size() >= max_records_) return;  // same memory cap idea
+  annotations_.push_back(TraceAnnotation{at, std::string(node),
+                                         std::string(text)});
+}
+
 void TraceBuffer::clear() {
   records_.clear();
+  annotations_.clear();
   total_ = 0;
 }
 
@@ -41,10 +51,23 @@ std::size_t TraceBuffer::count(const Predicate& pred) const {
 
 std::string TraceBuffer::dump() const {
   std::string out;
+  std::size_t ai = 0;
+  auto emit_annotation = [&](const TraceAnnotation& a) {
+    char head[96];
+    std::snprintf(head, sizeof head, "%12.6f %-8s ---- ", a.at.seconds(),
+                  a.node.c_str());
+    out += head;
+    out += a.text;
+    out.push_back('\n');
+  };
   for (const auto& r : records_) {
+    while (ai < annotations_.size() && annotations_[ai].at <= r.at) {
+      emit_annotation(annotations_[ai++]);
+    }
     out += format_record(r);
     out.push_back('\n');
   }
+  while (ai < annotations_.size()) emit_annotation(annotations_[ai++]);
   return out;
 }
 

@@ -24,6 +24,14 @@ struct TraceRecord {
   Bytes frame;
 };
 
+/// A non-packet event worth showing alongside the capture: link faults
+/// applied or cleared, RLL link-down/link-up transitions, node crashes.
+struct TraceAnnotation {
+  TimePoint at;
+  std::string node;
+  std::string text;
+};
+
 class TraceBuffer {
  public:
   /// Caps memory; older records are discarded first when full.
@@ -33,7 +41,14 @@ class TraceBuffer {
   void record(TimePoint at, std::string_view node, net::Direction dir,
               const net::Packet& pkt);
 
+  /// Records a non-packet event (fault injected, RLL link transition) so
+  /// dumps interleave them with the capture.
+  void annotate(TimePoint at, std::string_view node, std::string_view text);
+
   const std::vector<TraceRecord>& records() const { return records_; }
+  const std::vector<TraceAnnotation>& annotations() const {
+    return annotations_;
+  }
   std::size_t size() const { return records_.size(); }
   u64 total_recorded() const { return total_; }
   void clear();
@@ -48,6 +63,7 @@ class TraceBuffer {
  private:
   std::size_t max_records_;
   std::vector<TraceRecord> records_;
+  std::vector<TraceAnnotation> annotations_;
   u64 total_{0};
 };
 

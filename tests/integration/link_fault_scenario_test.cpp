@@ -1,0 +1,236 @@
+// Scheduled link faults end to end: a ScenarioSpec cuts, flaps or degrades
+// a named node's link at simulated times; the run completes and the result
+// reports the fault events, the RLL link transitions, the fault-shed
+// accounting and the effective seed.
+#include <gtest/gtest.h>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/udp/echo.hpp"
+
+namespace vwire {
+namespace {
+
+constexpr const char* kFilters =
+    "FILTER_TABLE\n"
+    "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+    "END\n";
+
+struct LinkFaultFixture : ::testing::Test {
+  Testbed tb;
+  std::unique_ptr<udp::UdpLayer> cu, su;
+  std::unique_ptr<udp::EchoServer> server;
+
+  void SetUp() override {
+    tb.add_node("client");
+    tb.add_node("server");
+    cu = std::make_unique<udp::UdpLayer>(tb.node("client"));
+    su = std::make_unique<udp::UdpLayer>(tb.node("server"));
+    server = std::make_unique<udp::EchoServer>(*su, 7);
+  }
+
+  void send_requests(int n, Duration gap = millis(10)) {
+    for (int i = 0; i < n; ++i) {
+      tb.simulator().after(Duration{gap.ns * i}, [this] {
+        cu->send(tb.node("server").ip(), 7, 40000, Bytes(16, 0));
+      });
+    }
+  }
+
+  ScenarioSpec base_spec() {
+    ScenarioSpec spec;
+    spec.script = std::string(kFilters) + tb.node_table_fsl() +
+                  "SCENARIO linky\n"
+                  "  REQ: (udp_req, client, server, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                  "END\n";
+    spec.control_node = "client";
+    return spec;
+  }
+};
+
+TEST_F(LinkFaultFixture, MalformedSchedulesAreRejectedUpFront) {
+  ScenarioRunner runner(tb);
+  auto expect_rejected = [&](LinkFaultSpec f) {
+    ScenarioSpec spec = base_spec();
+    spec.link_faults = {f};
+    EXPECT_THROW(runner.run(spec), std::invalid_argument);
+  };
+
+  LinkFaultSpec f;
+  f.node = "no-such-node";
+  expect_rejected(f);
+
+  f = {};
+  f.node = "server";
+  f.kind = LinkFaultSpec::Kind::kFlap;  // flap with zero phases
+  expect_rejected(f);
+
+  f = {};
+  f.node = "server";
+  f.kind = LinkFaultSpec::Kind::kDegrade;
+  f.loss_rx = 1.5;  // out of range
+  expect_rejected(f);
+
+  f = {};
+  f.node = "server";
+  f.kind = LinkFaultSpec::Kind::kDegrade;  // all knobs zero: a no-op fault
+  expect_rejected(f);
+
+  f = {};
+  f.node = "server";
+  f.at = Duration{-millis(5).ns};  // negative schedule time
+  expect_rejected(f);
+
+  f = {};
+  f.node = "server";
+  f.kind = LinkFaultSpec::Kind::kDegrade;
+  f.jitter = Duration{-millis(1).ns};  // negative jitter
+  expect_rejected(f);
+}
+
+TEST_F(LinkFaultFixture, ScheduledCutAndHealRunsToCompletion) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec = base_spec();
+  spec.workload = [&] { send_requests(40); };  // 400ms of traffic
+  LinkFaultSpec cut;
+  cut.kind = LinkFaultSpec::Kind::kCut;
+  cut.node = "server";
+  cut.at = millis(50);
+  cut.until = millis(110);  // heal before the liveness budget expires
+  spec.link_faults = {cut};
+  spec.options.deadline = millis(800);
+
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  EXPECT_TRUE(r.dead_nodes.empty());  // outage shorter than the miss budget
+  EXPECT_GT(r.counters.at("REQ"), 0);
+  EXPECT_GT(r.robustness.medium_dropped_cut, 0u);
+
+  ASSERT_GE(r.link_events.size(), 2u);
+  EXPECT_EQ(r.link_events[0].node, "server");
+  EXPECT_NE(r.link_events[0].description.find("link cut applied"),
+            std::string::npos);
+  bool cleared = false;
+  for (const auto& e : r.link_events) {
+    if (e.description.find("link cut cleared") != std::string::npos) {
+      cleared = true;
+      EXPECT_GT(e.at.ns, r.link_events[0].at.ns);
+    }
+  }
+  EXPECT_TRUE(cleared);
+  // Default seed flows through and is echoed for replay.
+  EXPECT_EQ(r.effective_seed, tb.config().seed);
+}
+
+TEST_F(LinkFaultFixture, ExplicitSeedIsAppliedAndEchoed) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec = base_spec();
+  spec.workload = [&] { send_requests(3); };
+  spec.seed = 12345;
+  spec.options.deadline = millis(200);
+
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  EXPECT_EQ(r.effective_seed, 12345u);
+  EXPECT_EQ(tb.medium().seed(), 12345u);
+  EXPECT_NE(r.summary().find("seed 12345"), std::string::npos);
+}
+
+TEST_F(LinkFaultFixture, FlapDrivesRllLinkTransitions) {
+  // A dedicated testbed with a tight RLL retry budget so the flap's down
+  // phases actually exhaust it (and the up phases let the probes heal it).
+  TestbedConfig cfg;
+  cfg.rll.max_retry_rounds = 2;
+  cfg.rll.rto = millis(10);
+  cfg.rll.min_rto = millis(10);
+  cfg.rll.probe_interval = millis(20);
+  Testbed bed(cfg);
+  bed.add_node("client");
+  bed.add_node("server");
+  udp::UdpLayer cuf(bed.node("client"));
+  udp::UdpLayer suf(bed.node("server"));
+  udp::EchoServer echo(suf, 7);
+
+  ScenarioRunner runner(bed);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + bed.node_table_fsl() +
+                "SCENARIO flappy\n"
+                "  REQ: (udp_req, client, server, RECV)\n"
+                "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+                "END\n";
+  spec.control_node = "client";
+  spec.workload = [&] {
+    for (int i = 0; i < 60; ++i) {
+      bed.simulator().after(millis(10) * i, [&] {
+        cuf.send(bed.node("server").ip(), 7, 40000, Bytes(16, 0));
+      });
+    }
+  };
+  LinkFaultSpec flap;
+  flap.kind = LinkFaultSpec::Kind::kFlap;
+  flap.node = "server";
+  flap.at = millis(50);
+  flap.flap_up = millis(80);
+  flap.flap_down = millis(80);
+  spec.link_faults = {flap};
+  spec.options.deadline = seconds(2);
+
+  auto r = runner.run(spec);
+  EXPECT_GT(r.robustness.medium_dropped_flap, 0u);
+  EXPECT_GE(r.robustness.rll_link_down, 1u);
+  EXPECT_GE(r.robustness.rll_link_up, 1u);
+
+  bool saw_flap_applied = false, saw_rll_down = false, saw_rll_up = false;
+  for (const auto& e : r.link_events) {
+    if (e.description.find("link flap") != std::string::npos &&
+        e.description.find("applied") != std::string::npos) {
+      saw_flap_applied = true;
+    }
+    if (e.description.find("rll link-down") != std::string::npos) {
+      saw_rll_down = true;
+    }
+    if (e.description.find("rll link-up") != std::string::npos) {
+      saw_rll_up = true;
+    }
+  }
+  EXPECT_TRUE(saw_flap_applied);
+  EXPECT_TRUE(saw_rll_down);
+  EXPECT_TRUE(saw_rll_up);
+
+  // The transitions are also annotated into the packet trace for humans.
+  bool annotated = false;
+  for (const auto& a : bed.trace().annotations()) {
+    if (a.text.find("rll link-") != std::string::npos) annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+}
+
+TEST_F(LinkFaultFixture, DegradeShedsTrafficButRllCarriesTheScenario) {
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec = base_spec();
+  spec.workload = [&] { send_requests(30); };
+  LinkFaultSpec degrade;
+  degrade.kind = LinkFaultSpec::Kind::kDegrade;
+  degrade.node = "server";
+  degrade.at = millis(20);
+  degrade.loss_rx = 0.3;
+  degrade.extra_latency = micros(200);
+  degrade.jitter = micros(300);
+  spec.link_faults = {degrade};
+  spec.options.deadline = seconds(2);
+
+  auto r = runner.run(spec);
+  EXPECT_TRUE(r.passed());
+  // The lossy link visibly shed traffic, yet the RLL kept the scenario
+  // flowing: requests were counted despite 30% one-way loss.
+  EXPECT_GT(r.robustness.medium_dropped_loss, 0u);
+  EXPECT_GT(r.robustness.rll_retransmits, 0u);
+  EXPECT_GT(r.counters.at("REQ"), 0);
+  ASSERT_FALSE(r.link_events.empty());
+  EXPECT_NE(r.link_events[0].description.find("link degrade"),
+            std::string::npos);
+  EXPECT_NE(r.summary().find("drop_loss"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwire

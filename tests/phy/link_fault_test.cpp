@@ -1,0 +1,289 @@
+// Schedulable per-port link faults: partition (cut), timed flap cycles,
+// asymmetric loss, extra latency/jitter, and bandwidth throttling — plus the
+// deterministic reseed chain that makes fault lotteries replayable.
+#include <gtest/gtest.h>
+
+#include "phy_test_util.hpp"
+#include "vwire/phy/shared_bus.hpp"
+#include "vwire/phy/switched_lan.hpp"
+
+namespace vwire::phy {
+namespace {
+
+using testing::StubClient;
+using testing::frame_between;
+
+struct LanPair {
+  sim::Simulator sim;
+  SwitchedLan lan;
+  StubClient a, b;
+  PortId pa, pb;
+
+  explicit LanPair(LinkParams link = {}, u64 seed = 1)
+      : lan(sim, link, seed),
+        a(sim, net::MacAddress::from_index(0)),
+        b(sim, net::MacAddress::from_index(1)),
+        pa(lan.attach(&a)),
+        pb(lan.attach(&b)) {}
+
+  void settle(Duration d = millis(50)) { sim.run_until(sim.now() + d); }
+};
+
+TEST(LinkFault, CutPartitionsBothDirections) {
+  LanPair t;
+  LinkFaultState cut;
+  cut.tx.cut = true;
+  cut.rx.cut = true;
+  t.lan.set_link_fault(t.pb, cut);
+
+  t.lan.transmit(t.pa, frame_between(0, 1));  // toward the cut port
+  t.lan.transmit(t.pb, frame_between(1, 0));  // out of the cut port
+  t.settle();
+
+  EXPECT_TRUE(t.a.arrivals.empty());
+  EXPECT_TRUE(t.b.arrivals.empty());
+  EXPECT_EQ(t.lan.stats().frames_dropped_cut, 2u);
+  EXPECT_TRUE(t.lan.link_cut_tx(t.pb));
+  EXPECT_TRUE(t.lan.link_cut_rx(t.pb));
+}
+
+TEST(LinkFault, AsymmetricCutDropsOnlyOneDirection) {
+  LanPair t;
+  LinkFaultState cut;
+  cut.rx.cut = true;  // b cannot hear, but can still speak
+  t.lan.set_link_fault(t.pb, cut);
+
+  t.lan.transmit(t.pa, frame_between(0, 1));
+  t.lan.transmit(t.pb, frame_between(1, 0));
+  t.settle();
+
+  EXPECT_TRUE(t.b.arrivals.empty());
+  ASSERT_EQ(t.a.arrivals.size(), 1u);
+  EXPECT_EQ(t.lan.stats().frames_dropped_cut, 1u);
+}
+
+TEST(LinkFault, ClearRestoresDelivery) {
+  LanPair t;
+  LinkFaultState cut;
+  cut.tx.cut = cut.rx.cut = true;
+  t.lan.set_link_fault(t.pb, cut);
+  t.lan.transmit(t.pa, frame_between(0, 1));
+  t.settle();
+  ASSERT_TRUE(t.b.arrivals.empty());
+
+  t.lan.clear_link_fault(t.pb);
+  EXPECT_FALSE(t.lan.link_fault(t.pb).any());
+  t.lan.transmit(t.pa, frame_between(0, 1));
+  t.settle();
+  EXPECT_EQ(t.b.arrivals.size(), 1u);
+}
+
+TEST(LinkFault, FlapFollowsItsSquareWave) {
+  LanPair t;
+  LinkFaultState flap;
+  flap.flap.up = millis(10);
+  flap.flap.down = millis(10);
+  flap.flap.origin = TimePoint{0};
+  t.lan.set_link_fault(t.pb, flap);
+
+  // Well inside each phase (frames cross the switch in ~30us).
+  for (i64 ms : {2, 12, 22, 32}) {
+    t.sim.at(TimePoint{millis(ms).ns},
+             [&t] { t.lan.transmit(t.pa, frame_between(0, 1)); });
+  }
+  t.sim.run_until(TimePoint{millis(50).ns});
+
+  // Sends at 2ms and 22ms hit up-phases; 12ms and 32ms hit down-phases.
+  ASSERT_EQ(t.b.arrivals.size(), 2u);
+  EXPECT_LT(t.b.arrivals[0].at.ns, millis(10).ns);
+  EXPECT_GT(t.b.arrivals[1].at.ns, millis(20).ns);
+  EXPECT_EQ(t.lan.stats().frames_dropped_flap, 2u);
+}
+
+TEST(LinkFault, FlapStateQueriesTrackTheClock) {
+  LinkFlap f;
+  f.up = millis(3);
+  f.down = millis(1);
+  f.origin = TimePoint{millis(100).ns};
+  EXPECT_FALSE(f.down_at(TimePoint{millis(100).ns}));
+  EXPECT_FALSE(f.down_at(TimePoint{millis(102).ns}));
+  EXPECT_TRUE(f.down_at(TimePoint{millis(103).ns + 1}));
+  EXPECT_FALSE(f.down_at(TimePoint{millis(104).ns}));  // next period's up
+  EXPECT_TRUE(f.down_at(TimePoint{millis(107).ns + 1}));
+  // Before the origin the modulo must still behave (negative phase).
+  EXPECT_FALSE(f.down_at(TimePoint{millis(98).ns}));
+  LinkFlap idle;  // down == 0 → inactive
+  EXPECT_FALSE(idle.down_at(TimePoint{millis(999).ns}));
+}
+
+TEST(LinkFault, AsymmetricLossDropsDeterministicallyAtUnity) {
+  LanPair t;
+  LinkFaultState lossy;
+  lossy.rx.loss_rate = 1.0;  // everything toward b dies on the last hop
+  t.lan.set_link_fault(t.pb, lossy);
+
+  for (int i = 0; i < 5; ++i) t.lan.transmit(t.pa, frame_between(0, 1));
+  t.lan.transmit(t.pb, frame_between(1, 0));
+  t.settle();
+
+  EXPECT_TRUE(t.b.arrivals.empty());
+  EXPECT_EQ(t.a.arrivals.size(), 1u);  // tx facet is clean
+  EXPECT_EQ(t.lan.stats().frames_dropped_loss, 5u);
+}
+
+TEST(LinkFault, PartialLossIsStatisticalAndCounted) {
+  LanPair t(LinkParams{}, 7);
+  LinkFaultState lossy;
+  lossy.rx.loss_rate = 0.5;
+  t.lan.set_link_fault(t.pb, lossy);
+
+  for (int i = 0; i < 200; ++i) {
+    t.sim.at(TimePoint{micros(100 * i).ns},
+             [&t] { t.lan.transmit(t.pa, frame_between(0, 1)); });
+  }
+  t.settle(millis(100));
+
+  std::size_t got = t.b.arrivals.size();
+  EXPECT_GT(got, 50u);
+  EXPECT_LT(got, 150u);
+  EXPECT_EQ(t.lan.stats().frames_dropped_loss, 200u - got);
+}
+
+TEST(LinkFault, ExtraLatencyDelaysDeliveryAndCounts) {
+  LanPair plain, slow;
+  LinkFaultState laggy;
+  laggy.rx.extra_latency = millis(2);
+  slow.lan.set_link_fault(slow.pb, laggy);
+
+  plain.lan.transmit(plain.pa, frame_between(0, 1));
+  slow.lan.transmit(slow.pa, frame_between(0, 1));
+  plain.settle();
+  slow.settle();
+
+  ASSERT_EQ(plain.b.arrivals.size(), 1u);
+  ASSERT_EQ(slow.b.arrivals.size(), 1u);
+  EXPECT_EQ(slow.b.arrivals[0].at.ns - plain.b.arrivals[0].at.ns,
+            millis(2).ns);
+  EXPECT_EQ(slow.lan.stats().frames_delayed_fault, 1u);
+}
+
+TEST(LinkFault, JitterSpreadsArrivalsWithinBound) {
+  LanPair t(LinkParams{}, 11);
+  LinkFaultState wobbly;
+  wobbly.rx.jitter = millis(5);
+  t.lan.set_link_fault(t.pb, wobbly);
+
+  // Spaced wider than the wire pipeline so base arrival order is fixed.
+  for (int i = 0; i < 40; ++i) {
+    t.sim.at(TimePoint{micros(200 * i).ns},
+             [&t] { t.lan.transmit(t.pa, frame_between(0, 1)); });
+  }
+  t.settle(millis(100));
+
+  ASSERT_EQ(t.b.arrivals.size(), 40u);
+  EXPECT_GE(t.lan.stats().frames_delayed_fault, 1u);
+  // Jitter may reorder arrivals (that is the point — the hazard the RLL's
+  // reorder buffer absorbs), but every frame stays inside the bound.
+  Duration pipeline = t.lan.serialization_time(114) * 2 + micros(5) * 2;
+  i64 last_send = micros(200 * 39).ns;
+  for (const auto& ar : t.b.arrivals) {
+    EXPECT_GE(ar.at.ns, 0);
+    EXPECT_LE(ar.at.ns, last_send + pipeline.ns + millis(5).ns + 1);
+  }
+}
+
+TEST(LinkFault, BandwidthThrottleStretchesSerialization) {
+  LanPair t;
+  EXPECT_EQ(t.lan.serialization_time_on(t.pb, 1000).ns,
+            t.lan.serialization_time(1000).ns);
+  LinkFaultState throttled;
+  throttled.bandwidth_bps = 10e6;  // 100 Mbps link squeezed to 10 Mbps
+  t.lan.set_link_fault(t.pb, throttled);
+  EXPECT_EQ(t.lan.serialization_time_on(t.pb, 1000).ns,
+            t.lan.serialization_time(1000).ns * 10);
+  // A throttle above the link rate must not *speed up* the port.
+  LinkFaultState fat;
+  fat.bandwidth_bps = 1e9;
+  t.lan.set_link_fault(t.pb, fat);
+  EXPECT_EQ(t.lan.serialization_time_on(t.pb, 1000).ns,
+            t.lan.serialization_time(1000).ns);
+}
+
+TEST(LinkFault, ThrottledPortDelaysEndToEnd) {
+  LanPair plain, slow;
+  LinkFaultState throttled;
+  throttled.bandwidth_bps = 1e6;  // 100x slower egress leg
+  slow.lan.set_link_fault(slow.pb, throttled);
+
+  plain.lan.transmit(plain.pa, frame_between(0, 1, 1000));
+  slow.lan.transmit(slow.pa, frame_between(0, 1, 1000));
+  plain.settle();
+  slow.settle();
+
+  ASSERT_EQ(plain.b.arrivals.size(), 1u);
+  ASSERT_EQ(slow.b.arrivals.size(), 1u);
+  EXPECT_GT(slow.b.arrivals[0].at.ns, plain.b.arrivals[0].at.ns);
+}
+
+TEST(LinkFault, SharedBusHonorsTxFaults) {
+  sim::Simulator sim;
+  SharedBus bus(sim, LinkParams{}, 3);
+  StubClient a(sim, net::MacAddress::from_index(0));
+  StubClient b(sim, net::MacAddress::from_index(1));
+  PortId pa = bus.attach(&a);
+  bus.attach(&b);
+
+  LinkFaultState cut;
+  cut.tx.cut = true;
+  bus.set_link_fault(pa, cut);
+  bus.transmit(pa, frame_between(0, 1));
+  sim.run_until(TimePoint{millis(10).ns});
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(bus.stats().frames_dropped_cut, 1u);
+
+  bus.clear_link_fault(pa);
+  bus.transmit(pa, frame_between(0, 1));
+  sim.run_until(TimePoint{millis(20).ns});
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(LinkFault, SameSeedSameLossPattern) {
+  auto run = [](u64 seed) {
+    LanPair t(LinkParams{}, seed);
+    LinkFaultState lossy;
+    lossy.rx.loss_rate = 0.4;
+    t.lan.set_link_fault(t.pb, lossy);
+    for (int i = 0; i < 100; ++i) {
+      t.sim.at(TimePoint{micros(150 * i).ns},
+               [&t] { t.lan.transmit(t.pa, frame_between(0, 1)); });
+    }
+    t.settle(millis(100));
+    std::vector<i64> times;
+    for (const auto& ar : t.b.arrivals) times.push_back(ar.at.ns);
+    return times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(LinkFault, ReseedRestartsEveryStream) {
+  LanPair t(LinkParams{}, 5);
+  EXPECT_EQ(t.lan.seed(), 5u);
+  LinkFaultState lossy;
+  lossy.rx.loss_rate = 0.5;
+  t.lan.set_link_fault(t.pb, lossy);
+
+  auto burst = [&t] {
+    std::size_t before = t.b.arrivals.size();
+    for (int i = 0; i < 50; ++i) t.lan.transmit(t.pa, frame_between(0, 1));
+    t.settle(millis(50));
+    return t.b.arrivals.size() - before;
+  };
+  std::size_t first = burst();
+  t.lan.reseed(5);  // rewind the lottery
+  EXPECT_EQ(burst(), first);
+  EXPECT_EQ(t.lan.seed(), 5u);
+}
+
+}  // namespace
+}  // namespace vwire::phy

@@ -1,0 +1,231 @@
+// Adaptive ARQ mechanics: Jacobson SRTT/RTTVAR estimation with Karn's rule,
+// capped exponential RTO backoff, duplicate-ack fast retransmit, and the
+// link-down/link-up quarantine state machine with kProbe healing.
+#include <gtest/gtest.h>
+
+#include "rll_test_util.hpp"
+
+namespace vwire::rll {
+namespace {
+
+using testing::RllPair;
+
+TEST(RllAdaptive, SrttConvergesAndRtoClampsAtFloor) {
+  RllPair p;
+  // Spaced-out sends: each new flight arms a fresh Karn sample (a burst
+  // would only ever time its first frame).
+  for (u32 i = 0; i < 20; ++i) {
+    p.sim.after(millis(5) * i, [&p, i] { p.send(true, i); });
+  }
+  p.sim.run_until({millis(200).ns});
+
+  auto info = p.rll_a->peer_info(p.b->mac());
+  ASSERT_TRUE(info.known);
+  EXPECT_TRUE(info.up);
+  EXPECT_GE(p.rll_a->stats().rtt_samples, 3u);
+  // Measured RTT = ~100us of path plus the receiver's 5ms delayed ack; the
+  // estimate must land in that world, not at the 20ms pre-sample default.
+  EXPECT_GT(info.srtt.ns, 0);
+  EXPECT_LT(info.srtt.ns, millis(8).ns);
+  // srtt + 4*rttvar is far below the floor, so the clamp holds the RTO.
+  EXPECT_EQ(info.rto.ns, p.rll_a->params().min_rto.ns);
+}
+
+TEST(RllAdaptive, UnknownPeerReportsDefaults) {
+  RllPair p;
+  auto info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_FALSE(info.known);
+  EXPECT_TRUE(info.up);
+}
+
+TEST(RllAdaptive, KarnRuleDiscardsRetransmittedSamples) {
+  RllPair p;
+  int data_seen = 0;
+  p.filter_b->drop_rx = [&](const net::Packet& pkt) {
+    auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+    if (h && h->type == RllType::kData) {
+      ++data_seen;
+      return data_seen == 1;  // first copy of the first frame dies
+    }
+    return false;
+  };
+  p.send(true, 0);
+  p.sim.run_until({millis(100).ns});
+  ASSERT_EQ(p.sink_b->frames.size(), 1u);
+  EXPECT_GE(p.rll_a->stats().retransmits, 1u);
+  // The only ack that arrived covered a retransmitted frame: no sample.
+  EXPECT_EQ(p.rll_a->stats().rtt_samples, 0u);
+
+  p.send(true, 1);  // clean transmission → first valid sample
+  p.sim.run_until({millis(200).ns});
+  EXPECT_EQ(p.rll_a->stats().rtt_samples, 1u);
+}
+
+TEST(RllAdaptive, RtoBacksOffExponentiallyAndCaps) {
+  RllParams params;
+  params.rto = millis(20);
+  params.min_rto = millis(10);
+  params.max_rto = millis(160);
+  params.max_retry_rounds = 50;  // keep retrying; we watch the backoff
+  RllPair p(params);
+  p.b->fail();
+  p.send(true, 0);
+
+  // Timer fires at 20, then 20+40, 20+40+80, … each round doubling.
+  p.sim.run_until({millis(25).ns});
+  auto info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_EQ(info.retry_rounds, 1u);
+  EXPECT_EQ(info.rto.ns, millis(40).ns);
+
+  p.sim.run_until({millis(65).ns});
+  info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_EQ(info.retry_rounds, 2u);
+  EXPECT_EQ(info.rto.ns, millis(80).ns);
+
+  p.sim.run_until({millis(800).ns});
+  info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_GE(info.retry_rounds, 4u);
+  EXPECT_EQ(info.rto.ns, millis(160).ns) << "backoff must cap at max_rto";
+  EXPECT_TRUE(info.up);  // budget of 50 not exhausted
+}
+
+TEST(RllAdaptive, FastRetransmitBeatsTheRtoTimer) {
+  RllParams params;
+  params.min_rto = millis(200);  // make timer recovery visibly slow
+  RllPair p(params);
+  int data_seen = 0;
+  p.filter_b->drop_rx = [&](const net::Packet& pkt) {
+    auto h = RllHeader::read(pkt.view(), RllHeader::kOffset);
+    if (h && h->type == RllType::kData) {
+      ++data_seen;
+      return data_seen == 3;  // kill the third data frame's first copy
+    }
+    return false;
+  };
+  for (u32 i = 0; i < 10; ++i) p.send(true, i);
+  // Far sooner than any 200ms timer could have fired.
+  p.sim.run_until({millis(50).ns});
+
+  std::vector<u32> want(10);
+  for (u32 i = 0; i < 10; ++i) want[i] = i;
+  EXPECT_EQ(p.sink_b->payload_seqs(), want);
+  EXPECT_GE(p.rll_a->stats().fast_retransmits, 1u);
+  // Dup-ack recovery resends the hole, not the whole window.
+  EXPECT_LT(p.rll_a->stats().retransmits, 5u);
+  EXPECT_GE(p.rll_b->stats().out_of_order_rx, 1u);
+}
+
+TEST(RllAdaptive, LinkDownQuarantinesAndNotifies) {
+  RllParams params;
+  params.max_retry_rounds = 2;
+  RllPair p(params);
+  std::vector<bool> events;
+  p.rll_a->set_link_listener(
+      [&](const net::MacAddress& peer, bool up) {
+        EXPECT_EQ(peer, p.b->mac());
+        events.push_back(up);
+      });
+  p.b->fail();
+  for (u32 i = 0; i < 3; ++i) p.send(true, i);
+  p.sim.run_until({seconds(1).ns});
+
+  ASSERT_EQ(events, std::vector<bool>{false});
+  auto info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_FALSE(info.up);
+  EXPECT_EQ(info.inflight, 0u);
+  EXPECT_EQ(p.rll_a->stats().peers_aborted, 1u);
+  EXPECT_EQ(p.rll_a->stats().down_purged, 3u);
+
+  // Traffic to a quarantined peer queues instead of dying in RTO loops.
+  p.send(true, 10);
+  p.send(true, 11);
+  info = p.rll_a->peer_info(p.b->mac());
+  EXPECT_EQ(info.pending, 2u);
+  EXPECT_EQ(info.inflight, 0u);
+  EXPECT_TRUE(p.sink_b->frames.empty());
+}
+
+TEST(RllAdaptive, ProbesHealTheLinkAndFlushPending) {
+  RllParams params;
+  params.max_retry_rounds = 2;
+  RllPair p(params);
+  std::vector<bool> events;
+  p.rll_a->set_link_listener(
+      [&](const net::MacAddress&, bool up) { events.push_back(up); });
+  p.b->fail();
+  p.send(true, 0);
+  p.sim.run_until({millis(500).ns});
+  ASSERT_EQ(p.rll_a->stats().peers_aborted, 1u);
+
+  p.b->recover();
+  // Queued while down; the next probe's ack heals the link and flushes.
+  for (u32 i = 100; i < 103; ++i) p.send(true, i);
+  p.sim.run_until({seconds(3).ns});
+
+  EXPECT_EQ(p.sink_b->payload_seqs(), (std::vector<u32>{100, 101, 102}));
+  EXPECT_EQ(events, (std::vector<bool>{false, true}));
+  EXPECT_GE(p.rll_a->stats().probes_tx, 1u);
+  EXPECT_GE(p.rll_b->stats().probes_rx, 1u);
+  EXPECT_EQ(p.rll_a->stats().peers_recovered, 1u);
+  EXPECT_TRUE(p.rll_a->peer_info(p.b->mac()).up);
+}
+
+TEST(RllAdaptive, ProbingStopsAfterItsBudget) {
+  RllParams params;
+  params.max_retry_rounds = 1;
+  params.max_probe_rounds = 3;
+  params.probe_interval = millis(10);
+  RllPair p(params);
+  p.b->fail();
+  p.send(true, 0);
+  p.sim.run_until({seconds(5).ns});
+  // Quarantine happened and probing gave up after exactly the budget; the
+  // simulation went quiet instead of probing a dead peer forever.
+  EXPECT_EQ(p.rll_a->stats().peers_aborted, 1u);
+  EXPECT_EQ(p.rll_a->stats().probes_tx, 3u);
+  EXPECT_FALSE(p.rll_a->peer_info(p.b->mac()).up);
+}
+
+// The tentpole property: under bit errors AND a flapping link, every frame
+// handed to the RLL is either delivered exactly once, in order, or the peer
+// was visibly reported down (and the loss accounted as a purge).
+TEST(RllAdaptive, FlapPlusBerDeliversExactlyOnceOrReportsDown) {
+  phy::LinkParams link;
+  link.bit_error_rate = 1e-5;
+  RllParams rparams;
+  rparams.rto = millis(10);
+  rparams.min_rto = millis(5);
+  rparams.delayed_ack = millis(2);
+  rparams.max_retry_rounds = 3;
+  RllPair p(rparams, link, /*seed=*/2026);
+
+  phy::LinkFaultState flap;
+  flap.flap.up = millis(50);
+  flap.flap.down = millis(50);
+  flap.flap.origin = TimePoint{0};
+  p.lan->set_link_fault(p.b->nic().port(), flap);
+
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    p.sim.after(millis(1) * i, [&p, i] { p.send(true, static_cast<u32>(i)); });
+  }
+  p.sim.run_until({seconds(10).ns});
+
+  const std::vector<u32> got = p.sink_b->payload_seqs();
+  // In order, exactly once: strictly increasing payload sequence.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_LT(got[i - 1], got[i]) << "duplicate or reordered delivery";
+  }
+  EXPECT_EQ(p.rll_b->stats().delivered, got.size());
+  if (got.size() < static_cast<std::size_t>(kFrames)) {
+    // Anything missing must be explained by a visible quarantine purge.
+    EXPECT_GE(p.rll_a->stats().peers_aborted, 1u);
+    EXPECT_GE(p.rll_a->stats().down_purged,
+              static_cast<u64>(kFrames) - got.size());
+  }
+  // The flap itself must have been felt, or the test proves nothing.
+  EXPECT_GT(p.lan->stats().frames_dropped_flap, 0u);
+}
+
+}  // namespace
+}  // namespace vwire::rll
