@@ -20,8 +20,15 @@ using namespace vwire;
 
 namespace {
 
-double run_tcp_mbps(bool with_virtualwire, double offered_mbps,
-                    Duration warmup, Duration window) {
+struct Fig7Result {
+  double mbps{0};
+  // RLL RTT percentiles (µs) from the telemetry registry; 0 when the
+  // VirtualWire stack (and thus the RLL) is not installed.
+  double rtt_p50_us{0}, rtt_p95_us{0}, rtt_p99_us{0};
+};
+
+Fig7Result run_tcp_mbps(bool with_virtualwire, double offered_mbps,
+                        Duration warmup, Duration window) {
   TestbedConfig cfg;
   cfg.install_trace = false;
   cfg.install_engine = with_virtualwire;
@@ -65,7 +72,16 @@ double run_tcp_mbps(bool with_virtualwire, double offered_mbps,
   u64 start_bytes = sink.bytes_received();
   sim.run_until(sim.now() + window);
   u64 delta = sink.bytes_received() - start_bytes;
-  return static_cast<double>(delta) * 8.0 / window.seconds() / 1e6;
+
+  Fig7Result r;
+  r.mbps = static_cast<double>(delta) * 8.0 / window.seconds() / 1e6;
+  if (const obs::Histogram* h =
+          tb.metrics().find_histogram("rll.node1.rtt_us")) {
+    r.rtt_p50_us = static_cast<double>(h->percentile(50));
+    r.rtt_p95_us = static_cast<double>(h->percentile(95));
+    r.rtt_p99_us = static_cast<double>(h->percentile(99));
+  }
+  return r;
 }
 
 }  // namespace
@@ -81,23 +97,29 @@ int main(int argc, char** argv) {
   std::printf("# Fig 7 — TCP throughput vs offered data pumping rate\n");
   std::printf("# 100 Mbps switched LAN; VirtualWire = 25 filters + 25\n");
   std::printf("# actions/packet + RLL (ack per frame, no piggybacking)\n");
-  std::printf("%-14s %16s %18s %10s\n", "offered Mbps", "plain Mbps",
-              "virtualwire Mbps", "loss %");
+  std::printf("%-14s %16s %18s %10s %12s %12s\n", "offered Mbps", "plain Mbps",
+              "virtualwire Mbps", "loss %", "rll p95 us", "rll p99 us");
 
   vwbench::BenchJson out("fig7_throughput");
   out.meta("figure", "Fig 7 — TCP throughput vs offered rate");
   out.meta("smoke", smoke ? 1.0 : 0.0);
   out.meta("window_s", window.seconds());
   for (double offered : sweep) {
-    double plain = run_tcp_mbps(false, offered, warmup, window);
-    double vw = run_tcp_mbps(true, offered, warmup, window);
-    double loss = plain > 0 ? (plain - vw) / plain * 100.0 : 0.0;
-    std::printf("%-14.0f %16.2f %18.2f %9.2f%%\n", offered, plain, vw, loss);
+    Fig7Result plain = run_tcp_mbps(false, offered, warmup, window);
+    Fig7Result vw = run_tcp_mbps(true, offered, warmup, window);
+    double loss = plain.mbps > 0
+                      ? (plain.mbps - vw.mbps) / plain.mbps * 100.0
+                      : 0.0;
+    std::printf("%-14.0f %16.2f %18.2f %9.2f%% %12.1f %12.1f\n", offered,
+                plain.mbps, vw.mbps, loss, vw.rtt_p95_us, vw.rtt_p99_us);
     out.begin_row();
     out.field("offered_mbps", offered);
-    out.field("plain_mbps", plain);
-    out.field("virtualwire_mbps", vw);
+    out.field("plain_mbps", plain.mbps);
+    out.field("virtualwire_mbps", vw.mbps);
     out.field("loss_pct", loss);
+    out.field("rll_rtt_p50_us", vw.rtt_p50_us);
+    out.field("rll_rtt_p95_us", vw.rtt_p95_us);
+    out.field("rll_rtt_p99_us", vw.rtt_p99_us);
   }
   std::printf("# PASS criteria (paper): knee at/after ~90 Mbps offered and\n");
   std::printf("# VirtualWire saturation within 10%% of the plain stack.\n");

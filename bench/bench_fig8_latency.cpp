@@ -11,7 +11,25 @@
 // number of filters (linear search), each added mechanism costs more
 // ((iii) > (ii) > (i)), and the worst case stays in the single-digit
 // percent range ("around 7%").
+//
+// Beyond the figure, this bench reports the telemetry subsystem itself:
+// RTT p50/p95/p99 from the echo client's log-linear histogram (not just
+// means), a JSONL report of the heaviest run (BENCH_fig8_telemetry.jsonl),
+// and the *host CPU* overhead of telemetry — registry counters, histogram
+// records and rule-firing provenance — as a steady-state packets per
+// CPU-second ratio between a telemetry-on and telemetry-off run of the
+// same scenario (script compile + arming excluded: one-time costs are not
+// per-packet overhead).  Simulated time is unaffected by telemetry
+// (recording has no scheduled cost), so overhead only shows up in host
+// time.  The budgeted number (≤2%) is the standing tax on the heaviest
+// classify configuration; the per-record provenance cost is priced
+// separately under the (ii) fault storm, where it scales with scripted
+// firings, not traffic.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "vwire/udp/echo.hpp"
@@ -41,25 +59,75 @@ struct EchoSetup {
     cp.interval = millis(1);
     client = std::make_unique<udp::EchoClient>(*client_udp, cp);
   }
-};
 
-double run_echo_rtt_us(TestbedConfig cfg, const std::string& script,
-                       int probes, Duration window) {
-  EchoSetup s(std::move(cfg), probes);
-  if (!script.empty()) {
+  void arm(const std::string& script) {
+    if (script.empty()) return;
     core::TableSet tables = fsl::compile_script(script);
-    control::Controller ctrl(s.tb.simulator(), s.tb.managed_nodes(),
-                             "client");
+    control::Controller ctrl(tb.simulator(), tb.managed_nodes(), "client");
     control::RunOptions opts;
     opts.heartbeat_period = {};  // no liveness beacons in the measurement
     ctrl.arm(tables, opts);
-    s.client->start();
-    s.tb.simulator().run_until(s.tb.simulator().now() + window);
-  } else {
-    s.client->start();
-    s.tb.simulator().run_until({window.ns});
   }
-  return s.client->mean_rtt().micros_f();
+
+  void drive(Duration window) {
+    client->start();
+    tb.simulator().run_until(tb.simulator().now() + window);
+  }
+
+  void run(const std::string& script, Duration window) {
+    arm(script);
+    drive(window);
+  }
+
+  u64 packets_seen() {
+    u64 n = 0;
+    for (const char* name : {"client", "server"}) {
+      const NodeHandles& h = tb.handles(name);
+      if (h.engine != nullptr) n += h.engine->stats().packets_seen;
+    }
+    return n;
+  }
+};
+
+struct EchoResult {
+  double mean_us{0}, p50_us{0}, p95_us{0}, p99_us{0};
+};
+
+EchoResult run_echo(TestbedConfig cfg, const std::string& script, int probes,
+                    Duration window) {
+  EchoSetup s(std::move(cfg), probes);
+  s.run(script, window);
+  const obs::Histogram& h = s.client->rtt_histogram();
+  return {s.client->mean_rtt().micros_f(),
+          static_cast<double>(h.percentile(50)),
+          static_cast<double>(h.percentile(95)),
+          static_cast<double>(h.percentile(99))};
+}
+
+/// One overhead arm: run a scenario and measure host *CPU* time over the
+/// steady-state drive only — compiling and arming the script happen outside
+/// the timed window (one-time costs, e.g. allocating the provenance rings,
+/// are not per-packet overhead), and process CPU time rather than wall
+/// time, so other tenants of a shared machine don't leak into the ratio.
+/// Returns engine packets processed per CPU second (best proxy for the
+/// telemetry hot-path cost; simulated time is identical either way).
+double run_packets_per_sec(TestbedConfig cfg, const std::string& script,
+                           int probes, Duration window,
+                           const char* report_path) {
+  EchoSetup s(std::move(cfg), probes);
+  s.arm(script);
+  std::clock_t t0 = std::clock();
+  s.drive(window);
+  std::clock_t t1 = std::clock();
+  double cpu_s = static_cast<double>(t1 - t0) / CLOCKS_PER_SEC;
+  if (report_path != nullptr) {
+    obs::ScenarioReport report = make_report(s.tb, nullptr);
+    report.meta.scenario = "fig8_heaviest";
+    if (!report.write_jsonl(report_path)) {
+      std::fprintf(stderr, "failed to write %s\n", report_path);
+    }
+  }
+  return cpu_s > 0 ? static_cast<double>(s.packets_seen()) / cpu_s : 0.0;
 }
 
 }  // namespace
@@ -76,18 +144,26 @@ int main(int argc, char** argv) {
   base_cfg.install_engine = false;
   base_cfg.install_rll = false;
   base_cfg.install_trace = false;
-  double base_us = run_echo_rtt_us(base_cfg, "", probes, window);
+  EchoResult base = run_echo(base_cfg, "", probes, window);
 
   std::printf("# Fig 8 — %% increase in UDP round-trip latency vs number of\n");
   std::printf("# packet type definitions (paper: linear growth, (iii) ~7%% max)\n");
-  std::printf("# baseline RTT (no VirtualWire): %.2f us\n", base_us);
-  std::printf("%-8s %10s %8s %12s %8s %12s %8s\n", "filters", "(i) us", "%",
-              "(ii) us", "%", "(iii) us", "%");
+  std::printf("# baseline RTT (no VirtualWire): mean %.2f us, p50 %.2f, "
+              "p95 %.2f, p99 %.2f us\n",
+              base.mean_us, base.p50_us, base.p95_us, base.p99_us);
+  std::printf("%-8s %10s %8s %12s %8s %12s %8s %10s %10s\n", "filters",
+              "(i) us", "%", "(ii) us", "%", "(iii) us", "%", "iii p95", "iii p99");
 
   vwbench::BenchJson out("fig8_latency");
   out.meta("figure", "Fig 8 — % RTT increase vs number of packet types");
   out.meta("smoke", smoke ? 1.0 : 0.0);
-  out.meta("baseline_us", base_us);
+  out.meta("baseline_us", base.mean_us);
+  out.meta("baseline_p50_us", base.p50_us);
+  out.meta("baseline_p95_us", base.p95_us);
+  out.meta("baseline_p99_us", base.p99_us);
+
+  std::string last_script_i;   // heaviest classify-only config, reused below
+  std::string last_script_ii;  // heaviest fault-storm config, reused below
   for (int n : sweep) {
     TestbedConfig cfg_i;  // engine only, no RLL
     cfg_i.install_rll = false;
@@ -108,27 +184,115 @@ int main(int argc, char** argv) {
         filters + node_table +
         vwbench::per_packet_actions_scenario("udp_req", "udp_rsp", "client",
                                              "server", 25);
+    last_script_i = script_i;
+    last_script_ii = script_ii;
 
-    double us_i = run_echo_rtt_us(cfg_i, script_i, probes, window);
-    double us_ii = run_echo_rtt_us(cfg_i, script_ii, probes, window);
+    EchoResult r_i = run_echo(cfg_i, script_i, probes, window);
+    EchoResult r_ii = run_echo(cfg_i, script_ii, probes, window);
 
     TestbedConfig cfg_iii = cfg_i;  // + paper-faithful RLL
     cfg_iii.install_rll = true;
     cfg_iii.rll = vwbench::paper_rll();
-    double us_iii = run_echo_rtt_us(cfg_iii, script_ii, probes, window);
+    EchoResult r_iii = run_echo(cfg_iii, script_ii, probes, window);
 
-    auto pct = [&](double us) { return (us - base_us) / base_us * 100.0; };
-    std::printf("%-8d %10.2f %7.2f%% %12.2f %7.2f%% %12.2f %7.2f%%\n", n,
-                us_i, pct(us_i), us_ii, pct(us_ii), us_iii, pct(us_iii));
+    auto pct = [&](double us) {
+      return (us - base.mean_us) / base.mean_us * 100.0;
+    };
+    std::printf(
+        "%-8d %10.2f %7.2f%% %12.2f %7.2f%% %12.2f %7.2f%% %10.2f %10.2f\n",
+        n, r_i.mean_us, pct(r_i.mean_us), r_ii.mean_us, pct(r_ii.mean_us),
+        r_iii.mean_us, pct(r_iii.mean_us), r_iii.p95_us, r_iii.p99_us);
     out.begin_row();
     out.field("filters", n);
-    out.field("i_us", us_i);
-    out.field("i_pct", pct(us_i));
-    out.field("ii_us", us_ii);
-    out.field("ii_pct", pct(us_ii));
-    out.field("iii_us", us_iii);
-    out.field("iii_pct", pct(us_iii));
+    out.field("i_us", r_i.mean_us);
+    out.field("i_pct", pct(r_i.mean_us));
+    out.field("ii_us", r_ii.mean_us);
+    out.field("ii_pct", pct(r_ii.mean_us));
+    out.field("iii_us", r_iii.mean_us);
+    out.field("iii_pct", pct(r_iii.mean_us));
+    out.field("iii_p50_us", r_iii.p50_us);
+    out.field("iii_p95_us", r_iii.p95_us);
+    out.field("iii_p99_us", r_iii.p99_us);
   }
+
+  // Telemetry wall-clock overhead, telemetry on vs off, best-of-3 per arm
+  // to shed scheduler noise.  Two measurements:
+  //
+  //  * The budgeted number runs the heaviest *standing* configuration
+  //    (25 filters, RLL on, no scripted faults): registry views, per-packet
+  //    histogram records, and the armed-but-idle provenance ring.  This is
+  //    the tax every scenario pays regardless of script behaviour, and it
+  //    must stay under 2%.
+  //  * The fault-storm number runs configuration (ii) — 25 counter actions
+  //    per matched packet, ~12 provenance records per engine-seen packet.
+  //    It prices the per-record provenance cost, which scales with scripted
+  //    action firings rather than with traffic, so it is reported for
+  //    information, not budgeted against.
+  TestbedConfig cfg_heavy;
+  cfg_heavy.install_rll = true;
+  cfg_heavy.rll = vwbench::paper_rll();
+  cfg_heavy.install_trace = false;
+  // Even CPU-time samples on a shared machine carry slow outliers (cache
+  // thrash from neighbours inflates CPU time by up to 2×), but noise only
+  // ever *slows* a run — so each arm takes the best of N interleaved
+  // samples (>100 ms of CPU time each), the standard min-time estimator:
+  // the fastest observation is the closest to the true cost.
+  const int ov_probes = smoke ? 10000 : 20000;
+  const Duration ov_window = millis(ov_probes + 200);
+  std::vector<double> ov_on, ov_off, st_on, st_off;
+  const int reps = smoke ? 21 : 15;
+  for (int r = 0; r < reps; ++r) {
+    TestbedConfig on = cfg_heavy;
+    on.telemetry = true;
+    TestbedConfig off = cfg_heavy;
+    off.telemetry = false;
+    // Alternate which arm goes first so monotonic machine drift (thermal,
+    // frequency scaling) biases both arms symmetrically.
+    const bool on_first = (r % 2) == 0;
+    const char* report = r == 0 ? "BENCH_fig8_telemetry.jsonl" : nullptr;
+    for (int leg = 0; leg < 2; ++leg) {
+      if ((leg == 0) == on_first) {
+        ov_on.push_back(run_packets_per_sec(on, last_script_i, ov_probes,
+                                            ov_window, nullptr));
+        st_on.push_back(run_packets_per_sec(on, last_script_ii, ov_probes,
+                                            ov_window, report));
+      } else {
+        ov_off.push_back(run_packets_per_sec(off, last_script_i, ov_probes,
+                                             ov_window, nullptr));
+        st_off.push_back(run_packets_per_sec(off, last_script_ii, ov_probes,
+                                             ov_window, nullptr));
+      }
+    }
+  }
+  // Second-best rather than best: the maximum of ~20 samples is itself a
+  // noisy order statistic (one lucky cache-warm run skews the ratio); the
+  // runner-up keeps the slow-outlier immunity without the extreme-value
+  // variance.
+  auto best = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v.size() > 1 ? v[v.size() - 2] : v.back();
+  };
+  double pps_on = best(ov_on), pps_off = best(ov_off);
+  double storm_on = best(st_on), storm_off = best(st_off);
+  double overhead_pct =
+      pps_off > 0 ? (pps_off - pps_on) / pps_off * 100.0 : 0.0;
+  double storm_pct =
+      storm_off > 0 ? (storm_off - storm_on) / storm_off * 100.0 : 0.0;
+  std::printf("# telemetry overhead: best %.0f pkt/cpu-s (on) vs %.0f "
+              "pkt/cpu-s (off) = %.2f%% (budget 2%%)\n",
+              pps_on, pps_off, overhead_pct);
+  std::printf("# provenance under fault storm (ii, ~12 records/pkt): "
+              "best %.0f pkt/cpu-s (on) vs %.0f pkt/cpu-s (off) = %.2f%%\n",
+              storm_on, storm_off, storm_pct);
+  std::printf("# wrote BENCH_fig8_telemetry.jsonl\n");
+  out.meta("telemetry_pps_on", pps_on);
+  out.meta("telemetry_pps_off", pps_off);
+  out.meta("telemetry_overhead_pct", overhead_pct);
+  out.meta("storm_pps_on", storm_on);
+  out.meta("storm_pps_off", storm_off);
+  out.meta("storm_overhead_pct", storm_pct);
+
   if (!out.write("BENCH_fig8.json")) {
     std::fprintf(stderr, "failed to write BENCH_fig8.json\n");
     return 1;

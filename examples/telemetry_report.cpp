@@ -1,0 +1,136 @@
+// telemetry_report — the unified-telemetry walkthrough (DESIGN.md §7).
+//
+// Runs the paper's §6.1 TCP congestion scenario (first SYNACK dropped, the
+// script mirrors the sender's window arithmetic) with full telemetry on,
+// exports the machine-readable ScenarioReport, then demonstrates the three
+// consumption paths:
+//
+//   1. `explain(rule_id)` — rule-firing provenance: why did the DROP rule
+//      fire, with which counter values?
+//   2. the JSONL event stream — round-tripped through the offline loader
+//      (parse_report_jsonl) and pretty-printed, the artifact two runs of a
+//      scenario can be diffed by (EXPERIMENTS.md).
+//   3. the metrics registry — per-layer tables formatted with the same
+//      obs::format_table helper ScenarioResult::summary() uses.
+#include <cstdio>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/obs/format.hpp"
+#include "vwire/tcp/apps.hpp"
+
+using namespace vwire;
+
+namespace {
+
+const char* kFilters =
+    "FILTER_TABLE\n"
+    "  TCP_syn:    (34 2 0x6000), (36 2 0x4000), (47 1 0x02 0x02)\n"
+    "  TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)\n"
+    "  TCP_data:   (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)\n"
+    "  TCP_ack:    (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)\n"
+    "END\n";
+
+// Condensed §6.1 script: init (rule 0), the SYNACK drop (rule 1), and a
+// stop after a healthy run of acks (rule 2).
+const char* kScenario =
+    "SCENARIO TCP_synack_drop\n"
+    "  SYNACK:   (TCP_synack, node2, node1, RECV)\n"
+    "  TOT_ACK:  (TCP_ack, node2, node1, RECV)\n"
+    "  (TRUE) >> ENABLE_CNTR( SYNACK );\n"
+    "            ENABLE_CNTR( TOT_ACK );\n"
+    "  ((SYNACK > 0) && (SYNACK < 2)) >>\n"
+    "            DROP TCP_synack, node2, node1, RECV;\n"
+    "  ((TOT_ACK = 100)) >> STOP;\n"
+    "END\n";
+
+void print_firing(const obs::FiringRecord& r,
+                  const std::vector<std::string>& counter_names) {
+  std::printf("  t=%.6fs node=%s rule=%u action=%u kind=%s depth=%u",
+              r.at.seconds(), r.node_name.c_str(), r.rule, r.action,
+              r.kind_name, r.cascade_depth);
+  if (r.packet_uid != 0) {
+    std::printf(" pkt=%llu", static_cast<unsigned long long>(r.packet_uid));
+  }
+  for (u8 i = 0; i < r.n_counters; ++i) {
+    const auto& c = r.counters[i];
+    const char* name = c.id < counter_names.size()
+                           ? counter_names[c.id].c_str()
+                           : "?";
+    std::printf(" %s=%lld", name, static_cast<long long>(c.value));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Testbed tb;  // TestbedConfig::telemetry defaults to true
+  tb.add_node("node1");
+  tb.add_node("node2");
+
+  tcp::TcpLayer tcp1(tb.node("node1"));
+  tcp::TcpLayer tcp2(tb.node("node2"));
+  tcp::BulkSink sink(tcp2, /*port=*/16384);
+
+  tcp::BulkSender::Params sp;
+  sp.dst_ip = tb.node("node2").ip();
+  sp.dst_port = 16384;
+  sp.src_port = 24576;
+  sp.total_bytes = 0;  // pump until the script STOPs the scenario
+  tcp::BulkSender sender(tcp1, sp);
+
+  ScenarioRunner runner(tb);
+  ScenarioSpec spec;
+  spec.script = std::string(kFilters) + tb.node_table_fsl() + kScenario;
+  spec.workload = [&] { sender.start(); };
+  spec.options.deadline = seconds(20);
+  spec.telemetry.jsonl_path = "telemetry_report.jsonl";
+  spec.telemetry.csv_path = "telemetry_report.csv";
+  auto result = runner.run(spec);
+  std::printf("%s\n", result.summary().c_str());
+
+  // 1. Provenance: the DROP rule is the scenario's second condition (the
+  // (TRUE) init rule is condition 0).
+  constexpr u16 kDropRule = 1;
+  auto drops = result.explain(kDropRule);
+  std::printf("\nexplain(rule %u) — %zu firing(s):\n", kDropRule,
+              drops.size());
+  for (const auto& r : drops) print_firing(r, result.counter_names);
+
+  // 2. The exported JSONL, round-tripped through the offline loader.
+  obs::ScenarioReport loaded;
+  try {
+    loaded = obs::load_report("telemetry_report.jsonl");
+  } catch (const std::exception& e) {
+    std::printf("report load failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("\ntelemetry_report.jsonl: scenario '%s' seed=%llu passed=%s — "
+              "%zu metrics, %zu firings, %zu link events, %zu annotations\n",
+              loaded.meta.scenario.c_str(),
+              static_cast<unsigned long long>(loaded.meta.seed),
+              loaded.meta.passed ? "yes" : "no", loaded.metrics.size(),
+              loaded.firings.size(), loaded.link_events.size(),
+              loaded.annotations.size());
+
+  // 3. A registry excerpt, formatted with the shared helper.
+  std::vector<obs::Row> rows;
+  for (const auto& s : loaded.metrics) {
+    if (s.kind == obs::MetricKind::kHistogram) {
+      if (s.hist.count == 0) continue;
+      rows.emplace_back(s.name + " p50/p99",
+                        std::to_string(s.hist.p50) + " / " +
+                            std::to_string(s.hist.p99));
+    } else if (s.value != 0 && s.name.find("engine.") == 0) {
+      rows.emplace_back(s.name, std::to_string(static_cast<u64>(s.value)));
+    }
+  }
+  std::printf("\n%s", obs::format_table("engine metrics + histograms", rows)
+                          .c_str());
+
+  bool ok = result.passed() && result.stopped && drops.size() == 1 &&
+            loaded.firings.size() == result.firings.size() &&
+            loaded.meta.passed == result.passed();
+  std::printf("\ntelemetry_report: %s\n", ok ? "OK" : "UNEXPECTED RESULT");
+  return ok ? 0 : 1;
+}

@@ -8,6 +8,37 @@ namespace vwire {
 
 ScenarioRunner::ScenarioRunner(Testbed& testbed) : testbed_(testbed) {}
 
+obs::ScenarioReport make_report(Testbed& testbed,
+                                const control::ScenarioResult* result) {
+  obs::ScenarioReport report;
+  report.meta.nodes = testbed.node_names();
+  report.metrics = testbed.metrics().snapshot();
+  for (const trace::TraceAnnotation& a : testbed.trace().annotations()) {
+    report.annotations.push_back({a.at, a.node, a.text});
+  }
+  if (result == nullptr) {
+    report.meta.ended_at = testbed.simulator().now();
+    return report;
+  }
+  report.meta.scenario = result->scenario;
+  report.meta.seed = result->effective_seed;
+  report.meta.ended_at = result->ended_at;
+  report.meta.passed = result->passed();
+  report.firings = result->firings;
+  report.firings_dropped = result->firings_dropped;
+  report.counter_names = result->counter_names;
+  for (const control::LinkFaultEvent& e : result->link_events) {
+    report.link_events.push_back({e.at, e.node, e.description});
+  }
+  for (const core::ScenarioError& e : result->errors) {
+    std::string node = e.node < result->node_names.size()
+                           ? result->node_names[e.node]
+                           : std::string();
+    report.errors.push_back({e.at, std::move(node), e.cond});
+  }
+  return report;
+}
+
 void ScenarioRunner::validate_nodes(const core::TableSet& tables) {
   for (const core::NodeEntry& e : tables.nodes.entries) {
     bool found = false;
@@ -248,6 +279,16 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
       m.frames_dropped_flap - medium_before.frames_dropped_flap;
   result.robustness.medium_dropped_loss =
       m.frames_dropped_loss - medium_before.frames_dropped_loss;
+
+  if (!spec.telemetry.jsonl_path.empty() || !spec.telemetry.csv_path.empty()) {
+    obs::ScenarioReport report = make_report(testbed_, &result);
+    if (!spec.telemetry.jsonl_path.empty()) {
+      report.write_jsonl(spec.telemetry.jsonl_path);
+    }
+    if (!spec.telemetry.csv_path.empty()) {
+      report.write_csv(spec.telemetry.csv_path);
+    }
+  }
   return result;
 }
 

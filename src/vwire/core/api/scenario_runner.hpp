@@ -9,6 +9,7 @@
 
 #include "vwire/core/api/testbed.hpp"
 #include "vwire/core/fsl/compiler.hpp"
+#include "vwire/obs/report.hpp"
 
 namespace vwire {
 
@@ -71,7 +72,24 @@ struct ScenarioSpec {
   /// ScenarioResult::effective_seed.
   u64 seed{0};
   control::RunOptions options{};
+
+  /// Structured export of the run (DESIGN.md §7); empty paths skip the
+  /// corresponding file.  Requires TestbedConfig::telemetry for metric and
+  /// firing content — with it off the files still round-trip but carry only
+  /// the run's meta/link_event/error lines.
+  struct TelemetrySpec {
+    std::string jsonl_path;  ///< schema-versioned JSONL event stream
+    std::string csv_path;    ///< per-node metric matrix
+  };
+  TelemetrySpec telemetry{};
 };
+
+/// Assembles the offline report for the testbed's current state: every
+/// registry metric, plus — when `result` is non-null — the run's firing
+/// provenance, link events and errors.  Benches pass result=nullptr to
+/// export metrics outside a scripted scenario.
+obs::ScenarioReport make_report(Testbed& testbed,
+                                const control::ScenarioResult* result);
 
 class ScenarioRunner {
  public:

@@ -13,6 +13,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
                                                config_.seed);
   }
   trace_ = trace::TraceBuffer(config_.trace_capacity);
+  if (config_.telemetry) medium_->bind_metrics(metrics_, "phy.medium");
 }
 
 host::Node& Testbed::add_node(const std::string& name) {
@@ -33,10 +34,12 @@ host::Node& Testbed::add_node(const std::string& name, net::MacAddress mac,
   auto node = std::make_unique<host::Node>(sim_, *medium_, params);
   NodeHandles h;
   h.node = node.get();
+  if (config_.telemetry) node->set_metrics(&metrics_);
 
   if (config_.install_rll) {
     auto rll = std::make_unique<rll::RllLayer>(sim_, config_.rll);
     h.rll = static_cast<rll::RllLayer*>(&node->add_layer(std::move(rll)));
+    if (config_.telemetry) h.rll->bind_metrics(metrics_, "rll." + name);
     h.rll->set_link_listener(
         [this, name](const net::MacAddress& peer, bool up) {
           if (config_.install_trace) {
@@ -56,14 +59,19 @@ host::Node& Testbed::add_node(const std::string& name, net::MacAddress mac,
     auto agent = std::make_unique<control::ControlAgent>();
     h.agent =
         static_cast<control::ControlAgent*>(&node->add_layer(std::move(agent)));
+    if (config_.telemetry) {
+      obs::expose_stats(metrics_, "agent." + name, h.agent->stats());
+    }
   }
   if (config_.install_engine) {
     core::EngineParams ep = config_.engine;
     ep.seed = config_.engine.seed ^ (static_cast<u64>(entries_.size()) << 32);
+    if (!config_.telemetry) ep.provenance_capacity = 0;
     auto engine = std::make_unique<core::EngineLayer>(sim_, ep);
     h.engine =
         static_cast<core::EngineLayer*>(&node->add_layer(std::move(engine)));
     h.engine->set_control(h.agent);
+    if (config_.telemetry) h.engine->bind_metrics(metrics_, "engine." + name);
   }
 
   // Full-mesh static ARP.

@@ -38,6 +38,12 @@ struct TestbedConfig {
   bool install_trace{true};
   std::size_t trace_capacity{1'000'000};
 
+  /// Binds every component (medium, engines, agents, RLL, TCP) into the
+  /// testbed's MetricsRegistry and keeps per-node rule-firing provenance.
+  /// Off: no registry entries and provenance_capacity is forced to 0, so
+  /// the hot paths skip all recording (the overhead baseline).
+  bool telemetry{true};
+
   /// Per-node kernel-stack processing charged above the chain.
   Duration rx_stack_cost{micros(28)};
   Duration tx_stack_cost{micros(17)};
@@ -78,6 +84,11 @@ class Testbed {
   trace::TraceBuffer& trace() { return trace_; }
   const TestbedConfig& config() const { return config_; }
 
+  /// Central metrics registry ("layer.node.metric" naming, DESIGN.md §7).
+  /// Empty when config.telemetry is false.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Emits an FSL NODE_TABLE section matching this testbed, so scripts can
   /// be generated rather than hand-synchronized.
   std::string node_table_fsl() const;
@@ -96,6 +107,9 @@ class Testbed {
  private:
   TestbedConfig config_;
   sim::Simulator sim_;
+  /// Declared before the medium and nodes: components hold registry-owned
+  /// histogram pointers, so the registry must be destroyed last.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<phy::Medium> medium_;
   trace::TraceBuffer trace_;
   std::vector<std::pair<std::string, NodeHandles>> entries_;

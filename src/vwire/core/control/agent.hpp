@@ -30,6 +30,17 @@ struct AgentStats {
   u64 heartbeats_tx{0};
 };
 
+/// Single source of field names for formatting and registry exposure.
+template <class Fn>
+void for_each_field(const AgentStats& s, Fn&& fn) {
+  fn("tx_messages", s.tx_messages);
+  fn("rx_messages", s.rx_messages);
+  fn("rx_malformed", s.rx_malformed);
+  fn("rx_dropped_stale", s.rx_dropped_stale);
+  fn("rx_dropped_dup", s.rx_dropped_dup);
+  fn("heartbeats_tx", s.heartbeats_tx);
+}
+
 class ControlAgent final : public host::Layer {
  public:
   using Handler =

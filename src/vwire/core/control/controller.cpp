@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <sstream>
 
+#include "vwire/obs/format.hpp"
 #include "vwire/util/assert.hpp"
 #include "vwire/util/logging.hpp"
 
 namespace vwire::control {
+
+std::vector<obs::FiringRecord> ScenarioResult::explain(u16 rule_id) const {
+  std::vector<obs::FiringRecord> out;
+  for (const obs::FiringRecord& r : firings) {
+    if (r.rule == rule_id) out.push_back(r);
+  }
+  return out;
+}
 
 std::string ScenarioResult::summary() const {
   std::ostringstream os;
@@ -26,25 +35,15 @@ std::string ScenarioResult::summary() const {
   if (effective_seed != 0) os << ", seed " << effective_seed;
   if (!link_events.empty()) os << ", " << link_events.size() << " link event(s)";
   if (robustness.any()) {
-    os << ", shed[";
-    const RobustnessReport& r = robustness;
-    bool first = true;
-    auto field = [&](const char* name, u64 v) {
-      if (v == 0) return;
-      if (!first) os << " ";
-      os << name << "=" << v;
-      first = false;
-    };
-    field("link_down", r.rll_link_down);
-    field("link_up", r.rll_link_up);
-    field("retx", r.rll_retransmits);
-    field("fast_retx", r.rll_fast_retransmits);
-    field("drop_down", r.medium_dropped_down);
-    field("drop_queue", r.medium_dropped_queue);
-    field("drop_cut", r.medium_dropped_cut);
-    field("drop_flap", r.medium_dropped_flap);
-    field("drop_loss", r.medium_dropped_loss);
-    os << "]";
+    std::vector<obs::Row> rows;
+    for_each_field(robustness, [&](const char* name, u64 v) {
+      if (v != 0) rows.emplace_back(name, std::to_string(v));
+    });
+    os << ", shed[" << obs::format_kv(rows) << "]";
+  }
+  if (!firings.empty()) {
+    os << ", " << firings.size() << " firing(s)";
+    if (firings_dropped > 0) os << " (+" << firings_dropped << " dropped)";
   }
   return os.str();
 }
@@ -60,6 +59,16 @@ Controller::Controller(sim::Simulator& sim, std::vector<ManagedNode> nodes,
     }
   }
   VWIRE_ASSERT(found, "control node not among managed nodes");
+}
+
+Controller::~Controller() {
+  // Only unhook engines that still point at *this* context — a newer
+  // Controller re-arming the same testbed has already replaced it.
+  for (ManagedNode& n : nodes_) {
+    if (n.engine != nullptr && n.engine->context() == &context_) {
+      n.engine->set_context(nullptr);
+    }
+  }
 }
 
 void Controller::wire_dispatch() {
@@ -373,6 +382,29 @@ ScenarioResult Controller::run(const RunOptions& opts) {
       if (rt_[i].dead) result.degraded_counters.push_back(e.name);
     }
   }
+  // Rule-firing provenance: drain each engine's ring (in-process — the
+  // records never travel the wire; they are debug state the harness owns)
+  // and stitch the per-node streams into one simulated-time order.
+  for (const core::NodeEntry& e : tables_.nodes.entries) {
+    result.node_names.push_back(e.name);
+  }
+  for (const core::CounterEntry& e : tables_.counters.entries) {
+    result.counter_names.push_back(e.name);
+  }
+  for (ManagedNode& n : nodes_) {
+    if (!n.engine->loaded()) continue;
+    const obs::ProvenanceRing& ring = n.engine->provenance();
+    for (obs::FiringRecord& r : ring.collect()) {
+      r.node_name = n.name;
+      result.firings.push_back(std::move(r));
+    }
+    result.firings_dropped += ring.dropped();
+  }
+  std::stable_sort(result.firings.begin(), result.firings.end(),
+                   [](const obs::FiringRecord& a, const obs::FiringRecord& b) {
+                     return a.at < b.at;
+                   });
+
   // Tear down the liveness plane; the next arm() restarts it.
   for (ManagedNode& n : nodes_) n.agent->stop_heartbeats();
   armed_ = false;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "vwire/core/engine/engine.hpp"
+#include "vwire/obs/provenance.hpp"
 
 namespace vwire::control {
 
@@ -86,6 +87,20 @@ struct RobustnessReport {
   }
 };
 
+/// Short names match the summary()'s shed[...] vocabulary.
+template <class Fn>
+void for_each_field(const RobustnessReport& r, Fn&& fn) {
+  fn("link_down", r.rll_link_down);
+  fn("link_up", r.rll_link_up);
+  fn("retx", r.rll_retransmits);
+  fn("fast_retx", r.rll_fast_retransmits);
+  fn("drop_down", r.medium_dropped_down);
+  fn("drop_queue", r.medium_dropped_queue);
+  fn("drop_cut", r.medium_dropped_cut);
+  fn("drop_flap", r.medium_dropped_flap);
+  fn("drop_loss", r.medium_dropped_loss);
+}
+
 struct ScenarioResult {
   std::string scenario;
   bool stopped{false};        ///< a STOP action ended the run
@@ -107,6 +122,23 @@ struct ScenarioResult {
   std::vector<LinkFaultEvent> link_events;
   /// Per-run fault-shed counters (see RobustnessReport).
   RobustnessReport robustness;
+
+  /// Rule-firing provenance collected from every node's engine at run end,
+  /// in simulated-time order (node_name stamped at collection).
+  std::vector<obs::FiringRecord> firings;
+  /// FiringRecords lost to ring overwrite across all nodes (0 = the record
+  /// above is complete).
+  u64 firings_dropped{0};
+  /// Script node-table names indexed by NodeId, for resolving ids in
+  /// errors/firings offline.
+  std::vector<std::string> node_names;
+  /// Script counter names indexed by CounterId, for readable firing
+  /// snapshots in the exported report.
+  std::vector<std::string> counter_names;
+
+  /// Every FiringRecord of rule (condition) `rule_id`, oldest first —
+  /// "why did this rule fire, and with what state?".
+  std::vector<obs::FiringRecord> explain(u16 rule_id) const;
 
   /// The paper's pass criterion: no FLAG_ERROR fired, and if the scenario
   /// declared an inactivity timeout, it ended via STOP rather than silence.
@@ -133,6 +165,15 @@ class Controller {
   /// `self` identifies the control node among `nodes` (by name).
   Controller(sim::Simulator& sim, std::vector<ManagedNode> nodes,
              std::string_view control_node);
+
+  /// Detaches every engine still pointing at this Controller's
+  /// ScenarioContext.  Armed engines hold a raw pointer into the
+  /// Controller, and an arm-and-go caller (the benches) may let the
+  /// Controller die while the scenario keeps running.
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
 
   /// Compiled-scenario setup: wires agent dispatch, enters a fresh epoch,
   /// and distributes INIT then START over the control plane with per-node

@@ -43,9 +43,24 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
                                          net::Direction dir) {
   ++stats_.actions_executed;
   ++actions_this_packet_;
+  // Provenance: snapshot (counter/term state, matched filter, packet)
+  // before the fault disposes of the packet; the cases below fill the
+  // outcome fields (notably DELAY's applied-vs-requested quantization).
+  // Records are filled in place in the claimed ring slot — this path runs
+  // up to 25 times per matched packet in the Fig 7/8 configuration.
+  const bool prov = provenance_.enabled();
+  const u64 uid = pkt.uid();  // kReorder moves pkt before recording
+  auto record = [&]() -> obs::FiringRecord& {
+    obs::FiringRecord& r = provenance_.claim();
+    fill_record(r, action_cond_[id], id, /*depth=*/0);
+    r.filter = e.filter;
+    r.packet_uid = uid;
+    return r;
+  };
   switch (e.kind) {
     case ActionKind::kDrop:
       ++stats_.drops;
+      if (prov) record();
       VWIRE_DEBUG() << "DROP uid=" << pkt.uid() << " at "
                     << sim_.now().seconds() << "s";
       return Fate::kConsumed;
@@ -54,6 +69,11 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
       ++stats_.delays;
       // Jiffy quantization, as in the paper's Linux 2.4 implementation.
       Duration d = sim::quantize_up(e.delay, params_.delay_quantum);
+      if (prov) {
+        obs::FiringRecord& r = record();
+        r.value = d.ns;         // applied (quantized)
+        r.value2 = e.delay.ns;  // requested by the script
+      }
       auto shared = std::make_shared<net::Packet>(std::move(pkt));
       sim_.after(d, [this, shared, dir] {
         release_now(std::move(*shared), dir);
@@ -63,6 +83,7 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
 
     case ActionKind::kDup: {
       ++stats_.dups;
+      if (prov) record();
       // The twin follows the original immediately (fresh uid).
       net::Packet twin = pkt.clone();
       auto shared = std::make_shared<net::Packet>(std::move(twin));
@@ -74,6 +95,9 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
 
     case ActionKind::kModify: {
       ++stats_.modifies;
+      if (prov) {
+        record().value = static_cast<i64>(e.modify_bytes.size());  // 0=random
+      }
       Bytes& b = pkt.mutable_bytes();
       if (!e.modify_bytes.empty()) {
         // Explicit rewrite; the checksum is deliberately left to the script
@@ -104,6 +128,11 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
       reorder_dir_[id] = dir;
       buf.push_back(std::move(pkt));
       ++stats_.reorders_held;
+      if (prov) {
+        obs::FiringRecord& r = record();
+        r.value = static_cast<i64>(buf.size());  // window fill after this
+        r.value2 = static_cast<i64>(e.reorder_count);
+      }
       if (buf.size() < e.reorder_count) return Fate::kDiverted;
       // Window full: release in the scripted permutation "in burst when
       // the bottom half is scheduled next" — here, one event later.

@@ -5,7 +5,16 @@
 namespace vwire::core {
 
 EngineLayer::EngineLayer(sim::Simulator& sim, EngineParams params)
-    : sim_(sim), params_(params), rng_(params.seed) {}
+    : sim_(sim),
+      params_(params),
+      rng_(params.seed),
+      provenance_(params.provenance_capacity) {}
+
+void EngineLayer::bind_metrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) {
+  obs::expose_stats(reg, prefix, stats_);
+  proc_hist_ = &reg.histogram(prefix + ".proc_ns");
+}
 
 EngineLayer::~EngineLayer() = default;
 
@@ -41,10 +50,63 @@ void EngineLayer::load(TableSet tables) {
       local_fault_actions_.push_back(static_cast<ActionId>(a));
     }
   }
+
+  // What each condition depends on, for provenance snapshots: the terms in
+  // its postfix, and every counter those terms compare.
+  cond_counters_.assign(tables_.conditions.entries.size(), {});
+  cond_terms_.assign(tables_.conditions.entries.size(), {});
+  for (std::size_t c = 0; c < tables_.conditions.entries.size(); ++c) {
+    auto add_unique = [](auto& vec, auto id) {
+      for (auto v : vec)
+        if (v == id) return;
+      vec.push_back(id);
+    };
+    for (const CondInstr& in : tables_.conditions.entries[c].postfix) {
+      if (in.op != BoolOp::kTerm) continue;
+      add_unique(cond_terms_[c], in.term);
+      const TermEntry& t = tables_.terms.entries[in.term];
+      if (t.lhs.is_counter) add_unique(cond_counters_[c], t.lhs.counter);
+      if (t.rhs.is_counter) add_unique(cond_counters_[c], t.rhs.counter);
+    }
+  }
+
   reorder_buf_.clear();
   reorder_dir_.clear();
+  // Fresh scenario, fresh provenance: the ring from a previous arm() must
+  // not leak into this run's explain() output.
+  provenance_.reset(params_.provenance_capacity);
   loaded_ = true;
   running_ = false;
+}
+
+void EngineLayer::fill_record(obs::FiringRecord& r, CondId cond,
+                              ActionId action, u16 depth) const {
+  // The slot is reused across ring laps: overwrite every field read at
+  // collection time (node_name is only ever set on collected copies).
+  r.at = sim_.now();
+  r.node = self_;
+  r.rule = cond;
+  r.action = action;
+  const ActionEntry& e = tables_.actions.entries[action];
+  r.kind = static_cast<u8>(e.kind);
+  r.kind_name = to_string(e.kind);
+  r.cascade_depth = depth;
+  r.filter = obs::FiringRecord::kNone;
+  r.packet_uid = 0;
+  r.value = 0;
+  r.value2 = 0;
+  r.n_counters = 0;
+  r.n_terms = 0;
+  if (cond != kInvalidId) {
+    for (CounterId c : cond_counters_[cond]) {
+      if (r.n_counters >= obs::FiringRecord::kMaxCounters) break;
+      r.counters[r.n_counters++] = {c, counters_[c].value};
+    }
+    for (TermId t : cond_terms_[cond]) {
+      if (r.n_terms >= obs::FiringRecord::kMaxTerms) break;
+      r.terms[r.n_terms++] = {t, term_state_[t] != 0};
+    }
+  }
 }
 
 void EngineLayer::start(NodeId controller_node) {
@@ -66,6 +128,7 @@ void EngineLayer::reset() {
   if (vars_) vars_->reset();
   reorder_buf_.clear();
   reorder_dir_.clear();
+  provenance_.clear();
   running_ = false;
 }
 
@@ -150,6 +213,7 @@ void EngineLayer::process(net::Packet pkt, net::Direction dir) {
            Duration{static_cast<i64>(actions_this_packet_) *
                     params_.cost_per_action.ns};
   }
+  if (proc_hist_ != nullptr) proc_hist_->record(cost.ns);
   if (fate == Fate::kRelease) {
     release(std::move(pkt), dir, cost);
   }
@@ -246,7 +310,6 @@ void EngineLayer::eval_term(TermId id, int depth) {
 }
 
 void EngineLayer::eval_condition(CondId id, int depth) {
-  (void)depth;  // kept for symmetry with the rest of the cascade
   const CondEntry& e = tables_.conditions.entries[id];
   // Only evaluate where one of the condition's actions lives.
   bool ours = false;
@@ -282,7 +345,9 @@ void EngineLayer::eval_condition(CondId id, int depth) {
   bool before = cond_state_[id] != 0;
   cond_state_[id] = now ? 1 : 0;
   if (now && !before) {
-    fired_.push_back(id);  // rising edge: queue the rule (two-phase firing)
+    // Rising edge: queue the rule (two-phase firing), remembering how deep
+    // in the update cascade the edge rose.
+    fired_.emplace_back(id, static_cast<u16>(depth));
     // A fresh edge re-arms any completed REORDER windows of this rule.
     for (ActionId a : e.actions) {
       if (tables_.actions.entries[a].kind == ActionKind::kReorder) {
@@ -306,27 +371,34 @@ void EngineLayer::drain_fired() {
       fired_.clear();
       break;
     }
-    CondId c = fired_.front();
+    auto [c, d] = fired_.front();
     fired_.pop_front();
-    fire_actions(c);
+    fire_actions(c, d);
   }
   draining_ = false;
 }
 
-void EngineLayer::fire_actions(CondId id) {
+void EngineLayer::fire_actions(CondId id, u16 fire_depth) {
   for (ActionId a : tables_.conditions.entries[id].actions) {
     const ActionEntry& e = tables_.actions.entries[a];
     if (e.exec_node != self_) continue;  // that node fires it itself
     if (is_packet_fault(e.kind)) continue;  // level-triggered on packets
-    exec_immediate(a, id);
+    exec_immediate(a, id, fire_depth);
   }
 }
 
-void EngineLayer::exec_immediate(ActionId id, CondId cond) {
+void EngineLayer::exec_immediate(ActionId id, CondId cond, u16 fire_depth) {
   const int depth = 0;
   const ActionEntry& e = tables_.actions.entries[id];
   ++stats_.actions_executed;
   ++actions_this_packet_;
+  if (provenance_.enabled()) {
+    // Snapshot before executing: the record shows the state that made the
+    // rule fire, not the state the action leaves behind.
+    obs::FiringRecord& r = provenance_.claim();
+    fill_record(r, cond, id, fire_depth);
+    r.value = e.value;
+  }
   switch (e.kind) {
     case ActionKind::kAssignCntr:
       counters_[e.counter].enabled = true;

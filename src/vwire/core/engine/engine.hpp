@@ -23,6 +23,8 @@
 #include "vwire/core/control/agent.hpp"
 #include "vwire/core/control/messages.hpp"
 #include "vwire/core/engine/classifier.hpp"
+#include "vwire/obs/metrics.hpp"
+#include "vwire/obs/provenance.hpp"
 #include "vwire/sim/timer.hpp"
 
 namespace vwire::core {
@@ -42,6 +44,10 @@ struct EngineParams {
 
   u64 seed{0x7ee1};  ///< randomness for MODIFY's default perturbation
   u32 max_cascade_depth{64};
+
+  /// FiringRecords kept per node (overwrite-oldest); 0 disables rule-firing
+  /// provenance entirely.
+  std::size_t provenance_capacity{4096};
 };
 
 struct EngineStats {
@@ -61,6 +67,27 @@ struct EngineStats {
   u64 control_rx{0};
   u64 cascade_overflows{0};
 };
+
+/// Single source of field names for formatting and registry exposure
+/// (obs::stat_rows / obs::expose_stats).
+template <class Fn>
+void for_each_field(const EngineStats& s, Fn&& fn) {
+  fn("packets_seen", s.packets_seen);
+  fn("packets_matched", s.packets_matched);
+  fn("counter_updates", s.counter_updates);
+  fn("terms_evaluated", s.terms_evaluated);
+  fn("conditions_evaluated", s.conditions_evaluated);
+  fn("actions_executed", s.actions_executed);
+  fn("drops", s.drops);
+  fn("delays", s.delays);
+  fn("dups", s.dups);
+  fn("modifies", s.modifies);
+  fn("reorders_held", s.reorders_held);
+  fn("reorders_released", s.reorders_released);
+  fn("control_tx", s.control_tx);
+  fn("control_rx", s.control_rx);
+  fn("cascade_overflows", s.cascade_overflows);
+}
 
 struct ScenarioError {
   TimePoint at;
@@ -118,6 +145,7 @@ class EngineLayer final : public host::Layer {
   // --- wiring (done by the Testbed / ScenarioRunner) ----------------------
   void set_control(control::ControlAgent* agent) { control_ = agent; }
   void set_context(ScenarioContext* ctx) { context_ = ctx; }
+  const ScenarioContext* context() const { return context_; }
   /// Scenario epoch stamped onto every outbound control message so
   /// receivers can fence stale cross-scenario traffic (set by INIT).
   void set_epoch(u32 epoch) { epoch_ = epoch; }
@@ -157,6 +185,14 @@ class EngineLayer final : public host::Layer {
   const TableSet& tables() const { return tables_; }
   NodeId self() const { return self_; }
 
+  /// Rule-firing provenance (one record per executed action; see
+  /// obs/provenance.hpp).  The Controller collects this at run end.
+  const obs::ProvenanceRing& provenance() const { return provenance_; }
+
+  /// Registers this engine's stats (as counter views) and a processing-cost
+  /// histogram under `prefix` (convention: "engine.<node>").
+  void bind_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
  private:
   struct CounterState {
     i64 value{0};
@@ -181,8 +217,17 @@ class EngineLayer final : public host::Layer {
   void eval_term(TermId id, int depth);
   void eval_condition(CondId id, int depth);
   void drain_fired();
-  void fire_actions(CondId id);
-  void exec_immediate(ActionId id, CondId cond);
+  void fire_actions(CondId id, u16 depth);
+  void exec_immediate(ActionId id, CondId cond, u16 depth);
+
+  /// Fills a claimed ring slot for `action` of `cond`: stamps time/node/
+  /// kind and snapshots the condition's counters and terms *before* the
+  /// action mutates anything.  In-place on purpose — the paper's heaviest
+  /// configuration fires 25 actions per matched packet, so no temporary
+  /// FiringRecord (≈250 B + a std::string) is constructed or copied.
+  /// Callers fill the outcome fields afterwards.
+  void fill_record(obs::FiringRecord& r, CondId cond, ActionId action,
+                   u16 depth) const;
 
   // Fault application; implemented in actions.cpp.
   Fate apply_faults(net::Packet& pkt, net::Direction dir, FilterId filter,
@@ -219,6 +264,9 @@ class EngineLayer final : public host::Layer {
   std::vector<std::vector<CounterId>> counters_by_filter_;  ///< home==self
   std::vector<ActionId> local_fault_actions_;  ///< packet faults, exec==self
   std::vector<CondId> action_cond_;            ///< owning condition per action
+  // Counters/terms referenced by each condition, for provenance snapshots.
+  std::vector<std::vector<CounterId>> cond_counters_;
+  std::vector<std::vector<TermId>> cond_terms_;
 
   // REORDER buffers, keyed by action id.  A REORDER collects one window of
   // packets per rising edge of its condition, releases them in the scripted
@@ -234,12 +282,15 @@ class EngineLayer final : public host::Layer {
   // Cost accounting for the packet currently being processed.
   std::size_t actions_this_packet_{0};
 
-  // Two-phase rule firing (see above).
-  std::deque<CondId> fired_;
+  // Two-phase rule firing (see above); each queued edge remembers the
+  // cascade depth at which it rose, for provenance.
+  std::deque<std::pair<CondId, u16>> fired_;
   bool draining_{false};
 
   Rng rng_;
   EngineStats stats_;
+  obs::ProvenanceRing provenance_;
+  obs::Histogram* proc_hist_{nullptr};  ///< per-packet processing cost (ns)
 };
 
 }  // namespace vwire::core

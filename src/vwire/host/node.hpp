@@ -12,6 +12,10 @@
 #include "vwire/host/ip_layer.hpp"
 #include "vwire/host/nic.hpp"
 
+namespace vwire::obs {
+class MetricsRegistry;
+}
+
 namespace vwire::host {
 
 struct NodeParams {
@@ -59,6 +63,11 @@ class Node {
   Nic& nic() { return nic_; }
   IpLayer& ip_layer() { return ip_; }
 
+  /// Telemetry registry for layers created after node construction (e.g.
+  /// TCP connections); null when the testbed runs with telemetry off.
+  void set_metrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Static ARP: maps a peer IP to its MAC.
   void add_neighbor(net::Ipv4Address ip, net::MacAddress mac);
   std::optional<net::MacAddress> resolve(net::Ipv4Address ip) const;
@@ -72,6 +81,7 @@ class Node {
   IpLayer ip_;
   std::vector<std::unique_ptr<Layer>> middle_;  // bottom-to-top
   std::unordered_map<net::Ipv4Address, net::MacAddress> neighbors_;
+  obs::MetricsRegistry* metrics_{nullptr};
   bool failed_{false};
 };
 

@@ -1,0 +1,34 @@
+#include "vwire/obs/format.hpp"
+
+#include <algorithm>
+
+namespace vwire::obs {
+
+std::string format_kv(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& r : rows) {
+    if (!out.empty()) out += ' ';
+    out += r.first;
+    out += '=';
+    out += r.second;
+  }
+  return out;
+}
+
+std::string format_table(const std::string& title,
+                         const std::vector<Row>& rows) {
+  std::size_t w = 0;
+  for (const Row& r : rows) w = std::max(w, r.first.size());
+  std::string out = title;
+  out += '\n';
+  for (const Row& r : rows) {
+    out += "  ";
+    out += r.first;
+    out.append(w - r.first.size() + 2, ' ');
+    out += r.second;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vwire::obs

@@ -1,0 +1,49 @@
+// Shared text formatting for stats structs and metric tables.
+//
+// Components describe their stats once via an ADL-visible
+//   void for_each_field(const Stats&, Fn&& fn)   // fn(const char*, const u64&)
+// overload next to the struct; formatting and registry exposure both consume
+// that single enumeration, so there is exactly one list of field names per
+// struct instead of three hand-rolled stringifiers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::obs {
+
+using Row = std::pair<std::string, std::string>;
+
+/// "k1=v1 k2=v2 …" on one line (the ScenarioResult::summary() style).
+std::string format_kv(const std::vector<Row>& rows);
+
+/// Aligned two-column table with a title line, for human dumps:
+///   title
+///     name ........ value
+std::string format_table(const std::string& title,
+                         const std::vector<Row>& rows);
+
+/// Rows for any struct with a for_each_field() enumeration.
+template <class Stats>
+std::vector<Row> stat_rows(const Stats& s) {
+  std::vector<Row> rows;
+  for_each_field(s, [&](const char* name, const u64& v) {
+    rows.emplace_back(name, std::to_string(v));
+  });
+  return rows;
+}
+
+template <class Stats>
+std::string stats_table(const std::string& title, const Stats& s) {
+  return format_table(title, stat_rows(s));
+}
+
+template <class Stats>
+std::string stats_kv(const Stats& s) {
+  return format_kv(stat_rows(s));
+}
+
+}  // namespace vwire::obs

@@ -1,0 +1,244 @@
+#include "vwire/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace vwire::obs {
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  auto it = obj_.find(key);
+  if (it == obj_.end())
+    throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+double JsonValue::num(const std::string& key, double fallback) const {
+  auto it = obj_.find(key);
+  return it != obj_.end() && it->second.type_ == Type::kNumber
+             ? it->second.num_
+             : fallback;
+}
+
+std::string JsonValue::str(const std::string& key,
+                           std::string fallback) const {
+  auto it = obj_.find(key);
+  return it != obj_.end() && it->second.type_ == Type::kString
+             ? it->second.str_
+             : std::move(fallback);
+}
+
+bool JsonValue::boolean(const std::string& key, bool fallback) const {
+  auto it = obj_.find(key);
+  return it != obj_.end() && it->second.type_ == Type::kBool
+             ? it->second.bool_
+             : fallback;
+}
+
+/// Implementation detail of JsonValue::parse (named, not anonymous, so the
+/// friend declaration in json.hpp reaches it).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj_.emplace(key.str_, parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.arr_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kString;
+    expect('"');
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': v.str_ += '"'; break;
+          case '\\': v.str_ += '\\'; break;
+          case '/': v.str_ += '/'; break;
+          case 'b': v.str_ += '\b'; break;
+          case 'f': v.str_ += '\f'; break;
+          case 'n': v.str_ += '\n'; break;
+          case 'r': v.str_ += '\r'; break;
+          case 't': v.str_ += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode (no surrogate-pair support; report strings are
+            // node names and metric names, plain ASCII in practice).
+            if (cp < 0x80) {
+              v.str_ += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              v.str_ += static_cast<char>(0xC0 | (cp >> 6));
+              v.str_ += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              v.str_ += static_cast<char>(0xE0 | (cp >> 12));
+              v.str_ += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              v.str_ += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        v.str_ += c;
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.bool_ = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.bool_ = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.substr(pos_, 4) != "null") fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E'))
+      ++end;
+    double d = 0;
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + pos_, text_.data() + end, d);
+    if (ec != std::errc{} || ptr == text_.data() + pos_) fail("bad number");
+    pos_ = static_cast<std::size_t>(ptr - text_.data());
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.num_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace vwire::obs

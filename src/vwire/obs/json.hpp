@@ -1,0 +1,58 @@
+// Minimal JSON value model + parser for the offline report loader.
+//
+// Scope: exactly what parse_report_jsonl() needs — objects, arrays,
+// strings with \uXXXX escapes, doubles, bools, null.  Numbers are stored
+// as double (sufficient for sim-time ns up to 2^53; report writers emit
+// raw integers).  Parse errors throw std::runtime_error with a byte
+// offset.  Not a general-purpose JSON library and not meant to become one.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vwire::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<JsonValue>& as_array() const { return arr_; }
+  const std::map<std::string, JsonValue>& as_object() const { return obj_; }
+
+  bool has(const std::string& key) const { return obj_.count(key) != 0; }
+  /// Object member access; throws when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  // Convenience typed lookups with defaults (missing key → fallback).
+  double num(const std::string& key, double fallback = 0) const;
+  std::string str(const std::string& key, std::string fallback = "") const;
+  bool boolean(const std::string& key, bool fallback = false) const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  Type type_{Type::kNull};
+  bool bool_{false};
+  double num_{0};
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace vwire::obs

@@ -1,0 +1,197 @@
+#include "vwire/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace vwire::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+//
+// Bucket layout: values < 16 land in group 0 exactly (index == value).
+// Larger values are grouped by bit width; within a group the top four bits
+// below the leading bit pick one of 16 linear sub-buckets.  A bucket in
+// group g therefore spans 2^(g-1) values starting at
+//   low = (1 << (g+3)) | (sub << (g-1))
+// which bounds relative error at 1/32 per half-bucket (~6% worst case for
+// the midpoint estimate).  record()/bucket_index() live in the header:
+// they run once per packet on the engine hot path.
+
+i64 Histogram::bucket_midpoint(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<i64>(index);
+  const std::size_t group = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const unsigned shift = static_cast<unsigned>(group - 1);
+  const u64 low = (u64{1} << (group + 3)) | (static_cast<u64>(sub) << shift);
+  const u64 width = u64{1} << shift;
+  return static_cast<i64>(low + width / 2);
+}
+
+i64 Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const u64 target = std::max<u64>(
+      1, static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = percentile(50);
+  s.p90 = percentile(90);
+  s.p95 = percentile(95);
+  s.p99 = percentile(99);
+  return s;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() { *this = Histogram{}; }
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+u64& MetricsRegistry::counter(const std::string& name) {
+  Entry& e = entries_[name];
+  if (!e.own_counter) {
+    e = Entry{};
+    e.kind = MetricKind::kCounter;
+    e.own_counter = std::make_unique<u64>(0);
+    e.counter = e.own_counter.get();
+  }
+  return *e.own_counter;
+}
+
+i64& MetricsRegistry::gauge(const std::string& name) {
+  Entry& e = entries_[name];
+  if (!e.own_gauge) {
+    e = Entry{};
+    e.kind = MetricKind::kGauge;
+    e.own_gauge = std::make_unique<i64>(0);
+    e.gauge = e.own_gauge.get();
+  }
+  return *e.own_gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Entry& e = entries_[name];
+  if (!e.own_hist) {
+    e = Entry{};
+    e.kind = MetricKind::kHistogram;
+    e.own_hist = std::make_unique<Histogram>();
+    e.hist = e.own_hist.get();
+  }
+  return *e.own_hist;
+}
+
+void MetricsRegistry::expose_counter(const std::string& name, const u64* src) {
+  Entry& e = entries_[name];
+  e = Entry{};
+  e.kind = MetricKind::kCounter;
+  e.counter = src;
+}
+
+void MetricsRegistry::expose_gauge(const std::string& name, const i64* src) {
+  Entry& e = entries_[name];
+  e = Entry{};
+  e.kind = MetricKind::kGauge;
+  e.gauge = src;
+}
+
+void MetricsRegistry::expose_histogram(const std::string& name,
+                                       const Histogram* src) {
+  Entry& e = entries_[name];
+  e = Entry{};
+  e.kind = MetricKind::kHistogram;
+  e.hist = src;
+}
+
+void MetricsRegistry::unregister_prefix(std::string_view prefix) {
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = entries_.erase(it);
+  }
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    Sample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        if (e.counter) s.value = static_cast<double>(*e.counter);
+        break;
+      case MetricKind::kGauge:
+        if (e.gauge) s.value = static_cast<double>(*e.gauge);
+        break;
+      case MetricKind::kHistogram:
+        if (e.hist) {
+          s.hist = e.hist->snapshot();
+          s.value = static_cast<double>(s.hist.count);
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return 0;
+  const Entry& e = it->second;
+  if (e.kind == MetricKind::kCounter && e.counter)
+    return static_cast<double>(*e.counter);
+  if (e.kind == MetricKind::kGauge && e.gauge)
+    return static_cast<double>(*e.gauge);
+  if (e.kind == MetricKind::kHistogram && e.hist)
+    return static_cast<double>(e.hist->count());
+  return 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != MetricKind::kHistogram)
+    return nullptr;
+  return it->second.hist;
+}
+
+}  // namespace vwire::obs

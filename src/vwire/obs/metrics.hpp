@@ -1,0 +1,177 @@
+// Unified telemetry: the metrics registry (DESIGN.md §7).
+//
+// Every layer of the stack registers its counters, gauges and latency
+// distributions here under a dotted `layer.node.metric` name
+// (e.g. "rll.node1.rtt_us", "engine.server.drops", "phy.medium.queue_depth").
+// The registry replaces nothing on the hot path: components keep their POD
+// stats structs and the registry holds *views* (raw pointers) into them, so
+// the existing `stats()` accessors stay authoritative and a snapshot reads
+// live values.  Components without a natural struct field (histograms) own
+// registry-allocated slots instead.
+//
+// Lifetime rule: a component that exposes views into its own storage must
+// call unregister_prefix() from its destructor if the registry can outlive
+// it (user-constructed layers like TcpLayer / EchoClient).  Layers owned by
+// the Testbed are destroyed before its registry and need not bother.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::obs {
+
+/// Derived view of a histogram at snapshot time.
+struct HistogramSnapshot {
+  u64 count{0};
+  i64 min{0};
+  i64 max{0};
+  double mean{0};
+  i64 p50{0};
+  i64 p90{0};
+  i64 p95{0};
+  i64 p99{0};
+};
+
+/// Log-linear histogram of non-negative integer samples (negative values
+/// clamp to 0).  Each power-of-two magnitude is split into 16 linear
+/// sub-buckets, bounding the relative quantile error at ~6% while keeping
+/// record() to a handful of bit operations — suitable for per-packet
+/// hot-path use (sim-time latencies, queue depths, RTO samples).
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 16;  // 4 sub-bucket bits
+  static constexpr std::size_t kGroups = 60;      // magnitudes 2^4..2^62
+  static constexpr std::size_t kBuckets = kSubBuckets * kGroups;
+
+  /// Header-inline: called once per packet on the engine hot path; a
+  /// cross-TU call here is measurable in the telemetry overhead budget.
+  void record(i64 value) {
+    const u64 v = value > 0 ? static_cast<u64>(value) : 0;
+    if (count_ == 0) {
+      min_ = max_ = static_cast<i64>(v);
+    } else {
+      min_ = std::min(min_, static_cast<i64>(v));
+      max_ = std::max(max_, static_cast<i64>(v));
+    }
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += static_cast<i64>(v);
+  }
+
+  u64 count() const { return count_; }
+  i64 sum() const { return sum_; }
+  i64 min() const { return count_ ? min_ : 0; }
+  i64 max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at percentile `p` in [0, 100]; 0 when empty.  Returns the
+  /// midpoint of the bucket holding the target rank, clamped to the
+  /// observed [min, max].
+  i64 percentile(double p) const;
+
+  HistogramSnapshot snapshot() const;
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  // Sub-bucket split: top 4 bits below the leading bit index the linear
+  // sub-bucket, bounding relative error at 1/32 per half-bucket.
+  static std::size_t bucket_index(u64 v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned bw = static_cast<unsigned>(std::bit_width(v));  // >= 5
+    const unsigned group = bw - 4;
+    const unsigned shift = bw - 5;
+    const std::size_t sub = static_cast<std::size_t>((v >> shift) & 0xF);
+    std::size_t idx = static_cast<std::size_t>(group) * kSubBuckets + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+  static i64 bucket_midpoint(std::size_t index);
+
+  u64 buckets_[kBuckets] = {};
+  u64 count_{0};
+  i64 sum_{0};
+  i64 min_{0};
+  i64 max_{0};
+};
+
+enum class MetricKind : u8 { kCounter, kGauge, kHistogram };
+const char* to_string(MetricKind k);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- owned metrics (registry-allocated, stable storage) ---------------
+  u64& counter(const std::string& name);
+  i64& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // --- exposed views (caller-owned storage, read live at snapshot) ------
+  void expose_counter(const std::string& name, const u64* src);
+  void expose_gauge(const std::string& name, const i64* src);
+  void expose_histogram(const std::string& name, const Histogram* src);
+
+  /// Drops every metric whose name starts with `prefix` (owned slots are
+  /// freed; views are forgotten).  Used by components whose storage dies
+  /// before the registry.
+  void unregister_prefix(std::string_view prefix);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// One metric's value at snapshot time.
+  struct Sample {
+    std::string name;
+    MetricKind kind{MetricKind::kCounter};
+    double value{0};          ///< counters/gauges
+    HistogramSnapshot hist;   ///< histograms
+  };
+
+  /// All metrics, name-sorted.
+  std::vector<Sample> snapshot() const;
+
+  /// Scalar value of a counter/gauge (0 when absent).
+  double value(std::string_view name) const;
+  /// The named histogram, owned or exposed; nullptr when absent.
+  const Histogram* find_histogram(std::string_view name) const;
+
+ private:
+  struct Entry {
+    MetricKind kind{MetricKind::kCounter};
+    const u64* counter{nullptr};
+    const i64* gauge{nullptr};
+    const Histogram* hist{nullptr};
+    // Owned storage (when the registry allocated the slot).
+    std::unique_ptr<u64> own_counter;
+    std::unique_ptr<i64> own_gauge;
+    std::unique_ptr<Histogram> own_hist;
+  };
+
+  std::map<std::string, Entry, std::less<>> entries_;  // sorted ⇒ sorted snapshots
+};
+
+/// Registers every field of a stats struct as a counter view under
+/// `prefix.field`.  Works for any struct with an ADL-visible
+/// `for_each_field(const S&, fn)` enumerating `(const char*, const u64&)`
+/// pairs — the same enumeration obs::stat_rows() uses for formatting, so
+/// field names exist in exactly one place per struct.
+template <class Stats>
+void expose_stats(MetricsRegistry& reg, const std::string& prefix,
+                  const Stats& s) {
+  for_each_field(s, [&](const char* name, const u64& v) {
+    reg.expose_counter(prefix + "." + name, &v);
+  });
+}
+
+}  // namespace vwire::obs

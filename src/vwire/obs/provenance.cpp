@@ -1,0 +1,18 @@
+#include "vwire/obs/provenance.hpp"
+
+namespace vwire::obs {
+
+std::vector<FiringRecord> ProvenanceRing::collect() const {
+  std::vector<FiringRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest record: when the ring has wrapped, it sits at head_ (the slot
+  // about to be overwritten next); before wrapping, slot 0.
+  const std::size_t start = total_ > buf_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+}  // namespace vwire::obs

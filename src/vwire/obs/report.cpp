@@ -1,0 +1,373 @@
+#include "vwire/obs/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::obs {
+
+namespace {
+
+bool known_type(const std::string& t) {
+  for (const char* k : kEventTypes)
+    if (t == k) return true;
+  return false;
+}
+
+void append_num(std::string& out, const char* key, double v) {
+  char buf[64];
+  // Integers (the common case: times, counts) print without a fraction so
+  // jq and diff see stable text.
+  if (v == static_cast<double>(static_cast<i64>(v))) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64, key,
+                  static_cast<i64>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "\"%s\":%.6g", key, v);
+  }
+  out += buf;
+}
+
+void append_str(std::string& out, const char* key, std::string_view v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(v);
+  out += '"';
+}
+
+std::string hist_json(const HistogramSnapshot& h) {
+  std::string out = "{";
+  append_num(out, "count", static_cast<double>(h.count));
+  out += ',';
+  append_num(out, "min", static_cast<double>(h.min));
+  out += ',';
+  append_num(out, "max", static_cast<double>(h.max));
+  out += ',';
+  append_num(out, "mean", h.mean);
+  out += ',';
+  append_num(out, "p50", static_cast<double>(h.p50));
+  out += ',';
+  append_num(out, "p90", static_cast<double>(h.p90));
+  out += ',';
+  append_num(out, "p95", static_cast<double>(h.p95));
+  out += ',';
+  append_num(out, "p99", static_cast<double>(h.p99));
+  out += '}';
+  return out;
+}
+
+/// Maps a parsed action-kind string back to static storage (kind_name is a
+/// `const char*`).  The vocabulary mirrors core::to_string(ActionKind) —
+/// duplicated here because obs deliberately does not depend on core — and
+/// unknown kinds intern to "" rather than failing: the kind is descriptive,
+/// not load-bearing.
+const char* intern_kind(const std::string& k) {
+  static constexpr const char* kKinds[] = {
+      "DROP",        "DELAY",       "REORDER",      "DUP",
+      "MODIFY",      "FAIL",        "STOP",         "FLAG_ERROR",
+      "ASSIGN_CNTR", "ENABLE_CNTR", "DISABLE_CNTR", "INCR_CNTR",
+      "DECR_CNTR",   "RESET_CNTR",  "SET_CURTIME",  "ELAPSED_TIME"};
+  for (const char* s : kKinds) {
+    if (k == s) return s;
+  }
+  return "";
+}
+
+HistogramSnapshot hist_from_json(const JsonValue& v) {
+  HistogramSnapshot h;
+  h.count = static_cast<u64>(v.num("count"));
+  h.min = static_cast<i64>(v.num("min"));
+  h.max = static_cast<i64>(v.num("max"));
+  h.mean = v.num("mean");
+  h.p50 = static_cast<i64>(v.num("p50"));
+  h.p90 = static_cast<i64>(v.num("p90"));
+  h.p95 = static_cast<i64>(v.num("p95"));
+  h.p99 = static_cast<i64>(v.num("p99"));
+  return h;
+}
+
+}  // namespace
+
+std::string ScenarioReport::to_jsonl() const {
+  std::string out;
+
+  // meta — always the first line.
+  out += "{\"v\":1,\"type\":\"meta\",";
+  append_str(out, "scenario", meta.scenario);
+  out += ',';
+  append_str(out, "tool", meta.tool);
+  out += ',';
+  append_num(out, "seed", static_cast<double>(meta.seed));
+  out += ',';
+  append_num(out, "ended_at_ns", static_cast<double>(meta.ended_at.ns));
+  out += ",\"passed\":";
+  out += meta.passed ? "true" : "false";
+  out += ",\"nodes\":[";
+  for (std::size_t i = 0; i < meta.nodes.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(meta.nodes[i]);
+    out += '"';
+  }
+  out += "],";
+  append_num(out, "firings_dropped", static_cast<double>(firings_dropped));
+  out += "}\n";
+
+  for (const auto& m : metrics) {
+    out += "{\"v\":1,\"type\":\"metric\",";
+    append_str(out, "name", m.name);
+    out += ',';
+    append_str(out, "kind", to_string(m.kind));
+    out += ',';
+    append_num(out, "value", m.value);
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"hist\":";
+      out += hist_json(m.hist);
+    }
+    out += "}\n";
+  }
+
+  auto counter_name = [&](u16 id) -> std::string {
+    if (id < counter_names.size()) return counter_names[id];
+    return "c" + std::to_string(id);
+  };
+
+  for (const auto& f : firings) {
+    out += "{\"v\":1,\"type\":\"firing\",";
+    append_num(out, "at_ns", static_cast<double>(f.at.ns));
+    out += ',';
+    append_str(out, "node", f.node_name);
+    out += ',';
+    append_num(out, "rule", f.rule);
+    out += ',';
+    append_num(out, "action", f.action);
+    out += ',';
+    append_str(out, "kind", f.kind_name ? f.kind_name : "");
+    out += ',';
+    append_num(out, "depth", f.cascade_depth);
+    if (f.filter != FiringRecord::kNone) {
+      out += ',';
+      append_num(out, "filter", f.filter);
+    }
+    if (f.packet_uid) {
+      out += ',';
+      append_num(out, "packet_uid", static_cast<double>(f.packet_uid));
+    }
+    out += ',';
+    append_num(out, "value", static_cast<double>(f.value));
+    out += ',';
+    append_num(out, "value2", static_cast<double>(f.value2));
+    // Snapshot entries are keyed by name and emitted key-sorted, matching
+    // the loader's (std::map) iteration order, so a loaded report
+    // re-serializes to identical text and two reports diff cleanly.
+    std::vector<std::pair<std::string, i64>> cs;
+    for (u8 i = 0; i < f.n_counters; ++i) {
+      cs.emplace_back(counter_name(f.counters[i].id), f.counters[i].value);
+    }
+    std::sort(cs.begin(), cs.end());
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += json_escape(cs[i].first);
+      out += "\":";
+      out += std::to_string(cs[i].second);
+    }
+    std::vector<std::pair<std::string, bool>> ts;
+    for (u8 i = 0; i < f.n_terms; ++i) {
+      ts.emplace_back("t" + std::to_string(f.terms[i].id), f.terms[i].state);
+    }
+    std::sort(ts.begin(), ts.end());
+    out += "},\"terms\":{";
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += ts[i].first;
+      out += "\":";
+      out += ts[i].second ? "true" : "false";
+    }
+    out += "}}\n";
+  }
+
+  for (const auto& e : link_events) {
+    out += "{\"v\":1,\"type\":\"link_event\",";
+    append_num(out, "at_ns", static_cast<double>(e.at.ns));
+    out += ',';
+    append_str(out, "node", e.node);
+    out += ',';
+    append_str(out, "description", e.description);
+    out += "}\n";
+  }
+
+  for (const auto& a : annotations) {
+    out += "{\"v\":1,\"type\":\"annotation\",";
+    append_num(out, "at_ns", static_cast<double>(a.at.ns));
+    out += ',';
+    append_str(out, "node", a.node);
+    out += ',';
+    append_str(out, "text", a.text);
+    out += "}\n";
+  }
+
+  for (const auto& e : errors) {
+    out += "{\"v\":1,\"type\":\"error\",";
+    append_num(out, "at_ns", static_cast<double>(e.at.ns));
+    out += ',';
+    append_str(out, "node", e.node);
+    out += ',';
+    append_num(out, "rule", e.rule);
+    out += "}\n";
+  }
+
+  return out;
+}
+
+bool ScenarioReport::write_jsonl(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << to_jsonl();
+  return static_cast<bool>(f);
+}
+
+std::string ScenarioReport::to_csv() const {
+  std::string out =
+      "name,kind,value,count,min,max,mean,p50,p90,p95,p99\n";
+  char buf[256];
+  for (const auto& m : metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof buf,
+                    "%s,%s,%.6g,%" PRIu64 ",%" PRId64 ",%" PRId64
+                    ",%.6g,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 "\n",
+                    m.name.c_str(), to_string(m.kind), m.value, m.hist.count,
+                    m.hist.min, m.hist.max, m.hist.mean, m.hist.p50,
+                    m.hist.p90, m.hist.p95, m.hist.p99);
+    } else {
+      std::snprintf(buf, sizeof buf, "%s,%s,%.6g,,,,,,,,\n", m.name.c_str(),
+                    to_string(m.kind), m.value);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+bool ScenarioReport::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+ScenarioReport parse_report_jsonl(const std::string& text) {
+  ScenarioReport rep;
+  bool saw_meta = false;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v = JsonValue::parse(line);
+    const int ver = static_cast<int>(v.num("v", -1));
+    if (ver != kReportSchemaVersion) {
+      throw std::runtime_error("report: line " + std::to_string(lineno) +
+                               ": unsupported schema version " +
+                               std::to_string(ver));
+    }
+    const std::string type = v.str("type");
+    if (!known_type(type)) {
+      throw std::runtime_error("report: line " + std::to_string(lineno) +
+                               ": unknown event type '" + type + "'");
+    }
+    if (type == "meta") {
+      saw_meta = true;
+      rep.meta.scenario = v.str("scenario");
+      rep.meta.tool = v.str("tool");
+      rep.meta.seed = static_cast<u64>(v.num("seed"));
+      rep.meta.ended_at = {static_cast<i64>(v.num("ended_at_ns"))};
+      rep.meta.passed = v.boolean("passed");
+      rep.firings_dropped = static_cast<u64>(v.num("firings_dropped"));
+      if (v.has("nodes")) {
+        for (const auto& n : v.at("nodes").as_array())
+          rep.meta.nodes.push_back(n.as_string());
+      }
+    } else if (type == "metric") {
+      MetricsRegistry::Sample s;
+      s.name = v.str("name");
+      const std::string kind = v.str("kind");
+      s.kind = kind == "histogram" ? MetricKind::kHistogram
+               : kind == "gauge"   ? MetricKind::kGauge
+                                   : MetricKind::kCounter;
+      s.value = v.num("value");
+      if (v.has("hist")) s.hist = hist_from_json(v.at("hist"));
+      rep.metrics.push_back(std::move(s));
+    } else if (type == "firing") {
+      FiringRecord f;
+      f.at = {static_cast<i64>(v.num("at_ns"))};
+      f.node_name = v.str("node");
+      f.rule = static_cast<u16>(v.num("rule", FiringRecord::kNone));
+      f.action = static_cast<u16>(v.num("action", FiringRecord::kNone));
+      f.filter = static_cast<u16>(v.num("filter", FiringRecord::kNone));
+      f.kind_name = intern_kind(v.str("kind"));
+      f.cascade_depth = static_cast<u16>(v.num("depth"));
+      f.packet_uid = static_cast<u64>(v.num("packet_uid"));
+      f.value = static_cast<i64>(v.num("value"));
+      f.value2 = static_cast<i64>(v.num("value2"));
+      // Snapshots come back keyed by name.  Rebuild the counter id space
+      // in order of first appearance (filling rep.counter_names) so the
+      // loaded report re-serializes to the same text.
+      if (v.has("counters")) {
+        for (const auto& [name, val] : v.at("counters").as_object()) {
+          if (f.n_counters >= FiringRecord::kMaxCounters) break;
+          u16 id = 0;
+          while (id < rep.counter_names.size() &&
+                 rep.counter_names[id] != name) {
+            ++id;
+          }
+          if (id == rep.counter_names.size()) rep.counter_names.push_back(name);
+          f.counters[f.n_counters].id = id;
+          f.counters[f.n_counters].value = static_cast<i64>(val.as_number());
+          ++f.n_counters;
+        }
+      }
+      if (v.has("terms")) {
+        for (const auto& [name, val] : v.at("terms").as_object()) {
+          if (f.n_terms >= FiringRecord::kMaxTerms) break;
+          // Keys are "t<id>"; recover the id for faithful re-serialization.
+          f.terms[f.n_terms].id = static_cast<u16>(
+              std::strtoul(name.c_str() + 1, nullptr, 10));
+          f.terms[f.n_terms].state = val.as_bool();
+          ++f.n_terms;
+        }
+      }
+      rep.firings.push_back(std::move(f));
+    } else if (type == "link_event") {
+      rep.link_events.push_back({{static_cast<i64>(v.num("at_ns"))},
+                                 v.str("node"), v.str("description")});
+    } else if (type == "annotation") {
+      rep.annotations.push_back(
+          {{static_cast<i64>(v.num("at_ns"))}, v.str("node"), v.str("text")});
+    } else {  // error
+      rep.errors.push_back({{static_cast<i64>(v.num("at_ns"))},
+                            v.str("node"),
+                            static_cast<u16>(v.num("rule"))});
+    }
+  }
+  if (!saw_meta) throw std::runtime_error("report: no meta event");
+  return rep;
+}
+
+ScenarioReport load_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("report: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_report_jsonl(ss.str());
+}
+
+}  // namespace vwire::obs

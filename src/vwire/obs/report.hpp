@@ -1,0 +1,88 @@
+// Machine-readable scenario export (DESIGN.md §7).
+//
+// A ScenarioReport is the offline artifact of one run: every registry
+// metric, every collected FiringRecord, the link-fault timeline, trace
+// annotations and flagged errors, serialized as JSONL — one schema-versioned
+// JSON object per line, `{"v":1,"type":...}` — plus an optional per-node
+// metrics CSV.  parse_report_jsonl() is the matching loader: it rejects
+// unknown event types and schema versions, so two reports can be diffed or
+// post-processed by scripts with confidence (see EXPERIMENTS.md).
+//
+// This module depends only on vw_util; the glue that fills a report from a
+// live Testbed/ScenarioResult lives in the api layer (make_report()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vwire/obs/metrics.hpp"
+#include "vwire/obs/provenance.hpp"
+
+namespace vwire::obs {
+
+/// Bumped on any backwards-incompatible event change; the loader refuses
+/// other versions.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// The known `type` values, in emission order.  The loader fails on
+/// anything else — an unknown type means a writer/reader skew.
+inline constexpr const char* kEventTypes[] = {
+    "meta", "metric", "firing", "link_event", "annotation", "error",
+};
+
+struct ReportMeta {
+  std::string scenario;
+  std::string tool{"vwire"};
+  u64 seed{0};
+  TimePoint ended_at{};
+  bool passed{false};
+  std::vector<std::string> nodes;
+};
+
+struct LinkEventOut {
+  TimePoint at{};
+  std::string node;
+  std::string description;
+};
+
+struct AnnotationEvent {
+  TimePoint at{};
+  std::string node;
+  std::string text;
+};
+
+struct ErrorEvent {
+  TimePoint at{};
+  std::string node;
+  u16 rule{0xffff};
+};
+
+struct ScenarioReport {
+  ReportMeta meta;
+  std::vector<MetricsRegistry::Sample> metrics;
+  std::vector<FiringRecord> firings;
+  u64 firings_dropped{0};  ///< ring overwrites across all nodes
+  std::vector<LinkEventOut> link_events;
+  std::vector<AnnotationEvent> annotations;
+  std::vector<ErrorEvent> errors;
+
+  /// Counter-id → script name, for readable firing snapshots.
+  std::vector<std::string> counter_names;
+
+  std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+  /// Per-node metric matrix: one row per `layer.node.metric` name, columns
+  /// name,kind,value,count,min,max,mean,p50,p90,p95,p99.
+  std::string to_csv() const;
+  bool write_csv(const std::string& path) const;
+};
+
+/// Loads a JSONL report back into memory.  Throws std::runtime_error on
+/// malformed JSON, wrong schema version, or an unknown event type.
+ScenarioReport parse_report_jsonl(const std::string& text);
+
+/// Convenience: read + parse a file; throws on I/O failure too.
+ScenarioReport load_report(const std::string& path);
+
+}  // namespace vwire::obs

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "vwire/net/packet.hpp"
+#include "vwire/obs/metrics.hpp"
 #include "vwire/phy/bit_error.hpp"
 #include "vwire/sim/simulator.hpp"
 
@@ -103,6 +104,22 @@ struct MediumStats {
   u64 collisions{0};            ///< shared-bus deferrals
 };
 
+/// Single source of field names for formatting and registry exposure.
+template <class Fn>
+void for_each_field(const MediumStats& s, Fn&& fn) {
+  fn("frames_offered", s.frames_offered);
+  fn("frames_delivered", s.frames_delivered);
+  fn("frames_dropped_error", s.frames_dropped_error);
+  fn("frames_dropped_queue", s.frames_dropped_queue);
+  fn("frames_dropped_down", s.frames_dropped_down);
+  fn("frames_dropped_cut", s.frames_dropped_cut);
+  fn("frames_dropped_flap", s.frames_dropped_flap);
+  fn("frames_dropped_loss", s.frames_dropped_loss);
+  fn("frames_delayed_fault", s.frames_delayed_fault);
+  fn("bytes_delivered", s.bytes_delivered);
+  fn("collisions", s.collisions);
+}
+
 class Medium {
  public:
   explicit Medium(sim::Simulator& sim, LinkParams params, u64 seed = 1);
@@ -141,6 +158,13 @@ class Medium {
 
   const MediumStats& stats() const { return stats_; }
   const LinkParams& params() const { return params_; }
+
+  /// Registers this medium's stats (counter views) and a transmit queue-
+  /// depth histogram under `prefix` (convention: "phy.medium").
+  void bind_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    obs::expose_stats(reg, prefix, stats_);
+    queue_hist_ = &reg.histogram(prefix + ".queue_depth");
+  }
   sim::Simulator& simulator() { return sim_; }
 
   /// Wire time to serialize a frame of `bytes` (padded to the minimum
@@ -172,6 +196,12 @@ class Medium {
   /// Extra transmit-side delay (fixed latency + jitter draw) for `port`.
   Duration tx_fault_delay(PortId port);
 
+  /// Records a transmit-queue occupancy sample (subclasses call this right
+  /// after enqueueing a frame).
+  void note_queue_depth(std::size_t depth) {
+    if (queue_hist_ != nullptr) queue_hist_->record(static_cast<u64>(depth));
+  }
+
   /// Final hop: hands the frame to the destination port's client (unless
   /// the port is down, partitioned, or loses the rx lottery).  Rx-side
   /// latency/jitter reschedules the hand-off — jitter may reorder frames,
@@ -185,6 +215,7 @@ class Medium {
   std::vector<Port> ports_;
   MediumStats stats_;
   u64 seed_{0};
+  obs::Histogram* queue_hist_{nullptr};  ///< tx queue depth at enqueue
 
  private:
   /// Drop/delay decision shared by the tx and rx facets.

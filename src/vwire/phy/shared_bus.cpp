@@ -34,6 +34,7 @@ void SharedBus::transmit(PortId port, net::Packet pkt) {
   TimePoint done = start + serialization_time_on(port, pkt.size());
   channel_busy_until_ = done;
   ++channel_queued_;
+  note_queue_depth(channel_queued_);
 
   TimePoint arrive = done + params_.propagation + tx_fault_delay(port);
   auto shared = std::make_shared<net::Packet>(std::move(pkt));

@@ -15,6 +15,7 @@ std::optional<TimePoint> SwitchedLan::enqueue_leg(TimePoint& busy_until,
   TimePoint done = start + ser;
   busy_until = done;
   ++queued;
+  note_queue_depth(queued);
   return done;
 }
 

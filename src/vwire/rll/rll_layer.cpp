@@ -107,6 +107,10 @@ void RllLayer::take_rtt_sample(PeerState& p, Duration rtt) {
     p.srtt = (p.srtt * 7 + rtt) / 8;
   }
   ++stats_.rtt_samples;
+  if (rtt_hist_ != nullptr) rtt_hist_->record(static_cast<u64>(rtt.ns / 1000));
+  if (rto_hist_ != nullptr) {
+    rto_hist_->record(static_cast<u64>(rto_for(p).ns / 1000));
+  }
 }
 
 void RllLayer::send_down(net::Packet pkt) {

@@ -37,6 +37,7 @@
 #include <unordered_map>
 
 #include "vwire/host/node.hpp"
+#include "vwire/obs/metrics.hpp"
 #include "vwire/rll/rll_header.hpp"
 #include "vwire/sim/timer.hpp"
 
@@ -98,6 +99,29 @@ struct RllStats {
   u64 probes_rx{0};
 };
 
+/// Single source of field names for formatting and registry exposure.
+template <class Fn>
+void for_each_field(const RllStats& s, Fn&& fn) {
+  fn("data_tx", s.data_tx);
+  fn("data_rx", s.data_rx);
+  fn("acks_tx", s.acks_tx);
+  fn("acks_rx", s.acks_rx);
+  fn("retransmits", s.retransmits);
+  fn("fast_retransmits", s.fast_retransmits);
+  fn("duplicates_rx", s.duplicates_rx);
+  fn("out_of_order_rx", s.out_of_order_rx);
+  fn("delivered", s.delivered);
+  fn("dropped_queue_full", s.dropped_queue_full);
+  fn("passthrough", s.passthrough);
+  fn("peers_aborted", s.peers_aborted);
+  fn("peers_recovered", s.peers_recovered);
+  fn("down_purged", s.down_purged);
+  fn("crash_purged", s.crash_purged);
+  fn("rtt_samples", s.rtt_samples);
+  fn("probes_tx", s.probes_tx);
+  fn("probes_rx", s.probes_rx);
+}
+
 class RllLayer final : public host::Layer {
  public:
   explicit RllLayer(sim::Simulator& sim, RllParams params = {});
@@ -124,6 +148,15 @@ class RllLayer final : public host::Layer {
 
   const RllStats& stats() const { return stats_; }
   const RllParams& params() const { return params_; }
+
+  /// Registers this layer's stats (counter views) plus RTT-sample and
+  /// effective-RTO histograms (both in µs) under `prefix` (convention:
+  /// "rll.<node>").
+  void bind_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    obs::expose_stats(reg, prefix, stats_);
+    rtt_hist_ = &reg.histogram(prefix + ".rtt_us");
+    rto_hist_ = &reg.histogram(prefix + ".rto_us");
+  }
 
   /// Frames currently held for retransmission across all peers (test hook).
   std::size_t unacked_frames() const;
@@ -207,6 +240,8 @@ class RllLayer final : public host::Layer {
   sim::Simulator& sim_;
   RllParams params_;
   RllStats stats_;
+  obs::Histogram* rtt_hist_{nullptr};  ///< accepted RTT samples (µs)
+  obs::Histogram* rto_hist_{nullptr};  ///< effective RTO after each sample (µs)
   LinkEventFn link_listener_;
   std::unordered_map<net::MacAddress, std::unique_ptr<PeerState>> peers_;
 };

@@ -198,11 +198,15 @@ void TcpConnection::sample_rtt(Duration rtt) {
     srtt_ = rtt;
     rttvar_ = {rtt.ns / 2};
     srtt_valid_ = true;
-    return;
+  } else {
+    i64 err = rtt.ns - srtt_.ns;
+    rttvar_ = {(3 * rttvar_.ns + std::abs(err)) / 4};
+    srtt_ = {srtt_.ns + err / 8};
   }
-  i64 err = rtt.ns - srtt_.ns;
-  rttvar_ = {(3 * rttvar_.ns + std::abs(err)) / 4};
-  srtt_ = {srtt_.ns + err / 8};
+  if (rtt_hist_ != nullptr) rtt_hist_->record(static_cast<u64>(rtt.ns / 1000));
+  if (rto_hist_ != nullptr) {
+    rto_hist_->record(static_cast<u64>(current_rto().ns / 1000));
+  }
 }
 
 void TcpConnection::on_rto() {

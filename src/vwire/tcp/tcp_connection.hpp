@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "vwire/net/tcp_header.hpp"
+#include "vwire/obs/metrics.hpp"
 #include "vwire/sim/timer.hpp"
 #include "vwire/tcp/congestion.hpp"
 #include "vwire/util/rng.hpp"
@@ -63,6 +64,21 @@ struct TcpStats {
   u64 out_of_order{0};
 };
 
+/// Single source of field names for formatting and registry exposure.
+template <class Fn>
+void for_each_field(const TcpStats& s, Fn&& fn) {
+  fn("segments_sent", s.segments_sent);
+  fn("segments_received", s.segments_received);
+  fn("bytes_sent", s.bytes_sent);
+  fn("bytes_received", s.bytes_received);
+  fn("rto_retransmits", s.rto_retransmits);
+  fn("fast_retransmits", s.fast_retransmits);
+  fn("syn_retransmits", s.syn_retransmits);
+  fn("dup_acks_received", s.dup_acks_received);
+  fn("bad_checksum", s.bad_checksum);
+  fn("out_of_order", s.out_of_order);
+}
+
 /// Four-tuple identifying a connection on a node.
 struct ConnKey {
   net::Ipv4Address remote_ip;
@@ -108,6 +124,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   /// Segment arrival from TcpLayer; checksum already verified.
   void on_segment(const net::TcpHeader& h, BytesView payload);
+
+  /// Telemetry sinks for accepted RTT samples and the resulting effective
+  /// RTO (both µs); registry-owned, set by TcpLayer at connection creation.
+  void set_rtt_histograms(obs::Histogram* rtt_us, obs::Histogram* rto_us) {
+    rtt_hist_ = rtt_us;
+    rto_hist_ = rto_us;
+  }
 
  private:
   // Sending machinery.
@@ -175,6 +198,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   u32 rtt_seq_{0};        ///< sequence whose ack will be sampled
   TimePoint rtt_sent_at_{};
   bool rtt_sampling_{false};
+
+  obs::Histogram* rtt_hist_{nullptr};  ///< accepted RTT samples (µs)
+  obs::Histogram* rto_hist_{nullptr};  ///< effective RTO after each sample (µs)
 };
 
 /// 32-bit sequence-space comparison helpers.

@@ -35,6 +35,13 @@ std::shared_ptr<TcpConnection> TcpLayer::make_connection(
                                               node_.ip(), params,
                                               std::move(output),
                                               std::move(reaper));
+  if (obs::MetricsRegistry* reg = node_.metrics()) {
+    // All of a node's connections share one histogram pair — the registry
+    // slot outlives the connection.
+    const std::string prefix = "tcp." + node_.name();
+    conn->set_rtt_histograms(&reg->histogram(prefix + ".rtt_us"),
+                             &reg->histogram(prefix + ".rto_us"));
+  }
   conns_[key] = conn;
   return conn;
 }

@@ -10,10 +10,17 @@ namespace vwire::trace {
 void TraceBuffer::record(TimePoint at, std::string_view node,
                          net::Direction dir, const net::Packet& pkt) {
   ++total_;
+  if (max_records_ == 0) {  // capture disabled: everything is a drop
+    ++dropped_;
+    return;
+  }
   if (records_.size() >= max_records_) {
+    // Evict the oldest tenth in one move instead of one-at-a-time — but
+    // never more than the buffer holds, and count every eviction.
+    std::size_t evict = std::min(records_.size(), max_records_ / 10 + 1);
+    dropped_ += evict;
     records_.erase(records_.begin(),
-                   records_.begin() + static_cast<std::ptrdiff_t>(
-                                          max_records_ / 10 + 1));
+                   records_.begin() + static_cast<std::ptrdiff_t>(evict));
   }
   records_.push_back(
       TraceRecord{at, std::string(node), dir, pkt.uid(), pkt.bytes()});
@@ -21,7 +28,10 @@ void TraceBuffer::record(TimePoint at, std::string_view node,
 
 void TraceBuffer::annotate(TimePoint at, std::string_view node,
                            std::string_view text) {
-  if (annotations_.size() >= max_records_) return;  // same memory cap idea
+  if (annotations_.size() >= max_records_) {  // same memory cap idea
+    ++annotations_dropped_;
+    return;
+  }
   annotations_.push_back(TraceAnnotation{at, std::string(node),
                                          std::string(text)});
 }
@@ -30,6 +40,8 @@ void TraceBuffer::clear() {
   records_.clear();
   annotations_.clear();
   total_ = 0;
+  dropped_ = 0;
+  annotations_dropped_ = 0;
 }
 
 std::vector<const TraceRecord*> TraceBuffer::select(

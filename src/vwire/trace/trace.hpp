@@ -51,6 +51,10 @@ class TraceBuffer {
   }
   std::size_t size() const { return records_.size(); }
   u64 total_recorded() const { return total_; }
+  /// Records lost to cap eviction; total_recorded() == size() + dropped().
+  u64 dropped() const { return dropped_; }
+  /// Annotations refused because the buffer was at its cap.
+  u64 annotations_dropped() const { return annotations_dropped_; }
   void clear();
 
   using Predicate = std::function<bool(const TraceRecord&)>;
@@ -65,6 +69,8 @@ class TraceBuffer {
   std::vector<TraceRecord> records_;
   std::vector<TraceAnnotation> annotations_;
   u64 total_{0};
+  u64 dropped_{0};
+  u64 annotations_dropped_{0};
 };
 
 /// Transparent capture layer; inserts anywhere in a node's chain.

@@ -44,7 +44,9 @@ void EchoClient::on_reply(BytesView payload) {
   if (payload.size() < 4) return;
   u32 id = read_u32(payload, 0);
   if (id >= sent_at_.size() || sent_at_[id].ns < 0) return;
-  rtts_.push_back(udp_.node().simulator().now() - sent_at_[id]);
+  Duration rtt = udp_.node().simulator().now() - sent_at_[id];
+  rtts_.push_back(rtt);
+  rtt_hist_.record(static_cast<u64>(rtt.ns / 1000));
   sent_at_[id] = TimePoint{.ns = -1};  // guard against duplicates (DUP)
 }
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "vwire/obs/metrics.hpp"
 #include "vwire/sim/timer.hpp"
 #include "vwire/udp/udp_layer.hpp"
 
@@ -47,6 +48,10 @@ class EchoClient {
 
   Duration mean_rtt() const;
 
+  /// Round-trip times as a log-linear histogram (µs) — the Fig 8 bench
+  /// reads p50/p95/p99 from here.
+  const obs::Histogram& rtt_histogram() const { return rtt_hist_; }
+
  private:
   void send_probe();
   void on_reply(BytesView payload);
@@ -56,6 +61,7 @@ class EchoClient {
   sim::Timer send_timer_;
   std::vector<Duration> rtts_;
   std::vector<TimePoint> sent_at_;
+  obs::Histogram rtt_hist_;
   u32 sent_{0};
 };
 

@@ -126,6 +126,60 @@ TEST(DistributedRules, CounterMirrorsSentPerChange) {
   EXPECT_TRUE(h.ctrl->context().errors().empty());
 }
 
+TEST(DistributedRules, FiringProvenanceSnapshotsMirroredCounters) {
+  // Satellite of the telemetry PR (DESIGN.md §7): a condition over counters
+  // homed on *different* nodes fires on mirrored values — every
+  // FiringRecord's counter snapshot must show the state the engine actually
+  // evaluated, i.e. satisfy the condition that fired.
+  EngineHarness h;
+  h.arm(
+      "SCENARIO s\n"
+      "  SENT: (udp_req, client, server, SEND)\n"   // home: client
+      "  SEEN: (udp_req, client, server, RECV)\n"   // home: server
+      "  LOST: (client)\n"
+      "  (TRUE) >> ENABLE_CNTR(SENT); ENABLE_CNTR(SEEN); ENABLE_CNTR(LOST);\n"
+      "  ((SENT > SEEN)) >> INCR_CNTR(LOST, 1);\n"
+      "  ((SEEN = 5)) >> STOP;\n"
+      "END\n");
+  h.send_requests(5);
+  control::RunOptions opts;
+  opts.deadline = seconds(1);
+  auto result = h.ctrl->run(opts);
+  ASSERT_TRUE(result.stopped) << result.summary();
+
+  // Rule 1 is ((SENT > SEEN)); it fired at least once while a datagram was
+  // in flight, and final LOST equals its firing count.
+  auto firings = result.explain(1);
+  ASSERT_GE(firings.size(), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(h.counter("LOST")), firings.size());
+
+  auto name_of = [&](u16 id) {
+    return id < result.counter_names.size() ? result.counter_names[id]
+                                            : std::string();
+  };
+  for (const auto& f : firings) {
+    // INCR_CNTR(LOST) executes on LOST's home node.
+    EXPECT_EQ(f.node_name, "client");
+    EXPECT_EQ(f.rule, 1);
+    i64 sent = -1, seen = -1;
+    for (u8 i = 0; i < f.n_counters; ++i) {
+      if (name_of(f.counters[i].id) == "SENT") sent = f.counters[i].value;
+      if (name_of(f.counters[i].id) == "SEEN") seen = f.counters[i].value;
+    }
+    // Both operands were snapshotted, and the mirrored values the engine
+    // saw at evaluation time satisfy the fired condition.
+    ASSERT_GE(sent, 0);
+    ASSERT_GE(seen, 0);
+    EXPECT_GT(sent, seen);
+    EXPECT_LE(sent, 5);
+  }
+
+  // explain() of the STOP rule resolves too; the unknown-rule query is
+  // empty rather than an error.
+  EXPECT_GE(result.explain(2).size(), 1u);
+  EXPECT_TRUE(result.explain(999).empty());
+}
+
 TEST(DistributedRules, FailedNodeStopsParticipating) {
   EngineHarness h(3);
   h.arm(

@@ -94,6 +94,27 @@ TEST(PaperFig5, CorrectTcpPassesWithInjectedSynackDrop) {
   EXPECT_FALSE(conn->congestion().in_slow_start());
   EXPECT_EQ(conn->stats().syn_retransmits, 1u);
   EXPECT_GE(r.counters.at("CanTx"), 0);
+
+  // Telemetry acceptance (DESIGN.md §7): every action the engines executed
+  // left a FiringRecord, and explain() resolves each fired rule.
+  u64 executed = 0;
+  for (const char* n : {"node1", "node2"}) {
+    executed += f.tb.handles(n).engine->stats().actions_executed;
+  }
+  EXPECT_EQ(r.firings_dropped, 0u);
+  EXPECT_EQ(r.firings.size(), executed);
+  for (const auto& rec : r.firings) {
+    EXPECT_FALSE(r.explain(rec.rule).empty());
+  }
+  // The injected fault: rule 1 is the SYNACK drop, and its provenance
+  // carries the counter state that triggered it (0 < SYNACK < 2).
+  auto drops = r.explain(1);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(std::string(drops[0].kind_name), "DROP");
+  EXPECT_EQ(drops[0].node_name, "node1");
+  EXPECT_NE(drops[0].packet_uid, 0u);
+  ASSERT_GE(drops[0].n_counters, 1);
+  EXPECT_EQ(drops[0].counters[0].value, 1);  // SYNACK at evaluation
 }
 
 TEST(PaperFig5, CleanHandshakeStaysInSlowStartLonger) {
@@ -177,6 +198,24 @@ TEST(PaperFig6, RetherRecoversWithinOneSecond) {
   EXPECT_FALSE(layers[1]->ring().contains(tb.node("node3").mac()));
   // TCP service survived the failure: bytes kept arriving at node4.
   EXPECT_GT(sink.bytes_received(), 1'400'000u);
+
+  // Telemetry acceptance (DESIGN.md §7): one FiringRecord per executed
+  // action across the four engines, each fired rule explainable — including
+  // the FAIL(node3) injection (rule 2).
+  u64 executed = 0;
+  for (const char* n : names) {
+    executed += tb.handles(n).engine->stats().actions_executed;
+  }
+  EXPECT_EQ(r.firings_dropped, 0u);
+  EXPECT_EQ(r.firings.size(), executed);
+  for (const auto& rec : r.firings) {
+    EXPECT_FALSE(r.explain(rec.rule).empty());
+  }
+  bool saw_fail = false;
+  for (const auto& rec : r.explain(2)) {
+    if (std::string(rec.kind_name) == "FAIL") saw_fail = true;
+  }
+  EXPECT_TRUE(saw_fail);
 }
 
 }  // namespace

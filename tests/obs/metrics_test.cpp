@@ -1,0 +1,183 @@
+// Metrics registry + log-linear histogram (DESIGN.md §7).
+#include "vwire/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/obs/format.hpp"
+
+namespace vwire::obs {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, SingleSampleEveryPercentileClampsToIt) {
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  // Bucket midpoints are clamped to the observed [min, max].
+  EXPECT_EQ(h.percentile(0), 100);
+  EXPECT_EQ(h.percentile(50), 100);
+  EXPECT_EQ(h.percentile(100), 100);
+}
+
+TEST(Histogram, PercentilesWithinLogLinearError) {
+  // 16 sub-buckets per power of two bounds the relative quantile error at
+  // 1/16 ≈ 6%; leave a little slack for the rank landing mid-bucket.
+  Histogram h;
+  for (i64 v = 1; v <= 10'000; ++v) h.record(v);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 5000.0 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0, 9900.0 * 0.08);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10'000);
+  EXPECT_NEAR(h.mean(), 5000.5, 0.5);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.record(-42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, WideRangeStaysOrdered) {
+  Histogram h;
+  for (i64 v : {1, 100, 10'000, 1'000'000, 100'000'000}) h.record(v);
+  i64 prev = -1;
+  for (double p : {10.0, 30.0, 50.0, 70.0, 90.0, 99.0}) {
+    i64 cur = h.percentile(p);
+    EXPECT_GE(cur, prev) << "p" << p;
+    prev = cur;
+  }
+  EXPECT_EQ(h.max(), 100'000'000);
+}
+
+TEST(Histogram, MergeAddsAndClearResets) {
+  Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.record(10);
+  for (int i = 0; i < 10; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(99), 0);
+}
+
+TEST(Histogram, SnapshotMatchesAccessors) {
+  Histogram h;
+  for (i64 v = 1; v <= 100; ++v) h.record(v);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.min, h.min());
+  EXPECT_EQ(s.max, h.max());
+  EXPECT_EQ(s.p50, h.percentile(50));
+  EXPECT_EQ(s.p99, h.percentile(99));
+}
+
+TEST(MetricsRegistry, OwnedSlotsAreStableAndLive) {
+  MetricsRegistry reg;
+  u64& c = reg.counter("engine.n1.drops");
+  i64& g = reg.gauge("rll.n1.window");
+  c = 3;
+  g = -7;
+  reg.histogram("rll.n1.rtt_us").record(500);
+  EXPECT_EQ(reg.value("engine.n1.drops"), 3.0);
+  EXPECT_EQ(reg.value("rll.n1.window"), -7.0);
+  ASSERT_NE(reg.find_histogram("rll.n1.rtt_us"), nullptr);
+  EXPECT_EQ(reg.find_histogram("rll.n1.rtt_us")->count(), 1u);
+  // Repeat lookups return the same slot.
+  reg.counter("engine.n1.drops") += 1;
+  EXPECT_EQ(c, 4u);
+}
+
+TEST(MetricsRegistry, ExposedViewsReadCallerStorageLive) {
+  MetricsRegistry reg;
+  u64 seen = 0;
+  reg.expose_counter("engine.n1.packets_seen", &seen);
+  EXPECT_EQ(reg.value("engine.n1.packets_seen"), 0.0);
+  seen = 41;
+  // No re-registration: the snapshot reads the live value.
+  EXPECT_EQ(reg.value("engine.n1.packets_seen"), 41.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndTyped) {
+  MetricsRegistry reg;
+  reg.counter("b.metric") = 2;
+  reg.gauge("a.metric") = 1;
+  reg.histogram("c.metric").record(9);
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.metric");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[1].name, "b.metric");
+  EXPECT_EQ(snap[1].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[2].name, "c.metric");
+  EXPECT_EQ(snap[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap[2].hist.count, 1u);
+}
+
+TEST(MetricsRegistry, UnregisterPrefixDropsOnlyMatches) {
+  MetricsRegistry reg;
+  reg.counter("tcp.n1.rtx") = 1;
+  reg.counter("tcp.n2.rtx") = 2;
+  reg.counter("tcp2.n1.rtx") = 3;  // shares a string prefix, not a component
+  reg.unregister_prefix("tcp.n1");
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.value("tcp.n1.rtx"), 0.0);
+  EXPECT_EQ(reg.value("tcp.n2.rtx"), 2.0);
+  EXPECT_EQ(reg.value("tcp2.n1.rtx"), 3.0);
+}
+
+TEST(MetricsRegistry, AbsentNamesAreZeroOrNull) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.value("no.such.metric"), 0.0);
+  EXPECT_EQ(reg.find_histogram("no.such.hist"), nullptr);
+}
+
+// A stats struct with the ADL enumeration every real layer provides; the
+// same single field list drives both registration and formatting.
+struct FakeStats {
+  u64 alpha{0};
+  u64 beta{0};
+};
+
+template <class Fn>
+void for_each_field(const FakeStats& s, Fn&& fn) {
+  fn("alpha", s.alpha);
+  fn("beta", s.beta);
+}
+
+TEST(ExposeStats, RegistersEveryFieldUnderPrefix) {
+  MetricsRegistry reg;
+  FakeStats s;
+  expose_stats(reg, "fake.n1", s);
+  s.alpha = 5;
+  s.beta = 9;
+  EXPECT_EQ(reg.value("fake.n1.alpha"), 5.0);
+  EXPECT_EQ(reg.value("fake.n1.beta"), 9.0);
+}
+
+TEST(Format, KvAndTableShareTheFieldEnumeration) {
+  FakeStats s;
+  s.alpha = 5;
+  s.beta = 9;
+  EXPECT_EQ(format_kv(stat_rows(s)), "alpha=5 beta=9");
+  std::string table = format_table("fake", stat_rows(s));
+  EXPECT_NE(table.find("fake\n"), std::string::npos);
+  EXPECT_NE(table.find("  alpha  5\n"), std::string::npos);
+  EXPECT_NE(table.find("  beta   9\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vwire::obs

@@ -1,0 +1,81 @@
+// FiringRecord ring-buffer semantics (DESIGN.md §7).
+#include "vwire/obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::obs {
+namespace {
+
+FiringRecord rec(i64 at_ns, u16 rule) {
+  FiringRecord r;
+  r.at = {at_ns};
+  r.rule = rule;
+  return r;
+}
+
+TEST(ProvenanceRing, CapacityZeroDisablesRecording) {
+  ProvenanceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  ring.append(rec(1, 0));
+  EXPECT_EQ(ring.total(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.collect().empty());
+}
+
+TEST(ProvenanceRing, FillsThenOverwritesOldest) {
+  ProvenanceRing ring(3);
+  EXPECT_TRUE(ring.enabled());
+  for (i64 i = 1; i <= 5; ++i) ring.append(rec(i, static_cast<u16>(i)));
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  auto out = ring.collect();
+  ASSERT_EQ(out.size(), 3u);
+  // Oldest → newest, survivors are the last three appended.
+  EXPECT_EQ(out[0].at.ns, 3);
+  EXPECT_EQ(out[1].at.ns, 4);
+  EXPECT_EQ(out[2].at.ns, 5);
+}
+
+TEST(ProvenanceRing, PartialFillCollectsInAppendOrder) {
+  ProvenanceRing ring(8);
+  ring.append(rec(10, 1));
+  ring.append(rec(20, 2));
+  EXPECT_EQ(ring.dropped(), 0u);
+  auto out = ring.collect();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].at.ns, 10);
+  EXPECT_EQ(out[1].rule, 2);
+}
+
+TEST(ProvenanceRing, ClearKeepsCapacityResetChangesIt) {
+  ProvenanceRing ring(2);
+  ring.append(rec(1, 0));
+  ring.append(rec(2, 0));
+  ring.append(rec(3, 0));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 0u);
+  EXPECT_EQ(ring.capacity(), 2u);
+  ring.reset(5);
+  EXPECT_EQ(ring.capacity(), 5u);
+  ring.reset(0);
+  EXPECT_FALSE(ring.enabled());
+}
+
+TEST(FiringRecord, SnapshotArraysAreBounded) {
+  FiringRecord r;
+  EXPECT_EQ(r.n_counters, 0);
+  EXPECT_EQ(r.n_terms, 0);
+  for (std::size_t i = 0; i < FiringRecord::kMaxCounters; ++i) {
+    r.counters[r.n_counters++] = {static_cast<u16>(i), static_cast<i64>(i)};
+  }
+  EXPECT_EQ(r.n_counters, FiringRecord::kMaxCounters);
+  EXPECT_EQ(r.counters[0].id, 0);
+  EXPECT_EQ(r.counters[FiringRecord::kMaxCounters - 1].value,
+            static_cast<i64>(FiringRecord::kMaxCounters - 1));
+}
+
+}  // namespace
+}  // namespace vwire::obs

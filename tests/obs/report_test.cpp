@@ -1,0 +1,173 @@
+// ScenarioReport JSONL round-trip and loader rejection paths (DESIGN.md §7).
+#include "vwire/obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vwire::obs {
+namespace {
+
+ScenarioReport sample_report() {
+  ScenarioReport rep;
+  rep.meta.scenario = "unit \"quoted\"";
+  rep.meta.seed = 42;
+  rep.meta.ended_at = {1'500'000'000};
+  rep.meta.passed = true;
+  rep.meta.nodes = {"node1", "node2"};
+  rep.firings_dropped = 3;
+  rep.counter_names = {"SENT", "SEEN"};
+
+  MetricsRegistry::Sample c;
+  c.name = "engine.node1.drops";
+  c.kind = MetricKind::kCounter;
+  c.value = 7;
+  rep.metrics.push_back(c);
+
+  MetricsRegistry::Sample h;
+  h.name = "rll.node1.rtt_us";
+  h.kind = MetricKind::kHistogram;
+  h.hist = {/*count=*/10, /*min=*/100,  /*max=*/900, /*mean=*/450.5,
+            /*p50=*/440,  /*p90=*/880,  /*p95=*/890, /*p99=*/900};
+  rep.metrics.push_back(h);
+
+  FiringRecord f;
+  f.at = {2'104'000};
+  f.rule = 1;
+  f.action = 2;
+  f.filter = 0;
+  f.kind_name = "DROP";
+  f.cascade_depth = 0;
+  f.packet_uid = 37;
+  f.value = 0;
+  f.value2 = 0;
+  f.n_counters = 2;
+  f.counters[0] = {0, 5};
+  f.counters[1] = {1, 4};
+  f.n_terms = 1;
+  f.terms[0] = {0, true};
+  f.node_name = "node1";
+  rep.firings.push_back(f);
+
+  rep.link_events.push_back({{3'000'000}, "node2", "cut applied"});
+  rep.annotations.push_back({{4'000'000}, "node1", "rll link-down"});
+  rep.errors.push_back({{5'000'000}, "node1", 6});
+  return rep;
+}
+
+TEST(ScenarioReport, JsonlRoundTripsThroughTheLoader) {
+  ScenarioReport rep = sample_report();
+  ScenarioReport back = parse_report_jsonl(rep.to_jsonl());
+
+  EXPECT_EQ(back.meta.scenario, rep.meta.scenario);
+  EXPECT_EQ(back.meta.tool, "vwire");
+  EXPECT_EQ(back.meta.seed, 42u);
+  EXPECT_EQ(back.meta.ended_at.ns, 1'500'000'000);
+  EXPECT_TRUE(back.meta.passed);
+  EXPECT_EQ(back.meta.nodes, rep.meta.nodes);
+  EXPECT_EQ(back.firings_dropped, 3u);
+
+  ASSERT_EQ(back.metrics.size(), 2u);
+  EXPECT_EQ(back.metrics[0].name, "engine.node1.drops");
+  EXPECT_EQ(back.metrics[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(back.metrics[0].value, 7.0);
+  EXPECT_EQ(back.metrics[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(back.metrics[1].hist.count, 10u);
+  EXPECT_EQ(back.metrics[1].hist.p99, 900);
+  EXPECT_DOUBLE_EQ(back.metrics[1].hist.mean, 450.5);
+
+  ASSERT_EQ(back.firings.size(), 1u);
+  const FiringRecord& f = back.firings[0];
+  EXPECT_EQ(f.at.ns, 2'104'000);
+  EXPECT_EQ(f.node_name, "node1");
+  EXPECT_EQ(f.rule, 1);
+  EXPECT_EQ(f.action, 2);
+  EXPECT_EQ(f.filter, 0);
+  EXPECT_EQ(f.packet_uid, 37u);
+  // Counter snapshots come back key-sorted ("SEEN" < "SENT") with the id
+  // space rebuilt in first-appearance order.
+  ASSERT_EQ(f.n_counters, 2);
+  ASSERT_EQ(back.counter_names.size(), 2u);
+  EXPECT_EQ(back.counter_names[f.counters[0].id], "SEEN");
+  EXPECT_EQ(f.counters[0].value, 4);
+  EXPECT_EQ(back.counter_names[f.counters[1].id], "SENT");
+  EXPECT_EQ(f.counters[1].value, 5);
+  ASSERT_EQ(f.n_terms, 1);
+  EXPECT_TRUE(f.terms[0].state);
+
+  ASSERT_EQ(back.link_events.size(), 1u);
+  EXPECT_EQ(back.link_events[0].node, "node2");
+  EXPECT_EQ(back.link_events[0].description, "cut applied");
+  ASSERT_EQ(back.annotations.size(), 1u);
+  EXPECT_EQ(back.annotations[0].text, "rll link-down");
+  ASSERT_EQ(back.errors.size(), 1u);
+  EXPECT_EQ(back.errors[0].rule, 6);
+}
+
+TEST(ScenarioReport, SecondRoundTripIsTextStable) {
+  // jsonl(parse(jsonl(r))) == jsonl(r) — the property report diffing rests
+  // on (EXPERIMENTS.md).  The loader rebuilds counter_names from the keys,
+  // so a loaded report re-serializes byte-identically.
+  ScenarioReport rep = sample_report();
+  std::string once = rep.to_jsonl();
+  ScenarioReport back = parse_report_jsonl(once);
+  EXPECT_EQ(back.to_jsonl(), once);
+}
+
+TEST(ScenarioReport, LoaderRejectsUnknownEventType) {
+  std::string text = sample_report().to_jsonl();
+  std::size_t pos = text.find("\"type\":\"firing\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 15, "\"type\":\"firinG\"");
+  EXPECT_THROW(
+      {
+        try {
+          parse_report_jsonl(text);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("unknown event type"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ScenarioReport, LoaderRejectsOtherSchemaVersions) {
+  std::string text = sample_report().to_jsonl();
+  std::size_t pos = text.find("{\"v\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "{\"v\":2");
+  EXPECT_THROW(parse_report_jsonl(text), std::runtime_error);
+}
+
+TEST(ScenarioReport, LoaderRejectsMissingVersion) {
+  EXPECT_THROW(parse_report_jsonl("{\"type\":\"meta\"}\n"), std::runtime_error);
+}
+
+TEST(ScenarioReport, LoaderRejectsMalformedJsonAndMissingMeta) {
+  EXPECT_THROW(parse_report_jsonl("{\"v\":1,\"type\":"), std::runtime_error);
+  // A stream without a meta line is not a report.
+  EXPECT_THROW(parse_report_jsonl(""), std::runtime_error);
+  EXPECT_THROW(
+      parse_report_jsonl(
+          "{\"v\":1,\"type\":\"metric\",\"name\":\"x\",\"kind\":\"counter\","
+          "\"value\":1}\n"),
+      std::runtime_error);
+}
+
+TEST(ScenarioReport, CsvHasHeaderAndOneRowPerMetric) {
+  ScenarioReport rep = sample_report();
+  std::string csv = rep.to_csv();
+  EXPECT_EQ(csv.find("name,kind,value,count,min,max,mean,p50,p90,p95,p99\n"),
+            0u);
+  EXPECT_NE(csv.find("engine.node1.drops,counter,7,,,,,,,,\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("rll.node1.rtt_us,histogram,"), std::string::npos);
+  EXPECT_NE(csv.find(",450.5,440,880,890,900\n"), std::string::npos);
+}
+
+TEST(ScenarioReport, LoadReportThrowsOnMissingFile) {
+  EXPECT_THROW(load_report("/nonexistent/path/report.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vwire::obs

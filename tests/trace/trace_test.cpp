@@ -40,6 +40,56 @@ TEST(TraceBuffer, CapacityEvictsOldestFirst) {
   EXPECT_EQ(read_u16(buf.records().back().frame, 20), 149);
 }
 
+TEST(TraceBuffer, CapBoundaryAccounting) {
+  TraceBuffer buf(100);
+  for (int i = 0; i < 100; ++i) {
+    buf.record({i}, "n", net::Direction::kSend, dummy_frame(0x0800));
+  }
+  // Exactly at the cap: nothing evicted yet.
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  // The 101st record evicts the oldest tenth (plus one) in a single batch,
+  // and every evicted record is counted.
+  buf.record({100}, "n", net::Direction::kSend, dummy_frame(0x0800));
+  EXPECT_EQ(buf.dropped(), 11u);
+  EXPECT_EQ(buf.size(), 90u);
+  EXPECT_EQ(buf.total_recorded(), buf.size() + buf.dropped());
+  EXPECT_EQ(buf.records().front().at.ns, 11);  // oldest survivor
+  EXPECT_EQ(buf.records().back().at.ns, 100);
+}
+
+TEST(TraceBuffer, AccountingInvariantAcrossManyEvictions) {
+  TraceBuffer buf(50);
+  for (int i = 0; i < 1000; ++i) {
+    buf.record({i}, "n", net::Direction::kSend, dummy_frame(0x0800));
+  }
+  EXPECT_EQ(buf.total_recorded(), 1000u);
+  EXPECT_EQ(buf.total_recorded(), buf.size() + buf.dropped());
+  EXPECT_LE(buf.size(), 50u);
+}
+
+TEST(TraceBuffer, ZeroCapacityDropsEverything) {
+  TraceBuffer buf(0);
+  for (int i = 0; i < 5; ++i) {
+    buf.record({i}, "n", net::Direction::kSend, dummy_frame(0x0800));
+  }
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 5u);
+  EXPECT_EQ(buf.total_recorded(), 5u);
+}
+
+TEST(TraceBuffer, AnnotationsDroppedAtCapAndClearedWithClear) {
+  TraceBuffer buf(2);
+  buf.annotate({1}, "n", "one");
+  buf.annotate({2}, "n", "two");
+  buf.annotate({3}, "n", "three");
+  EXPECT_EQ(buf.annotations().size(), 2u);
+  EXPECT_EQ(buf.annotations_dropped(), 1u);
+  buf.clear();
+  EXPECT_EQ(buf.annotations_dropped(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
 TEST(TraceBuffer, SelectAndCount) {
   TraceBuffer buf;
   for (int i = 0; i < 6; ++i) {
