@@ -1,0 +1,229 @@
+// vwire_chaos — chaos-campaign driver (DESIGN.md §8, ISSUE 4).
+//
+// Modes:
+//   vwire_chaos [--fixture fig7] [--trials 100] [--seed 1] [--workers 4]
+//               [--keep-telemetry] [--out summary.json]
+//       Run a randomized campaign; exit 1 if any invariant fired.
+//   vwire_chaos --replay repro.json
+//       Load a repro artifact and re-execute its schedule; exit 1 if the
+//       violation does NOT reproduce (repros must stay honest).
+//   vwire_chaos --smoke
+//       CI gate: fixed-seed campaign must be clean, a trial must replay
+//       with byte-identical telemetry, and a planted duplicate-delivery
+//       bug must be caught and ddmin-minimized to <= 3 events.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "vwire/chaos/campaign.hpp"
+
+using namespace vwire;
+using namespace vwire::chaos;
+
+namespace {
+
+int run_campaign(const CampaignConfig& cfg, const std::string& out_path) {
+  Campaign campaign(cfg);
+  CampaignSummary s = campaign.run();
+  std::printf("%s\n", s.summary_line().c_str());
+  for (u64 idx : s.failing_trials) {
+    const TrialResult& r = s.results[idx];
+    std::printf("  trial %llu (%zu events):\n",
+                static_cast<unsigned long long>(idx), r.schedule.events.size());
+    for (const Violation& v : r.violations) {
+      std::printf("    %s: %s (x%llu)\n", v.invariant.c_str(),
+                  v.detail.c_str(), static_cast<unsigned long long>(v.count));
+    }
+  }
+  if (s.repro) {
+    std::printf("  minimized repro: %zu -> %zu events\n",
+                s.repro->original_events, s.repro->schedule.events.size());
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << s.to_json() << '\n';
+    std::printf("  summary written to %s\n", out_path.c_str());
+  }
+  return s.ok() ? 0 : 1;
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  ReproArtifact art;
+  try {
+    art = ReproArtifact::from_json(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad repro artifact: %s\n", e.what());
+    return 2;
+  }
+  std::printf("repro: fixture=%s seed=%llu trial=%llu, %zu events "
+              "(minimized from %zu)\n",
+              art.fixture.c_str(),
+              static_cast<unsigned long long>(art.schedule.campaign_seed),
+              static_cast<unsigned long long>(art.schedule.trial_index),
+              art.schedule.events.size(), art.original_events);
+  if (!art.fsl.empty()) std::printf("generated FSL:\n%s", art.fsl.c_str());
+
+  CampaignConfig cfg;
+  cfg.fixture = art.fixture;
+  cfg.seed = art.schedule.campaign_seed;
+  Campaign campaign(cfg);
+  TrialResult r;
+  try {
+    r = campaign.run_schedule(art.schedule);
+  } catch (const std::exception& e) {
+    std::printf("replay raised: %s\n", e.what());
+    return 1;
+  }
+  if (r.ok()) {
+    std::printf("replay: violation did NOT reproduce\n");
+    return 1;
+  }
+  for (const Violation& v : r.violations) {
+    std::printf("replay reproduces %s: %s (x%llu)\n", v.invariant.c_str(),
+                v.detail.c_str(), static_cast<unsigned long long>(v.count));
+  }
+  return 0;
+}
+
+int fail(const char* what) {
+  std::printf("SMOKE FAIL: %s\n", what);
+  return 1;
+}
+
+int run_smoke() {
+  // 1. Fixed-seed campaign over the Fig 7 TCP topology must be clean.
+  CampaignConfig cfg;
+  cfg.fixture = "fig7";
+  cfg.seed = 42;
+  cfg.trials = 25;
+  cfg.minimize = false;
+  Campaign campaign(cfg);
+  CampaignSummary s = campaign.run();
+  std::printf("[1/3] %s\n", s.summary_line().c_str());
+  if (!s.ok()) {
+    for (u64 idx : s.failing_trials) {
+      for (const Violation& v : s.results[idx].violations) {
+        std::printf("      trial %llu %s: %s\n",
+                    static_cast<unsigned long long>(idx), v.invariant.c_str(),
+                    v.detail.c_str());
+      }
+    }
+    return fail("campaign reported violations");
+  }
+
+  // 2. Deterministic replay: the same (seed, index) twice, from scratch,
+  //    must produce byte-identical telemetry.
+  TrialResult a = campaign.run_trial(7);
+  TrialResult b = campaign.run_trial(7);
+  if (a.telemetry.empty()) return fail("trial produced no telemetry");
+  if (a.telemetry != b.telemetry) return fail("replay telemetry differs");
+  std::printf("[2/3] trial 7 replays byte-identically (%zu telemetry bytes, "
+              "%zu events)\n",
+              a.telemetry.size(), a.schedule.events.size());
+
+  // 3. Planted bug: a schedule carrying the RLL duplicate-delivery knob
+  //    among decoy events must be caught, and ddmin must strip the decoys.
+  FaultSchedule bad;
+  bad.campaign_seed = 42;
+  bad.trial_index = 9001;  // outside the campaign range: clearly planted
+  FaultEvent dup;
+  dup.kind = FaultKind::kRllDupDeliver;
+  dup.node = "node2";
+  dup.at = millis(10);
+  dup.until = millis(1000);  // span the transfer: the knob only bites while
+                             // in-order data is actually being handed up
+  FaultEvent decoy_cut;
+  decoy_cut.kind = FaultKind::kLinkCut;
+  decoy_cut.node = "node1";
+  decoy_cut.at = millis(20);
+  decoy_cut.until = millis(35);
+  FaultEvent decoy_drop;
+  decoy_drop.kind = FaultKind::kFslDrop;
+  decoy_drop.pkt_lo = 5;
+  decoy_drop.pkt_hi = 7;
+  FaultEvent decoy_delay;
+  decoy_delay.kind = FaultKind::kFslDelay;
+  decoy_delay.pkt_lo = 11;
+  decoy_delay.pkt_hi = 12;
+  decoy_delay.delay = millis(3);
+  bad.events = {decoy_cut, decoy_drop, dup, decoy_delay};
+
+  TrialResult caught = campaign.run_schedule(bad);
+  if (caught.ok()) return fail("planted duplicate delivery went undetected");
+  bool saw_rll = false;
+  for (const Violation& v : caught.violations) {
+    if (v.invariant == "rll-exactly-once") saw_rll = true;
+  }
+  if (!saw_rll) return fail("violation was not rll-exactly-once");
+
+  FaultSchedule minimized = minimize_schedule(
+      bad, [&campaign](const FaultSchedule& cand) {
+        try {
+          return !campaign.run_schedule(cand).ok();
+        } catch (const std::exception&) {
+          return true;
+        }
+      });
+  std::printf("[3/3] planted bug caught; ddmin %zu -> %zu events\n",
+              bad.events.size(), minimized.events.size());
+  if (minimized.events.size() > 3) return fail("minimization left > 3 events");
+  bool kept_dup = false;
+  for (const FaultEvent& e : minimized.events) {
+    if (e.kind == FaultKind::kRllDupDeliver) kept_dup = true;
+  }
+  if (!kept_dup) return fail("minimized schedule lost the causal event");
+  std::printf("SMOKE PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig cfg;
+  cfg.trials = 100;
+  std::string out_path;
+  std::string replay_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--smoke")) smoke = true;
+    else if (!std::strcmp(a, "--replay")) replay_path = next();
+    else if (!std::strcmp(a, "--fixture")) cfg.fixture = next();
+    else if (!std::strcmp(a, "--trials")) cfg.trials = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--seed")) cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--workers")) cfg.workers = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--keep-telemetry")) cfg.keep_telemetry = true;
+    else if (!std::strcmp(a, "--out")) out_path = next();
+    else if (!std::strcmp(a, "--campaign")) {}  // the default mode
+    else {
+      std::fprintf(stderr,
+                   "usage: vwire_chaos [--fixture NAME] [--trials N] "
+                   "[--seed S] [--workers W] [--keep-telemetry] [--out F]\n"
+                   "       vwire_chaos --replay repro.json\n"
+                   "       vwire_chaos --smoke\n");
+      return 2;
+    }
+  }
+  if (smoke) return run_smoke();
+  if (!replay_path.empty()) return run_replay(replay_path);
+  return run_campaign(cfg, out_path);
+}

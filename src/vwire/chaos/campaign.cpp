@@ -1,0 +1,428 @@
+#include "vwire/chaos/campaign.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "vwire/obs/json.hpp"
+#include "vwire/util/rng.hpp"
+
+namespace vwire::chaos {
+
+namespace {
+
+void append_u64(std::string& out, const char* key, u64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, key, v);
+  out += buf;
+}
+
+std::string violations_json(const std::vector<Violation>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"invariant\":\"";
+    out += obs::json_escape(vs[i].invariant);
+    out += "\",\"detail\":\"";
+    out += obs::json_escape(vs[i].detail);
+    out += "\",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"first_at_ns\":%" PRId64 ",",
+                  vs[i].first_at.ns);
+    out += buf;
+    append_u64(out, "count", vs[i].count);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.probe_period.ns <= 0) cfg_.probe_period = millis(5);
+  if (cfg_.drain_grace.ns < 0) cfg_.drain_grace = {};
+}
+
+TrialResult Campaign::run_trial(u64 index) const {
+  // The schedule template lives on the harness; build a throwaway one to
+  // read it.  (Cheap relative to a trial, and keeps the template beside
+  // the topology it describes.)
+  const std::unique_ptr<TrialHarness> probe_harness =
+      make_harness(cfg_.fixture, 0);
+  const FaultSchedule schedule =
+      generate_schedule(cfg_.seed, index, probe_harness->schedule_template());
+  return run_schedule(schedule);
+}
+
+TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
+  TrialResult out;
+  out.trial_index = schedule.trial_index;
+  out.schedule = schedule;
+
+  // Trial isolation: a brand-new harness (testbed, medium, stacks,
+  // workload apps) per execution.
+  const u64 workload_seed = derive_seed(schedule.campaign_seed,
+                                        "trial.workload", schedule.trial_index);
+  std::unique_ptr<TrialHarness> harness =
+      make_harness(cfg_.fixture, workload_seed);
+  Testbed& tb = harness->testbed();
+  sim::Simulator& sim = tb.simulator();
+
+  ScenarioSpec spec =
+      harness->make_spec(fsl_rules(schedule, harness->fsl_site()));
+  spec.seed = derive_seed(schedule.campaign_seed, "trial.medium",
+                          schedule.trial_index);
+
+  // Materialize the non-FSL events into the runner's fault primitives.
+  for (const FaultEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        spec.crashes.push_back({e.node, e.at, e.until});
+        break;
+      case FaultKind::kLinkCut: {
+        LinkFaultSpec f;
+        f.kind = LinkFaultSpec::Kind::kCut;
+        f.node = e.node;
+        f.at = e.at;
+        f.until = e.until;
+        spec.link_faults.push_back(std::move(f));
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        LinkFaultSpec f;
+        f.kind = LinkFaultSpec::Kind::kFlap;
+        f.node = e.node;
+        f.at = e.at;
+        f.until = e.until;
+        f.flap_up = e.flap_up;
+        f.flap_down = e.flap_down;
+        spec.link_faults.push_back(std::move(f));
+        break;
+      }
+      case FaultKind::kLinkDegrade: {
+        LinkFaultSpec f;
+        f.kind = LinkFaultSpec::Kind::kDegrade;
+        f.node = e.node;
+        f.at = e.at;
+        f.until = e.until;
+        f.loss_tx = e.loss_tx;
+        f.loss_rx = e.loss_rx;
+        f.extra_latency = e.extra_latency;
+        spec.link_faults.push_back(std::move(f));
+        break;
+      }
+      case FaultKind::kRllDupDeliver: {
+        const std::vector<std::string> names = tb.node_names();
+        if (std::find(names.begin(), names.end(), e.node) == names.end()) {
+          throw std::invalid_argument(
+              "chaos: rll_dup_deliver targets unknown node '" + e.node + "'");
+        }
+        rll::RllLayer* rll = tb.handles(e.node).rll;
+        if (rll == nullptr) {
+          throw std::invalid_argument(
+              "chaos: rll_dup_deliver targets node '" + e.node +
+              "' which has no RLL layer");
+        }
+        spec.actions.push_back({e.at, [rll] {
+                                  rll->set_test_duplicate_delivery(true);
+                                }});
+        if (e.until > e.at) {
+          spec.actions.push_back({e.until, [rll] {
+                                    rll->set_test_duplicate_delivery(false);
+                                  }});
+        }
+        break;
+      }
+      case FaultKind::kFslDrop:
+      case FaultKind::kFslDelay:
+      case FaultKind::kFslDup:
+      case FaultKind::kFslModify:
+        break;  // already in the script via fsl_rules()
+    }
+  }
+
+  // Invariants: fixture-specific plus the campaign-level cross-layer set.
+  InvariantSet inv;
+  harness->register_invariants(inv);
+  auto rll_exactly_once = [&tb]() -> std::optional<std::string> {
+    for (const std::string& n : tb.node_names()) {
+      rll::RllLayer* rll = tb.handles(n).rll;
+      if (rll == nullptr) continue;
+      if (std::optional<std::string> msg =
+              check_rll_exactly_once(rll->stats())) {
+        return "node " + n + ": " + *msg;
+      }
+    }
+    return std::nullopt;
+  };
+  inv.add_probe("rll-exactly-once", rll_exactly_once);
+  inv.add_final("rll-exactly-once", rll_exactly_once);
+
+  ScenarioRunner runner(tb);
+  inv.add_final("epoch-monotonic", [&runner]() -> std::optional<std::string> {
+    control::Controller* c = runner.controller();
+    if (c == nullptr) return "scenario never armed a controller";
+    return check_epoch_advanced(0, c->epoch());
+  });
+  // Conservation is checked by the post-run drain below, once the wire has
+  // had a chance to go quiet.
+  phy::Medium& medium = tb.medium();
+  inv.add_final("packet-conservation",
+                [&medium] { return check_conservation(medium.stats()); });
+
+  spec.probe = [&inv, &sim] { inv.run_probes(sim.now()); };
+  spec.probe_period = cfg_.probe_period;
+
+  control::ScenarioResult result = runner.run(spec);
+  out.ran = true;
+  out.scenario_passed = result.passed();
+  out.effective_seed = result.effective_seed;
+  out.firings = result.firings.size() + result.firings_dropped;
+  out.link_events = result.link_events.size();
+
+  // Drain toward a quiescent instant: stop perpetual sources, lift link
+  // faults, then step events until every offered frame is either delivered
+  // or attributed to a drop cause (or the grace budget runs out — in which
+  // case the conservation final fires, which is the point).
+  harness->quiesce();
+  for (std::size_t p = 0; p < medium.port_count(); ++p) {
+    medium.clear_link_fault(static_cast<phy::PortId>(p));
+  }
+  const TimePoint cap = sim.now() + cfg_.drain_grace;
+  while (sim.now() < cap && check_conservation(medium.stats()).has_value()) {
+    if (!sim.step()) break;
+  }
+
+  inv.run_final(sim.now());
+  out.violations = inv.violations();
+  out.telemetry = make_report(tb, &result).to_jsonl();
+  return out;
+}
+
+CampaignSummary Campaign::run() {
+  CampaignSummary s;
+  s.fixture = cfg_.fixture;
+  s.seed = cfg_.seed;
+  s.trials_requested = cfg_.trials;
+  s.results.resize(cfg_.trials);
+
+  std::atomic<u64> next{0};
+  std::atomic<bool> stop{false};
+  auto worker = [&] {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      const u64 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cfg_.trials) break;
+      TrialResult r;
+      try {
+        r = run_trial(i);
+      } catch (const std::exception& e) {
+        r.trial_index = i;
+        r.violations.push_back({"trial-exception", e.what(), {}, 1});
+      }
+      if (!r.ok() && cfg_.stop_on_violation) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+      s.results[i] = std::move(r);
+    }
+  };
+  if (cfg_.workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w < cfg_.workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < s.results.size(); ++i) {
+    TrialResult& r = s.results[i];
+    if (!r.ran && r.violations.empty()) continue;  // skipped by early stop
+    ++s.trials_run;
+    s.total_firings += r.firings;
+    s.total_link_events += r.link_events;
+    if (!r.ok()) s.failing_trials.push_back(static_cast<u64>(i));
+    if (!cfg_.keep_telemetry) r.telemetry.clear();
+  }
+
+  if (!s.failing_trials.empty() && cfg_.minimize) {
+    const TrialResult& failing = s.results[s.failing_trials.front()];
+    auto still_fails = [this](const FaultSchedule& cand) {
+      try {
+        return !run_schedule(cand).ok();
+      } catch (const std::exception&) {
+        return true;  // a schedule that breaks the harness still "fails"
+      }
+    };
+    const FaultSchedule minimized =
+        minimize_schedule(failing.schedule, still_fails);
+
+    ReproArtifact art;
+    art.fixture = cfg_.fixture;
+    art.schedule = minimized;
+    art.original_events = failing.schedule.events.size();
+    art.violations = failing.violations;
+    try {
+      TrialResult confirm = run_schedule(minimized);
+      if (!confirm.violations.empty()) art.violations = confirm.violations;
+    } catch (const std::exception&) {
+      // keep the original trial's violations
+    }
+    const std::unique_ptr<TrialHarness> h = make_harness(cfg_.fixture, 0);
+    art.fsl = fsl_rules(minimized, h->fsl_site());
+    s.repro = std::move(art);
+  }
+  return s;
+}
+
+FaultSchedule minimize_schedule(
+    const FaultSchedule& failing,
+    const std::function<bool(const FaultSchedule&)>& still_fails) {
+  std::vector<FaultEvent> cur = failing.events;
+  auto with_events = [&failing](std::vector<FaultEvent> ev) {
+    FaultSchedule s = failing;
+    s.events = std::move(ev);
+    return s;
+  };
+
+  std::size_t n = 2;  // ddmin granularity
+  while (cur.size() >= 2) {
+    const std::size_t chunk = (cur.size() + n - 1) / n;
+    bool reduced = false;
+
+    // Try each chunk alone ("reduce to subset").
+    for (std::size_t i = 0; i * chunk < cur.size() && !reduced; ++i) {
+      const std::size_t lo = i * chunk;
+      const std::size_t hi = std::min(cur.size(), lo + chunk);
+      std::vector<FaultEvent> subset(cur.begin() + lo, cur.begin() + hi);
+      if (subset.size() < cur.size() && still_fails(with_events(subset))) {
+        cur = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    // Try removing each chunk ("reduce to complement").
+    for (std::size_t i = 0; i * chunk < cur.size() && !reduced; ++i) {
+      const std::size_t lo = i * chunk;
+      const std::size_t hi = std::min(cur.size(), lo + chunk);
+      std::vector<FaultEvent> rest(cur.begin(), cur.begin() + lo);
+      rest.insert(rest.end(), cur.begin() + hi, cur.end());
+      if (!rest.empty() && rest.size() < cur.size() &&
+          still_fails(with_events(rest))) {
+        cur = std::move(rest);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      if (n >= cur.size()) break;  // finest granularity exhausted: minimal
+      n = std::min(cur.size(), n * 2);
+    }
+  }
+  return with_events(std::move(cur));
+}
+
+std::string ReproArtifact::to_json() const {
+  std::string out = "{\"v\":1,\"type\":\"chaos_repro\",\"fixture\":\"";
+  out += obs::json_escape(fixture);
+  out += "\",";
+  append_u64(out, "original_events", original_events);
+  out += ",\"violations\":";
+  out += violations_json(violations);
+  out += ",\"fsl\":\"";
+  out += obs::json_escape(fsl);
+  out += "\",\n\"schedule\":";
+  out += schedule.to_json();
+  out += "}";
+  return out;
+}
+
+ReproArtifact ReproArtifact::from_json(std::string_view text) {
+  const obs::JsonValue v = obs::JsonValue::parse(text);
+  if (v.str("type") != "chaos_repro") {
+    throw std::runtime_error("chaos repro: wrong document type '" +
+                             v.str("type") + "'");
+  }
+  ReproArtifact art;
+  art.fixture = v.str("fixture");
+  const double oe = v.num("original_events");
+  art.original_events =
+      oe > 0 ? static_cast<std::size_t>(oe < 1e9 ? oe : 1e9) : 0;
+  if (v.has("violations")) {
+    for (const obs::JsonValue& vv : v.at("violations").as_array()) {
+      Violation viol;
+      viol.invariant = vv.str("invariant");
+      viol.detail = vv.str("detail");
+      art.violations.push_back(std::move(viol));
+    }
+  }
+  art.fsl = v.str("fsl");
+  if (!v.has("schedule")) {
+    throw std::runtime_error("chaos repro: missing schedule");
+  }
+  art.schedule = schedule_from_value(v.at("schedule"));
+  return art;
+}
+
+std::string CampaignSummary::to_json() const {
+  std::string out = "{\"v\":1,\"type\":\"chaos_campaign\",\"fixture\":\"";
+  out += obs::json_escape(fixture);
+  out += "\",";
+  append_u64(out, "seed", seed);
+  out += ',';
+  append_u64(out, "trials_requested", trials_requested);
+  out += ',';
+  append_u64(out, "trials_run", trials_run);
+  out += ",\"failing_trials\":[";
+  for (std::size_t i = 0; i < failing_trials.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(failing_trials[i]);
+  }
+  out += "],";
+  append_u64(out, "total_firings", total_firings);
+  out += ',';
+  append_u64(out, "total_link_events", total_link_events);
+  out += ",\"trials\":[";
+  bool first = true;
+  for (const TrialResult& r : results) {
+    if (!r.ran && r.violations.empty()) continue;  // never launched
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {";
+    append_u64(out, "index", r.trial_index);
+    out += ',';
+    append_u64(out, "events", r.schedule.events.size());
+    out += ",\"scenario_passed\":";
+    out += r.scenario_passed ? "true" : "false";
+    out += ',';
+    append_u64(out, "effective_seed", r.effective_seed);
+    out += ',';
+    append_u64(out, "firings", r.firings);
+    out += ',';
+    append_u64(out, "link_events", r.link_events);
+    out += ",\"violations\":";
+    out += violations_json(r.violations);
+    out += '}';
+  }
+  out += "\n]";
+  if (repro) {
+    out += ",\n\"repro\":";
+    out += repro->to_json();
+  }
+  out += "}";
+  return out;
+}
+
+std::string CampaignSummary::summary_line() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "chaos[%s] seed=%" PRIu64 ": %zu/%zu trials run, %zu with "
+                "violations",
+                fixture.c_str(), seed, trials_run, trials_requested,
+                failing_trials.size());
+  return buf;
+}
+
+}  // namespace vwire::chaos

@@ -1,0 +1,120 @@
+// Chaos campaign engine (DESIGN.md §8): randomized fault-schedule
+// exploration with cross-layer invariant checking, deterministic replay,
+// and failing-schedule minimization.
+//
+// A campaign is N independent trials over one fixture.  Trial i's fault
+// schedule, medium seed and workload are all derived from the single
+// campaign seed through util/rng's named child streams, and every trial
+// runs in a freshly-built Testbed — so any trial replays bit-identically
+// from (campaign_seed, trial_index) alone, verified byte-for-byte against
+// the run's telemetry JSONL.  When a trial violates an invariant, ddmin
+// shrinks its schedule to a minimal still-failing event set and the result
+// is packaged as a self-contained repro artifact.
+#pragma once
+
+#include <atomic>
+
+#include "vwire/chaos/fixtures.hpp"
+
+namespace vwire::chaos {
+
+struct TrialResult {
+  u64 trial_index{0};
+  FaultSchedule schedule;
+  bool ran{false};             ///< the scenario armed and supervised
+  bool scenario_passed{false}; ///< ScenarioResult::passed() (informational)
+  u64 effective_seed{0};
+  std::vector<Violation> violations;
+  /// Per-trial provenance rollup (from the scenario result).
+  u64 firings{0};
+  u64 link_events{0};
+  /// The run's full telemetry report (JSONL text) — the replay-comparison
+  /// artifact.  Campaign::run() drops it unless keep_telemetry is set.
+  std::string telemetry;
+
+  bool ok() const { return ran && violations.empty(); }
+};
+
+struct CampaignConfig {
+  std::string fixture{"fig7"};
+  u64 seed{1};
+  std::size_t trials{25};
+  /// Worker threads; 1 = serial.  Results are identical either way (each
+  /// trial is self-contained), only wall-clock changes.
+  std::size_t workers{1};
+  /// Retain each TrialResult::telemetry in the summary (memory-heavy).
+  bool keep_telemetry{false};
+  /// Run ddmin on the first failing trial and attach a repro artifact.
+  bool minimize{true};
+  /// Stop launching new trials after the first violation.
+  bool stop_on_violation{false};
+  /// Post-run drain budget for the packet-conservation check.
+  Duration drain_grace{millis(200)};
+  /// Invariant-probe period during supervision.
+  Duration probe_period{millis(5)};
+};
+
+/// Self-contained failing-trial package: enough to reproduce the violation
+/// anywhere (schedule carries its own seed provenance) plus the generated
+/// FSL for human inspection.
+struct ReproArtifact {
+  std::string fixture;
+  FaultSchedule schedule;           ///< minimized (or original) schedule
+  std::size_t original_events{0};   ///< event count before minimization
+  std::vector<Violation> violations;
+  std::string fsl;                  ///< FSL rules the schedule generates
+
+  std::string to_json() const;
+  static ReproArtifact from_json(std::string_view text);  // throws
+};
+
+struct CampaignSummary {
+  std::string fixture;
+  u64 seed{0};
+  std::size_t trials_requested{0};
+  std::size_t trials_run{0};
+  std::vector<u64> failing_trials;
+  u64 total_firings{0};
+  u64 total_link_events{0};
+  std::vector<TrialResult> results;  ///< indexed by trial order
+  /// Present when a trial failed and minimization ran.
+  std::optional<ReproArtifact> repro;
+
+  bool ok() const { return failing_trials.empty(); }
+  /// Campaign summary export: per-trial provenance (schedule sizes,
+  /// violations, firing counts) under a versioned "chaos_campaign" schema.
+  std::string to_json() const;
+  std::string summary_line() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig cfg);
+
+  /// Runs the whole campaign (serially or on cfg.workers threads).
+  CampaignSummary run();
+
+  /// One trial, from scratch, deterministically: generates the schedule
+  /// for (cfg.seed, index) and executes it in a fresh harness.  Calling
+  /// this twice with the same index yields byte-identical telemetry.
+  TrialResult run_trial(u64 index) const;
+
+  /// Executes an explicit schedule (a ddmin candidate or a loaded repro)
+  /// under the schedule's own seed provenance.
+  TrialResult run_schedule(const FaultSchedule& schedule) const;
+
+  const CampaignConfig& config() const { return cfg_; }
+
+ private:
+  CampaignConfig cfg_;
+};
+
+/// Delta-debugging (ddmin) minimization: the smallest subsequence of
+/// `failing.events` for which `still_fails` holds.  `still_fails(failing)`
+/// must be true on entry; the predicate is re-evaluated on real runs, so
+/// minimization only trusts violations that actually reproduce.
+FaultSchedule minimize_schedule(
+    const FaultSchedule& failing,
+    const std::function<bool(const FaultSchedule&)>& still_fails);
+
+}  // namespace vwire::chaos

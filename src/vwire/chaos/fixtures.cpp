@@ -1,0 +1,361 @@
+#include "vwire/chaos/fixtures.hpp"
+
+#include <stdexcept>
+
+#include "vwire/rether/rether_layer.hpp"
+#include "vwire/tcp/tcp_layer.hpp"
+#include "vwire/udp/echo.hpp"
+
+namespace vwire::chaos {
+
+namespace {
+
+/// Position-dependent payload byte: catches corruption, duplication and
+/// reordering of delivered stream bytes, not just byte loss.
+u8 pattern_byte(u64 offset) {
+  return static_cast<u8>((offset * 131 + 7) & 0xff);
+}
+
+/// Window-limited TCP sender whose payload encodes each byte's stream
+/// offset (BulkSender sends constant filler, which a corruption-to-filler
+/// fault would slip past).
+class PatternSender {
+ public:
+  PatternSender(tcp::TcpLayer& tcp, net::Ipv4Address dst, u16 dst_port,
+                u16 src_port, u64 total)
+      : tcp_(tcp), dst_(dst), dst_port_(dst_port), src_port_(src_port),
+        total_(total) {}
+
+  void start() {
+    conn_ = tcp_.connect(dst_, dst_port_, src_port_);
+    conn_->on_established = [this] { pump(); };
+    conn_->on_send_space = [this] { pump(); };
+  }
+
+  u64 offered() const { return offered_; }
+
+ private:
+  void pump() {
+    if (!conn_ || closed_) return;
+    while (offered_ < total_) {
+      const std::size_t want =
+          static_cast<std::size_t>(std::min<u64>(total_ - offered_, 4096));
+      Bytes chunk(want);
+      for (std::size_t i = 0; i < want; ++i) {
+        chunk[i] = pattern_byte(offered_ + i);
+      }
+      const std::size_t accepted = conn_->send(BytesView(chunk));
+      offered_ += accepted;
+      if (accepted < want) return;  // buffer full; on_send_space resumes
+    }
+    closed_ = true;
+    conn_->close();
+  }
+
+  tcp::TcpLayer& tcp_;
+  net::Ipv4Address dst_;
+  u16 dst_port_;
+  u16 src_port_;
+  u64 total_;
+  std::shared_ptr<tcp::TcpConnection> conn_;
+  u64 offered_{0};
+  bool closed_{false};
+};
+
+/// Accepting side: verifies every delivered byte against the pattern.
+class PatternSink {
+ public:
+  PatternSink(tcp::TcpLayer& tcp, u16 port) {
+    tcp.listen(port, [this](std::shared_ptr<tcp::TcpConnection> conn) {
+      conn->on_data = [this](BytesView data) {
+        for (u8 b : data) {
+          if (b != pattern_byte(received_)) ++pattern_errors_;
+          ++received_;
+        }
+      };
+      auto weak = std::weak_ptr<tcp::TcpConnection>(conn);
+      conn->on_peer_closed = [weak] {
+        if (auto c = weak.lock()) c->close();
+      };
+    });
+  }
+
+  u64 received() const { return received_; }
+  u64 pattern_errors() const { return pattern_errors_; }
+
+ private:
+  u64 received_{0};
+  u64 pattern_errors_{0};
+};
+
+// --- fig7: TCP bulk transfer on the paper's Fig 7 topology ---------------
+
+constexpr const char* kTcpFilters =
+    "FILTER_TABLE\n"
+    "  TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)\n"
+    "  TCP_ack:  (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)\n"
+    "END\n";
+
+class Fig7Harness final : public TrialHarness {
+ public:
+  Fig7Harness() {
+    tb_.add_node("ctl");
+    tb_.add_node("node1");
+    tb_.add_node("node2");
+    tcp1_ = std::make_unique<tcp::TcpLayer>(tb_.node("node1"));
+    tcp2_ = std::make_unique<tcp::TcpLayer>(tb_.node("node2"));
+    sink_ = std::make_unique<PatternSink>(*tcp2_, 16384);
+    sender_ = std::make_unique<PatternSender>(
+        *tcp1_, tb_.node("node2").ip(), 16384, 24576, /*total=*/120'000);
+  }
+
+  Testbed& testbed() override { return tb_; }
+
+  ScenarioSpec make_spec(const std::string& fault_rules) override {
+    ScenarioSpec spec;
+    spec.script = std::string(kTcpFilters) + tb_.node_table_fsl() +
+                  "SCENARIO chaos_tcp\n"
+                  "  CHAOS: (TCP_data, node1, node2, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(CHAOS);\n" +
+                  fault_rules + "END\n";
+    spec.control_node = "ctl";
+    spec.workload = [this] { sender_->start(); };
+    spec.options.deadline = seconds(3);
+    return spec;
+  }
+
+  FslSite fsl_site() const override {
+    return {"TCP_data", "node1", "node2", "CHAOS"};
+  }
+
+  const ScheduleTemplate& schedule_template() const override {
+    static const ScheduleTemplate t = [] {
+      ScheduleTemplate t;
+      t.allowed = {FaultKind::kCrash,    FaultKind::kLinkCut,
+                   FaultKind::kLinkFlap, FaultKind::kLinkDegrade,
+                   FaultKind::kFslDrop,  FaultKind::kFslDelay,
+                   FaultKind::kFslDup,   FaultKind::kFslModify};
+      t.targets = {"node1", "node2"};
+      t.horizon = millis(250);
+      t.max_packet_index = 80;  // ~83 MSS segments in the 120 kB transfer
+      return t;
+    }();
+    return t;
+  }
+
+  void register_invariants(InvariantSet& inv) override {
+    auto window_sanity = [this]() -> std::optional<std::string> {
+      std::optional<std::string> first;
+      auto visit = [&](const tcp::TcpConnection& c) {
+        if (first) return;
+        first = check_tcp_window_sanity(c.congestion().cwnd(),
+                                        c.congestion().ssthresh(),
+                                        c.congestion().params());
+      };
+      tcp1_->for_each_connection(visit);
+      tcp2_->for_each_connection(visit);
+      return first;
+    };
+    inv.add_probe("tcp-window-sanity", window_sanity);
+    inv.add_final("tcp-window-sanity", window_sanity);
+    inv.add_final("tcp-integrity", [this] {
+      return check_tcp_integrity(sink_->pattern_errors());
+    });
+  }
+
+ private:
+  Testbed tb_;
+  std::unique_ptr<tcp::TcpLayer> tcp1_, tcp2_;
+  std::unique_ptr<PatternSink> sink_;
+  std::unique_ptr<PatternSender> sender_;
+};
+
+// --- udp: echo request/response under fire -------------------------------
+
+constexpr const char* kUdpFilters =
+    "FILTER_TABLE\n"
+    "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+    "END\n";
+
+class UdpHarness final : public TrialHarness {
+ public:
+  UdpHarness() {
+    tb_.add_node("ctl");
+    tb_.add_node("client");
+    tb_.add_node("server");
+    cu_ = std::make_unique<udp::UdpLayer>(tb_.node("client"));
+    su_ = std::make_unique<udp::UdpLayer>(tb_.node("server"));
+    server_ = std::make_unique<udp::EchoServer>(*su_, 7);
+    udp::EchoClient::Params cp;
+    cp.server_ip = tb_.node("server").ip();
+    cp.server_port = 7;
+    cp.local_port = 40000;  // 0x9c40: what the udp_req filter matches
+    cp.count = 60;
+    cp.interval = millis(5);
+    client_ = std::make_unique<udp::EchoClient>(*cu_, cp);
+  }
+
+  Testbed& testbed() override { return tb_; }
+
+  ScenarioSpec make_spec(const std::string& fault_rules) override {
+    ScenarioSpec spec;
+    spec.script = std::string(kUdpFilters) + tb_.node_table_fsl() +
+                  "SCENARIO chaos_udp\n"
+                  "  CHAOS: (udp_req, client, server, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(CHAOS);\n" +
+                  fault_rules + "END\n";
+    spec.control_node = "ctl";
+    spec.workload = [this] { client_->start(); };
+    spec.options.deadline = seconds(2);
+    return spec;
+  }
+
+  FslSite fsl_site() const override {
+    return {"udp_req", "client", "server", "CHAOS"};
+  }
+
+  const ScheduleTemplate& schedule_template() const override {
+    static const ScheduleTemplate t = [] {
+      ScheduleTemplate t;
+      t.allowed = {FaultKind::kCrash,    FaultKind::kLinkCut,
+                   FaultKind::kLinkFlap, FaultKind::kLinkDegrade,
+                   FaultKind::kFslDrop,  FaultKind::kFslDelay,
+                   FaultKind::kFslDup};
+      t.targets = {"client", "server"};
+      t.horizon = millis(250);
+      t.max_packet_index = 50;  // the client sends 60 probes
+      return t;
+    }();
+    return t;
+  }
+
+  void register_invariants(InvariantSet&) override {
+    // Echo offers no fixture invariant beyond the campaign-level set: a
+    // DUP fault can legitimately hand the client more replies than probes.
+  }
+
+ private:
+  Testbed tb_;
+  std::unique_ptr<udp::UdpLayer> cu_, su_;
+  std::unique_ptr<udp::EchoServer> server_;
+  std::unique_ptr<udp::EchoClient> client_;
+};
+
+// --- rether: token ring under crashes and token loss ---------------------
+
+constexpr const char* kRetherFilters =
+    "FILTER_TABLE\n"
+    "  tr_token: (12 2 0x9900), (14 2 0x0001)\n"
+    "END\n";
+
+class RetherHarness final : public TrialHarness {
+ public:
+  RetherHarness() {
+    tb_.add_node("ctl");
+    const char* members[] = {"r1", "r2", "r3"};
+    for (const char* n : members) tb_.add_node(n);
+    std::vector<net::MacAddress> ring;
+    for (const char* n : members) ring.push_back(tb_.node(n).mac());
+    rether::RetherParams rp;
+    rp.regen_timeout = millis(150);  // regenerate within the short trial
+    for (const char* n : members) {
+      auto layer =
+          std::make_unique<rether::RetherLayer>(tb_.simulator(), rp, ring);
+      layers_.push_back(static_cast<rether::RetherLayer*>(
+          &tb_.node(n).add_layer(std::move(layer))));
+      nodes_.push_back(&tb_.node(n));
+    }
+  }
+
+  Testbed& testbed() override { return tb_; }
+
+  ScenarioSpec make_spec(const std::string& fault_rules) override {
+    ScenarioSpec spec;
+    spec.script = std::string(kRetherFilters) + tb_.node_table_fsl() +
+                  "SCENARIO chaos_rether\n"
+                  "  CHAOS: (tr_token, r1, r2, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(CHAOS);\n" +
+                  fault_rules + "END\n";
+    spec.control_node = "ctl";
+    spec.workload = [this] {
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->start(/*with_token=*/i == 0);
+      }
+    };
+    // The token circulates forever; the deadline is the trial length.
+    spec.options.deadline = millis(800);
+    return spec;
+  }
+
+  FslSite fsl_site() const override {
+    return {"tr_token", "r1", "r2", "CHAOS"};
+  }
+
+  const ScheduleTemplate& schedule_template() const override {
+    static const ScheduleTemplate t = [] {
+      ScheduleTemplate t;
+      t.allowed = {FaultKind::kCrash, FaultKind::kLinkCut,
+                   FaultKind::kLinkFlap, FaultKind::kFslDrop};
+      t.targets = {"r2", "r3"};
+      t.horizon = millis(400);
+      // Every fault heals: a permanently-dead majority would leave a
+      // single-member ring, which is vacuous rather than interesting.
+      t.permanent_chance = 0.0;
+      t.max_packet_index = 200;
+      return t;
+    }();
+    return t;
+  }
+
+  void register_invariants(InvariantSet& inv) override {
+    inv.add_probe("rether-single-token", [this] {
+      // Uniqueness is about the *operational* token.  A crashed node, or a
+      // falsely-evicted member clutching a stale token, still has
+      // holding_token() set — but its sends are dropped unacknowledged by
+      // everyone (stale sequence), so it cannot duplicate ring traffic.
+      // Count live holders of the maximum sequence only.
+      u32 max_seq = 0;
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (nodes_[i]->failed() || !layers_[i]->holding_token()) continue;
+        max_seq = std::max(max_seq, layers_[i]->token_seq());
+      }
+      std::size_t holders = 0;
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (nodes_[i]->failed() || !layers_[i]->holding_token()) continue;
+        if (layers_[i]->token_seq() == max_seq) ++holders;
+      }
+      return check_token_holders(holders);
+    });
+    inv.add_final("rether-liveness", [this] {
+      u64 received = 0;
+      for (const rether::RetherLayer* l : layers_) {
+        received += l->stats().tokens_received;
+      }
+      return check_rether_liveness(received, layers_.size());
+    });
+  }
+
+  void quiesce() override {
+    for (rether::RetherLayer* l : layers_) l->stop();
+  }
+
+ private:
+  Testbed tb_;
+  std::vector<rether::RetherLayer*> layers_;
+  std::vector<host::Node*> nodes_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrialHarness> make_harness(std::string_view name,
+                                           u64 /*trial_seed*/) {
+  if (name == "fig7") return std::make_unique<Fig7Harness>();
+  if (name == "udp") return std::make_unique<UdpHarness>();
+  if (name == "rether") return std::make_unique<RetherHarness>();
+  throw std::invalid_argument("chaos: unknown fixture '" + std::string(name) +
+                              "' (have: fig7, udp, rether)");
+}
+
+std::vector<std::string> harness_names() { return {"fig7", "udp", "rether"}; }
+
+}  // namespace vwire::chaos

@@ -1,0 +1,51 @@
+// Chaos fixtures — one fresh, fully-assembled trial environment per call.
+//
+// Trial isolation is structural: a TrialHarness owns its own Testbed and
+// workload applications, built from scratch for every trial (and for every
+// replay and every ddmin probe), so no state can leak between trials and a
+// schedule's outcome is a pure function of (campaign_seed, trial_index).
+#pragma once
+
+#include <memory>
+
+#include "vwire/chaos/generator.hpp"
+#include "vwire/chaos/invariants.hpp"
+#include "vwire/core/api/scenario_runner.hpp"
+
+namespace vwire::chaos {
+
+class TrialHarness {
+ public:
+  virtual ~TrialHarness() = default;
+
+  virtual Testbed& testbed() = 0;
+
+  /// The ScenarioSpec for one trial, with `fault_rules` (generated FSL
+  /// rule lines, possibly empty) spliced into the SCENARIO body.  The
+  /// caller still fills in crashes/link_faults/actions/probe/seed.
+  virtual ScenarioSpec make_spec(const std::string& fault_rules) = 0;
+
+  /// Where generated FSL rules attach (filter/counter the script declares).
+  virtual FslSite fsl_site() const = 0;
+
+  /// The fault space this fixture explores.
+  virtual const ScheduleTemplate& schedule_template() const = 0;
+
+  /// Registers fixture-specific invariants (workload integrity, protocol
+  /// state sanity).  Campaign-level invariants — conservation, RLL
+  /// exactly-once, epoch monotonicity — are added by the campaign itself.
+  virtual void register_invariants(InvariantSet& inv) = 0;
+
+  /// Called after supervision ends, before the conservation drain: stop
+  /// perpetual traffic sources (token rings) so the wire can go quiet.
+  virtual void quiesce() {}
+};
+
+/// Fixture registry.  `name` ∈ harness_names(); throws std::invalid_argument
+/// otherwise.  `trial_seed` parameterizes any workload randomness the
+/// fixture wants (current fixtures are fully deterministic and ignore it).
+std::unique_ptr<TrialHarness> make_harness(std::string_view name,
+                                           u64 trial_seed);
+std::vector<std::string> harness_names();
+
+}  // namespace vwire::chaos

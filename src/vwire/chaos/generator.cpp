@@ -1,0 +1,105 @@
+#include "vwire/chaos/generator.hpp"
+
+#include <algorithm>
+
+#include "vwire/util/rng.hpp"
+
+namespace vwire::chaos {
+
+namespace {
+
+Duration draw_duration(Rng& rng, Duration lo, Duration hi) {
+  if (hi.ns <= lo.ns) return lo;
+  return {lo.ns + static_cast<i64>(rng.below(static_cast<u64>(hi.ns - lo.ns) +
+                                             1))};
+}
+
+}  // namespace
+
+FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
+                                const ScheduleTemplate& tmpl) {
+  FaultSchedule s;
+  s.campaign_seed = campaign_seed;
+  s.trial_index = trial_index;
+  if (tmpl.allowed.empty()) return s;
+
+  Rng rng = Rng::derive(campaign_seed, "trial", trial_index);
+  const std::size_t span = tmpl.max_events >= tmpl.min_events
+                               ? tmpl.max_events - tmpl.min_events
+                               : 0;
+  const std::size_t n = tmpl.min_events + rng.below(span + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultEvent e;
+    e.kind = tmpl.allowed[rng.below(tmpl.allowed.size())];
+    e.at = {static_cast<i64>(rng.below(
+        tmpl.horizon.ns > 0 ? static_cast<u64>(tmpl.horizon.ns) : 1))};
+    const Duration len = draw_duration(rng, tmpl.min_len, tmpl.max_len);
+    const bool permanent = rng.chance(tmpl.permanent_chance);
+    e.until = permanent ? e.at : e.at + len;
+
+    if (!is_fsl_kind(e.kind) && !tmpl.targets.empty()) {
+      e.node = tmpl.targets[rng.below(tmpl.targets.size())];
+    }
+    switch (e.kind) {
+      case FaultKind::kLinkFlap:
+        e.flap_up = draw_duration(rng, tmpl.flap_min, tmpl.flap_max);
+        e.flap_down = draw_duration(rng, tmpl.flap_min, tmpl.flap_max);
+        // A flap that never clears would partition forever; always clear.
+        if (e.until <= e.at) e.until = e.at + len;
+        break;
+      case FaultKind::kLinkDegrade: {
+        e.loss_tx = rng.uniform() * tmpl.max_loss;
+        e.loss_rx = rng.uniform() * tmpl.max_loss;
+        e.extra_latency = draw_duration(rng, {}, tmpl.max_extra_latency);
+        // At least one knob must bite or the runner rejects the spec.
+        if (e.loss_tx == 0.0 && e.loss_rx == 0.0 &&
+            e.extra_latency.ns == 0) {
+          e.loss_rx = tmpl.max_loss > 0 ? tmpl.max_loss : 0.1;
+        }
+        break;
+      }
+      case FaultKind::kFslDrop:
+      case FaultKind::kFslDelay:
+      case FaultKind::kFslDup:
+      case FaultKind::kFslModify: {
+        const u32 max_lo = tmpl.max_packet_index > 0 ? tmpl.max_packet_index
+                                                     : 1;
+        e.pkt_lo = 1 + static_cast<u32>(rng.below(max_lo));
+        const u32 width =
+            1 + static_cast<u32>(rng.below(tmpl.max_window > 0
+                                               ? tmpl.max_window
+                                               : 1));
+        e.pkt_hi = e.pkt_lo + width - 1;
+        if (e.kind == FaultKind::kFslDelay) {
+          // Whole milliseconds ≥ 1: the FSL grammar's unit granularity.
+          const i64 max_ms = std::max<i64>(tmpl.max_delay.ns / 1'000'000, 1);
+          e.delay = millis(1 + static_cast<i64>(rng.below(
+                               static_cast<u64>(max_ms))));
+        }
+        if (e.kind == FaultKind::kFslModify) {
+          const u16 lo = tmpl.mod_offset_lo;
+          const u16 hi = std::max(tmpl.mod_offset_hi, lo);
+          e.mod_offset =
+              static_cast<u16>(lo + rng.below(static_cast<u64>(hi - lo) + 1));
+          e.mod_value = static_cast<u8>(1 + rng.below(255));  // never 0x00
+        }
+        break;
+      }
+      case FaultKind::kCrash:
+      case FaultKind::kLinkCut:
+      case FaultKind::kRllDupDeliver:
+        break;
+    }
+    s.events.push_back(std::move(e));
+  }
+
+  // Deterministic chronological order: readable artifacts, and ddmin
+  // subsets inherit a stable ordering.
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return s;
+}
+
+}  // namespace vwire::chaos

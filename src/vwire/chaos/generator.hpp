@@ -1,0 +1,57 @@
+// Randomized — but seed-deterministic — fault-schedule generation.
+//
+// Every draw for trial `i` of a campaign comes from the single RNG stream
+// `Rng::derive(campaign_seed, "trial", i)` (util/rng's named child-stream
+// derivation), so a schedule is a pure function of (campaign_seed,
+// trial_index, template): regenerating it anywhere, any time, on any
+// worker thread, yields the identical event list.  That property is what
+// makes replay and delta-debugging sound.
+#pragma once
+
+#include "vwire/chaos/schedule.hpp"
+
+namespace vwire::chaos {
+
+/// The space a campaign explores.  Fixtures provide one tuned to their
+/// topology and workload; tests shrink it for speed.
+struct ScheduleTemplate {
+  std::size_t min_events{1};
+  std::size_t max_events{5};
+
+  /// Faults start uniformly within [0, horizon).
+  Duration horizon{millis(300)};
+  /// Active length drawn uniformly from [min_len, max_len].
+  Duration min_len{millis(10)};
+  Duration max_len{millis(120)};
+  /// P(a crash never recovers / a link fault never clears).
+  double permanent_chance{0.15};
+
+  // kLinkFlap phase bounds (both phases drawn from [flap_min, flap_max]).
+  Duration flap_min{millis(5)};
+  Duration flap_max{millis(30)};
+
+  // kLinkDegrade bounds.
+  double max_loss{0.3};
+  Duration max_extra_latency{millis(5)};
+
+  // FSL window bounds: pkt_lo in [1, max_packet_index], width in
+  // [1, max_window].
+  u32 max_packet_index{120};
+  u32 max_window{6};
+  Duration max_delay{millis(10)};  ///< kFslDelay bound (ms granularity)
+  // kFslModify byte offset range (frame-relative; pick payload bytes).
+  u16 mod_offset_lo{60};
+  u16 mod_offset_hi{90};
+
+  /// Kinds the generator may draw (empty = no events ever).
+  std::vector<FaultKind> allowed;
+  /// Nodes crash/link faults may target (the control node must not be
+  /// here: killing the supervisor tests nothing).
+  std::vector<std::string> targets;
+};
+
+/// The deterministic schedule for trial `trial_index` of the campaign.
+FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
+                                const ScheduleTemplate& tmpl);
+
+}  // namespace vwire::chaos

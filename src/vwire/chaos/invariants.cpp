@@ -1,0 +1,99 @@
+#include "vwire/chaos/invariants.hpp"
+
+namespace vwire::chaos {
+
+std::optional<std::string> check_rll_exactly_once(const rll::RllStats& s) {
+  if (s.deliver_misorder == 0) return std::nullopt;
+  return "RLL delivered " + std::to_string(s.deliver_misorder) +
+         " frame(s) whose sequence did not strictly advance "
+         "(duplicate or out-of-order delivery)";
+}
+
+std::optional<std::string> check_tcp_window_sanity(
+    u32 cwnd, u32 ssthresh, const tcp::CongestionParams& p) {
+  if (cwnd < 1) {
+    return "TCP cwnd collapsed to " + std::to_string(cwnd) +
+           " segments (must stay >= 1)";
+  }
+  if (ssthresh < p.min_ssthresh) {
+    return "TCP ssthresh " + std::to_string(ssthresh) +
+           " fell below the configured floor of " +
+           std::to_string(p.min_ssthresh);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_tcp_integrity(u64 pattern_errors) {
+  if (pattern_errors == 0) return std::nullopt;
+  return "TCP stream delivered " + std::to_string(pattern_errors) +
+         " corrupted byte(s) to the application";
+}
+
+std::optional<std::string> check_token_holders(std::size_t holders) {
+  if (holders <= 1) return std::nullopt;
+  return "Rether single-token invariant broken: " + std::to_string(holders) +
+         " ring members hold a token simultaneously";
+}
+
+std::optional<std::string> check_rether_liveness(u64 tokens_received,
+                                                 std::size_t ring_members) {
+  if (ring_members == 0) return std::nullopt;  // everyone dead: vacuous
+  if (tokens_received >= ring_members) return std::nullopt;
+  return "Rether ring made no full circulation (" +
+         std::to_string(tokens_received) + " token receptions across " +
+         std::to_string(ring_members) + " members)";
+}
+
+std::optional<std::string> check_epoch_advanced(u32 before, u32 after) {
+  if (after > before) return std::nullopt;
+  return "control epoch did not advance (before=" + std::to_string(before) +
+         ", after=" + std::to_string(after) + ")";
+}
+
+std::optional<std::string> check_conservation(const phy::MediumStats& m) {
+  const u64 accounted = m.frames_delivered + m.frames_dropped_error +
+                        m.frames_dropped_queue + m.frames_dropped_down +
+                        m.frames_dropped_cut + m.frames_dropped_flap +
+                        m.frames_dropped_loss;
+  if (accounted == m.frames_offered) return std::nullopt;
+  return "packet conservation broken: offered=" +
+         std::to_string(m.frames_offered) + " but delivered+dropped=" +
+         std::to_string(accounted);
+}
+
+void InvariantSet::add_probe(std::string name, CheckFn fn) {
+  probes_.push_back({std::move(name), std::move(fn)});
+}
+
+void InvariantSet::add_final(std::string name, CheckFn fn) {
+  finals_.push_back({std::move(name), std::move(fn)});
+}
+
+void InvariantSet::record(const std::string& name, std::string detail,
+                          TimePoint now) {
+  for (Violation& v : violations_) {
+    if (v.invariant == name) {
+      ++v.count;
+      return;
+    }
+  }
+  violations_.push_back({name, std::move(detail), now, 1});
+}
+
+void InvariantSet::run_probes(TimePoint now) {
+  for (const Named& n : probes_) {
+    if (std::optional<std::string> msg = n.fn()) {
+      record(n.name, std::move(*msg), now);
+    }
+  }
+}
+
+void InvariantSet::run_final(TimePoint now) {
+  for (const Named& n : finals_) {
+    if (std::optional<std::string> msg = n.fn()) {
+      record(n.name, std::move(*msg), now);
+    }
+  }
+}
+
+}  // namespace vwire::chaos

@@ -1,0 +1,104 @@
+// Cross-layer invariant checking (DESIGN.md §8).
+//
+// Each invariant has a *pure core* — a free function from plain observable
+// state to an optional violation message — so tests can prove a checker
+// fires by handing it deliberately-broken data, no simulation required.
+// The live side (InvariantSet) is a registry of named closures that sample
+// real layers and delegate to the cores; campaigns run the probe checks on
+// a timer during supervision and the final checks after the run drains.
+//
+// The invariants (ISSUE 4):
+//  * RLL exactly-once, in-order delivery        (check_rll_exactly_once)
+//  * TCP cwnd/ssthresh sanity                   (check_tcp_window_sanity)
+//  * TCP end-to-end data integrity              (check_tcp_integrity)
+//  * Rether single-token uniqueness             (check_token_holders)
+//  * Rether ring reconstruction liveness        (check_rether_liveness)
+//  * control-plane epoch monotonicity           (check_epoch_advanced)
+//  * packet conservation on the medium          (check_conservation)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vwire/phy/medium.hpp"
+#include "vwire/rll/rll_layer.hpp"
+#include "vwire/tcp/congestion.hpp"
+
+namespace vwire::chaos {
+
+struct Violation {
+  std::string invariant;  ///< registry name of the check that fired
+  std::string detail;     ///< first observed failure message
+  TimePoint first_at{};   ///< simulated time of the first observation
+  u64 count{1};           ///< total observations (probes re-fire)
+};
+
+// --- pure cores ---------------------------------------------------------
+
+/// Exactly-once / in-order: the RLL's always-on delivery audit counts
+/// every upward hand-off whose sequence failed to strictly advance.
+std::optional<std::string> check_rll_exactly_once(const rll::RllStats& s);
+
+/// cwnd must stay ≥ 1 segment and ssthresh must respect the configured
+/// floor ("not less than 2 MSS") no matter what faults did to the flow.
+std::optional<std::string> check_tcp_window_sanity(
+    u32 cwnd, u32 ssthresh, const tcp::CongestionParams& p);
+
+/// No corrupted byte may survive to the application (`pattern_errors` is
+/// the receiving workload's count of bytes that mismatched its generator).
+std::optional<std::string> check_tcp_integrity(u64 pattern_errors);
+
+/// At most one ring member may hold the token at any instant.
+std::optional<std::string> check_token_holders(std::size_t holders);
+
+/// The ring must have made progress: a live ring with members passes the
+/// token; `tokens_received` is the all-member sum over the run.
+std::optional<std::string> check_rether_liveness(u64 tokens_received,
+                                                 std::size_t ring_members);
+
+/// Every armed scenario runs under a strictly newer epoch.
+std::optional<std::string> check_epoch_advanced(u32 before, u32 after);
+
+/// Conservation on the wire: every frame offered to the medium is either
+/// delivered or dropped with an attributed cause.  Only meaningful at a
+/// quiescent instant (no frame in flight) — campaigns drain first.
+std::optional<std::string> check_conservation(const phy::MediumStats& m);
+
+// --- live registry ------------------------------------------------------
+
+class InvariantSet {
+ public:
+  /// A check returns a violation message, or nullopt when the invariant
+  /// holds right now.
+  using CheckFn = std::function<std::optional<std::string>()>;
+
+  /// Sampled on the campaign's probe timer during the run.
+  void add_probe(std::string name, CheckFn fn);
+  /// Evaluated once after the run (and the post-run drain) completes.
+  void add_final(std::string name, CheckFn fn);
+
+  void run_probes(TimePoint now);
+  void run_final(TimePoint now);
+
+  /// One entry per distinct invariant that fired, in first-fired order;
+  /// re-fires bump `count` instead of flooding the list.
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  std::size_t probe_count() const { return probes_.size(); }
+  std::size_t final_count() const { return finals_.size(); }
+
+ private:
+  struct Named {
+    std::string name;
+    CheckFn fn;
+  };
+  void record(const std::string& name, std::string detail, TimePoint now);
+
+  std::vector<Named> probes_;
+  std::vector<Named> finals_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace vwire::chaos

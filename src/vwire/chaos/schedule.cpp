@@ -1,0 +1,227 @@
+#include "vwire/chaos/schedule.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::chaos {
+
+namespace {
+
+constexpr int kScheduleVersion = 1;
+
+// Saturating double → integer conversions (the loader accepts hand-edited
+// JSON; an out-of-range static_cast would be UB).  `!(v >= lo)` doubles as
+// the NaN check.
+i64 load_i64(double v) {
+  if (!(v >= -9223372036854775808.0)) return std::numeric_limits<i64>::min();
+  if (v >= 9223372036854775808.0) return std::numeric_limits<i64>::max();
+  return static_cast<i64>(v);
+}
+
+u64 load_u64(double v) {
+  if (!(v >= 0.0)) return 0;
+  if (v >= 18446744073709551616.0) return std::numeric_limits<u64>::max();
+  return static_cast<u64>(v);
+}
+
+u32 load_u32(double v) {
+  const u64 wide = load_u64(v);
+  return wide > 0xffffffffu ? 0xffffffffu : static_cast<u32>(wide);
+}
+
+void append_u64(std::string& out, const char* key, u64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, key, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, const char* key, i64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64, key, v);
+  out += buf;
+}
+
+void append_f(std::string& out, const char* key, double v) {
+  char buf[64];
+  // %.17g is exact for IEEE doubles — loss rates must round-trip losslessly
+  // or a reloaded repro is not the schedule that failed.
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:         return "crash";
+    case FaultKind::kLinkCut:       return "link_cut";
+    case FaultKind::kLinkFlap:      return "link_flap";
+    case FaultKind::kLinkDegrade:   return "link_degrade";
+    case FaultKind::kFslDrop:       return "fsl_drop";
+    case FaultKind::kFslDelay:      return "fsl_delay";
+    case FaultKind::kFslDup:        return "fsl_dup";
+    case FaultKind::kFslModify:     return "fsl_modify";
+    case FaultKind::kRllDupDeliver: return "rll_dup_deliver";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from(std::string_view name) {
+  for (FaultKind k :
+       {FaultKind::kCrash, FaultKind::kLinkCut, FaultKind::kLinkFlap,
+        FaultKind::kLinkDegrade, FaultKind::kFslDrop, FaultKind::kFslDelay,
+        FaultKind::kFslDup, FaultKind::kFslModify, FaultKind::kRllDupDeliver}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+bool is_fsl_kind(FaultKind k) {
+  return k == FaultKind::kFslDrop || k == FaultKind::kFslDelay ||
+         k == FaultKind::kFslDup || k == FaultKind::kFslModify;
+}
+
+std::string FaultSchedule::to_json() const {
+  std::string out = "{\"v\":1,\"type\":\"chaos_schedule\",";
+  append_u64(out, "campaign_seed", campaign_seed);
+  out += ',';
+  append_u64(out, "trial_index", trial_index);
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i) out += ',';
+    out += "\n  {\"kind\":\"";
+    out += to_string(e.kind);
+    out += "\",\"node\":\"";
+    out += obs::json_escape(e.node);
+    out += "\",";
+    append_i64(out, "at_ns", e.at.ns);
+    out += ',';
+    append_i64(out, "until_ns", e.until.ns);
+    out += ',';
+    append_i64(out, "flap_up_ns", e.flap_up.ns);
+    out += ',';
+    append_i64(out, "flap_down_ns", e.flap_down.ns);
+    out += ',';
+    append_f(out, "loss_tx", e.loss_tx);
+    out += ',';
+    append_f(out, "loss_rx", e.loss_rx);
+    out += ',';
+    append_i64(out, "extra_latency_ns", e.extra_latency.ns);
+    out += ',';
+    append_u64(out, "pkt_lo", e.pkt_lo);
+    out += ',';
+    append_u64(out, "pkt_hi", e.pkt_hi);
+    out += ',';
+    append_i64(out, "delay_ns", e.delay.ns);
+    out += ',';
+    append_u64(out, "mod_offset", e.mod_offset);
+    out += ',';
+    append_u64(out, "mod_value", e.mod_value);
+    out += '}';
+  }
+  out += "\n]}";
+  return out;
+}
+
+FaultSchedule FaultSchedule::from_json(std::string_view text) {
+  return schedule_from_value(obs::JsonValue::parse(text));  // throws on syntax
+}
+
+FaultSchedule schedule_from_value(const obs::JsonValue& v) {
+  if (load_i64(v.num("v", -1)) != kScheduleVersion) {
+    throw std::runtime_error("chaos schedule: unsupported version");
+  }
+  if (v.str("type") != "chaos_schedule") {
+    throw std::runtime_error("chaos schedule: wrong document type '" +
+                             v.str("type") + "'");
+  }
+  FaultSchedule s;
+  s.campaign_seed = load_u64(v.num("campaign_seed"));
+  s.trial_index = load_u64(v.num("trial_index"));
+  if (!v.has("events")) return s;
+  for (const obs::JsonValue& ev : v.at("events").as_array()) {
+    FaultEvent e;
+    const std::string kind = ev.str("kind");
+    std::optional<FaultKind> k = fault_kind_from(kind);
+    if (!k) {
+      throw std::runtime_error("chaos schedule: unknown fault kind '" + kind +
+                               "'");
+    }
+    e.kind = *k;
+    e.node = ev.str("node");
+    e.at = {load_i64(ev.num("at_ns"))};
+    e.until = {load_i64(ev.num("until_ns"))};
+    e.flap_up = {load_i64(ev.num("flap_up_ns"))};
+    e.flap_down = {load_i64(ev.num("flap_down_ns"))};
+    e.loss_tx = ev.num("loss_tx");
+    e.loss_rx = ev.num("loss_rx");
+    e.extra_latency = {load_i64(ev.num("extra_latency_ns"))};
+    e.pkt_lo = load_u32(ev.num("pkt_lo"));
+    e.pkt_hi = load_u32(ev.num("pkt_hi"));
+    e.delay = {load_i64(ev.num("delay_ns"))};
+    const u64 off = load_u64(ev.num("mod_offset"));
+    e.mod_offset = off > 0xffffu ? 0xffff : static_cast<u16>(off);
+    const u64 val = load_u64(ev.num("mod_value"));
+    e.mod_value = val > 0xffu ? 0xff : static_cast<u8>(val);
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
+std::string fsl_rules(const FaultSchedule& schedule, const FslSite& site) {
+  std::string out;
+  char buf[256];
+  const char* f = site.filter.c_str();
+  const char* src = site.src.c_str();
+  const char* dst = site.dst.c_str();
+  const char* c = site.counter.c_str();
+  for (const FaultEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::kFslDrop:
+        std::snprintf(buf, sizeof buf,
+                      "  ((%s >= %u) && (%s <= %u)) >> DROP(%s, %s, %s, "
+                      "RECV);\n",
+                      c, e.pkt_lo, c, e.pkt_hi, f, src, dst);
+        out += buf;
+        break;
+      case FaultKind::kFslDelay:
+        std::snprintf(buf, sizeof buf,
+                      "  ((%s >= %u) && (%s <= %u)) >> DELAY(%s, %s, %s, "
+                      "RECV, %" PRId64 "ms);\n",
+                      c, e.pkt_lo, c, e.pkt_hi, f, src, dst,
+                      e.delay.ns / 1'000'000);
+        out += buf;
+        break;
+      case FaultKind::kFslDup:
+        std::snprintf(buf, sizeof buf,
+                      "  ((%s >= %u) && (%s <= %u)) >> DUP(%s, %s, %s, "
+                      "RECV);\n",
+                      c, e.pkt_lo, c, e.pkt_hi, f, src, dst);
+        out += buf;
+        break;
+      case FaultKind::kFslModify:
+        // A single packet: corrupting a window of segments stalls TCP for
+        // the full window of RTOs without testing anything new.
+        std::snprintf(buf, sizeof buf,
+                      "  ((%s = %u)) >> MODIFY(%s, %s, %s, RECV, "
+                      "(%u 1 0x%02x));\n",
+                      c, e.pkt_lo, f, src, dst, e.mod_offset, e.mod_value);
+        out += buf;
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kLinkCut:
+      case FaultKind::kLinkFlap:
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kRllDupDeliver:
+        break;  // materialized through ScenarioSpec, not FSL
+    }
+  }
+  return out;
+}
+
+}  // namespace vwire::chaos

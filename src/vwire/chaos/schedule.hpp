@@ -1,0 +1,109 @@
+// Chaos fault schedules — the unit of randomized exploration (DESIGN.md §8).
+//
+// A FaultSchedule is a flat list of timed fault events over one trial:
+// whole-node crashes, phy-layer link cuts/flaps/degradations, FSL-injected
+// packet faults (DROP/DELAY/DUP/MODIFY over a counter window), and the
+// test-only RLL duplicate-delivery knob.  Schedules are plain data — they
+// round-trip through JSON byte-for-byte (the repro artifact format) and
+// materialize into the pieces ScenarioRunner already understands:
+// ScenarioSpec::crashes / link_faults / actions plus generated FSL rules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::obs {
+class JsonValue;
+}
+
+namespace vwire::chaos {
+
+enum class FaultKind : u8 {
+  kCrash,        ///< whole-node crash at `at`, recover at `until` (if later)
+  kLinkCut,      ///< hard partition of the node's link over [at, until)
+  kLinkFlap,     ///< square-wave partition (flap_up / flap_down phases)
+  kLinkDegrade,  ///< loss / latency degradation while active
+  kFslDrop,      ///< DROP matched packets with counter in [pkt_lo, pkt_hi]
+  kFslDelay,     ///< DELAY those packets by `delay`
+  kFslDup,       ///< DUP those packets
+  kFslModify,    ///< MODIFY one byte of packet pkt_lo (offset/value below)
+  kRllDupDeliver,  ///< test-only: arm RllLayer duplicate delivery over
+                   ///< [at, until) — plants a known-bad exactly-once bug
+};
+
+const char* to_string(FaultKind k);
+std::optional<FaultKind> fault_kind_from(std::string_view name);
+
+/// True for the kinds that materialize as generated FSL rules (and thus
+/// need no node target — they act on the fixture's filter site).
+bool is_fsl_kind(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind{FaultKind::kLinkCut};
+  /// Target node for crash/link/RLL kinds; unused by FSL kinds.
+  std::string node;
+  Duration at{};
+  Duration until{};
+
+  // kLinkFlap
+  Duration flap_up{};
+  Duration flap_down{};
+
+  // kLinkDegrade
+  double loss_tx{0.0};
+  double loss_rx{0.0};
+  Duration extra_latency{};
+
+  // FSL kinds: fire while the site counter is within [pkt_lo, pkt_hi].
+  u32 pkt_lo{0};
+  u32 pkt_hi{0};
+  Duration delay{};   ///< kFslDelay amount (whole milliseconds on the wire)
+  u16 mod_offset{0};  ///< kFslModify frame byte offset
+  u8 mod_value{0};    ///< kFslModify replacement byte
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultSchedule {
+  /// Provenance: the (campaign seed, trial index) pair this schedule was
+  /// generated from — also the root of every RNG stream the trial uses, so
+  /// carrying them makes the schedule a self-contained replay artifact.
+  u64 campaign_seed{0};
+  u64 trial_index{0};
+  std::vector<FaultEvent> events;
+
+  bool operator==(const FaultSchedule&) const = default;
+
+  /// One-line-per-event JSON document (schema "chaos_schedule" v1).
+  std::string to_json() const;
+  /// Inverse of to_json(); throws std::runtime_error on malformed input,
+  /// unknown kinds or a wrong schema version.
+  static FaultSchedule from_json(std::string_view text);
+};
+
+/// Parses a schedule out of an already-parsed JSON document (e.g. the
+/// nested "schedule" member of a repro artifact).  Same validation and
+/// exceptions as FaultSchedule::from_json.
+FaultSchedule schedule_from_value(const obs::JsonValue& v);
+
+/// Where generated FSL fault rules attach: a filter (declared by the
+/// fixture's FILTER_TABLE), the observed direction, and the counter the
+/// rules window over.  The fixture's SCENARIO must declare the counter as
+/// `counter: (filter, src, dst, RECV)` and ENABLE_CNTR it.
+struct FslSite {
+  std::string filter;
+  std::string src;
+  std::string dst;
+  std::string counter;
+};
+
+/// FSL rule text (one `... >> ACTION(...);` line per FSL event, indented
+/// for a SCENARIO body) materializing the schedule's FSL-layer events at
+/// `site`.  Non-FSL events contribute nothing here.
+std::string fsl_rules(const FaultSchedule& schedule, const FslSite& site);
+
+}  // namespace vwire::chaos

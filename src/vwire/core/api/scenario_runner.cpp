@@ -73,6 +73,15 @@ void ScenarioRunner::validate_link_faults(
     if (std::find(names.begin(), names.end(), f.node) == names.end()) {
       fail("not a testbed node");
     }
+    // The node exists — but its NIC port must also resolve on the bound
+    // medium (a node constructed against a different medium, or one that
+    // never attached, would otherwise only blow up mid-run when the
+    // scheduled fault fires).
+    phy::PortId port = testbed_.node(f.node).nic().port();
+    if (port == phy::kInvalidPort || port >= testbed_.medium().port_count()) {
+      fail("NIC port " + std::to_string(port) +
+           " is not a port of the testbed's medium");
+    }
     if (f.at.ns < 0) fail("fault time `at` is negative");
     if (f.until.ns < 0) fail("fault end `until` is negative");
     if (f.loss_tx < 0.0 || f.loss_tx > 1.0 || f.loss_rx < 0.0 ||
@@ -176,6 +185,17 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
     }
   }
   validate_link_faults(spec.link_faults);
+  for (const TimedAction& a : spec.actions) {
+    if (!a.fn) {
+      throw std::invalid_argument("ScenarioSpec::actions entry has no fn");
+    }
+    if (a.at.ns < 0) {
+      throw std::invalid_argument("ScenarioSpec::actions time is negative");
+    }
+  }
+  if (spec.probe_period.ns < 0) {
+    throw std::invalid_argument("ScenarioSpec::probe_period is negative");
+  }
 
   // One seed drives every medium RNG stream for the run (satellite of the
   // link-fault work: replaying a failure needs the exact same draw
@@ -188,9 +208,12 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   std::string control = spec.control_node.empty()
                             ? testbed_.node_names().front()
                             : spec.control_node;
+  const bool probing = spec.probe && spec.probe_period.ns > 0;
+  control::RunOptions options = spec.options;
+  if (probing) ++options.extra_background_events;
   controller_ = std::make_unique<control::Controller>(
       sim, testbed_.managed_nodes(), control);
-  controller_->arm(tables, spec.options);
+  controller_->arm(tables, options);
 
   // Per-run robustness accounting works on deltas: a long-lived testbed
   // accumulates stats across runs, so snapshot now, subtract later.
@@ -253,8 +276,34 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
     }
   }
 
+  // Arbitrary scheduled callbacks (chaos knobs), same time base as faults.
+  for (const TimedAction& a : spec.actions) {
+    sim.at(sim.now() + a.at, a.fn);
+  }
+
+  // Self-rearming invariant probe.  The shared flag outlives this frame so
+  // the armed tick left in the queue at run end does nothing if some later
+  // caller advances the simulator further.
+  auto probe_live = std::make_shared<bool>(probing);
+  if (probing) {
+    struct ProbeTick {
+      std::shared_ptr<bool> live;
+      std::function<void()> probe;
+      Duration period;
+      sim::Simulator* sim;
+      void operator()() const {
+        if (!*live) return;
+        probe();
+        sim->after(period, *this);  // each event owns its own copy: no cycle
+      }
+    };
+    sim.after(spec.probe_period,
+              ProbeTick{probe_live, spec.probe, spec.probe_period, &sim});
+  }
+
   if (spec.workload) spec.workload();
-  control::ScenarioResult result = controller_->run(spec.options);
+  control::ScenarioResult result = controller_->run(options);
+  *probe_live = false;
   testbed_.set_link_event_hook({});
 
   result.effective_seed = effective_seed;

@@ -53,6 +53,14 @@ struct LinkFaultSpec {
   double bandwidth_bps{0.0};  ///< throttle the port below the link rate
 };
 
+/// An arbitrary scheduled callback, applied like crashes/link_faults at
+/// `at` measured from the start of supervision.  Chaos campaigns use these
+/// to arm/disarm test-only fault knobs mid-run.
+struct TimedAction {
+  Duration at{};
+  std::function<void()> fn;
+};
+
 struct ScenarioSpec {
   /// FSL source (FILTER_TABLE / NODE_TABLE / SCENARIO sections).
   std::string script;
@@ -67,6 +75,14 @@ struct ScenarioSpec {
   std::vector<NodeCrash> crashes;
   /// Link faults (partition / flap / degrade) to schedule during the run.
   std::vector<LinkFaultSpec> link_faults;
+  /// Extra scheduled callbacks (test-only fault knobs and the like).
+  std::vector<TimedAction> actions;
+  /// Invoked every `probe_period` of simulated time while the run is
+  /// supervised — chaos campaigns sample cross-layer invariants here.
+  /// Zero period disables.  The probe is accounted as a background event
+  /// so it does not defeat the controller's quiescence detection.
+  std::function<void()> probe;
+  Duration probe_period{};
   /// Deterministic seed for the run's media RNGs; 0 keeps the testbed's
   /// configured seed.  The seed actually used is echoed in
   /// ScenarioResult::effective_seed.

@@ -5,6 +5,10 @@
 namespace vwire {
 
 Testbed::Testbed(TestbedConfig config) : config_(config) {
+  // Packet uids feed firing provenance; restarting the stream here makes a
+  // run's telemetry a pure function of the testbed, so chaos replays can be
+  // compared byte-for-byte.
+  net::Packet::reset_uid_counter();
   if (config_.medium == TestbedConfig::MediumKind::kSwitchedLan) {
     medium_ = std::make_unique<phy::SwitchedLan>(sim_, config_.link,
                                                  config_.seed);

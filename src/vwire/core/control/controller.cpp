@@ -271,7 +271,7 @@ ArmReport Controller::arm(const core::TableSet& tables,
 }
 
 std::size_t Controller::background_events() const {
-  std::size_t n = 0;
+  std::size_t n = armed_opts_.extra_background_events;
   for (const ManagedNode& m : nodes_) {
     if (m.agent->heartbeating()) ++n;
   }

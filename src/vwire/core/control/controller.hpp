@@ -49,6 +49,11 @@ struct RunOptions {
   /// each attempt (exponential backoff), up to `arm_max_attempts` sends.
   Duration arm_retry_base{millis(20)};
   u32 arm_max_attempts{5};
+
+  /// Pending events (beyond heartbeats) the supervisor should treat as
+  /// background when detecting the natural end of a run — the harness's
+  /// own self-rearming timers (ScenarioRunner's invariant probe).
+  std::size_t extra_background_events{0};
 };
 
 /// Per-node verdict of the INIT/START distribution handshake.

@@ -88,7 +88,7 @@ class IndexedClassifier {
     std::size_t operator()(const Key& k) const {
       u64 s = (static_cast<u64>(k.offset) << 48) ^
               (static_cast<u64>(k.length) << 40) ^ k.mask;
-      return static_cast<std::size_t>(splitmix64(s));
+      return static_cast<std::size_t>(mix64(s));
     }
   };
 

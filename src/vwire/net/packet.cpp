@@ -19,9 +19,12 @@ Packet Packet::clone() const {
   return copy;
 }
 
-u64 Packet::next_uid() {
-  static u64 counter = 0;
-  return ++counter;
-}
+namespace {
+thread_local u64 uid_counter = 0;
+}  // namespace
+
+u64 Packet::next_uid() { return ++uid_counter; }
+
+void Packet::reset_uid_counter() { uid_counter = 0; }
 
 }  // namespace vwire::net

@@ -47,6 +47,12 @@ class Packet {
   /// Deep copy with a fresh uid (the DUP primitive).
   Packet clone() const;
 
+  /// Restarts the uid stream (thread-local).  A fresh Testbed calls this so
+  /// packet uids are a deterministic function of the run, not of whatever
+  /// ran earlier in the process — chaos replay compares telemetry
+  /// byte-for-byte and uids appear in firing provenance.
+  static void reset_uid_counter();
+
   /// Timestamp of initial transmission, stamped by the sending NIC;
   /// used by traces and by latency measurement.
   TimePoint created_at{};

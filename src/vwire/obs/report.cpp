@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -79,16 +80,39 @@ const char* intern_kind(const std::string& k) {
   return "";
 }
 
+// Saturating double → integer conversions for loader fields.  A fuzzed or
+// hand-edited report can carry any JSON number (NaN, 1e999, -5) where the
+// writer emits a bounded integer; a raw static_cast of an out-of-range
+// double is UB, so clamp instead.  The `!(v >= lo)` form is also the NaN
+// check.
+i64 to_i64(double v) {
+  if (!(v >= -9223372036854775808.0)) return std::numeric_limits<i64>::min();
+  if (v >= 9223372036854775808.0) return std::numeric_limits<i64>::max();
+  return static_cast<i64>(v);
+}
+
+u64 to_u64(double v) {
+  if (!(v >= 0.0)) return 0;
+  if (v >= 18446744073709551616.0) return std::numeric_limits<u64>::max();
+  return static_cast<u64>(v);
+}
+
+u16 to_u16(double v) {
+  if (!(v >= 0.0)) return 0;
+  if (v >= 65535.0) return 0xffff;
+  return static_cast<u16>(v);
+}
+
 HistogramSnapshot hist_from_json(const JsonValue& v) {
   HistogramSnapshot h;
-  h.count = static_cast<u64>(v.num("count"));
-  h.min = static_cast<i64>(v.num("min"));
-  h.max = static_cast<i64>(v.num("max"));
+  h.count = to_u64(v.num("count"));
+  h.min = to_i64(v.num("min"));
+  h.max = to_i64(v.num("max"));
   h.mean = v.num("mean");
-  h.p50 = static_cast<i64>(v.num("p50"));
-  h.p90 = static_cast<i64>(v.num("p90"));
-  h.p95 = static_cast<i64>(v.num("p95"));
-  h.p99 = static_cast<i64>(v.num("p99"));
+  h.p50 = to_i64(v.num("p50"));
+  h.p90 = to_i64(v.num("p90"));
+  h.p95 = to_i64(v.num("p95"));
+  h.p99 = to_i64(v.num("p99"));
   return h;
 }
 
@@ -273,11 +297,11 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
     ++lineno;
     if (line.empty()) continue;
     JsonValue v = JsonValue::parse(line);
-    const int ver = static_cast<int>(v.num("v", -1));
-    if (ver != kReportSchemaVersion) {
+    const double ver = v.num("v", -1);
+    if (ver != static_cast<double>(kReportSchemaVersion)) {
       throw std::runtime_error("report: line " + std::to_string(lineno) +
                                ": unsupported schema version " +
-                               std::to_string(ver));
+                               std::to_string(to_i64(ver)));
     }
     const std::string type = v.str("type");
     if (!known_type(type)) {
@@ -288,10 +312,10 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
       saw_meta = true;
       rep.meta.scenario = v.str("scenario");
       rep.meta.tool = v.str("tool");
-      rep.meta.seed = static_cast<u64>(v.num("seed"));
-      rep.meta.ended_at = {static_cast<i64>(v.num("ended_at_ns"))};
+      rep.meta.seed = to_u64(v.num("seed"));
+      rep.meta.ended_at = {to_i64(v.num("ended_at_ns"))};
       rep.meta.passed = v.boolean("passed");
-      rep.firings_dropped = static_cast<u64>(v.num("firings_dropped"));
+      rep.firings_dropped = to_u64(v.num("firings_dropped"));
       if (v.has("nodes")) {
         for (const auto& n : v.at("nodes").as_array())
           rep.meta.nodes.push_back(n.as_string());
@@ -308,16 +332,16 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
       rep.metrics.push_back(std::move(s));
     } else if (type == "firing") {
       FiringRecord f;
-      f.at = {static_cast<i64>(v.num("at_ns"))};
+      f.at = {to_i64(v.num("at_ns"))};
       f.node_name = v.str("node");
-      f.rule = static_cast<u16>(v.num("rule", FiringRecord::kNone));
-      f.action = static_cast<u16>(v.num("action", FiringRecord::kNone));
-      f.filter = static_cast<u16>(v.num("filter", FiringRecord::kNone));
+      f.rule = to_u16(v.num("rule", FiringRecord::kNone));
+      f.action = to_u16(v.num("action", FiringRecord::kNone));
+      f.filter = to_u16(v.num("filter", FiringRecord::kNone));
       f.kind_name = intern_kind(v.str("kind"));
-      f.cascade_depth = static_cast<u16>(v.num("depth"));
-      f.packet_uid = static_cast<u64>(v.num("packet_uid"));
-      f.value = static_cast<i64>(v.num("value"));
-      f.value2 = static_cast<i64>(v.num("value2"));
+      f.cascade_depth = to_u16(v.num("depth"));
+      f.packet_uid = to_u64(v.num("packet_uid"));
+      f.value = to_i64(v.num("value"));
+      f.value2 = to_i64(v.num("value2"));
       // Snapshots come back keyed by name.  Rebuild the counter id space
       // in order of first appearance (filling rep.counter_names) so the
       // loaded report re-serializes to the same text.
@@ -331,7 +355,7 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
           }
           if (id == rep.counter_names.size()) rep.counter_names.push_back(name);
           f.counters[f.n_counters].id = id;
-          f.counters[f.n_counters].value = static_cast<i64>(val.as_number());
+          f.counters[f.n_counters].value = to_i64(val.as_number());
           ++f.n_counters;
         }
       }
@@ -339,23 +363,28 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
         for (const auto& [name, val] : v.at("terms").as_object()) {
           if (f.n_terms >= FiringRecord::kMaxTerms) break;
           // Keys are "t<id>"; recover the id for faithful re-serialization.
-          f.terms[f.n_terms].id = static_cast<u16>(
-              std::strtoul(name.c_str() + 1, nullptr, 10));
+          // A fuzzed key may be empty or not of that shape — fall back to 0
+          // rather than reading past the string.
+          u16 term_id = 0;
+          if (name.size() > 1 && name[0] == 't') {
+            term_id = static_cast<u16>(
+                std::strtoul(name.c_str() + 1, nullptr, 10) & 0xffffu);
+          }
+          f.terms[f.n_terms].id = term_id;
           f.terms[f.n_terms].state = val.as_bool();
           ++f.n_terms;
         }
       }
       rep.firings.push_back(std::move(f));
     } else if (type == "link_event") {
-      rep.link_events.push_back({{static_cast<i64>(v.num("at_ns"))},
-                                 v.str("node"), v.str("description")});
+      rep.link_events.push_back(
+          {{to_i64(v.num("at_ns"))}, v.str("node"), v.str("description")});
     } else if (type == "annotation") {
       rep.annotations.push_back(
-          {{static_cast<i64>(v.num("at_ns"))}, v.str("node"), v.str("text")});
+          {{to_i64(v.num("at_ns"))}, v.str("node"), v.str("text")});
     } else {  // error
-      rep.errors.push_back({{static_cast<i64>(v.num("at_ns"))},
-                            v.str("node"),
-                            static_cast<u16>(v.num("rule"))});
+      rep.errors.push_back(
+          {{to_i64(v.num("at_ns"))}, v.str("node"), to_u16(v.num("rule"))});
     }
   }
   if (!saw_meta) throw std::runtime_error("report: no meta event");

@@ -1,5 +1,7 @@
 #include "vwire/phy/medium.hpp"
 
+#include <stdexcept>
+
 #include "vwire/util/assert.hpp"
 #include "vwire/util/logging.hpp"
 
@@ -14,12 +16,12 @@ Medium::Medium(sim::Simulator& sim, LinkParams params, u64 seed)
 }
 
 void Medium::reseed(u64 seed) {
-  // One master seed fans out to independent streams via SplitMix64, so the
-  // bit-error lottery and the fault lotteries never share draws.
+  // One master seed fans out to independent *named* streams, so the
+  // bit-error lottery and the fault lotteries never share draws and a
+  // campaign replay cannot drift if one stream's draw order changes.
   seed_ = seed;
-  u64 s = seed;
-  bit_errors_.reseed(splitmix64(s));
-  fault_rng_ = Rng(splitmix64(s));
+  bit_errors_.reseed(derive_seed(seed, "phy.bit_error"));
+  fault_rng_ = Rng::derive(seed, "phy.fault");
 }
 
 PortId Medium::attach(MediumClient* client) {
@@ -38,18 +40,30 @@ bool Medium::port_up(PortId port) const {
   return ports_[port].up;
 }
 
+namespace {
+
+void check_port_arg(PortId port, std::size_t count) {
+  if (port >= count) {
+    throw std::invalid_argument("phy::Medium: port " + std::to_string(port) +
+                                " out of range (have " +
+                                std::to_string(count) + " ports)");
+  }
+}
+
+}  // namespace
+
 void Medium::set_link_fault(PortId port, const LinkFaultState& fault) {
-  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  check_port_arg(port, ports_.size());
   ports_[port].fault = fault;
 }
 
 const LinkFaultState& Medium::link_fault(PortId port) const {
-  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  check_port_arg(port, ports_.size());
   return ports_[port].fault;
 }
 
 void Medium::clear_link_fault(PortId port) {
-  VWIRE_ASSERT(port < ports_.size(), "bad port id");
+  check_port_arg(port, ports_.size());
   ports_[port].fault = LinkFaultState{};
 }
 

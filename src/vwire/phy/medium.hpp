@@ -131,6 +131,9 @@ class Medium {
   /// Attaches a client; the returned port is used for transmit().
   PortId attach(MediumClient* client);
 
+  /// Number of attached ports; valid PortIds are [0, port_count()).
+  std::size_t port_count() const { return ports_.size(); }
+
   /// Administratively downs/ups a port (the FAIL primitive downs the
   /// failed node's port; a down port neither sends nor receives).
   void set_port_up(PortId port, bool up);
@@ -138,6 +141,9 @@ class Medium {
 
   /// Runtime link-fault state: replaces, reads or clears the whole fault
   /// record of a port.  Takes effect on the next frame touching the port.
+  /// These are scheduling-time entry points (callers pass user-supplied
+  /// port indices), so an out-of-range port throws std::invalid_argument
+  /// rather than aborting mid-run.
   void set_link_fault(PortId port, const LinkFaultState& fault);
   const LinkFaultState& link_fault(PortId port) const;
   void clear_link_fault(PortId port);

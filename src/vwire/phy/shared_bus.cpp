@@ -9,8 +9,7 @@ SharedBus::SharedBus(sim::Simulator& sim, LinkParams params, u64 seed)
 
 void SharedBus::reseed(u64 seed) {
   Medium::reseed(seed);
-  u64 s = seed ^ 0xb5bab5ba;
-  backoff_rng_ = Rng(splitmix64(s));
+  backoff_rng_ = Rng::derive(seed, "phy.backoff");
 }
 
 void SharedBus::transmit(PortId port, net::Packet pkt) {

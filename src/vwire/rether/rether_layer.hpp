@@ -95,6 +95,13 @@ class RetherLayer final : public host::Layer {
   void stop();
 
   bool holding_token() const { return holding_; }
+  /// Sequence number of the token this node last held or passed.  With
+  /// holding_token(), lets observers distinguish the operational token
+  /// (maximum sequence) from a stale one a partitioned/evicted member is
+  /// still clutching — the protocol tolerates stale holders (their sends
+  /// are dropped unacknowledged), so only duplicate *live* tokens violate
+  /// ring uniqueness.
+  u32 token_seq() const { return token_seq_; }
   const Ring& ring() const { return ring_; }
   const RetherStats& stats() const { return stats_; }
   std::size_t queue_depth() const { return queue_.size(); }

@@ -292,6 +292,12 @@ void RllLayer::send_standalone_ack(PeerState& p) {
   pass_down(make_ack(p.peer_mac, node_->mac(), p.recv_next));
 }
 
+void RllLayer::audit_delivery(PeerState& p, u32 seq) {
+  if (p.audit_any && !seq_less(p.audit_last, seq)) ++stats_.deliver_misorder;
+  p.audit_any = true;
+  p.audit_last = seq;
+}
+
 void RllLayer::receive_up(net::Packet pkt) {
   if (pkt.ethertype() != static_cast<u16>(net::EtherType::kRll)) {
     pass_up(std::move(pkt));  // unencapsulated (e.g. broadcast passthrough)
@@ -346,18 +352,28 @@ void RllLayer::receive_up(net::Packet pkt) {
   }
 
   // In-order: deliver, then drain any buffered successors.
-  auto deliver = [this, &p](const net::Packet& data) {
+  auto deliver = [this, &p](const net::Packet& data, u32 seq) {
     if (auto restored = decapsulate(data)) {
+      audit_delivery(p, seq);
       ++stats_.delivered;
       ++p.unacked_rx;
       pass_up(std::move(*restored));
     }
+    if (test_dup_deliver_) {
+      // Planted fault: hand the same frame up a second time.  The audit
+      // sees the repeated sequence and counts the violation.
+      if (auto again = decapsulate(data)) {
+        audit_delivery(p, seq);
+        ++stats_.delivered;
+        pass_up(std::move(*again));
+      }
+    }
   };
-  deliver(pkt);
+  deliver(pkt, p.recv_next);
   ++p.recv_next;
   for (auto it = p.reorder.find(p.recv_next); it != p.reorder.end();
        it = p.reorder.find(p.recv_next)) {
-    deliver(it->second);
+    deliver(it->second, p.recv_next);
     p.reorder.erase(it);
     ++p.recv_next;
   }

@@ -97,6 +97,11 @@ struct RllStats {
   u64 rtt_samples{0};    ///< RTT measurements accepted (Karn-filtered)
   u64 probes_tx{0};
   u64 probes_rx{0};
+  /// Delivery audit: frames handed upward whose sequence did not strictly
+  /// advance the peer's delivered stream — a duplicate or regressed
+  /// delivery.  Always 0 unless the ARQ is broken; the chaos exactly-once
+  /// invariant checker reads this.
+  u64 deliver_misorder{0};
 };
 
 /// Single source of field names for formatting and registry exposure.
@@ -120,6 +125,7 @@ void for_each_field(const RllStats& s, Fn&& fn) {
   fn("rtt_samples", s.rtt_samples);
   fn("probes_tx", s.probes_tx);
   fn("probes_rx", s.probes_rx);
+  fn("deliver_misorder", s.deliver_misorder);
 }
 
 class RllLayer final : public host::Layer {
@@ -160,6 +166,12 @@ class RllLayer final : public host::Layer {
 
   /// Frames currently held for retransmission across all peers (test hook).
   std::size_t unacked_frames() const;
+
+  /// Test-only fault knob: while on, every in-order data frame is handed
+  /// upward twice.  Exists so chaos campaigns can plant a known-bad
+  /// duplicate-delivery fault and prove the exactly-once invariant checker
+  /// catches it; never enable outside tests.
+  void set_test_duplicate_delivery(bool on) { test_dup_deliver_ = on; }
 
   /// Introspection of one peer's ARQ state (test hook).
   struct PeerInfo {
@@ -213,6 +225,12 @@ class RllLayer final : public host::Layer {
     std::map<u32, net::Packet> reorder;  ///< OOO frames keyed by seq
     std::size_t unacked_rx{0};           ///< data since last ack we sent
     sim::Timer ack_timer;
+
+    // Delivery audit (stats_.deliver_misorder): the last sequence handed
+    // upward.  Deliberately NOT reset by crash/kReset — the delivered
+    // stream must advance strictly across the peer's whole lifetime.
+    bool audit_any{false};
+    u32 audit_last{0};
   };
 
   PeerState& peer(const net::MacAddress& mac);
@@ -232,6 +250,9 @@ class RllLayer final : public host::Layer {
   Duration rto_for(const PeerState& p) const;
   void take_rtt_sample(PeerState& p, Duration rtt);
 
+  /// Records one upward delivery of `seq` in the peer's audit trail.
+  void audit_delivery(PeerState& p, u32 seq);
+
   /// Quarantines the peer: purge traffic, notify, start probing.
   void link_down(PeerState& p);
   /// Revives a quarantined peer and flushes traffic queued while down.
@@ -243,6 +264,7 @@ class RllLayer final : public host::Layer {
   obs::Histogram* rtt_hist_{nullptr};  ///< accepted RTT samples (µs)
   obs::Histogram* rto_hist_{nullptr};  ///< effective RTO after each sample (µs)
   LinkEventFn link_listener_;
+  bool test_dup_deliver_{false};
   std::unordered_map<net::MacAddress, std::unique_ptr<PeerState>> peers_;
 };
 

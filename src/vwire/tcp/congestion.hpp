@@ -38,6 +38,7 @@ class CongestionControl {
   u32 cwnd() const { return cwnd_; }
   u32 ssthresh() const { return ssthresh_; }
   bool in_slow_start() const { return cwnd_ <= ssthresh_; }
+  const CongestionParams& params() const { return params_; }
 
   /// A new cumulative acknowledgement advanced snd_una by `acked_segments`.
   void on_new_ack(u32 acked_segments = 1);

@@ -39,10 +39,10 @@ TcpConnection::TcpConnection(sim::Simulator& sim, ConnKey key,
       ack_timer_(sim, [this] { on_delayed_ack(); }),
       time_wait_timer_(sim, [this] { on_time_wait_done(); }) {
   // Deterministic ISS derived from the four-tuple: replays are identical.
-  u64 seed = (static_cast<u64>(local_ip.value()) << 32) ^
-             (static_cast<u64>(key.remote_ip.value()) << 8) ^
-             (static_cast<u64>(key.local_port) << 16) ^ key.remote_port;
-  iss_ = static_cast<u32>(splitmix64(seed) | 1);
+  u64 tuple = (static_cast<u64>(local_ip.value()) << 32) ^
+              (static_cast<u64>(key.remote_ip.value()) << 8) ^
+              (static_cast<u64>(key.local_port) << 16) ^ key.remote_port;
+  iss_ = static_cast<u32>(derive_seed(tuple, "tcp.iss") | 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -218,8 +218,7 @@ struct hash<vwire::tcp::ConnKey> {
     vwire::u64 v = (static_cast<vwire::u64>(k.remote_ip.value()) << 32) |
                    (static_cast<vwire::u64>(k.remote_port) << 16) |
                    k.local_port;
-    vwire::u64 s = v;
-    return static_cast<size_t>(vwire::splitmix64(s));
+    return static_cast<size_t>(vwire::mix64(v));
   }
 };
 }  // namespace std

@@ -36,6 +36,13 @@ class TcpLayer {
 
   std::shared_ptr<TcpConnection> find(const ConnKey& key) const;
   std::size_t connection_count() const { return conns_.size(); }
+
+  /// Visits every live connection (invariant checkers sample congestion
+  /// state through here).  Do not open/close connections from `fn`.
+  template <class Fn>
+  void for_each_connection(Fn&& fn) const {
+    for (const auto& [key, conn] : conns_) fn(*conn);
+  }
   const TcpLayerStats& stats() const { return stats_; }
   host::Node& node() { return node_; }
   const TcpParams& defaults() const { return defaults_; }

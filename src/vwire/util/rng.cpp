@@ -9,6 +9,21 @@ u64 splitmix64(u64& state) {
   return z ^ (z >> 31);
 }
 
+u64 mix64(u64 v) { return splitmix64(v); }
+
+u64 derive_seed(u64 parent, std::string_view label, u64 index) {
+  // Absorb the label byte by byte, then the index, each through a full
+  // SplitMix64 step, so "a"/"b" and ("x",1)/("x",2) land in unrelated
+  // streams and a long common prefix still avalanches.
+  u64 h = parent;
+  for (unsigned char c : label) {
+    u64 s = h + c;
+    h = splitmix64(s);
+  }
+  u64 s = h ^ index;
+  return splitmix64(s);
+}
+
 namespace {
 
 inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
@@ -57,5 +72,9 @@ bool Rng::chance(double p) {
 }
 
 Rng Rng::fork() { return Rng(next()); }
+
+Rng Rng::derive(u64 parent, std::string_view label, u64 index) {
+  return Rng(derive_seed(parent, label, index));
+}
 
 }  // namespace vwire

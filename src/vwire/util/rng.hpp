@@ -9,12 +9,26 @@
 // Vigna's recommendation.
 #pragma once
 
+#include <string_view>
+
 #include "vwire/util/types.hpp"
 
 namespace vwire {
 
 /// SplitMix64 step; used standalone for hashing and for seeding.
 u64 splitmix64(u64& state);
+
+/// Stateless 64-bit finalizer (one SplitMix64 step) for hash functors that
+/// need avalanche behaviour over a packed key.
+u64 mix64(u64 v);
+
+/// Named child-stream derivation: a deterministic seed for the stream
+/// `label[index]` under `parent`.  Every module that needs its own RNG
+/// stream derives it through here — the (label, index) pair is a node in
+/// the seed-derivation tree (DESIGN.md §8), so reordering one module's
+/// draws, or adding a new stream, can never shift another module's stream.
+/// Distinct labels and distinct indices give independent streams.
+u64 derive_seed(u64 parent, std::string_view label, u64 index = 0);
 
 class Rng {
  public:
@@ -37,6 +51,9 @@ class Rng {
 
   /// A fresh generator whose stream is independent of this one.
   Rng fork();
+
+  /// A generator on the named child stream of `parent` (derive_seed).
+  static Rng derive(u64 parent, std::string_view label, u64 index = 0);
 
  private:
   u64 s_[4];

@@ -1,0 +1,199 @@
+// End-to-end campaign engine tests: clean exploration, bit-identical
+// replay, serial/parallel equivalence, planted-bug detection with ddmin
+// minimization, and artifact round-trips.
+#include <gtest/gtest.h>
+
+#include "vwire/chaos/campaign.hpp"
+#include "vwire/obs/json.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+CampaignConfig small_fig7(u64 seed) {
+  CampaignConfig cfg;
+  cfg.fixture = "fig7";
+  cfg.seed = seed;
+  cfg.trials = 3;
+  cfg.minimize = false;
+  return cfg;
+}
+
+FaultSchedule planted_dup_schedule() {
+  FaultSchedule bad;
+  bad.campaign_seed = 42;
+  bad.trial_index = 9001;
+  FaultEvent decoy_cut;
+  decoy_cut.kind = FaultKind::kLinkCut;
+  decoy_cut.node = "node1";
+  decoy_cut.at = millis(20);
+  decoy_cut.until = millis(35);
+  FaultEvent decoy_drop;
+  decoy_drop.kind = FaultKind::kFslDrop;
+  decoy_drop.pkt_lo = 5;
+  decoy_drop.pkt_hi = 7;
+  FaultEvent dup;
+  dup.kind = FaultKind::kRllDupDeliver;
+  dup.node = "node2";
+  dup.at = millis(10);
+  dup.until = millis(1000);
+  bad.events = {decoy_cut, decoy_drop, dup};
+  return bad;
+}
+
+TEST(Campaign, SmallFig7CampaignIsClean) {
+  Campaign campaign(small_fig7(42));
+  CampaignSummary s = campaign.run();
+  EXPECT_TRUE(s.ok()) << s.to_json();
+  EXPECT_EQ(s.trials_run, 3u);
+  EXPECT_FALSE(s.repro.has_value());
+  for (const TrialResult& r : s.results) {
+    EXPECT_TRUE(r.ran);
+    EXPECT_TRUE(r.scenario_passed);
+  }
+}
+
+TEST(Campaign, ReplayIsByteIdentical) {
+  Campaign campaign(small_fig7(42));
+  TrialResult a = campaign.run_trial(1);
+  TrialResult b = campaign.run_trial(1);
+  ASSERT_FALSE(a.telemetry.empty());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.telemetry, b.telemetry)
+      << "same (campaign_seed, trial_index) must reproduce the run "
+         "byte-for-byte";
+}
+
+TEST(Campaign, DistinctTrialsDiffer) {
+  Campaign campaign(small_fig7(42));
+  TrialResult a = campaign.run_trial(0);
+  TrialResult b = campaign.run_trial(1);
+  EXPECT_FALSE(a.schedule == b.schedule);
+}
+
+TEST(Campaign, WorkerPoolMatchesSerial) {
+  CampaignConfig serial = small_fig7(7);
+  serial.trials = 4;
+  serial.keep_telemetry = true;
+  CampaignConfig pooled = serial;
+  pooled.workers = 2;
+  CampaignSummary a = Campaign(serial).run();
+  CampaignSummary b = Campaign(pooled).run();
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].schedule, b.results[i].schedule);
+    EXPECT_EQ(a.results[i].violations.size(), b.results[i].violations.size());
+    EXPECT_EQ(a.results[i].telemetry, b.results[i].telemetry)
+        << "trial " << i << " must not depend on which thread ran it";
+  }
+}
+
+TEST(Campaign, PlantedDuplicateDeliveryIsCaught) {
+  Campaign campaign(small_fig7(42));
+  TrialResult r = campaign.run_schedule(planted_dup_schedule());
+  ASSERT_FALSE(r.ok());
+  bool saw = false;
+  for (const Violation& v : r.violations) {
+    saw = saw || v.invariant == "rll-exactly-once";
+  }
+  EXPECT_TRUE(saw) << "expected the exactly-once audit to fire";
+}
+
+TEST(Campaign, MinimizationStripsDecoys) {
+  Campaign campaign(small_fig7(42));
+  const FaultSchedule bad = planted_dup_schedule();
+  const FaultSchedule minimized =
+      minimize_schedule(bad, [&campaign](const FaultSchedule& cand) {
+        try {
+          return !campaign.run_schedule(cand).ok();
+        } catch (const std::exception&) {
+          return true;
+        }
+      });
+  EXPECT_LE(minimized.events.size(), 3u);
+  ASSERT_FALSE(minimized.events.empty());
+  bool kept = false;
+  for (const FaultEvent& e : minimized.events) {
+    kept = kept || e.kind == FaultKind::kRllDupDeliver;
+  }
+  EXPECT_TRUE(kept) << "ddmin must keep the causal event";
+  // The 1-minimal result for this plant is the dup event alone.
+  EXPECT_EQ(minimized.events.size(), 1u);
+}
+
+TEST(Campaign, CampaignRunAttachesMinimizedRepro) {
+  // Make trial 0 of the campaign itself fail by planting the knob through
+  // the generator's own space: run the planted schedule via a campaign
+  // whose minimize step is exercised end-to-end.
+  CampaignConfig cfg = small_fig7(42);
+  cfg.trials = 1;
+  cfg.minimize = true;
+  Campaign campaign(cfg);
+  // Sanity: the campaign's own randomized trial is clean...
+  EXPECT_TRUE(campaign.run().ok());
+  // ...so drive Campaign::run_schedule + minimize_schedule directly and
+  // package the artifact the way Campaign::run() does on failure.
+  const FaultSchedule bad = planted_dup_schedule();
+  TrialResult failing = campaign.run_schedule(bad);
+  ASSERT_FALSE(failing.ok());
+  ReproArtifact art;
+  art.fixture = cfg.fixture;
+  art.schedule = minimize_schedule(bad, [&](const FaultSchedule& c) {
+    return !campaign.run_schedule(c).ok();
+  });
+  art.original_events = bad.events.size();
+  art.violations = failing.violations;
+  const std::string json = art.to_json();
+  ReproArtifact back = ReproArtifact::from_json(json);
+  EXPECT_EQ(back.fixture, art.fixture);
+  EXPECT_EQ(back.schedule, art.schedule);
+  EXPECT_EQ(back.original_events, art.original_events);
+  ASSERT_EQ(back.violations.size(), art.violations.size());
+  EXPECT_EQ(back.violations[0].invariant, art.violations[0].invariant);
+  // A loaded artifact replays to the same verdict.
+  EXPECT_FALSE(campaign.run_schedule(back.schedule).ok());
+}
+
+TEST(Campaign, UnknownDupNodeRejected) {
+  Campaign campaign(small_fig7(42));
+  FaultSchedule bad;
+  FaultEvent dup;
+  dup.kind = FaultKind::kRllDupDeliver;
+  dup.node = "no-such-node";
+  bad.events = {dup};
+  EXPECT_THROW((void)campaign.run_schedule(bad), std::exception);
+}
+
+TEST(Campaign, SummaryJsonIsWellFormed) {
+  CampaignConfig cfg = small_fig7(11);
+  cfg.trials = 2;
+  CampaignSummary s = Campaign(cfg).run();
+  const obs::JsonValue v = obs::JsonValue::parse(s.to_json());
+  EXPECT_EQ(v.str("type"), "chaos_campaign");
+  EXPECT_EQ(v.str("fixture"), "fig7");
+  EXPECT_EQ(v.num("trials_run"), 2.0);
+  EXPECT_EQ(v.at("trials").as_array().size(), 2u);
+}
+
+TEST(Campaign, UnknownFixtureRejected) {
+  CampaignConfig cfg;
+  cfg.fixture = "bogus";
+  Campaign campaign(cfg);
+  EXPECT_THROW((void)campaign.run_trial(0), std::invalid_argument);
+}
+
+// The organic finding (EXPERIMENTS.md §chaos): on the rether fixture, two
+// healed partitions can both regenerate a token from the same observed
+// history, colliding on the same sequence number — a genuine split-brain
+// the uniqueness probe catches.  Fully deterministic given (seed, index).
+TEST(Campaign, RetherSplitBrainTrialReproduces) {
+  CampaignConfig cfg;
+  cfg.fixture = "rether";
+  cfg.seed = 5;
+  Campaign campaign(cfg);
+  TrialResult r = campaign.run_trial(33);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations[0].invariant, "rether-single-token");
+}
+
+}  // namespace
+}  // namespace vwire::chaos

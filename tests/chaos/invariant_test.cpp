@@ -1,0 +1,187 @@
+// Invariant checkers against deliberately-broken state.  A checker that
+// never fires is worse than no checker — every pure core gets doctored
+// data it must reject, and the live paths (RLL duplicate delivery, a forged
+// second Rether token) prove the wiring from real layers to the cores.
+#include <gtest/gtest.h>
+
+#include "vwire/chaos/invariants.hpp"
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/rether/rether_layer.hpp"
+#include "vwire/udp/echo.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+// --- pure cores on doctored data -----------------------------------------
+
+TEST(InvariantCore, RllExactlyOnceFiresOnMisorder) {
+  rll::RllStats ok{};
+  EXPECT_FALSE(check_rll_exactly_once(ok).has_value());
+  rll::RllStats bad{};
+  bad.deliver_misorder = 3;
+  auto msg = check_rll_exactly_once(bad);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_NE(msg->find("3"), std::string::npos);
+}
+
+TEST(InvariantCore, TcpWindowSanity) {
+  tcp::CongestionParams p;
+  EXPECT_FALSE(check_tcp_window_sanity(1, p.min_ssthresh, p).has_value());
+  EXPECT_TRUE(check_tcp_window_sanity(0, p.initial_ssthresh, p).has_value());
+  ASSERT_GT(p.min_ssthresh, 0u);
+  EXPECT_TRUE(
+      check_tcp_window_sanity(4, p.min_ssthresh - 1, p).has_value());
+}
+
+TEST(InvariantCore, TcpIntegrityFiresOnCorruptBytes) {
+  EXPECT_FALSE(check_tcp_integrity(0).has_value());
+  EXPECT_TRUE(check_tcp_integrity(1).has_value());
+}
+
+TEST(InvariantCore, TokenUniqueness) {
+  EXPECT_FALSE(check_token_holders(0).has_value());
+  EXPECT_FALSE(check_token_holders(1).has_value());
+  EXPECT_TRUE(check_token_holders(2).has_value());
+}
+
+TEST(InvariantCore, RetherLiveness) {
+  EXPECT_FALSE(check_rether_liveness(0, 0).has_value()) << "no ring: vacuous";
+  EXPECT_FALSE(check_rether_liveness(3, 3).has_value());
+  EXPECT_TRUE(check_rether_liveness(2, 3).has_value());
+}
+
+TEST(InvariantCore, EpochMonotonicity) {
+  EXPECT_FALSE(check_epoch_advanced(0, 1).has_value());
+  EXPECT_TRUE(check_epoch_advanced(3, 3).has_value());
+  EXPECT_TRUE(check_epoch_advanced(4, 3).has_value());
+}
+
+TEST(InvariantCore, ConservationFiresOnUnaccountedFrame) {
+  phy::MediumStats m{};
+  m.frames_offered = 10;
+  m.frames_delivered = 7;
+  m.frames_dropped_cut = 2;
+  m.frames_dropped_loss = 1;
+  EXPECT_FALSE(check_conservation(m).has_value());
+  ++m.frames_offered;  // one frame vanished without an attributed cause
+  EXPECT_TRUE(check_conservation(m).has_value());
+}
+
+// --- registry bookkeeping ------------------------------------------------
+
+TEST(InvariantSet, DedupsByNameAndCountsRefires) {
+  InvariantSet inv;
+  int healthy_calls = 0;
+  inv.add_probe("always-bad", [] {
+    return std::optional<std::string>("broken");
+  });
+  inv.add_probe("healthy", [&healthy_calls] {
+    ++healthy_calls;
+    return std::optional<std::string>();
+  });
+  inv.run_probes({1000});
+  inv.run_probes({2000});
+  inv.run_probes({3000});
+  ASSERT_EQ(inv.violations().size(), 1u);
+  EXPECT_EQ(inv.violations()[0].invariant, "always-bad");
+  EXPECT_EQ(inv.violations()[0].count, 3u);
+  EXPECT_EQ(inv.violations()[0].first_at.ns, 1000);
+  EXPECT_EQ(healthy_calls, 3);
+  EXPECT_FALSE(inv.ok());
+}
+
+TEST(InvariantSet, FinalsRunSeparatelyFromProbes) {
+  InvariantSet inv;
+  inv.add_final("final-bad", [] {
+    return std::optional<std::string>("post-run breakage");
+  });
+  inv.run_probes({10});
+  EXPECT_TRUE(inv.ok()) << "finals must not run on the probe path";
+  inv.run_final({20});
+  ASSERT_EQ(inv.violations().size(), 1u);
+  EXPECT_EQ(inv.violations()[0].first_at.ns, 20);
+}
+
+// --- live broken fixtures ------------------------------------------------
+
+// The test-only RLL knob hands every in-order frame up twice; the always-on
+// delivery audit must count each repeat, and the core must translate that
+// into a violation.
+TEST(InvariantLive, RllDuplicateDeliveryIsDetected) {
+  Testbed tb;
+  tb.add_node("client");
+  tb.add_node("server");
+  udp::UdpLayer cu(tb.node("client")), su(tb.node("server"));
+  udp::EchoServer server(su, 7);
+  udp::EchoClient::Params cp;
+  cp.server_ip = tb.node("server").ip();
+  cp.server_port = 7;
+  cp.local_port = 40000;
+  cp.count = 10;
+  cp.interval = millis(2);
+  udp::EchoClient client(cu, cp);
+
+  tb.handles("server").rll->set_test_duplicate_delivery(true);
+  client.start();
+  tb.simulator().run_until(TimePoint{} + millis(200));
+
+  const rll::RllStats& s = tb.handles("server").rll->stats();
+  EXPECT_GT(s.deliver_misorder, 0u);
+  auto msg = check_rll_exactly_once(s);
+  ASSERT_TRUE(msg.has_value());
+
+  // Control: the client side ran without the knob and must stay clean.
+  EXPECT_FALSE(
+      check_rll_exactly_once(tb.handles("client").rll->stats()).has_value());
+}
+
+// A forged token — same sequence number as the live one, injected straight
+// onto the wire — must produce a second live holder.  Equal sequence is the
+// nasty case: the stale-token defense only drops *strictly older* tokens.
+TEST(InvariantLive, ForgedSecondTokenBreaksUniqueness) {
+  Testbed tb;
+  tb.add_node("r1");
+  tb.add_node("r2");
+  tb.add_node("r3");
+  std::vector<net::MacAddress> ring = {tb.node("r1").mac(),
+                                       tb.node("r2").mac(),
+                                       tb.node("r3").mac()};
+  rether::RetherParams rp;
+  rp.idle_hold = seconds(5);  // freeze the holder so the race is stable
+  std::vector<rether::RetherLayer*> layers;
+  for (const char* n : {"r1", "r2", "r3"}) {
+    auto layer =
+        std::make_unique<rether::RetherLayer>(tb.simulator(), rp, ring);
+    layers.push_back(static_cast<rether::RetherLayer*>(
+        &tb.node(n).add_layer(std::move(layer))));
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    layers[i]->start(/*with_token=*/i == 0);
+  }
+  tb.simulator().run_until(TimePoint{} + millis(1));
+  ASSERT_TRUE(layers[0]->holding_token());
+
+  // Forge a token claiming r1's current sequence and hand it to r3.
+  rether::RetherFrame forged;
+  forged.op = rether::RetherOp::kToken;
+  forged.token_seq = layers[0]->token_seq();
+  forged.ring = ring;
+  forged.rt_quota = {0, 0, 0};
+  tb.medium().transmit(tb.node("r2").nic().port(),
+                       forged.build(tb.node("r3").mac(), tb.node("r2").mac()));
+  tb.simulator().run_until(TimePoint{} + millis(5));
+
+  u32 max_seq = 0;
+  for (const rether::RetherLayer* l : layers) {
+    if (l->holding_token()) max_seq = std::max(max_seq, l->token_seq());
+  }
+  std::size_t live_holders = 0;
+  for (const rether::RetherLayer* l : layers) {
+    if (l->holding_token() && l->token_seq() == max_seq) ++live_holders;
+  }
+  EXPECT_EQ(live_holders, 2u);
+  EXPECT_TRUE(check_token_holders(live_holders).has_value());
+}
+
+}  // namespace
+}  // namespace vwire::chaos

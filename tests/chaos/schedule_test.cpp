@@ -1,0 +1,197 @@
+// Schedule generation and serialization: every draw must be a pure function
+// of (campaign_seed, trial_index), every generated event must respect its
+// template bounds, and JSON round-trips must be lossless — the repro
+// artifact depends on all three.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vwire/chaos/generator.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+ScheduleTemplate wide_template() {
+  ScheduleTemplate t;
+  t.min_events = 2;
+  t.max_events = 6;
+  t.allowed = {FaultKind::kCrash,    FaultKind::kLinkCut,
+               FaultKind::kLinkFlap, FaultKind::kLinkDegrade,
+               FaultKind::kFslDrop,  FaultKind::kFslDelay,
+               FaultKind::kFslDup,   FaultKind::kFslModify};
+  t.targets = {"a", "b", "c"};
+  return t;
+}
+
+TEST(Generator, DeterministicPerSeedAndIndex) {
+  const ScheduleTemplate t = wide_template();
+  for (u64 i = 0; i < 20; ++i) {
+    EXPECT_EQ(generate_schedule(99, i, t), generate_schedule(99, i, t));
+  }
+}
+
+TEST(Generator, IndexSeparatesStreams) {
+  const ScheduleTemplate t = wide_template();
+  int distinct = 0;
+  const FaultSchedule base = generate_schedule(99, 0, t);
+  for (u64 i = 1; i <= 10; ++i) {
+    if (!(generate_schedule(99, i, t).events == base.events)) ++distinct;
+  }
+  EXPECT_GE(distinct, 9);  // collisions should be essentially impossible
+}
+
+TEST(Generator, SeedSeparatesStreams) {
+  const ScheduleTemplate t = wide_template();
+  const FaultSchedule a = generate_schedule(1, 4, t);
+  const FaultSchedule b = generate_schedule(2, 4, t);
+  EXPECT_FALSE(a.events == b.events);
+}
+
+TEST(Generator, RecordsProvenance) {
+  const FaultSchedule s = generate_schedule(77, 13, wide_template());
+  EXPECT_EQ(s.campaign_seed, 77u);
+  EXPECT_EQ(s.trial_index, 13u);
+}
+
+TEST(Generator, EventsRespectTemplateBounds) {
+  ScheduleTemplate t = wide_template();
+  t.permanent_chance = 0.0;
+  for (u64 i = 0; i < 200; ++i) {
+    const FaultSchedule s = generate_schedule(5, i, t);
+    ASSERT_GE(s.events.size(), t.min_events);
+    ASSERT_LE(s.events.size(), t.max_events);
+    for (const FaultEvent& e : s.events) {
+      EXPECT_NE(std::find(t.allowed.begin(), t.allowed.end(), e.kind),
+                t.allowed.end());
+      EXPECT_GE(e.at.ns, 0);
+      EXPECT_LE(e.at.ns, t.horizon.ns);
+      if (!is_fsl_kind(e.kind)) {
+        EXPECT_NE(std::find(t.targets.begin(), t.targets.end(), e.node),
+                  t.targets.end());
+        EXPECT_GT(e.until.ns, e.at.ns) << "permanent_chance=0 ⇒ all heal";
+      }
+      switch (e.kind) {
+        case FaultKind::kLinkFlap:
+          EXPECT_GE(e.flap_up.ns, t.flap_min.ns);
+          EXPECT_LE(e.flap_up.ns, t.flap_max.ns);
+          EXPECT_GE(e.flap_down.ns, t.flap_min.ns);
+          EXPECT_LE(e.flap_down.ns, t.flap_max.ns);
+          break;
+        case FaultKind::kLinkDegrade:
+          EXPECT_TRUE(e.loss_tx > 0.0 || e.loss_rx > 0.0 ||
+                      e.extra_latency.ns > 0)
+              << "degrade must have at least one active knob";
+          EXPECT_LE(e.loss_tx, t.max_loss);
+          EXPECT_LE(e.loss_rx, t.max_loss);
+          break;
+        case FaultKind::kFslDrop:
+        case FaultKind::kFslDelay:
+        case FaultKind::kFslDup:
+        case FaultKind::kFslModify:
+          EXPECT_GE(e.pkt_lo, 1u);
+          EXPECT_GE(e.pkt_hi, e.pkt_lo);
+          EXPECT_LE(e.pkt_hi - e.pkt_lo + 1, t.max_window);
+          if (e.kind == FaultKind::kFslDelay) {
+            EXPECT_GE(e.delay.ns, millis(1).ns);
+            EXPECT_EQ(e.delay.ns % 1'000'000, 0) << "whole milliseconds";
+          }
+          if (e.kind == FaultKind::kFslModify) {
+            EXPECT_GE(e.mod_offset, t.mod_offset_lo);
+            EXPECT_LE(e.mod_offset, t.mod_offset_hi);
+            EXPECT_NE(e.mod_value, 0u);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(Generator, EventsSortedByTime) {
+  for (u64 i = 0; i < 50; ++i) {
+    const FaultSchedule s = generate_schedule(31, i, wide_template());
+    EXPECT_TRUE(std::is_sorted(
+        s.events.begin(), s.events.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; }));
+  }
+}
+
+TEST(Schedule, JsonRoundTripIsLossless) {
+  ScheduleTemplate t = wide_template();
+  for (u64 i = 0; i < 50; ++i) {
+    const FaultSchedule s = generate_schedule(1234, i, t);
+    const FaultSchedule back = FaultSchedule::from_json(s.to_json());
+    EXPECT_EQ(s, back) << "trial " << i;
+    // Byte-stable: serializing the round-tripped schedule again must
+    // produce the identical document (repro artifacts get diffed).
+    EXPECT_EQ(s.to_json(), back.to_json());
+  }
+}
+
+TEST(Schedule, LoaderRejectsBadDocuments) {
+  const FaultSchedule s = generate_schedule(1, 1, wide_template());
+  std::string good = s.to_json();
+  EXPECT_THROW(FaultSchedule::from_json("{"), std::runtime_error);
+  EXPECT_THROW(FaultSchedule::from_json("{\"v\":2,\"type\":\"chaos_schedule\"}"),
+               std::runtime_error);
+  EXPECT_THROW(FaultSchedule::from_json("{\"v\":1,\"type\":\"nope\"}"),
+               std::runtime_error);
+  std::string bad_kind = good;
+  const std::string needle = "\"kind\":\"";
+  bad_kind.replace(bad_kind.find(needle) + needle.size(), 4, "zzzz");
+  EXPECT_THROW(FaultSchedule::from_json(bad_kind), std::runtime_error);
+}
+
+TEST(Schedule, FslRulesMaterializeOnlyFslKinds) {
+  FaultSchedule s;
+  FaultEvent drop;
+  drop.kind = FaultKind::kFslDrop;
+  drop.pkt_lo = 5;
+  drop.pkt_hi = 9;
+  FaultEvent delay;
+  delay.kind = FaultKind::kFslDelay;
+  delay.pkt_lo = 11;
+  delay.pkt_hi = 11;
+  delay.delay = millis(7);
+  FaultEvent dup;
+  dup.kind = FaultKind::kFslDup;
+  dup.pkt_lo = 2;
+  dup.pkt_hi = 3;
+  FaultEvent mod;
+  mod.kind = FaultKind::kFslModify;
+  mod.pkt_lo = 21;
+  mod.mod_offset = 64;
+  mod.mod_value = 0x5a;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.node = "n";
+  s.events = {drop, delay, dup, mod, crash};
+
+  const std::string rules = fsl_rules(s, {"f", "n1", "n2", "CNT"});
+  EXPECT_NE(rules.find("((CNT >= 5) && (CNT <= 9)) >> DROP(f, n1, n2, RECV);"),
+            std::string::npos);
+  EXPECT_NE(rules.find("DELAY(f, n1, n2, RECV, 7ms);"), std::string::npos);
+  EXPECT_NE(rules.find("((CNT >= 2) && (CNT <= 3)) >> DUP(f, n1, n2, RECV);"),
+            std::string::npos);
+  EXPECT_NE(rules.find("((CNT = 21)) >> MODIFY(f, n1, n2, RECV, (64 1 0x5a));"),
+            std::string::npos);
+  EXPECT_EQ(rules.find("crash"), std::string::npos)
+      << "non-FSL kinds must not leak into the script";
+}
+
+TEST(Schedule, FaultKindNamesRoundTrip) {
+  for (FaultKind k :
+       {FaultKind::kCrash, FaultKind::kLinkCut, FaultKind::kLinkFlap,
+        FaultKind::kLinkDegrade, FaultKind::kFslDrop, FaultKind::kFslDelay,
+        FaultKind::kFslDup, FaultKind::kFslModify,
+        FaultKind::kRllDupDeliver}) {
+    auto back = fault_kind_from(to_string(k));
+    ASSERT_TRUE(back.has_value()) << to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(fault_kind_from("frobnicate").has_value());
+}
+
+}  // namespace
+}  // namespace vwire::chaos

@@ -1,0 +1,130 @@
+// Fuzz tests for the telemetry JSONL loader: hostile or damaged input must
+// either load or throw std::runtime_error — never crash, never trip UB
+// (out-of-range casts, NaN conversions), never hang.  Chaos repro artifacts
+// are hand-editable files, so the loader sees untrusted bytes routinely.
+#include <gtest/gtest.h>
+
+#include "vwire/obs/report.hpp"
+#include "vwire/util/rng.hpp"
+
+namespace vwire::obs {
+namespace {
+
+/// A well-formed report exercising every event type the writer emits.
+std::string corpus_jsonl() {
+  ScenarioReport r;
+  r.meta.scenario = "fuzz";
+  r.meta.passed = true;
+  r.meta.seed = 0xdeadbeefcafe;
+  r.meta.ended_at = {123456789};
+  MetricsRegistry reg;
+  reg.counter("phy.medium.frames_offered") = 41;
+  reg.histogram("rll.n0.rtt_us").record(250);
+  r.metrics = reg.snapshot();
+  FiringRecord f;
+  f.at = {1000};
+  f.node = 1;
+  f.rule = 2;
+  f.action = 1;
+  f.kind = 1;
+  f.kind_name = "DROP";
+  f.packet_uid = 77;
+  f.n_counters = 1;
+  f.counters[0] = {0, 42};
+  f.n_terms = 2;
+  f.terms[0] = {0, true};
+  f.terms[1] = {1, false};
+  r.firings.push_back(f);
+  r.counter_names = {"CNT"};
+  r.link_events.push_back({{2000}, "n0", "link down"});
+  r.annotations.push_back({{3000}, "n1", "note"});
+  r.errors.push_back({{4000}, "n1", 3});
+  return r.to_jsonl();
+}
+
+void must_not_crash(const std::string& text) {
+  try {
+    ScenarioReport back = parse_report_jsonl(text);
+    (void)back;
+  } catch (const std::runtime_error&) {
+    // rejection is fine; crashing or UB is not
+  }
+}
+
+TEST(ReportFuzz, CorpusRoundTrips) {
+  const std::string text = corpus_jsonl();
+  ScenarioReport back = parse_report_jsonl(text);
+  EXPECT_EQ(back.meta.scenario, "fuzz");
+  EXPECT_EQ(back.firings.size(), 1u);
+  EXPECT_EQ(back.link_events.size(), 1u);
+  EXPECT_EQ(back.errors.size(), 1u);
+}
+
+TEST(ReportFuzz, EveryTruncationHandled) {
+  const std::string text = corpus_jsonl();
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    must_not_crash(text.substr(0, len));
+  }
+}
+
+TEST(ReportFuzz, SingleByteMutationsHandled) {
+  const std::string text = corpus_jsonl();
+  Rng rng(0x0b5e);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string bad = text;
+    bad[i] = static_cast<char>(rng.below(256));
+    must_not_crash(bad);
+  }
+}
+
+TEST(ReportFuzz, RandomSpliceMutationsHandled) {
+  const std::string text = corpus_jsonl();
+  Rng rng(0x511ce);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bad = text;
+    const int edits = 1 + static_cast<int>(rng.below(8));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.below(3)) {
+        case 0:  // overwrite a byte
+          bad[rng.below(bad.size())] = static_cast<char>(rng.below(256));
+          break;
+        case 1:  // delete a span
+          if (bad.size() > 4) {
+            std::size_t at = rng.below(bad.size() - 2);
+            bad.erase(at, 1 + rng.below(3));
+          }
+          break;
+        default:  // insert structural noise
+          bad.insert(rng.below(bad.size()),
+                     std::string(1, "{}[],:\"-0e9"[rng.below(11)]));
+          break;
+      }
+    }
+    must_not_crash(bad);
+  }
+}
+
+TEST(ReportFuzz, HostileNumbersSaturate) {
+  // Out-of-range, negative and NaN-ish numeric fields must saturate, not
+  // invoke UB.  (The sanitizer build is the real referee here.)
+  const char* hostile[] = {
+      R"({"v":1,"type":"meta","scenario":"x","passed":true,"seed":1e300,)"
+      R"("ended_at_ns":-1e300,"firings_dropped":9e99})",
+      R"({"v":1,"type":"meta","scenario":"x","passed":false,"seed":-5,)"
+      R"("ended_at_ns":1e18,"firings_dropped":-2})",
+      R"({"v":1.0000001,"type":"meta","scenario":"x","passed":true})",
+  };
+  for (const char* h : hostile) must_not_crash(h);
+}
+
+TEST(ReportFuzz, RandomGarbageLinesHandled) {
+  Rng rng(0x6a4ba6e);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string junk(rng.below(96), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.below(256));
+    must_not_crash(junk);
+  }
+}
+
+}  // namespace
+}  // namespace vwire::obs

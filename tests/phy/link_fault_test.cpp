@@ -285,5 +285,20 @@ TEST(LinkFault, ReseedRestartsEveryStream) {
   EXPECT_EQ(t.lan.seed(), 5u);
 }
 
+TEST(LinkFault, OutOfRangePortRejected) {
+  // Fault APIs validate the port eagerly: a typo'd port must fail loudly at
+  // the call site, not silently arm a fault on nothing.
+  LanPair t;
+  ASSERT_EQ(t.lan.port_count(), 2u);
+  LinkFaultState cut;
+  cut.tx.cut = true;
+  EXPECT_THROW(t.lan.set_link_fault(2, cut), std::invalid_argument);
+  EXPECT_THROW(t.lan.set_link_fault(kInvalidPort, cut),
+               std::invalid_argument);
+  EXPECT_THROW(t.lan.clear_link_fault(99), std::invalid_argument);
+  EXPECT_NO_THROW(t.lan.set_link_fault(1, cut));
+  EXPECT_NO_THROW(t.lan.clear_link_fault(1));
+}
+
 }  // namespace
 }  // namespace vwire::phy

@@ -75,6 +75,46 @@ TEST(Rng, ForkedStreamsDiffer) {
   EXPECT_LT(same, 3);
 }
 
+TEST(DeriveSeed, DeterministicAndSeparating) {
+  // Same (parent, label, index) → same child; any coordinate change →
+  // a different stream.  Chaos campaigns hang every trial off this.
+  EXPECT_EQ(derive_seed(1, "trial", 0), derive_seed(1, "trial", 0));
+  EXPECT_NE(derive_seed(1, "trial", 0), derive_seed(2, "trial", 0));
+  EXPECT_NE(derive_seed(1, "trial", 0), derive_seed(1, "trial", 1));
+  EXPECT_NE(derive_seed(1, "trial", 0), derive_seed(1, "medium", 0));
+}
+
+TEST(DeriveSeed, LabelBytesMatter) {
+  // Labels that agree on a prefix must still separate ("ab"+"c" vs "a"+"bc"
+  // style collisions would silently correlate sibling streams).
+  EXPECT_NE(derive_seed(7, "phy.fault"), derive_seed(7, "phy.fault2"));
+  EXPECT_NE(derive_seed(7, "ab"), derive_seed(7, "ba"));
+  EXPECT_NE(derive_seed(7, ""), derive_seed(7, "x"));
+}
+
+TEST(DeriveSeed, IndexDoesNotAliasLabel) {
+  // (label, index) pairs are a tree, not a flat hash: distinct pairs with
+  // superficially colliding encodings must stay distinct.
+  EXPECT_NE(derive_seed(3, "trial", 1), derive_seed(3, "trial1", 0));
+}
+
+TEST(RngDerive, ChildStreamsAreIndependent) {
+  Rng a = Rng::derive(99, "workload", 0);
+  Rng b = Rng::derive(99, "workload", 1);
+  Rng c = Rng::derive(99, "medium", 0);
+  Rng a2 = Rng::derive(99, "workload", 0);
+  int ab_same = 0, ac_same = 0, aa_same = 0;
+  for (int i = 0; i < 100; ++i) {
+    u64 va = a.next();
+    ab_same += va == b.next() ? 1 : 0;
+    ac_same += va == c.next() ? 1 : 0;
+    aa_same += va == a2.next() ? 1 : 0;
+  }
+  EXPECT_LT(ab_same, 3);
+  EXPECT_LT(ac_same, 3);
+  EXPECT_EQ(aa_same, 100);
+}
+
 TEST(SplitMix, KnownSequenceIsStable) {
   u64 s = 0;
   u64 first = splitmix64(s);
