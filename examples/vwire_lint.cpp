@@ -1,0 +1,122 @@
+// vwire-lint: static analysis for FSL scripts and serialized table sets.
+//
+// Usage:
+//   vwire-lint [--json] [--werror] [--scenario NAME] script.fsl
+//   vwire-lint -                 # read the script from stdin
+//   vwire-lint --tables file.bin # structural checks on a serialized
+//                                # TableSet (duplicate names, shared MACs)
+//
+// Exit codes: 0 = clean (or warnings without --werror), 1 = lint errors
+// (or warnings with --werror), 2 = usage / I-O failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vwire/core/fsl/compiler.hpp"
+#include "vwire/core/fsl/lint.hpp"
+#include "vwire/core/tables/tables.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vwire-lint [--json] [--werror] [--scenario NAME] "
+               "<script.fsl | ->\n"
+               "       vwire-lint [--json] [--werror] --tables <tables.bin>\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out, bool binary) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool tables_mode = false;
+  std::string scenario;
+  std::string input;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--tables") {
+      tables_mode = true;
+    } else if (arg == "--scenario") {
+      if (++i >= argc) return usage();
+      scenario = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  std::string blob;
+  if (!read_file(input, blob, tables_mode)) {
+    std::fprintf(stderr, "vwire-lint: cannot read '%s'\n", input.c_str());
+    return 2;
+  }
+
+  std::vector<vwire::fsl::Diagnostic> diags;
+  std::string source;  // empty in tables mode: no carets to render
+  if (tables_mode) {
+    try {
+      vwire::core::TableSet t = vwire::core::deserialize_tables(
+          vwire::BytesView{reinterpret_cast<const vwire::u8*>(blob.data()),
+                           blob.size()});
+      diags = vwire::fsl::lint_tables(t);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vwire-lint: malformed table set: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    source = blob;
+    vwire::fsl::CompileOptions opts;
+    opts.scenario = scenario;
+    opts.lint = true;
+    diags = vwire::fsl::check_script(source, opts).diagnostics;
+  }
+
+  const std::string filename = input == "-" ? "<stdin>" : input;
+  if (json) {
+    std::fputs(vwire::fsl::diagnostics_to_json(diags).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(
+        vwire::fsl::render_diagnostics(source, diags, filename).c_str(),
+        stdout);
+    std::size_t errors = vwire::fsl::count_errors(diags);
+    std::fprintf(stdout, "%zu error(s), %zu warning(s)\n", errors,
+                 diags.size() - errors);
+  }
+
+  if (vwire::fsl::has_errors(diags)) return 1;
+  if (werror && !diags.empty()) return 1;
+  return 0;
+}

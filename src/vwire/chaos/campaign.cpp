@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "vwire/core/fsl/compiler.hpp"
 #include "vwire/obs/json.hpp"
 #include "vwire/util/rng.hpp"
 
@@ -75,6 +76,32 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
       harness->make_spec(fsl_rules(schedule, harness->fsl_site()));
   spec.seed = derive_seed(schedule.campaign_seed, "trial.medium",
                           schedule.trial_index);
+
+  // A generated script that fails lint is a bug in the generator, not in
+  // the system under test: record it as a violation (so stop/ddmin/repro
+  // treat the schedule as failing) and skip the run.
+  {
+    fsl::CompileOptions lint_opts;
+    lint_opts.scenario = spec.scenario;
+    lint_opts.lint = true;
+    const fsl::CompileResult checked = fsl::check_script(spec.script,
+                                                         lint_opts);
+    if (!checked.ok()) {
+      Violation v;
+      v.invariant = "generated-script-lint";
+      v.detail = "generated FSL failed lint with " +
+                 std::to_string(fsl::count_errors(checked.diagnostics)) +
+                 " error(s); first: ";
+      for (const fsl::Diagnostic& d : checked.diagnostics) {
+        if (d.severity == fsl::Severity::kError) {
+          v.detail += fsl::format_diagnostic(d);
+          break;
+        }
+      }
+      out.violations.push_back(std::move(v));
+      return out;  // out.ran stays false: the scenario was never armed
+    }
+  }
 
   // Materialize the non-FSL events into the runner's fault primitives.
   for (const FaultEvent& e : schedule.events) {
@@ -223,7 +250,14 @@ CampaignSummary Campaign::run() {
         r.trial_index = i;
         r.violations.push_back({"trial-exception", e.what(), {}, 1});
       }
-      if (!r.ok() && cfg_.stop_on_violation) {
+      // A lint failure in a generated script means every further trial
+      // would exercise the same broken generator — stop unconditionally.
+      const bool generator_bug =
+          std::any_of(r.violations.begin(), r.violations.end(),
+                      [](const Violation& v) {
+                        return v.invariant == "generated-script-lint";
+                      });
+      if (generator_bug || (!r.ok() && cfg_.stop_on_violation)) {
         stop.store(true, std::memory_order_relaxed);
       }
       s.results[i] = std::move(r);

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vwire/util/logging.hpp"
+
 namespace vwire {
 
 ScenarioRunner::ScenarioRunner(Testbed& testbed) : testbed_(testbed) {}
@@ -175,7 +177,23 @@ std::string describe(const LinkFaultSpec& f) {
 control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   fsl::CompileOptions copts;
   copts.scenario = spec.scenario;
-  core::TableSet tables = fsl::compile_script(spec.script, copts);
+  copts.lint = true;
+  fsl::CompileResult checked = fsl::check_script(spec.script, copts);
+  for (const fsl::Diagnostic& d : checked.diagnostics) {
+    if (d.severity != fsl::Severity::kError) {
+      std::string line = "fsl lint: " + fsl::format_diagnostic(d);
+      VWIRE_INFO() << line;
+      testbed_.trace().annotate(testbed_.simulator().now(), "", line);
+    }
+  }
+  if (!checked.ok()) {
+    // Refuse to arm: surface the first error with the familiar
+    // "line:col:" throw semantics.
+    for (const fsl::Diagnostic& d : checked.diagnostics) {
+      if (d.severity == fsl::Severity::kError) throw fsl::ParseError(d);
+    }
+  }
+  core::TableSet tables = std::move(checked.tables);
   validate_nodes(tables);
   for (const NodeCrash& c : spec.crashes) {
     const std::vector<std::string>& names = testbed_.node_names();

@@ -1,7 +1,9 @@
 #include "vwire/core/fsl/compiler.hpp"
 
 #include <algorithm>
+#include <iterator>
 
+#include "vwire/core/fsl/lint.hpp"
 #include "vwire/core/fsl/parser.hpp"
 
 namespace vwire::fsl {
@@ -35,36 +37,80 @@ core::RelOp flip(core::RelOp op) {
   }
 }
 
+/// Internal unwinding signal for accumulating mode, mirroring the parser's:
+/// a semantic error has been recorded and the current declaration should be
+/// abandoned.  Never escapes compile_checked.
+struct Resync {};
+
 class Compiler {
  public:
-  Compiler(const AstScript& script, const CompileOptions& opts)
-      : script_(script), opts_(opts) {}
+  Compiler(const AstScript& script, const CompileOptions& opts,
+           std::vector<Diagnostic>* diags = nullptr)
+      : script_(script), opts_(opts), diags_(diags) {}
 
   TableSet run() {
     compile_filters();
     compile_nodes();
-    const AstScenario& sc = pick_scenario();
-    out_.scenario_name = sc.name;
-    out_.inactivity_timeout = sc.timeout.value_or(Duration{});
-    compile_counters(sc);
-    for (const AstRule& rule : sc.rules) compile_rule(rule);
-    wire_dependencies();
+    try {
+      const AstScenario& sc = pick_scenario();
+      check_duplicate_scenarios();
+      out_.scenario_name = sc.name;
+      out_.inactivity_timeout = sc.timeout.value_or(Duration{});
+      compile_counters(sc);
+      for (const AstRule& rule : sc.rules) {
+        try {
+          compile_rule(rule);
+        } catch (const Resync&) {
+          // Rule abandoned; later rules may still compile.
+        }
+      }
+      wire_dependencies();
+    } catch (const Resync&) {
+      // No usable scenario; the filter/node tables remain best-effort.
+    }
     return std::move(out_);
   }
 
  private:
-  [[noreturn]] void fail(SourceLoc loc, const std::string& msg) const {
-    throw ParseError(loc, msg);
+  /// Throw-on-first mode raises ParseError; accumulating mode records the
+  /// diagnostic and throws Resync so the per-declaration loops can skip the
+  /// broken entry and keep going.
+  [[noreturn]] void fail(SourceLoc loc, const std::string& msg,
+                         const char* rule = "semantic") const {
+    if (diags_ == nullptr) throw ParseError(loc, msg);
+    diags_->push_back({loc, msg, Severity::kError, rule});
+    throw Resync{};
   }
 
   // --- filters and nodes ---------------------------------------------------
 
   void compile_filters() {
     out_.filters.var_names = script_.vars;
-    for (const AstFilter& f : script_.filters) {
-      if (out_.filters.find(f.name) != kInvalidId) {
-        fail(f.loc, "duplicate packet type '" + f.name + "'");
+    for (std::size_t i = 0; i < script_.vars.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (script_.vars[i] != script_.vars[j]) continue;
+        try {
+          fail(SourceLoc{1, 1}, "duplicate VAR '" + script_.vars[i] + "'",
+               "duplicate-name");
+        } catch (const Resync&) {
+        }
       }
+    }
+    for (const AstFilter& f : script_.filters) {
+      try {
+        compile_filter(f);
+      } catch (const Resync&) {
+        // Entry abandoned; keep checking the rest of the table.
+      }
+    }
+  }
+
+  void compile_filter(const AstFilter& f) {
+    if (out_.filters.find(f.name) != kInvalidId) {
+      fail(f.loc, "duplicate packet type '" + f.name + "'",
+           "duplicate-name");
+    }
+    {
       core::FilterEntry e;
       e.name = f.name;
       for (const AstFilterTuple& t : f.tuples) {
@@ -82,7 +128,8 @@ class Compiler {
         if (!t.var.empty()) {
           auto it = std::find(script_.vars.begin(), script_.vars.end(), t.var);
           if (it == script_.vars.end()) {
-            fail(t.loc, "unknown VAR '" + t.var + "' in filter tuple");
+            fail(t.loc, "unknown VAR '" + t.var + "' in filter tuple",
+                 "unbound-variable");
           }
           tp.var = static_cast<u16>(it - script_.vars.begin());
         } else {
@@ -99,14 +146,18 @@ class Compiler {
 
   void compile_nodes() {
     for (const AstNodeDef& n : script_.nodes) {
-      if (out_.nodes.find(n.name) != kInvalidId) {
-        fail(n.loc, "duplicate node '" + n.name + "'");
+      try {
+        if (out_.nodes.find(n.name) != kInvalidId) {
+          fail(n.loc, "duplicate node '" + n.name + "'", "duplicate-name");
+        }
+        auto mac = net::MacAddress::parse(n.mac);
+        if (!mac) fail(n.loc, "malformed MAC address '" + n.mac + "'");
+        auto ip = net::Ipv4Address::parse(n.ip);
+        if (!ip) fail(n.loc, "malformed IP address '" + n.ip + "'");
+        out_.nodes.entries.push_back({n.name, *mac, *ip});
+      } catch (const Resync&) {
+        // Entry abandoned; keep checking the rest of the table.
       }
-      auto mac = net::MacAddress::parse(n.mac);
-      if (!mac) fail(n.loc, "malformed MAC address '" + n.mac + "'");
-      auto ip = net::Ipv4Address::parse(n.ip);
-      if (!ip) fail(n.loc, "malformed IP address '" + n.ip + "'");
-      out_.nodes.entries.push_back({n.name, *mac, *ip});
     }
   }
 
@@ -121,23 +172,43 @@ class Compiler {
     fail(SourceLoc{1, 1}, "no scenario named '" + opts_.scenario + "'");
   }
 
+  void check_duplicate_scenarios() {
+    for (std::size_t i = 0; i < script_.scenarios.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (script_.scenarios[i].name != script_.scenarios[j].name) continue;
+        try {
+          fail(script_.scenarios[i].loc,
+               "duplicate scenario '" + script_.scenarios[i].name + "'",
+               "duplicate-name");
+        } catch (const Resync&) {
+        }
+      }
+    }
+  }
+
   // --- name resolution helpers ----------------------------------------------
 
   NodeId node_ref(SourceLoc loc, const std::string& name) const {
     NodeId id = out_.nodes.find(name);
-    if (id == kInvalidId) fail(loc, "unknown node '" + name + "'");
+    if (id == kInvalidId) {
+      fail(loc, "unknown node '" + name + "'", "unknown-name");
+    }
     return id;
   }
 
   core::FilterId filter_ref(SourceLoc loc, const std::string& name) const {
     core::FilterId id = out_.filters.find(name);
-    if (id == kInvalidId) fail(loc, "unknown packet type '" + name + "'");
+    if (id == kInvalidId) {
+      fail(loc, "unknown packet type '" + name + "'", "unknown-name");
+    }
     return id;
   }
 
   CounterId counter_ref(SourceLoc loc, const std::string& name) const {
     CounterId id = out_.counters.find(name);
-    if (id == kInvalidId) fail(loc, "unknown counter '" + name + "'");
+    if (id == kInvalidId) {
+      fail(loc, "unknown counter '" + name + "'", "unknown-name");
+    }
     return id;
   }
 
@@ -145,8 +216,18 @@ class Compiler {
 
   void compile_counters(const AstScenario& sc) {
     for (const AstCounterDecl& d : sc.counters) {
+      try {
+        compile_counter(d);
+      } catch (const Resync&) {
+        // Declaration abandoned; keep checking the rest.
+      }
+    }
+  }
+
+  void compile_counter(const AstCounterDecl& d) {
+    {
       if (out_.counters.find(d.name) != kInvalidId) {
-        fail(d.loc, "duplicate counter '" + d.name + "'");
+        fail(d.loc, "duplicate counter '" + d.name + "'", "duplicate-name");
       }
       CounterEntry c;
       c.name = d.name;
@@ -481,6 +562,7 @@ class Compiler {
 
   const AstScript& script_;
   const CompileOptions& opts_;
+  std::vector<Diagnostic>* diags_;
   TableSet out_;
 };
 
@@ -494,6 +576,37 @@ core::TableSet compile_script(std::string_view source,
                               const CompileOptions& opts) {
   AstScript ast = parse_script(source);
   return compile(ast, opts);
+}
+
+CompileResult compile_checked(const AstScript& script,
+                              const CompileOptions& opts) {
+  CompileResult r;
+  r.tables = Compiler(script, opts, &r.diagnostics).run();
+  if (opts.lint && !has_errors(r.diagnostics)) {
+    std::vector<Diagnostic> lint = lint_script(script, r.tables);
+    r.diagnostics.insert(r.diagnostics.end(),
+                         std::make_move_iterator(lint.begin()),
+                         std::make_move_iterator(lint.end()));
+  }
+  sort_diagnostics(r.diagnostics);
+  return r;
+}
+
+CompileResult check_script(std::string_view source,
+                           const CompileOptions& opts) {
+  CompileResult r;
+  AstScript ast = parse_script(source, r.diagnostics);
+  CompileOptions copts = opts;
+  // Lint on top of a broken parse would drown the real problem in
+  // follow-on noise; semantic checking still runs for what did parse.
+  copts.lint = opts.lint && !has_errors(r.diagnostics);
+  CompileResult compiled = compile_checked(ast, copts);
+  r.tables = std::move(compiled.tables);
+  r.diagnostics.insert(r.diagnostics.end(),
+                       std::make_move_iterator(compiled.diagnostics.begin()),
+                       std::make_move_iterator(compiled.diagnostics.end()));
+  sort_diagnostics(r.diagnostics);
+  return r;
 }
 
 }  // namespace vwire::fsl

@@ -13,6 +13,18 @@ namespace vwire::fsl {
 struct CompileOptions {
   /// Scenario to compile; empty = the script's first scenario.
   std::string scenario;
+  /// Run the static-analysis (lint) passes after a clean compile and
+  /// append their findings to the diagnostics.  Only honoured by the
+  /// checked entry points; `compile`/`compile_script` ignore it.
+  bool lint{false};
+};
+
+/// Outcome of a checked compile: the tables (complete when `ok()`, partial
+/// best-effort otherwise) plus every diagnostic, sorted by source location.
+struct CompileResult {
+  core::TableSet tables;
+  std::vector<Diagnostic> diagnostics;
+  bool ok() const { return !has_errors(diagnostics); }
 };
 
 /// Compiles a parsed script; throws ParseError on semantic errors.
@@ -21,5 +33,16 @@ core::TableSet compile(const AstScript& script, const CompileOptions& = {});
 /// Convenience: parse + compile in one step.
 core::TableSet compile_script(std::string_view source,
                               const CompileOptions& = {});
+
+/// Accumulating form: never throws.  Records every semantic error with
+/// per-declaration recovery, and (with `opts.lint`) runs the lint passes
+/// when compilation produced no errors.
+CompileResult compile_checked(const AstScript& script,
+                              const CompileOptions& = {});
+
+/// Parse + compile + (optionally) lint in one step; never throws.  All
+/// syntax, semantic and lint diagnostics land in the result.
+CompileResult check_script(std::string_view source,
+                           const CompileOptions& = {});
 
 }  // namespace vwire::fsl

@@ -1,14 +1,152 @@
 #include "vwire/core/fsl/diagnostics.hpp"
 
+#include <algorithm>
+#include <cctype>
+
+#include "vwire/obs/json.hpp"
+
 namespace vwire::fsl {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
 
 std::string format_diagnostic(const Diagnostic& d) {
   return std::to_string(d.loc.line) + ":" + std::to_string(d.loc.col) + ": " +
-         d.message;
+         to_string(d.severity) + ": [" + d.rule + "] " + d.message;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return count_errors(diags) > 0;
+}
+
+std::size_t count_errors(const std::vector<Diagnostic>& diags) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.line != b.loc.line) {
+                       return a.loc.line < b.loc.line;
+                     }
+                     if (a.loc.col != b.loc.col) return a.loc.col < b.loc.col;
+                     return static_cast<u8>(a.severity) <
+                            static_cast<u8>(b.severity);
+                   });
+}
+
+namespace {
+
+/// The 1-based `line` of `source` (without its newline); empty when out of
+/// range.
+std::string_view source_line(std::string_view source, u32 line) {
+  std::size_t start = 0;
+  for (u32 l = 1; l < line; ++l) {
+    std::size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+  }
+  std::size_t end = source.find('\n', start);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(start, end - start);
+}
+
+/// Length of the token starting at 0-based `col0` of `text`, for sizing the
+/// caret squiggle.  Identifiers/numbers extend over their word; anything
+/// else gets a single caret.
+std::size_t token_length(std::string_view text, std::size_t col0) {
+  if (col0 >= text.size()) return 1;
+  auto wordy = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '.' || c == ':';
+  };
+  if (!wordy(text[col0])) return 1;
+  std::size_t end = col0;
+  while (end < text.size() && wordy(text[end])) ++end;
+  return end - col0;
+}
+
+}  // namespace
+
+std::string render_diagnostic(std::string_view source, const Diagnostic& d,
+                              std::string_view filename) {
+  std::string out;
+  if (!filename.empty()) {
+    out += filename;
+    out += ':';
+  }
+  out += format_diagnostic(d);
+  out += '\n';
+  std::string_view line = source_line(source, d.loc.line);
+  if (line.empty() || d.loc.col == 0) return out;
+  out += "  ";
+  out += line;
+  out += "\n  ";
+  const std::size_t col0 = d.loc.col - 1;
+  for (std::size_t i = 0; i < col0 && i < line.size(); ++i) {
+    out += line[i] == '\t' ? '\t' : ' ';
+  }
+  out += '^';
+  const std::size_t len = token_length(line, col0);
+  for (std::size_t i = 1; i < len; ++i) out += '~';
+  out += '\n';
+  return out;
+}
+
+std::string render_diagnostics(std::string_view source,
+                               const std::vector<Diagnostic>& diags,
+                               std::string_view filename) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += render_diagnostic(source, d, filename);
+  }
+  return out;
+}
+
+std::string diagnostics_to_json(const std::vector<Diagnostic>& diags) {
+  std::size_t errors = 0, warnings = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  std::string out = "{\"v\":1,\"type\":\"fsl_diagnostics\",\"errors\":";
+  out += std::to_string(errors);
+  out += ",\"warnings\":";
+  out += std::to_string(warnings);
+  out += ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i) out += ',';
+    out += "\n {\"rule\":\"";
+    out += obs::json_escape(d.rule);
+    out += "\",\"severity\":\"";
+    out += to_string(d.severity);
+    out += "\",\"line\":";
+    out += std::to_string(d.loc.line);
+    out += ",\"col\":";
+    out += std::to_string(d.loc.col);
+    out += ",\"message\":\"";
+    out += obs::json_escape(d.message);
+    out += "\"}";
+  }
+  out += "\n]}";
+  return out;
 }
 
 ParseError::ParseError(SourceLoc loc, std::string message)
-    : std::runtime_error(format_diagnostic({loc, message})),
-      diag_{loc, std::move(message)} {}
+    : ParseError(Diagnostic{loc, std::move(message)}) {}
+
+ParseError::ParseError(Diagnostic diag)
+    : std::runtime_error(format_diagnostic(diag)), diag_(std::move(diag)) {}
 
 }  // namespace vwire::fsl

@@ -1,8 +1,17 @@
-// Source locations and compile errors for the Fault Specification Language.
+// Source locations, severities and multi-diagnostic output for the Fault
+// Specification Language front-end and the `fslint` static analyzer.
+//
+// Every front-end stage (lexer, parser, compiler, lint passes) reports
+// through the same `Diagnostic` record: a severity, a stable rule id (the
+// machine-readable name of the check that fired — "syntax",
+// "shadowed-filter", …), a 1-based source location and a human message.
+// Callers choose between throw-on-first semantics (`ParseError`, the
+// historical behavior) and accumulation (`std::vector<Diagnostic>`).
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vwire/util/types.hpp"
@@ -14,18 +23,59 @@ struct SourceLoc {
   u32 col{0};   ///< 1-based
 };
 
+enum class Severity : u8 {
+  kError,    ///< the script is wrong; ScenarioRunner refuses to arm
+  kWarning,  ///< probably a mistake; the script still runs
+  kNote,     ///< supplementary information attached to another diagnostic
+};
+
+const char* to_string(Severity s);
+
 struct Diagnostic {
   SourceLoc loc;
   std::string message;
+  Severity severity{Severity::kError};
+  /// Stable machine-readable id of the originating check (DESIGN.md §9
+  /// catalogues them).  Front-end stages use "syntax" / "semantic"; every
+  /// lint pass has its own id ("shadowed-filter", "dead-symbol", …).
+  std::string rule{"syntax"};
 };
 
+/// "line:col: severity: [rule] message" — the one-line form.
 std::string format_diagnostic(const Diagnostic& d);
 
-/// Thrown by the FSL lexer, parser and compiler on the first hard error;
-/// `what()` carries "line:col: message".
+bool has_errors(const std::vector<Diagnostic>& diags);
+std::size_t count_errors(const std::vector<Diagnostic>& diags);
+
+/// Orders by (line, col, severity) for stable presentation.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Renders one diagnostic with its source line and a `^~~~` caret under
+/// the offending token:
+///
+///   script.fsl:3:7: error: [duplicate-name] duplicate packet type 'pkt'
+///     pkt: (12 2 0x0800)
+///     ^~~
+std::string render_diagnostic(std::string_view source, const Diagnostic& d,
+                              std::string_view filename = {});
+
+/// All diagnostics, rendered in order, one block per diagnostic.
+std::string render_diagnostics(std::string_view source,
+                               const std::vector<Diagnostic>& diags,
+                               std::string_view filename = {});
+
+/// Machine-readable output (schema "fsl_diagnostics" v1):
+/// {"v":1,"type":"fsl_diagnostics","errors":N,"warnings":N,
+///  "diagnostics":[{"rule":…,"severity":…,"line":…,"col":…,"message":…}]}
+std::string diagnostics_to_json(const std::vector<Diagnostic>& diags);
+
+/// Thrown by the FSL lexer, parser and compiler on the first hard error
+/// when the caller asked for throw semantics; `what()` carries
+/// "line:col: severity: [rule] message".
 class ParseError : public std::runtime_error {
  public:
   ParseError(SourceLoc loc, std::string message);
+  explicit ParseError(Diagnostic diag);
 
   const Diagnostic& diagnostic() const { return diag_; }
 

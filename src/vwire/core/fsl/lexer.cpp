@@ -37,7 +37,9 @@ namespace {
 
 class Scanner {
  public:
-  explicit Scanner(std::string_view src) : src_(src) {}
+  explicit Scanner(std::string_view src,
+                   std::vector<Diagnostic>* diags = nullptr)
+      : src_(src), diags_(diags) {}
 
   std::vector<Token> run() {
     std::vector<Token> out;
@@ -68,9 +70,17 @@ class Scanner {
 
   SourceLoc loc() const { return {line_, col_}; }
 
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(loc(), msg);
+  /// Throw-on-first mode raises; accumulating mode records and returns so
+  /// the call site can recover.  A cap keeps a corrupt input from flooding
+  /// the list with cascade noise.
+  void report(SourceLoc at, const std::string& msg) {
+    if (diags_ == nullptr) throw ParseError(at, msg);
+    if (diags_->size() < kMaxDiags) {
+      diags_->push_back({at, msg, Severity::kError, "syntax"});
+    }
   }
+
+  void fail(const std::string& msg) { report(loc(), msg); }
 
   void skip_space_and_comments() {
     for (;;) {
@@ -88,7 +98,10 @@ class Scanner {
         while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) {
           advance();
         }
-        if (pos_ >= src_.size()) throw ParseError(start, "unterminated comment");
+        if (pos_ >= src_.size()) {
+          report(start, "unterminated comment");
+          return;
+        }
         advance();
         advance();
         continue;
@@ -138,10 +151,14 @@ class Scanner {
       // Dotted-quad IP literal.
       std::string text = digits;
       for (int group = 0; group < 3; ++group) {
-        if (peek() != '.') fail("malformed IP literal");
+        if (peek() != '.') {
+          fail("malformed IP literal");
+          return make(TokKind::kIp, std::move(text));
+        }
         text.push_back(advance());
         if (!std::isdigit(static_cast<u8>(peek()))) {
           fail("malformed IP literal");
+          return make(TokKind::kIp, std::move(text));
         }
         while (std::isdigit(static_cast<u8>(peek()))) {
           text.push_back(advance());
@@ -157,7 +174,7 @@ class Scanner {
       auto v = parse_dec(digits);
       if (!v) fail("bad number in duration");
       Token t = make(TokKind::kDuration, digits + unit);
-      i64 n = static_cast<i64>(*v);
+      i64 n = v ? static_cast<i64>(*v) : 0;
       if (unit == "sec" || unit == "s") {
         t.duration = seconds(n);
       } else if (unit == "ms") {
@@ -175,7 +192,7 @@ class Scanner {
     auto v = parse_dec(digits);
     if (!v) fail("integer literal overflows");
     Token t = make(TokKind::kInt, std::move(digits));
-    t.value = *v;
+    t.value = v.value_or(0);
     return t;
   }
 
@@ -187,7 +204,7 @@ class Scanner {
     auto v = parse_hex(text);
     if (!v) fail("bad hex literal '" + text + "'");
     Token t = make(TokKind::kInt, std::move(text));
-    t.value = *v;
+    t.value = v.value_or(0);
     t.is_hex = true;
     return t;
   }
@@ -201,75 +218,91 @@ class Scanner {
   }
 
   Token next() {
-    tok_loc_ = loc();
-    if (pos_ >= src_.size()) return make(TokKind::kEof);
+    for (;;) {
+      tok_loc_ = loc();
+      if (pos_ >= src_.size()) return make(TokKind::kEof);
 
-    if (looks_like_mac()) return lex_mac();
-    char c = peek();
-    if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) return lex_hex();
-    if (std::isdigit(static_cast<u8>(c))) return lex_number_or_ip_or_duration();
-    if (std::isalpha(static_cast<u8>(c)) || c == '_') return lex_ident();
+      if (looks_like_mac()) return lex_mac();
+      char c = peek();
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) return lex_hex();
+      if (std::isdigit(static_cast<u8>(c))) {
+        return lex_number_or_ip_or_duration();
+      }
+      if (std::isalpha(static_cast<u8>(c)) || c == '_') return lex_ident();
 
-    advance();
-    switch (c) {
-      case '(': return make(TokKind::kLParen);
-      case ')': return make(TokKind::kRParen);
-      case ',': return make(TokKind::kComma);
-      case ';': return make(TokKind::kSemi);
-      case ':': return make(TokKind::kColon);
-      case '>':
-        if (peek() == '>') {
-          advance();
-          return make(TokKind::kArrow);
-        }
-        if (peek() == '=') {
-          advance();
-          return make(TokKind::kGe);
-        }
-        return make(TokKind::kGt);
-      case '<':
-        if (peek() == '=') {
-          advance();
-          return make(TokKind::kLe);
-        }
-        return make(TokKind::kLt);
-      case '=':
-        if (peek() == '=') advance();  // '==' is an accepted spelling
-        return make(TokKind::kEq);
-      case '!':
-        if (peek() == '=') {
-          advance();
-          return make(TokKind::kNe);
-        }
-        return make(TokKind::kNot);
-      case '&':
-        if (peek() == '&') {
-          advance();
+      advance();
+      switch (c) {
+        case '(': return make(TokKind::kLParen);
+        case ')': return make(TokKind::kRParen);
+        case ',': return make(TokKind::kComma);
+        case ';': return make(TokKind::kSemi);
+        case ':': return make(TokKind::kColon);
+        case '>':
+          if (peek() == '>') {
+            advance();
+            return make(TokKind::kArrow);
+          }
+          if (peek() == '=') {
+            advance();
+            return make(TokKind::kGe);
+          }
+          return make(TokKind::kGt);
+        case '<':
+          if (peek() == '=') {
+            advance();
+            return make(TokKind::kLe);
+          }
+          return make(TokKind::kLt);
+        case '=':
+          if (peek() == '=') advance();  // '==' is an accepted spelling
+          return make(TokKind::kEq);
+        case '!':
+          if (peek() == '=') {
+            advance();
+            return make(TokKind::kNe);
+          }
+          return make(TokKind::kNot);
+        case '&':
+          if (peek() == '&') {
+            advance();
+            return make(TokKind::kAndAnd);
+          }
+          // Recovery reads the intended '&&' so parsing can continue.
+          report(tok_loc_, "stray '&' (did you mean '&&'?)");
           return make(TokKind::kAndAnd);
-        }
-        fail("stray '&' (did you mean '&&'?)");
-      case '|':
-        if (peek() == '|') {
-          advance();
+        case '|':
+          if (peek() == '|') {
+            advance();
+            return make(TokKind::kOrOr);
+          }
+          report(tok_loc_, "stray '|' (did you mean '||'?)");
           return make(TokKind::kOrOr);
-        }
-        fail("stray '|' (did you mean '||'?)");
-      default:
-        fail(std::string("unexpected character '") + c + "'");
+        default:
+          report(tok_loc_, std::string("unexpected character '") + c + "'");
+          skip_space_and_comments();  // drop the stray byte and rescan
+      }
     }
   }
 
   std::string_view src_;
+  std::vector<Diagnostic>* diags_;
   std::size_t pos_{0};
   u32 line_{1};
   u32 col_{1};
   SourceLoc tok_loc_;
+
+  static constexpr std::size_t kMaxDiags = 100;
 };
 
 }  // namespace
 
 std::vector<Token> tokenize(std::string_view source) {
   return Scanner(source).run();
+}
+
+std::vector<Token> tokenize(std::string_view source,
+                            std::vector<Diagnostic>& diags) {
+  return Scanner(source, &diags).run();
 }
 
 }  // namespace vwire::fsl

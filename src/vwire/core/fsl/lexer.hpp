@@ -51,4 +51,11 @@ struct Token {
 /// Tokenizes a full script; throws ParseError on bad characters/literals.
 std::vector<Token> tokenize(std::string_view source);
 
+/// Accumulating form: records bad characters/literals in `diags` (severity
+/// kError, rule "syntax") and keeps scanning with best-effort recovery —
+/// stray characters are skipped, malformed literals become zero-valued
+/// tokens — so the parser always receives a full token stream.
+std::vector<Token> tokenize(std::string_view source,
+                            std::vector<Diagnostic>& diags);
+
 }  // namespace vwire::fsl

@@ -16,29 +16,41 @@ const std::unordered_set<std::string>& action_names() {
   return names;
 }
 
+/// Internal unwinding signal for accumulating mode: a syntax error has
+/// been recorded and the parser should synchronize at the nearest recovery
+/// point.  Never escapes parse_script.
+struct Resync {};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  explicit Parser(std::vector<Token> toks,
+                  std::vector<Diagnostic>* diags = nullptr)
+      : toks_(std::move(toks)), diags_(diags) {}
 
   AstScript run() {
     AstScript script;
     for (;;) {
       const Token& t = peek();
       if (t.kind == TokKind::kEof) return script;
-      if (t.kind != TokKind::kIdent) {
-        fail(t, "expected a top-level section (VAR, FILTER_TABLE, "
-                "NODE_TABLE or SCENARIO)");
-      }
-      if (t.text == "VAR") {
-        parse_vars(script);
-      } else if (t.text == "FILTER_TABLE") {
-        parse_filters(script);
-      } else if (t.text == "NODE_TABLE") {
-        parse_nodes(script);
-      } else if (t.text == "SCENARIO") {
-        parse_scenario(script);
-      } else {
-        fail(t, "unknown section '" + t.text + "'");
+      if (diags_ != nullptr && diags_->size() >= kMaxDiags) return script;
+      try {
+        if (t.kind != TokKind::kIdent) {
+          fail(t, "expected a top-level section (VAR, FILTER_TABLE, "
+                  "NODE_TABLE or SCENARIO)");
+        }
+        if (t.text == "VAR") {
+          parse_vars(script);
+        } else if (t.text == "FILTER_TABLE") {
+          parse_filters(script);
+        } else if (t.text == "NODE_TABLE") {
+          parse_nodes(script);
+        } else if (t.text == "SCENARIO") {
+          parse_scenario(script);
+        } else {
+          fail(t, "unknown section '" + t.text + "'");
+        }
+      } catch (const Resync&) {
+        sync_to_section();
       }
     }
   }
@@ -51,8 +63,51 @@ class Parser {
 
   const Token& advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
 
+  /// Throw-on-first mode raises ParseError; accumulating mode records the
+  /// diagnostic and throws Resync so the nearest recovery loop can
+  /// synchronize and continue.
   [[noreturn]] void fail(const Token& t, const std::string& msg) const {
-    throw ParseError(t.loc, msg);
+    if (diags_ == nullptr) throw ParseError(t.loc, msg);
+    if (diags_->size() < kMaxDiags) {
+      diags_->push_back({t.loc, msg, Severity::kError, "syntax"});
+    }
+    throw Resync{};
+  }
+
+  bool at_section_start() const {
+    return peek().kind == TokKind::kIdent &&
+           (peek().text == "VAR" || peek().text == "FILTER_TABLE" ||
+            peek().text == "NODE_TABLE" || peek().text == "SCENARIO");
+  }
+
+  /// Panic-mode recovery: skip to the next statement boundary — a ';'
+  /// (consumed), or just before END / a section keyword / EOF.
+  void sync_to_semi() {
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == TokKind::kEof) return;
+      if (t.kind == TokKind::kSemi) {
+        advance();
+        return;
+      }
+      if (at_keyword("END") || at_section_start()) return;
+      advance();
+    }
+  }
+
+  /// Coarser recovery for section-level damage: skip past the enclosing
+  /// END (consumed) or stop at the next section keyword / EOF.
+  void sync_to_section() {
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == TokKind::kEof) return;
+      if (at_keyword("END")) {
+        advance();
+        return;
+      }
+      if (at_section_start()) return;
+      advance();
+    }
   }
 
   const Token& expect(TokKind k, const char* what) {
@@ -97,18 +152,46 @@ class Parser {
     expect(TokKind::kSemi, "';' after VAR declaration");
   }
 
+  /// Recovery inside FILTER_TABLE / NODE_TABLE: skip to the next entry
+  /// (an identifier at the start of a line-shaped clause), END, a section
+  /// keyword, or EOF — always making progress.
+  void sync_table_entry() {
+    if (peek().kind != TokKind::kEof && !at_keyword("END") &&
+        !at_section_start()) {
+      advance();
+    }
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == TokKind::kEof || at_keyword("END") || at_section_start()) {
+        return;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (peek(1).kind == TokKind::kColon || peek(1).kind == TokKind::kMac)) {
+        return;  // start of the next filter / node entry
+      }
+      advance();
+    }
+  }
+
   void parse_filters(AstScript& script) {
     expect_keyword("FILTER_TABLE");
     while (!at_keyword("END")) {
-      AstFilter f;
-      f.loc = peek().loc;
-      f.name = expect_ident("packet type name");
-      expect(TokKind::kColon, "':' after packet type name");
-      f.tuples.push_back(parse_filter_tuple());
-      while (accept(TokKind::kComma)) {
-        f.tuples.push_back(parse_filter_tuple());
+      if (peek().kind == TokKind::kEof || at_section_start()) {
+        fail(peek(), "FILTER_TABLE is missing its END");
       }
-      script.filters.push_back(std::move(f));
+      try {
+        AstFilter f;
+        f.loc = peek().loc;
+        f.name = expect_ident("packet type name");
+        expect(TokKind::kColon, "':' after packet type name");
+        f.tuples.push_back(parse_filter_tuple());
+        while (accept(TokKind::kComma)) {
+          f.tuples.push_back(parse_filter_tuple());
+        }
+        script.filters.push_back(std::move(f));
+      } catch (const Resync&) {
+        sync_table_entry();
+      }
     }
     expect_keyword("END");
   }
@@ -149,12 +232,19 @@ class Parser {
   void parse_nodes(AstScript& script) {
     expect_keyword("NODE_TABLE");
     while (!at_keyword("END")) {
-      AstNodeDef n;
-      n.loc = peek().loc;
-      n.name = expect_ident("node name");
-      n.mac = expect(TokKind::kMac, "MAC address").text;
-      n.ip = expect(TokKind::kIp, "IP address").text;
-      script.nodes.push_back(std::move(n));
+      if (peek().kind == TokKind::kEof || at_section_start()) {
+        fail(peek(), "NODE_TABLE is missing its END");
+      }
+      try {
+        AstNodeDef n;
+        n.loc = peek().loc;
+        n.name = expect_ident("node name");
+        n.mac = expect(TokKind::kMac, "MAC address").text;
+        n.ip = expect(TokKind::kIp, "IP address").text;
+        script.nodes.push_back(std::move(n));
+      } catch (const Resync&) {
+        sync_table_entry();
+      }
     }
     expect_keyword("END");
   }
@@ -172,13 +262,26 @@ class Parser {
         advance();
         break;
       }
-      if (peek().kind == TokKind::kIdent &&
-          peek(1).kind == TokKind::kColon) {
-        sc.counters.push_back(parse_counter_decl());
-      } else if (peek().kind == TokKind::kLParen) {
-        sc.rules.push_back(parse_rule());
-      } else {
-        fail(peek(), "expected a counter declaration, a rule, or END");
+      if (peek().kind == TokKind::kEof || at_section_start()) {
+        // Keep the partial scenario: its clean counters/rules still give
+        // the lint passes something to check.
+        try {
+          fail(peek(), "SCENARIO '" + sc.name + "' is missing its END");
+        } catch (const Resync&) {
+          break;
+        }
+      }
+      try {
+        if (peek().kind == TokKind::kIdent &&
+            peek(1).kind == TokKind::kColon) {
+          sc.counters.push_back(parse_counter_decl());
+        } else if (peek().kind == TokKind::kLParen) {
+          sc.rules.push_back(parse_rule());
+        } else {
+          fail(peek(), "expected a counter declaration, a rule, or END");
+        }
+      } catch (const Resync&) {
+        sync_to_semi();
       }
     }
     script.scenarios.push_back(std::move(sc));
@@ -390,13 +493,22 @@ class Parser {
   }
 
   std::vector<Token> toks_;
+  std::vector<Diagnostic>* diags_;
   std::size_t pos_{0};
+
+  static constexpr std::size_t kMaxDiags = 25;
 };
 
 }  // namespace
 
 AstScript parse_script(std::string_view source) {
   return Parser(tokenize(source)).run();
+}
+
+AstScript parse_script(std::string_view source,
+                       std::vector<Diagnostic>& diags) {
+  std::vector<Token> toks = tokenize(source, diags);
+  return Parser(std::move(toks), &diags).run();
 }
 
 }  // namespace vwire::fsl

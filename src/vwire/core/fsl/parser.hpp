@@ -9,4 +9,11 @@ namespace vwire::fsl {
 /// Parses a complete script; throws ParseError on the first syntax error.
 AstScript parse_script(std::string_view source);
 
+/// Accumulating form: lexes and parses with panic-mode error recovery
+/// (synchronizing on ';', section boundaries and END), recording every
+/// syntax error in `diags` instead of throwing.  The returned AST contains
+/// every construct that parsed cleanly; erroneous entries are dropped.
+AstScript parse_script(std::string_view source,
+                       std::vector<Diagnostic>& diags);
+
 }  // namespace vwire::fsl

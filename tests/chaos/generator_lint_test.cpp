@@ -1,0 +1,67 @@
+// Generator/lint contract: every FSL script the chaos generator can emit
+// must lint with zero errors.  A lint error on a generated script is a bug
+// in the generator (the campaign treats it as one and aborts), so this test
+// sweeps a wide seed range across every fixture before any campaign does.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vwire/chaos/fixtures.hpp"
+#include "vwire/chaos/generator.hpp"
+#include "vwire/core/fsl/compiler.hpp"
+#include "vwire/core/fsl/diagnostics.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+constexpr std::size_t kScriptsTotal = 200;
+
+TEST(GeneratorLint, TwoHundredGeneratedScriptsLintClean) {
+  const std::vector<std::string> fixtures = harness_names();
+  ASSERT_FALSE(fixtures.empty());
+  const std::size_t per_fixture =
+      (kScriptsTotal + fixtures.size() - 1) / fixtures.size();
+
+  std::size_t checked = 0;
+  for (const std::string& fixture : fixtures) {
+    for (std::size_t i = 0; i < per_fixture && checked < kScriptsTotal; ++i) {
+      const u64 campaign_seed = 0x5eedull + i / 7;  // several campaigns' worth
+      const u64 trial = i;
+      std::unique_ptr<TrialHarness> h = make_harness(fixture, trial);
+      const FaultSchedule schedule =
+          generate_schedule(campaign_seed, trial, h->schedule_template());
+      const ScenarioSpec spec =
+          h->make_spec(fsl_rules(schedule, h->fsl_site()));
+
+      fsl::CompileOptions opts;
+      opts.scenario = spec.scenario;
+      opts.lint = true;
+      const fsl::CompileResult r = fsl::check_script(spec.script, opts);
+      std::string errs;
+      for (const fsl::Diagnostic& d : r.diagnostics)
+        if (d.severity == fsl::Severity::kError)
+          errs += fsl::format_diagnostic(d) + "\n";
+      ASSERT_TRUE(r.ok()) << "fixture=" << fixture << " seed=" << campaign_seed
+                          << " trial=" << trial << "\n"
+                          << errs << "script:\n" << spec.script;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, kScriptsTotal);
+}
+
+TEST(GeneratorLint, EmptyScheduleScriptLintsClean) {
+  // The no-faults baseline (empty rule splice) must also be clean.
+  for (const std::string& fixture : harness_names()) {
+    std::unique_ptr<TrialHarness> h = make_harness(fixture, 0);
+    const ScenarioSpec spec = h->make_spec("");
+    fsl::CompileOptions opts;
+    opts.scenario = spec.scenario;
+    opts.lint = true;
+    const fsl::CompileResult r = fsl::check_script(spec.script, opts);
+    EXPECT_TRUE(r.ok()) << "fixture=" << fixture << "\n" << spec.script;
+  }
+}
+
+}  // namespace
+}  // namespace vwire::chaos

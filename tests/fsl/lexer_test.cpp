@@ -110,5 +110,27 @@ TEST(Lexer, MacNotConfusedWithHexPair) {
   EXPECT_EQ(toks[2].kind, TokKind::kInt);
 }
 
+TEST(Lexer, AccumulatingOverloadRecoversPastStrayCharacters) {
+  // Throw-mode stops at the first stray byte; accumulate-mode records each
+  // one and keeps scanning, so the surrounding tokens survive.
+  std::vector<Diagnostic> diags;
+  auto toks = tokenize("A @ B # C", diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].loc.col, 3u);
+  EXPECT_EQ(diags[1].loc.col, 7u);
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "A");
+  EXPECT_EQ(toks[1].text, "B");
+  EXPECT_EQ(toks[2].text, "C");
+}
+
+TEST(Lexer, AccumulatingOverloadCleanInputReportsNothing) {
+  std::vector<Diagnostic> diags;
+  auto toks = tokenize("A && B", diags);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(toks[1].kind, TokKind::kAndAnd);
+}
+
 }  // namespace
 }  // namespace vwire::fsl

@@ -179,5 +179,111 @@ INSTANTIATE_TEST_SUITE_P(
         BadInput{"SCENARIO t\n  (TRUE) >> EXPLODE;\nEND", "unknown action"},
         BadInput{"SCENARIO t\n  (TRUE) STOP;\nEND", "'>>'"}));
 
+// --- multi-diagnostic accumulation and recovery ----------------------------
+
+TEST(ParserRecovery, CollectsMultipleErrorsInOnePass) {
+  // Three independent mistakes: a bad filter tuple, a node line with no
+  // MAC, and an unknown action.  Throw-mode would stop at the first; the
+  // accumulating overload must report all three.
+  constexpr const char* kBroken = R"(
+FILTER_TABLE
+  bad: (34)
+  ok: (23 1 0x11)
+END
+NODE_TABLE
+  broken 10.0.0.1
+  fine 00:00:00:00:00:02 10.0.0.2
+END
+SCENARIO t
+  C: (ok, fine, fine, RECV)
+  (TRUE) >> EXPLODE;
+  ((C = 1)) >> STOP;
+END
+)";
+  std::vector<Diagnostic> diags;
+  AstScript s = parse_script(kBroken, diags);
+  ASSERT_GE(diags.size(), 3u);
+  auto has = [&](const char* frag) {
+    for (const Diagnostic& d : diags)
+      if (d.message.find(frag) != std::string::npos) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("byte count"));
+  EXPECT_TRUE(has("MAC"));
+  EXPECT_TRUE(has("unknown action"));
+  for (const Diagnostic& d : diags)
+    EXPECT_EQ(d.severity, Severity::kError) << format_diagnostic(d);
+}
+
+TEST(ParserRecovery, HealthyDeclarationsSurviveAroundErrors) {
+  // Recovery must not eat the good entries on either side of a bad one.
+  constexpr const char* kBroken = R"(
+FILTER_TABLE
+  first: (23 1 0x11)
+  bad (34 2 1)
+  last: (36 2 0x0007)
+END
+NODE_TABLE
+  a 00:00:00:00:00:01 10.0.0.1
+END
+)";
+  std::vector<Diagnostic> diags;
+  AstScript s = parse_script(kBroken, diags);
+  EXPECT_FALSE(diags.empty());
+  ASSERT_GE(s.filters.size(), 2u);
+  EXPECT_EQ(s.filters.front().name, "first");
+  EXPECT_EQ(s.filters.back().name, "last");
+  ASSERT_EQ(s.nodes.size(), 1u);
+  EXPECT_EQ(s.nodes[0].name, "a");
+}
+
+TEST(ParserRecovery, ScenarioStatementsResyncOnSemicolon) {
+  constexpr const char* kBroken = R"(
+FILTER_TABLE
+  f: (23 1 0x11)
+END
+NODE_TABLE
+  a 00:00:00:00:00:01 10.0.0.1
+END
+SCENARIO t
+  C: (f, a, a, RECV)
+  (TRUE) >> BOGUS_ONE;
+  ((C = 1)) >> BOGUS_TWO;
+  ((C = 2)) >> STOP;
+END
+)";
+  std::vector<Diagnostic> diags;
+  AstScript s = parse_script(kBroken, diags);
+  EXPECT_EQ(diags.size(), 2u);
+  // The well-formed rule after the two broken ones still parses.
+  ASSERT_EQ(s.scenarios.size(), 1u);
+  ASSERT_FALSE(s.scenarios[0].rules.empty());
+}
+
+TEST(ParserRecovery, LocationsPointAtOffendingTokens) {
+  std::vector<Diagnostic> diags;
+  parse_script("FILTER_TABLE\n  x: (34)\nEND\n", diags);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].loc.line, 2u);
+  EXPECT_GT(diags[0].loc.col, 1u);
+}
+
+TEST(ParserRecovery, ThrowModeStillThrowsFirstError) {
+  // The historical single-error contract is unchanged for callers that
+  // don't pass a diagnostic sink.
+  EXPECT_THROW(parse_script("FILTER_TABLE\n  x: (34)\nEND\n"), ParseError);
+}
+
+TEST(ParserRecovery, DiagnosticCapStopsRunawayAccumulation) {
+  // A pathologically broken script must not produce unbounded output.
+  std::string src = "SCENARIO t\n";
+  for (int i = 0; i < 200; ++i) src += "  (TRUE) >> NOPE_" + std::to_string(i) + ";\n";
+  src += "END\n";
+  std::vector<Diagnostic> diags;
+  parse_script(src, diags);
+  EXPECT_GE(diags.size(), 2u);
+  EXPECT_LE(diags.size(), 30u);
+}
+
 }  // namespace
 }  // namespace vwire::fsl
