@@ -2,8 +2,10 @@
 //
 // Modes:
 //   vwire_chaos [--fixture fig7] [--trials 100] [--seed 1] [--workers 4]
-//               [--keep-telemetry] [--out summary.json]
+//               [--keep-telemetry] [--state-faults] [--out summary.json]
 //       Run a randomized campaign; exit 1 if any invariant fired.
+//       --state-faults adds Byzantine soft-state corruptions (the
+//       fixture's tolerated state_fault_kinds) to the generated space.
 //   vwire_chaos --replay repro.json
 //       Load a repro artifact and re-execute its schedule; exit 1 if the
 //       violation does NOT reproduce (repros must stay honest).
@@ -212,12 +214,14 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(a, "--seed")) cfg.seed = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(a, "--workers")) cfg.workers = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(a, "--keep-telemetry")) cfg.keep_telemetry = true;
+    else if (!std::strcmp(a, "--state-faults")) cfg.state_faults = true;
     else if (!std::strcmp(a, "--out")) out_path = next();
     else if (!std::strcmp(a, "--campaign")) {}  // the default mode
     else {
       std::fprintf(stderr,
                    "usage: vwire_chaos [--fixture NAME] [--trials N] "
-                   "[--seed S] [--workers W] [--keep-telemetry] [--out F]\n"
+                   "[--seed S] [--workers W] [--keep-telemetry] "
+                   "[--state-faults] [--out F]\n"
                    "       vwire_chaos --replay repro.json\n"
                    "       vwire_chaos --smoke\n");
       return 2;

@@ -53,8 +53,16 @@ TrialResult Campaign::run_trial(u64 index) const {
   // the topology it describes.)
   const std::unique_ptr<TrialHarness> probe_harness =
       make_harness(cfg_.fixture, 0);
-  const FaultSchedule schedule =
-      generate_schedule(cfg_.seed, index, probe_harness->schedule_template());
+  ScheduleTemplate tmpl = probe_harness->schedule_template();
+  if (cfg_.state_faults) {
+    tmpl.state_kinds = probe_harness->state_fault_kinds();
+    if (!tmpl.state_kinds.empty() &&
+        std::find(tmpl.allowed.begin(), tmpl.allowed.end(),
+                  FaultKind::kStateFault) == tmpl.allowed.end()) {
+      tmpl.allowed.push_back(FaultKind::kStateFault);
+    }
+  }
+  const FaultSchedule schedule = generate_schedule(cfg_.seed, index, tmpl);
   return run_schedule(schedule);
 }
 
@@ -160,6 +168,20 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
           spec.actions.push_back({e.until, [rll] {
                                     rll->set_test_duplicate_delivery(false);
                                   }});
+        }
+        break;
+      }
+      case FaultKind::kStateFault: {
+        const std::vector<std::string> names = tb.node_names();
+        if (std::find(names.begin(), names.end(), e.node) == names.end()) {
+          throw std::invalid_argument(
+              "chaos: state_fault targets unknown node '" + e.node + "'");
+        }
+        if (!harness->schedule_state_fault(e, spec)) {
+          throw std::invalid_argument(
+              "chaos: fixture '" + cfg_.fixture +
+              "' cannot apply state fault '" + to_string(e.state) +
+              "' on node '" + e.node + "'");
         }
         break;
       }

@@ -48,6 +48,10 @@ struct CampaignConfig {
   bool minimize{true};
   /// Stop launching new trials after the first violation.
   bool stop_on_violation{false};
+  /// Let the generator draw Byzantine soft-state corruptions (kStateFault)
+  /// from the fixture's state_fault_kinds().  Off by default so existing
+  /// campaigns keep their draw sequences bit-identical.
+  bool state_faults{false};
   /// Post-run drain budget for the packet-conservation check.
   Duration drain_grace{millis(200)};
   /// Invariant-probe period during supervision.

@@ -1,5 +1,6 @@
 #include "vwire/chaos/fixtures.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "vwire/rether/rether_layer.hpp"
@@ -161,6 +162,62 @@ class Fig7Harness final : public TrialHarness {
     inv.add_final("tcp-integrity", [this] {
       return check_tcp_integrity(sink_->pattern_errors());
     });
+  }
+
+  std::vector<StateFaultKind> state_fault_kinds() const override {
+    // Only the recoverable corruptions: the hooks below clamp injected
+    // values into the window-sanity envelope, so byzantine campaigns stay
+    // violation-free (the invariant watches the *protocol* driving state
+    // out of bounds afterwards).  kRllWindowCorrupt is materializable too
+    // but only via directed schedules — it exists to break exactly-once.
+    return {StateFaultKind::kTcpCwndForce, StateFaultKind::kTcpCwndFlip,
+            StateFaultKind::kTcpSsthreshForce};
+  }
+
+  bool schedule_state_fault(const FaultEvent& e, ScenarioSpec& spec) override {
+    if (e.state == StateFaultKind::kRllWindowCorrupt) {
+      rll::RllLayer* rll = tb_.handles(e.node).rll;
+      if (rll == nullptr) return false;
+      spec.actions.push_back(
+          {e.at, [rll, v = e.state_value] { rll->corrupt_recv_window(v); }});
+      return true;
+    }
+    tcp::TcpLayer* tcp = e.node == "node1"   ? tcp1_.get()
+                         : e.node == "node2" ? tcp2_.get()
+                                             : nullptr;
+    if (tcp == nullptr) return false;
+    const StateFaultKind kind = e.state;
+    const u32 v = e.state_value;
+    switch (kind) {
+      case StateFaultKind::kTcpCwndForce:
+      case StateFaultKind::kTcpCwndFlip:
+      case StateFaultKind::kTcpSsthreshForce:
+        break;
+      default:
+        return false;
+    }
+    spec.actions.push_back({e.at, [tcp, kind, v] {
+      tcp->for_each_connection_mut([kind, v](tcp::TcpConnection& c) {
+        const tcp::CongestionParams& p = c.congestion().params();
+        switch (kind) {
+          case StateFaultKind::kTcpCwndForce:
+            c.inject_congestion_state(std::max<u32>(v, 1), std::nullopt);
+            break;
+          case StateFaultKind::kTcpCwndFlip:
+            c.inject_congestion_state(
+                std::max<u32>(c.congestion().cwnd() ^ (1u << (v & 15)), 1),
+                std::nullopt);
+            break;
+          case StateFaultKind::kTcpSsthreshForce:
+            c.inject_congestion_state(std::nullopt,
+                                      std::max(v, p.min_ssthresh));
+            break;
+          default:
+            break;
+        }
+      });
+    }});
+    return true;
   }
 
  private:
@@ -337,6 +394,26 @@ class RetherHarness final : public TrialHarness {
 
   void quiesce() override {
     for (rether::RetherLayer* l : layers_) l->stop();
+  }
+
+  // Token forgery exists to *provoke* the single-token violation, so it is
+  // never in the generated space (state_fault_kinds stays empty) — only
+  // directed schedules (regression repros, invariant tests) reach it.
+  bool schedule_state_fault(const FaultEvent& e, ScenarioSpec& spec) override {
+    if (e.state != StateFaultKind::kForgeTokenSeq &&
+        e.state != StateFaultKind::kDupTokenSeq) {
+      return false;
+    }
+    rether::RetherLayer* layer = nullptr;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (nodes_[i]->name() == e.node) layer = layers_[i];
+    }
+    if (layer == nullptr) return false;
+    const u32 ahead =
+        e.state == StateFaultKind::kDupTokenSeq ? 0 : e.state_value;
+    spec.actions.push_back(
+        {e.at, [layer, ahead] { layer->inject_forged_token(ahead); }});
+    return true;
   }
 
  private:

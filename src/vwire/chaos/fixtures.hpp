@@ -39,6 +39,23 @@ class TrialHarness {
   /// Called after supervision ends, before the conservation drain: stop
   /// perpetual traffic sources (token rings) so the wire can go quiet.
   virtual void quiesce() {}
+
+  /// State-fault corruptions the *generator* may draw for this fixture
+  /// when a campaign enables them (CampaignConfig::state_faults).  Only
+  /// corruptions the fixture's invariants tolerate belong here; primitives
+  /// meant to provoke violations (forged tokens, window regression) stay
+  /// out of the generated space and are used through directed schedules.
+  virtual std::vector<StateFaultKind> state_fault_kinds() const { return {}; }
+
+  /// Materializes one kStateFault event into `spec.actions` (a TimedAction
+  /// corrupting live protocol state at e.at).  Returns false when this
+  /// fixture cannot apply `e.state` to `e.node` — the campaign rejects the
+  /// schedule, mirroring the kRllDupDeliver validation.
+  virtual bool schedule_state_fault(const FaultEvent& e, ScenarioSpec& spec) {
+    (void)e;
+    (void)spec;
+    return false;
+  }
 };
 
 /// Fixture registry.  `name` ∈ harness_names(); throws std::invalid_argument

@@ -21,7 +21,15 @@ FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
   FaultSchedule s;
   s.campaign_seed = campaign_seed;
   s.trial_index = trial_index;
-  if (tmpl.allowed.empty()) return s;
+  // kStateFault is gated twice: it must be in `allowed` AND the template
+  // must offer concrete state kinds.  Filtering here (not erroring) lets a
+  // campaign hand every fixture the same allowed list.
+  std::vector<FaultKind> pool = tmpl.allowed;
+  if (tmpl.state_kinds.empty()) {
+    pool.erase(std::remove(pool.begin(), pool.end(), FaultKind::kStateFault),
+               pool.end());
+  }
+  if (pool.empty()) return s;
 
   Rng rng = Rng::derive(campaign_seed, "trial", trial_index);
   const std::size_t span = tmpl.max_events >= tmpl.min_events
@@ -30,7 +38,7 @@ FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
   const std::size_t n = tmpl.min_events + rng.below(span + 1);
   for (std::size_t i = 0; i < n; ++i) {
     FaultEvent e;
-    e.kind = tmpl.allowed[rng.below(tmpl.allowed.size())];
+    e.kind = pool[rng.below(pool.size())];
     e.at = {static_cast<i64>(rng.below(
         tmpl.horizon.ns > 0 ? static_cast<u64>(tmpl.horizon.ns) : 1))};
     const Duration len = draw_duration(rng, tmpl.min_len, tmpl.max_len);
@@ -82,6 +90,32 @@ FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
           e.mod_offset =
               static_cast<u16>(lo + rng.below(static_cast<u64>(hi - lo) + 1));
           e.mod_value = static_cast<u8>(1 + rng.below(255));  // never 0x00
+        }
+        break;
+      }
+      case FaultKind::kStateFault: {
+        // Pre-draw every random choice the fault needs; materialization is
+        // then deterministic, so ddmin subsets and replays never shift the
+        // stream (the same contract the FSL kinds follow).
+        e.state = tmpl.state_kinds[rng.below(tmpl.state_kinds.size())];
+        const u32 vmax = tmpl.state_value_max > 0 ? tmpl.state_value_max : 1;
+        switch (e.state) {
+          case StateFaultKind::kTcpCwndForce:
+            e.state_value = static_cast<u32>(rng.below(vmax + 1));
+            break;
+          case StateFaultKind::kTcpCwndFlip:
+            e.state_value = static_cast<u32>(rng.below(16));
+            break;
+          case StateFaultKind::kTcpSsthreshForce:
+            e.state_value = 1 + static_cast<u32>(rng.below(vmax));
+            break;
+          case StateFaultKind::kForgeTokenSeq:
+          case StateFaultKind::kRllWindowCorrupt:
+            e.state_value = 1 + static_cast<u32>(rng.below(8));
+            break;
+          case StateFaultKind::kDupTokenSeq:
+            e.state_value = 0;
+            break;
         }
         break;
       }

@@ -48,6 +48,13 @@ struct ScheduleTemplate {
   /// Nodes crash/link faults may target (the control node must not be
   /// here: killing the supervisor tests nothing).
   std::vector<std::string> targets;
+
+  // kStateFault space (ISSUE 6).  Which soft-state corruptions to draw
+  // from — empty disables kStateFault even if it appears in `allowed`, so
+  // existing fixture templates keep their draw sequences bit-identical.
+  std::vector<StateFaultKind> state_kinds;
+  /// Upper bound for forced cwnd/ssthresh values (segments).
+  u32 state_value_max{32};
 };
 
 /// The deterministic schedule for trial `trial_index` of the campaign.

@@ -11,7 +11,10 @@ namespace vwire::chaos {
 
 namespace {
 
-constexpr int kScheduleVersion = 1;
+// v1: wire/link/crash faults only.  v2 (ISSUE 6) adds kStateFault and its
+// "state"/"state_value" members; the loader still accepts v1 documents.
+constexpr int kScheduleVersion = 2;
+constexpr int kOldestLoadableVersion = 1;
 
 // Saturating double → integer conversions (the loader accepts hand-edited
 // JSON; an out-of-range static_cast would be UB).  `!(v >= lo)` doubles as
@@ -66,6 +69,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kFslDup:        return "fsl_dup";
     case FaultKind::kFslModify:     return "fsl_modify";
     case FaultKind::kRllDupDeliver: return "rll_dup_deliver";
+    case FaultKind::kStateFault:    return "state_fault";
   }
   return "?";
 }
@@ -74,7 +78,30 @@ std::optional<FaultKind> fault_kind_from(std::string_view name) {
   for (FaultKind k :
        {FaultKind::kCrash, FaultKind::kLinkCut, FaultKind::kLinkFlap,
         FaultKind::kLinkDegrade, FaultKind::kFslDrop, FaultKind::kFslDelay,
-        FaultKind::kFslDup, FaultKind::kFslModify, FaultKind::kRllDupDeliver}) {
+        FaultKind::kFslDup, FaultKind::kFslModify, FaultKind::kRllDupDeliver,
+        FaultKind::kStateFault}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(StateFaultKind k) {
+  switch (k) {
+    case StateFaultKind::kTcpCwndForce:     return "tcp_cwnd_force";
+    case StateFaultKind::kTcpCwndFlip:      return "tcp_cwnd_flip";
+    case StateFaultKind::kTcpSsthreshForce: return "tcp_ssthresh_force";
+    case StateFaultKind::kForgeTokenSeq:    return "forge_token_seq";
+    case StateFaultKind::kDupTokenSeq:      return "dup_token_seq";
+    case StateFaultKind::kRllWindowCorrupt: return "rll_window_corrupt";
+  }
+  return "?";
+}
+
+std::optional<StateFaultKind> state_fault_kind_from(std::string_view name) {
+  for (StateFaultKind k :
+       {StateFaultKind::kTcpCwndForce, StateFaultKind::kTcpCwndFlip,
+        StateFaultKind::kTcpSsthreshForce, StateFaultKind::kForgeTokenSeq,
+        StateFaultKind::kDupTokenSeq, StateFaultKind::kRllWindowCorrupt}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -86,7 +113,7 @@ bool is_fsl_kind(FaultKind k) {
 }
 
 std::string FaultSchedule::to_json() const {
-  std::string out = "{\"v\":1,\"type\":\"chaos_schedule\",";
+  std::string out = "{\"v\":2,\"type\":\"chaos_schedule\",";
   append_u64(out, "campaign_seed", campaign_seed);
   out += ',';
   append_u64(out, "trial_index", trial_index);
@@ -122,6 +149,10 @@ std::string FaultSchedule::to_json() const {
     append_u64(out, "mod_offset", e.mod_offset);
     out += ',';
     append_u64(out, "mod_value", e.mod_value);
+    out += ",\"state\":\"";
+    out += to_string(e.state);
+    out += "\",";
+    append_u64(out, "state_value", e.state_value);
     out += '}';
   }
   out += "\n]}";
@@ -133,7 +164,8 @@ FaultSchedule FaultSchedule::from_json(std::string_view text) {
 }
 
 FaultSchedule schedule_from_value(const obs::JsonValue& v) {
-  if (load_i64(v.num("v", -1)) != kScheduleVersion) {
+  const i64 version = load_i64(v.num("v", -1));
+  if (version < kOldestLoadableVersion || version > kScheduleVersion) {
     throw std::runtime_error("chaos schedule: unsupported version");
   }
   if (v.str("type") != "chaos_schedule") {
@@ -168,6 +200,19 @@ FaultSchedule schedule_from_value(const obs::JsonValue& v) {
     e.mod_offset = off > 0xffffu ? 0xffff : static_cast<u16>(off);
     const u64 val = load_u64(ev.num("mod_value"));
     e.mod_value = val > 0xffu ? 0xff : static_cast<u8>(val);
+    if (ev.has("state")) {  // absent in v1 documents
+      const std::string state = ev.str("state");
+      std::optional<StateFaultKind> sk = state_fault_kind_from(state);
+      if (!sk) {
+        throw std::runtime_error("chaos schedule: unknown state fault '" +
+                                 state + "'");
+      }
+      e.state = *sk;
+      e.state_value = load_u32(ev.num("state_value"));
+    } else if (e.kind == FaultKind::kStateFault) {
+      throw std::runtime_error(
+          "chaos schedule: state_fault event without a 'state' member");
+    }
     s.events.push_back(std::move(e));
   }
   return s;
@@ -218,6 +263,7 @@ std::string fsl_rules(const FaultSchedule& schedule, const FslSite& site) {
       case FaultKind::kLinkFlap:
       case FaultKind::kLinkDegrade:
       case FaultKind::kRllDupDeliver:
+      case FaultKind::kStateFault:
         break;  // materialized through ScenarioSpec, not FSL
     }
   }

@@ -33,10 +33,33 @@ enum class FaultKind : u8 {
   kFslModify,    ///< MODIFY one byte of packet pkt_lo (offset/value below)
   kRllDupDeliver,  ///< test-only: arm RllLayer duplicate delivery over
                    ///< [at, until) — plants a known-bad exactly-once bug
+  kStateFault,     ///< Byzantine soft-state corruption inside a protocol
+                   ///< stack at `at` (see StateFaultKind / DESIGN.md §10)
+};
+
+/// What a kStateFault event corrupts.  Unlike the wire-level kinds these
+/// reach *inside* the system under test: the paper's fault model stops at
+/// the medium, so these model the software-fault-injection gap (ROADMAP
+/// item 5).  Every random choice a state fault needs is pre-drawn into the
+/// FaultEvent at generation time — materialization consumes no randomness,
+/// which is what keeps replay byte-identical.
+enum class StateFaultKind : u8 {
+  kTcpCwndForce,      ///< force cwnd to `state_value` segments
+  kTcpCwndFlip,       ///< XOR bit `state_value` (0..15) into cwnd
+  kTcpSsthreshForce,  ///< force ssthresh to `state_value` segments
+  kForgeTokenSeq,     ///< forge a live Rether token `state_value` ahead of
+                      ///< the ring's current sequence on the target node
+  kDupTokenSeq,       ///< duplicate the live token: target node starts
+                      ///< holding at the current max sequence (split brain)
+  kRllWindowCorrupt,  ///< regress the RLL receive window (recv_next) by
+                      ///< `state_value` frames on every known peer
 };
 
 const char* to_string(FaultKind k);
 std::optional<FaultKind> fault_kind_from(std::string_view name);
+
+const char* to_string(StateFaultKind k);
+std::optional<StateFaultKind> state_fault_kind_from(std::string_view name);
 
 /// True for the kinds that materialize as generated FSL rules (and thus
 /// need no node target — they act on the fixture's filter site).
@@ -65,6 +88,11 @@ struct FaultEvent {
   u16 mod_offset{0};  ///< kFslModify frame byte offset
   u8 mod_value{0};    ///< kFslModify replacement byte
 
+  // kStateFault: which soft state to corrupt and the pre-drawn operand
+  // (forced value / bit index / sequence offset / window regression).
+  StateFaultKind state{StateFaultKind::kTcpCwndForce};
+  u32 state_value{0};
+
   bool operator==(const FaultEvent&) const = default;
 };
 
@@ -78,10 +106,13 @@ struct FaultSchedule {
 
   bool operator==(const FaultSchedule&) const = default;
 
-  /// One-line-per-event JSON document (schema "chaos_schedule" v1).
+  /// One-line-per-event JSON document (schema "chaos_schedule" v2; v2
+  /// added the kStateFault fields).
   std::string to_json() const;
   /// Inverse of to_json(); throws std::runtime_error on malformed input,
-  /// unknown kinds or a wrong schema version.
+  /// unknown kinds or a wrong schema version.  Accepts v1 documents too —
+  /// pre-state-fault artifacts must keep loading (they simply contain no
+  /// "state" members).
   static FaultSchedule from_json(std::string_view text);
 };
 

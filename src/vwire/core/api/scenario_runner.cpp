@@ -222,6 +222,14 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   phy::Medium& medium = testbed_.medium();
   if (spec.seed != 0) medium.reseed(spec.seed);
   const u64 effective_seed = spec.seed != 0 ? spec.seed : medium.seed();
+  // RATE/PROB fault-modifier streams derive from the same effective seed,
+  // so a replay under the same (spec, seed) draws identically.  Seeded
+  // before arm(): load() builds the per-action streams from this value.
+  for (const std::string& n : testbed_.node_names()) {
+    if (core::EngineLayer* engine = testbed_.handles(n).engine) {
+      engine->set_modifier_seed(effective_seed);
+    }
+  }
 
   std::string control = spec.control_node.empty()
                             ? testbed_.node_names().front()

@@ -29,6 +29,11 @@ EngineLayer::Fate EngineLayer::apply_faults(net::Packet& pkt,
       active = it != reorder_buf_.end() && !it->second.empty();
     }
     if (!active) continue;
+    // RATE/PROB modifiers thin the fault stream.  The common unmodified
+    // case short-circuits here (one compare, no counter, no draw) so the
+    // steady-state packet path stays within its overhead budget.  A
+    // suppressed match falls through to later actions in script order.
+    if ((e.rate_n > 1 || e.prob < 1.0) && !modifier_admits(e, a)) continue;
     Fate fate = apply_one(e, a, pkt, dir);
     if (fate != Fate::kRelease) return fate;
     // MODIFY/DUP release the packet but stop further fault matching: one
@@ -36,6 +41,16 @@ EngineLayer::Fate EngineLayer::apply_faults(net::Packet& pkt,
     return Fate::kRelease;
   }
   return Fate::kRelease;
+}
+
+bool EngineLayer::modifier_admits(const ActionEntry& e, ActionId id) {
+  if (e.rate_n > 1) {
+    // RATE(N) fires on exactly every Nth matching packet (the Nth, 2Nth,
+    // ...), so a soak's fault count is deterministic, not statistical.
+    if (++mod_count_[id] % e.rate_n != 0) return false;
+  }
+  if (e.prob < 1.0 && !mod_rng_[id].chance(e.prob)) return false;
+  return true;
 }
 
 EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,

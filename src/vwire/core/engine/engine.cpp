@@ -72,11 +72,28 @@ void EngineLayer::load(TableSet tables) {
 
   reorder_buf_.clear();
   reorder_dir_.clear();
+  reseed_modifiers();
   // Fresh scenario, fresh provenance: the ring from a previous arm() must
   // not leak into this run's explain() output.
   provenance_.reset(params_.provenance_capacity);
   loaded_ = true;
   running_ = false;
+}
+
+void EngineLayer::set_modifier_seed(u64 seed) {
+  modifier_seed_ = seed;
+  if (loaded_) reseed_modifiers();
+}
+
+void EngineLayer::reseed_modifiers() {
+  mod_count_.assign(tables_.actions.entries.size(), 0);
+  mod_rng_.clear();
+  mod_rng_.reserve(tables_.actions.entries.size());
+  for (std::size_t a = 0; a < tables_.actions.entries.size(); ++a) {
+    mod_rng_.push_back(Rng::derive(
+        modifier_seed_, "fsl.mod",
+        (static_cast<u64>(self_) << 32) | static_cast<u64>(a)));
+  }
 }
 
 void EngineLayer::fill_record(obs::FiringRecord& r, CondId cond,
@@ -128,6 +145,7 @@ void EngineLayer::reset() {
   if (vars_) vars_->reset();
   reorder_buf_.clear();
   reorder_dir_.clear();
+  reseed_modifiers();
   provenance_.clear();
   running_ = false;
 }

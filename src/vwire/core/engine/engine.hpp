@@ -150,6 +150,12 @@ class EngineLayer final : public host::Layer {
   /// receivers can fence stale cross-scenario traffic (set by INIT).
   void set_epoch(u32 epoch) { epoch_ = epoch; }
 
+  /// Seeds the RATE/PROB fault-modifier streams.  The ScenarioRunner passes
+  /// the scenario's effective seed before arming; each modified action draws
+  /// from its own derived child stream ("fsl.mod", (node << 32) | action),
+  /// so adding an action never shifts another action's draws.
+  void set_modifier_seed(u64 seed);
+
   /// Installs a table set (normally deserialized from an INIT message) and
   /// resolves this node's identity by MAC.  A node absent from the table
   /// becomes a transparent bystander.
@@ -234,6 +240,10 @@ class EngineLayer final : public host::Layer {
                     NodeId src, NodeId dst);
   Fate apply_one(const ActionEntry& a, ActionId id, net::Packet& pkt,
                  net::Direction dir);
+  /// RATE/PROB gate: does this match fire the (active) fault?  Counts the
+  /// match for RATE and draws from the action's stream for PROB.
+  bool modifier_admits(const ActionEntry& e, ActionId id);
+  void reseed_modifiers();
 
   void send_control(NodeId to, control::ControlMessage msg);
 
@@ -286,6 +296,13 @@ class EngineLayer final : public host::Layer {
   // cascade depth at which it rose, for provenance.
   std::deque<std::pair<CondId, u16>> fired_;
   bool draining_{false};
+
+  // Fault-modifier state: per-action match counters (RATE) and RNG streams
+  // (PROB), rebuilt from modifier_seed_ on load()/reset() so a re-armed
+  // scenario replays identically.
+  u64 modifier_seed_{0};
+  std::vector<u64> mod_count_;
+  std::vector<Rng> mod_rng_;
 
   Rng rng_;
   EngineStats stats_;

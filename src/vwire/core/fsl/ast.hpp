@@ -84,9 +84,18 @@ struct AstArg {
 };
 
 struct AstAction {
+  /// Optional trailing fault modifier: `DROP ... RATE(3)` fires on every
+  /// 3rd matching packet, `DELAY ... PROB(0.25)` on each match with
+  /// probability 0.25.  At most one modifier per action.
+  enum class ModKind : u8 { kNone, kRate, kProb };
+
   SourceLoc loc;
   std::string name;
   std::vector<AstArg> args;
+  ModKind mod{ModKind::kNone};
+  SourceLoc mod_loc;   ///< location of the modifier keyword
+  u32 mod_rate{0};     ///< kRate: N as written (compiler validates)
+  double mod_prob{1.0};  ///< kProb: p as written (compiler validates)
 };
 
 struct AstRule {

@@ -512,8 +512,32 @@ class Compiler {
         check_argc(a, 1, 1);
       }
     }
+    compile_modifier(a, e);
     out_.actions.entries.push_back(std::move(e));
     return static_cast<core::ActionId>(out_.actions.entries.size() - 1);
+  }
+
+  /// Validates and attaches a trailing RATE(n)/PROB(p) modifier.  Modifiers
+  /// thin a per-packet fault stream, so they only make sense on packet
+  /// faults; one-shot actions (FAIL, STOP, counter primitives) have no
+  /// stream to thin.
+  void compile_modifier(const AstAction& a, ActionEntry& e) {
+    if (a.mod == AstAction::ModKind::kNone) return;
+    if (!core::is_packet_fault(e.kind)) {
+      fail(a.mod_loc,
+           a.name + ": RATE/PROB modifiers apply only to packet faults "
+                    "(DROP, DELAY, REORDER, DUP, MODIFY)",
+           "modifier-conflict");
+    }
+    if (a.mod == AstAction::ModKind::kRate) {
+      e.rate_n = a.mod_rate;
+    } else {
+      if (a.mod_prob <= 0.0 || a.mod_prob > 1.0) {
+        fail(a.mod_loc, "PROB probability must be in (0, 1]",
+             "modifier-range");
+      }
+      e.prob = a.mod_prob;
+    }
   }
 
   // --- dependency wiring --------------------------------------------------------

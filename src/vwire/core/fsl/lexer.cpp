@@ -1,6 +1,7 @@
 #include "vwire/core/fsl/lexer.hpp"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "vwire/util/hex.hpp"
 
@@ -10,6 +11,7 @@ const char* to_string(TokKind k) {
   switch (k) {
     case TokKind::kIdent: return "identifier";
     case TokKind::kInt: return "integer";
+    case TokKind::kFloat: return "real number";
     case TokKind::kMac: return "MAC address";
     case TokKind::kIp: return "IP address";
     case TokKind::kDuration: return "duration";
@@ -148,6 +150,21 @@ class Scanner {
     while (std::isdigit(static_cast<u8>(peek()))) digits.push_back(advance());
 
     if (peek() == '.') {
+      // One dot followed by digits and then no further dot is a real
+      // number (0.25 in PROB modifiers); a second dot makes it a
+      // dotted-quad IP literal.  Look past the fraction to decide.
+      std::size_t after_frac = 1;
+      while (std::isdigit(static_cast<u8>(peek(after_frac)))) ++after_frac;
+      if (after_frac > 1 && peek(after_frac) != '.') {
+        std::string text = digits;
+        text.push_back(advance());  // '.'
+        while (std::isdigit(static_cast<u8>(peek()))) {
+          text.push_back(advance());
+        }
+        Token t = make(TokKind::kFloat, text);
+        t.real = std::strtod(text.c_str(), nullptr);
+        return t;
+      }
       // Dotted-quad IP literal.
       std::string text = digits;
       for (int group = 0; group < 3; ++group) {

@@ -1,9 +1,10 @@
 // FSL lexer.
 //
 // Tokenizes the declarative scripting language of paper §4: identifiers,
-// decimal and hex integers, MAC literals (aa:bb:cc:dd:ee:ff), dotted-quad
-// IP literals, duration literals (1sec, 500ms), the rule arrow `>>`,
-// relational and boolean operators, and C-style comments.
+// decimal and hex integers, real numbers (0.25, used by PROB modifiers),
+// MAC literals (aa:bb:cc:dd:ee:ff), dotted-quad IP literals, duration
+// literals (1sec, 500ms), the rule arrow `>>`, relational and boolean
+// operators, and C-style comments.
 #pragma once
 
 #include <string_view>
@@ -16,6 +17,7 @@ namespace vwire::fsl {
 enum class TokKind : u8 {
   kIdent,
   kInt,       ///< decimal or 0x-hex; value in `value`
+  kFloat,     ///< digits '.' digits (one dot only); value in `real`
   kMac,       ///< text form kept in `text`
   kIp,        ///< text form kept in `text`
   kDuration,  ///< value in `duration`
@@ -43,6 +45,7 @@ struct Token {
   TokKind kind{TokKind::kEof};
   std::string text;  ///< identifier / literal spelling
   u64 value{0};      ///< kInt
+  double real{0.0};  ///< kFloat
   bool is_hex{false};  ///< kInt written as 0x...
   Duration duration{};
   SourceLoc loc;

@@ -319,6 +319,33 @@ void check_conflicting_actions(const AstScenario* sc, const TableSet& t,
   }
 }
 
+// --- fault modifiers ---------------------------------------------------------
+
+/// RATE(0)/RATE(1)/PROB(1.0) pass every matching packet through, exactly
+/// like the unmodified action — almost certainly a misunderstanding of the
+/// modifier (e.g. expecting RATE(1) to mean "once").
+void check_modifiers(const AstScenario* sc, std::vector<Diagnostic>& out) {
+  if (sc == nullptr) return;
+  for (const AstRule& r : sc->rules) {
+    for (const AstAction& a : r.actions) {
+      if (a.mod == AstAction::ModKind::kRate && a.mod_rate <= 1) {
+        out.push_back({a.mod_loc,
+                       "RATE(" + std::to_string(a.mod_rate) +
+                           ") is a no-op: the fault still fires on every "
+                           "matching packet; use RATE(2) or higher, or drop "
+                           "the modifier",
+                       Severity::kWarning, "modifier-no-op"});
+      } else if (a.mod == AstAction::ModKind::kProb && a.mod_prob >= 1.0) {
+        out.push_back({a.mod_loc,
+                       "PROB(1.0) is a no-op: the fault still fires on "
+                           "every matching packet; use a probability below "
+                           "1, or drop the modifier",
+                       Severity::kWarning, "modifier-no-op"});
+      }
+    }
+  }
+}
+
 // --- cross-node counter cycles ---------------------------------------------
 
 /// Counters read by a condition's postfix program.
@@ -527,6 +554,7 @@ std::vector<Diagnostic> lint_script(const AstScript& script,
   check_dead_symbols(script, sc, tables, out);
   check_conditions(sc, tables, out);
   check_conflicting_actions(sc, tables, out);
+  check_modifiers(sc, out);
   check_cross_node_cycles(sc, tables, out);
   check_termination(sc, tables, out);
   sort_diagnostics(out);

@@ -437,6 +437,13 @@ class Parser {
 
   // --- actions -------------------------------------------------------------
 
+  /// RATE(n) / PROB(p) keyword at the current position?
+  bool at_modifier() const {
+    return peek().kind == TokKind::kIdent &&
+           (peek().text == "RATE" || peek().text == "PROB") &&
+           peek(1).kind == TokKind::kLParen;
+  }
+
   AstAction parse_action() {
     AstAction a;
     a.loc = peek().loc;
@@ -451,13 +458,45 @@ class Parser {
         while (accept(TokKind::kComma)) a.args.push_back(parse_arg());
         expect(TokKind::kRParen, "')' closing the action arguments");
       }
-    } else if (peek().kind != TokKind::kSemi &&
+    } else if (!at_modifier() && peek().kind != TokKind::kSemi &&
                peek().kind != TokKind::kEof) {
       // Bare form used in the paper: "DROP TCP_synack, node2, node1, RECV;"
       a.args.push_back(parse_arg());
       while (accept(TokKind::kComma)) a.args.push_back(parse_arg());
     }
+    parse_modifier(a);
     return a;
+  }
+
+  /// Optional trailing fault modifier: "... RATE(3)" or "... PROB(0.25)".
+  /// Syntax only — range and applicability checks live in the compiler
+  /// ("modifier-range" / "modifier-conflict") and linter ("modifier-no-op").
+  void parse_modifier(AstAction& a) {
+    if (!at_modifier()) return;
+    const Token& kw = advance();
+    a.mod_loc = kw.loc;
+    expect(TokKind::kLParen, "'(' after the modifier keyword");
+    if (kw.text == "RATE") {
+      a.mod = AstAction::ModKind::kRate;
+      a.mod_rate =
+          static_cast<u32>(expect(TokKind::kInt, "integer rate").value);
+    } else {
+      a.mod = AstAction::ModKind::kProb;
+      const Token& t = peek();
+      if (t.kind == TokKind::kFloat) {
+        a.mod_prob = advance().real;
+      } else if (t.kind == TokKind::kInt) {
+        // PROB(1) is legal (always fire); PROB(0)/PROB(2) are range
+        // errors the compiler reports with this location.
+        a.mod_prob = static_cast<double>(advance().value);
+      } else {
+        fail(t, "expected a probability such as 0.25");
+      }
+    }
+    expect(TokKind::kRParen, "')' closing the modifier");
+    if (at_modifier()) {
+      fail(peek(), "at most one RATE/PROB modifier per action");
+    }
   }
 
   AstArg parse_arg() {

@@ -4,6 +4,7 @@
 // structures" (paper §3.2); faithfully, the tables travel over the
 // simulated network as the payload of the control plane's INIT message, so
 // every engine works from a deserialized copy, never from shared memory.
+#include <cstring>
 #include <stdexcept>
 
 #include "vwire/core/tables/tables.hpp"
@@ -13,7 +14,8 @@ namespace vwire::core {
 namespace {
 
 constexpr u32 kMagic = 0x56575442;  // "VWTB"
-constexpr u16 kVersion = 1;
+// v2: ActionEntry grew the RATE/PROB fault-modifier fields.
+constexpr u16 kVersion = 2;
 
 void put_ids(ByteWriter& w, const std::vector<u16>& v) {
   w.u16v(static_cast<u16>(v.size()));
@@ -134,6 +136,10 @@ Bytes serialize(const TableSet& t) {
     w.u16v(a.fail_node);
     w.u16v(a.counter);
     w.u64v(static_cast<u64>(a.value));
+    w.u32v(a.rate_n);
+    u64 prob_bits = 0;
+    std::memcpy(&prob_bits, &a.prob, sizeof prob_bits);
+    w.u64v(prob_bits);
   }
   return w.take();
 }
@@ -246,6 +252,9 @@ TableSet deserialize_tables(BytesView bytes) {
     a.fail_node = r.u16v();
     a.counter = r.u16v();
     a.value = static_cast<i64>(r.u64v());
+    a.rate_n = r.u32v();
+    const u64 prob_bits = r.u64v();
+    std::memcpy(&a.prob, &prob_bits, sizeof a.prob);
     t.actions.entries.push_back(std::move(a));
   }
   return t;

@@ -218,6 +218,13 @@ struct ActionEntry {
 
   CounterId counter{kInvalidId};  ///< counter primitives
   i64 value{0};                   ///< ASSIGN/INCR/DECR amount
+
+  // Fault modifiers (packet faults only).  rate_n == 0 means no RATE
+  // modifier; rate_n == N fires on every Nth matching packet.  prob < 1.0
+  // fires per match with that probability, drawn from a per-action RNG
+  // stream the engine derives from the scenario's effective seed.
+  u32 rate_n{0};
+  double prob{1.0};
 };
 
 struct ActionTable {

@@ -35,6 +35,17 @@ void RetherLayer::kick_watchdog() {
   if (started_ && params_.watchdog) watchdog_.start(params_.regen_timeout);
 }
 
+void RetherLayer::inject_forged_token(u32 seq_ahead) {
+  if (!started_) return;
+  // Adopt the forged sequence exactly as handle_token would have, then act
+  // as a legitimate holder: the forgery propagates through normal passes,
+  // which is what makes the resulting split brain a protocol-level event
+  // rather than a one-instant glitch.
+  token_seq_ = highest_seq_seen_ + seq_ahead;
+  highest_seq_seen_ = token_seq_;
+  if (!holding_) hold_token();
+}
+
 // ---------------------------------------------------------------------------
 // Data path
 

@@ -109,6 +109,14 @@ class RetherLayer final : public host::Layer {
   /// A node outside the ring can request admission (extension).
   void request_join();
 
+  /// Byzantine fault-injection hook (chaos kStateFault, DESIGN.md §10):
+  /// this node starts holding a forged token whose sequence is `seq_ahead`
+  /// beyond the highest it has seen — as if a corrupted token frame slipped
+  /// past the stale-sequence filter.  seq_ahead = 0 duplicates the current
+  /// operational sequence, so two live holders exist (the split brain the
+  /// single-token probe catches).  Never call outside fault injection.
+  void inject_forged_token(u32 seq_ahead);
+
   // --- real-time mode --------------------------------------------------
   /// Frames matching this predicate use the reserved (guaranteed) queue;
   /// everything else is best effort.  Unset = everything is best effort.

@@ -292,6 +292,17 @@ void RllLayer::send_standalone_ack(PeerState& p) {
   pass_down(make_ack(p.peer_mac, node_->mac(), p.recv_next));
 }
 
+void RllLayer::corrupt_recv_window(u32 frames) {
+  if (frames == 0) return;
+  for (auto& [mac, p] : peers_) {
+    // Sequence space starts at 1; only cursors with delivery history can
+    // regress (recv_next - 1 frames have been handed upward).
+    const u32 delivered = p->recv_next - 1;
+    const u32 back = std::min(frames, delivered);
+    p->recv_next -= back;
+  }
+}
+
 void RllLayer::audit_delivery(PeerState& p, u32 seq) {
   if (p.audit_any && !seq_less(p.audit_last, seq)) ++stats_.deliver_misorder;
   p.audit_any = true;

@@ -173,6 +173,15 @@ class RllLayer final : public host::Layer {
   /// catches it; never enable outside tests.
   void set_test_duplicate_delivery(bool on) { test_dup_deliver_ = on; }
 
+  /// Byzantine fault-injection hook (chaos kStateFault, DESIGN.md §10):
+  /// regresses every known peer's in-order receive cursor (recv_next) by
+  /// up to `frames`, as if the window state were corrupted in memory.
+  /// Already-delivered sequences re-enter the window, so a retransmission
+  /// landing on the regressed cursor is handed upward a second time — the
+  /// delivery audit (deliver_misorder) catches exactly that.  Never call
+  /// outside fault injection.
+  void corrupt_recv_window(u32 frames);
+
   /// Introspection of one peer's ARQ state (test hook).
   struct PeerInfo {
     bool known{false};

@@ -52,6 +52,13 @@ class CongestionControl {
   /// Counters the analysis side observes (the Fig 5 script mirrors these).
   u32 ca_ack_count() const { return ca_acks_; }
 
+  /// Byzantine fault-injection hooks (chaos kStateFault, DESIGN.md §10):
+  /// overwrite window state directly, modelling soft-state memory
+  /// corruption rather than any RFC event.  The next real congestion event
+  /// operates on the corrupted values.  Never call outside fault injection.
+  void inject_cwnd(u32 segments) { cwnd_ = segments; }
+  void inject_ssthresh(u32 segments) { ssthresh_ = segments; }
+
  private:
   void collapse();
 

@@ -127,6 +127,15 @@ void TcpConnection::close() {
   }
 }
 
+void TcpConnection::inject_congestion_state(std::optional<u32> cwnd,
+                                            std::optional<u32> ssthresh) {
+  if (cwnd) cc_.inject_cwnd(*cwnd);
+  if (ssthresh) cc_.inject_ssthresh(*ssthresh);
+  // A corrupted-larger window may unblock buffered data right away; a
+  // corrupted-smaller one simply gates future transmissions.
+  if (cwnd) maybe_send_data();
+}
+
 void TcpConnection::maybe_send_data() {
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
     return;

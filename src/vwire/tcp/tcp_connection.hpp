@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "vwire/net/tcp_header.hpp"
 #include "vwire/obs/metrics.hpp"
@@ -124,6 +125,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   /// Segment arrival from TcpLayer; checksum already verified.
   void on_segment(const net::TcpHeader& h, BytesView payload);
+
+  /// Byzantine fault-injection hook (chaos kStateFault, DESIGN.md §10):
+  /// forces congestion state through CongestionControl's injection hooks.
+  /// A raised cwnd immediately re-opens the send window; a lowered one
+  /// gates future sends.  Never call outside fault injection.
+  void inject_congestion_state(std::optional<u32> cwnd,
+                               std::optional<u32> ssthresh);
 
   /// Telemetry sinks for accepted RTT samples and the resulting effective
   /// RTO (both µs); registry-owned, set by TcpLayer at connection creation.

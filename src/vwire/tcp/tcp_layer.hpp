@@ -43,6 +43,14 @@ class TcpLayer {
   void for_each_connection(Fn&& fn) const {
     for (const auto& [key, conn] : conns_) fn(*conn);
   }
+
+  /// Mutable visitor for Byzantine fault injection (chaos kStateFault):
+  /// lets state-corruption hooks reach live connections.  Do not
+  /// open/close connections from `fn`; never use outside fault injection.
+  template <class Fn>
+  void for_each_connection_mut(Fn&& fn) {
+    for (auto& [key, conn] : conns_) fn(*conn);
+  }
   const TcpLayerStats& stats() const { return stats_; }
   host::Node& node() { return node_; }
   const TcpParams& defaults() const { return defaults_; }

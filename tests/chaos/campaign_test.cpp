@@ -153,6 +153,112 @@ TEST(Campaign, CampaignRunAttachesMinimizedRepro) {
   EXPECT_FALSE(campaign.run_schedule(back.schedule).ok());
 }
 
+// --- byzantine state faults (ISSUE 6) -------------------------------------
+
+TEST(Campaign, ByzantineFig7CampaignIsClean) {
+  // With state_faults on, fig7's generated space holds only the recoverable
+  // congestion-state corruptions — the protocol must absorb all of them.
+  CampaignConfig cfg = small_fig7(42);
+  cfg.trials = 4;
+  cfg.state_faults = true;
+  CampaignSummary s = Campaign(cfg).run();
+  EXPECT_TRUE(s.ok()) << s.to_json();
+  std::size_t state_events = 0;
+  for (const TrialResult& r : s.results) {
+    for (const FaultEvent& e : r.schedule.events) {
+      if (e.kind == FaultKind::kStateFault) ++state_events;
+    }
+  }
+  EXPECT_GT(state_events, 0u) << "the byzantine space must actually be drawn";
+}
+
+TEST(Campaign, ByzantineReplayIsByteIdentical) {
+  CampaignConfig cfg = small_fig7(42);
+  cfg.state_faults = true;
+  Campaign campaign(cfg);
+  TrialResult a = campaign.run_trial(2);
+  TrialResult b = campaign.run_trial(2);
+  ASSERT_FALSE(a.telemetry.empty());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.telemetry, b.telemetry)
+      << "state-fault trials must replay byte-for-byte like any other";
+}
+
+TEST(Campaign, WindowCorruptionBreaksExactlyOnceAndMinimizes) {
+  // kRllWindowCorrupt regresses node2's receive cursor mid-transfer: the
+  // sender's go-back-N retransmits frames the sink already consumed, and
+  // the always-on delivery audit must call that a duplicate delivery.
+  Campaign campaign(small_fig7(42));
+  FaultSchedule bad;
+  bad.campaign_seed = 42;
+  bad.trial_index = 9002;
+  FaultEvent decoy_cut;
+  decoy_cut.kind = FaultKind::kLinkCut;
+  decoy_cut.node = "node1";
+  decoy_cut.at = millis(20);
+  decoy_cut.until = millis(30);
+  FaultEvent corrupt;
+  corrupt.kind = FaultKind::kStateFault;
+  corrupt.state = StateFaultKind::kRllWindowCorrupt;
+  corrupt.node = "node2";
+  // Early in the transfer, while a delivered-but-unacked frame is still in
+  // the sender's flight window — regression past the ack frontier only
+  // deadlocks (and the epoch reset heals forward without a duplicate).
+  corrupt.at = millis(10);
+  corrupt.state_value = 1;
+  bad.events = {decoy_cut, corrupt};
+
+  TrialResult r = campaign.run_schedule(bad);
+  ASSERT_FALSE(r.ok());
+  bool saw = false;
+  for (const Violation& v : r.violations) {
+    saw = saw || v.invariant == "rll-exactly-once";
+  }
+  EXPECT_TRUE(saw) << "expected the exactly-once audit to fire";
+
+  const FaultSchedule minimized =
+      minimize_schedule(bad, [&campaign](const FaultSchedule& cand) {
+        return !campaign.run_schedule(cand).ok();
+      });
+  ASSERT_EQ(minimized.events.size(), 1u) << "the decoy must be stripped";
+  EXPECT_EQ(minimized.events[0].kind, FaultKind::kStateFault);
+  EXPECT_EQ(minimized.events[0].state, StateFaultKind::kRllWindowCorrupt);
+}
+
+// The organic rether split brain (seed 5, trial 33 below) distilled to its
+// essence: one duplicated live token is sufficient for two operational
+// holders to share the maximum sequence.
+TEST(Campaign, DirectedDupTokenSplitBrainOneLiner) {
+  CampaignConfig cfg;
+  cfg.fixture = "rether";
+  Campaign campaign(cfg);
+  FaultSchedule bad;
+  FaultEvent dup;
+  dup.kind = FaultKind::kStateFault;
+  dup.state = StateFaultKind::kDupTokenSeq;
+  dup.node = "r3";
+  dup.at = millis(100);
+  bad.events = {dup};
+  TrialResult r = campaign.run_schedule(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations[0].invariant, "rether-single-token");
+}
+
+TEST(Campaign, UnsupportedStateFaultRejected) {
+  Campaign campaign(small_fig7(42));
+  FaultSchedule bad;
+  FaultEvent e;
+  e.kind = FaultKind::kStateFault;
+  e.state = StateFaultKind::kForgeTokenSeq;  // fig7 has no token ring
+  e.node = "node1";
+  bad.events = {e};
+  EXPECT_THROW((void)campaign.run_schedule(bad), std::exception);
+  e.state = StateFaultKind::kTcpCwndForce;
+  e.node = "no-such-node";
+  bad.events = {e};
+  EXPECT_THROW((void)campaign.run_schedule(bad), std::exception);
+}
+
 TEST(Campaign, UnknownDupNodeRejected) {
   Campaign campaign(small_fig7(42));
   FaultSchedule bad;

@@ -135,6 +135,51 @@ TEST(InvariantLive, RllDuplicateDeliveryIsDetected) {
       check_rll_exactly_once(tb.handles("client").rll->stats()).has_value());
 }
 
+// The Byzantine cwnd/ssthresh hooks drive state straight out of the
+// window-sanity envelope; the probe must notice without any traffic at all.
+TEST(InvariantLive, InjectedCongestionCorruptionViolatesWindowSanity) {
+  tcp::CongestionControl cc;
+  EXPECT_FALSE(check_tcp_window_sanity(cc.cwnd(), cc.ssthresh(), cc.params())
+                   .has_value());
+  cc.inject_cwnd(0);  // a zero window deadlocks the sender forever
+  EXPECT_TRUE(check_tcp_window_sanity(cc.cwnd(), cc.ssthresh(), cc.params())
+                  .has_value());
+  cc.inject_cwnd(1);
+  ASSERT_GT(cc.params().min_ssthresh, 0u);
+  cc.inject_ssthresh(cc.params().min_ssthresh - 1);
+  EXPECT_TRUE(check_tcp_window_sanity(cc.cwnd(), cc.ssthresh(), cc.params())
+                  .has_value());
+}
+
+// The deterministic window-regression recipe: deliver one frame while its
+// ack is withheld, regress the receive cursor, and let the sender's RTO
+// retransmission hand the same frame up twice.
+TEST(InvariantLive, WindowRegressionBreaksExactlyOnce) {
+  TestbedConfig cfg;
+  cfg.rll.ack_every = 99;             // withhold standalone acks...
+  cfg.rll.delayed_ack = millis(100);  // ...and the delayed-ack fallback
+  Testbed tb(cfg);
+  tb.add_node("client");
+  tb.add_node("server");
+  udp::UdpLayer cu(tb.node("client")), su(tb.node("server"));
+  int delivered = 0;
+  su.bind(7, [&](net::Ipv4Address, u16, BytesView) { ++delivered; });
+  const Bytes payload(16, 0xab);
+  cu.send(tb.node("server").ip(), 7, 40000, payload);
+  tb.simulator().run_until(TimePoint{} + millis(5));
+  ASSERT_EQ(delivered, 1);
+
+  // Regress the cursor: frame 1 looks never-seen again while the client,
+  // still unacked, holds it in flight.
+  tb.handles("server").rll->corrupt_recv_window(1);
+  tb.simulator().run_until(TimePoint{} + millis(100));  // ride out the RTO
+
+  EXPECT_EQ(delivered, 2);
+  const rll::RllStats& s = tb.handles("server").rll->stats();
+  EXPECT_GT(s.deliver_misorder, 0u);
+  EXPECT_TRUE(check_rll_exactly_once(s).has_value());
+}
+
 // A forged token — same sequence number as the live one, injected straight
 // onto the wire — must produce a second live holder.  Equal sequence is the
 // nasty case: the stale-token defense only drops *strictly older* tokens.

@@ -108,6 +108,59 @@ TEST(Generator, EventsRespectTemplateBounds) {
   }
 }
 
+ScheduleTemplate byzantine_template() {
+  ScheduleTemplate t = wide_template();
+  t.allowed.push_back(FaultKind::kStateFault);
+  t.state_kinds = {StateFaultKind::kTcpCwndForce, StateFaultKind::kTcpCwndFlip,
+                   StateFaultKind::kTcpSsthreshForce};
+  t.state_value_max = 16;
+  return t;
+}
+
+TEST(Generator, StateFaultsDrawWithinTemplateBounds) {
+  const ScheduleTemplate t = byzantine_template();
+  std::size_t drawn = 0;
+  for (u64 i = 0; i < 200; ++i) {
+    const FaultSchedule s = generate_schedule(21, i, t);
+    for (const FaultEvent& e : s.events) {
+      if (e.kind != FaultKind::kStateFault) continue;
+      ++drawn;
+      EXPECT_NE(std::find(t.state_kinds.begin(), t.state_kinds.end(), e.state),
+                t.state_kinds.end());
+      EXPECT_NE(std::find(t.targets.begin(), t.targets.end(), e.node),
+                t.targets.end());
+      switch (e.state) {
+        case StateFaultKind::kTcpCwndForce:
+          EXPECT_LE(e.state_value, t.state_value_max);
+          break;
+        case StateFaultKind::kTcpCwndFlip:
+          EXPECT_LT(e.state_value, 16u) << "bit index into a 16-bit window";
+          break;
+        case StateFaultKind::kTcpSsthreshForce:
+          EXPECT_GE(e.state_value, 1u);
+          EXPECT_LE(e.state_value, t.state_value_max);
+          break;
+        default:
+          ADD_FAILURE() << "kind outside the template's state space";
+      }
+    }
+  }
+  EXPECT_GT(drawn, 0u) << "the state space must actually be sampled";
+}
+
+TEST(Generator, EmptyStateKindsDisablesStateFaults) {
+  // A campaign hands every fixture the same allowed list; a fixture with no
+  // state space must keep its draw sequence bit-identical to the
+  // pre-state-fault template (existing repro seeds must not shift).
+  ScheduleTemplate with_kind = wide_template();
+  with_kind.allowed.push_back(FaultKind::kStateFault);  // state_kinds empty
+  const ScheduleTemplate base = wide_template();
+  for (u64 i = 0; i < 20; ++i) {
+    EXPECT_EQ(generate_schedule(3, i, with_kind),
+              generate_schedule(3, i, base));
+  }
+}
+
 TEST(Generator, EventsSortedByTime) {
   for (u64 i = 0; i < 50; ++i) {
     const FaultSchedule s = generate_schedule(31, i, wide_template());
@@ -129,13 +182,55 @@ TEST(Schedule, JsonRoundTripIsLossless) {
   }
 }
 
+TEST(Schedule, StateFaultJsonRoundTripIsLossless) {
+  const ScheduleTemplate t = byzantine_template();
+  for (u64 i = 0; i < 50; ++i) {
+    const FaultSchedule s = generate_schedule(777, i, t);
+    const FaultSchedule back = FaultSchedule::from_json(s.to_json());
+    EXPECT_EQ(s, back) << "trial " << i;
+    EXPECT_EQ(s.to_json(), back.to_json());
+  }
+}
+
+TEST(Schedule, V1DocumentsStillLoad) {
+  // Pre-state-fault repro artifacts carry no "state" members; they must
+  // keep loading, with the v2 fields at their defaults.
+  const char* v1 =
+      "{\"v\":1,\"type\":\"chaos_schedule\",\"campaign_seed\":7,"
+      "\"trial_index\":3,\"events\":["
+      "{\"kind\":\"crash\",\"node\":\"a\",\"at_ns\":1000000,"
+      "\"until_ns\":2000000},"
+      "{\"kind\":\"fsl_drop\",\"node\":\"\",\"pkt_lo\":4,\"pkt_hi\":6}]}";
+  const FaultSchedule s = FaultSchedule::from_json(v1);
+  EXPECT_EQ(s.campaign_seed, 7u);
+  EXPECT_EQ(s.trial_index, 3u);
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(s.events[0].node, "a");
+  EXPECT_EQ(s.events[0].at.ns, millis(1).ns);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kFslDrop);
+  EXPECT_EQ(s.events[1].pkt_lo, 4u);
+  EXPECT_EQ(s.events[1].pkt_hi, 6u);
+  EXPECT_EQ(s.events[0].state, StateFaultKind::kTcpCwndForce);
+  EXPECT_EQ(s.events[0].state_value, 0u);
+  // Re-serializing writes the current schema, which round-trips.
+  const std::string v2 = s.to_json();
+  EXPECT_NE(v2.find("\"v\":2"), std::string::npos);
+  EXPECT_EQ(FaultSchedule::from_json(v2), s);
+}
+
 TEST(Schedule, LoaderRejectsBadDocuments) {
   const FaultSchedule s = generate_schedule(1, 1, wide_template());
   std::string good = s.to_json();
   EXPECT_THROW(FaultSchedule::from_json("{"), std::runtime_error);
-  EXPECT_THROW(FaultSchedule::from_json("{\"v\":2,\"type\":\"chaos_schedule\"}"),
+  EXPECT_THROW(FaultSchedule::from_json("{\"v\":3,\"type\":\"chaos_schedule\"}"),
                std::runtime_error);
   EXPECT_THROW(FaultSchedule::from_json("{\"v\":1,\"type\":\"nope\"}"),
+               std::runtime_error);
+  // A v2 state_fault event must carry its "state" member.
+  EXPECT_THROW(FaultSchedule::from_json(
+                   "{\"v\":2,\"type\":\"chaos_schedule\",\"events\":["
+                   "{\"kind\":\"state_fault\",\"node\":\"a\"}]}"),
                std::runtime_error);
   std::string bad_kind = good;
   const std::string needle = "\"kind\":\"";
@@ -185,12 +280,24 @@ TEST(Schedule, FaultKindNamesRoundTrip) {
        {FaultKind::kCrash, FaultKind::kLinkCut, FaultKind::kLinkFlap,
         FaultKind::kLinkDegrade, FaultKind::kFslDrop, FaultKind::kFslDelay,
         FaultKind::kFslDup, FaultKind::kFslModify,
-        FaultKind::kRllDupDeliver}) {
+        FaultKind::kRllDupDeliver, FaultKind::kStateFault}) {
     auto back = fault_kind_from(to_string(k));
     ASSERT_TRUE(back.has_value()) << to_string(k);
     EXPECT_EQ(*back, k);
   }
   EXPECT_FALSE(fault_kind_from("frobnicate").has_value());
+}
+
+TEST(Schedule, StateFaultKindNamesRoundTrip) {
+  for (StateFaultKind k :
+       {StateFaultKind::kTcpCwndForce, StateFaultKind::kTcpCwndFlip,
+        StateFaultKind::kTcpSsthreshForce, StateFaultKind::kForgeTokenSeq,
+        StateFaultKind::kDupTokenSeq, StateFaultKind::kRllWindowCorrupt}) {
+    auto back = state_fault_kind_from(to_string(k));
+    ASSERT_TRUE(back.has_value()) << to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(state_fault_kind_from("frobnicate").has_value());
 }
 
 }  // namespace

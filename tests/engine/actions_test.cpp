@@ -210,6 +210,50 @@ TEST(Actions, FaultOnlyHitsItsExactFlow) {
   EXPECT_EQ(h.udp[1]->stats().rx_datagrams, 3u);
 }
 
+TEST(Actions, RateModifierFiresOnEveryNthMatch) {
+  EngineHarness h;
+  int got = 0;
+  h.udp[0]->bind(40000, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  h.arm(
+      "SCENARIO s\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ >= 1)) >> DROP(udp_req, client, server, RECV) RATE(3);\n"
+      "END\n");
+  h.send_requests(12);
+  h.run_for(millis(200));
+  // RATE(3) consumes exactly matches 3, 6, 9, 12; the rest pass through.
+  EXPECT_EQ(got, 8);
+  EXPECT_EQ(h.engine("server").stats().drops, 4u);
+  EXPECT_EQ(h.counter("REQ"), 12);  // still counted before consumption
+}
+
+TEST(Actions, ProbModifierThinsAtTheExpectedRateAndDeterministically) {
+  auto run_once = [] {
+    EngineHarness h;
+    // Silence the echo: this test only measures the server-side drop count
+    // over a long request stream.
+    h.udp[1]->unbind(7);
+    h.udp[1]->bind(7, [](net::Ipv4Address, u16, BytesView) {});
+    h.arm(
+        "SCENARIO s\n"
+        "  REQ: (udp_req, client, server, RECV)\n"
+        "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+        "  ((REQ >= 1)) >> DROP(udp_req, client, server, RECV) PROB(0.25);\n"
+        "END\n");
+    h.send_requests(10000, micros(100));
+    h.run_for(seconds(2));
+    return h.engine("server").stats().drops;
+  };
+  const auto drops = run_once();
+  // Binomial(10000, 0.25): mean 2500, σ ≈ 43.3; ±500 is beyond 11σ.
+  EXPECT_GT(drops, 2000u);
+  EXPECT_LT(drops, 3000u);
+  // The per-action RNG stream is derived, not wall-clock seeded: an
+  // identical run reproduces the exact fault pattern.
+  EXPECT_EQ(run_once(), drops);
+}
+
 TEST(Actions, ModifyMaskRewritesOnlySelectedBits) {
   // (offset len mask value): untouched bits survive.  Payload bytes are
   // initialized to the probe index by send_requests, so the first payload

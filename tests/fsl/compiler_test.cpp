@@ -175,6 +175,25 @@ END
   EXPECT_EQ(mods[1].value, 0x34);
 }
 
+TEST(Compiler, ModifiersPopulateActionEntries) {
+  auto t = compile_with(R"(
+SCENARIO s
+  A: (n1)
+  ((A = 1)) >> DROP(pkt, n1, n2, RECV) RATE(3);
+  ((A = 2)) >> DELAY(pkt, n1, n2, RECV, 10ms) PROB(0.25);
+  ((A = 3)) >> DUP(pkt, n1, n2, SEND);
+END
+)");
+  ASSERT_EQ(t.actions.entries.size(), 3u);
+  EXPECT_EQ(t.actions.entries[0].rate_n, 3u);
+  EXPECT_DOUBLE_EQ(t.actions.entries[0].prob, 1.0);
+  EXPECT_EQ(t.actions.entries[1].rate_n, 0u);
+  EXPECT_DOUBLE_EQ(t.actions.entries[1].prob, 0.25);
+  // Unmodified actions keep the pass-through defaults.
+  EXPECT_EQ(t.actions.entries[2].rate_n, 0u);
+  EXPECT_DOUBLE_EQ(t.actions.entries[2].prob, 1.0);
+}
+
 TEST(Compiler, VarTuplesResolve) {
   auto t = compile_script(
       "VAR SEQ;\n"
@@ -238,7 +257,13 @@ INSTANTIATE_TEST_SUITE_P(
                   "permutation"},
         BadScript{"SCENARIO s\n A: (n1)\n"
                   " ((A = 1)) >> DELAY(pkt, n1, n2, RECV, n2);\nEND\n",
-                  "duration"}));
+                  "duration"},
+        BadScript{"SCENARIO s\n A: (n1)\n"
+                  " ((A = 1)) >> DROP(pkt, n1, n2, RECV) PROB(0.0);\nEND\n",
+                  "(0, 1]"},
+        BadScript{"SCENARIO s\n A: (n1)\n"
+                  " ((A = 1)) >> FAIL(n2) RATE(5);\nEND\n",
+                  "packet faults"}));
 
 TEST(Compiler, NoScenarioIsAnError) {
   EXPECT_THROW(compile_script(kPrelude), ParseError);

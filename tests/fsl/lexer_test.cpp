@@ -55,6 +55,33 @@ TEST(Lexer, DurationLiterals) {
   EXPECT_EQ(toks[4].duration.ns, seconds(3).ns);
 }
 
+TEST(Lexer, FloatLiterals) {
+  auto toks = tokenize("0.25 1.0 0.5");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].real, 0.25);
+  EXPECT_EQ(toks[1].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].real, 1.0);
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].real, 0.5);
+}
+
+TEST(Lexer, FloatDoesNotEatIpLiterals) {
+  // Two or more dots keep the dotted-quad interpretation intact.
+  auto toks = tokenize("10.0.0.1 0.25 192.168.1.2");
+  EXPECT_EQ(toks[0].kind, TokKind::kIp);
+  EXPECT_EQ(toks[0].text, "10.0.0.1");
+  EXPECT_EQ(toks[1].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].real, 0.25);
+  EXPECT_EQ(toks[2].kind, TokKind::kIp);
+  EXPECT_EQ(toks[2].text, "192.168.1.2");
+}
+
+TEST(Lexer, TrailingDotIsStillMalformedIp) {
+  // "1." (no fraction digits) keeps its historical diagnosis.
+  EXPECT_THROW(tokenize("1."), ParseError);
+}
+
 TEST(Lexer, CommentsSkipped) {
   auto toks = tokenize("A /* comment >> ( */ B // line\nC");
   ASSERT_EQ(toks.size(), 4u);  // A B C EOF

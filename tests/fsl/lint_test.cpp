@@ -87,16 +87,25 @@ INSTANTIATE_TEST_SUITE_P(
                    12, 3},
         CorpusCase{"cross_node_cycle.fsl", "cross-node-cycle",
                    Severity::kWarning, 11, 3},
-        CorpusCase{"no_stop.fsl", "no-stop", Severity::kWarning, 10, 1}));
+        CorpusCase{"no_stop.fsl", "no-stop", Severity::kWarning, 10, 1},
+        CorpusCase{"modifier_noop.fsl", "modifier-no-op", Severity::kWarning,
+                   13, 55},
+        CorpusCase{"modifier_range.fsl", "modifier-range", Severity::kError,
+                   13, 62},
+        CorpusCase{"modifier_conflict.fsl", "modifier-conflict",
+                   Severity::kError, 13, 30}));
 
 TEST(LintCorpusSeverity, ErrorCasesFailAndWarningCasesPass) {
   // The arm gate only rejects errors; warning-only corpus cases must still
   // compile clean so a runner would arm them (the CLI needs --werror).
   EXPECT_GT(count_errors(lint_corpus("shadowed_filter.fsl")), 0u);
   EXPECT_GT(count_errors(lint_corpus("action_conflict.fsl")), 0u);
+  EXPECT_GT(count_errors(lint_corpus("modifier_range.fsl")), 0u);
+  EXPECT_GT(count_errors(lint_corpus("modifier_conflict.fsl")), 0u);
   EXPECT_EQ(count_errors(lint_corpus("dead_counter.fsl")), 0u);
   EXPECT_EQ(count_errors(lint_corpus("cross_node_cycle.fsl")), 0u);
   EXPECT_EQ(count_errors(lint_corpus("no_stop.fsl")), 0u);
+  EXPECT_EQ(count_errors(lint_corpus("modifier_noop.fsl")), 0u);
 }
 
 // --- known-good scripts lint with zero errors ------------------------------
@@ -157,8 +166,39 @@ SCENARIO var_ok
 END
 )";
 
+// Well-formed RATE/PROB modifiers on packet faults must lint completely
+// clean — no modifier-no-op, no modifier-range, no modifier-conflict.
+constexpr const char* kGoodModifiers = R"(
+FILTER_TABLE
+  udp_req: (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)
+END
+NODE_TABLE
+  client 00:00:00:00:00:01 10.0.0.1
+  server 00:00:00:00:00:02 10.0.0.2
+END
+SCENARIO soak
+  REQ: (udp_req, client, server, RECV)
+  (TRUE) >> ENABLE_CNTR(REQ);
+  ((REQ >= 1)) >> DROP(udp_req, client, server, RECV) RATE(3);
+  ((REQ >= 1)) >> DELAY(udp_req, client, server, RECV, 50ms) PROB(0.25);
+  ((REQ >= 500)) >> STOP;
+END
+)";
+
+TEST(LintGoodScripts, ModifiersLintClean) {
+  CompileOptions opts;
+  opts.lint = true;
+  CompileResult r = check_script(kGoodModifiers, opts);
+  EXPECT_TRUE(r.ok()) << dump(r.diagnostics);
+  EXPECT_FALSE(std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                           [](const Diagnostic& d) {
+                             return d.rule.rfind("modifier-", 0) == 0;
+                           }))
+      << dump(r.diagnostics);
+}
+
 TEST(LintGoodScripts, NoErrors) {
-  for (const char* src : {kGoodEcho, kFig6Style, kVarFilter}) {
+  for (const char* src : {kGoodEcho, kFig6Style, kVarFilter, kGoodModifiers}) {
     CompileOptions opts;
     opts.lint = true;
     CompileResult r = check_script(src, opts);

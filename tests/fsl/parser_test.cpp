@@ -134,6 +134,38 @@ END
   EXPECT_EQ(mod.args[4].tuple, (std::vector<u64>{47, 1, 0x04}));
 }
 
+TEST(Parser, RateAndProbModifiers) {
+  AstScript s = parse_script(R"(
+SCENARIO t
+  A: (n)
+  ((A = 1)) >> DROP(pkt, n1, n2, RECV) RATE(3);
+  ((A = 2)) >> DELAY(pkt, n1, n2, RECV, 50ms) PROB(0.25);
+  ((A = 3)) >> DUP pkt, n1, n2, RECV PROB(1);
+  ((A = 4)) >> MODIFY(pkt, n1, n2, SEND, (47 1 0x04));
+END
+)");
+  const auto& rules = s.scenarios[0].rules;
+  ASSERT_EQ(rules.size(), 4u);
+  const AstAction& drop = rules[0].actions[0];
+  EXPECT_EQ(drop.mod, AstAction::ModKind::kRate);
+  EXPECT_EQ(drop.mod_rate, 3u);
+  const AstAction& delay = rules[1].actions[0];
+  EXPECT_EQ(delay.mod, AstAction::ModKind::kProb);
+  EXPECT_DOUBLE_EQ(delay.mod_prob, 0.25);
+  EXPECT_EQ(delay.args.size(), 5u);  // modifier is not an argument
+  // Bare form: PROB terminates the argument list; integer probability OK.
+  const AstAction& dup = rules[2].actions[0];
+  EXPECT_EQ(dup.mod, AstAction::ModKind::kProb);
+  EXPECT_DOUBLE_EQ(dup.mod_prob, 1.0);
+  ASSERT_EQ(dup.args.size(), 4u);
+  EXPECT_EQ(dup.args[3].ident, "RECV");
+  // Unmodified action defaults.
+  const AstAction& mod = rules[3].actions[0];
+  EXPECT_EQ(mod.mod, AstAction::ModKind::kNone);
+  EXPECT_EQ(mod.mod_rate, 0u);
+  EXPECT_DOUBLE_EQ(mod.mod_prob, 1.0);
+}
+
 TEST(Parser, MultipleScenarios) {
   AstScript s = parse_script(R"(
 SCENARIO one
@@ -177,7 +209,15 @@ INSTANTIATE_TEST_SUITE_P(
                  "counter name or integer"},
         BadInput{"SCENARIO t\n  (A) >> STOP;\nEND", "relational"},
         BadInput{"SCENARIO t\n  (TRUE) >> EXPLODE;\nEND", "unknown action"},
-        BadInput{"SCENARIO t\n  (TRUE) STOP;\nEND", "'>>'"}));
+        BadInput{"SCENARIO t\n  (TRUE) STOP;\nEND", "'>>'"},
+        BadInput{"SCENARIO t\n  (TRUE) >> DROP(p, a, b, RECV) RATE(x);\nEND",
+                 "integer rate"},
+        BadInput{"SCENARIO t\n  (TRUE) >> DROP(p, a, b, RECV) PROB(RECV);\nEND",
+                 "probability"},
+        BadInput{
+            "SCENARIO t\n"
+            "  (TRUE) >> DROP(p, a, b, RECV) RATE(2) PROB(0.5);\nEND",
+            "at most one"}));
 
 // --- multi-diagnostic accumulation and recovery ----------------------------
 

@@ -21,9 +21,9 @@ SCENARIO round_trip 3sec
   A: (pkt, n1, n2, RECV)
   B: (n1)
   (TRUE) >> ENABLE_CNTR(A); ASSIGN_CNTR(B, 7);
-  ((A > 2) && (B != 0)) >> DELAY(pkt, n1, n2, RECV, 30ms);
+  ((A > 2) && (B != 0)) >> DELAY(pkt, n1, n2, RECV, 30ms) PROB(0.25);
   ((A = 5)) >> REORDER(tok, n2, n1, SEND, 4, 2, 1, 4, 3);
-  ((B < 0)) >> MODIFY(pkt, n1, n2, SEND, (40 2 0xbeef));
+  ((B < 0)) >> MODIFY(pkt, n1, n2, SEND, (40 2 0xbeef)) RATE(3);
   ((A = 9)) >> FAIL(n2);
   ((A = 10)) >> STOP;
 END
@@ -101,6 +101,8 @@ TEST(TableSerialization, RoundTripIsLossless) {
     EXPECT_EQ(a.fail_node, b.fail_node);
     EXPECT_EQ(a.counter, b.counter);
     EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.rate_n, b.rate_n);
+    EXPECT_DOUBLE_EQ(a.prob, b.prob);
   }
   // Double round-trip produces identical bytes (canonical form).
   EXPECT_EQ(serialize(copy), wire);
