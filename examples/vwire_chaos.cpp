@@ -16,18 +16,50 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "vwire/chaos/campaign.hpp"
+#include "vwire/chaos/checkpoint.hpp"
 
 using namespace vwire;
 using namespace vwire::chaos;
 
 namespace {
 
-int run_campaign(const CampaignConfig& cfg, const std::string& out_path) {
+int run_campaign(CampaignConfig cfg, const std::string& out_path,
+                 const std::string& checkpoint_path) {
+  // --checkpoint: journal completed trials as they finish and, when the
+  // file already holds a matching journal, resume — only uncovered trials
+  // re-run, and determinism makes the merged summary byte-identical to an
+  // uninterrupted run's.
+  std::vector<TrialResult> completed;
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!checkpoint_path.empty()) {
+    bool resume = false;
+    if (std::ifstream(checkpoint_path).good()) {
+      try {
+        const Checkpoint ck = load_checkpoint(checkpoint_path);
+        completed = restore_results(Campaign(cfg), ck);
+        resume = true;
+        std::printf("resuming from %s: %zu/%zu trials already done\n",
+                    checkpoint_path.c_str(), completed.size(), cfg.trials);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "checkpoint %s unusable (%s); starting fresh\n",
+                     checkpoint_path.c_str(), e.what());
+      }
+    }
+    writer = std::make_unique<CheckpointWriter>(checkpoint_path,
+                                                make_header(cfg), resume);
+    if (!writer->ok()) {
+      std::fprintf(stderr, "cannot write checkpoint %s; running without\n",
+                   checkpoint_path.c_str());
+    }
+    cfg.on_trial = [&w = *writer](const TrialResult& r) { w.append(r); };
+  }
+
   Campaign campaign(cfg);
-  CampaignSummary s = campaign.run();
+  CampaignSummary s = campaign.run_from(std::move(completed));
   std::printf("%s\n", s.summary_line().c_str());
   for (u64 idx : s.failing_trials) {
     const TrialResult& r = s.results[idx];
@@ -197,6 +229,7 @@ int main(int argc, char** argv) {
   cfg.trials = 100;
   std::string out_path;
   std::string replay_path;
+  std::string checkpoint_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -216,12 +249,20 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(a, "--keep-telemetry")) cfg.keep_telemetry = true;
     else if (!std::strcmp(a, "--state-faults")) cfg.state_faults = true;
     else if (!std::strcmp(a, "--out")) out_path = next();
+    else if (!std::strcmp(a, "--trial-timeout-ms")) cfg.trial_timeout_ms = std::strtoll(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--retries")) cfg.trial_retries = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    else if (!std::strcmp(a, "--minimize-budget-ms")) cfg.minimize_budget_ms = std::strtoll(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--no-minimize")) cfg.minimize = false;
+    else if (!std::strcmp(a, "--checkpoint")) checkpoint_path = next();
     else if (!std::strcmp(a, "--campaign")) {}  // the default mode
     else {
       std::fprintf(stderr,
                    "usage: vwire_chaos [--fixture NAME] [--trials N] "
                    "[--seed S] [--workers W] [--keep-telemetry] "
                    "[--state-faults] [--out F]\n"
+                   "                   [--trial-timeout-ms MS] [--retries N] "
+                   "[--minimize-budget-ms MS] [--no-minimize] "
+                   "[--checkpoint FILE]\n"
                    "       vwire_chaos --replay repro.json\n"
                    "       vwire_chaos --smoke\n");
       return 2;
@@ -229,5 +270,5 @@ int main(int argc, char** argv) {
   }
   if (smoke) return run_smoke();
   if (!replay_path.empty()) return run_replay(replay_path);
-  return run_campaign(cfg, out_path);
+  return run_campaign(std::move(cfg), out_path, checkpoint_path);
 }

@@ -1,0 +1,83 @@
+// vwired — fault injection as a service (DESIGN.md §11, ISSUE 7).
+//
+//   vwired --socket /tmp/vwired.sock [--checkpoint-dir DIR] [--runners N]
+//          [--max-active-per-tenant N] [--max-queue-depth N]
+//          [--max-trials N] [--no-resume]
+//
+// Long-running daemon: accepts chaos-campaign submissions over a local
+// unix socket (line-delimited JSON, see vwired_client), schedules them
+// under per-tenant quotas, journals every completed trial to the
+// checkpoint directory, and on SIGTERM/SIGINT drains gracefully —
+// in-flight trials finish and are journaled, queued campaigns checkpoint,
+// and the process exits 0.  A restarted instance with the same
+// --checkpoint-dir resumes interrupted campaigns; determinism makes their
+// final summaries byte-identical to uninterrupted runs.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "vwire/service/daemon.hpp"
+
+using namespace vwire;
+using namespace vwire::service;
+
+namespace {
+
+// The handler may only touch async-signal-safe state; Daemon exposes
+// exactly one such entry point.
+Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonConfig cfg;
+  cfg.socket_path = "/tmp/vwired.sock";
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--socket")) cfg.socket_path = next();
+    else if (!std::strcmp(a, "--checkpoint-dir")) cfg.scheduler.checkpoint_dir = next();
+    else if (!std::strcmp(a, "--runners")) cfg.scheduler.runners = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--max-active-per-tenant")) cfg.scheduler.quota.max_active_per_tenant = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--max-queue-depth")) cfg.scheduler.quota.max_queue_depth = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--max-trials")) cfg.scheduler.quota.max_trials_per_campaign = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--no-resume")) cfg.resume = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: vwired [--socket PATH] [--checkpoint-dir DIR] "
+                   "[--runners N]\n"
+                   "              [--max-active-per-tenant N] "
+                   "[--max-queue-depth N] [--max-trials N] [--no-resume]\n");
+      return 2;
+    }
+  }
+
+  Daemon daemon(cfg);
+  if (!daemon.start()) return 1;
+  g_daemon = &daemon;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("vwired: serving on %s (%zu runner(s), checkpoints %s)\n",
+              daemon.socket_path().c_str(), cfg.scheduler.runners,
+              cfg.scheduler.checkpoint_dir.empty()
+                  ? "disabled"
+                  : cfg.scheduler.checkpoint_dir.c_str());
+  std::fflush(stdout);
+  const int rc = daemon.serve();
+  g_daemon = nullptr;
+  std::printf("vwired: drained, exiting %d\n", rc);
+  return rc;
+}

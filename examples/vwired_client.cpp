@@ -1,0 +1,321 @@
+// vwired_client — command-line client for the vwired daemon.
+//
+//   vwired_client --socket /tmp/vwired.sock ping
+//   vwired_client ... submit --tenant ci --fixture udp --trials 100
+//                     [--seed S] [--workers N] [--state-faults]
+//                     [--trial-timeout-ms MS] [--minimize-budget-ms MS]
+//                     [--retries N] [--no-minimize]
+//                     [--stop-on-violation] [--id-only]
+//   vwired_client ... status  JOB
+//   vwired_client ... wait    JOB [--poll-ms 200]
+//   vwired_client ... watch   JOB
+//   vwired_client ... summary JOB        (prints the campaign summary JSON)
+//   vwired_client ... artifact JOB       (prints the repro artifact JSON)
+//   vwired_client ... list [--tenant T]
+//   vwired_client ... stats
+//   vwired_client ... drain
+//
+// Exit codes: 0 success; 1 the job failed (wait); 2 usage/communication
+// error; 4 the submit was shed (over-quota / draining — retry_after_ms is
+// printed); 5 the job ended checkpointed (wait on a draining daemon).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "vwire/obs/json.hpp"
+#include "vwire/util/types.hpp"
+
+using namespace vwire;
+
+namespace {
+
+int g_fd = -1;
+std::string g_inbuf;
+
+bool connect_daemon(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long\n");
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  g_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (g_fd < 0 || ::connect(g_fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool send_line(const std::string& line) {
+  std::string frame = line;
+  frame.push_back('\n');
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(g_fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(std::string& out) {
+  for (;;) {
+    const std::size_t nl = g_inbuf.find('\n');
+    if (nl != std::string::npos) {
+      out = g_inbuf.substr(0, nl);
+      g_inbuf.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(g_fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    g_inbuf.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// One request/response round trip; exits 2 on transport failure.
+obs::JsonValue roundtrip(const std::string& req) {
+  std::string line;
+  if (!send_line(req) || !read_line(line)) {
+    std::fprintf(stderr, "daemon connection lost\n");
+    std::exit(2);
+  }
+  try {
+    return obs::JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unparseable response: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Shared shed/error handling for responses that should be "ok".
+/// Returns only when v["ok"] is true.
+void require_ok(const obs::JsonValue& v) {
+  if (v.boolean("ok")) return;
+  const std::string code = v.str("error", "error");
+  std::fprintf(stderr, "%s: %s\n", code.c_str(), v.str("detail").c_str());
+  if (code == "over-quota" || code == "draining") {
+    if (v.has("retry_after_ms") && v.num("retry_after_ms") >= 0) {
+      std::printf("retry_after_ms=%lld\n",
+                  static_cast<long long>(v.num("retry_after_ms")));
+    }
+    std::exit(4);
+  }
+  std::exit(2);
+}
+
+void print_job(const obs::JsonValue& v) {
+  std::printf("%s tenant=%s state=%s %lld/%lld trials, %lld failing%s\n",
+              v.str("job").c_str(), v.str("tenant").c_str(),
+              v.str("state").c_str(),
+              static_cast<long long>(v.num("completed")),
+              static_cast<long long>(v.num("total")),
+              static_cast<long long>(v.num("failures")),
+              v.boolean("has_repro") ? " [repro available]" : "");
+  if (!v.str("error").empty()) {
+    std::printf("  error: %s\n", v.str("error").c_str());
+  }
+}
+
+bool terminal_state(const std::string& s) {
+  return s == "done" || s == "failed" || s == "checkpointed";
+}
+
+int state_exit_code(const std::string& s) {
+  if (s == "done") return 0;
+  if (s == "checkpointed") return 5;
+  return 1;
+}
+
+std::string status_request(const std::string& job) {
+  return "{\"v\":1,\"type\":\"status\",\"job\":\"" + job + "\"}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/vwired.sock";
+  std::string cmd;
+  std::string job;
+  std::string tenant;
+  std::string fixture = "fig7";
+  std::string seed = "1";
+  long trials = 25;
+  long workers = 1;
+  long trial_timeout_ms = 0;
+  long minimize_budget_ms = 0;
+  long retries = 0;
+  long poll_ms = 200;
+  bool state_faults = false;
+  bool minimize = true;
+  bool stop_on_violation = false;
+  bool id_only = false;
+
+  auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: vwired_client [--socket PATH] "
+                 "ping|submit|status|wait|watch|summary|artifact|list|stats|"
+                 "drain [JOB] [options]\n");
+    return 2;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--socket")) socket_path = next();
+    else if (!std::strcmp(a, "--tenant")) tenant = next();
+    else if (!std::strcmp(a, "--fixture")) fixture = next();
+    else if (!std::strcmp(a, "--seed")) seed = next();
+    else if (!std::strcmp(a, "--trials")) trials = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--workers")) workers = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--trial-timeout-ms")) trial_timeout_ms = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--minimize-budget-ms")) minimize_budget_ms = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--retries")) retries = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--poll-ms")) poll_ms = std::strtol(next(), nullptr, 10);
+    else if (!std::strcmp(a, "--state-faults")) state_faults = true;
+    else if (!std::strcmp(a, "--no-minimize")) minimize = false;
+    else if (!std::strcmp(a, "--stop-on-violation")) stop_on_violation = true;
+    else if (!std::strcmp(a, "--id-only")) id_only = true;
+    else if (a[0] == '-') return usage();
+    else if (cmd.empty()) cmd = a;
+    else if (job.empty()) job = a;
+    else return usage();
+  }
+  if (cmd.empty()) return usage();
+  const bool needs_job = cmd == "status" || cmd == "wait" || cmd == "watch" ||
+                         cmd == "summary" || cmd == "artifact";
+  if (needs_job && job.empty()) {
+    std::fprintf(stderr, "%s needs a JOB id\n", cmd.c_str());
+    return 2;
+  }
+  if (!connect_daemon(socket_path)) return 2;
+
+  if (cmd == "ping") {
+    require_ok(roundtrip("{\"v\":1,\"type\":\"ping\"}"));
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "submit") {
+    if (tenant.empty()) {
+      std::fprintf(stderr, "submit needs --tenant\n");
+      return 2;
+    }
+    std::string req = "{\"v\":1,\"type\":\"submit\",\"tenant\":\"" + tenant +
+                      "\",\"fixture\":\"" + fixture + "\",\"seed\":\"" + seed +
+                      "\",\"trials\":" + std::to_string(trials) +
+                      ",\"workers\":" + std::to_string(workers) +
+                      ",\"trial_timeout_ms\":" +
+                      std::to_string(trial_timeout_ms) +
+                      ",\"retries\":" + std::to_string(retries);
+    if (minimize_budget_ms > 0) {
+      req += ",\"minimize_budget_ms\":" + std::to_string(minimize_budget_ms);
+    }
+    if (state_faults) req += ",\"state_faults\":true";
+    if (!minimize) req += ",\"minimize\":false";
+    if (stop_on_violation) req += ",\"stop_on_violation\":true";
+    req += '}';
+    const obs::JsonValue v = roundtrip(req);
+    require_ok(v);
+    if (id_only) std::printf("%s\n", v.str("job").c_str());
+    else std::printf("submitted %s (queued)\n", v.str("job").c_str());
+    return 0;
+  }
+  if (cmd == "status") {
+    const obs::JsonValue v = roundtrip(status_request(job));
+    require_ok(v);
+    print_job(v);
+    return 0;
+  }
+  if (cmd == "wait") {
+    for (;;) {
+      const obs::JsonValue v = roundtrip(status_request(job));
+      require_ok(v);
+      const std::string state = v.str("state");
+      if (terminal_state(state)) {
+        print_job(v);
+        return state_exit_code(state);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
+  if (cmd == "watch") {
+    const obs::JsonValue first =
+        roundtrip("{\"v\":1,\"type\":\"watch\",\"job\":\"" + job + "\"}");
+    require_ok(first);
+    print_job(first);
+    if (terminal_state(first.str("state"))) {
+      return state_exit_code(first.str("state"));
+    }
+    std::string line;
+    while (read_line(line)) {
+      obs::JsonValue v;
+      try {
+        v = obs::JsonValue::parse(line);
+      } catch (const std::exception&) {
+        continue;
+      }
+      std::printf("%s %lld/%lld trials, %lld failing [%s]\n",
+                  v.str("job").c_str(),
+                  static_cast<long long>(v.num("completed")),
+                  static_cast<long long>(v.num("total")),
+                  static_cast<long long>(v.num("failures")),
+                  v.str("state").c_str());
+      std::fflush(stdout);
+      if (terminal_state(v.str("state"))) {
+        return state_exit_code(v.str("state"));
+      }
+    }
+    std::fprintf(stderr, "daemon connection lost\n");
+    return 2;
+  }
+  if (cmd == "summary" || cmd == "artifact") {
+    const obs::JsonValue v = roundtrip("{\"v\":1,\"type\":\"" + cmd +
+                                       "\",\"job\":\"" + job + "\"}");
+    require_ok(v);
+    std::printf("%s\n", v.str(cmd).c_str());
+    return 0;
+  }
+  if (cmd == "list") {
+    std::string req = "{\"v\":1,\"type\":\"list\"";
+    if (!tenant.empty()) req += ",\"tenant\":\"" + tenant + "\"";
+    req += '}';
+    const obs::JsonValue v = roundtrip(req);
+    require_ok(v);
+    if (!v.has("jobs")) return 0;
+    for (const obs::JsonValue& j : v.at("jobs").as_array()) print_job(j);
+    return 0;
+  }
+  if (cmd == "stats") {
+    std::string line;
+    if (!send_line("{\"v\":1,\"type\":\"stats\"}") || !read_line(line)) {
+      std::fprintf(stderr, "daemon connection lost\n");
+      return 2;
+    }
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  if (cmd == "drain") {
+    require_ok(roundtrip("{\"v\":1,\"type\":\"drain\"}"));
+    std::printf("draining\n");
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# End-to-end smoke for fault injection as a service (DESIGN.md §11).
+#
+# Gates, in order:
+#   1. CLI checkpoint/resume: a 100-trial campaign SIGKILLed mid-run and
+#      resumed from its journal produces a byte-identical summary to an
+#      uninterrupted run.
+#   2. vwired multi-tenant: two tenants share the daemon; an over-quota
+#      submit is shed with a retry_after_ms hint while admitted work keeps
+#      progressing to completion.
+#   3. Artifacts: a hung-trial campaign yields a trial-timeout violation
+#      and a fetchable minimized repro artifact.
+#   4. Graceful degradation: SIGTERM drains in-flight work and the daemon
+#      exits 0.
+#
+# Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+CHAOS="$BUILD/examples/vwire_chaos"
+VWIRED="$BUILD/examples/vwired"
+CLIENT="$BUILD/examples/vwired_client"
+for bin in "$CHAOS" "$VWIRED" "$CLIENT"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)"; exit 2; }
+done
+
+WORK="$(mktemp -d /tmp/vwsmoke.XXXXXX)"
+SOCK="$WORK/d.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== 1. checkpoint/resume is byte-identical =="
+"$CHAOS" --fixture udp --trials 100 --seed 3 --out "$WORK/full.json" \
+  >/dev/null
+"$CHAOS" --fixture udp --trials 100 --seed 3 --out "$WORK/resumed.json" \
+  --checkpoint "$WORK/cp.journal" >/dev/null &
+CHAOS_PID=$!
+# Wait for roughly half the journal (1 header + ~50 trial lines), then
+# simulate a crash with SIGKILL — nothing gets to flush or unwind.
+for _ in $(seq 1 600); do
+  lines=$(wc -l < "$WORK/cp.journal" 2>/dev/null || echo 0)
+  [ "$lines" -ge 51 ] && break
+  sleep 0.1
+done
+kill -9 "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+lines=$(wc -l < "$WORK/cp.journal")
+[ "$lines" -ge 51 ] || fail "campaign finished before the kill ($lines lines)"
+[ "$lines" -le 101 ] || fail "journal overfull ($lines lines)"
+echo "   killed mid-run with $((lines - 1)) trials journaled; resuming"
+"$CHAOS" --fixture udp --trials 100 --seed 3 --out "$WORK/resumed.json" \
+  --checkpoint "$WORK/cp.journal" >/dev/null
+cmp "$WORK/full.json" "$WORK/resumed.json" \
+  || fail "resumed summary differs from the uninterrupted run"
+echo "   OK: resumed summary is byte-identical"
+
+echo "== 2. multi-tenant daemon with quota shedding =="
+mkdir -p "$WORK/ck"
+"$VWIRED" --socket "$SOCK" --checkpoint-dir "$WORK/ck" --runners 1 \
+  --max-active-per-tenant 2 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$CLIENT" --socket "$SOCK" ping >/dev/null || fail "daemon not answering"
+
+# Tenant A fills its quota (runner count 1 keeps job 2 queued, so both
+# stay active); the third submit must be shed with a retry hint.
+JOB_A1=$("$CLIENT" --socket "$SOCK" submit --tenant alpha --fixture fig7 \
+  --seed 11 --trials 30 --no-minimize --id-only)
+JOB_A2=$("$CLIENT" --socket "$SOCK" submit --tenant alpha --fixture fig7 \
+  --seed 12 --trials 5 --no-minimize --id-only)
+set +e
+SHED_OUT=$("$CLIENT" --socket "$SOCK" submit --tenant alpha --fixture fig7 \
+  --seed 13 --trials 5 --no-minimize --id-only 2>&1)
+SHED_RC=$?
+set -e
+[ "$SHED_RC" -eq 4 ] || fail "over-quota submit exited $SHED_RC, want 4"
+echo "$SHED_OUT" | grep -q "retry_after_ms=" \
+  || fail "shed response carried no retry_after_ms hint: $SHED_OUT"
+echo "   OK: tenant alpha shed with $(echo "$SHED_OUT" | grep retry_after_ms)"
+
+# A second tenant is admitted despite alpha being at its cap.
+JOB_B=$("$CLIENT" --socket "$SOCK" submit --tenant beta --fixture fig7 \
+  --seed 21 --trials 10 --no-minimize --id-only)
+
+# The shed did not disturb admitted work: everything runs to completion.
+"$CLIENT" --socket "$SOCK" wait "$JOB_A1" --poll-ms 100 >/dev/null \
+  || fail "$JOB_A1 did not complete"
+"$CLIENT" --socket "$SOCK" wait "$JOB_A2" --poll-ms 100 >/dev/null \
+  || fail "$JOB_A2 did not complete"
+"$CLIENT" --socket "$SOCK" wait "$JOB_B" --poll-ms 100 >/dev/null \
+  || fail "$JOB_B did not complete"
+"$CLIENT" --socket "$SOCK" summary "$JOB_B" > "$WORK/summary.json"
+python3 -c "import json; d = json.load(open('$WORK/summary.json')); \
+  assert d['type'] == 'chaos_campaign'; \
+  assert d['trials_run'] == 10, d['trials_run']"
+echo "   OK: three campaigns completed, summary fetched and validated"
+
+echo "== 3. hung trial quarantined, repro artifact fetchable =="
+JOB_HANG=$("$CLIENT" --socket "$SOCK" submit --tenant beta --fixture hang \
+  --seed 1 --trials 1 --trial-timeout-ms 1000 --minimize-budget-ms 2000 \
+  --id-only)
+set +e
+"$CLIENT" --socket "$SOCK" wait "$JOB_HANG" --poll-ms 100 > "$WORK/hang.out"
+set -e
+grep -q "1 failing" "$WORK/hang.out" \
+  || fail "hung trial not recorded as failing: $(cat "$WORK/hang.out")"
+"$CLIENT" --socket "$SOCK" artifact "$JOB_HANG" > "$WORK/artifact.json"
+python3 -c "import json; d = json.load(open('$WORK/artifact.json')); \
+  assert any(v['invariant'] == 'trial-timeout' for v in d['violations']), d"
+echo "   OK: trial-timeout violation with minimized repro artifact"
+
+echo "== 4. SIGTERM drains and exits 0 =="
+"$CLIENT" --socket "$SOCK" submit --tenant beta --fixture fig7 --seed 31 \
+  --trials 5 --no-minimize --id-only >/dev/null
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+set -e
+DAEMON_PID=""
+[ "$DAEMON_RC" -eq 0 ] || fail "daemon exited $DAEMON_RC after SIGTERM"
+echo "   OK: daemon drained and exited 0"
+
+echo "service smoke: all gates passed"

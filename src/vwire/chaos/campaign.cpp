@@ -1,8 +1,10 @@
 #include "vwire/chaos/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -40,6 +42,8 @@ std::string violations_json(const std::vector<Violation>& vs) {
   return out;
 }
 
+using WallClock = std::chrono::steady_clock;
+
 }  // namespace
 
 Campaign::Campaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
@@ -47,7 +51,7 @@ Campaign::Campaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.drain_grace.ns < 0) cfg_.drain_grace = {};
 }
 
-TrialResult Campaign::run_trial(u64 index) const {
+FaultSchedule Campaign::schedule_for(u64 index) const {
   // The schedule template lives on the harness; build a throwaway one to
   // read it.  (Cheap relative to a trial, and keeps the template beside
   // the topology it describes.)
@@ -62,8 +66,11 @@ TrialResult Campaign::run_trial(u64 index) const {
       tmpl.allowed.push_back(FaultKind::kStateFault);
     }
   }
-  const FaultSchedule schedule = generate_schedule(cfg_.seed, index, tmpl);
-  return run_schedule(schedule);
+  return generate_schedule(cfg_.seed, index, tmpl);
+}
+
+TrialResult Campaign::run_trial(u64 index) const {
+  return run_schedule(schedule_for(index));
 }
 
 TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
@@ -225,6 +232,19 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
   spec.probe = [&inv, &sim] { inv.run_probes(sim.now()); };
   spec.probe_period = cfg_.probe_period;
 
+  // Per-trial wall-clock watchdog: a workload whose event storm never lets
+  // the run quiesce (or whose simulated deadline is hours of real time
+  // away) is cut off between supervision ticks and quarantined below.
+  const WallClock::time_point wall_deadline =
+      WallClock::now() + std::chrono::milliseconds(
+                             cfg_.trial_timeout_ms > 0 ? cfg_.trial_timeout_ms
+                                                       : 0);
+  if (cfg_.trial_timeout_ms > 0) {
+    spec.options.should_abort = [wall_deadline] {
+      return WallClock::now() >= wall_deadline;
+    };
+  }
+
   control::ScenarioResult result = runner.run(spec);
   out.ran = true;
   out.scenario_passed = result.passed();
@@ -232,16 +252,36 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
   out.firings = result.firings.size() + result.firings_dropped;
   out.link_events = result.link_events.size();
 
+  // A watchdog abort quarantines the trial: the run was cut mid-flight, so
+  // post-run invariants would report half-done-state noise rather than
+  // protocol bugs.  Record the structured trial-timeout violation (with the
+  // simulated instant the supervisor pulled the plug) and stop here.
+  if (result.aborted_by_watchdog) {
+    Violation v;
+    v.invariant = "trial-timeout";
+    v.detail = "trial exceeded its " + std::to_string(cfg_.trial_timeout_ms) +
+               "ms wall-clock deadline (simulated t=" +
+               std::to_string(sim.now().seconds()) + "s, " +
+               std::to_string(schedule.events.size()) + " scheduled events)";
+    v.first_at = sim.now();
+    v.count = 1;
+    out.violations.push_back(std::move(v));
+    out.telemetry = make_report(tb, &result).to_jsonl();
+    return out;
+  }
+
   // Drain toward a quiescent instant: stop perpetual sources, lift link
   // faults, then step events until every offered frame is either delivered
   // or attributed to a drop cause (or the grace budget runs out — in which
-  // case the conservation final fires, which is the point).
+  // case the conservation final fires, which is the point).  The watchdog
+  // deadline keeps bounding the drain too.
   harness->quiesce();
   for (std::size_t p = 0; p < medium.port_count(); ++p) {
     medium.clear_link_fault(static_cast<phy::PortId>(p));
   }
   const TimePoint cap = sim.now() + cfg_.drain_grace;
   while (sim.now() < cap && check_conservation(medium.stats()).has_value()) {
+    if (cfg_.trial_timeout_ms > 0 && WallClock::now() >= wall_deadline) break;
     if (!sim.step()) break;
   }
 
@@ -251,26 +291,69 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
   return out;
 }
 
-CampaignSummary Campaign::run() {
+CampaignSummary Campaign::run() { return run_from({}); }
+
+CampaignSummary Campaign::run_from(std::vector<TrialResult> completed) {
   CampaignSummary s;
   s.fixture = cfg_.fixture;
   s.seed = cfg_.seed;
   s.trials_requested = cfg_.trials;
   s.results.resize(cfg_.trials);
 
+  // Resume: journaled trials slot straight into the result set; the claim
+  // loop below never hands out their indices.  Determinism makes the
+  // merged summary byte-identical to an uninterrupted run's.
+  std::vector<bool> done(cfg_.trials, false);
+  for (TrialResult& r : completed) {
+    if (r.trial_index >= cfg_.trials) continue;
+    const std::size_t i = static_cast<std::size_t>(r.trial_index);
+    done[i] = true;
+    s.results[i] = std::move(r);
+  }
+
   std::atomic<u64> next{0};
   std::atomic<bool> stop{false};
+  std::mutex hook_mu;  // serializes cfg_.on_trial across workers
+  auto cancelled = [this] {
+    return cfg_.cancel != nullptr &&
+           cfg_.cancel->load(std::memory_order_relaxed);
+  };
   auto worker = [&] {
     for (;;) {
-      if (stop.load(std::memory_order_relaxed)) break;
-      const u64 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (stop.load(std::memory_order_relaxed) || cancelled()) break;
+      u64 i = next.fetch_add(1, std::memory_order_relaxed);
+      while (i < cfg_.trials && done[i]) {  // done[] is read-only by now
+        i = next.fetch_add(1, std::memory_order_relaxed);
+      }
       if (i >= cfg_.trials) break;
+      // Transient-infrastructure retry: a throw is re-attempted with
+      // exponential backoff before it is recorded; only an exhausted
+      // budget produces the structured trial-exception violation.  A
+      // non-std::exception throw must not std::terminate a worker — it
+      // becomes the same structured violation.
       TrialResult r;
-      try {
-        r = run_trial(i);
-      } catch (const std::exception& e) {
+      std::string error;
+      for (u32 attempt = 0;; ++attempt) {
+        error.clear();
+        try {
+          r = run_trial(i);
+        } catch (const std::exception& e) {
+          error = e.what();
+        } catch (...) {
+          error = "non-standard exception escaped the trial";
+        }
+        if (error.empty() || attempt >= cfg_.trial_retries || cancelled()) {
+          break;
+        }
+        const i64 backoff = cfg_.retry_backoff_ms > 0
+                                ? cfg_.retry_backoff_ms << attempt
+                                : 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      if (!error.empty()) {
+        r = TrialResult{};
         r.trial_index = i;
-        r.violations.push_back({"trial-exception", e.what(), {}, 1});
+        r.violations.push_back({"trial-exception", error, {}, 1});
       }
       // A lint failure in a generated script means every further trial
       // would exercise the same broken generator — stop unconditionally.
@@ -281,6 +364,10 @@ CampaignSummary Campaign::run() {
                       });
       if (generator_bug || (!r.ok() && cfg_.stop_on_violation)) {
         stop.store(true, std::memory_order_relaxed);
+      }
+      if (cfg_.on_trial) {
+        const std::scoped_lock lock(hook_mu);
+        cfg_.on_trial(r);
       }
       s.results[i] = std::move(r);
     }
@@ -312,8 +399,8 @@ CampaignSummary Campaign::run() {
         return true;  // a schedule that breaks the harness still "fails"
       }
     };
-    const FaultSchedule minimized =
-        minimize_schedule(failing.schedule, still_fails);
+    const FaultSchedule minimized = minimize_schedule(
+        failing.schedule, still_fails, cfg_.minimize_budget_ms);
 
     ReproArtifact art;
     art.fixture = cfg_.fixture;
@@ -335,21 +422,32 @@ CampaignSummary Campaign::run() {
 
 FaultSchedule minimize_schedule(
     const FaultSchedule& failing,
-    const std::function<bool(const FaultSchedule&)>& still_fails) {
+    const std::function<bool(const FaultSchedule&)>& still_fails,
+    i64 wall_budget_ms) {
   std::vector<FaultEvent> cur = failing.events;
   auto with_events = [&failing](std::vector<FaultEvent> ev) {
     FaultSchedule s = failing;
     s.events = std::move(ev);
     return s;
   };
+  // Budget check between predicate runs: each probe is itself bounded by
+  // the campaign's per-trial watchdog, so the search exceeds the budget by
+  // at most one trial's worth of wall clock.
+  const WallClock::time_point budget_deadline =
+      WallClock::now() +
+      std::chrono::milliseconds(wall_budget_ms > 0 ? wall_budget_ms : 0);
+  auto out_of_budget = [wall_budget_ms, budget_deadline] {
+    return wall_budget_ms > 0 && WallClock::now() >= budget_deadline;
+  };
 
   std::size_t n = 2;  // ddmin granularity
-  while (cur.size() >= 2) {
+  while (cur.size() >= 2 && !out_of_budget()) {
     const std::size_t chunk = (cur.size() + n - 1) / n;
     bool reduced = false;
 
     // Try each chunk alone ("reduce to subset").
     for (std::size_t i = 0; i * chunk < cur.size() && !reduced; ++i) {
+      if (out_of_budget()) break;
       const std::size_t lo = i * chunk;
       const std::size_t hi = std::min(cur.size(), lo + chunk);
       std::vector<FaultEvent> subset(cur.begin() + lo, cur.begin() + hi);
@@ -361,6 +459,7 @@ FaultSchedule minimize_schedule(
     }
     // Try removing each chunk ("reduce to complement").
     for (std::size_t i = 0; i * chunk < cur.size() && !reduced; ++i) {
+      if (out_of_budget()) break;
       const std::size_t lo = i * chunk;
       const std::size_t hi = std::min(cur.size(), lo + chunk);
       std::vector<FaultEvent> rest(cur.begin(), cur.begin() + lo);

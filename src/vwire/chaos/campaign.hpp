@@ -56,6 +56,38 @@ struct CampaignConfig {
   Duration drain_grace{millis(200)};
   /// Invariant-probe period during supervision.
   Duration probe_period{millis(5)};
+
+  // --- long-running-service robustness (DESIGN.md §11) -------------------
+
+  /// Per-trial wall-clock watchdog, in real milliseconds (0 = off).  A
+  /// trial that exceeds the deadline is aborted cooperatively (between
+  /// supervision ticks) and quarantined as a structured "trial-timeout"
+  /// violation instead of wedging its worker forever.  The same deadline
+  /// bounds every ddmin probe run, so minimization of a hung trial stays
+  /// bounded too.
+  i64 trial_timeout_ms{0};
+  /// Transient-infrastructure retry: a trial that *throws* (as opposed to
+  /// violating an invariant) is re-run up to this many extra times, with
+  /// retry_backoff_ms, 2x, 4x… waits between attempts, before the
+  /// exception is recorded as a "trial-exception" violation.  Determinism
+  /// makes retry safe: a deterministic throw simply re-throws and the
+  /// budget bounds the waste.
+  u32 trial_retries{0};
+  i64 retry_backoff_ms{50};
+  /// Wall-clock budget for ddmin minimization (0 = unbounded).  When the
+  /// budget runs out mid-search the best (smallest) still-failing
+  /// schedule found so far is returned.
+  i64 minimize_budget_ms{0};
+  /// Lifecycle hook: invoked as each trial completes, serialized under an
+  /// internal mutex (so the callee may append to a journal or update
+  /// progress counters without its own locking).  Called before the
+  /// summary drops telemetry, with the trial's full result.
+  std::function<void(const TrialResult&)> on_trial;
+  /// Cooperative cancellation (graceful drain): when set and it becomes
+  /// true, workers finish their in-flight trial and stop claiming new
+  /// ones.  Combined with `on_trial` journaling, a cancelled campaign
+  /// resumes later via run_from() with nothing lost and nothing re-run.
+  const std::atomic<bool>* cancel{nullptr};
 };
 
 /// Self-contained failing-trial package: enough to reproduce the violation
@@ -98,10 +130,24 @@ class Campaign {
   /// Runs the whole campaign (serially or on cfg.workers threads).
   CampaignSummary run();
 
+  /// Resume: like run(), but trials present in `completed` (matched by
+  /// trial_index) are taken as-is instead of re-executed.  Because every
+  /// trial is a pure function of (seed, trial_index), the merged summary
+  /// is byte-identical to an uninterrupted run's — this is what makes a
+  /// checkpoint journal (chaos/checkpoint.hpp) sufficient to survive a
+  /// crash or a graceful drain.  Entries with out-of-range indices are
+  /// ignored.
+  CampaignSummary run_from(std::vector<TrialResult> completed);
+
   /// One trial, from scratch, deterministically: generates the schedule
   /// for (cfg.seed, index) and executes it in a fresh harness.  Calling
   /// this twice with the same index yields byte-identical telemetry.
   TrialResult run_trial(u64 index) const;
+
+  /// The deterministic schedule trial `index` would run — regeneration is
+  /// cheap (RNG draws only), which is how checkpoint resume rebuilds the
+  /// schedules of journaled trials without re-executing them.
+  FaultSchedule schedule_for(u64 index) const;
 
   /// Executes an explicit schedule (a ddmin candidate or a loaded repro)
   /// under the schedule's own seed provenance.
@@ -117,8 +163,12 @@ class Campaign {
 /// `failing.events` for which `still_fails` holds.  `still_fails(failing)`
 /// must be true on entry; the predicate is re-evaluated on real runs, so
 /// minimization only trusts violations that actually reproduce.
+/// `wall_budget_ms` > 0 bounds the search in real time: when it runs out
+/// the best still-failing schedule found so far is returned (minimization
+/// is best-effort; the unminimized schedule is still a valid repro).
 FaultSchedule minimize_schedule(
     const FaultSchedule& failing,
-    const std::function<bool(const FaultSchedule&)>& still_fails);
+    const std::function<bool(const FaultSchedule&)>& still_fails,
+    i64 wall_budget_ms = 0);
 
 }  // namespace vwire::chaos

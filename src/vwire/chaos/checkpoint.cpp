@@ -1,0 +1,341 @@
+#include "vwire/chaos/checkpoint.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::chaos {
+
+namespace {
+
+void append_u64(std::string& out, const char* key, u64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, key, v);
+  out += buf;
+}
+
+/// Seeds are journaled as strings: JsonValue stores numbers as doubles and
+/// a derived 64-bit seed routinely exceeds 2^53.
+void append_u64_str(std::string& out, const char* key, u64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":\"%" PRIu64 "\"", key, v);
+  out += buf;
+}
+
+u64 parse_u64_str(const obs::JsonValue& v, const std::string& key) {
+  if (!v.has(key)) {
+    throw std::runtime_error("chaos checkpoint: missing '" + key + "'");
+  }
+  const obs::JsonValue& f = v.at(key);
+  if (f.type() == obs::JsonValue::Type::kNumber) {
+    const double d = f.as_number();
+    if (d < 0 || d != d || d > 9.007199254740992e15) {
+      throw std::runtime_error("chaos checkpoint: '" + key +
+                               "' out of lossless range");
+    }
+    return static_cast<u64>(d);
+  }
+  if (f.type() != obs::JsonValue::Type::kString) {
+    throw std::runtime_error("chaos checkpoint: '" + key +
+                             "' must be a string or integer");
+  }
+  const std::string& s = f.as_string();
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("chaos checkpoint: '" + key +
+                             "' is not an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    throw std::runtime_error("chaos checkpoint: '" + key +
+                             "' does not fit in 64 bits");
+  }
+  return static_cast<u64>(parsed);
+}
+
+std::string violations_json(const std::vector<Violation>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"invariant\":\"";
+    out += obs::json_escape(vs[i].invariant);
+    out += "\",\"detail\":\"";
+    out += obs::json_escape(vs[i].detail);
+    out += "\",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"first_at_ns\":%" PRId64 ",",
+                  vs[i].first_at.ns);
+    out += buf;
+    append_u64(out, "count", vs[i].count);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+/// Range-checked double→u64 for journal fields.  A corrupted line that
+/// still parses as JSON must throw (the caller treats it as damage), not
+/// hit undefined behavior in the cast.
+u64 num_u64(const obs::JsonValue& v, const std::string& key,
+            double fallback = 0) {
+  const double d = v.num(key, fallback);
+  if (d < 0 || d != d || d > 9.007199254740992e15) {
+    throw std::runtime_error("chaos checkpoint: '" + key + "' out of range");
+  }
+  return static_cast<u64>(d);
+}
+
+i64 num_i64(const obs::JsonValue& v, const std::string& key) {
+  const double d = v.num(key);
+  if (d != d || d > 9.007199254740992e15 || d < -9.007199254740992e15) {
+    throw std::runtime_error("chaos checkpoint: '" + key + "' out of range");
+  }
+  return static_cast<i64>(d);
+}
+
+std::vector<Violation> violations_from(const obs::JsonValue& v) {
+  std::vector<Violation> out;
+  if (!v.has("violations")) return out;
+  for (const obs::JsonValue& vv : v.at("violations").as_array()) {
+    Violation viol;
+    viol.invariant = vv.str("invariant");
+    viol.detail = vv.str("detail");
+    viol.first_at = {num_i64(vv, "first_at_ns")};
+    viol.count = num_u64(vv, "count", 1);
+    out.push_back(std::move(viol));
+  }
+  return out;
+}
+
+}  // namespace
+
+TrialRecord to_record(const TrialResult& r) {
+  TrialRecord rec;
+  rec.trial_index = r.trial_index;
+  rec.events = r.schedule.events.size();
+  rec.ran = r.ran;
+  rec.scenario_passed = r.scenario_passed;
+  rec.effective_seed = r.effective_seed;
+  rec.firings = r.firings;
+  rec.link_events = r.link_events;
+  rec.violations = r.violations;
+  return rec;
+}
+
+std::string record_to_json(const TrialRecord& r) {
+  std::string out = "{\"type\":\"trial\",";
+  append_u64(out, "index", r.trial_index);
+  out += ',';
+  append_u64(out, "events", r.events);
+  out += ",\"ran\":";
+  out += r.ran ? "true" : "false";
+  out += ",\"scenario_passed\":";
+  out += r.scenario_passed ? "true" : "false";
+  out += ',';
+  append_u64_str(out, "effective_seed", r.effective_seed);
+  out += ',';
+  append_u64(out, "firings", r.firings);
+  out += ',';
+  append_u64(out, "link_events", r.link_events);
+  out += ",\"violations\":";
+  out += violations_json(r.violations);
+  out += '}';
+  return out;
+}
+
+std::string header_to_json(const CheckpointHeader& h) {
+  std::string out = "{\"v\":1,\"type\":\"chaos_checkpoint\",\"fixture\":\"";
+  out += obs::json_escape(h.fixture);
+  out += "\",";
+  append_u64_str(out, "seed", h.seed);
+  out += ',';
+  append_u64(out, "trials", h.trials);
+  out += ",\"state_faults\":";
+  out += h.state_faults ? "true" : "false";
+  out += ",\"meta\":{";
+  bool first = true;
+  for (const auto& [k, v] : h.meta) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::json_escape(k);
+    out += "\":\"";
+    out += obs::json_escape(v);
+    out += '"';
+  }
+  out += "}}";
+  return out;
+}
+
+CheckpointHeader make_header(const CampaignConfig& cfg,
+                             std::map<std::string, std::string> meta) {
+  CheckpointHeader h;
+  h.fixture = cfg.fixture;
+  h.seed = cfg.seed;
+  h.trials = cfg.trials;
+  h.state_faults = cfg.state_faults;
+  h.meta = std::move(meta);
+  return h;
+}
+
+Checkpoint parse_checkpoint(std::string_view text) {
+  Checkpoint ck;
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string_view> {
+    if (pos >= text.size()) return std::nullopt;
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    return line;
+  };
+
+  const std::optional<std::string_view> header_line = next_line();
+  if (!header_line || header_line->empty()) {
+    throw std::runtime_error("chaos checkpoint: empty journal");
+  }
+  obs::JsonValue hv;
+  try {
+    hv = obs::JsonValue::parse(*header_line);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("chaos checkpoint: bad header: ") +
+                             e.what());
+  }
+  if (hv.str("type") != "chaos_checkpoint" || hv.num("v") != 1) {
+    throw std::runtime_error(
+        "chaos checkpoint: header is not a chaos_checkpoint v1 document");
+  }
+  ck.header.fixture = hv.str("fixture");
+  ck.header.seed = parse_u64_str(hv, "seed");
+  ck.header.trials = static_cast<std::size_t>(num_u64(hv, "trials"));
+  ck.header.state_faults = hv.boolean("state_faults");
+  if (hv.has("meta")) {
+    for (const auto& [k, v] : hv.at("meta").as_object()) {
+      if (v.type() == obs::JsonValue::Type::kString) {
+        ck.header.meta[k] = v.as_string();
+      }
+    }
+  }
+
+  // Trial lines: stop (don't throw) at the first damaged line — a truncated
+  // tail is the expected crash signature, and every uncovered trial simply
+  // re-runs on resume.
+  while (std::optional<std::string_view> line = next_line()) {
+    if (line->empty()) continue;
+    TrialRecord rec;
+    try {
+      const obs::JsonValue v = obs::JsonValue::parse(*line);
+      if (v.str("type") != "trial") break;
+      rec.trial_index = num_u64(v, "index");
+      rec.events = static_cast<std::size_t>(num_u64(v, "events"));
+      rec.ran = v.boolean("ran");
+      rec.scenario_passed = v.boolean("scenario_passed");
+      rec.effective_seed = parse_u64_str(v, "effective_seed");
+      rec.firings = num_u64(v, "firings");
+      rec.link_events = num_u64(v, "link_events");
+      rec.violations = violations_from(v);
+    } catch (const std::exception&) {
+      break;
+    }
+    ck.records.push_back(std::move(rec));
+  }
+  return ck;
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("chaos checkpoint: cannot read '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_checkpoint(buf.str());
+}
+
+std::vector<TrialResult> restore_results(const Campaign& campaign,
+                                         const Checkpoint& ck) {
+  const CampaignConfig& cfg = campaign.config();
+  auto mismatch = [](const std::string& what) {
+    throw std::runtime_error(
+        "chaos checkpoint: journal does not belong to this campaign (" +
+        what + " differs)");
+  };
+  if (ck.header.fixture != cfg.fixture) mismatch("fixture");
+  if (ck.header.seed != cfg.seed) mismatch("seed");
+  if (ck.header.trials != cfg.trials) mismatch("trials");
+  if (ck.header.state_faults != cfg.state_faults) mismatch("state_faults");
+
+  std::vector<bool> seen(cfg.trials, false);
+  std::vector<TrialResult> out;
+  out.reserve(ck.records.size());
+  for (const TrialRecord& rec : ck.records) {
+    if (rec.trial_index >= cfg.trials) {
+      throw std::runtime_error("chaos checkpoint: trial index " +
+                               std::to_string(rec.trial_index) +
+                               " out of range");
+    }
+    if (seen[rec.trial_index]) {
+      throw std::runtime_error("chaos checkpoint: duplicate trial index " +
+                               std::to_string(rec.trial_index));
+    }
+    seen[rec.trial_index] = true;
+
+    TrialResult r;
+    r.trial_index = rec.trial_index;
+    r.schedule = campaign.schedule_for(rec.trial_index);
+    if (r.schedule.events.size() != rec.events) {
+      throw std::runtime_error(
+          "chaos checkpoint: trial " + std::to_string(rec.trial_index) +
+          " journaled " + std::to_string(rec.events) +
+          " events but the campaign generates " +
+          std::to_string(r.schedule.events.size()) +
+          " — wrong seed or fixture version");
+    }
+    r.ran = rec.ran;
+    r.scenario_passed = rec.scenario_passed;
+    r.effective_seed = rec.effective_seed;
+    r.firings = rec.firings;
+    r.link_events = rec.link_events;
+    r.violations = rec.violations;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CheckpointHeader& header,
+                                   bool resume) {
+  out_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+  if (out_ == nullptr) return;
+  ok_ = true;
+  if (!resume) {
+    const std::string line = header_to_json(header) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+        std::fflush(out_) != 0) {
+      ok_ = false;
+    }
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void CheckpointWriter::append(const TrialResult& r) {
+  if (!ok_) return;
+  const std::string line = record_to_json(to_record(r)) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fflush(out_) != 0) {
+    ok_ = false;
+  }
+}
+
+}  // namespace vwire::chaos

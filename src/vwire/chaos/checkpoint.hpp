@@ -1,0 +1,111 @@
+// Campaign checkpoints (DESIGN.md §11): a completed-trial journal that
+// makes a long campaign restartable.
+//
+// The journal is line-delimited JSON: a header line identifying the
+// campaign — (fixture, seed, trials, state_faults) is the campaign's full
+// identity, because every trial is a pure function of it — followed by one
+// line per completed trial, appended and flushed as trials finish.  A
+// crash (or SIGKILL, or graceful drain) loses at most the line being
+// written; resume re-runs only the trials the journal does not cover, and
+// determinism guarantees the merged summary is byte-identical to an
+// uninterrupted run's.
+//
+// Trial lines store the exact rollup CampaignSummary::to_json() needs
+// (violations with their timestamps, firing counts, the effective seed) —
+// not the schedule, which is regenerated from (seed, trial_index) at
+// restore time and cross-checked against the journaled event count.
+// 64-bit seeds are journaled as JSON strings: the obs JSON model stores
+// numbers as doubles, and a seed above 2^53 must survive the round-trip
+// losslessly or byte-identity breaks.
+#pragma once
+
+#include <cstdio>
+#include <map>
+
+#include "vwire/chaos/campaign.hpp"
+
+namespace vwire::chaos {
+
+struct CheckpointHeader {
+  std::string fixture;
+  u64 seed{0};
+  std::size_t trials{0};
+  bool state_faults{false};
+  /// Free-form provenance the service layer threads through (tenant, job
+  /// id).  Restore ignores it; resume-from-directory reads it back.
+  std::map<std::string, std::string> meta;
+};
+
+/// Journal-fidelity rollup of one completed trial.
+struct TrialRecord {
+  u64 trial_index{0};
+  std::size_t events{0};  ///< schedule size (cross-checked on restore)
+  bool ran{false};
+  bool scenario_passed{false};
+  u64 effective_seed{0};
+  u64 firings{0};
+  u64 link_events{0};
+  std::vector<Violation> violations;
+};
+
+TrialRecord to_record(const TrialResult& r);
+
+/// One-line JSON (no trailing newline) for a journal entry / header.
+std::string record_to_json(const TrialRecord& r);
+std::string header_to_json(const CheckpointHeader& h);
+
+CheckpointHeader make_header(const CampaignConfig& cfg,
+                             std::map<std::string, std::string> meta = {});
+
+struct Checkpoint {
+  CheckpointHeader header;
+  std::vector<TrialRecord> records;
+};
+
+/// Parses a journal.  Throws std::runtime_error when the header line is
+/// missing or malformed.  Trial lines are read until the first damaged one
+/// (a SIGKILL mid-append truncates the tail); everything after it is
+/// discarded — those trials simply re-run on resume.
+Checkpoint parse_checkpoint(std::string_view text);
+
+/// parse_checkpoint over a file; additionally throws when the file cannot
+/// be read.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Rebuilds full TrialResults from a journal for Campaign::run_from().
+/// Validates campaign identity (fixture/seed/trials/state_faults must
+/// match the journal header) and regenerates each trial's schedule,
+/// cross-checking its event count against the journaled one; throws
+/// std::runtime_error on any mismatch — resuming someone else's journal
+/// must fail loudly, not corrupt a summary silently.  Duplicate or
+/// out-of-range indices throw too.
+std::vector<TrialResult> restore_results(const Campaign& campaign,
+                                         const Checkpoint& ck);
+
+/// Appends completed trials to a journal as a campaign progresses — wire
+/// it to CampaignConfig::on_trial.  Every append is flushed.
+class CheckpointWriter {
+ public:
+  /// `resume` false: create/truncate `path` and write the header line.
+  /// `resume` true: open for append, keeping the existing content (the
+  /// caller has already validated the header via load_checkpoint).
+  CheckpointWriter(const std::string& path, const CheckpointHeader& header,
+                   bool resume = false);
+
+  /// False when the file could not be opened (or a write failed) — the
+  /// campaign should keep running; it just loses restartability.
+  bool ok() const { return ok_; }
+
+  void append(const TrialResult& r);
+
+ private:
+  FILE* out_{nullptr};
+  bool ok_{false};
+
+ public:
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+};
+
+}  // namespace vwire::chaos

@@ -422,6 +422,81 @@ class RetherHarness final : public TrialHarness {
   std::vector<host::Node*> nodes_;
 };
 
+// --- hang: a trial that never finishes (watchdog test fixture) -----------
+
+constexpr const char* kHangFilters =
+    "FILTER_TABLE\n"
+    "  hang_f: (12 2 0x0800), (23 1 0x11)\n"
+    "END\n";
+
+/// A workload that wedges the run in *wall-clock* terms: a self-rearming
+/// 100ns timer floods the event queue (10k events per 1ms supervision
+/// window), the scenario's simulated deadline is minutes away, and
+/// quiescence detection never triggers because the timer always has an
+/// event pending.  Only the per-trial watchdog (CampaignConfig::
+/// trial_timeout_ms) — or ctest's own timeout — ends such a trial.  Exists
+/// for the watchdog/service tests; harmless but pointless elsewhere.
+class HangHarness final : public TrialHarness {
+ public:
+  HangHarness() {
+    tb_.add_node("ctl");
+    tb_.add_node("a");
+    tb_.add_node("b");
+  }
+
+  Testbed& testbed() override { return tb_; }
+
+  ScenarioSpec make_spec(const std::string& fault_rules) override {
+    ScenarioSpec spec;
+    spec.script = std::string(kHangFilters) + tb_.node_table_fsl() +
+                  "SCENARIO chaos_hang\n"
+                  "  CHAOS: (hang_f, a, b, RECV)\n"
+                  "  (TRUE) >> ENABLE_CNTR(CHAOS);\n" +
+                  fault_rules + "END\n";
+    spec.control_node = "ctl";
+    spec.workload = [this] {
+      sim::Simulator& sim = tb_.simulator();
+      sim.after(nanos(100), HangTick{live_, ticks_, &sim});
+    };
+    // Minutes of simulated time at 10M events per simulated second: hours
+    // of wall clock if nothing cuts the trial short.
+    spec.options.deadline = seconds(120);
+    return spec;
+  }
+
+  FslSite fsl_site() const override { return {"hang_f", "a", "b", "CHAOS"}; }
+
+  const ScheduleTemplate& schedule_template() const override {
+    static const ScheduleTemplate t = [] {
+      ScheduleTemplate t;
+      t.allowed = {};  // the hang is the workload's doing, not a fault's
+      t.targets = {"a", "b"};
+      return t;
+    }();
+    return t;
+  }
+
+  void register_invariants(InvariantSet&) override {}
+
+  void quiesce() override { *live_ = false; }
+
+ private:
+  struct HangTick {
+    std::shared_ptr<bool> live;
+    std::shared_ptr<u64> ticks;
+    sim::Simulator* sim;
+    void operator()() const {
+      if (!*live) return;
+      ++*ticks;
+      sim->after(nanos(100), *this);
+    }
+  };
+
+  Testbed tb_;
+  std::shared_ptr<bool> live_{std::make_shared<bool>(true)};
+  std::shared_ptr<u64> ticks_{std::make_shared<u64>(0)};
+};
+
 }  // namespace
 
 std::unique_ptr<TrialHarness> make_harness(std::string_view name,
@@ -429,10 +504,13 @@ std::unique_ptr<TrialHarness> make_harness(std::string_view name,
   if (name == "fig7") return std::make_unique<Fig7Harness>();
   if (name == "udp") return std::make_unique<UdpHarness>();
   if (name == "rether") return std::make_unique<RetherHarness>();
+  if (name == "hang") return std::make_unique<HangHarness>();
   throw std::invalid_argument("chaos: unknown fixture '" + std::string(name) +
-                              "' (have: fig7, udp, rether)");
+                              "' (have: fig7, udp, rether, hang)");
 }
 
-std::vector<std::string> harness_names() { return {"fig7", "udp", "rether"}; }
+std::vector<std::string> harness_names() {
+  return {"fig7", "udp", "rether", "hang"};
+}
 
 }  // namespace vwire::chaos

@@ -22,6 +22,7 @@ std::string ScenarioResult::summary() const {
   os << "scenario '" << scenario << "': "
      << (passed() ? "PASS" : "FAIL")
      << (stopped ? " (STOP)"
+         : aborted_by_watchdog  ? " (watchdog)"
          : aborted_on_node_loss ? " (node loss)"
          : timed_out            ? " (inactivity timeout)"
          : deadline_reached     ? " (deadline)"
@@ -306,6 +307,13 @@ ScenarioResult Controller::run(const RunOptions& opts) {
       opts.on_node_loss == NodeLossPolicy::kAbort && !result.dead_nodes.empty();
   while (!abort_on_loss) {
     sim_.run_until(sim_.now() + opts.poll);
+    // The watchdog outranks every other verdict: a wedged trial must end
+    // the moment the supervisor regains control, before any more
+    // simulation is attempted.
+    if (opts.should_abort && opts.should_abort()) {
+      result.aborted_by_watchdog = true;
+      break;
+    }
     // Liveness: a node whose beacons stopped arriving is dead.
     if (hb.ns > 0) {
       for (std::size_t i = 0; i < nodes_.size(); ++i) {

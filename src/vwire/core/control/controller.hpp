@@ -16,6 +16,7 @@
 // its budget is declared dead and either quarantined or aborts the run.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 
 #include "vwire/core/engine/engine.hpp"
@@ -54,6 +55,15 @@ struct RunOptions {
   /// background when detecting the natural end of a run — the harness's
   /// own self-rearming timers (ScenarioRunner's invariant probe).
   std::size_t extra_background_events{0};
+
+  /// External abort hook, polled once per supervision tick (every `poll`
+  /// of simulated time).  Returning true ends the run immediately with
+  /// ScenarioResult::aborted_by_watchdog set.  This is how a wall-clock
+  /// watchdog bounds a trial whose *simulated* workload never quiesces:
+  /// the check is cooperative — it cannot interrupt a single event
+  /// callback, but it fires between supervision windows no matter how
+  /// dense the event storm inside them is.
+  std::function<bool()> should_abort;
 };
 
 /// Per-node verdict of the INIT/START distribution handshake.
@@ -112,6 +122,7 @@ struct ScenarioResult {
   bool timed_out{false};      ///< the script's inactivity timeout expired
   bool deadline_reached{false};
   bool aborted_on_node_loss{false};  ///< kAbort policy ended the run
+  bool aborted_by_watchdog{false};   ///< RunOptions::should_abort ended it
   TimePoint ended_at{};
   std::vector<core::ScenarioError> errors;
   std::unordered_map<std::string, i64> counters;  ///< final home values
@@ -150,7 +161,8 @@ struct ScenarioResult {
   /// A run the controller had to abort on node loss cannot pass; under the
   /// quarantine policy dead nodes degrade the result but do not fail it.
   bool passed() const {
-    return errors.empty() && !(timed_out && !stopped) && !aborted_on_node_loss;
+    return errors.empty() && !(timed_out && !stopped) &&
+           !aborted_on_node_loss && !aborted_by_watchdog;
   }
 
   std::string summary() const;

@@ -72,15 +72,24 @@ class JsonParser {
   }
 
   JsonValue parse_value() {
+    // Depth guard: the parser recurses per nesting level, so an adversarial
+    // "[[[[..." document (the service daemon parses untrusted frames) would
+    // otherwise overflow the stack.  64 levels is far beyond any document
+    // this codebase emits.
+    if (depth_ >= 64) fail("nesting too deep");
+    ++depth_;
     skip_ws();
+    JsonValue v;
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't': case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"': v = parse_string(); break;
+      case 't': case 'f': v = parse_bool(); break;
+      case 'n': v = parse_null(); break;
+      default: v = parse_number(); break;
     }
+    --depth_;
+    return v;
   }
 
   JsonValue parse_object() {
@@ -211,6 +220,7 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_{0};
+  int depth_{0};
 };
 
 JsonValue JsonValue::parse(std::string_view text) {

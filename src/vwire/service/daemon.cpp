@@ -1,0 +1,394 @@
+#include "vwire/service/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::service {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string render_snapshot(const JobSnapshot& s) {
+  std::string out = "\"job\":\"";
+  out += obs::json_escape(s.id);
+  out += "\",\"tenant\":\"";
+  out += obs::json_escape(s.tenant);
+  out += "\",\"state\":\"";
+  out += to_string(s.state);
+  out += "\",\"completed\":" + std::to_string(s.completed);
+  out += ",\"total\":" + std::to_string(s.total);
+  out += ",\"failures\":" + std::to_string(s.failures);
+  out += ",\"has_repro\":";
+  out += s.has_repro ? "true" : "false";
+  if (!s.error.empty()) {
+    out += ",\"error\":\"";
+    out += obs::json_escape(s.error);
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig cfg)
+    : cfg_(std::move(cfg)), sched_(cfg_.scheduler) {}
+
+Daemon::~Daemon() {
+  // Quiesce the runners before closing the self-pipe their progress hook
+  // writes to (sched_ is destroyed after this body runs).
+  sched_.begin_drain();
+  sched_.join();
+  sched_.set_progress_hook(nullptr);
+  for (Client& c : clients_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+}
+
+bool Daemon::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "vwired: socket path '%s' is too long (max %zu)\n",
+                 cfg_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    return false;
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+              cfg_.socket_path.size() + 1);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    std::perror("vwired: pipe");
+    return false;
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("vwired: socket");
+    return false;
+  }
+  ::unlink(cfg_.socket_path.c_str());  // stale socket from a dead instance
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::fprintf(stderr, "vwired: bind %s: %s\n", cfg_.socket_path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    std::perror("vwired: listen");
+    return false;
+  }
+  set_nonblocking(listen_fd_);
+
+  sched_.set_progress_hook([this](const JobSnapshot& s) {
+    {
+      const std::scoped_lock lock(ev_mu_);
+      events_.push_back(s);
+    }
+    const char b = 'p';
+    [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+  });
+
+  if (cfg_.resume) {
+    const std::size_t n = sched_.resume_from_dir();
+    if (n > 0) {
+      std::printf("vwired: resumed %zu checkpointed campaign(s)\n", n);
+    }
+  }
+  return true;
+}
+
+void Daemon::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  const char b = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+}
+
+void Daemon::enqueue(Client& c, std::string_view frame) {
+  c.out.append(frame);
+  c.out.push_back('\n');
+}
+
+void Daemon::close_client(Client& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+}
+
+void Daemon::handle_line(Client& c, std::string_view line) {
+  if (line.empty()) return;
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    enqueue(c, build_error(e.code(), e.what()));
+    return;
+  }
+  switch (req.type) {
+    case Request::Type::kPing:
+      enqueue(c, build_ok("\"type\":\"pong\""));
+      return;
+    case Request::Type::kSubmit: {
+      const SubmitOutcome out = sched_.submit(req.tenant, req.campaign);
+      if (!out.admission.admitted) {
+        enqueue(c, build_error(out.admission.code, out.admission.detail,
+                               out.admission.retry_after_ms));
+        return;
+      }
+      enqueue(c, build_ok("\"job\":\"" + obs::json_escape(out.job_id) +
+                          "\",\"state\":\"queued\""));
+      return;
+    }
+    case Request::Type::kStatus: {
+      const std::optional<JobSnapshot> s = sched_.status(req.job);
+      if (!s) {
+        enqueue(c, build_error("not-found", "no job '" + req.job + "'"));
+        return;
+      }
+      enqueue(c, build_ok(render_snapshot(*s)));
+      return;
+    }
+    case Request::Type::kList: {
+      std::string fields = "\"jobs\":[";
+      bool first = true;
+      for (const JobSnapshot& s : sched_.list(req.tenant)) {
+        if (!first) fields += ',';
+        first = false;
+        fields += '{' + render_snapshot(s) + '}';
+      }
+      fields += ']';
+      enqueue(c, build_ok(fields));
+      return;
+    }
+    case Request::Type::kSummary: {
+      const std::optional<std::string> j = sched_.summary_json(req.job);
+      if (!j) {
+        enqueue(c, build_error("not-found",
+                               "job '" + req.job +
+                                   "' is unknown or not finished"));
+        return;
+      }
+      // The summary is a multi-line document; the wire is one-frame-per-
+      // line, so it travels as an escaped string field.
+      enqueue(c, build_ok("\"job\":\"" + obs::json_escape(req.job) +
+                          "\",\"summary\":\"" + obs::json_escape(*j) + "\""));
+      return;
+    }
+    case Request::Type::kArtifact: {
+      const std::optional<std::string> a = sched_.artifact_json(req.job);
+      if (!a) {
+        enqueue(c, build_error("not-found",
+                               "no repro artifact for job '" + req.job + "'"));
+        return;
+      }
+      enqueue(c, build_ok("\"job\":\"" + obs::json_escape(req.job) +
+                          "\",\"artifact\":\"" + obs::json_escape(*a) + "\""));
+      return;
+    }
+    case Request::Type::kWatch: {
+      const std::optional<JobSnapshot> s = sched_.status(req.job);
+      if (!s) {
+        enqueue(c, build_error("not-found", "no job '" + req.job + "'"));
+        return;
+      }
+      c.watch_job = req.job;
+      enqueue(c, build_ok(render_snapshot(*s)));
+      return;
+    }
+    case Request::Type::kStats:
+      enqueue(c, sched_.stats_json());
+      return;
+    case Request::Type::kDrain:
+      sched_.begin_drain();
+      drain_started_ = true;
+      enqueue(c, build_ok("\"draining\":true"));
+      return;
+  }
+  enqueue(c, build_error("unknown-type", "unhandled request type"));
+}
+
+void Daemon::pump_progress() {
+  std::deque<JobSnapshot> batch;
+  {
+    const std::scoped_lock lock(ev_mu_);
+    batch.swap(events_);
+  }
+  for (const JobSnapshot& s : batch) {
+    for (Client& c : clients_) {
+      if (c.fd < 0 || c.watch_job != s.id) continue;
+      enqueue(c, build_progress(s.id, s.completed, s.total, s.failures,
+                                to_string(s.state)));
+      // Terminal event: the stream is over; unsubscribe server-side so a
+      // later job reusing nothing keeps this connection usable for
+      // request/response traffic again.
+      if (s.state != JobState::kQueued && s.state != JobState::kRunning) {
+        c.watch_job.clear();
+      }
+    }
+  }
+}
+
+int Daemon::serve() {
+  std::vector<pollfd> pfds;
+  for (;;) {
+    // Drain completion: every runner idle, every journal flushed.  Give
+    // clients one last chance to read buffered responses, then leave.
+    if (drain_started_ && sched_.idle()) {
+      sched_.begin_drain();  // idempotent; covers the SIGTERM path
+      sched_.join();
+      pump_progress();
+      // Best-effort flush of remaining output (bounded, non-blocking).
+      for (Client& c : clients_) {
+        if (c.fd < 0 || c.out.empty()) continue;
+        const ssize_t n =
+            ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        (void)n;
+        close_client(c);
+      }
+      return 0;
+    }
+
+    pfds.clear();
+    pfds.push_back({wake_r_, POLLIN, 0});
+    if (!drain_started_) pfds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t client_base = pfds.size();
+    for (Client& c : clients_) {
+      if (c.fd < 0) continue;
+      short ev = POLLIN;
+      if (!c.out.empty()) ev |= POLLOUT;
+      pfds.push_back({c.fd, ev, 0});
+    }
+
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      std::perror("vwired: poll");
+      return 1;
+    }
+
+    // Self-pipe: progress events and/or a shutdown request.
+    if (pfds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_r_, buf, sizeof buf) > 0) {
+      }
+    }
+    if (shutdown_requested_.load(std::memory_order_relaxed) &&
+        !drain_started_) {
+      std::printf("vwired: draining (finishing in-flight trials, "
+                  "checkpointing the rest)\n");
+      sched_.begin_drain();
+      drain_started_ = true;
+    }
+    pump_progress();
+
+    // New connections.
+    if (!drain_started_) {
+      for (std::size_t i = 1; i < client_base; ++i) {
+        if (!(pfds[i].revents & POLLIN)) continue;
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          Client c;
+          c.fd = fd;
+          clients_.push_back(std::move(c));
+        }
+      }
+    }
+
+    // Client I/O.  pfds[client_base..] maps onto the live clients in
+    // order; clients_ may have grown via accept, those have no revents
+    // yet.
+    std::size_t pi = client_base;
+    for (Client& c : clients_) {
+      if (c.fd < 0) continue;
+      if (pi >= pfds.size()) break;  // accepted this round
+      const short re = pfds[pi].revents;
+      const int fd_at_poll = pfds[pi].fd;
+      ++pi;
+      if (fd_at_poll != c.fd) continue;  // defensive: list shifted
+      if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+        // POLLHUP with readable data still pending is read below next
+        // round on Linux; for a control socket, dropping the remainder
+        // on hangup is acceptable.
+        close_client(c);
+        continue;
+      }
+      if (re & POLLIN) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.size() > (1 << 20)) break;  // be fair to other clients
+            continue;
+          }
+          if (n == 0) {
+            close_client(c);
+          }
+          break;  // n < 0: EAGAIN (or error: next poll reports it)
+        }
+        if (c.fd < 0) continue;
+        // Frame extraction with oversize discipline.
+        std::size_t start = 0;
+        for (;;) {
+          const std::size_t nl = c.in.find('\n', start);
+          if (nl == std::string::npos) break;
+          if (c.discarding) {
+            c.discarding = false;  // the bad frame's tail ends here
+          } else {
+            handle_line(c, std::string_view(c.in).substr(start, nl - start));
+          }
+          start = nl + 1;
+        }
+        c.in.erase(0, start);
+        if (!c.discarding && c.in.size() > kMaxFrameBytes) {
+          enqueue(c, build_error("oversized-frame",
+                                 "frame exceeds " +
+                                     std::to_string(kMaxFrameBytes) +
+                                     " bytes; discarding to next newline"));
+          c.in.clear();
+          c.discarding = true;
+        } else if (c.discarding) {
+          c.in.clear();
+        }
+      }
+      if (c.fd >= 0 && !c.out.empty()) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          c.out.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          close_client(c);
+        }
+      }
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const Client& c) { return c.fd < 0; }),
+                   clients_.end());
+  }
+}
+
+}  // namespace vwire::service

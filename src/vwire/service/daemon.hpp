@@ -1,0 +1,97 @@
+// vwired daemon (DESIGN.md §11): the event loop that puts the campaign
+// scheduler behind a local socket.
+//
+// Single-threaded poll() loop over an AF_UNIX stream socket speaking the
+// line-delimited protocol (service/protocol.hpp).  Campaigns run on the
+// scheduler's runner threads; the loop only parses frames, renders
+// responses and relays progress events — so a wedged campaign can never
+// stop the daemon from answering status requests (that is what the
+// per-trial watchdog is for).
+//
+// Two cross-thread signals funnel through one self-pipe, the only
+// mechanism that is both poll()-able and async-signal-safe:
+//   - request_shutdown() (called from the SIGTERM handler) writes a byte;
+//     the loop sees it and starts a graceful drain — in-flight trials
+//     finish and are journaled, queued campaigns checkpoint, watch
+//     streams get their final events, and serve() returns 0.
+//   - the scheduler's progress hook (runner threads) queues a JobSnapshot
+//     and writes a byte; the loop wakes and fans the event out to
+//     watching clients.
+//
+// Robustness contract with clients: a malformed frame gets a structured
+// error, never a disconnect; an unterminated frame beyond kMaxFrameBytes
+// gets an oversized-frame error and input is discarded up to the next
+// newline; a client that disappears mid-write is reaped silently.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vwire/service/protocol.hpp"
+#include "vwire/service/scheduler.hpp"
+
+namespace vwire::service {
+
+struct DaemonConfig {
+  std::string socket_path;
+  SchedulerConfig scheduler;
+  /// Scan scheduler.checkpoint_dir at start() and re-enqueue interrupted
+  /// jobs before accepting connections.
+  bool resume{true};
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig cfg);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket, arms the self-pipe and installs the progress hook.
+  /// Returns false (with the reason on stderr) when the path cannot be
+  /// bound — too long for sockaddr_un, or the directory is missing.
+  bool start();
+
+  /// Runs the event loop until a drain (SIGTERM or a "drain" request)
+  /// completes.  Returns 0 on a clean drained exit, 1 on a loop-level
+  /// I/O failure.
+  int serve();
+
+  /// Async-signal-safe drain trigger — the SIGTERM handler calls this.
+  void request_shutdown();
+
+  CampaignScheduler& scheduler() { return sched_; }
+  const std::string& socket_path() const { return cfg_.socket_path; }
+
+ private:
+  struct Client {
+    int fd{-1};
+    std::string in;
+    std::string out;
+    std::string watch_job;  ///< non-empty: progress-stream subscriber
+    bool discarding{false};  ///< dropping an oversized frame's tail
+  };
+
+  void handle_line(Client& c, std::string_view line);
+  void enqueue(Client& c, std::string_view frame);  ///< frame + '\n'
+  void pump_progress();
+  void close_client(Client& c);
+
+  DaemonConfig cfg_;
+  CampaignScheduler sched_;
+  int listen_fd_{-1};
+  int wake_r_{-1};
+  int wake_w_{-1};
+  std::vector<Client> clients_;
+  bool drain_started_{false};
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex ev_mu_;
+  std::deque<JobSnapshot> events_;
+};
+
+}  // namespace vwire::service

@@ -1,0 +1,213 @@
+#include "vwire/service/protocol.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::service {
+
+namespace {
+
+u64 read_seed(const obs::JsonValue& v, const char* key, u64 fallback) {
+  if (!v.has(key)) return fallback;
+  const obs::JsonValue& f = v.at(key);
+  if (f.type() == obs::JsonValue::Type::kNumber) {
+    const double d = f.as_number();
+    if (d < 0 || d != d || d > 9.007199254740992e15) {
+      throw ProtocolError("bad-request",
+                          std::string(key) + " out of lossless integer range "
+                          "(send 64-bit seeds as strings)");
+    }
+    return static_cast<u64>(d);
+  }
+  if (f.type() == obs::JsonValue::Type::kString) {
+    const std::string& s = f.as_string();
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+      throw ProtocolError("bad-request",
+                          std::string(key) + " is not an unsigned integer");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      throw ProtocolError("bad-request",
+                          std::string(key) + " does not fit in 64 bits");
+    }
+    return static_cast<u64>(parsed);
+  }
+  throw ProtocolError("bad-request",
+                      std::string(key) + " must be a string or integer");
+}
+
+i64 read_nonneg(const obs::JsonValue& v, const char* key, i64 fallback,
+                i64 cap) {
+  if (!v.has(key)) return fallback;
+  const obs::JsonValue& f = v.at(key);
+  if (f.type() != obs::JsonValue::Type::kNumber) {
+    throw ProtocolError("bad-request", std::string(key) + " must be a number");
+  }
+  const double d = f.as_number();
+  if (d < 0 || d != d) {
+    throw ProtocolError("bad-request",
+                        std::string(key) + " must be non-negative");
+  }
+  // Clamp in the double domain: casting an out-of-range double to i64 is
+  // undefined behavior, and these values arrive off the wire.
+  if (d >= static_cast<double>(cap)) return cap;
+  return static_cast<i64>(d);
+}
+
+std::string read_job(const obs::JsonValue& v) {
+  const std::string job = v.str("job");
+  if (job.empty()) {
+    throw ProtocolError("bad-request", "request needs a \"job\" id");
+  }
+  return job;
+}
+
+}  // namespace
+
+const char* to_string(Request::Type t) {
+  switch (t) {
+    case Request::Type::kPing: return "ping";
+    case Request::Type::kSubmit: return "submit";
+    case Request::Type::kStatus: return "status";
+    case Request::Type::kList: return "list";
+    case Request::Type::kSummary: return "summary";
+    case Request::Type::kArtifact: return "artifact";
+    case Request::Type::kWatch: return "watch";
+    case Request::Type::kStats: return "stats";
+    case Request::Type::kDrain: return "drain";
+  }
+  return "?";
+}
+
+Request parse_request(std::string_view line) {
+  if (line.size() > kMaxFrameBytes) {
+    throw ProtocolError("oversized-frame",
+                        "frame exceeds " + std::to_string(kMaxFrameBytes) +
+                            " bytes");
+  }
+  obs::JsonValue v;
+  try {
+    v = obs::JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    throw ProtocolError("bad-request", e.what());
+  }
+  if (v.type() != obs::JsonValue::Type::kObject) {
+    throw ProtocolError("bad-request", "frame is not a JSON object");
+  }
+  if (v.num("v", 0) != kProtocolVersion) {
+    throw ProtocolError("bad-request",
+                        "unsupported protocol version (this daemon speaks "
+                        "\"v\":1)");
+  }
+  const std::string type = v.str("type");
+  if (type.empty()) {
+    throw ProtocolError("bad-request", "frame has no \"type\"");
+  }
+
+  Request req;
+  if (type == "ping") {
+    req.type = Request::Type::kPing;
+  } else if (type == "submit") {
+    req.type = Request::Type::kSubmit;
+    req.tenant = v.str("tenant");
+    if (req.tenant.empty()) {
+      throw ProtocolError("bad-request", "submit requires a \"tenant\"");
+    }
+    chaos::CampaignConfig& c = req.campaign;
+    c.fixture = v.str("fixture", "fig7");
+    c.seed = read_seed(v, "seed", 1);
+    const i64 trials = read_nonneg(v, "trials", 25, 10'000'000);
+    if (trials < 1) {
+      throw ProtocolError("bad-request", "trials must be >= 1");
+    }
+    c.trials = static_cast<std::size_t>(trials);
+    // Service-side safety rails: a submitted campaign never retains
+    // telemetry in memory and never hogs more than a few threads.
+    c.workers = static_cast<std::size_t>(
+        std::clamp<i64>(read_nonneg(v, "workers", 1, 8), 1, 8));
+    c.keep_telemetry = false;
+    c.state_faults = v.boolean("state_faults");
+    c.minimize = v.boolean("minimize", true);
+    c.stop_on_violation = v.boolean("stop_on_violation");
+    c.trial_timeout_ms = read_nonneg(v, "trial_timeout_ms", 0, 3'600'000);
+    c.trial_retries = static_cast<u32>(read_nonneg(v, "retries", 0, 16));
+    c.minimize_budget_ms =
+        read_nonneg(v, "minimize_budget_ms", 0, 3'600'000);
+  } else if (type == "status") {
+    req.type = Request::Type::kStatus;
+    req.job = read_job(v);
+  } else if (type == "list") {
+    req.type = Request::Type::kList;
+    req.tenant = v.str("tenant");
+  } else if (type == "summary") {
+    req.type = Request::Type::kSummary;
+    req.job = read_job(v);
+  } else if (type == "artifact") {
+    req.type = Request::Type::kArtifact;
+    req.job = read_job(v);
+  } else if (type == "watch") {
+    req.type = Request::Type::kWatch;
+    req.job = read_job(v);
+  } else if (type == "stats") {
+    req.type = Request::Type::kStats;
+  } else if (type == "drain") {
+    req.type = Request::Type::kDrain;
+  } else {
+    throw ProtocolError("unknown-type",
+                        "unknown request type '" + type + "'");
+  }
+  return req;
+}
+
+std::string build_error(const std::string& code, const std::string& detail,
+                        i64 retry_after_ms) {
+  std::string out = "{\"v\":1,\"ok\":false,\"error\":\"";
+  out += obs::json_escape(code);
+  out += "\",\"detail\":\"";
+  out += obs::json_escape(detail);
+  out += '"';
+  if (retry_after_ms >= 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ",\"retry_after_ms\":%" PRId64,
+                  retry_after_ms);
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+std::string build_ok(const std::string& fields) {
+  std::string out = "{\"v\":1,\"ok\":true";
+  if (!fields.empty()) {
+    out += ',';
+    out += fields;
+  }
+  out += '}';
+  return out;
+}
+
+std::string build_progress(const std::string& job, u64 completed, u64 total,
+                           u64 failures, const std::string& state) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                ",\"completed\":%" PRIu64 ",\"total\":%" PRIu64
+                ",\"failures\":%" PRIu64,
+                completed, total, failures);
+  std::string out = "{\"v\":1,\"type\":\"progress\",\"job\":\"";
+  out += obs::json_escape(job);
+  out += '"';
+  out += buf;
+  out += ",\"state\":\"";
+  out += obs::json_escape(state);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace vwire::service

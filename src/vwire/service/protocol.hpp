@@ -1,0 +1,102 @@
+// vwired wire protocol (DESIGN.md §11): line-delimited JSON over a local
+// stream socket.  Every request and every response is exactly one line,
+// one JSON object, carrying a schema version `"v":1` — a daemon that sees
+// a frame it cannot honor answers a structured error and keeps serving;
+// it never disconnects a client for a malformed frame and never trusts
+// one byte of it.
+//
+// This layer is deliberately socket-free: parse_request() maps a raw line
+// to a typed Request (or throws ProtocolError with a machine-readable
+// code), and the build_* helpers render responses.  The daemon is a thin
+// event loop around it, and the fuzz tests hammer this function directly.
+//
+// Requests (tenant/job fields where applicable):
+//   {"v":1,"type":"ping"}
+//   {"v":1,"type":"submit","tenant":"ci","fixture":"udp","trials":100,
+//    "seed":"42", ...campaign knobs...}
+//   {"v":1,"type":"status","job":"job-3"}
+//   {"v":1,"type":"list","tenant":"ci"}          (tenant optional)
+//   {"v":1,"type":"summary","job":"job-3"}
+//   {"v":1,"type":"artifact","job":"job-3"}
+//   {"v":1,"type":"watch","job":"job-3"}
+//   {"v":1,"type":"stats"}
+//   {"v":1,"type":"drain"}
+//
+// Error responses: {"v":1,"ok":false,"error":"<code>","detail":"...",
+// ["retry_after_ms":N]} with codes bad-request | unknown-type | not-found
+// | over-quota | draining | oversized-frame.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "vwire/chaos/campaign.hpp"
+
+namespace vwire::service {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard per-frame byte ceiling, both directions.  A client that streams an
+/// unterminated line past this is answered with an oversized-frame error
+/// and its input is discarded up to the next newline.
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+/// Machine-readable request rejection.  `code` is one of the error codes
+/// documented above; what() carries the human detail.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& detail)
+      : std::runtime_error(detail), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+struct Request {
+  enum class Type {
+    kPing,
+    kSubmit,
+    kStatus,
+    kList,
+    kSummary,
+    kArtifact,
+    kWatch,
+    kStats,
+    kDrain,
+  };
+
+  Type type{Type::kPing};
+  std::string tenant;  ///< submit (required); list (optional filter)
+  std::string job;     ///< status / summary / artifact / watch
+  /// submit only; populated from the request's campaign knobs with
+  /// service-safe defaults (telemetry retention off, workers clamped).
+  chaos::CampaignConfig campaign;
+};
+
+/// Parses one request line.  Throws ProtocolError — never anything else —
+/// on any malformed, oversized, unversioned or unknown-typed frame.
+/// Unknown *fields* are ignored (tolerant reader), so old daemons accept
+/// newer clients' frames as long as the fields they do understand check
+/// out.  64-bit seeds are accepted as JSON strings or numbers.
+Request parse_request(std::string_view line);
+
+const char* to_string(Request::Type t);
+
+// --- response builders (all return one line, no trailing newline) -------
+
+/// {"v":1,"ok":false,"error":code,"detail":...[,"retry_after_ms":N]}
+std::string build_error(const std::string& code, const std::string& detail,
+                        i64 retry_after_ms = -1);
+
+/// {"v":1,"ok":true,...fields...} — `fields` is pre-rendered JSON members
+/// ("\"k\":v,...", possibly empty).
+std::string build_ok(const std::string& fields);
+
+/// One watch-stream progress event (not an "ok" frame: these interleave
+/// with request/response traffic on a watching connection).
+std::string build_progress(const std::string& job, u64 completed, u64 total,
+                           u64 failures, const std::string& state);
+
+}  // namespace vwire::service

@@ -1,0 +1,66 @@
+#include "vwire/service/quota.hpp"
+
+#include <algorithm>
+
+namespace vwire::service {
+
+Admission AdmissionController::admit(const std::string& tenant,
+                                     std::size_t trials,
+                                     std::size_t tenant_active,
+                                     std::size_t queued_total,
+                                     std::size_t backlog_trials,
+                                     bool draining) const {
+  Admission a;
+  if (draining) {
+    a.admitted = false;
+    a.code = "draining";
+    a.detail = "daemon is draining; submit to the next instance";
+    a.retry_after_ms = retry_after_hint(backlog_trials);
+    return a;
+  }
+  if (trials > cfg_.max_trials_per_campaign) {
+    // A permanently-too-big request: no retry hint, resubmitting the same
+    // campaign later will never help.
+    a.admitted = false;
+    a.code = "over-quota";
+    a.detail = "campaign requests " + std::to_string(trials) +
+               " trials; per-campaign cap is " +
+               std::to_string(cfg_.max_trials_per_campaign);
+    a.retry_after_ms = -1;
+    return a;
+  }
+  if (tenant_active >= cfg_.max_active_per_tenant) {
+    a.admitted = false;
+    a.code = "over-quota";
+    a.detail = "tenant '" + tenant + "' already has " +
+               std::to_string(tenant_active) +
+               " active campaign(s); per-tenant cap is " +
+               std::to_string(cfg_.max_active_per_tenant);
+    a.retry_after_ms = retry_after_hint(backlog_trials);
+    return a;
+  }
+  if (queued_total >= cfg_.max_queue_depth) {
+    a.admitted = false;
+    a.code = "over-quota";
+    a.detail = "queue is full (" + std::to_string(queued_total) + "/" +
+               std::to_string(cfg_.max_queue_depth) + " campaigns waiting)";
+    a.retry_after_ms = retry_after_hint(backlog_trials);
+    return a;
+  }
+  return a;
+}
+
+void AdmissionController::observe_trial_ms(double ms) {
+  if (ms < 0) return;
+  constexpr double kAlpha = 0.2;
+  ewma_trial_ms_ = (1.0 - kAlpha) * ewma_trial_ms_ + kAlpha * ms;
+}
+
+i64 AdmissionController::retry_after_hint(std::size_t backlog_trials) const {
+  const double est =
+      ewma_trial_ms_ * static_cast<double>(std::max<std::size_t>(
+                           backlog_trials, 1));
+  return static_cast<i64>(std::clamp(est, 100.0, 60'000.0));
+}
+
+}  // namespace vwire::service

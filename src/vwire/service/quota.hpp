@@ -1,0 +1,63 @@
+// Admission control for vwired (DESIGN.md §11): per-tenant quotas and
+// global backpressure, decided *before* a campaign touches a runner.
+//
+// The controller is pure bookkeeping — it owns no jobs and no threads; the
+// scheduler feeds it the current occupancy and it answers admit/shed.  A
+// shed response always carries a retry_after_ms hint derived from an EWMA
+// of observed per-trial wall-clock cost: the client learns roughly when
+// capacity frees up instead of hammering the socket in a tight loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::service {
+
+struct QuotaConfig {
+  /// Max campaigns a single tenant may have queued+running at once.
+  std::size_t max_active_per_tenant{2};
+  /// Max campaigns queued (not yet running) across all tenants.
+  std::size_t max_queue_depth{16};
+  /// Largest campaign a single submit may request.
+  std::size_t max_trials_per_campaign{100000};
+};
+
+/// Verdict on one submit.  When !admitted, `code`/`detail` match the wire
+/// protocol's error vocabulary and retry_after_ms is the backoff hint.
+struct Admission {
+  bool admitted{true};
+  std::string code;
+  std::string detail;
+  i64 retry_after_ms{0};
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(QuotaConfig cfg) : cfg_(cfg) {}
+
+  /// `tenant_active` = this tenant's queued+running jobs right now;
+  /// `queued_total` = global queue occupancy; `backlog_trials` = trials
+  /// not yet executed across all admitted jobs (sizes the retry hint).
+  Admission admit(const std::string& tenant, std::size_t trials,
+                  std::size_t tenant_active, std::size_t queued_total,
+                  std::size_t backlog_trials, bool draining) const;
+
+  /// Feed one completed trial's wall-clock cost into the EWMA.
+  void observe_trial_ms(double ms);
+
+  /// Estimated milliseconds until `backlog_trials` more trials have
+  /// drained, clamped to [100ms, 60s] so the hint is always actionable.
+  i64 retry_after_hint(std::size_t backlog_trials) const;
+
+  const QuotaConfig& config() const { return cfg_; }
+
+ private:
+  QuotaConfig cfg_;
+  /// Starts at a plausible per-trial cost so the very first shed already
+  /// has a sane hint; alpha 0.2 tracks drift without jitter.
+  double ewma_trial_ms_{20.0};
+};
+
+}  // namespace vwire::service

@@ -1,0 +1,458 @@
+#include "vwire/service/scheduler.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+
+#include "vwire/chaos/checkpoint.hpp"
+#include "vwire/obs/json.hpp"
+
+namespace vwire::service {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+/// Campaign knobs that live outside the checkpoint header's identity
+/// fields travel in its free-form meta, so resume_from_dir() can rebuild
+/// the exact CampaignConfig the job was admitted with.
+std::map<std::string, std::string> journal_meta(
+    const chaos::CampaignConfig& c, const std::string& tenant,
+    const std::string& job) {
+  return {
+      {"tenant", tenant},
+      {"job", job},
+      {"workers", std::to_string(c.workers)},
+      {"minimize", c.minimize ? "1" : "0"},
+      {"stop_on_violation", c.stop_on_violation ? "1" : "0"},
+      {"trial_timeout_ms", std::to_string(c.trial_timeout_ms)},
+      {"retries", std::to_string(c.trial_retries)},
+      {"minimize_budget_ms", std::to_string(c.minimize_budget_ms)},
+  };
+}
+
+i64 meta_i64(const std::map<std::string, std::string>& meta,
+             const std::string& key, i64 fallback) {
+  auto it = meta.find(key);
+  if (it == meta.end() || it->second.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return fallback;
+  return static_cast<i64>(v);
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCheckpointed: return "checkpointed";
+  }
+  return "?";
+}
+
+CampaignScheduler::CampaignScheduler(SchedulerConfig cfg)
+    : cfg_(std::move(cfg)), admission_(cfg_.quota) {
+  if (cfg_.runners == 0) cfg_.runners = 1;
+  runners_.reserve(cfg_.runners);
+  for (std::size_t i = 0; i < cfg_.runners; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+CampaignScheduler::~CampaignScheduler() {
+  {
+    const std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  drain_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  join();
+}
+
+JobSnapshot CampaignScheduler::snapshot_locked(const Job& j) const {
+  JobSnapshot s;
+  s.id = j.id;
+  s.tenant = j.tenant;
+  s.state = j.state;
+  s.completed = j.completed;
+  s.total = j.total;
+  s.failures = j.failures;
+  s.has_repro = !j.artifact.empty();
+  s.error = j.error;
+  return s;
+}
+
+std::string CampaignScheduler::journal_path(const std::string& id) const {
+  return cfg_.checkpoint_dir + "/" + id + ".journal";
+}
+
+SubmitOutcome CampaignScheduler::submit(const std::string& tenant,
+                                        chaos::CampaignConfig campaign) {
+  SubmitOutcome out;
+
+  // Fixture typos must bounce at the front door, not throw in a runner.
+  const std::vector<std::string> known = chaos::harness_names();
+  if (std::find(known.begin(), known.end(), campaign.fixture) == known.end()) {
+    out.admission.admitted = false;
+    out.admission.code = "bad-request";
+    out.admission.detail = "unknown fixture '" + campaign.fixture + "'";
+    out.admission.retry_after_ms = -1;
+    const std::scoped_lock lock(mu_);
+    ++metrics_.counter("service.shed." + tenant);
+    return out;
+  }
+
+  const std::scoped_lock lock(mu_);
+  std::size_t tenant_active = 0;
+  std::size_t backlog_trials = 0;
+  for (const auto& [id, j] : jobs_) {
+    if (j.state == JobState::kQueued || j.state == JobState::kRunning) {
+      if (j.tenant == tenant) ++tenant_active;
+      backlog_trials += j.total > j.completed
+                            ? static_cast<std::size_t>(j.total - j.completed)
+                            : 0;
+    }
+  }
+  out.admission = admission_.admit(tenant, campaign.trials, tenant_active,
+                                   queue_.size(), backlog_trials,
+                                   drain_.load(std::memory_order_relaxed));
+  if (!out.admission.admitted) {
+    ++metrics_.counter("service.shed." + tenant);
+    return out;
+  }
+
+  Job j;
+  j.id = "job-" + std::to_string(next_id_++);
+  j.tenant = tenant;
+  j.campaign = std::move(campaign);
+  j.total = static_cast<u64>(j.campaign.trials);
+  out.job_id = j.id;
+  queue_.push_back(j.id);
+  jobs_.emplace(j.id, std::move(j));
+  ++metrics_.counter("service.submitted." + tenant);
+  cv_.notify_one();
+  return out;
+}
+
+std::optional<JobSnapshot> CampaignScheduler::status(
+    const std::string& id) const {
+  const std::scoped_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(it->second);
+}
+
+std::vector<JobSnapshot> CampaignScheduler::list(
+    const std::string& tenant) const {
+  const std::scoped_lock lock(mu_);
+  std::vector<JobSnapshot> out;
+  for (const auto& [id, j] : jobs_) {
+    if (!tenant.empty() && j.tenant != tenant) continue;
+    out.push_back(snapshot_locked(j));
+  }
+  // jobs_ is keyed by id string; order by numeric suffix (submission
+  // order) instead of lexicographic ("job-10" < "job-9").
+  std::sort(out.begin(), out.end(),
+            [](const JobSnapshot& a, const JobSnapshot& b) {
+              return a.id.size() != b.id.size() ? a.id.size() < b.id.size()
+                                                : a.id < b.id;
+            });
+  return out;
+}
+
+std::optional<std::string> CampaignScheduler::summary_json(
+    const std::string& id) const {
+  const std::scoped_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.summary.empty()) return std::nullopt;
+  return it->second.summary;
+}
+
+std::optional<std::string> CampaignScheduler::artifact_json(
+    const std::string& id) const {
+  const std::scoped_lock lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.artifact.empty()) return std::nullopt;
+  return it->second.artifact;
+}
+
+void CampaignScheduler::set_progress_hook(ProgressHook hook) {
+  const std::scoped_lock lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void CampaignScheduler::begin_drain() {
+  std::vector<JobSnapshot> parked;
+  ProgressHook hook;
+  {
+    const std::scoped_lock lock(mu_);
+    drain_.store(true, std::memory_order_relaxed);
+    // Queued jobs never start: park them as checkpointed.  Their journal
+    // (header only, when fresh) is enough for resume_from_dir() to
+    // re-admit them from trial zero.
+    for (const std::string& id : queue_) {
+      Job& j = jobs_.at(id);
+      j.state = JobState::kCheckpointed;
+      if (!cfg_.checkpoint_dir.empty() && !j.resumed) {
+        chaos::CheckpointWriter w(
+            journal_path(id),
+            chaos::make_header(j.campaign, journal_meta(j.campaign, j.tenant,
+                                                        j.id)));
+      }
+      parked.push_back(snapshot_locked(j));
+    }
+    queue_.clear();
+    hook = hook_;
+  }
+  cv_.notify_all();
+  if (hook) {
+    for (const JobSnapshot& s : parked) hook(s);
+  }
+}
+
+bool CampaignScheduler::draining() const {
+  return drain_.load(std::memory_order_relaxed);
+}
+
+bool CampaignScheduler::idle() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.empty() && running_ == 0;
+}
+
+void CampaignScheduler::join() {
+  {
+    const std::scoped_lock lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (std::thread& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void CampaignScheduler::runner_loop() {
+  for (;;) {
+    std::string id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return shutdown_ || drain_.load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
+      if (queue_.empty() || shutdown_) return;
+      id = queue_.front();
+      queue_.pop_front();
+      jobs_.at(id).state = JobState::kRunning;
+      ++running_;
+    }
+    run_job(id);
+    {
+      const std::scoped_lock lock(mu_);
+      --running_;
+    }
+  }
+}
+
+void CampaignScheduler::run_job(const std::string& id) {
+  chaos::CampaignConfig cfg;
+  std::vector<chaos::TrialResult> restored;
+  bool resumed = false;
+  std::string tenant;
+  {
+    const std::scoped_lock lock(mu_);
+    Job& j = jobs_.at(id);
+    cfg = j.campaign;
+    restored = std::move(j.restored);
+    j.restored.clear();
+    resumed = j.resumed;
+    tenant = j.tenant;
+  }
+
+  std::unique_ptr<chaos::CheckpointWriter> writer;
+  if (!cfg_.checkpoint_dir.empty()) {
+    writer = std::make_unique<chaos::CheckpointWriter>(
+        journal_path(id), chaos::make_header(cfg, journal_meta(cfg, tenant, id)),
+        resumed);
+  }
+
+  const WallClock::time_point start = WallClock::now();
+  u64 ran_here = 0;  // hook is serialized by the campaign; no atomics needed
+  cfg.cancel = &drain_;
+  cfg.on_trial = [&](const chaos::TrialResult& r) {
+    if (writer) writer->append(r);
+    ++ran_here;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(WallClock::now() - start)
+            .count();
+    JobSnapshot snap;
+    ProgressHook hook;
+    {
+      const std::scoped_lock lock(mu_);
+      Job& j = jobs_.at(id);
+      ++j.completed;
+      if (!r.ok()) ++j.failures;
+      admission_.observe_trial_ms(elapsed_ms / static_cast<double>(ran_here));
+      ++metrics_.counter("service.trials." + tenant);
+      snap = snapshot_locked(j);
+      hook = hook_;
+    }
+    if (hook) hook(snap);
+  };
+
+  JobSnapshot final_snap;
+  ProgressHook final_hook;
+  try {
+    chaos::Campaign campaign(cfg);
+    chaos::CampaignSummary s = campaign.run_from(std::move(restored));
+    const std::scoped_lock lock(mu_);
+    Job& j = jobs_.at(id);
+    j.completed = static_cast<u64>(s.trials_run);
+    j.failures = static_cast<u64>(s.failing_trials.size());
+    if (drain_.load(std::memory_order_relaxed) &&
+        s.trials_run < s.trials_requested) {
+      j.state = JobState::kCheckpointed;
+    } else {
+      j.state = JobState::kDone;
+      j.summary = s.to_json();
+      if (s.repro) j.artifact = s.repro->to_json();
+    }
+    final_snap = snapshot_locked(j);
+    final_hook = hook_;
+  } catch (const std::exception& e) {
+    const std::scoped_lock lock(mu_);
+    Job& j = jobs_.at(id);
+    j.state = JobState::kFailed;
+    j.error = e.what();
+    final_snap = snapshot_locked(j);
+    final_hook = hook_;
+  } catch (...) {
+    const std::scoped_lock lock(mu_);
+    Job& j = jobs_.at(id);
+    j.state = JobState::kFailed;
+    j.error = "non-standard exception escaped the campaign";
+    final_snap = snapshot_locked(j);
+    final_hook = hook_;
+  }
+  if (final_hook) final_hook(final_snap);
+}
+
+std::size_t CampaignScheduler::resume_from_dir() {
+  if (cfg_.checkpoint_dir.empty()) return 0;
+  DIR* dir = ::opendir(cfg_.checkpoint_dir.c_str());
+  if (dir == nullptr) return 0;
+  std::vector<std::string> files;
+  while (dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    constexpr std::string_view kExt = ".journal";
+    if (name.size() > kExt.size() &&
+        name.compare(name.size() - kExt.size(), kExt.size(), kExt) == 0) {
+      files.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(files.begin(), files.end());
+
+  std::size_t resumed = 0;
+  for (const std::string& file : files) {
+    chaos::Checkpoint ck;
+    try {
+      ck = chaos::load_checkpoint(cfg_.checkpoint_dir + "/" + file);
+    } catch (const std::exception&) {
+      continue;  // damaged header: not resumable, leave for inspection
+    }
+    chaos::CampaignConfig cfg;
+    cfg.fixture = ck.header.fixture;
+    cfg.seed = ck.header.seed;
+    cfg.trials = ck.header.trials;
+    cfg.state_faults = ck.header.state_faults;
+    cfg.keep_telemetry = false;
+    const auto& meta = ck.header.meta;
+    cfg.workers = static_cast<std::size_t>(
+        std::clamp<i64>(meta_i64(meta, "workers", 1), 1, 8));
+    cfg.minimize = meta_i64(meta, "minimize", 1) != 0;
+    cfg.stop_on_violation = meta_i64(meta, "stop_on_violation", 0) != 0;
+    cfg.trial_timeout_ms = meta_i64(meta, "trial_timeout_ms", 0);
+    cfg.trial_retries =
+        static_cast<u32>(std::max<i64>(0, meta_i64(meta, "retries", 0)));
+    cfg.minimize_budget_ms = meta_i64(meta, "minimize_budget_ms", 0);
+
+    std::vector<chaos::TrialResult> restored;
+    try {
+      restored = chaos::restore_results(chaos::Campaign(cfg), ck);
+    } catch (const std::exception&) {
+      continue;  // identity mismatch: someone else's journal
+    }
+
+    Job j;
+    auto tenant_it = meta.find("tenant");
+    auto job_it = meta.find("job");
+    j.tenant = tenant_it != meta.end() && !tenant_it->second.empty()
+                   ? tenant_it->second
+                   : "recovered";
+    j.id = job_it != meta.end() && !job_it->second.empty()
+               ? job_it->second
+               : file.substr(0, file.size() - 8);
+    j.campaign = cfg;
+    j.total = static_cast<u64>(cfg.trials);
+    j.completed = static_cast<u64>(restored.size());
+    for (const chaos::TrialResult& r : restored) {
+      if (!r.ok()) ++j.failures;
+    }
+    j.resumed = true;
+    j.restored = std::move(restored);
+
+    const std::scoped_lock lock(mu_);
+    if (jobs_.count(j.id) != 0) continue;
+    // Keep fresh ids clear of recovered ones.
+    if (j.id.rfind("job-", 0) == 0) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(j.id.c_str() + 4, &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0' && n >= next_id_) {
+        next_id_ = n + 1;
+      }
+    }
+    queue_.push_back(j.id);
+    jobs_.emplace(j.id, std::move(j));
+    ++resumed;
+    cv_.notify_one();
+  }
+  return resumed;
+}
+
+std::string CampaignScheduler::stats_json() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t by_state[5] = {};
+  for (const auto& [id, j] : jobs_) {
+    by_state[static_cast<std::size_t>(j.state)]++;
+  }
+  std::string out = "{\"v\":1,\"type\":\"stats\",\"draining\":";
+  out += drain_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += ",\"queued\":" + std::to_string(by_state[0]);
+  out += ",\"running\":" + std::to_string(by_state[1]);
+  out += ",\"done\":" + std::to_string(by_state[2]);
+  out += ",\"failed\":" + std::to_string(by_state[3]);
+  out += ",\"checkpointed\":" + std::to_string(by_state[4]);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const obs::MetricsRegistry::Sample& s : metrics_.snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::json_escape(s.name);
+    out += "\":" + std::to_string(static_cast<u64>(s.value));
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace vwire::service

@@ -1,0 +1,162 @@
+// Campaign scheduler for vwired (DESIGN.md §11): a bounded multi-tenant
+// job queue in front of the chaos engine.
+//
+// Submits pass admission control (service/quota.hpp) and join a FIFO
+// served by a fixed pool of runner threads — one campaign per runner at a
+// time, so a tenant's 100k-trial soak cannot starve the daemon of
+// threads, only of queue position.  Every completed trial is journaled to
+// `<checkpoint_dir>/<job>.journal` (chaos/checkpoint.hpp) as it finishes,
+// which buys two things at once: crash recovery (resume_from_dir() after
+// a restart re-runs only uncovered trials) and graceful drain
+// (begin_drain() lets in-flight trials finish, checkpoints the rest, and
+// a later instance picks the jobs back up byte-identically).
+//
+// Thread model: one mutex guards the queue, the job table, admission
+// bookkeeping and the metrics registry.  Campaign trials run outside the
+// lock; the per-trial hook re-enters it briefly to bump progress.  The
+// progress hook the daemon installs is invoked *without* the lock held.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "vwire/chaos/campaign.hpp"
+#include "vwire/obs/metrics.hpp"
+#include "vwire/service/quota.hpp"
+
+namespace vwire::service {
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,          ///< ran to completion (possibly with failing trials)
+  kFailed,        ///< infrastructure error (bad fixture, harness threw)
+  kCheckpointed,  ///< drained mid-run; journal covers completed trials
+};
+const char* to_string(JobState s);
+
+/// Point-in-time view of one job, safe to hand across threads.
+struct JobSnapshot {
+  std::string id;
+  std::string tenant;
+  JobState state{JobState::kQueued};
+  u64 completed{0};  ///< trials finished (journaled + restored)
+  u64 total{0};
+  u64 failures{0};   ///< trials with violations so far
+  bool has_repro{false};
+  std::string error;  ///< kFailed detail
+};
+
+struct SchedulerConfig {
+  QuotaConfig quota;
+  std::size_t runners{2};
+  /// Journal directory; empty disables checkpointing (jobs still run,
+  /// they just cannot survive a restart).
+  std::string checkpoint_dir;
+};
+
+struct SubmitOutcome {
+  Admission admission;
+  std::string job_id;  ///< set iff admission.admitted
+};
+
+class CampaignScheduler {
+ public:
+  explicit CampaignScheduler(SchedulerConfig cfg);
+  ~CampaignScheduler();  ///< begin_drain() + join()
+
+  CampaignScheduler(const CampaignScheduler&) = delete;
+  CampaignScheduler& operator=(const CampaignScheduler&) = delete;
+
+  /// Admission-checked enqueue.  The campaign's fixture name is validated
+  /// here (unknown fixture → rejected as bad-request-shaped failure via
+  /// Admission{code="bad-request"}) so a runner thread never throws on a
+  /// typo.
+  SubmitOutcome submit(const std::string& tenant,
+                       chaos::CampaignConfig campaign);
+
+  std::optional<JobSnapshot> status(const std::string& id) const;
+  /// All jobs, oldest first; non-empty `tenant` filters.
+  std::vector<JobSnapshot> list(const std::string& tenant = "") const;
+
+  /// Full campaign-summary JSON; nullopt until the job is kDone.
+  std::optional<std::string> summary_json(const std::string& id) const;
+  /// Minimized repro artifact JSON; nullopt unless the job finished with
+  /// one.
+  std::optional<std::string> artifact_json(const std::string& id) const;
+
+  /// Invoked (lock NOT held) after every completed trial and on every
+  /// job-state transition.  At most one hook; installing replaces.
+  using ProgressHook = std::function<void(const JobSnapshot&)>;
+  void set_progress_hook(ProgressHook hook);
+
+  /// Graceful drain, non-blocking: stop admitting, checkpoint queued jobs
+  /// without running them, and flip the cancel flag campaigns poll — each
+  /// runner finishes its in-flight trial, journals it, and parks the job
+  /// as kCheckpointed.  Call join() afterwards to wait.
+  void begin_drain();
+  bool draining() const;
+  /// No job queued or running.
+  bool idle() const;
+  /// Waits for all runner threads to exit (valid only after begin_drain()).
+  void join();
+
+  /// Scans checkpoint_dir for *.journal files and re-enqueues every job
+  /// whose journal is readable, bypassing admission (they were admitted
+  /// once already).  Fully-journaled jobs finalize instantly.  Returns
+  /// the number of jobs resumed; unreadable journals are skipped.
+  std::size_t resume_from_dir();
+
+  /// {"v":1,"type":"stats",...} — queue occupancy plus every service.*
+  /// counter (per-tenant submitted/shed/trials).
+  std::string stats_json() const;
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    std::string id;
+    std::string tenant;
+    chaos::CampaignConfig campaign;
+    JobState state{JobState::kQueued};
+    u64 completed{0};
+    u64 total{0};
+    u64 failures{0};
+    bool resumed{false};  ///< journal already exists; open it for append
+    std::vector<chaos::TrialResult> restored;
+    std::string summary;   ///< CampaignSummary::to_json() once kDone
+    std::string artifact;  ///< ReproArtifact::to_json() when present
+    std::string error;
+  };
+
+  JobSnapshot snapshot_locked(const Job& j) const;
+  std::string journal_path(const std::string& id) const;
+  void runner_loop();
+  void run_job(const std::string& id);
+
+  SchedulerConfig cfg_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Job> jobs_;
+  std::deque<std::string> queue_;
+  std::size_t running_{0};
+  u64 next_id_{1};
+  ProgressHook hook_;
+  obs::MetricsRegistry metrics_;
+
+  std::atomic<bool> drain_{false};
+  bool shutdown_{false};
+  std::vector<std::thread> runners_;
+  bool joined_{false};
+};
+
+}  // namespace vwire::service

@@ -1,0 +1,163 @@
+// Checkpoint/resume tests (DESIGN.md §11): a campaign interrupted
+// mid-run and resumed from its journal must produce a summary
+// byte-identical to an uninterrupted run's — the property the vwired
+// drain/restart cycle stands on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "vwire/chaos/checkpoint.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+CampaignConfig small(u64 seed, std::size_t trials) {
+  CampaignConfig cfg;
+  cfg.fixture = "fig7";
+  cfg.seed = seed;
+  cfg.trials = trials;
+  cfg.minimize = false;
+  return cfg;
+}
+
+TEST(Checkpoint, RecordRoundTripsThroughJson) {
+  Campaign campaign(small(42, 2));
+  const TrialResult r = campaign.run_trial(1);
+  const std::string journal =
+      header_to_json(make_header(campaign.config())) + "\n" +
+      record_to_json(to_record(r)) + "\n";
+
+  const Checkpoint ck = parse_checkpoint(journal);
+  EXPECT_EQ(ck.header.fixture, "fig7");
+  EXPECT_EQ(ck.header.seed, 42u);
+  EXPECT_EQ(ck.header.trials, 2u);
+  ASSERT_EQ(ck.records.size(), 1u);
+  EXPECT_EQ(ck.records[0].trial_index, 1u);
+  EXPECT_EQ(ck.records[0].events, r.schedule.events.size());
+  EXPECT_EQ(ck.records[0].effective_seed, r.effective_seed);
+  EXPECT_EQ(ck.records[0].firings, r.firings);
+
+  const std::vector<TrialResult> restored =
+      restore_results(campaign, ck);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].schedule, r.schedule)
+      << "restore must regenerate the schedule deterministically";
+}
+
+TEST(Checkpoint, InterruptedCampaignResumesByteIdentical) {
+  const CampaignConfig cfg = small(42, 6);
+  const std::string full_json = Campaign(cfg).run().to_json();
+
+  // Interrupted run: journal each trial, pull the cancel lever after 3.
+  std::atomic<bool> cancel{false};
+  std::string journal = header_to_json(make_header(cfg)) + "\n";
+  std::size_t done = 0;
+  CampaignConfig interrupted = cfg;
+  interrupted.cancel = &cancel;
+  interrupted.on_trial = [&](const TrialResult& r) {
+    journal += record_to_json(to_record(r)) + "\n";
+    if (++done >= 3) cancel.store(true);
+  };
+  const CampaignSummary partial = Campaign(interrupted).run();
+  ASSERT_LT(partial.trials_run, cfg.trials)
+      << "the cancel flag must stop the campaign early";
+
+  const Checkpoint ck = parse_checkpoint(journal);
+  ASSERT_EQ(ck.records.size(), 3u);
+  Campaign resumed(cfg);
+  const CampaignSummary merged =
+      resumed.run_from(restore_results(resumed, ck));
+  EXPECT_EQ(merged.trials_run, cfg.trials);
+  EXPECT_EQ(merged.to_json(), full_json)
+      << "resume must merge byte-identically with an uninterrupted run";
+}
+
+TEST(Checkpoint, TruncatedTailLosesOnlyTheLastTrial) {
+  Campaign campaign(small(7, 3));
+  std::string journal = header_to_json(make_header(campaign.config())) + "\n";
+  for (u64 i = 0; i < 3; ++i) {
+    journal += record_to_json(to_record(campaign.run_trial(i))) + "\n";
+  }
+  // SIGKILL mid-append: chop the final line in half.
+  const std::string cut = journal.substr(0, journal.size() - 25);
+  const Checkpoint ck = parse_checkpoint(cut);
+  EXPECT_EQ(ck.records.size(), 2u)
+      << "a damaged tail line is discarded, earlier trials survive";
+}
+
+TEST(Checkpoint, SeedsSurviveAbove2to53) {
+  // JSON numbers are doubles; 64-bit seeds must round-trip via strings.
+  CheckpointHeader h;
+  h.fixture = "fig7";
+  h.seed = 0xFFFFFFFFFFFFFFFFull;
+  h.trials = 1;
+  TrialRecord rec;
+  rec.trial_index = 0;
+  rec.effective_seed = (1ull << 53) + 1;
+  const Checkpoint ck = parse_checkpoint(header_to_json(h) + "\n" +
+                                         record_to_json(rec) + "\n");
+  EXPECT_EQ(ck.header.seed, 0xFFFFFFFFFFFFFFFFull);
+  ASSERT_EQ(ck.records.size(), 1u);
+  EXPECT_EQ(ck.records[0].effective_seed, (1ull << 53) + 1);
+}
+
+TEST(Checkpoint, ForeignJournalRejected) {
+  Campaign campaign(small(42, 2));
+  const std::string journal =
+      header_to_json(make_header(campaign.config())) + "\n" +
+      record_to_json(to_record(campaign.run_trial(0))) + "\n";
+  const Checkpoint ck = parse_checkpoint(journal);
+
+  Campaign other_seed(small(43, 2));
+  EXPECT_THROW((void)restore_results(other_seed, ck), std::runtime_error);
+  Campaign other_size(small(42, 5));
+  EXPECT_THROW((void)restore_results(other_size, ck), std::runtime_error);
+}
+
+TEST(Checkpoint, EventCountMismatchRejected) {
+  Campaign campaign(small(42, 2));
+  Checkpoint ck = parse_checkpoint(
+      header_to_json(make_header(campaign.config())) + "\n" +
+      record_to_json(to_record(campaign.run_trial(0))) + "\n");
+  ASSERT_EQ(ck.records.size(), 1u);
+  ck.records[0].events += 1;  // journal from a different generator version
+  EXPECT_THROW((void)restore_results(campaign, ck), std::runtime_error);
+}
+
+TEST(Checkpoint, BadHeaderThrows) {
+  EXPECT_THROW((void)parse_checkpoint(""), std::runtime_error);
+  EXPECT_THROW((void)parse_checkpoint("not json\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_checkpoint("{\"v\":1,\"type\":\"other\"}\n"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, WriterPersistsAcrossReopen) {
+  const std::string path =
+      testing::TempDir() + "vwire_checkpoint_test.journal";
+  Campaign campaign(small(11, 2));
+  {
+    CheckpointWriter w(path, make_header(campaign.config()));
+    ASSERT_TRUE(w.ok());
+    w.append(campaign.run_trial(0));
+  }
+  {
+    // Reopen for append, as a resumed campaign would.
+    CheckpointWriter w(path, make_header(campaign.config()),
+                       /*resume=*/true);
+    ASSERT_TRUE(w.ok());
+    w.append(campaign.run_trial(1));
+  }
+  const Checkpoint ck = load_checkpoint(path);
+  EXPECT_EQ(ck.records.size(), 2u);
+  const std::vector<TrialResult> restored = restore_results(campaign, ck);
+  const CampaignSummary merged =
+      Campaign(campaign.config()).run_from(restored);
+  EXPECT_EQ(merged.trials_run, 2u);
+  EXPECT_EQ(merged.to_json(), Campaign(campaign.config()).run().to_json());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vwire::chaos

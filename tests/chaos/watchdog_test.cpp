@@ -1,0 +1,107 @@
+// Per-trial wall-clock watchdog tests (DESIGN.md §11): a trial that hangs
+// the simulator must be quarantined as a structured trial-timeout
+// violation instead of wedging its worker, and a trial that throws must
+// become a trial-exception violation instead of killing the process.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "vwire/chaos/campaign.hpp"
+
+namespace vwire::chaos {
+namespace {
+
+using TestClock = std::chrono::steady_clock;
+
+TEST(Watchdog, HangingTrialQuarantinedWithinDeadline) {
+  // The "hang" fixture re-arms a 100ns timer forever under a huge sim
+  // deadline, defeating quiescence detection — without the watchdog this
+  // trial runs for (simulated) minutes of real time.
+  CampaignConfig cfg;
+  cfg.fixture = "hang";
+  cfg.trials = 1;
+  cfg.minimize = false;
+  cfg.trial_timeout_ms = 300;
+  cfg.keep_telemetry = true;
+  const TestClock::time_point t0 = TestClock::now();
+  const CampaignSummary s = Campaign(cfg).run();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(TestClock::now() -
+                                                            t0);
+  EXPECT_LT(elapsed.count(), 30'000)
+      << "watchdog must cut the hang off long before the ctest ceiling";
+
+  ASSERT_EQ(s.failing_trials.size(), 1u);
+  const TrialResult& r = s.results[0];
+  EXPECT_TRUE(r.ran);
+  EXPECT_FALSE(r.scenario_passed);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].invariant, "trial-timeout");
+  EXPECT_NE(r.violations[0].detail.find("wall-clock"), std::string::npos);
+  EXPECT_FALSE(r.telemetry.empty())
+      << "a quarantined trial still captures its telemetry";
+}
+
+TEST(Watchdog, MinimizationOfHungTrialStaysBounded) {
+  CampaignConfig cfg;
+  cfg.fixture = "hang";
+  cfg.trials = 1;
+  cfg.minimize = true;
+  cfg.trial_timeout_ms = 200;
+  cfg.minimize_budget_ms = 500;  // each ddmin probe hangs too; budget caps
+  const TestClock::time_point t0 = TestClock::now();
+  const CampaignSummary s = Campaign(cfg).run();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(TestClock::now() -
+                                                            t0);
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(s.repro.has_value());
+  EXPECT_LT(elapsed.count(), 30'000)
+      << "budgeted ddmin over watchdogged probes must terminate promptly";
+}
+
+TEST(Watchdog, HealthyTrialUntouched) {
+  CampaignConfig cfg;
+  cfg.fixture = "fig7";
+  cfg.trials = 1;
+  cfg.minimize = false;
+  cfg.trial_timeout_ms = 120'000;  // generous: must never fire
+  const CampaignSummary s = Campaign(cfg).run();
+  EXPECT_TRUE(s.ok()) << s.to_json();
+}
+
+TEST(Watchdog, ThrowingTrialBecomesStructuredViolation) {
+  // An unknown fixture makes every run_trial() throw from make_harness;
+  // the worker must record it instead of letting the exception escape
+  // (and a second worker thread must not std::terminate the process).
+  CampaignConfig cfg;
+  cfg.fixture = "no-such-fixture";
+  cfg.trials = 2;
+  cfg.workers = 2;
+  cfg.minimize = false;
+  const CampaignSummary s = Campaign(cfg).run();
+  ASSERT_EQ(s.failing_trials.size(), 2u);
+  for (u64 idx : s.failing_trials) {
+    const TrialResult& r = s.results[idx];
+    ASSERT_FALSE(r.violations.empty());
+    EXPECT_EQ(r.violations[0].invariant, "trial-exception");
+    EXPECT_NE(r.violations[0].detail.find("fixture"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, RetryBudgetBoundsDeterministicThrow) {
+  // A deterministic throw survives its retries and is then recorded; the
+  // campaign must not loop forever.
+  CampaignConfig cfg;
+  cfg.fixture = "no-such-fixture";
+  cfg.trials = 1;
+  cfg.minimize = false;
+  cfg.trial_retries = 2;
+  cfg.retry_backoff_ms = 1;
+  const CampaignSummary s = Campaign(cfg).run();
+  ASSERT_EQ(s.failing_trials.size(), 1u);
+  EXPECT_EQ(s.results[0].violations[0].invariant, "trial-exception");
+}
+
+}  // namespace
+}  // namespace vwire::chaos

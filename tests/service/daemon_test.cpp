@@ -1,0 +1,275 @@
+// End-to-end daemon tests over a real unix socket: a raw client sends
+// line-delimited JSON frames (including hostile ones) and the daemon must
+// answer structured errors, keep serving, run campaigns, and drain to a
+// clean exit on request.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "vwire/obs/json.hpp"
+#include "vwire/service/daemon.hpp"
+
+namespace vwire::service {
+namespace {
+
+/// sockaddr_un paths are ~108 bytes; keep them short and unique.
+std::string unique_socket_path() {
+  static int counter = 0;
+  return "/tmp/vwired-t" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter++) + ".sock";
+}
+
+/// Minimal blocking client for the line protocol.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& path) { connect_to(path); }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  void send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  std::string read_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while waiting for a line";
+        return {};
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  obs::JsonValue roundtrip(const std::string& line) {
+    send_line(line);
+    return obs::JsonValue::parse(read_line());
+  }
+
+ private:
+  // gtest ASSERTs can't live in a constructor, hence the helper.
+  void connect_to(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    // The daemon may still be between bind() and listen(); retry briefly.
+    for (int attempt = 0;; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        return;
+      }
+      ASSERT_LT(attempt, 200) << "cannot connect to " << path << ": "
+                              << std::strerror(errno);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Daemon running in a background thread for the duration of a test.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(DaemonConfig cfg) : daemon_(std::move(cfg)) {
+    EXPECT_TRUE(daemon_.start()) << "daemon failed to start";
+    thread_ = std::thread([this] { exit_code_ = daemon_.serve(); });
+  }
+  ~DaemonFixture() {
+    if (thread_.joinable()) {
+      daemon_.request_shutdown();
+      thread_.join();
+    }
+  }
+  Daemon& daemon() { return daemon_; }
+  int join() {
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  Daemon daemon_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+DaemonConfig basic_config(const std::string& path) {
+  DaemonConfig cfg;
+  cfg.socket_path = path;
+  cfg.resume = false;
+  cfg.scheduler.runners = 1;
+  return cfg;
+}
+
+TEST(Daemon, PingPong) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+  const obs::JsonValue v = c.roundtrip(R"({"v":1,"type":"ping"})");
+  EXPECT_TRUE(v.boolean("ok"));
+  EXPECT_EQ(v.str("type"), "pong");
+}
+
+TEST(Daemon, MalformedFrameGetsStructuredErrorAndServiceSurvives) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  const obs::JsonValue err = c.roundtrip("{not json at all");
+  EXPECT_FALSE(err.boolean("ok", true));
+  EXPECT_EQ(err.str("error"), "bad-request");
+
+  const obs::JsonValue unk = c.roundtrip(R"({"v":1,"type":"frobnicate"})");
+  EXPECT_EQ(unk.str("error"), "unknown-type");
+
+  // Same connection still works afterwards.
+  EXPECT_TRUE(c.roundtrip(R"({"v":1,"type":"ping"})").boolean("ok"));
+  // And a fresh connection is served too.
+  RawClient c2(path);
+  EXPECT_TRUE(c2.roundtrip(R"({"v":1,"type":"ping"})").boolean("ok"));
+}
+
+TEST(Daemon, OversizedFrameRejectedThenConnectionKeepsWorking) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  std::string big = R"({"v":1,"type":"ping","pad":")";
+  big += std::string(70 * 1024, 'x');
+  big += "\"}";
+  c.send_line(big);
+  const obs::JsonValue err = obs::JsonValue::parse(c.read_line());
+  EXPECT_EQ(err.str("error"), "oversized-frame");
+
+  EXPECT_TRUE(c.roundtrip(R"({"v":1,"type":"ping"})").boolean("ok"));
+}
+
+TEST(Daemon, SubmitRunsToCompletionAndServesArtifacts) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  const obs::JsonValue bad = c.roundtrip(
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"nope","trials":1})");
+  EXPECT_EQ(bad.str("error"), "bad-request");
+
+  const obs::JsonValue sub = c.roundtrip(
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"fig7","seed":7,)"
+      R"("trials":2,"minimize":false})");
+  ASSERT_TRUE(sub.boolean("ok")) << sub.str("detail");
+  const std::string job = sub.str("job");
+  ASSERT_FALSE(job.empty());
+
+  for (;;) {
+    const obs::JsonValue st = c.roundtrip(
+        R"({"v":1,"type":"status","job":")" + job + R"("})");
+    ASSERT_TRUE(st.boolean("ok"));
+    const std::string state = st.str("state");
+    if (state == "done") break;
+    ASSERT_TRUE(state == "queued" || state == "running") << state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  const obs::JsonValue sum = c.roundtrip(
+      R"({"v":1,"type":"summary","job":")" + job + R"("})");
+  ASSERT_TRUE(sum.boolean("ok"));
+  const obs::JsonValue doc = obs::JsonValue::parse(sum.str("summary"));
+  EXPECT_EQ(doc.str("type"), "chaos_campaign");
+  EXPECT_EQ(doc.num("trials_run"), 2.0);
+
+  const obs::JsonValue lst = c.roundtrip(R"({"v":1,"type":"list"})");
+  ASSERT_TRUE(lst.boolean("ok"));
+  EXPECT_EQ(lst.at("jobs").as_array().size(), 1u);
+
+  const obs::JsonValue stats = c.roundtrip(R"({"v":1,"type":"stats"})");
+  EXPECT_EQ(stats.str("type"), "stats");
+}
+
+TEST(Daemon, WatchStreamsProgressToTerminalState) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  const obs::JsonValue sub = c.roundtrip(
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"fig7","seed":9,)"
+      R"("trials":2,"minimize":false})");
+  ASSERT_TRUE(sub.boolean("ok")) << sub.str("detail");
+  const std::string job = sub.str("job");
+
+  const obs::JsonValue ack = c.roundtrip(
+      R"({"v":1,"type":"watch","job":")" + job + R"("})");
+  ASSERT_TRUE(ack.boolean("ok"));
+  if (ack.str("state") == "done") {
+    // The campaign beat the watch to the finish line; the ack snapshot is
+    // the whole story and no further frames will arrive.
+    EXPECT_EQ(ack.num("completed"), 2.0);
+    return;
+  }
+  // Progress frames keep arriving until the job reaches a terminal state.
+  for (;;) {
+    const obs::JsonValue p = obs::JsonValue::parse(c.read_line());
+    ASSERT_EQ(p.str("type"), "progress");
+    ASSERT_EQ(p.str("job"), job);
+    if (p.str("state") == "done") {
+      EXPECT_EQ(p.num("completed"), 2.0);
+      break;
+    }
+  }
+}
+
+TEST(Daemon, DrainRequestEmptiesAndExitsZero) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  const obs::JsonValue sub = c.roundtrip(
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"fig7","seed":3,)"
+      R"("trials":1,"minimize":false})");
+  ASSERT_TRUE(sub.boolean("ok"));
+
+  const obs::JsonValue ack = c.roundtrip(R"({"v":1,"type":"drain"})");
+  EXPECT_TRUE(ack.boolean("ok"));
+  EXPECT_TRUE(ack.boolean("draining"));
+
+  EXPECT_EQ(fx.join(), 0) << "drained daemon must exit 0";
+}
+
+TEST(Daemon, RequestShutdownDrainsLikeSigterm) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  {
+    RawClient c(path);
+    ASSERT_TRUE(c.roundtrip(R"({"v":1,"type":"ping"})").boolean("ok"));
+  }
+  // request_shutdown() is the signal handler's path (SIGTERM → drain).
+  fx.daemon().request_shutdown();
+  EXPECT_EQ(fx.join(), 0);
+}
+
+}  // namespace
+}  // namespace vwire::service

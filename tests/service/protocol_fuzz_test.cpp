@@ -1,0 +1,158 @@
+// Fuzz tests for the vwired request parser, in the spirit of
+// control/control_fuzz_test.cpp: whatever bytes arrive on the socket,
+// parse_request() must either return a well-formed Request or throw
+// ProtocolError with a documented error code — never crash, never throw
+// anything else, never blow the stack.  This is what lets the daemon
+// feed untrusted frames straight into the parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vwire/service/protocol.hpp"
+#include "vwire/util/rng.hpp"
+
+namespace vwire::service {
+namespace {
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kCorpus = {
+      R"({"v":1,"type":"ping"})",
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"udp","trials":100,)"
+      R"("seed":"18446744073709551615","workers":2,"state_faults":true,)"
+      R"("trial_timeout_ms":500,"retries":1,"minimize":false})",
+      R"({"v":1,"type":"status","job":"job-3"})",
+      R"({"v":1,"type":"list","tenant":"ci"})",
+      R"({"v":1,"type":"summary","job":"job-1"})",
+      R"({"v":1,"type":"artifact","job":"job-1"})",
+      R"({"v":1,"type":"watch","job":"job-2"})",
+      R"({"v":1,"type":"stats"})",
+      R"({"v":1,"type":"drain"})",
+  };
+  return kCorpus;
+}
+
+bool known_code(const std::string& code) {
+  return code == "bad-request" || code == "unknown-type" ||
+         code == "oversized-frame";
+}
+
+/// The only acceptable outcomes: a Request, or a ProtocolError carrying a
+/// documented code.
+void must_parse_or_reject(std::string_view line) {
+  try {
+    (void)parse_request(line);
+  } catch (const ProtocolError& e) {
+    EXPECT_TRUE(known_code(e.code()))
+        << "undocumented error code '" << e.code() << "'";
+  }
+  // Anything else escaping is a test failure (gtest reports the throw).
+}
+
+TEST(ProtocolFuzz, CorpusParses) {
+  for (const std::string& line : corpus()) {
+    EXPECT_NO_THROW((void)parse_request(line)) << line;
+  }
+  const Request sub = parse_request(corpus()[1]);
+  EXPECT_EQ(sub.type, Request::Type::kSubmit);
+  EXPECT_EQ(sub.tenant, "ci");
+  EXPECT_EQ(sub.campaign.fixture, "udp");
+  EXPECT_EQ(sub.campaign.trials, 100u);
+  EXPECT_EQ(sub.campaign.seed, 0xFFFFFFFFFFFFFFFFull)
+      << "string seeds must round-trip above 2^53";
+  EXPECT_EQ(sub.campaign.trial_timeout_ms, 500);
+  EXPECT_FALSE(sub.campaign.minimize);
+  EXPECT_FALSE(sub.campaign.keep_telemetry)
+      << "the service must never retain telemetry in memory";
+}
+
+TEST(ProtocolFuzz, EveryTruncationRejectedCleanly) {
+  for (const std::string& line : corpus()) {
+    for (std::size_t len = 0; len < line.size(); ++len) {
+      must_parse_or_reject(std::string_view(line).substr(0, len));
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomMutationsNeverEscape) {
+  Rng rng(0x5e1f);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string line = corpus()[rng.below(corpus().size())];
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      line[rng.below(line.size())] = static_cast<char>(rng.below(256));
+    }
+    must_parse_or_reject(line);
+  }
+}
+
+TEST(ProtocolFuzz, RandomGarbageNeverEscapes) {
+  Rng rng(0xfeed);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string junk(rng.below(96), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.below(256));
+    must_parse_or_reject(junk);
+  }
+}
+
+TEST(ProtocolFuzz, DeepNestingHitsDepthGuardNotTheStack) {
+  // 10k nesting levels: without the parser's depth guard this would
+  // overflow the stack long before ASan could say anything polite.
+  std::string deep = R"({"v":1,"type":"ping","x":)";
+  deep += std::string(10'000, '[');
+  deep += std::string(10'000, ']');
+  deep += '}';
+  try {
+    (void)parse_request(deep);
+    FAIL() << "expected the depth guard to reject";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), "bad-request");
+  }
+}
+
+TEST(ProtocolFuzz, OversizedFrameRejectedWithItsOwnCode) {
+  std::string big = R"({"v":1,"type":"ping","pad":")";
+  big += std::string(kMaxFrameBytes, 'a');
+  big += "\"}";
+  try {
+    (void)parse_request(big);
+    FAIL() << "expected oversized-frame";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), "oversized-frame");
+  }
+}
+
+TEST(ProtocolFuzz, SemanticRejections) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {R"({"type":"ping"})", "bad-request"},                // no version
+      {R"({"v":2,"type":"ping"})", "bad-request"},          // wrong version
+      {R"({"v":1})", "bad-request"},                        // no type
+      {R"({"v":1,"type":"frobnicate"})", "unknown-type"},
+      {R"({"v":1,"type":"submit"})", "bad-request"},        // no tenant
+      {R"({"v":1,"type":"submit","tenant":"t","trials":0})", "bad-request"},
+      {R"({"v":1,"type":"submit","tenant":"t","trials":-5})", "bad-request"},
+      {R"({"v":1,"type":"submit","tenant":"t","seed":"12x"})", "bad-request"},
+      {R"({"v":1,"type":"submit","tenant":"t","seed":1e300})", "bad-request"},
+      {R"({"v":1,"type":"status"})", "bad-request"},        // no job
+      {R"("just a string")", "bad-request"},                // not an object
+      {R"([1,2,3])", "bad-request"},
+  };
+  for (const auto& [line, code] : cases) {
+    try {
+      (void)parse_request(line);
+      FAIL() << "expected rejection: " << line;
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), code) << line;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, UnknownFieldsIgnored) {
+  // Tolerant reader: new clients may send fields this daemon predates.
+  const Request r = parse_request(
+      R"({"v":1,"type":"ping","future_field":{"a":[1,2]},"other":null})");
+  EXPECT_EQ(r.type, Request::Type::kPing);
+}
+
+}  // namespace
+}  // namespace vwire::service

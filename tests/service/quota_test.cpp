@@ -1,0 +1,75 @@
+// Admission-control unit tests: quotas shed with actionable hints, and
+// the hints track observed trial cost.
+#include <gtest/gtest.h>
+
+#include "vwire/service/quota.hpp"
+
+namespace vwire::service {
+namespace {
+
+QuotaConfig tight() {
+  QuotaConfig q;
+  q.max_active_per_tenant = 2;
+  q.max_queue_depth = 4;
+  q.max_trials_per_campaign = 1000;
+  return q;
+}
+
+TEST(Quota, AdmitsWithinLimits) {
+  AdmissionController ac(tight());
+  const Admission a = ac.admit("ci", 100, /*tenant_active=*/1,
+                               /*queued_total=*/2, /*backlog=*/50,
+                               /*draining=*/false);
+  EXPECT_TRUE(a.admitted);
+}
+
+TEST(Quota, PerTenantCapShedsWithRetryHint) {
+  AdmissionController ac(tight());
+  const Admission a = ac.admit("ci", 100, 2, 0, 200, false);
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.code, "over-quota");
+  EXPECT_NE(a.detail.find("ci"), std::string::npos);
+  EXPECT_GE(a.retry_after_ms, 100);
+  EXPECT_LE(a.retry_after_ms, 60'000);
+}
+
+TEST(Quota, QueueDepthShedsEveryone) {
+  AdmissionController ac(tight());
+  const Admission a = ac.admit("fresh-tenant", 10, 0, 4, 400, false);
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.code, "over-quota");
+  EXPECT_NE(a.detail.find("queue"), std::string::npos);
+  EXPECT_GE(a.retry_after_ms, 100);
+}
+
+TEST(Quota, OversizedCampaignHasNoRetryHint) {
+  AdmissionController ac(tight());
+  const Admission a = ac.admit("ci", 1001, 0, 0, 0, false);
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.code, "over-quota");
+  EXPECT_EQ(a.retry_after_ms, -1)
+      << "resubmitting the same too-big campaign can never succeed";
+}
+
+TEST(Quota, DrainingShedsEverything) {
+  AdmissionController ac(tight());
+  const Admission a = ac.admit("ci", 1, 0, 0, 0, true);
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.code, "draining");
+}
+
+TEST(Quota, HintTracksObservedTrialCost) {
+  AdmissionController ac(tight());
+  const i64 before = ac.retry_after_hint(100);
+  // Feed consistently expensive trials; the EWMA must push the hint up.
+  for (int i = 0; i < 50; ++i) ac.observe_trial_ms(200.0);
+  const i64 after = ac.retry_after_hint(100);
+  EXPECT_GT(after, before);
+  EXPECT_LE(after, 60'000);
+  // And the clamp floors tiny backlogs.
+  for (int i = 0; i < 50; ++i) ac.observe_trial_ms(0.01);
+  EXPECT_GE(ac.retry_after_hint(1), 100);
+}
+
+}  // namespace
+}  // namespace vwire::service

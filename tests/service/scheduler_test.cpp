@@ -1,0 +1,214 @@
+// Campaign scheduler tests: quota enforcement with in-flight progress,
+// drain-to-checkpoint, and resume-from-directory — the daemon's lifecycle
+// guarantees, exercised without any sockets.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "vwire/obs/json.hpp"
+#include "vwire/service/scheduler.hpp"
+
+namespace vwire::service {
+namespace {
+
+std::string make_temp_dir() {
+  std::string tmpl = testing::TempDir() + "vwire_svc_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed";
+  }
+  return tmpl;
+}
+
+/// Polls until the job reaches a terminal state (120s test timeout is the
+/// backstop).
+JobSnapshot wait_terminal(CampaignScheduler& sched, const std::string& id) {
+  for (;;) {
+    const std::optional<JobSnapshot> s = sched.status(id);
+    if (!s) {
+      ADD_FAILURE() << "job " << id << " vanished";
+      return {};
+    }
+    if (s->state != JobState::kQueued && s->state != JobState::kRunning) {
+      return *s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+chaos::CampaignConfig small_campaign(std::size_t trials) {
+  chaos::CampaignConfig c;
+  c.fixture = "fig7";
+  c.seed = 42;
+  c.trials = trials;
+  c.minimize = false;
+  return c;
+}
+
+TEST(Scheduler, RunsJobToCompletion) {
+  SchedulerConfig cfg;
+  cfg.runners = 1;
+  cfg.checkpoint_dir = make_temp_dir();
+  CampaignScheduler sched(cfg);
+
+  const SubmitOutcome out = sched.submit("ci", small_campaign(2));
+  ASSERT_TRUE(out.admission.admitted) << out.admission.detail;
+  ASSERT_FALSE(out.job_id.empty());
+
+  const JobSnapshot done = wait_terminal(sched, out.job_id);
+  EXPECT_EQ(done.state, JobState::kDone);
+  EXPECT_EQ(done.completed, 2u);
+  EXPECT_EQ(done.failures, 0u);
+
+  const std::optional<std::string> summary = sched.summary_json(out.job_id);
+  ASSERT_TRUE(summary.has_value());
+  const obs::JsonValue v = obs::JsonValue::parse(*summary);
+  EXPECT_EQ(v.str("type"), "chaos_campaign");
+  EXPECT_EQ(v.num("trials_run"), 2.0);
+
+  const obs::JsonValue stats = obs::JsonValue::parse(sched.stats_json());
+  EXPECT_EQ(stats.at("counters").num("service.trials.ci"), 2.0);
+  EXPECT_EQ(stats.at("counters").num("service.submitted.ci"), 1.0);
+}
+
+TEST(Scheduler, PerTenantQuotaShedsWhileFirstJobProgresses) {
+  SchedulerConfig cfg;
+  cfg.runners = 1;
+  cfg.quota.max_active_per_tenant = 1;
+  CampaignScheduler sched(cfg);
+
+  const SubmitOutcome first = sched.submit("greedy", small_campaign(3));
+  ASSERT_TRUE(first.admission.admitted);
+  const SubmitOutcome second = sched.submit("greedy", small_campaign(1));
+  EXPECT_FALSE(second.admission.admitted);
+  EXPECT_EQ(second.admission.code, "over-quota");
+  EXPECT_GE(second.admission.retry_after_ms, 100);
+
+  // A different tenant is unaffected by greedy's quota.
+  const SubmitOutcome other = sched.submit("modest", small_campaign(1));
+  EXPECT_TRUE(other.admission.admitted) << other.admission.detail;
+
+  // The shed did not hurt the in-flight work.
+  EXPECT_EQ(wait_terminal(sched, first.job_id).state, JobState::kDone);
+  EXPECT_EQ(wait_terminal(sched, other.job_id).state, JobState::kDone);
+
+  const obs::JsonValue stats = obs::JsonValue::parse(sched.stats_json());
+  EXPECT_EQ(stats.at("counters").num("service.shed.greedy"), 1.0);
+}
+
+TEST(Scheduler, UnknownFixtureBouncesAtSubmit) {
+  SchedulerConfig cfg;
+  CampaignScheduler sched(cfg);
+  chaos::CampaignConfig c = small_campaign(1);
+  c.fixture = "no-such-fixture";
+  const SubmitOutcome out = sched.submit("ci", c);
+  EXPECT_FALSE(out.admission.admitted);
+  EXPECT_EQ(out.admission.code, "bad-request");
+}
+
+TEST(Scheduler, ProgressHookSeesEveryTrialAndTerminalState) {
+  SchedulerConfig cfg;
+  cfg.runners = 1;
+  CampaignScheduler sched(cfg);
+  std::mutex mu;
+  std::vector<JobSnapshot> events;
+  sched.set_progress_hook([&](const JobSnapshot& s) {
+    const std::scoped_lock lock(mu);
+    events.push_back(s);
+  });
+  const SubmitOutcome out = sched.submit("ci", small_campaign(2));
+  ASSERT_TRUE(out.admission.admitted);
+  wait_terminal(sched, out.job_id);
+  // Events: one per trial plus the terminal transition.
+  const std::scoped_lock lock(mu);
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.back().state, JobState::kDone);
+  EXPECT_EQ(events.back().completed, 2u);
+}
+
+TEST(Scheduler, DrainCheckpointsAndResumeFinishesByteIdentical) {
+  const std::string dir = make_temp_dir();
+  const std::string reference = [&] {
+    chaos::Campaign c(small_campaign(4));
+    return c.run().to_json();
+  }();
+
+  std::string job1, job2;
+  {
+    SchedulerConfig cfg;
+    cfg.runners = 1;
+    cfg.checkpoint_dir = dir;
+    CampaignScheduler sched(cfg);
+    // Job 1 occupies the single runner for ~500ms (hung fixture under a
+    // watchdog); job 2 sits in the queue and must checkpoint untouched.
+    chaos::CampaignConfig hang;
+    hang.fixture = "hang";
+    hang.trials = 1;
+    hang.minimize = false;
+    hang.trial_timeout_ms = 500;
+    const SubmitOutcome first = sched.submit("a", hang);
+    ASSERT_TRUE(first.admission.admitted) << first.admission.detail;
+    job1 = first.job_id;
+    const SubmitOutcome second = sched.submit("b", small_campaign(4));
+    ASSERT_TRUE(second.admission.admitted) << second.admission.detail;
+    job2 = second.job_id;
+
+    sched.begin_drain();
+    EXPECT_TRUE(sched.draining());
+    EXPECT_FALSE(sched.submit("a", small_campaign(1)).admission.admitted)
+        << "a draining scheduler sheds every submit";
+    sched.join();
+
+    const JobSnapshot s2 = *sched.status(job2);
+    EXPECT_EQ(s2.state, JobState::kCheckpointed);
+    EXPECT_EQ(s2.completed, 0u);
+  }
+
+  // A fresh instance over the same directory picks the work back up.
+  SchedulerConfig cfg;
+  cfg.runners = 2;
+  cfg.checkpoint_dir = dir;
+  CampaignScheduler sched(cfg);
+  EXPECT_GE(sched.resume_from_dir(), 1u);
+  const JobSnapshot resumed = wait_terminal(sched, job2);
+  EXPECT_EQ(resumed.state, JobState::kDone);
+  EXPECT_EQ(resumed.tenant, "b") << "tenant identity survives the restart";
+  const std::optional<std::string> summary = sched.summary_json(job2);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(*summary, reference)
+      << "drain + resume must be invisible in the final summary";
+}
+
+TEST(Scheduler, ResumeSkipsCompletedTrials) {
+  const std::string dir = make_temp_dir();
+  std::string id;
+  {
+    SchedulerConfig cfg;
+    cfg.runners = 1;
+    cfg.checkpoint_dir = dir;
+    CampaignScheduler sched(cfg);
+    const SubmitOutcome out = sched.submit("ci", small_campaign(3));
+    ASSERT_TRUE(out.admission.admitted);
+    id = out.job_id;
+    wait_terminal(sched, id);
+  }
+  // Journal now covers all 3 trials: a resume must finalize without
+  // re-running anything (observable through the trials counter).
+  SchedulerConfig cfg;
+  cfg.runners = 1;
+  cfg.checkpoint_dir = dir;
+  CampaignScheduler sched(cfg);
+  ASSERT_EQ(sched.resume_from_dir(), 1u);
+  const JobSnapshot done = wait_terminal(sched, id);
+  EXPECT_EQ(done.state, JobState::kDone);
+  EXPECT_EQ(done.completed, 3u);
+  const obs::JsonValue stats = obs::JsonValue::parse(sched.stats_json());
+  EXPECT_EQ(stats.at("counters").num("service.trials.ci", 0), 0.0)
+      << "fully-journaled trials must not re-run";
+}
+
+}  // namespace
+}  // namespace vwire::service
