@@ -11,7 +11,10 @@
 //     Link Layer encapsulates both the TCP data and the TCP ack packets.
 //     This generates ACKs at the RLL level in both directions"), but the
 //     loss stays within 10 %.
+#include <algorithm>
 #include <cstdio>
+#include <ctime>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "vwire/tcp/apps.hpp"
@@ -25,16 +28,25 @@ struct Fig7Result {
   // RLL RTT percentiles (µs) from the telemetry registry; 0 when the
   // VirtualWire stack (and thus the RLL) is not installed.
   double rtt_p50_us{0}, rtt_p95_us{0}, rtt_p99_us{0};
+  // Host-side cost of the measured window: payload bytes simulated per CPU
+  // second.  Simulated throughput is identical whether tracing records or
+  // not (recording has no scheduled cost), so host CPU is where the flight
+  // recorder's overhead shows up — same methodology as fig8's budget.
+  double bytes_per_cpu_s{0};
 };
 
-Fig7Result run_tcp_mbps(bool with_virtualwire, double offered_mbps,
-                        Duration warmup, Duration window) {
+TestbedConfig fig7_config(bool with_virtualwire) {
   TestbedConfig cfg;
   cfg.install_trace = false;
   cfg.install_engine = with_virtualwire;
   cfg.install_rll = with_virtualwire;
   if (with_virtualwire) cfg.rll = vwbench::paper_rll();
+  return cfg;
+}
 
+Fig7Result run_tcp_mbps(TestbedConfig cfg, bool with_virtualwire,
+                        double offered_mbps, Duration warmup,
+                        Duration window) {
   Testbed tb(cfg);
   tb.add_node("node1");
   tb.add_node("node2");
@@ -70,11 +82,15 @@ Fig7Result run_tcp_mbps(bool with_virtualwire, double offered_mbps,
   // Warm-up lets slow start converge; measure over the steady window.
   sim.run_until(sim.now() + warmup);
   u64 start_bytes = sink.bytes_received();
+  std::clock_t t0 = std::clock();
   sim.run_until(sim.now() + window);
+  std::clock_t t1 = std::clock();
   u64 delta = sink.bytes_received() - start_bytes;
+  double cpu_s = static_cast<double>(t1 - t0) / CLOCKS_PER_SEC;
 
   Fig7Result r;
   r.mbps = static_cast<double>(delta) * 8.0 / window.seconds() / 1e6;
+  r.bytes_per_cpu_s = cpu_s > 0 ? static_cast<double>(delta) / cpu_s : 0.0;
   if (const obs::Histogram* h =
           tb.metrics().find_histogram("rll.node1.rtt_us")) {
     r.rtt_p50_us = static_cast<double>(h->percentile(50));
@@ -105,8 +121,10 @@ int main(int argc, char** argv) {
   out.meta("smoke", smoke ? 1.0 : 0.0);
   out.meta("window_s", window.seconds());
   for (double offered : sweep) {
-    Fig7Result plain = run_tcp_mbps(false, offered, warmup, window);
-    Fig7Result vw = run_tcp_mbps(true, offered, warmup, window);
+    Fig7Result plain =
+        run_tcp_mbps(fig7_config(false), false, offered, warmup, window);
+    Fig7Result vw =
+        run_tcp_mbps(fig7_config(true), true, offered, warmup, window);
     double loss = plain.mbps > 0
                       ? (plain.mbps - vw.mbps) / plain.mbps * 100.0
                       : 0.0;
@@ -123,6 +141,61 @@ int main(int argc, char** argv) {
   }
   std::printf("# PASS criteria (paper): knee at/after ~90 Mbps offered and\n");
   std::printf("# VirtualWire saturation within 10%% of the plain stack.\n");
+
+  // Tracing overhead (DESIGN.md §12): the sweep above already ran with the
+  // flight recorder on (the default).  Here the heaviest configuration is
+  // re-run with the span ring on vs off — simulated throughput is identical
+  // either way (recording has no scheduled cost), so the budgeted number is
+  // host CPU per simulated byte, best-of-N per arm like fig8's estimator.
+  // A sampled arm (trace_sample_rate 0.1) is reported for information: it
+  // is the knob for workloads where even the full-rate cost matters.
+  {
+    const double offered = 90.0;
+    const int reps = smoke ? 7 : 5;
+    std::vector<double> on, off, sampled;
+    for (int r = 0; r < reps; ++r) {
+      TestbedConfig trace_on = fig7_config(true);
+      TestbedConfig trace_off = fig7_config(true);
+      trace_off.flight_capacity = 0;
+      TestbedConfig trace_sampled = fig7_config(true);
+      trace_sampled.trace_sample_rate = 0.1;
+      // Alternate arm order so machine drift biases both symmetrically.
+      if ((r % 2) == 0) {
+        on.push_back(run_tcp_mbps(trace_on, true, offered, warmup, window)
+                         .bytes_per_cpu_s);
+        off.push_back(run_tcp_mbps(trace_off, true, offered, warmup, window)
+                          .bytes_per_cpu_s);
+      } else {
+        off.push_back(run_tcp_mbps(trace_off, true, offered, warmup, window)
+                          .bytes_per_cpu_s);
+        on.push_back(run_tcp_mbps(trace_on, true, offered, warmup, window)
+                         .bytes_per_cpu_s);
+      }
+      sampled.push_back(
+          run_tcp_mbps(trace_sampled, true, offered, warmup, window)
+              .bytes_per_cpu_s);
+    }
+    auto best = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v.size() > 1 ? v[v.size() - 2] : v.back();
+    };
+    const double bps_on = best(on), bps_off = best(off);
+    const double bps_sampled = best(sampled);
+    const double trace_pct =
+        bps_off > 0 ? (bps_off - bps_on) / bps_off * 100.0 : 0.0;
+    const double sampled_pct =
+        bps_off > 0 ? (bps_off - bps_sampled) / bps_off * 100.0 : 0.0;
+    std::printf("# tracing overhead (flight recorder, sample rate 1.0): "
+                "best %.0f B/cpu-s (on) vs %.0f B/cpu-s (off) = %.2f%% "
+                "(budget 2%%) %s\n",
+                bps_on, bps_off, trace_pct, trace_pct <= 2.0 ? "PASS" : "FAIL");
+    std::printf("# tracing overhead at trace_sample_rate 0.1: %.2f%%\n",
+                sampled_pct);
+    out.meta("trace_bps_on", bps_on);
+    out.meta("trace_bps_off", bps_off);
+    out.meta("trace_overhead_pct", trace_pct);
+    out.meta("trace_sampled_overhead_pct", sampled_pct);
+  }
   if (!out.write("BENCH_fig7.json")) {
     std::fprintf(stderr, "failed to write BENCH_fig7.json\n");
     return 1;

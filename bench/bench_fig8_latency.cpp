@@ -228,6 +228,11 @@ int main(int argc, char** argv) {
   //    It prices the per-record provenance cost, which scales with scripted
   //    action firings rather than with traffic, so it is reported for
   //    information, not budgeted against.
+  //  * The tracing number isolates the causal flight recorder (DESIGN.md
+  //    §12): telemetry on in both arms, span ring at its default capacity
+  //    and sample rate 1.0 vs disabled.  Budgeted at ≤2% — the recorder is
+  //    a seqlock ring write per NIC/fault/ARQ event, and the budget keeps
+  //    it cheap enough to leave on in every chaos campaign.
   TestbedConfig cfg_heavy;
   cfg_heavy.install_rll = true;
   cfg_heavy.rll = vwbench::paper_rll();
@@ -239,13 +244,19 @@ int main(int argc, char** argv) {
   // the fastest observation is the closest to the true cost.
   const int ov_probes = smoke ? 10000 : 20000;
   const Duration ov_window = millis(ov_probes + 200);
-  std::vector<double> ov_on, ov_off, st_on, st_off;
+  std::vector<double> ov_on, ov_off, st_on, st_off, tr_on, tr_off;
   const int reps = smoke ? 21 : 15;
   for (int r = 0; r < reps; ++r) {
     TestbedConfig on = cfg_heavy;
     on.telemetry = true;
     TestbedConfig off = cfg_heavy;
     off.telemetry = false;
+    // Tracing arms isolate the flight recorder (DESIGN.md §12): both keep
+    // telemetry on, only the per-node span ring differs.  trace_on is the
+    // default configuration every traced scenario runs with.
+    TestbedConfig trace_on = on;
+    TestbedConfig trace_off = on;
+    trace_off.flight_capacity = 0;
     // Alternate which arm goes first so monotonic machine drift (thermal,
     // frequency scaling) biases both arms symmetrically.
     const bool on_first = (r % 2) == 0;
@@ -256,11 +267,15 @@ int main(int argc, char** argv) {
                                             ov_window, nullptr));
         st_on.push_back(run_packets_per_sec(on, last_script_ii, ov_probes,
                                             ov_window, report));
+        tr_on.push_back(run_packets_per_sec(trace_on, last_script_i,
+                                            ov_probes, ov_window, nullptr));
       } else {
         ov_off.push_back(run_packets_per_sec(off, last_script_i, ov_probes,
                                              ov_window, nullptr));
         st_off.push_back(run_packets_per_sec(off, last_script_ii, ov_probes,
                                              ov_window, nullptr));
+        tr_off.push_back(run_packets_per_sec(trace_off, last_script_i,
+                                             ov_probes, ov_window, nullptr));
       }
     }
   }
@@ -275,16 +290,25 @@ int main(int argc, char** argv) {
   };
   double pps_on = best(ov_on), pps_off = best(ov_off);
   double storm_on = best(st_on), storm_off = best(st_off);
+  double trace_pps_on = best(tr_on), trace_pps_off = best(tr_off);
   double overhead_pct =
       pps_off > 0 ? (pps_off - pps_on) / pps_off * 100.0 : 0.0;
   double storm_pct =
       storm_off > 0 ? (storm_off - storm_on) / storm_off * 100.0 : 0.0;
+  double trace_pct = trace_pps_off > 0
+                         ? (trace_pps_off - trace_pps_on) / trace_pps_off * 100.0
+                         : 0.0;
   std::printf("# telemetry overhead: best %.0f pkt/cpu-s (on) vs %.0f "
               "pkt/cpu-s (off) = %.2f%% (budget 2%%)\n",
               pps_on, pps_off, overhead_pct);
   std::printf("# provenance under fault storm (ii, ~12 records/pkt): "
               "best %.0f pkt/cpu-s (on) vs %.0f pkt/cpu-s (off) = %.2f%%\n",
               storm_on, storm_off, storm_pct);
+  std::printf("# tracing overhead (flight recorder, sample rate 1.0): "
+              "best %.0f pkt/cpu-s (on) vs %.0f pkt/cpu-s (off) = %.2f%% "
+              "(budget 2%%) %s\n",
+              trace_pps_on, trace_pps_off, trace_pct,
+              trace_pct <= 2.0 ? "PASS" : "FAIL");
   std::printf("# wrote BENCH_fig8_telemetry.jsonl\n");
   out.meta("telemetry_pps_on", pps_on);
   out.meta("telemetry_pps_off", pps_off);
@@ -292,6 +316,9 @@ int main(int argc, char** argv) {
   out.meta("storm_pps_on", storm_on);
   out.meta("storm_pps_off", storm_off);
   out.meta("storm_overhead_pct", storm_pct);
+  out.meta("trace_pps_on", trace_pps_on);
+  out.meta("trace_pps_off", trace_pps_off);
+  out.meta("trace_overhead_pct", trace_pct);
 
   if (!out.write("BENCH_fig8.json")) {
     std::fprintf(stderr, "failed to write BENCH_fig8.json\n");

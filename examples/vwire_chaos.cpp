@@ -28,6 +28,7 @@ using namespace vwire::chaos;
 namespace {
 
 int run_campaign(CampaignConfig cfg, const std::string& out_path,
+                 const std::string& repro_path,
                  const std::string& checkpoint_path) {
   // --checkpoint: journal completed trials as they finish and, when the
   // file already holds a matching journal, resume — only uncovered trials
@@ -71,8 +72,20 @@ int run_campaign(CampaignConfig cfg, const std::string& out_path,
     }
   }
   if (s.repro) {
-    std::printf("  minimized repro: %zu -> %zu events\n",
-                s.repro->original_events, s.repro->schedule.events.size());
+    std::printf("  minimized repro: %zu -> %zu events (%zu timeline events, "
+                "%llu evicted)\n",
+                s.repro->original_events, s.repro->schedule.events.size(),
+                s.repro->timeline.size(),
+                static_cast<unsigned long long>(s.repro->timeline_dropped));
+    if (!repro_path.empty()) {
+      std::ofstream out(repro_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
+        return 2;
+      }
+      out << s.repro->to_json() << '\n';
+      std::printf("  repro artifact written to %s\n", repro_path.c_str());
+    }
   }
   if (!out_path.empty()) {
     std::ofstream out(out_path);
@@ -228,6 +241,7 @@ int main(int argc, char** argv) {
   CampaignConfig cfg;
   cfg.trials = 100;
   std::string out_path;
+  std::string repro_path;
   std::string replay_path;
   std::string checkpoint_path;
   bool smoke = false;
@@ -249,6 +263,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(a, "--keep-telemetry")) cfg.keep_telemetry = true;
     else if (!std::strcmp(a, "--state-faults")) cfg.state_faults = true;
     else if (!std::strcmp(a, "--out")) out_path = next();
+    else if (!std::strcmp(a, "--repro-out")) repro_path = next();
     else if (!std::strcmp(a, "--trial-timeout-ms")) cfg.trial_timeout_ms = std::strtoll(next(), nullptr, 10);
     else if (!std::strcmp(a, "--retries")) cfg.trial_retries = static_cast<u32>(std::strtoul(next(), nullptr, 10));
     else if (!std::strcmp(a, "--minimize-budget-ms")) cfg.minimize_budget_ms = std::strtoll(next(), nullptr, 10);
@@ -259,7 +274,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: vwire_chaos [--fixture NAME] [--trials N] "
                    "[--seed S] [--workers W] [--keep-telemetry] "
-                   "[--state-faults] [--out F]\n"
+                   "[--state-faults] [--out F] [--repro-out F]\n"
                    "                   [--trial-timeout-ms MS] [--retries N] "
                    "[--minimize-budget-ms MS] [--no-minimize] "
                    "[--checkpoint FILE]\n"
@@ -270,5 +285,5 @@ int main(int argc, char** argv) {
   }
   if (smoke) return run_smoke();
   if (!replay_path.empty()) return run_replay(replay_path);
-  return run_campaign(std::move(cfg), out_path, checkpoint_path);
+  return run_campaign(std::move(cfg), out_path, repro_path, checkpoint_path);
 }

@@ -1,0 +1,240 @@
+// vwire-trace — render a chaos repro's causal flight-recorder timeline
+// (DESIGN.md §12).
+//
+// Modes:
+//   vwire-trace repro.json
+//       Summarize the timeline: per-span event counts, parent links, and
+//       which spans a fault rule touched.  Accepts a repro artifact
+//       (type "chaos_repro") or a campaign summary (type "chaos_campaign",
+//       using its embedded repro).
+//   vwire-trace repro.json --span 1234
+//       ASCII timeline of one span and its child spans (retransmissions,
+//       DUP twins): one line per event, relative timestamps, rule ids.
+//   vwire-trace repro.json --chrome trace.json
+//       Export the whole timeline as Chrome trace_event JSON — open in
+//       chrome://tracing or Perfetto; each node becomes a thread lane.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "vwire/chaos/campaign.hpp"
+#include "vwire/core/tables/tables.hpp"
+#include "vwire/obs/flight.hpp"
+#include "vwire/obs/json.hpp"
+
+using namespace vwire;
+
+namespace {
+
+/// Loads the timeline out of either document type vwire_chaos writes.
+chaos::ReproArtifact load_artifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const obs::JsonValue v = obs::JsonValue::parse(text);
+  if (v.str("type") == "chaos_campaign") {
+    if (!v.has("repro")) {
+      throw std::runtime_error(
+          "campaign summary has no repro (no trial failed, or --no-minimize)");
+    }
+    return chaos::ReproArtifact::from_value(v.at("repro"));
+  }
+  return chaos::ReproArtifact::from_value(v);
+}
+
+const char* detail_name(const obs::SpanEvent& e) {
+  switch (e.kind) {
+    case obs::SpanEventKind::kLinkDrop:
+      return obs::to_string(static_cast<obs::DropCause>(e.detail));
+    case obs::SpanEventKind::kFault:
+    case obs::SpanEventKind::kFaultSkipped:
+      return core::to_string(static_cast<core::ActionKind>(e.detail));
+    case obs::SpanEventKind::kRllRetx:
+      return e.detail != 0 ? "fast" : "rto";
+    default:
+      return "";
+  }
+}
+
+void print_event(const obs::SpanEvent& e, i64 t0_ns) {
+  char line[256];
+  const double rel_ms = static_cast<double>(e.at_ns - t0_ns) / 1e6;
+  int n = std::snprintf(line, sizeof line, "  t+%10.4fms  %-8s %-13s",
+                        rel_ms, e.node.c_str(), obs::to_string(e.kind));
+  const char* d = detail_name(e);
+  if (d[0] != '\0') {
+    n += std::snprintf(line + n, sizeof line - static_cast<size_t>(n), " %s",
+                       d);
+  }
+  if (e.rule != 0xffff) {
+    n += std::snprintf(line + n, sizeof line - static_cast<size_t>(n),
+                       " rule=%u", e.rule);
+  }
+  if (e.value != 0) {
+    n += std::snprintf(line + n, sizeof line - static_cast<size_t>(n),
+                       " value=%" PRId64, e.value);
+  }
+  if (e.parent != 0) {
+    std::snprintf(line + n, sizeof line - static_cast<size_t>(n),
+                  " (child of span %" PRIu64 ")", e.parent);
+  }
+  std::printf("%s\n", line);
+}
+
+int render_span(const chaos::ReproArtifact& art, u64 span) {
+  // The span's own events plus every child span's (parent == span) —
+  // retransmissions and DUP twins are the causal continuation.
+  std::vector<obs::SpanEvent> events;
+  for (const obs::SpanEvent& e : art.timeline) {
+    if (e.span == span || e.parent == span) events.push_back(e);
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "span %" PRIu64 " has no recorded events\n", span);
+    return 1;
+  }
+  const i64 t0 = events.front().at_ns;
+  std::size_t children = 0;
+  {
+    std::vector<u64> seen;
+    for (const obs::SpanEvent& e : events) {
+      if (e.parent == span && e.span != span &&
+          std::find(seen.begin(), seen.end(), e.span) == seen.end()) {
+        seen.push_back(e.span);
+      }
+    }
+    children = seen.size();
+  }
+  std::printf("span %" PRIu64 ": %zu events, %zu child span(s), origin %s\n",
+              span, events.size(), children, events.front().node.c_str());
+  u64 current = span;
+  for (const obs::SpanEvent& e : events) {
+    if (e.span != current) {
+      current = e.span;
+      if (e.span != span) {
+        std::printf("  -- child span %" PRIu64 " --\n", e.span);
+      }
+    }
+    print_event(e, t0);
+  }
+  return 0;
+}
+
+int render_summary(const chaos::ReproArtifact& art) {
+  std::printf("repro: fixture=%s seed=%" PRIu64 " trial=%" PRIu64
+              ", %zu schedule events\n",
+              art.fixture.c_str(), art.schedule.campaign_seed,
+              art.schedule.trial_index, art.schedule.events.size());
+  for (const chaos::Violation& v : art.violations) {
+    std::printf("violation %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+  std::printf("timeline: %zu events (%" PRIu64 " evicted before snapshot)\n",
+              art.timeline.size(), art.timeline_dropped);
+  if (art.timeline.empty()) return 0;
+
+  struct SpanInfo {
+    std::size_t events{0};
+    u64 parent{0};
+    std::string origin_node;
+    i64 first_ns{0};
+    bool faulted{false};
+  };
+  std::map<u64, SpanInfo> spans;  // ordered: stable listing
+  for (const obs::SpanEvent& e : art.timeline) {
+    auto [it, fresh] = spans.try_emplace(e.span);
+    SpanInfo& s = it->second;
+    if (fresh) {
+      s.origin_node = e.node;
+      s.first_ns = e.at_ns;
+      s.parent = e.parent;
+    }
+    ++s.events;
+    if (e.kind == obs::SpanEventKind::kFault ||
+        e.kind == obs::SpanEventKind::kLinkDrop) {
+      s.faulted = true;
+    }
+  }
+  std::printf("%zu span(s); those hit by a fault or link drop:\n",
+              spans.size());
+  std::size_t listed = 0;
+  for (const auto& [id, s] : spans) {
+    if (!s.faulted) continue;
+    std::printf("  span %-8" PRIu64 " %-8s %3zu events%s%s\n", id,
+                s.origin_node.c_str(), s.events,
+                s.parent != 0 ? "  parent=" : "",
+                s.parent != 0 ? std::to_string(s.parent).c_str() : "");
+    ++listed;
+  }
+  if (listed == 0) std::printf("  (none)\n");
+  std::printf("render one with: vwire-trace <file> --span <id>\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string chrome_path;
+  u64 span = 0;
+  bool have_span = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--span")) {
+      span = std::strtoull(next(), nullptr, 10);
+      have_span = true;
+    } else if (!std::strcmp(a, "--chrome")) {
+      chrome_path = next();
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: vwire-trace repro.json [--span ID] "
+                   "[--chrome out.json]\n");
+      return 2;
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", a);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: vwire-trace repro.json [--span ID] "
+                 "[--chrome out.json]\n");
+    return 2;
+  }
+
+  chaos::ReproArtifact art;
+  try {
+    art = load_artifact(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vwire-trace: %s\n", e.what());
+    return 2;
+  }
+
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
+      return 2;
+    }
+    out << obs::chrome_trace_json(art.timeline) << '\n';
+    std::printf("chrome trace (%zu events) written to %s\n",
+                art.timeline.size(), chrome_path.c_str());
+    if (!have_span) return 0;
+  }
+  if (have_span) return render_span(art, span);
+  return render_summary(art);
+}

@@ -12,7 +12,8 @@
 //   vwired_client ... summary JOB        (prints the campaign summary JSON)
 //   vwired_client ... artifact JOB       (prints the repro artifact JSON)
 //   vwired_client ... list [--tenant T]
-//   vwired_client ... stats
+//   vwired_client ... stats              (aligned table of service counters)
+//   vwired_client ... metrics            (Prometheus text exposition)
 //   vwired_client ... drain
 //
 // Exit codes: 0 success; 1 the job failed (wait); 2 usage/communication
@@ -29,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "vwire/obs/format.hpp"
 #include "vwire/obs/json.hpp"
 #include "vwire/util/types.hpp"
 
@@ -167,7 +169,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: vwired_client [--socket PATH] "
                  "ping|submit|status|wait|watch|summary|artifact|list|stats|"
-                 "drain [JOB] [options]\n");
+                 "metrics|drain [JOB] [options]\n");
     return 2;
   };
 
@@ -272,6 +274,13 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         continue;
       }
+      if (v.str("type") == "metrics_delta") {
+        // Periodic registry deltas interleave with progress frames; print
+        // the JSONL frame verbatim so the stream is machine-tailable.
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+        continue;
+      }
       std::printf("%s %lld/%lld trials, %lld failing [%s]\n",
                   v.str("job").c_str(),
                   static_cast<long long>(v.num("completed")),
@@ -304,12 +313,33 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "stats") {
-    std::string line;
-    if (!send_line("{\"v\":1,\"type\":\"stats\"}") || !read_line(line)) {
-      std::fprintf(stderr, "daemon connection lost\n");
-      return 2;
+    const obs::JsonValue v = roundtrip("{\"v\":1,\"type\":\"stats\"}");
+    // Render as a fixed-alignment dot-leader table (name-sorted), so a
+    // watch -n loop over `stats` doesn't jitter as counters grow.
+    std::vector<obs::Row> rows;
+    for (const char* key :
+         {"queued", "running", "done", "failed", "checkpointed"}) {
+      rows.emplace_back(std::string("jobs.") + key,
+                        std::to_string(static_cast<long long>(v.num(key))));
     }
-    std::printf("%s\n", line.c_str());
+    rows.emplace_back("draining", v.boolean("draining") ? "true" : "false");
+    if (v.has("counters")) {
+      for (const auto& [key, val] : v.at("counters").as_object()) {
+        rows.emplace_back(
+            key, std::to_string(static_cast<long long>(val.as_number())));
+      }
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const obs::Row& a, const obs::Row& b) {
+                       return a.first < b.first;
+                     });
+    std::printf("%s", obs::format_table("vwired stats", rows).c_str());
+    return 0;
+  }
+  if (cmd == "metrics") {
+    const obs::JsonValue v = roundtrip("{\"v\":1,\"type\":\"metrics\"}");
+    require_ok(v);
+    std::printf("%s", v.str("exposition").c_str());
     return 0;
   }
   if (cmd == "drain") {

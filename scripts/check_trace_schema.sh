@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Schema gate for the telemetry plane's two export formats (DESIGN.md §12):
+#
+#   1. Chrome trace_event JSON: a chaos repro artifact's flight-recorder
+#      timeline exported by vwire-trace must be valid trace_event JSON —
+#      displayTimeUnit, one thread_name metadata record per node, every
+#      span event an instant ("ph":"i") with numeric ts and a span arg.
+#   2. Prometheus text exposition: the vwired `metrics` verb must emit
+#      lines a Prometheus scraper would accept (promtool-style regex
+#      check: # HELP/# TYPE comments plus `name{labels} value` samples).
+#
+# Usage: scripts/check_trace_schema.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+CHAOS="$BUILD/examples/vwire_chaos"
+TRACE="$BUILD/examples/vwire-trace"
+VWIRED="$BUILD/examples/vwired"
+CLIENT="$BUILD/examples/vwired_client"
+for bin in "$CHAOS" "$TRACE" "$VWIRED" "$CLIENT"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)"; exit 2; }
+done
+
+WORK="$(mktemp -d /tmp/vwtrace.XXXXXX)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== 1. chaos repro timeline exports as valid Chrome trace_event JSON =="
+# seed 5 trips the rether single-token invariant on trial 33; the repro
+# artifact snapshots every node's flight recorder.
+"$CHAOS" --fixture rether --seed 5 --trials 34 \
+  --repro-out "$WORK/repro.json" >/dev/null 2>&1 || true
+[ -s "$WORK/repro.json" ] || fail "chaos run produced no repro artifact"
+python3 - "$WORK/repro.json" <<'PY' || fail "repro timeline schema invalid"
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["type"] == "chaos_repro", d["type"]
+tl = d["timeline"]
+assert len(tl) > 0, "timeline empty"
+kinds = {"nic_tx", "nic_rx", "link_drop", "link_delay", "fault",
+         "fault_skipped", "rll_retx", "rll_dup_rx", "crash", "recover"}
+for e in tl:
+    assert e["kind"] in kinds, e["kind"]
+    assert isinstance(e["at_ns"], int) and isinstance(e["span"], int), e
+    assert isinstance(e["node"], str) and e["node"], e
+assert "timeline_dropped" in d
+print(f"   repro timeline: {len(tl)} events, schema OK")
+PY
+
+"$TRACE" "$WORK/repro.json" --chrome "$WORK/trace.json" >/dev/null \
+  || fail "vwire-trace export failed"
+python3 - "$WORK/trace.json" <<'PY' || fail "chrome trace schema invalid"
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["displayTimeUnit"] == "ms"
+ev = d["traceEvents"]
+meta = [e for e in ev if e["ph"] == "M"]
+inst = [e for e in ev if e["ph"] == "i"]
+assert len(meta) + len(inst) == len(ev), "unexpected phase in traceEvents"
+assert meta and inst, f"need metadata and instants, got {len(meta)}/{len(inst)}"
+nodes = {e["args"]["name"] for e in meta}
+assert all(e["name"] == "thread_name" for e in meta)
+for e in inst:
+    assert e["s"] == "t" and isinstance(e["ts"], (int, float)), e
+    assert "span" in e["args"] and "parent" in e["args"], e
+print(f"   chrome trace: {len(inst)} instants across {len(nodes)} node lanes, schema OK")
+PY
+
+echo "== 2. vwired metrics verb speaks Prometheus text exposition =="
+SOCK="$WORK/d.sock"
+mkdir -p "$WORK/ck"
+"$VWIRED" --socket "$SOCK" --checkpoint-dir "$WORK/ck" --runners 1 \
+  >/dev/null 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# Run one campaign so the registry holds real samples, then scrape.
+JOB=$("$CLIENT" --socket "$SOCK" submit --tenant schema --fixture fig7 \
+  --seed 7 --trials 20 --no-minimize --id-only)
+"$CLIENT" --socket "$SOCK" wait "$JOB" --poll-ms 100 >/dev/null \
+  || fail "campaign $JOB did not complete"
+"$CLIENT" --socket "$SOCK" metrics > "$WORK/exposition.txt"
+kill -TERM "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+python3 - "$WORK/exposition.txt" <<'PY' || fail "exposition schema invalid"
+import re, sys
+# Promtool-style line grammar for the text exposition format.
+comment = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+sample = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                      # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""           # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"      # more labels
+    r" -?[0-9.eE+]+$")                                # value
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert lines, "exposition empty"
+n = 0
+for l in lines:
+    assert comment.match(l) or sample.match(l), f"bad line: {l!r}"
+    n += bool(sample.match(l))
+assert n > 0, "no samples"
+assert any(l.startswith("vwire_") for l in lines), "no vwire_ metrics"
+print(f"   exposition: {len(lines)} lines, {n} samples, grammar OK")
+PY
+
+echo "trace schema: all gates passed"

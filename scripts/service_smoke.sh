@@ -8,9 +8,12 @@
 #   2. vwired multi-tenant: two tenants share the daemon; an over-quota
 #      submit is shed with a retry_after_ms hint while admitted work keeps
 #      progressing to completion.
-#   3. Artifacts: a hung-trial campaign yields a trial-timeout violation
+#   3. Live telemetry (DESIGN.md §12): the metrics verb returns a
+#      non-empty Prometheus exposition and a watch stream carries at least
+#      two metrics_delta frames while a campaign runs.
+#   4. Artifacts: a hung-trial campaign yields a trial-timeout violation
 #      and a fetchable minimized repro artifact.
-#   4. Graceful degradation: SIGTERM drains in-flight work and the daemon
+#   5. Graceful degradation: SIGTERM drains in-flight work and the daemon
 #      exits 0.
 #
 # Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
@@ -104,7 +107,25 @@ python3 -c "import json; d = json.load(open('$WORK/summary.json')); \
   assert d['trials_run'] == 10, d['trials_run']"
 echo "   OK: three campaigns completed, summary fetched and validated"
 
-echo "== 3. hung trial quarantined, repro artifact fetchable =="
+echo "== 3. live telemetry: metrics exposition and watch deltas =="
+"$CLIENT" --socket "$SOCK" metrics > "$WORK/exposition.txt"
+[ -s "$WORK/exposition.txt" ] || fail "metrics exposition is empty"
+grep -Eq '^vwire_[a-zA-Z0-9_]+(\{[^}]*\})? -?[0-9]' "$WORK/exposition.txt" \
+  || fail "exposition has no vwire_ samples: $(head -3 "$WORK/exposition.txt")"
+# ~3 ms/trial keeps the campaign alive for several delta periods without
+# stretching the smoke run.
+JOB_W=$("$CLIENT" --socket "$SOCK" submit --tenant beta --fixture fig7 \
+  --seed 41 --trials 600 --no-minimize --id-only)
+# watch follows the job to its terminal state; metrics_delta frames arrive
+# every 250 ms interleaved with progress frames.
+"$CLIENT" --socket "$SOCK" watch "$JOB_W" > "$WORK/watch.out" \
+  || fail "watch of $JOB_W did not end in a completed state"
+DELTAS=$(grep -c '"type":"metrics_delta"' "$WORK/watch.out" || true)
+[ "$DELTAS" -ge 2 ] \
+  || fail "watch streamed $DELTAS metrics_delta frames, want >= 2"
+echo "   OK: exposition non-empty, watch streamed $DELTAS delta frames"
+
+echo "== 4. hung trial quarantined, repro artifact fetchable =="
 JOB_HANG=$("$CLIENT" --socket "$SOCK" submit --tenant beta --fixture hang \
   --seed 1 --trials 1 --trial-timeout-ms 1000 --minimize-budget-ms 2000 \
   --id-only)
@@ -118,7 +139,7 @@ python3 -c "import json; d = json.load(open('$WORK/artifact.json')); \
   assert any(v['invariant'] == 'trial-timeout' for v in d['violations']), d"
 echo "   OK: trial-timeout violation with minimized repro artifact"
 
-echo "== 4. SIGTERM drains and exits 0 =="
+echo "== 5. SIGTERM drains and exits 0 =="
 "$CLIENT" --socket "$SOCK" submit --tenant beta --fixture fig7 --seed 31 \
   --trials 5 --no-minimize --id-only >/dev/null
 kill -TERM "$DAEMON_PID"

@@ -267,6 +267,8 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
     v.count = 1;
     out.violations.push_back(std::move(v));
     out.telemetry = make_report(tb, &result).to_jsonl();
+    out.timeline = tb.collect_timeline();
+    out.timeline_dropped = tb.timeline_dropped();
     return out;
   }
 
@@ -288,6 +290,12 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
   inv.run_final(sim.now());
   out.violations = inv.violations();
   out.telemetry = make_report(tb, &result).to_jsonl();
+  if (!out.violations.empty()) {
+    // Snapshot the causal record only on failure: passing trials would pay
+    // the collection cost thousands of times per campaign for nothing.
+    out.timeline = tb.collect_timeline();
+    out.timeline_dropped = tb.timeline_dropped();
+  }
   return out;
 }
 
@@ -407,9 +415,17 @@ CampaignSummary Campaign::run_from(std::vector<TrialResult> completed) {
     art.schedule = minimized;
     art.original_events = failing.schedule.events.size();
     art.violations = failing.violations;
+    art.timeline = failing.timeline;
+    art.timeline_dropped = failing.timeline_dropped;
     try {
       TrialResult confirm = run_schedule(minimized);
-      if (!confirm.violations.empty()) art.violations = confirm.violations;
+      if (!confirm.violations.empty()) {
+        art.violations = confirm.violations;
+        // The minimized run's timeline is the better repro: only the
+        // causal chain the violation actually needs survives ddmin.
+        art.timeline = std::move(confirm.timeline);
+        art.timeline_dropped = confirm.timeline_dropped;
+      }
     } catch (const std::exception&) {
       // keep the original trial's violations
     }
@@ -488,14 +504,21 @@ std::string ReproArtifact::to_json() const {
   out += violations_json(violations);
   out += ",\"fsl\":\"";
   out += obs::json_escape(fsl);
-  out += "\",\n\"schedule\":";
+  out += "\",";
+  append_u64(out, "timeline_dropped", timeline_dropped);
+  out += ",\n\"timeline\":";
+  out += obs::timeline_json(timeline);
+  out += ",\n\"schedule\":";
   out += schedule.to_json();
   out += "}";
   return out;
 }
 
 ReproArtifact ReproArtifact::from_json(std::string_view text) {
-  const obs::JsonValue v = obs::JsonValue::parse(text);
+  return from_value(obs::JsonValue::parse(text));
+}
+
+ReproArtifact ReproArtifact::from_value(const obs::JsonValue& v) {
   if (v.str("type") != "chaos_repro") {
     throw std::runtime_error("chaos repro: wrong document type '" +
                              v.str("type") + "'");
@@ -514,6 +537,12 @@ ReproArtifact ReproArtifact::from_json(std::string_view text) {
     }
   }
   art.fsl = v.str("fsl");
+  // Tolerant: pre-v8 artifacts have no timeline — an absent field loads as
+  // an empty record, and vwire-trace reports it as such.
+  if (v.has("timeline")) {
+    art.timeline = obs::timeline_from_value(v.at("timeline"));
+    art.timeline_dropped = v.uint("timeline_dropped");
+  }
   if (!v.has("schedule")) {
     throw std::runtime_error("chaos repro: missing schedule");
   }

@@ -15,6 +15,7 @@
 #include <atomic>
 
 #include "vwire/chaos/fixtures.hpp"
+#include "vwire/obs/flight.hpp"
 
 namespace vwire::chaos {
 
@@ -31,6 +32,12 @@ struct TrialResult {
   /// The run's full telemetry report (JSONL text) — the replay-comparison
   /// artifact.  Campaign::run() drops it unless keep_telemetry is set.
   std::string telemetry;
+  /// Causal flight-recorder timeline (merged across nodes), captured only
+  /// when the trial violated an invariant — the "what led up to it" record
+  /// that ships inside the repro artifact.
+  std::vector<obs::SpanEvent> timeline;
+  /// Span events the recorders evicted before the snapshot (ring overflow).
+  u64 timeline_dropped{0};
 
   bool ok() const { return ran && violations.empty(); }
 };
@@ -99,9 +106,16 @@ struct ReproArtifact {
   std::size_t original_events{0};   ///< event count before minimization
   std::vector<Violation> violations;
   std::string fsl;                  ///< FSL rules the schedule generates
+  /// Flight-recorder causal timeline from the (minimized, if available)
+  /// failing run — render with `vwire-trace`.
+  std::vector<obs::SpanEvent> timeline;
+  u64 timeline_dropped{0};          ///< ring evictions before the snapshot
 
   std::string to_json() const;
   static ReproArtifact from_json(std::string_view text);  // throws
+  /// Same loader over an already-parsed value (e.g. the "repro" member of
+  /// a campaign summary document).
+  static ReproArtifact from_value(const obs::JsonValue& v);  // throws
 };
 
 struct CampaignSummary {

@@ -173,8 +173,10 @@ FaultSchedule schedule_from_value(const obs::JsonValue& v) {
                              v.str("type") + "'");
   }
   FaultSchedule s;
-  s.campaign_seed = load_u64(v.num("campaign_seed"));
-  s.trial_index = load_u64(v.num("trial_index"));
+  // uint() reads the raw token, so seeds above 2^53 replay byte-identically
+  // instead of landing on the nearest representable double.
+  s.campaign_seed = v.uint("campaign_seed");
+  s.trial_index = v.uint("trial_index");
   if (!v.has("events")) return s;
   for (const obs::JsonValue& ev : v.at("events").as_array()) {
     FaultEvent e;

@@ -1,5 +1,8 @@
 #include "vwire/core/api/testbed.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "vwire/util/assert.hpp"
 
 namespace vwire {
@@ -39,6 +42,14 @@ host::Node& Testbed::add_node(const std::string& name, net::MacAddress mac,
   NodeHandles h;
   h.node = node.get();
   if (config_.telemetry) node->set_metrics(&metrics_);
+  {
+    auto flight = std::make_unique<obs::FlightRecorder>();
+    if (config_.telemetry && config_.flight_capacity > 0) {
+      flight->reset(config_.flight_capacity, config_.trace_sample_rate);
+    }
+    node->set_flight_recorder(flight.get());
+    flights_.push_back(std::move(flight));
+  }
 
   if (config_.install_rll) {
     auto rll = std::make_unique<rll::RllLayer>(sim_, config_.rll);
@@ -116,6 +127,29 @@ std::string Testbed::node_table_fsl() const {
   }
   out += "END\n";
   return out;
+}
+
+std::vector<obs::SpanEvent> Testbed::collect_timeline() const {
+  std::vector<obs::SpanEvent> out;
+  for (std::size_t i = 0; i < flights_.size(); ++i) {
+    std::vector<obs::SpanEvent> part = flights_[i]->collect();
+    for (obs::SpanEvent& e : part) e.node = entries_[i].first;
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  // Stable: same-tick events keep each recorder's claim order, and nodes
+  // stay grouped in add_node order within a tick.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+  return out;
+}
+
+u64 Testbed::timeline_dropped() const {
+  u64 total = 0;
+  for (const auto& f : flights_) total += f->dropped();
+  return total;
 }
 
 std::vector<control::ManagedNode> Testbed::managed_nodes() {

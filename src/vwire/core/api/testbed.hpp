@@ -17,6 +17,7 @@
 #pragma once
 
 #include "vwire/core/control/controller.hpp"
+#include "vwire/obs/flight.hpp"
 #include "vwire/phy/shared_bus.hpp"
 #include "vwire/phy/switched_lan.hpp"
 #include "vwire/rll/rll_layer.hpp"
@@ -43,6 +44,22 @@ struct TestbedConfig {
   /// Off: no registry entries and provenance_capacity is forced to 0, so
   /// the hot paths skip all recording (the overhead baseline).
   bool telemetry{true};
+
+  /// Per-node causal flight recorder (DESIGN.md §12).  Each node keeps a
+  /// bounded lock-free ring of span events (NIC tx/rx, link drops/delays,
+  /// fault firings, ARQ retransmits, crash/recover); collect_timeline()
+  /// merges them into one causal timeline.  0 disables recording entirely;
+  /// telemetry=false also forces it off (the overhead baseline).  The
+  /// default (2048 slots = 96 KiB/node) keeps the ring cache-resident so
+  /// steady-state recording stays inside the 2% overhead budget; raise it
+  /// when a repro needs deeper pre-violation history.
+  std::size_t flight_capacity{2048};
+
+  /// Fraction of spans recorded, [0,1].  Sampling is deterministic per span
+  /// id, so a sampled span keeps *all* its events (and its children's — a
+  /// child span hashes independently but the origin is what matters for
+  /// repro timelines).  1.0 records everything.
+  double trace_sample_rate{1.0};
 
   /// Per-node kernel-stack processing charged above the chain.
   Duration rx_stack_cost{micros(28)};
@@ -89,6 +106,14 @@ class Testbed {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Merged causal timeline across every node's flight recorder: each event
+  /// stamped with its node name, sorted by timestamp (stable, so same-tick
+  /// events keep per-node recording order).  Empty when tracing is off.
+  std::vector<obs::SpanEvent> collect_timeline() const;
+
+  /// Total span events evicted (drop-oldest) across all recorders.
+  u64 timeline_dropped() const;
+
   /// Emits an FSL NODE_TABLE section matching this testbed, so scripts can
   /// be generated rather than hand-synchronized.
   std::string node_table_fsl() const;
@@ -114,6 +139,9 @@ class Testbed {
   trace::TraceBuffer trace_;
   std::vector<std::pair<std::string, NodeHandles>> entries_;
   std::vector<std::unique_ptr<host::Node>> nodes_;
+  /// One recorder per node, same index as nodes_.  unique_ptr: recorders
+  /// hold atomics (not movable) and nodes keep raw pointers into them.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> flights_;
   LinkEventHook link_hook_;
 };
 

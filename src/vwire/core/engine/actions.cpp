@@ -6,6 +6,7 @@
 // `((SYNACK > 0) && (SYNACK < 2)) >> DROP ...` drops exactly the first
 // SYNACK: the counter moving to 2 turns the condition off again.
 #include "vwire/core/engine/engine.hpp"
+#include "vwire/host/node.hpp"
 #include "vwire/util/logging.hpp"
 
 namespace vwire::core {
@@ -33,7 +34,17 @@ EngineLayer::Fate EngineLayer::apply_faults(net::Packet& pkt,
     // case short-circuits here (one compare, no counter, no draw) so the
     // steady-state packet path stays within its overhead budget.  A
     // suppressed match falls through to later actions in script order.
-    if ((e.rate_n > 1 || e.prob < 1.0) && !modifier_admits(e, a)) continue;
+    if ((e.rate_n > 1 || e.prob < 1.0) && !modifier_admits(e, a)) {
+      if (obs::FlightRecorder* f =
+              node_ != nullptr ? node_->flight_recorder() : nullptr) {
+        // The near-miss is causal evidence too: this packet matched the
+        // rule but the RATE/PROB lottery let it live.
+        f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                  obs::SpanEventKind::kFaultSkipped, static_cast<u16>(cond),
+                  static_cast<u8>(e.kind));
+      }
+      continue;
+    }
     Fate fate = apply_one(e, a, pkt, dir);
     if (fate != Fate::kRelease) return fate;
     // MODIFY/DUP release the packet but stop further fault matching: one
@@ -65,6 +76,15 @@ EngineLayer::Fate EngineLayer::apply_one(const ActionEntry& e, ActionId id,
   // up to 25 times per matched packet in the Fig 7/8 configuration.
   const bool prov = provenance_.enabled();
   const u64 uid = pkt.uid();  // kReorder moves pkt before recording
+  if (obs::FlightRecorder* f =
+          node_ != nullptr ? node_->flight_recorder() : nullptr) {
+    // Span annotation: which rule (condition id) fired which fault kind on
+    // this frame.  Recorded before the cases below move/consume the packet.
+    f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+              obs::SpanEventKind::kFault,
+              static_cast<u16>(action_cond_[id]), static_cast<u8>(e.kind),
+              e.kind == ActionKind::kDelay ? e.delay.ns : 0);
+  }
   auto record = [&]() -> obs::FiringRecord& {
     obs::FiringRecord& r = provenance_.claim();
     fill_record(r, action_cond_[id], id, /*depth=*/0);

@@ -15,6 +15,11 @@ void Nic::send_down(net::Packet pkt) {
   ++stats_.tx_frames;
   stats_.tx_bytes += pkt.size();
   if (pkt.created_at.ns == 0) pkt.created_at = sim_.now();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                    obs::SpanEventKind::kNicTx, 0xffff, 0,
+                    static_cast<i64>(pkt.size()));
+  }
   medium_.transmit(port_, std::move(pkt));
 }
 
@@ -25,6 +30,11 @@ void Nic::medium_deliver(net::Packet pkt) {
   }
   ++stats_.rx_frames;
   stats_.rx_bytes += pkt.size();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                    obs::SpanEventKind::kNicRx, 0xffff, 0,
+                    static_cast<i64>(pkt.size()));
+  }
   pass_up(std::move(pkt));
 }
 

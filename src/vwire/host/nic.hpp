@@ -38,6 +38,14 @@ class Nic final : public Layer, public phy::MediumClient {
   /// The medium port this NIC is attached to (link-fault scheduling key).
   phy::PortId port() const { return port_; }
 
+  /// Attaches the owning node's flight recorder: every frame crossing this
+  /// NIC leaves a kNicTx/kNicRx span event, and the medium attributes
+  /// drops on this port to the same recorder.
+  void set_flight(obs::FlightRecorder* flight) {
+    flight_ = flight;
+    medium_.set_port_flight(port_, flight);
+  }
+
  private:
   sim::Simulator& sim_;
   phy::Medium& medium_;
@@ -45,6 +53,7 @@ class Nic final : public Layer, public phy::MediumClient {
   net::MacAddress mac_;
   bool up_{true};
   NicStats stats_;
+  obs::FlightRecorder* flight_{nullptr};
 };
 
 }  // namespace vwire::host

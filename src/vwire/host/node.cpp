@@ -36,6 +36,11 @@ void Node::relink() {
   ip_.set_lower(below);
 }
 
+void Node::set_flight_recorder(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  nic_.set_flight(flight);
+}
+
 void Node::fail() {
   failed_ = true;
   nic_.set_up(false);
@@ -43,12 +48,18 @@ void Node::fail() {
 
 void Node::crash() {
   fail();
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now().ns, 0, 0, obs::SpanEventKind::kCrash);
+  }
   for (auto& l : middle_) l->on_node_crash();
 }
 
 void Node::recover() {
   failed_ = false;
   nic_.set_up(true);
+  if (flight_ != nullptr) {
+    flight_->record(sim_.now().ns, 0, 0, obs::SpanEventKind::kRecover);
+  }
   for (auto& l : middle_) l->on_node_recover();
 }
 

@@ -68,6 +68,13 @@ class Node {
   void set_metrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attaches this node's flight recorder (DESIGN.md §12): the NIC stamps
+  /// tx/rx span events, the medium attributes this port's drops to it,
+  /// crash/recover leave control-plane marks, and layers installed later
+  /// (RLL, engine) find it here.  Null when tracing is off.
+  void set_flight_recorder(obs::FlightRecorder* flight);
+  obs::FlightRecorder* flight_recorder() const { return flight_; }
+
   /// Static ARP: maps a peer IP to its MAC.
   void add_neighbor(net::Ipv4Address ip, net::MacAddress mac);
   std::optional<net::MacAddress> resolve(net::Ipv4Address ip) const;
@@ -82,6 +89,7 @@ class Node {
   std::vector<std::unique_ptr<Layer>> middle_;  // bottom-to-top
   std::unordered_map<net::Ipv4Address, net::MacAddress> neighbors_;
   obs::MetricsRegistry* metrics_{nullptr};
+  obs::FlightRecorder* flight_{nullptr};
   bool failed_{false};
 };
 

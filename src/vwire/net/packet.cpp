@@ -6,7 +6,8 @@ const char* to_string(Direction d) {
   return d == Direction::kSend ? "SEND" : "RECV";
 }
 
-Packet::Packet(Bytes frame) : frame_(std::move(frame)), uid_(next_uid()) {}
+Packet::Packet(Bytes frame)
+    : frame_(std::move(frame)), uid_(next_uid()), span_(uid_) {}
 
 BytesView Packet::l3_payload() const {
   if (frame_.size() <= EthernetHeader::kSize) return {};
@@ -16,6 +17,15 @@ BytesView Packet::l3_payload() const {
 Packet Packet::clone() const {
   Packet copy(frame_);
   copy.created_at = created_at;
+  copy.parent_span_ = span_;  // the twin is causally a child of this frame
+  return copy;
+}
+
+Packet Packet::wire_copy() const {
+  Packet copy(frame_);
+  copy.created_at = created_at;
+  copy.span_ = span_;  // same transmission, same span
+  copy.parent_span_ = parent_span_;
   return copy;
 }
 

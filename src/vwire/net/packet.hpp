@@ -29,6 +29,18 @@ class Packet {
   /// produces a distinguishable twin (the copy gets a fresh uid).
   u64 uid() const { return uid_; }
 
+  /// Causal-trace span id (DESIGN.md §12).  Equals uid() at origin; a
+  /// clone() (DUP twin, RLL retransmission) keeps its own fresh span but
+  /// records the source span as parent, so flight-recorder timelines can
+  /// chain a delivered frame back to the transmission that forged it.
+  u64 span() const { return span_; }
+  u64 parent_span() const { return parent_span_; }
+
+  /// Marks this packet as causally derived from `origin` (header
+  /// encapsulation/decapsulation, where the bytes change but the intent is
+  /// the same frame).
+  void derive_from(const Packet& origin) { parent_span_ = origin.span_; }
+
   const Bytes& bytes() const { return frame_; }
   Bytes& mutable_bytes() { return frame_; }
   std::size_t size() const { return frame_.size(); }
@@ -47,6 +59,13 @@ class Packet {
   /// Deep copy with a fresh uid (the DUP primitive).
   Packet clone() const;
 
+  /// Deep copy representing the *same* transmission at another point on the
+  /// wire (switch egress, shared-bus fan-out): fresh uid for ownership, but
+  /// the span identity is preserved so a delivered frame's kNicRx lands on
+  /// the span its kNicTx opened.  clone() is for causally-new frames (DUP
+  /// twins, retransmissions); wire_copy() is for the frame in flight.
+  Packet wire_copy() const;
+
   /// Restarts the uid stream (thread-local).  A fresh Testbed calls this so
   /// packet uids are a deterministic function of the run, not of whatever
   /// ran earlier in the process — chaos replay compares telemetry
@@ -61,6 +80,8 @@ class Packet {
   static u64 next_uid();
   Bytes frame_;
   u64 uid_{0};
+  u64 span_{0};
+  u64 parent_span_{0};
 };
 
 }  // namespace vwire::net

@@ -1,0 +1,181 @@
+#include "vwire/obs/flight.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "vwire/obs/json.hpp"
+
+namespace vwire::obs {
+
+const char* to_string(SpanEventKind k) {
+  switch (k) {
+    case SpanEventKind::kNicTx:        return "nic_tx";
+    case SpanEventKind::kNicRx:        return "nic_rx";
+    case SpanEventKind::kLinkDrop:     return "link_drop";
+    case SpanEventKind::kLinkDelay:    return "link_delay";
+    case SpanEventKind::kFault:        return "fault";
+    case SpanEventKind::kFaultSkipped: return "fault_skipped";
+    case SpanEventKind::kRllRetx:      return "rll_retx";
+    case SpanEventKind::kRllDupRx:     return "rll_dup_rx";
+    case SpanEventKind::kCrash:        return "crash";
+    case SpanEventKind::kRecover:      return "recover";
+  }
+  return "?";
+}
+
+const char* to_string(DropCause c) {
+  switch (c) {
+    case DropCause::kNone:     return "none";
+    case DropCause::kPortDown: return "port_down";
+    case DropCause::kQueue:    return "queue_overflow";
+    case DropCause::kBitError: return "bit_error";
+    case DropCause::kCut:      return "link_cut";
+    case DropCause::kFlap:     return "link_flap";
+    case DropCause::kLoss:     return "link_loss";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<SpanEventKind> span_kind_from(const std::string& name) {
+  for (SpanEventKind k :
+       {SpanEventKind::kNicTx, SpanEventKind::kNicRx, SpanEventKind::kLinkDrop,
+        SpanEventKind::kLinkDelay, SpanEventKind::kFault,
+        SpanEventKind::kFaultSkipped, SpanEventKind::kRllRetx,
+        SpanEventKind::kRllDupRx, SpanEventKind::kCrash,
+        SpanEventKind::kRecover}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void FlightRecorder::reset(std::size_t capacity, double sample_rate) {
+  capacity_ = sample_rate > 0 ? capacity : 0;
+  mask_ = capacity_ != 0 && (capacity_ & (capacity_ - 1)) == 0
+              ? capacity_ - 1
+              : 0;
+  slots_ = capacity_ ? std::make_unique<Slot[]>(capacity_) : nullptr;
+  sample_threshold_ =
+      sample_rate >= 1.0
+          ? 0x01000000u  // above any 24-bit hash: every span wins
+          : static_cast<u32>(sample_rate * 16777216.0);
+  claim_.store(0, std::memory_order_release);
+}
+
+std::vector<SpanEvent> FlightRecorder::collect() const {
+  std::vector<SpanEvent> out;
+  if (capacity_ == 0) return out;
+  const u64 end = claim_.load(std::memory_order_acquire);
+  const u64 begin = end > capacity_ ? end - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (u64 i = begin; i < end; ++i) {
+    const Slot& s = slots_[slot_index(i)];
+    const u64 s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1)) continue;  // unwritten or mid-write
+    u64 w[5];
+    for (int j = 0; j < 5; ++j) w[j] = s.w[j].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) continue;  // overwritten
+    if (s1 / 2 - 1 != i) continue;  // slot already holds a newer lap
+    SpanEvent e;
+    e.at_ns = static_cast<i64>(w[0]);
+    e.span = w[1];
+    e.parent = w[2];
+    e.kind = static_cast<SpanEventKind>(w[3] & 0xff);
+    e.detail = static_cast<u8>((w[3] >> 8) & 0xff);
+    e.rule = static_cast<u16>((w[3] >> 16) & 0xffff);
+    e.value = static_cast<i64>(w[4]);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string timeline_json(const std::vector<SpanEvent>& events) {
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    if (i) out += ',';
+    std::snprintf(buf, sizeof buf,
+                  "\n  {\"at_ns\":%" PRId64 ",\"node\":\"%s\",\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64 ",\"kind\":\"%s\",\"rule\":%u,"
+                  "\"detail\":%u,\"value\":%" PRId64 "}",
+                  e.at_ns, json_escape(e.node).c_str(), e.span, e.parent,
+                  to_string(e.kind), static_cast<unsigned>(e.rule),
+                  static_cast<unsigned>(e.detail), e.value);
+    out += buf;
+  }
+  out += events.empty() ? "]" : "\n]";
+  return out;
+}
+
+std::vector<SpanEvent> timeline_from_value(const JsonValue& v) {
+  if (v.type() != JsonValue::Type::kArray) {
+    throw std::runtime_error("timeline: expected a JSON array");
+  }
+  std::vector<SpanEvent> out;
+  out.reserve(v.as_array().size());
+  for (const JsonValue& ev : v.as_array()) {
+    SpanEvent e;
+    e.at_ns = ev.integer("at_ns");
+    e.node = ev.str("node");
+    e.span = ev.uint("span");      // lossless: span ids are full u64s
+    e.parent = ev.uint("parent");
+    const std::string kind = ev.str("kind");
+    std::optional<SpanEventKind> k = span_kind_from(kind);
+    if (!k) throw std::runtime_error("timeline: unknown kind '" + kind + "'");
+    e.kind = *k;
+    e.rule = static_cast<u16>(ev.uint("rule", 0xffff));
+    e.detail = static_cast<u8>(ev.uint("detail"));
+    e.value = ev.integer("value");
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  // One trace "thread" per node, in first-appearance order, so lanes in
+  // the Chrome/Perfetto UI line up with the simulated topology.
+  std::map<std::string, int> tids;
+  for (const SpanEvent& e : events) {
+    tids.emplace(e.node, static_cast<int>(tids.size()) + 1);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[384];
+  bool first = true;
+  for (const auto& [node, tid] : tids) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid, json_escape(node).c_str());
+    out += buf;
+    first = false;
+  }
+  for (const SpanEvent& e : events) {
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n  {\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+        "\"name\":\"%s\",\"cat\":\"vwire\",\"args\":{\"span\":\"%" PRIu64
+        "\",\"parent\":\"%" PRIu64 "\",\"rule\":%u,\"detail\":\"%s\","
+        "\"value\":%" PRId64 "}}",
+        first ? "" : ",", tids[e.node],
+        static_cast<double>(e.at_ns) / 1000.0, to_string(e.kind), e.span,
+        e.parent, static_cast<unsigned>(e.rule),
+        e.kind == SpanEventKind::kLinkDrop
+            ? to_string(static_cast<DropCause>(e.detail))
+            : "",
+        e.value);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace vwire::obs

@@ -1,0 +1,177 @@
+// Causal packet-lifecycle tracing (DESIGN.md §12).
+//
+// Every net::Packet carries a span id assigned at origin; clones (DUP
+// twins, RLL retransmissions, encapsulation rewrites) record the source
+// span as their parent, so the full causal history of a frame — who sent
+// it, which queue delayed it, which FSL rule dropped or duplicated it,
+// which retransmission resurrected it — is a chain of SpanEvents.  Each
+// node owns one bounded FlightRecorder; layers append events as packets
+// traverse them and the chaos harness snapshots all recorders into the
+// repro artifact when an invariant trips.
+//
+// The ring is lock-free (seqlock-per-slot over a fetch_add claim counter)
+// so a recorder can be drained by another thread — vwired streams live
+// telemetry while campaign runners record — without a mutex on the
+// per-packet hot path.  Like TraceBuffer/ProvenanceRing, it drops oldest
+// with explicit eviction accounting: total() == size() + dropped().
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vwire/util/types.hpp"
+
+namespace vwire::obs {
+
+class JsonValue;
+
+/// What happened to a span at one instant.
+enum class SpanEventKind : u8 {
+  kNicTx = 0,        ///< frame handed to the wire by a NIC
+  kNicRx = 1,        ///< frame delivered to a NIC
+  kLinkDrop = 2,     ///< medium dropped the frame (detail = DropCause)
+  kLinkDelay = 3,    ///< link fault added latency (value = extra ns)
+  kFault = 4,        ///< FSL fault fired (rule = condition id)
+  kFaultSkipped = 5, ///< RATE/PROB modifier suppressed a match (rule id)
+  kRllRetx = 6,      ///< RLL retransmission (parent = original frame's span)
+  kRllDupRx = 7,     ///< RLL received an already-delivered duplicate
+  kCrash = 8,        ///< node crashed (span 0)
+  kRecover = 9,      ///< node recovered (span 0)
+};
+const char* to_string(SpanEventKind k);
+
+/// Why the medium dropped a frame (SpanEventKind::kLinkDrop detail).
+enum class DropCause : u8 {
+  kNone = 0,
+  kPortDown = 1,  ///< destination port administratively down (FAIL)
+  kQueue = 2,     ///< transmit queue overflow
+  kBitError = 3,  ///< corrupted by the bit-error model
+  kCut = 4,       ///< scheduled link cut
+  kFlap = 5,      ///< flap cycle's down phase
+  kLoss = 6,      ///< scheduled probabilistic loss
+};
+const char* to_string(DropCause c);
+
+/// One recorded instant in a span's life.  `node` is empty inside the ring
+/// (the recorder is per-node) and stamped at collection time.
+struct SpanEvent {
+  i64 at_ns{0};
+  u64 span{0};
+  u64 parent{0};           ///< originating span (0 = origin frame)
+  SpanEventKind kind{SpanEventKind::kNicTx};
+  u16 rule{0xffff};        ///< FSL condition id for kFault/kFaultSkipped
+  u8 detail{0};            ///< kind-specific code (DropCause, ActionKind)
+  i64 value{0};            ///< kind-specific magnitude (delay ns, …)
+  std::string node;
+};
+
+/// Bounded lock-free ring of SpanEvents, overwrite-oldest.
+///
+/// Writer protocol (per slot): claim an index with one fetch_add, mark the
+/// slot's sequence word odd, publish the payload through relaxed atomic
+/// words, then store the even sequence encoding the claim index with
+/// release order.  collect() re-checks the sequence word around its reads
+/// and discards slots caught mid-write, so a torn lap is never observed.
+/// capacity 0 (or sample_rate <= 0) disables recording entirely.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 0, double sample_rate = 1.0) {
+    reset(capacity, sample_rate);
+  }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Re-arms the ring (not thread-safe; call between runs).
+  void reset(std::size_t capacity, double sample_rate);
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events ever offered to an enabled ring (sampled-out spans excluded).
+  u64 total() const { return claim_.load(std::memory_order_acquire); }
+  std::size_t size() const {
+    const u64 t = total();
+    return t < capacity_ ? static_cast<std::size_t>(t) : capacity_;
+  }
+  /// Events lost to overwrite: total() == size() + dropped().
+  u64 dropped() const {
+    const u64 t = total();
+    return t > capacity_ ? t - capacity_ : 0;
+  }
+
+  /// Deterministic per-span sampling lottery (the trace_sample_rate knob):
+  /// a span is either fully recorded or fully invisible on this recorder,
+  /// decided by a multiplicative hash of its id — no RNG state, so replays
+  /// sample identically.
+  bool sampled(u64 span) const {
+    if (span == 0) return true;  // control-plane events are never sampled out
+    return static_cast<u32>((span * 0x9E3779B97F4A7C15ull) >> 40) <
+           sample_threshold_;
+  }
+
+  /// Hot path: a handful of relaxed atomic stores plus one fetch_add.
+  /// Callers should gate on a null-pointer check, not enabled(), when the
+  /// recorder itself may be absent.
+  void record(i64 at_ns, u64 span, u64 parent, SpanEventKind kind,
+              u16 rule = 0xffff, u8 detail = 0, i64 value = 0) {
+    if (capacity_ == 0 || !sampled(span)) return;
+    const u64 idx = claim_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[slot_index(idx)];
+    s.seq.store(2 * idx + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.w[0].store(static_cast<u64>(at_ns), std::memory_order_relaxed);
+    s.w[1].store(span, std::memory_order_relaxed);
+    s.w[2].store(parent, std::memory_order_relaxed);
+    s.w[3].store(static_cast<u64>(kind) | (static_cast<u64>(detail) << 8) |
+                     (static_cast<u64>(rule) << 16),
+                 std::memory_order_relaxed);
+    s.w[4].store(static_cast<u64>(value), std::memory_order_relaxed);
+    s.seq.store(2 * idx + 2, std::memory_order_release);
+  }
+
+  /// Stable events oldest → newest.  Safe concurrently with writers; slots
+  /// caught mid-write are skipped (they are being overwritten, i.e. they
+  /// hold evicted history anyway).
+  std::vector<SpanEvent> collect() const;
+
+  void clear() { claim_.store(0, std::memory_order_release); }
+
+ private:
+  struct Slot {
+    std::atomic<u64> seq{0};  ///< 0 = never written; odd = write in flight
+    std::atomic<u64> w[5];
+  };
+
+  /// Power-of-two capacities (the default) wrap with a mask instead of an
+  /// integer divide — the divide is the single biggest instruction on the
+  /// record() hot path.
+  std::size_t slot_index(u64 idx) const {
+    return mask_ != 0 ? static_cast<std::size_t>(idx & mask_)
+                      : static_cast<std::size_t>(idx % capacity_);
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_{0};
+  u64 mask_{0};              ///< capacity-1 when capacity is a power of two
+  u32 sample_threshold_{0};  ///< 24-bit compare point for sampled()
+  std::atomic<u64> claim_{0};
+};
+
+/// JSON array of events (one compact object per event), the form embedded
+/// in chaos repro artifacts: [{"at_ns":..,"node":"..","span":..,...},..].
+std::string timeline_json(const std::vector<SpanEvent>& events);
+
+/// Parses timeline_json() output back (a JSON *array* value).  Throws
+/// std::runtime_error on malformed input; unknown kinds are rejected.
+std::vector<SpanEvent> timeline_from_value(const JsonValue& v);
+
+/// Chrome trace_event export (chrome://tracing / Perfetto "JSON Array
+/// Format" with metadata): {"displayTimeUnit":"ms","traceEvents":[...]}.
+/// Each SpanEvent becomes an instant event on its node's thread lane.
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+}  // namespace vwire::obs

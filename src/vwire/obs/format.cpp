@@ -17,14 +17,25 @@ std::string format_kv(const std::vector<Row>& rows) {
 
 std::string format_table(const std::string& title,
                          const std::vector<Row>& rows) {
-  std::size_t w = 0;
-  for (const Row& r : rows) w = std::max(w, r.first.size());
+  // Dot-leader layout with values right-aligned against the widest value,
+  // so successive dumps of the same table (a watch loop, `vwired_client
+  // stats`) keep every column fixed even as counters grow digits.  Both
+  // widths come from the row set itself, so an over-wide value can never
+  // push its own row out of line — it just gets fewer leader dots (min 2).
+  std::size_t name_w = 0;
+  std::size_t val_w = 0;
+  for (const Row& r : rows) {
+    name_w = std::max(name_w, r.first.size());
+    val_w = std::max(val_w, r.second.size());
+  }
   std::string out = title;
   out += '\n';
   for (const Row& r : rows) {
     out += "  ";
     out += r.first;
-    out.append(w - r.first.size() + 2, ' ');
+    out += ' ';
+    out.append(name_w - r.first.size() + 2 + (val_w - r.second.size()), '.');
+    out += ' ';
     out += r.second;
     out += '\n';
   }

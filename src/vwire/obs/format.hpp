@@ -7,6 +7,7 @@
 // struct instead of three hand-rolled stringifiers.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,17 +23,23 @@ std::string format_kv(const std::vector<Row>& rows);
 
 /// Aligned two-column table with a title line, for human dumps:
 ///   title
-///     name ........ value
+///     name ...... value
+/// Dot leaders run to a fixed column and values right-align against the
+/// widest one, so repeated dumps never jitter as counters gain digits.
 std::string format_table(const std::string& title,
                          const std::vector<Row>& rows);
 
-/// Rows for any struct with a for_each_field() enumeration.
+/// Rows for any struct with a for_each_field() enumeration, name-sorted
+/// (stable) so the dump order is a property of the names, not of struct
+/// declaration order.
 template <class Stats>
 std::vector<Row> stat_rows(const Stats& s) {
   std::vector<Row> rows;
   for_each_field(s, [&](const char* name, const u64& v) {
     rows.emplace_back(name, std::to_string(v));
   });
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.first < b.first; });
   return rows;
 }
 

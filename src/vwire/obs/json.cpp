@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <limits>
 
 namespace vwire::obs {
 
@@ -13,10 +14,59 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   return it->second;
 }
 
+namespace {
+
+/// Exact integer read from a number's raw token; falls back to the double
+/// when the token isn't a plain in-range integer (fraction, exponent,
+/// overflow — the double is the best available value there anyway).
+template <typename Int>
+Int token_to_int(const std::string& token, double num) {
+  Int exact{};
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), exact);
+  if (ec == std::errc{} && ptr == token.data() + token.size()) return exact;
+  // Saturate out-of-range doubles: casting them is undefined behaviour
+  // (e.g. a negative value read through as_u64()).  The negated comparison
+  // also routes NaN to the minimum.
+  if (!(num >= static_cast<double>(std::numeric_limits<Int>::min()))) {
+    return std::numeric_limits<Int>::min();
+  }
+  if (num >= static_cast<double>(std::numeric_limits<Int>::max())) {
+    return std::numeric_limits<Int>::max();
+  }
+  return static_cast<Int>(num);
+}
+
+}  // namespace
+
+long long JsonValue::as_i64() const {
+  return token_to_int<long long>(str_, num_);
+}
+
+unsigned long long JsonValue::as_u64() const {
+  return token_to_int<unsigned long long>(str_, num_);
+}
+
 double JsonValue::num(const std::string& key, double fallback) const {
   auto it = obj_.find(key);
   return it != obj_.end() && it->second.type_ == Type::kNumber
              ? it->second.num_
+             : fallback;
+}
+
+long long JsonValue::integer(const std::string& key,
+                             long long fallback) const {
+  auto it = obj_.find(key);
+  return it != obj_.end() && it->second.type_ == Type::kNumber
+             ? it->second.as_i64()
+             : fallback;
+}
+
+unsigned long long JsonValue::uint(const std::string& key,
+                                   unsigned long long fallback) const {
+  auto it = obj_.find(key);
+  return it != obj_.end() && it->second.type_ == Type::kNumber
+             ? it->second.as_u64()
              : fallback;
 }
 
@@ -211,10 +261,14 @@ class JsonParser {
     auto [ptr, ec] =
         std::from_chars(text_.data() + pos_, text_.data() + end, d);
     if (ec != std::errc{} || ptr == text_.data() + pos_) fail("bad number");
-    pos_ = static_cast<std::size_t>(ptr - text_.data());
     JsonValue v;
     v.type_ = JsonValue::Type::kNumber;
     v.num_ = d;
+    // Keep the raw token: integers above 2^53 are not representable as
+    // doubles, and seeds/uids round-trip through as_i64()/as_u64().
+    v.str_.assign(text_.data() + pos_,
+                  static_cast<std::size_t>(ptr - (text_.data() + pos_)));
+    pos_ = static_cast<std::size_t>(ptr - text_.data());
     return v;
   }
 

@@ -1,10 +1,12 @@
 // Minimal JSON value model + parser for the offline report loader.
 //
 // Scope: exactly what parse_report_jsonl() needs — objects, arrays,
-// strings with \uXXXX escapes, doubles, bools, null.  Numbers are stored
-// as double (sufficient for sim-time ns up to 2^53; report writers emit
-// raw integers).  Parse errors throw std::runtime_error with a byte
-// offset.  Not a general-purpose JSON library and not meant to become one.
+// strings with \uXXXX escapes, numbers, bools, null.  Numbers keep both a
+// double and the raw source token, so 64-bit integers above 2^53 (campaign
+// seeds, packet uids, span ids) survive a parse/serialize round trip
+// losslessly via as_i64()/as_u64().  Parse errors throw std::runtime_error
+// with a byte offset.  Not a general-purpose JSON library and not meant to
+// become one.
 #pragma once
 
 #include <map>
@@ -26,6 +28,12 @@ class JsonValue {
 
   bool as_bool() const { return bool_; }
   double as_number() const { return num_; }
+  /// Lossless integer reads.  A number parses exactly when its raw token is
+  /// a plain integer in range (no '.', exponent, or overflow); otherwise
+  /// these fall back to converting the double — identical to the old
+  /// behaviour for small or fractional values, lossless above 2^53.
+  long long as_i64() const;
+  unsigned long long as_u64() const;
   const std::string& as_string() const { return str_; }
   const std::vector<JsonValue>& as_array() const { return arr_; }
   const std::map<std::string, JsonValue>& as_object() const { return obj_; }
@@ -36,6 +44,9 @@ class JsonValue {
 
   // Convenience typed lookups with defaults (missing key → fallback).
   double num(const std::string& key, double fallback = 0) const;
+  long long integer(const std::string& key, long long fallback = 0) const;
+  unsigned long long uint(const std::string& key,
+                          unsigned long long fallback = 0) const;
   std::string str(const std::string& key, std::string fallback = "") const;
   bool boolean(const std::string& key, bool fallback = false) const;
 
@@ -47,6 +58,9 @@ class JsonValue {
   Type type_{Type::kNull};
   bool bool_{false};
   double num_{0};
+  /// For kString this is the decoded string; for kNumber it is the raw
+  /// source token (e.g. "9007199254740995"), the side channel behind
+  /// as_i64()/as_u64().
   std::string str_;
   std::vector<JsonValue> arr_;
   std::map<std::string, JsonValue> obj_;

@@ -1,0 +1,75 @@
+#include "vwire/obs/prometheus.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace vwire::obs {
+
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "vwire_";
+  out.reserve(out.size() + dotted.size());
+  for (char c : dotted) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void append_scalar(std::string& out, const std::string& name,
+                   const char* type, double value) {
+  char buf[192];
+  out += "# TYPE " + name + " " + type + "\n";
+  // %.17g round-trips doubles; integral values (the common case — every
+  // scalar in the registry is a u64/i64 view) print without a fraction.
+  std::snprintf(buf, sizeof buf, "%s %.17g\n", name.c_str(), value);
+  out += buf;
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const HistogramSnapshot& h) {
+  char buf[192];
+  out += "# TYPE " + name + " summary\n";
+  const struct { const char* q; i64 v; } quantiles[] = {
+      {"0.5", h.p50}, {"0.9", h.p90}, {"0.95", h.p95}, {"0.99", h.p99}};
+  for (const auto& q : quantiles) {
+    std::snprintf(buf, sizeof buf, "%s{quantile=\"%s\"} %" PRId64 "\n",
+                  name.c_str(), q.q, q.v);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%s_count %" PRIu64 "\n", name.c_str(),
+                h.count);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%s_sum %.17g\n", name.c_str(),
+                h.mean * static_cast<double>(h.count));
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_exposition(
+    const std::vector<MetricsRegistry::Sample>& samples) {
+  std::string out;
+  out.reserve(samples.size() * 96);
+  out += "# HELP vwire VirtualWire metrics registry snapshot\n";
+  for (const MetricsRegistry::Sample& s : samples) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        append_scalar(out, name, "counter", s.value);
+        break;
+      case MetricKind::kGauge:
+        append_scalar(out, name, "gauge", s.value);
+        break;
+      case MetricKind::kHistogram:
+        append_histogram(out, name, s.hist);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vwire::obs

@@ -1,0 +1,28 @@
+// Prometheus-style text exposition of a MetricsRegistry snapshot.
+//
+// Serves the vwired `metrics` verb (DESIGN.md §12): dotted registry names
+// become legal Prometheus metric names (dots → underscores, prefixed
+// "vwire_"), counters/gauges emit one sample each, and histograms emit a
+// quantile-labelled summary plus _count/_sum.  Output is name-sorted and
+// deterministic — the registry's std::map ordering carries through — so CI
+// can regex-validate it and diffs between scrapes are meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vwire/obs/metrics.hpp"
+
+namespace vwire::obs {
+
+/// Renders `samples` (from MetricsRegistry::snapshot()) as text exposition
+/// format: `# HELP`/`# TYPE` headers, one `name value` line per scalar,
+/// `name{quantile="0.5"} v` lines plus `_count`/`_sum` per histogram.
+std::string prometheus_exposition(
+    const std::vector<MetricsRegistry::Sample>& samples);
+
+/// Legal Prometheus metric name for a dotted registry name:
+/// "rll.n0.rtt_us" → "vwire_rll_n0_rtt_us" ([a-zA-Z_:][a-zA-Z0-9_:]*).
+std::string prometheus_name(const std::string& dotted);
+
+}  // namespace vwire::obs

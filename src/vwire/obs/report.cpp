@@ -312,7 +312,7 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
       saw_meta = true;
       rep.meta.scenario = v.str("scenario");
       rep.meta.tool = v.str("tool");
-      rep.meta.seed = to_u64(v.num("seed"));
+      rep.meta.seed = v.uint("seed");  // raw-token read: lossless above 2^53
       rep.meta.ended_at = {to_i64(v.num("ended_at_ns"))};
       rep.meta.passed = v.boolean("passed");
       rep.firings_dropped = to_u64(v.num("firings_dropped"));
@@ -339,7 +339,7 @@ ScenarioReport parse_report_jsonl(const std::string& text) {
       f.filter = to_u16(v.num("filter", FiringRecord::kNone));
       f.kind_name = intern_kind(v.str("kind"));
       f.cascade_depth = to_u16(v.num("depth"));
-      f.packet_uid = to_u64(v.num("packet_uid"));
+      f.packet_uid = v.uint("packet_uid");  // uids can exceed 2^53
       f.value = to_i64(v.num("value"));
       f.value2 = to_i64(v.num("value2"));
       // Snapshots come back keyed by name.  Rebuild the counter id space

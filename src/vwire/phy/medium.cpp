@@ -26,7 +26,7 @@ void Medium::reseed(u64 seed) {
 
 PortId Medium::attach(MediumClient* client) {
   VWIRE_ASSERT(client != nullptr, "attach null client");
-  ports_.push_back(Port{client, true, {}, 0, {}});
+  ports_.push_back(Port{client, true, {}, 0, {}, nullptr});
   return static_cast<PortId>(ports_.size() - 1);
 }
 
@@ -67,6 +67,11 @@ void Medium::clear_link_fault(PortId port) {
   ports_[port].fault = LinkFaultState{};
 }
 
+void Medium::set_port_flight(PortId port, obs::FlightRecorder* flight) {
+  check_port_arg(port, ports_.size());
+  ports_[port].flight = flight;
+}
+
 bool Medium::link_cut_tx(PortId port) const {
   VWIRE_ASSERT(port < ports_.size(), "bad port id");
   const LinkFaultState& f = ports_[port].fault;
@@ -98,21 +103,32 @@ bool Medium::corrupts_frame(std::size_t bytes) {
   return bit_errors_.corrupt(bytes);
 }
 
-bool Medium::dir_fault_drop(const LinkFaultDir& dir, bool flap_down,
-                            u64* cut_stat, u64* flap_stat, u64* loss_stat) {
-  if (dir.cut) {
-    ++*cut_stat;
-    return true;
-  }
-  if (flap_down) {
-    ++*flap_stat;
-    return true;
-  }
+obs::DropCause Medium::dir_fault_check(const LinkFaultDir& dir,
+                                       bool flap_down) {
+  if (dir.cut) return obs::DropCause::kCut;
+  if (flap_down) return obs::DropCause::kFlap;
   if (dir.loss_rate > 0 && fault_rng_.chance(dir.loss_rate)) {
-    ++*loss_stat;
-    return true;
+    return obs::DropCause::kLoss;
   }
-  return false;
+  return obs::DropCause::kNone;
+}
+
+void Medium::note_drop(PortId port, const net::Packet& pkt,
+                       obs::DropCause cause) {
+  switch (cause) {
+    case obs::DropCause::kNone:     return;
+    case obs::DropCause::kPortDown: ++stats_.frames_dropped_down; break;
+    case obs::DropCause::kQueue:    ++stats_.frames_dropped_queue; break;
+    case obs::DropCause::kBitError: ++stats_.frames_dropped_error; break;
+    case obs::DropCause::kCut:      ++stats_.frames_dropped_cut; break;
+    case obs::DropCause::kFlap:     ++stats_.frames_dropped_flap; break;
+    case obs::DropCause::kLoss:     ++stats_.frames_dropped_loss; break;
+  }
+  if (obs::FlightRecorder* f = ports_[port].flight) {
+    f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+              obs::SpanEventKind::kLinkDrop, 0xffff,
+              static_cast<u8>(cause));
+  }
 }
 
 Duration Medium::dir_fault_delay(const LinkFaultDir& dir) {
@@ -124,31 +140,45 @@ Duration Medium::dir_fault_delay(const LinkFaultDir& dir) {
   return d;
 }
 
-bool Medium::tx_fault_drop(PortId port) {
+bool Medium::tx_fault_drop(PortId port, const net::Packet& pkt) {
   const LinkFaultState& f = ports_[port].fault;
-  return dir_fault_drop(f.tx, f.flap.down_at(sim_.now()),
-                        &stats_.frames_dropped_cut, &stats_.frames_dropped_flap,
-                        &stats_.frames_dropped_loss);
+  const obs::DropCause cause =
+      dir_fault_check(f.tx, f.flap.down_at(sim_.now()));
+  if (cause == obs::DropCause::kNone) return false;
+  note_drop(port, pkt, cause);
+  return true;
 }
 
-Duration Medium::tx_fault_delay(PortId port) {
-  return dir_fault_delay(ports_[port].fault.tx);
+Duration Medium::tx_fault_delay(PortId port, const net::Packet& pkt) {
+  const Duration d = dir_fault_delay(ports_[port].fault.tx);
+  if (d.ns > 0) {
+    if (obs::FlightRecorder* f = ports_[port].flight) {
+      f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                obs::SpanEventKind::kLinkDelay, 0xffff, 0, d.ns);
+    }
+  }
+  return d;
 }
 
 void Medium::deliver_to_port(PortId port, net::Packet pkt) {
   VWIRE_ASSERT(port < ports_.size(), "bad port id");
   Port& p = ports_[port];
   if (!p.up) {
-    ++stats_.frames_dropped_down;
+    note_drop(port, pkt, obs::DropCause::kPortDown);
     return;
   }
-  if (dir_fault_drop(p.fault.rx, p.fault.flap.down_at(sim_.now()),
-                     &stats_.frames_dropped_cut, &stats_.frames_dropped_flap,
-                     &stats_.frames_dropped_loss)) {
+  const obs::DropCause cause =
+      dir_fault_check(p.fault.rx, p.fault.flap.down_at(sim_.now()));
+  if (cause != obs::DropCause::kNone) {
+    note_drop(port, pkt, cause);
     return;
   }
   Duration extra = dir_fault_delay(p.fault.rx);
   if (extra.ns > 0) {
+    if (obs::FlightRecorder* f = p.flight) {
+      f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                obs::SpanEventKind::kLinkDelay, 0xffff, 0, extra.ns);
+    }
     auto shared = std::make_shared<net::Packet>(std::move(pkt));
     sim_.at(sim_.now() + extra,
             [this, port, shared] { finish_delivery(port, std::move(*shared)); });
@@ -161,7 +191,7 @@ void Medium::finish_delivery(PortId port, net::Packet pkt) {
   Port& p = ports_[port];
   if (!p.up) {
     // The port went down while the frame sat in the jitter delay.
-    ++stats_.frames_dropped_down;
+    note_drop(port, pkt, obs::DropCause::kPortDown);
     return;
   }
   ++stats_.frames_delivered;

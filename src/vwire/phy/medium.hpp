@@ -15,6 +15,7 @@
 #pragma once
 
 #include "vwire/net/packet.hpp"
+#include "vwire/obs/flight.hpp"
 #include "vwire/obs/metrics.hpp"
 #include "vwire/phy/bit_error.hpp"
 #include "vwire/sim/simulator.hpp"
@@ -171,6 +172,11 @@ class Medium {
     obs::expose_stats(reg, prefix, stats_);
     queue_hist_ = &reg.histogram(prefix + ".queue_depth");
   }
+
+  /// Attaches the flight recorder of the node behind `port`, so frames the
+  /// medium kills or delays leave span events attributed to that node's
+  /// link.  Null detaches; the pointer must outlive the medium's use.
+  void set_port_flight(PortId port, obs::FlightRecorder* flight);
   sim::Simulator& simulator() { return sim_; }
 
   /// Wire time to serialize a frame of `bytes` (padded to the minimum
@@ -189,6 +195,7 @@ class Medium {
     TimePoint busy_until{};
     std::size_t queued{0};
     LinkFaultState fault;
+    obs::FlightRecorder* flight{nullptr};  ///< owning node's trace recorder
   };
 
   /// Runs the bit-error lottery; true means the frame would fail its FCS
@@ -196,11 +203,18 @@ class Medium {
   bool corrupts_frame(std::size_t bytes);
 
   /// Transmit-side fault gate: true if the frame dies to a cut, flap-down
-  /// phase or loss lottery on its way out of `port` (stats counted here).
-  bool tx_fault_drop(PortId port);
+  /// phase or loss lottery on its way out of `port` (the drop is counted
+  /// and the span event recorded here).
+  bool tx_fault_drop(PortId port, const net::Packet& pkt);
 
-  /// Extra transmit-side delay (fixed latency + jitter draw) for `port`.
-  Duration tx_fault_delay(PortId port);
+  /// Extra transmit-side delay (fixed latency + jitter draw) for `port`,
+  /// counted and span-recorded when non-zero.
+  Duration tx_fault_delay(PortId port, const net::Packet& pkt);
+
+  /// Single accounting point for every frame the medium kills: bumps the
+  /// matching MediumStats counter and records a kLinkDrop span event on the
+  /// port's flight recorder.
+  void note_drop(PortId port, const net::Packet& pkt, obs::DropCause cause);
 
   /// Records a transmit-queue occupancy sample (subclasses call this right
   /// after enqueueing a frame).
@@ -224,9 +238,11 @@ class Medium {
   obs::Histogram* queue_hist_{nullptr};  ///< tx queue depth at enqueue
 
  private:
-  /// Drop/delay decision shared by the tx and rx facets.
-  bool dir_fault_drop(const LinkFaultDir& dir, bool flap_down, u64* cut_stat,
-                      u64* flap_stat, u64* loss_stat);
+  /// Drop decision shared by the tx and rx facets: which fault (if any)
+  /// kills the frame.  Pure decision — accounting happens in note_drop(),
+  /// keyed by the returned cause, so every drop site tells the same story
+  /// to stats and to the flight recorder.
+  obs::DropCause dir_fault_check(const LinkFaultDir& dir, bool flap_down);
   Duration dir_fault_delay(const LinkFaultDir& dir);
 
   void finish_delivery(PortId port, net::Packet pkt);

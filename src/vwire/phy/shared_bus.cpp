@@ -15,12 +15,12 @@ void SharedBus::reseed(u64 seed) {
 void SharedBus::transmit(PortId port, net::Packet pkt) {
   ++stats_.frames_offered;
   if (!port_up(port)) {
-    ++stats_.frames_dropped_down;
+    note_drop(port, pkt, obs::DropCause::kPortDown);
     return;
   }
-  if (tx_fault_drop(port)) return;
+  if (tx_fault_drop(port, pkt)) return;
   if (channel_queued_ >= params_.queue_limit) {
-    ++stats_.frames_dropped_queue;
+    note_drop(port, pkt, obs::DropCause::kQueue);
     return;
   }
 
@@ -35,7 +35,7 @@ void SharedBus::transmit(PortId port, net::Packet pkt) {
   ++channel_queued_;
   note_queue_depth(channel_queued_);
 
-  TimePoint arrive = done + params_.propagation + tx_fault_delay(port);
+  TimePoint arrive = done + params_.propagation + tx_fault_delay(port, pkt);
   auto shared = std::make_shared<net::Packet>(std::move(pkt));
   sim_.at(arrive, [this, port, shared] {
     --channel_queued_;
@@ -55,10 +55,10 @@ void SharedBus::complete(PortId src_port, net::Packet pkt) {
                 ports_[p].client->medium_mac() == eth->dst;
     if (!mine) continue;
     if (corrupts_frame(pkt.size())) {
-      ++stats_.frames_dropped_error;
+      note_drop(p, pkt, obs::DropCause::kBitError);
       continue;
     }
-    deliver_to_port(p, pkt.clone());
+    deliver_to_port(p, pkt.wire_copy());
   }
 }
 

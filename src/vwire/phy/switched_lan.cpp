@@ -29,20 +29,20 @@ PortId SwitchedLan::lookup(const net::MacAddress& dst) const {
 void SwitchedLan::transmit(PortId port, net::Packet pkt) {
   ++stats_.frames_offered;
   if (!port_up(port)) {
-    ++stats_.frames_dropped_down;
+    note_drop(port, pkt, obs::DropCause::kPortDown);
     return;
   }
-  if (tx_fault_drop(port)) return;
+  if (tx_fault_drop(port, pkt)) return;
   Port& in = ports_[port];
   auto done = enqueue_leg(in.busy_until, in.queued,
                           serialization_time_on(port, pkt.size()));
   if (!done) {
-    ++stats_.frames_dropped_queue;
+    note_drop(port, pkt, obs::DropCause::kQueue);
     return;
   }
   // Frame fully received by the switch after serialization + propagation,
   // plus any scheduled tx-side latency/jitter on the host's link.
-  TimePoint at_switch = *done + params_.propagation + tx_fault_delay(port);
+  TimePoint at_switch = *done + params_.propagation + tx_fault_delay(port, pkt);
   auto shared = std::make_shared<net::Packet>(std::move(pkt));
   sim_.at(at_switch, [this, port, shared] {
     --ports_[port].queued;
@@ -64,16 +64,16 @@ void SwitchedLan::switch_forward(PortId ingress, net::Packet pkt) {
     auto done = enqueue_leg(leg.busy_until, leg.queued,
                             serialization_time_on(out, pkt.size()));
     if (!done) {
-      ++stats_.frames_dropped_queue;
+      note_drop(out, pkt, obs::DropCause::kQueue);
       return;
     }
     TimePoint arrive = *done + params_.propagation;
     bool corrupted = corrupts_frame(pkt.size());
-    auto shared = std::make_shared<net::Packet>(pkt.clone());
+    auto shared = std::make_shared<net::Packet>(pkt.wire_copy());
     sim_.at(arrive, [this, out, corrupted, shared] {
       --egress_[out].queued;
       if (corrupted) {
-        ++stats_.frames_dropped_error;
+        note_drop(out, *shared, obs::DropCause::kBitError);
         return;
       }
       deliver_to_port(out, std::move(*shared));

@@ -50,6 +50,7 @@ net::Packet encapsulate(const net::Packet& frame, u32 seq, u32 ack, u8 flags) {
             out.begin() + net::EthernetHeader::kSize + RllHeader::kSize);
   net::Packet pkt(std::move(out));
   pkt.created_at = frame.created_at;
+  pkt.derive_from(frame);  // causal link: same intent, new bytes
   return pkt;
 }
 
@@ -64,6 +65,7 @@ std::optional<net::Packet> decapsulate(const net::Packet& pkt) {
             in.end(), out.begin() + net::EthernetHeader::kSize);
   net::Packet restored(std::move(out));
   restored.created_at = pkt.created_at;
+  restored.derive_from(pkt);  // causal link back to the wire frame
   return restored;
 }
 

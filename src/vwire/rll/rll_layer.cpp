@@ -163,7 +163,10 @@ void RllLayer::send_data_frame(PeerState& p, const net::Packet& raw) {
     p.sample_sent = sim_.now();
   }
   ++p.next_seq;
-  p.inflight.push_back(data.clone());
+  // wire_copy, not clone: the ARQ buffer holds the *same* transmission, so
+  // a later retransmission's clone() parents on the original tx span
+  // instead of on a phantom never-transmitted span.
+  p.inflight.push_back(data.wire_copy());
   ++stats_.data_tx;
   if (params_.piggyback) {
     // The piggybacked ack supersedes any pending standalone one.
@@ -200,7 +203,14 @@ void RllLayer::handle_ack(PeerState& p, u32 ack, bool standalone) {
         p.sample_armed = false;  // Karn: the resent frame must not be timed
         ++stats_.retransmits;
         ++stats_.fast_retransmits;
-        pass_down(p.inflight.front().clone());
+        net::Packet resend = p.inflight.front().clone();
+        if (obs::FlightRecorder* f = flight()) {
+          // The clone's parent span is the original transmission, so the
+          // timeline chains the recovery to the frame it resurrects.
+          f->record(sim_.now().ns, resend.span(), resend.parent_span(),
+                    obs::SpanEventKind::kRllRetx, 0xffff, 1 /* fast */);
+        }
+        pass_down(std::move(resend));
       }
     }
     return;
@@ -232,7 +242,12 @@ void RllLayer::on_rto(PeerState& p) {
   // Go-back-N: resend everything outstanding.
   stats_.retransmits += p.inflight.size();
   for (const net::Packet& frame : p.inflight) {
-    pass_down(frame.clone());
+    net::Packet resend = frame.clone();
+    if (obs::FlightRecorder* f = flight()) {
+      f->record(sim_.now().ns, resend.span(), resend.parent_span(),
+                obs::SpanEventKind::kRllRetx, 0xffff, 0 /* rto */);
+    }
+    pass_down(std::move(resend));
   }
   p.rto_timer.start(rto_for(p));  // backed off by retry_rounds, capped
 }
@@ -350,6 +365,11 @@ void RllLayer::receive_up(net::Packet pkt) {
     // Duplicate of something we already delivered: our ack was lost, so
     // re-ack immediately to stop the retransmissions.
     ++stats_.duplicates_rx;
+    if (obs::FlightRecorder* f = flight()) {
+      f->record(sim_.now().ns, pkt.span(), pkt.parent_span(),
+                obs::SpanEventKind::kRllDupRx, 0xffff, 0,
+                static_cast<i64>(h->seq));
+    }
     send_standalone_ack(p);
     return;
   }

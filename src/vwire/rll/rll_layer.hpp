@@ -244,6 +244,11 @@ class RllLayer final : public host::Layer {
 
   PeerState& peer(const net::MacAddress& mac);
 
+  /// The owning node's flight recorder, or null (tracing off / detached).
+  obs::FlightRecorder* flight() const {
+    return node_ != nullptr ? node_->flight_recorder() : nullptr;
+  }
+
   void send_data_frame(PeerState& p, const net::Packet& raw);
   void transmit_window(PeerState& p);
   void handle_ack(PeerState& p, u32 ack, bool standalone);

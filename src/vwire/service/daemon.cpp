@@ -220,6 +220,13 @@ void Daemon::handle_line(Client& c, std::string_view line) {
     case Request::Type::kStats:
       enqueue(c, sched_.stats_json());
       return;
+    case Request::Type::kMetrics:
+      // The exposition is multi-line text; the wire is one-frame-per-line,
+      // so it travels escaped (the client unescapes before printing).
+      enqueue(c, build_ok("\"type\":\"metrics\",\"exposition\":\"" +
+                          obs::json_escape(sched_.metrics_exposition()) +
+                          "\""));
+      return;
     case Request::Type::kDrain:
       sched_.begin_drain();
       drain_started_ = true;
@@ -245,8 +252,45 @@ void Daemon::pump_progress() {
       // request/response traffic again.
       if (s.state != JobState::kQueued && s.state != JobState::kRunning) {
         c.watch_job.clear();
+        c.last_metrics.clear();  // a later watch starts its deltas fresh
       }
     }
+  }
+}
+
+void Daemon::pump_metrics_deltas() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point now = Clock::now();
+  if (now - last_delta_ < std::chrono::milliseconds(250)) return;
+  bool any_watch = false;
+  for (const Client& c : clients_) {
+    if (c.fd >= 0 && !c.watch_job.empty()) {
+      any_watch = true;
+      break;
+    }
+  }
+  if (!any_watch) return;  // don't touch the scheduler lock for nobody
+  last_delta_ = now;
+
+  // One snapshot serves every watcher; histograms stream their count (the
+  // scheduler registry is counters/gauges today, but stay future-proof).
+  const std::vector<obs::MetricsRegistry::Sample> samples =
+      sched_.metrics_samples();
+  for (Client& c : clients_) {
+    if (c.fd < 0 || c.watch_job.empty()) continue;
+    std::vector<std::pair<std::string, double>> changed;
+    for (const obs::MetricsRegistry::Sample& s : samples) {
+      const double v = s.kind == obs::MetricKind::kHistogram
+                           ? static_cast<double>(s.hist.count)
+                           : s.value;
+      auto it = c.last_metrics.find(s.name);
+      if (it != c.last_metrics.end() && it->second == v) continue;
+      c.last_metrics[s.name] = v;
+      changed.emplace_back(s.name, v);
+    }
+    // Emit even when nothing moved: the stream is the liveness signal a
+    // dashboard hangs its staleness alarm on.
+    enqueue(c, build_metrics_delta(changed));
   }
 }
 
@@ -302,6 +346,7 @@ int Daemon::serve() {
       drain_started_ = true;
     }
     pump_progress();
+    pump_metrics_deltas();
 
     // New connections.
     if (!drain_started_) {

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -74,11 +76,15 @@ class Daemon {
     std::string out;
     std::string watch_job;  ///< non-empty: progress-stream subscriber
     bool discarding{false};  ///< dropping an oversized frame's tail
+    /// Last metrics values this watcher was sent; metrics_delta frames
+    /// carry only entries that moved since (first frame = everything).
+    std::map<std::string, double> last_metrics;
   };
 
   void handle_line(Client& c, std::string_view line);
   void enqueue(Client& c, std::string_view frame);  ///< frame + '\n'
   void pump_progress();
+  void pump_metrics_deltas();
   void close_client(Client& c);
 
   DaemonConfig cfg_;
@@ -88,6 +94,8 @@ class Daemon {
   int wake_w_{-1};
   std::vector<Client> clients_;
   bool drain_started_{false};
+  /// Watch-stream metrics cadence (the poll timeout is the clock).
+  std::chrono::steady_clock::time_point last_delta_{};
 
   std::atomic<bool> shutdown_requested_{false};
   std::mutex ev_mu_;

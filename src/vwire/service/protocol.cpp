@@ -81,6 +81,7 @@ const char* to_string(Request::Type t) {
     case Request::Type::kArtifact: return "artifact";
     case Request::Type::kWatch: return "watch";
     case Request::Type::kStats: return "stats";
+    case Request::Type::kMetrics: return "metrics";
     case Request::Type::kDrain: return "drain";
   }
   return "?";
@@ -157,6 +158,8 @@ Request parse_request(std::string_view line) {
     req.job = read_job(v);
   } else if (type == "stats") {
     req.type = Request::Type::kStats;
+  } else if (type == "metrics") {
+    req.type = Request::Type::kMetrics;
   } else if (type == "drain") {
     req.type = Request::Type::kDrain;
   } else {
@@ -207,6 +210,24 @@ std::string build_progress(const std::string& job, u64 completed, u64 total,
   out += ",\"state\":\"";
   out += obs::json_escape(state);
   out += "\"}";
+  return out;
+}
+
+std::string build_metrics_delta(
+    const std::vector<std::pair<std::string, double>>& changed) {
+  std::string out = "{\"v\":1,\"type\":\"metrics_delta\",\"changed\":{";
+  char buf[48];
+  bool first = true;
+  for (const auto& [name, value] : changed) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::json_escape(name);
+    out += "\":";
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+  }
+  out += "}}";
   return out;
 }
 

@@ -20,7 +20,13 @@
 //   {"v":1,"type":"artifact","job":"job-3"}
 //   {"v":1,"type":"watch","job":"job-3"}
 //   {"v":1,"type":"stats"}
+//   {"v":1,"type":"metrics"}
 //   {"v":1,"type":"drain"}
+//
+// A watching connection additionally receives periodic
+// {"v":1,"type":"metrics_delta","changed":{...}} frames (DESIGN.md §12)
+// while its job is live — the registry values that moved since the
+// client's previous frame.
 //
 // Error responses: {"v":1,"ok":false,"error":"<code>","detail":"...",
 // ["retry_after_ms":N]} with codes bad-request | unknown-type | not-found
@@ -30,6 +36,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "vwire/chaos/campaign.hpp"
 
@@ -64,6 +72,7 @@ struct Request {
     kArtifact,
     kWatch,
     kStats,
+    kMetrics,
     kDrain,
   };
 
@@ -98,5 +107,11 @@ std::string build_ok(const std::string& fields);
 /// with request/response traffic on a watching connection).
 std::string build_progress(const std::string& job, u64 completed, u64 total,
                            u64 failures, const std::string& state);
+
+/// One watch-stream metrics-delta event: the registry entries whose value
+/// changed since the subscriber's previous frame.  `changed` may be empty
+/// (a heartbeat tick); values render with full double precision.
+std::string build_metrics_delta(
+    const std::vector<std::pair<std::string, double>>& changed);
 
 }  // namespace vwire::service

@@ -9,6 +9,7 @@
 
 #include "vwire/chaos/checkpoint.hpp"
 #include "vwire/obs/json.hpp"
+#include "vwire/obs/prometheus.hpp"
 
 namespace vwire::service {
 
@@ -453,6 +454,43 @@ std::string CampaignScheduler::stats_json() const {
   }
   out += "}}";
   return out;
+}
+
+std::vector<obs::MetricsRegistry::Sample>
+CampaignScheduler::metrics_samples() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t by_state[5] = {};
+  for (const auto& [id, j] : jobs_) {
+    by_state[static_cast<std::size_t>(j.state)]++;
+  }
+  std::vector<obs::MetricsRegistry::Sample> out = metrics_.snapshot();
+  auto gauge = [&out](const char* name, double v) {
+    obs::MetricsRegistry::Sample s;
+    s.name = name;
+    s.kind = obs::MetricKind::kGauge;
+    s.value = v;
+    out.push_back(std::move(s));
+  };
+  gauge("service.draining",
+        drain_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+  gauge("service.jobs.checkpointed", static_cast<double>(by_state[4]));
+  gauge("service.jobs.done", static_cast<double>(by_state[2]));
+  gauge("service.jobs.failed", static_cast<double>(by_state[3]));
+  gauge("service.jobs.queued", static_cast<double>(by_state[0]));
+  gauge("service.jobs.running", static_cast<double>(by_state[1]));
+  // Keep the whole listing name-sorted: the registry snapshot already is
+  // (std::map), and the gauges above were appended in sorted order but all
+  // sort before/after different registry names — one stable sort settles it.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const obs::MetricsRegistry::Sample& a,
+                      const obs::MetricsRegistry::Sample& b) {
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+std::string CampaignScheduler::metrics_exposition() const {
+  return obs::prometheus_exposition(metrics_samples());
 }
 
 }  // namespace vwire::service

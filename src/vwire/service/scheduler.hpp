@@ -118,6 +118,15 @@ class CampaignScheduler {
   /// counter (per-tenant submitted/shed/trials).
   std::string stats_json() const;
 
+  /// Point-in-time registry snapshot plus synthesized queue-state gauges
+  /// (service.jobs.queued/running/done/failed/checkpointed and
+  /// service.draining), name-sorted — the source for both the Prometheus
+  /// `metrics` verb and the watch stream's metrics_delta frames.
+  std::vector<obs::MetricsRegistry::Sample> metrics_samples() const;
+
+  /// Prometheus text exposition of metrics_samples() (obs/prometheus.hpp).
+  std::string metrics_exposition() const;
+
   const SchedulerConfig& config() const { return cfg_; }
 
  private:

@@ -1,0 +1,152 @@
+// Causal packet-lifecycle tracing through the testbed (DESIGN.md §12):
+// span ids minted at the NIC, threaded through medium faults and RLL
+// retransmits, merged across nodes by collect_timeline().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vwire/core/api/testbed.hpp"
+#include "vwire/udp/udp_layer.hpp"
+
+namespace vwire {
+namespace {
+
+bool has_kind(const std::vector<obs::SpanEvent>& tl, obs::SpanEventKind k) {
+  return std::any_of(tl.begin(), tl.end(),
+                     [k](const obs::SpanEvent& e) { return e.kind == k; });
+}
+
+TEST(Timeline, UdpDeliveryLinksTxAndRxOnOneSpan) {
+  Testbed tb;
+  tb.add_node("a");
+  tb.add_node("b");
+  udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+  int got = 0;
+  ub.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  ua.send(tb.node("b").ip(), 9, 30000, Bytes(16, 0xab));
+  tb.simulator().run();
+  ASSERT_EQ(got, 1);
+
+  const std::vector<obs::SpanEvent> tl = tb.collect_timeline();
+  ASSERT_FALSE(tl.empty());
+  EXPECT_EQ(tb.timeline_dropped(), 0u);
+  // Merged timeline is globally time-ordered and node-stamped.
+  EXPECT_TRUE(std::is_sorted(
+      tl.begin(), tl.end(),
+      [](const obs::SpanEvent& x, const obs::SpanEvent& y) {
+        return x.at_ns < y.at_ns;
+      }));
+  for (const obs::SpanEvent& e : tl) {
+    EXPECT_TRUE(e.node == "a" || e.node == "b") << e.node;
+  }
+  // The datagram's frame leaves a's NIC and arrives at b's on one span.
+  bool linked = false;
+  for (const obs::SpanEvent& tx : tl) {
+    if (tx.kind != obs::SpanEventKind::kNicTx || tx.node != "a") continue;
+    for (const obs::SpanEvent& rx : tl) {
+      if (rx.kind == obs::SpanEventKind::kNicRx && rx.node == "b" &&
+          rx.span == tx.span) {
+        EXPECT_GE(rx.at_ns, tx.at_ns);
+        linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(linked);
+}
+
+TEST(Timeline, RetransmitCloneIsAChildOfTheOriginalSpan) {
+  TestbedConfig cfg;
+  cfg.rll.rto = millis(20);
+  cfg.rll.min_rto = millis(10);
+  Testbed tb(cfg);
+  tb.add_node("a");
+  tb.add_node("b");
+
+  // Partition b's receive side for the first transmission only; the RLL
+  // retransmit after the cut clears must be a child span of the original.
+  phy::LinkFaultState cut;
+  cut.rx.cut = true;
+  tb.medium().set_link_fault(tb.node("b").nic().port(), cut);
+  tb.simulator().after(millis(5), [&] {
+    tb.medium().clear_link_fault(tb.node("b").nic().port());
+  });
+
+  udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+  int got = 0;
+  ub.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+  ua.send(tb.node("b").ip(), 9, 30000, Bytes(16, 0xcd));
+  tb.simulator().run_until({seconds(2).ns});
+  ASSERT_EQ(got, 1) << "retransmit should deliver after the cut clears";
+
+  const std::vector<obs::SpanEvent> tl = tb.collect_timeline();
+  // The cut itself is visible, attributed to the partitioned direction.
+  bool cut_drop = false;
+  for (const obs::SpanEvent& e : tl) {
+    if (e.kind == obs::SpanEventKind::kLinkDrop &&
+        e.detail == static_cast<u8>(obs::DropCause::kCut)) {
+      cut_drop = true;
+    }
+  }
+  EXPECT_TRUE(cut_drop);
+  // And the retransmit is a child span: its parent's span did the first tx.
+  bool child_linked = false;
+  for (const obs::SpanEvent& rtx : tl) {
+    if (rtx.kind != obs::SpanEventKind::kRllRetx) continue;
+    EXPECT_NE(rtx.parent, 0u) << "retransmit must link its origin";
+    for (const obs::SpanEvent& tx : tl) {
+      if (tx.kind == obs::SpanEventKind::kNicTx && tx.span == rtx.parent) {
+        child_linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(child_linked);
+}
+
+TEST(Timeline, TracingOffYieldsNoEvents) {
+  auto run_one = [](TestbedConfig cfg) {
+    Testbed tb(cfg);
+    tb.add_node("a");
+    tb.add_node("b");
+    udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+    int got = 0;
+    ub.bind(9, [&](net::Ipv4Address, u16, BytesView) { ++got; });
+    ua.send(tb.node("b").ip(), 9, 30000, Bytes(8, 0));
+    tb.simulator().run();
+    EXPECT_EQ(got, 1);  // traffic still flows, only recording is off
+    EXPECT_EQ(tb.timeline_dropped(), 0u);
+    return tb.collect_timeline();
+  };
+
+  TestbedConfig no_ring;
+  no_ring.flight_capacity = 0;
+  EXPECT_TRUE(run_one(no_ring).empty());
+
+  TestbedConfig no_sampling;
+  no_sampling.trace_sample_rate = 0.0;
+  EXPECT_TRUE(run_one(no_sampling).empty());
+
+  TestbedConfig dark;  // telemetry=false forces the recorders off too
+  dark.telemetry = false;
+  EXPECT_TRUE(run_one(dark).empty());
+}
+
+TEST(Timeline, BoundedRingEvictsOldestAndAccountsForIt) {
+  TestbedConfig cfg;
+  cfg.flight_capacity = 8;  // absurdly small: force eviction
+  Testbed tb(cfg);
+  tb.add_node("a");
+  tb.add_node("b");
+  udp::UdpLayer ua(tb.node("a")), ub(tb.node("b"));
+  ub.bind(9, [](net::Ipv4Address, u16, BytesView) {});
+  for (int i = 0; i < 32; ++i) {
+    ua.send(tb.node("b").ip(), 9, 30000, Bytes(8, 0));
+  }
+  tb.simulator().run();
+  const std::vector<obs::SpanEvent> tl = tb.collect_timeline();
+  EXPECT_LE(tl.size(), 16u);  // two nodes x capacity 8
+  EXPECT_GT(tb.timeline_dropped(), 0u);
+  EXPECT_TRUE(has_kind(tl, obs::SpanEventKind::kNicRx));
+}
+
+}  // namespace
+}  // namespace vwire

@@ -244,6 +244,53 @@ TEST(Campaign, DirectedDupTokenSplitBrainOneLiner) {
   EXPECT_EQ(r.violations[0].invariant, "rether-single-token");
 }
 
+TEST(Campaign, FailingTrialCapturesAFlightTimelineIntoTheArtifact) {
+  // The chaos_repro artifact must carry the causal timeline of the failing
+  // run (DESIGN.md §12): events exist, round-trip through JSON, and the
+  // span ids the violation involves are in there.
+  CampaignConfig cfg;
+  cfg.fixture = "rether";
+  Campaign campaign(cfg);
+  FaultSchedule bad;
+  FaultEvent dup;
+  dup.kind = FaultKind::kStateFault;
+  dup.state = StateFaultKind::kDupTokenSeq;
+  dup.node = "r3";
+  dup.at = millis(100);
+  bad.events = {dup};
+  TrialResult r = campaign.run_schedule(bad);
+  ASSERT_FALSE(r.ok());
+  ASSERT_FALSE(r.timeline.empty()) << "violating trials must snapshot spans";
+
+  ReproArtifact art;
+  art.fixture = cfg.fixture;
+  art.schedule = bad;
+  art.original_events = 1;
+  art.violations = r.violations;
+  art.timeline = r.timeline;
+  art.timeline_dropped = r.timeline_dropped;
+  const ReproArtifact back = ReproArtifact::from_json(art.to_json());
+  ASSERT_EQ(back.timeline.size(), art.timeline.size());
+  EXPECT_EQ(back.timeline_dropped, art.timeline_dropped);
+  EXPECT_EQ(back.timeline.front().node, art.timeline.front().node);
+  EXPECT_EQ(back.timeline.back().span, art.timeline.back().span);
+  EXPECT_EQ(back.timeline.back().kind, art.timeline.back().kind);
+}
+
+TEST(Campaign, PreTimelineArtifactsStillLoad) {
+  // v7-and-earlier artifacts have no "timeline" member; loading one must
+  // not throw and must leave the timeline empty.
+  FaultSchedule sched;
+  sched.campaign_seed = 1;
+  const std::string legacy =
+      R"({"v":1,"type":"chaos_repro","fixture":"fig7","original_events":2,)"
+      R"("violations":[],"schedule":)" + sched.to_json() + "}";
+  const ReproArtifact art = ReproArtifact::from_json(legacy);
+  EXPECT_EQ(art.fixture, "fig7");
+  EXPECT_TRUE(art.timeline.empty());
+  EXPECT_EQ(art.timeline_dropped, 0u);
+}
+
 TEST(Campaign, UnsupportedStateFaultRejected) {
   Campaign campaign(small_fig7(42));
   FaultSchedule bad;

@@ -1,0 +1,62 @@
+// Lossless 64-bit integers in JsonValue (DESIGN.md §12).
+//
+// Numbers used to live only as doubles, so any integer above 2^53 (campaign
+// seeds, packet uids, span ids) silently rounded on a parse/serialize round
+// trip.  kNumber now keeps the raw source token as a side channel and
+// as_i64()/as_u64() convert from it exactly.
+#include "vwire/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vwire/chaos/schedule.hpp"
+
+namespace vwire::obs {
+namespace {
+
+TEST(JsonInt, IntegersAboveTwoPow53SurviveExactly) {
+  // 2^53 + 3 is not representable as a double (rounds to 2^53 + 4).
+  const JsonValue v = JsonValue::parse(R"({"seed":9007199254740995})");
+  EXPECT_EQ(v.at("seed").as_u64(), 9007199254740995ull);
+  EXPECT_EQ(v.at("seed").as_i64(), 9007199254740995ll);
+  EXPECT_EQ(v.uint("seed"), 9007199254740995ull);
+  EXPECT_EQ(v.integer("seed"), 9007199254740995ll);
+  // The double view is still there for callers that want it, rounded.
+  EXPECT_EQ(v.at("seed").as_number(), 9007199254740996.0);
+}
+
+TEST(JsonInt, FullU64RangeAndNegativesRoundTrip) {
+  const JsonValue v = JsonValue::parse(
+      R"({"max":18446744073709551615,"min":-9223372036854775808})");
+  EXPECT_EQ(v.uint("max"), 18446744073709551615ull);
+  EXPECT_EQ(v.integer("min"), -9223372036854775807ll - 1);
+}
+
+TEST(JsonInt, FractionalAndExponentTokensFallBackToDouble) {
+  const JsonValue v = JsonValue::parse(R"({"a":1.5,"b":2e3,"c":-4})");
+  EXPECT_EQ(v.integer("a"), 1);  // truncated via the double path
+  EXPECT_EQ(v.integer("b"), 2000);
+  EXPECT_EQ(v.integer("c"), -4);
+  EXPECT_EQ(v.uint("c"), 0u);  // negative → u64 fallback, not wraparound
+}
+
+TEST(JsonInt, MissingKeysUseTheFallback) {
+  const JsonValue v = JsonValue::parse("{}");
+  EXPECT_EQ(v.integer("nope", -3), -3);
+  EXPECT_EQ(v.uint("nope", 7), 7u);
+}
+
+TEST(JsonInt, CampaignSeedAboveTwoPow53RoundTripsThroughSchedule) {
+  // The original symptom: a FaultSchedule replayed from a repro artifact
+  // drifted because campaign_seed went through a double.
+  chaos::FaultSchedule sched;
+  sched.campaign_seed = (1ull << 53) + 3;
+  sched.trial_index = 17;
+  const chaos::FaultSchedule back =
+      chaos::FaultSchedule::from_json(sched.to_json());
+  EXPECT_EQ(back.campaign_seed, (1ull << 53) + 3);
+  EXPECT_EQ(back.trial_index, 17u);
+  EXPECT_EQ(back, sched);
+}
+
+}  // namespace
+}  // namespace vwire::obs

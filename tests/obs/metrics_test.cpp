@@ -175,8 +175,53 @@ TEST(Format, KvAndTableShareTheFieldEnumeration) {
   EXPECT_EQ(format_kv(stat_rows(s)), "alpha=5 beta=9");
   std::string table = format_table("fake", stat_rows(s));
   EXPECT_NE(table.find("fake\n"), std::string::npos);
-  EXPECT_NE(table.find("  alpha  5\n"), std::string::npos);
-  EXPECT_NE(table.find("  beta   9\n"), std::string::npos);
+  EXPECT_NE(table.find("  alpha .. 5\n"), std::string::npos);
+  EXPECT_NE(table.find("  beta ... 9\n"), std::string::npos);
+}
+
+// Enumeration order is deliberately reversed vs name order: stat_rows()
+// must sort, not inherit declaration order.
+struct ReversedStats {
+  u64 zulu{1};
+  u64 alpha{2};
+};
+
+template <class Fn>
+void for_each_field(const ReversedStats& s, Fn&& fn) {
+  fn("zulu", s.zulu);
+  fn("alpha", s.alpha);
+}
+
+TEST(Format, StatRowsAreNameSorted) {
+  const std::vector<Row> rows = stat_rows(ReversedStats{});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "alpha");
+  EXPECT_EQ(rows[1].first, "zulu");
+  EXPECT_EQ(format_kv(rows), "alpha=2 zulu=1");
+}
+
+TEST(Format, OverWideValueKeepsColumnsAligned) {
+  // A value wider than the rest must right-align with them, not overflow
+  // its row: every value ends at the same column.
+  const std::vector<Row> rows = {
+      {"a", "7"},
+      {"longname", "123456789012345"},
+  };
+  const std::string table = format_table("t", rows);
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = table.find('\n'); nl != std::string::npos;
+       nl = table.find('\n', start)) {
+    lines.push_back(table.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].size(), lines[2].size());
+  EXPECT_EQ(lines[1].substr(lines[1].size() - 2), " 7");
+  EXPECT_EQ(lines[2].substr(lines[2].size() - 15), "123456789012345");
+  // Minimum two leader dots, even on the row that is widest in both
+  // columns (everything else gets more).
+  EXPECT_NE(lines[2].find(" .. "), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "vwire/core/control/controller.hpp"
+
 namespace vwire::obs {
 namespace {
 
@@ -62,6 +64,44 @@ TEST(ProvenanceRing, ClearKeepsCapacityResetChangesIt) {
   EXPECT_EQ(ring.capacity(), 5u);
   ring.reset(0);
   EXPECT_FALSE(ring.enabled());
+}
+
+TEST(ProvenanceRing, EvictionAccountingHoldsAcrossManyLaps) {
+  ProvenanceRing ring(4);
+  for (i64 i = 1; i <= 14; ++i) ring.append(rec(i, 1));  // 3.5 laps
+  EXPECT_EQ(ring.total(), 14u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 10u);
+  EXPECT_EQ(ring.total(), ring.size() + ring.dropped());
+  auto out = ring.collect();
+  ASSERT_EQ(out.size(), 4u);
+  // Survivors are exactly the newest capacity-many, oldest → newest, even
+  // when the head has wrapped mid-lap.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].at.ns, static_cast<i64>(11 + i));
+  }
+}
+
+TEST(ProvenanceRing, ExplainSeesTheNewestFiringsOfAHotRule) {
+  // A rule that fires more times than the ring holds: explain(rule) must
+  // surface the *newest* firings (the oldest were evicted), still in
+  // oldest → newest order, with other rules filtered out.
+  ProvenanceRing ring(3);
+  ring.append(rec(1, 7));
+  ring.append(rec(2, 9));  // competing rule, evicted by the rule-7 storm
+  for (i64 t = 3; t <= 7; ++t) ring.append(rec(t, 7));
+
+  control::ScenarioResult result;
+  result.firings = ring.collect();
+  result.firings_dropped = ring.dropped();
+  EXPECT_EQ(result.firings_dropped, 4u);
+
+  const auto sevens = result.explain(7);
+  ASSERT_EQ(sevens.size(), 3u);
+  EXPECT_EQ(sevens.front().at.ns, 5);
+  EXPECT_EQ(sevens.back().at.ns, 7);  // newest firing is last
+  EXPECT_TRUE(result.explain(9).empty());  // evicted entirely
+  EXPECT_TRUE(result.explain(42).empty());  // never fired
 }
 
 TEST(FiringRecord, SnapshotArraysAreBounded) {

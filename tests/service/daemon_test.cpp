@@ -210,6 +210,40 @@ TEST(Daemon, SubmitRunsToCompletionAndServesArtifacts) {
   EXPECT_EQ(stats.str("type"), "stats");
 }
 
+TEST(Daemon, MetricsVerbServesPrometheusExposition) {
+  const std::string path = unique_socket_path();
+  DaemonFixture fx(basic_config(path));
+  RawClient c(path);
+
+  const obs::JsonValue sub = c.roundtrip(
+      R"({"v":1,"type":"submit","tenant":"ci","fixture":"fig7","seed":4,)"
+      R"("trials":1,"minimize":false})");
+  ASSERT_TRUE(sub.boolean("ok"));
+
+  const obs::JsonValue v = c.roundtrip(R"({"v":1,"type":"metrics"})");
+  ASSERT_TRUE(v.boolean("ok"));
+  EXPECT_EQ(v.str("type"), "metrics");
+  const std::string text = v.str("exposition");
+  ASSERT_FALSE(text.empty());
+  // Exposition-format essentials: TYPE headers, the synthesized queue
+  // gauges, and the admission counter the submit above bumped.
+  EXPECT_NE(text.find("# TYPE vwire_service_jobs_queued gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vwire_service_submitted_ci counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("vwire_service_submitted_ci 1"), std::string::npos);
+  // Every non-comment line must be `name value` with a legal metric name.
+  std::size_t start = 0;
+  for (std::size_t nl = text.find('\n'); nl != std::string::npos;
+       nl = text.find('\n', start)) {
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 6, "vwire_"), 0) << line;
+  }
+}
+
 TEST(Daemon, WatchStreamsProgressToTerminalState) {
   const std::string path = unique_socket_path();
   DaemonFixture fx(basic_config(path));
@@ -230,9 +264,14 @@ TEST(Daemon, WatchStreamsProgressToTerminalState) {
     EXPECT_EQ(ack.num("completed"), 2.0);
     return;
   }
-  // Progress frames keep arriving until the job reaches a terminal state.
+  // Progress frames keep arriving until the job reaches a terminal state;
+  // periodic metrics_delta frames may interleave on a watching connection.
   for (;;) {
     const obs::JsonValue p = obs::JsonValue::parse(c.read_line());
+    if (p.str("type") == "metrics_delta") {
+      EXPECT_TRUE(p.has("changed"));
+      continue;
+    }
     ASSERT_EQ(p.str("type"), "progress");
     ASSERT_EQ(p.str("job"), job);
     if (p.str("state") == "done") {
