@@ -1,13 +1,21 @@
 // vwire-lint: static analysis for FSL scripts and serialized table sets.
 //
 // Usage:
-//   vwire-lint [--json] [--werror] [--scenario NAME] script.fsl
+//   vwire-lint [--json] [--werror] [--scenario NAME] [--verify] script.fsl
 //   vwire-lint -                 # read the script from stdin
 //   vwire-lint --tables file.bin # structural checks on a serialized
 //                                # TableSet (duplicate names, shared MACs)
 //
-// Exit codes: 0 = clean (or warnings without --werror), 1 = lint errors
-// (or warnings with --werror), 2 = usage / I-O failure.
+// --verify additionally model-checks the compiled scenario (fsl::mc,
+// DESIGN.md §13) and merges its fsl-verify-* findings into the report;
+// with --json a second line carries the full "fsl_verify" document
+// (verdicts, fire bounds, witness traces).  --verify-replay goes one step
+// further: every witness trace is replayed twice through a real Testbed
+// and the predicted firing must occur byte-identically, else exit 1.
+//
+// Exit codes: 0 = clean (or warnings without --werror), 1 = lint/verify
+// errors (or warnings with --werror, or a witness replay mismatch),
+// 2 = usage / I-O failure.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -15,8 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "vwire/core/analysis/verify_replay.hpp"
 #include "vwire/core/fsl/compiler.hpp"
 #include "vwire/core/fsl/lint.hpp"
+#include "vwire/core/fsl/verify.hpp"
 #include "vwire/core/tables/tables.hpp"
 
 namespace {
@@ -24,8 +34,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: vwire-lint [--json] [--werror] [--scenario NAME] "
-               "<script.fsl | ->\n"
-               "       vwire-lint [--json] [--werror] --tables <tables.bin>\n");
+               "[--verify | --verify-replay] <script.fsl | ->\n"
+               "       vwire-lint [--json] [--werror] [--verify] "
+               "--tables <tables.bin>\n");
   return 2;
 }
 
@@ -50,6 +61,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   bool tables_mode = false;
+  bool verify = false;
+  bool verify_replay = false;
   std::string scenario;
   std::string input;
 
@@ -61,6 +74,11 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--tables") {
       tables_mode = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--verify-replay") {
+      verify = true;
+      verify_replay = true;
     } else if (arg == "--scenario") {
       if (++i >= argc) return usage();
       scenario = argv[i];
@@ -76,6 +94,7 @@ int main(int argc, char** argv) {
     }
   }
   if (input.empty()) return usage();
+  if (verify_replay && tables_mode) return usage();  // replay needs the script
 
   std::string blob;
   if (!read_file(input, blob, tables_mode)) {
@@ -84,13 +103,16 @@ int main(int argc, char** argv) {
   }
 
   std::vector<vwire::fsl::Diagnostic> diags;
+  vwire::core::TableSet tables;
+  bool have_tables = false;
   std::string source;  // empty in tables mode: no carets to render
   if (tables_mode) {
     try {
-      vwire::core::TableSet t = vwire::core::deserialize_tables(
+      tables = vwire::core::deserialize_tables(
           vwire::BytesView{reinterpret_cast<const vwire::u8*>(blob.data()),
                            blob.size()});
-      diags = vwire::fsl::lint_tables(t);
+      diags = vwire::fsl::lint_tables(tables);
+      have_tables = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "vwire-lint: malformed table set: %s\n", e.what());
       return 2;
@@ -100,13 +122,60 @@ int main(int argc, char** argv) {
     vwire::fsl::CompileOptions opts;
     opts.scenario = scenario;
     opts.lint = true;
-    diags = vwire::fsl::check_script(source, opts).diagnostics;
+    vwire::fsl::CompileResult result = vwire::fsl::check_script(source, opts);
+    diags = std::move(result.diagnostics);
+    if (result.ok()) {
+      tables = std::move(result.tables);
+      have_tables = true;
+    }
+  }
+
+  // Model-check the compiled scenario and fold its findings into the
+  // report.  Skipped when compilation already failed — there are no
+  // trustworthy tables to explore.
+  std::string verify_json;
+  bool replay_failed = false;
+  if (verify && have_tables) {
+    const vwire::fsl::mc::VerifyResult vr = vwire::fsl::mc::verify_tables(tables);
+    diags.insert(diags.end(), vr.diagnostics.begin(), vr.diagnostics.end());
+    vwire::fsl::sort_diagnostics(diags);
+    if (json) verify_json = vr.to_json(tables);
+    if (verify_replay) {
+      auto replay = [&](const char* what, std::size_t id,
+                        const vwire::fsl::mc::Witness& w) {
+        const vwire::core::ReplayOutcome out =
+            vwire::core::replay_witness(source, scenario, w);
+        if (!json) {
+          if (out.error.empty()) {
+            std::fprintf(stdout,
+                         "replay %s %zu: fired=%s x%u deterministic=%s\n",
+                         what, id, out.fired ? "yes" : "no",
+                         out.observed_firings,
+                         out.deterministic ? "yes" : "no");
+          } else {
+            std::fprintf(stdout, "replay %s %zu: error: %s\n", what, id,
+                         out.error.c_str());
+          }
+        }
+        if (!out.ok()) replay_failed = true;
+      };
+      for (const vwire::fsl::mc::RuleVerdict& rv : vr.rules) {
+        if (rv.witness) replay("rule", rv.rule, *rv.witness);
+      }
+      if (vr.stop_witness) {
+        replay("stop-rule", vr.stop_witness->rule, *vr.stop_witness);
+      }
+    }
   }
 
   const std::string filename = input == "-" ? "<stdin>" : input;
   if (json) {
     std::fputs(vwire::fsl::diagnostics_to_json(diags).c_str(), stdout);
     std::fputc('\n', stdout);
+    if (!verify_json.empty()) {
+      std::fputs(verify_json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
   } else {
     std::fputs(
         vwire::fsl::render_diagnostics(source, diags, filename).c_str(),
@@ -116,6 +185,7 @@ int main(int argc, char** argv) {
                  diags.size() - errors);
   }
 
+  if (replay_failed) return 1;
   if (vwire::fsl::has_errors(diags)) return 1;
   if (werror && !diags.empty()) return 1;
   return 0;

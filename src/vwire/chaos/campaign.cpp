@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "vwire/core/fsl/compiler.hpp"
+#include "vwire/core/fsl/verify.hpp"
 #include "vwire/obs/json.hpp"
 #include "vwire/util/rng.hpp"
 
@@ -115,6 +116,37 @@ TrialResult Campaign::run_schedule(const FaultSchedule& schedule) const {
       }
       out.violations.push_back(std::move(v));
       return out;  // out.ran stays false: the scenario was never armed
+    }
+
+    // Verification pre-flight (DESIGN.md §13): a provoking packet fault the
+    // model checker PROVES unreachable can never fire, so the trial would
+    // silently test nothing — that is a generator bug, same as a lint
+    // failure.  Incomplete exploration makes no claim and lets the trial
+    // run.
+    const fsl::mc::VerifyResult vr = fsl::mc::verify_tables(checked.tables);
+    if (vr.complete) {
+      for (const fsl::mc::RuleVerdict& rv : vr.rules) {
+        if (rv.reachable()) continue;
+        const core::CondEntry& cond = checked.tables.conditions.entries[rv.rule];
+        bool provoking = false;
+        for (core::ActionId a : cond.actions) {
+          if (core::is_packet_fault(
+                  checked.tables.actions.entries[a].kind)) {
+            provoking = true;
+            break;
+          }
+        }
+        if (!provoking) continue;
+        Violation v;
+        v.invariant = "generated-script-verify";
+        v.detail = "generated FSL rule " + std::to_string(rv.rule) +
+                   " carries a provoking packet fault but is provably "
+                   "unreachable (fsl-verify-dead-rule at " +
+                   std::to_string(rv.src_line) + ":" +
+                   std::to_string(rv.src_col) + ")";
+        out.violations.push_back(std::move(v));
+        return out;  // out.ran stays false: the fault could never fire
+      }
     }
   }
 
@@ -363,12 +395,14 @@ CampaignSummary Campaign::run_from(std::vector<TrialResult> completed) {
         r.trial_index = i;
         r.violations.push_back({"trial-exception", error, {}, 1});
       }
-      // A lint failure in a generated script means every further trial
-      // would exercise the same broken generator — stop unconditionally.
+      // A lint or verification failure in a generated script means every
+      // further trial would exercise the same broken generator — stop
+      // unconditionally.
       const bool generator_bug =
           std::any_of(r.violations.begin(), r.violations.end(),
                       [](const Violation& v) {
-                        return v.invariant == "generated-script-lint";
+                        return v.invariant == "generated-script-lint" ||
+                               v.invariant == "generated-script-verify";
                       });
       if (generator_bug || (!r.ok() && cfg_.stop_on_violation)) {
         stop.store(true, std::memory_order_relaxed);

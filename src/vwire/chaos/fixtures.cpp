@@ -234,7 +234,7 @@ constexpr const char* kUdpFilters =
     "  udp_req: (12 2 0x0800), (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
     "END\n";
 
-class UdpHarness final : public TrialHarness {
+class UdpHarness : public TrialHarness {
  public:
   UdpHarness() {
     tb_.add_node("ctl");
@@ -296,6 +296,25 @@ class UdpHarness final : public TrialHarness {
   std::unique_ptr<udp::UdpLayer> cu_, su_;
   std::unique_ptr<udp::EchoServer> server_;
   std::unique_ptr<udp::EchoClient> client_;
+};
+
+// --- deadsite: a broken-generator stand-in for pre-flight tests ----------
+//
+// Identical to UdpHarness except the scenario never enables the CHAOS
+// counter, so every windowed provoking rule ((CHAOS >= a) && ...) with
+// a >= 1 is provably unreachable — exactly the generator bug the
+// verification pre-flight (campaign.cpp) exists to catch.  Deliberately
+// absent from harness_names(): it is not a fixture anyone should sweep,
+// only a test fixture for the pre-flight itself.
+class DeadsiteHarness final : public UdpHarness {
+ public:
+  ScenarioSpec make_spec(const std::string& fault_rules) override {
+    ScenarioSpec spec = UdpHarness::make_spec(fault_rules);
+    const std::string enable = "  (TRUE) >> ENABLE_CNTR(CHAOS);\n";
+    const std::size_t pos = spec.script.find(enable);
+    if (pos != std::string::npos) spec.script.erase(pos, enable.size());
+    return spec;
+  }
 };
 
 // --- rether: token ring under crashes and token loss ---------------------
@@ -505,8 +524,11 @@ std::unique_ptr<TrialHarness> make_harness(std::string_view name,
   if (name == "udp") return std::make_unique<UdpHarness>();
   if (name == "rether") return std::make_unique<RetherHarness>();
   if (name == "hang") return std::make_unique<HangHarness>();
+  // Test-only: a deliberately broken generator site for the verification
+  // pre-flight.  Not listed in harness_names() so sweeps skip it.
+  if (name == "deadsite") return std::make_unique<DeadsiteHarness>();
   throw std::invalid_argument("chaos: unknown fixture '" + std::string(name) +
-                              "' (have: fig7, udp, rether, hang)");
+                              "' (have: fig7, udp, rether, hang, deadsite)");
 }
 
 std::vector<std::string> harness_names() {

@@ -133,6 +133,51 @@ FaultSchedule generate_schedule(u64 campaign_seed, u64 trial_index,
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
+
+  // All FSL events for one trial share a site flow, and the engine applies
+  // at most one fault per packet in script order (= this chronological
+  // order) — a window fully covered by earlier windows would be provably
+  // dead, and the campaign pre-flight would abort the trial as a generator
+  // bug (fsl-verify-dead-rule).  Relocate such a window past every earlier
+  // one, preserving its width.  Partial overlaps still fire on their
+  // uncovered indices and are left alone, so most schedules are identical
+  // to what older seeds produced.  Runs after the sort because script order
+  // is what the engine's one-fault-per-packet rule follows; dropping events
+  // (ddmin subsets) can only unshadow, never shadow, so minimized
+  // schedules stay clean without re-running this pass.
+  std::vector<std::pair<u32, u32>> windows;
+  for (FaultEvent& e : s.events) {
+    if (!is_fsl_kind(e.kind)) continue;
+    // MODIFY fires on the single packet pkt_lo; the window kinds claim the
+    // whole [pkt_lo, pkt_hi] range while active.
+    const auto eff = [&e](u32 lo) {
+      return std::pair<u32, u32>{
+          lo, e.kind == FaultKind::kFslModify
+                  ? lo
+                  : lo + (e.pkt_hi - e.pkt_lo)};
+    };
+    auto w = eff(e.pkt_lo);
+    bool shadowed = true;
+    for (u32 v = w.first; v <= w.second && shadowed; ++v) {
+      bool hit = false;
+      for (const auto& p : windows) {
+        if (v >= p.first && v <= p.second) {
+          hit = true;
+          break;
+        }
+      }
+      shadowed = hit;
+    }
+    if (shadowed) {
+      u32 past = 0;
+      for (const auto& p : windows) past = std::max(past, p.second);
+      const u32 width = e.pkt_hi - e.pkt_lo;
+      e.pkt_lo = past + 1;
+      e.pkt_hi = e.pkt_lo + width;
+      w = eff(e.pkt_lo);
+    }
+    windows.push_back(w);
+  }
   return s;
 }
 

@@ -1,0 +1,233 @@
+#include "vwire/core/analysis/verify_replay.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "vwire/core/api/scenario_runner.hpp"
+#include "vwire/core/fsl/compiler.hpp"
+#include "vwire/net/packet.hpp"
+
+namespace vwire::core {
+namespace {
+
+u64 extract_be(const Bytes& f, u16 offset, u16 length) {
+  u64 v = 0;
+  for (u16 i = 0; i < length; ++i) {
+    v = (v << 8) | f[static_cast<std::size_t>(offset) + i];
+  }
+  return v;
+}
+
+bool tuple_matches(const Bytes& f, const FilterTuple& t) {
+  if (t.is_var()) return true;  // a run-time variable can bind anything
+  if (static_cast<std::size_t>(t.offset) + t.length > f.size()) return false;
+  return (extract_be(f, t.offset, t.length) & t.mask) == (t.pattern & t.mask);
+}
+
+bool filter_matches(const Bytes& f, const FilterEntry& e) {
+  for (const FilterTuple& t : e.tuples) {
+    if (!tuple_matches(f, t)) return false;
+  }
+  return true;
+}
+
+void apply_tuple(Bytes& f, const FilterTuple& t) {
+  for (u16 b = 0; b < t.length; ++b) {
+    const int shift = 8 * (t.length - 1 - b);
+    const u8 mask = static_cast<u8>((t.mask >> shift) & 0xff);
+    const u8 pat = static_cast<u8>((t.pattern >> shift) & 0xff);
+    const std::size_t off = static_cast<std::size_t>(t.offset) + b;
+    f[off] = static_cast<u8>((f[off] & ~mask) | (pat & mask));
+  }
+}
+
+struct RunOutput {
+  bool fired{false};
+  u32 count{0};
+  std::string digest;
+  std::string error;
+};
+
+/// One replay run in a fresh Testbed.  Packet uids are reset first so the
+/// provenance digest (which includes them) is comparable across runs.
+RunOutput run_once(const std::string& script, const std::string& scenario,
+                   const fsl::mc::Witness& w) {
+  RunOutput out;
+  fsl::CompileOptions copts;
+  copts.scenario = scenario;
+  TableSet tables;
+  try {
+    tables = fsl::compile_script(script, copts);
+  } catch (const std::exception& e) {
+    out.error = std::string("compile failed: ") + e.what();
+    return out;
+  }
+  if (w.rule >= tables.conditions.entries.size() ||
+      w.action >= tables.actions.entries.size()) {
+    out.error = "witness references a rule or action outside the tables";
+    return out;
+  }
+
+  net::Packet::reset_uid_counter();
+  Testbed tb;
+  for (const NodeEntry& n : tables.nodes.entries) {
+    tb.add_node(n.name, n.mac, n.ip);
+  }
+
+  ScenarioSpec spec;
+  spec.script = script;
+  spec.scenario = scenario;
+
+  // Space injections out far enough for the control plane to settle the
+  // counter mirrors between events — the checker's product automaton
+  // assumes each packet's cascade completes before the next event.
+  std::size_t slot = 0;
+  for (const fsl::mc::WitnessEvent& ev : w.events) {
+    if (ev.filter >= tables.filters.entries.size() ||
+        ev.src >= tables.nodes.entries.size() ||
+        ev.dst >= tables.nodes.entries.size()) {
+      out.error = "witness event references an unknown filter or node";
+      return out;
+    }
+    const Bytes frame = craft_witness_frame(tables, ev.filter, ev.src, ev.dst);
+    const std::string src_name = tables.nodes.entries[ev.src].name;
+    for (u32 c = 0; c < ev.count; ++c) {
+      spec.actions.push_back(TimedAction{
+          millis(50 + 10 * static_cast<i64>(slot)), [&tb, src_name, frame] {
+            tb.handles(src_name).engine->send_down(net::Packet(frame));
+          }});
+      ++slot;
+    }
+  }
+  spec.options.deadline = millis(50 + 10 * static_cast<i64>(slot + 1) + 500);
+
+  control::ScenarioResult res;
+  try {
+    ScenarioRunner runner(tb);
+    res = runner.run(spec);
+  } catch (const std::exception& e) {
+    out.error = std::string("replay run failed: ") + e.what();
+    return out;
+  }
+
+  for (const obs::FiringRecord& r : res.firings) {
+    if (r.rule == w.rule && r.action == w.action) {
+      out.fired = true;
+      ++out.count;
+    }
+    out.digest += std::to_string(r.at.ns);
+    out.digest += ':';
+    out.digest += std::to_string(r.node);
+    out.digest += ':';
+    out.digest += std::to_string(r.rule);
+    out.digest += ':';
+    out.digest += std::to_string(r.action);
+    out.digest += ':';
+    out.digest += std::to_string(r.filter);
+    out.digest += ':';
+    out.digest += std::to_string(static_cast<int>(r.kind));
+    out.digest += ':';
+    out.digest += std::to_string(r.cascade_depth);
+    out.digest += ':';
+    out.digest += std::to_string(r.packet_uid);
+    out.digest += ':';
+    out.digest += std::to_string(r.value);
+    out.digest += ':';
+    out.digest += std::to_string(r.value2);
+    for (u8 k = 0; k < r.n_counters; ++k) {
+      out.digest += ",c";
+      out.digest += std::to_string(r.counters[k].id);
+      out.digest += '=';
+      out.digest += std::to_string(r.counters[k].value);
+    }
+    out.digest += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes craft_witness_frame(const TableSet& tables, FilterId filter,
+                          NodeId src, NodeId dst) {
+  std::size_t len = 64;
+  for (const FilterEntry& e : tables.filters.entries) {
+    for (const FilterTuple& t : e.tuples) {
+      len = std::max(len, static_cast<std::size_t>(t.offset) + t.length);
+    }
+  }
+  Bytes f(len, 0);
+  if (dst < tables.nodes.entries.size()) {
+    const auto& b = tables.nodes.entries[dst].mac.bytes();
+    std::copy(b.begin(), b.end(), f.begin());
+  }
+  if (src < tables.nodes.entries.size()) {
+    const auto& b = tables.nodes.entries[src].mac.bytes();
+    std::copy(b.begin(), b.end(), f.begin() + 6);
+  }
+  if (filter >= tables.filters.entries.size()) return f;
+
+  const FilterEntry& target = tables.filters.entries[filter];
+  for (const FilterTuple& t : target.tuples) {
+    if (!t.is_var()) apply_tuple(f, t);
+  }
+
+  // Bytes the dodge pass below must not disturb: the MACs (the RLL routes
+  // on them) and every byte the target filter itself constrains.
+  std::vector<u8> pinned(len, 0);
+  for (std::size_t i = 0; i < 12 && i < len; ++i) pinned[i] = 0xff;
+  for (const FilterTuple& t : target.tuples) {
+    if (t.is_var()) continue;
+    for (u16 b = 0; b < t.length; ++b) {
+      const int shift = 8 * (t.length - 1 - b);
+      const std::size_t off = static_cast<std::size_t>(t.offset) + b;
+      if (off < len) pinned[off] |= static_cast<u8>((t.mask >> shift) & 0xff);
+    }
+  }
+
+  // Classification is first-match-wins: flip one unpinned constrained byte
+  // of each higher-priority filter that would otherwise steal the frame.
+  // Best-effort — when every such byte is pinned the filters genuinely
+  // overlap and the earlier one wins at run time too.
+  for (FilterId e = 0; e < filter; ++e) {
+    const FilterEntry& earlier = tables.filters.entries[e];
+    if (!filter_matches(f, earlier)) continue;
+    bool flipped = false;
+    for (const FilterTuple& t : earlier.tuples) {
+      if (t.is_var()) continue;
+      for (u16 b = 0; b < t.length && !flipped; ++b) {
+        const int shift = 8 * (t.length - 1 - b);
+        const u8 mask = static_cast<u8>((t.mask >> shift) & 0xff);
+        const std::size_t off = static_cast<std::size_t>(t.offset) + b;
+        if (mask == 0 || off >= len || (pinned[off] & mask) != 0) continue;
+        f[off] = static_cast<u8>(f[off] ^ mask);
+        flipped = true;
+      }
+      if (flipped) break;
+    }
+  }
+  return f;
+}
+
+ReplayOutcome replay_witness(const std::string& script,
+                             const std::string& scenario,
+                             const fsl::mc::Witness& witness) {
+  ReplayOutcome out;
+  const RunOutput first = run_once(script, scenario, witness);
+  if (!first.error.empty()) {
+    out.error = first.error;
+    return out;
+  }
+  const RunOutput second = run_once(script, scenario, witness);
+  if (!second.error.empty()) {
+    out.error = second.error;
+    return out;
+  }
+  out.fired = first.fired && second.fired;
+  out.observed_firings = first.count;
+  out.digest = first.digest;
+  out.deterministic = first.digest == second.digest;
+  return out;
+}
+
+}  // namespace vwire::core

@@ -1,0 +1,53 @@
+// Witness replay: dynamic confirmation of fsl::mc verdicts (DESIGN.md §13).
+//
+// The model checker's "reachable" verdicts come with a witness trace — a
+// concrete packet sequence predicted to make one (rule, action) pair
+// execute.  This harness closes the loop: it builds a fresh Testbed from
+// the script's NODE_TABLE, crafts real frames that classify as each
+// witness event's filter, injects them through the source node's engine
+// (so they traverse the full engine → RLL → medium → RLL → engine chain),
+// and checks the predicted firing shows up in the run's provenance.
+//
+// Replay is run twice in two independent testbeds; the firing-provenance
+// digests must be byte-identical, which pins down both the verdict and
+// the determinism of the engine path the witness exercises.
+#pragma once
+
+#include "vwire/core/fsl/verify.hpp"
+#include "vwire/util/bytes.hpp"
+
+namespace vwire::core {
+
+struct ReplayOutcome {
+  /// The predicted (rule, action) pair appeared in the run's firings.
+  bool fired{false};
+  /// Both replay runs produced byte-identical firing digests.
+  bool deterministic{false};
+  /// Canonical digest of run 1's firing provenance (one line per record).
+  std::string digest;
+  /// Times the predicted pair fired in run 1.
+  u32 observed_firings{0};
+  /// Non-empty: the harness itself failed (compile error, bad witness ids)
+  /// before any verdict could be taken.
+  std::string error;
+
+  bool ok() const { return error.empty() && fired && deterministic; }
+};
+
+/// Crafts a frame that classifies as `filter` from `src` to `dst` under
+/// `tables`: ≥64 zeroed bytes, destination/source MACs from the node table
+/// at offsets 0/6, the filter's concrete tuple constraints applied on top
+/// (big-endian, masked — filter constraints win over the MACs), then a
+/// best-effort byte flip to dodge any higher-priority filter that would
+/// otherwise steal the classification.  Exposed for tests.
+Bytes craft_witness_frame(const TableSet& tables, FilterId filter,
+                          NodeId src, NodeId dst);
+
+/// Replays `witness` against `script`/`scenario` twice and reports whether
+/// the predicted firing occurred and reproduced byte-identically.  Never
+/// throws; harness-level failures land in ReplayOutcome::error.
+ReplayOutcome replay_witness(const std::string& script,
+                             const std::string& scenario,
+                             const fsl::mc::Witness& witness);
+
+}  // namespace vwire::core

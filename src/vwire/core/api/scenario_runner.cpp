@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vwire/core/fsl/verify.hpp"
 #include "vwire/util/logging.hpp"
 
 namespace vwire {
@@ -194,6 +195,22 @@ control::ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
     }
   }
   core::TableSet tables = std::move(checked.tables);
+  if (spec.verify) {
+    // Static gate beyond lint: prove per-scenario properties over the
+    // compiled tables.  Errors (a provably dead rule) refuse to arm with
+    // the same throw semantics as lint errors.
+    const fsl::mc::VerifyResult vr = fsl::mc::verify_tables(tables);
+    for (const fsl::Diagnostic& d : vr.diagnostics) {
+      if (d.severity != fsl::Severity::kError) {
+        std::string line = "fsl verify: " + fsl::format_diagnostic(d);
+        VWIRE_INFO() << line;
+        testbed_.trace().annotate(testbed_.simulator().now(), "", line);
+      }
+    }
+    for (const fsl::Diagnostic& d : vr.diagnostics) {
+      if (d.severity == fsl::Severity::kError) throw fsl::ParseError(d);
+    }
+  }
   validate_nodes(tables);
   for (const NodeCrash& c : spec.crashes) {
     const std::vector<std::string>& names = testbed_.node_names();

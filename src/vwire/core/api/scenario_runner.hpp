@@ -83,6 +83,11 @@ struct ScenarioSpec {
   /// so it does not defeat the controller's quiescence detection.
   std::function<void()> probe;
   Duration probe_period{};
+  /// Opt-in verification gate: model-check the compiled scenario
+  /// (fsl::mc::verify_tables) after lint and refuse to arm on any
+  /// fsl-verify-* error (e.g. a provably dead rule).  Warnings and notes
+  /// are logged and annotated onto the trace like lint findings.
+  bool verify{false};
   /// Deterministic seed for the run's media RNGs; 0 keeps the testbed's
   /// configured seed.  The seed actually used is echoed in
   /// ScenarioResult::effective_seed.

@@ -38,10 +38,8 @@ void EngineLayer::load(TableSet tables) {
   }
 
   action_cond_.assign(tables_.actions.entries.size(), kInvalidId);
-  for (std::size_t c = 0; c < tables_.conditions.entries.size(); ++c) {
-    for (ActionId a : tables_.conditions.entries[c].actions) {
-      action_cond_[a] = static_cast<CondId>(c);
-    }
+  for (std::size_t a = 0; a < tables_.actions.entries.size(); ++a) {
+    action_cond_[a] = tables_.owning_cond(static_cast<ActionId>(a));
   }
   local_fault_actions_.clear();
   for (std::size_t a = 0; a < tables_.actions.entries.size(); ++a) {

@@ -318,6 +318,8 @@ class Compiler {
 
   void compile_rule(const AstRule& rule) {
     CondEntry cond;
+    cond.src_line = rule.loc.line;
+    cond.src_col = rule.loc.col;
     emit_postfix(rule.cond, cond.postfix);
 
     // The anchor node hosts actions with no natural location (STOP,
@@ -331,9 +333,16 @@ class Compiler {
       }
     }
 
+    // The condition this rule compiles into is about to be appended, so its
+    // id is the current table size; actions carry it as a back-reference.
+    const auto cond_id =
+        static_cast<core::CondId>(out_.conditions.entries.size());
     for (const AstAction& a : rule.actions) {
       core::ActionId id = compile_action(a, anchor);
       cond.actions.push_back(id);
+      out_.actions.entries[id].cond = cond_id;
+      out_.actions.entries[id].src_line = a.loc.line;
+      out_.actions.entries[id].src_col = a.loc.col;
       add_unique(cond.eval_nodes, out_.actions.entries[id].exec_node);
     }
     out_.conditions.entries.push_back(std::move(cond));

@@ -40,6 +40,7 @@ void sort_diagnostics(std::vector<Diagnostic>& diags) {
                        return a.loc.line < b.loc.line;
                      }
                      if (a.loc.col != b.loc.col) return a.loc.col < b.loc.col;
+                     if (a.rule != b.rule) return a.rule < b.rule;
                      return static_cast<u8>(a.severity) <
                             static_cast<u8>(b.severity);
                    });

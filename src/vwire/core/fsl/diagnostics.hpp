@@ -47,7 +47,10 @@ std::string format_diagnostic(const Diagnostic& d);
 bool has_errors(const std::vector<Diagnostic>& diags);
 std::size_t count_errors(const std::vector<Diagnostic>& diags);
 
-/// Orders by (line, col, severity) for stable presentation.
+/// Orders by (line, col, rule, severity) so presentation — and in
+/// particular `--json` output diffed by golden tests — is deterministic
+/// even when several stages (lint, verify) contribute diagnostics at the
+/// same location.
 void sort_diagnostics(std::vector<Diagnostic>& diags);
 
 /// Renders one diagnostic with its source line and a `^~~~` caret under

@@ -439,6 +439,25 @@ void check_termination(const AstScenario* sc, const TableSet& t,
 
 // --- interval domain -------------------------------------------------------
 
+i64 interval_sat_add(i64 a, i64 b) {
+  // Sentinels absorb: ±inf plus any finite delta stays ±inf.  Without this
+  // (and the overflow clamp below) widening a bound that sits at a sentinel
+  // would wrap, and a wrapped bound inverts the interval — the abstraction
+  // silently stops being an over-approximation.
+  if (a == kIntervalPosInf || a == kIntervalNegInf) return a;
+  if (b == kIntervalPosInf || b == kIntervalNegInf) return b;
+  i64 out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? kIntervalPosInf : kIntervalNegInf;
+  }
+  return out;
+}
+
+Interval interval_offset(Interval iv, i64 delta) {
+  return Interval{interval_sat_add(iv.lo, delta),
+                  interval_sat_add(iv.hi, delta)};
+}
+
 Truth eval_rel_interval(core::RelOp op, Interval a, Interval b) {
   switch (op) {
     case core::RelOp::kGt:

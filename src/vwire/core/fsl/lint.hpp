@@ -56,6 +56,16 @@ struct Interval {
 inline constexpr i64 kIntervalNegInf = std::numeric_limits<i64>::min();
 inline constexpr i64 kIntervalPosInf = std::numeric_limits<i64>::max();
 
+/// Saturating interval addition: clamps at the ±inf sentinels instead of
+/// wrapping.  Widening a bound by a script constant (INCR_CNTR with a value
+/// near i64 max, or repeated widening steps in the verifier) must never
+/// overflow past a sentinel — signed wrap is UB and would flip an interval's
+/// order, turning an over-approximation into an under-approximation.
+i64 interval_sat_add(i64 a, i64 b);
+
+/// Both bounds shifted by `delta` with saturation; ±inf absorb.
+Interval interval_offset(Interval iv, i64 delta);
+
 /// Three-valued truth for abstract evaluation.
 enum class Truth : u8 { kFalse, kTrue, kUnknown };
 

@@ -1,0 +1,132 @@
+// fsl::mc — explicit-state scenario verification (DESIGN.md §13).
+//
+// fslint (lint.hpp) answers per-rule questions under a flow-insensitive
+// interval abstraction: each counter gets one interval covering every value
+// it could ever hold, so "can this condition be true for SOME valuation"
+// is as far as it can see.  The model checker here answers the questions
+// users actually ask of a *scenario*: can this fault ever fire, does the
+// run always have a path to STOP, can two nodes' rules interleave into a
+// livelock?  It explores the product automaton of all nodes' compiled
+// condition/action tables:
+//
+//   state      = (counter valuations under a small-constant abstraction,
+//                 enabled bits, per-condition truth, RATE modifier phases,
+//                 failed nodes, stopped flag)
+//   transition = one packet event per flow (filter, src, dst): the SEND
+//                side counts/cascades/faults, then — unless a DROP consumed
+//                the packet — the RECV side does, atomically
+//
+// Counter values live in a small-constant domain: exact in
+// [-(K+1), K+1] where K bounds every constant a term compares against,
+// TOP (> K+1) / BOT (< -(K+1)) beyond, and ANY for clock-valued counters
+// (SET_CURTIME / ELAPSED_TIME).  Comparisons that the domain cannot decide
+// (TOP vs a constant above K, anything vs ANY) fork the exploration over
+// both outcomes, so reachability is an over-approximation: "unreachable"
+// verdicts are proofs (modulo the soundness caveats in DESIGN.md §13),
+// "reachable" verdicts come with a concrete witness trace that
+// analysis/verify_replay.hpp confirms dynamically in a real Testbed.
+//
+// Rule catalogue (extends the lint catalogue; same diagnostic machinery):
+//   fsl-verify-dead-rule          (error)   no action of the rule can ever
+//                                           execute on any event sequence
+//   fsl-verify-no-stop-path       (warning) the scenario has STOP actions
+//                                           but no reachable one
+//   fsl-verify-livelock           (warning) a reachable cycle in which
+//                                           counter-coupled rules on ≥2
+//                                           nodes keep re-firing each other
+//   fsl-verify-infeasible-conflict (note)   a conflicting-actions pair
+//                                           whose trigger is unreachable —
+//                                           the syntactic conflict cannot
+//                                           manifest
+//   fsl-verify-state-cap          (note)    exploration hit the state cap;
+//                                           unreachability verdicts were
+//                                           suppressed
+#pragma once
+
+#include <optional>
+
+#include "vwire/core/fsl/diagnostics.hpp"
+#include "vwire/core/tables/tables.hpp"
+
+namespace vwire::fsl::mc {
+
+/// Fire-count bound sentinel: the rule can fire unboundedly often.
+inline constexpr u64 kUnbounded = ~0ull;
+
+/// One step of a witness trace: inject `count` consecutive packets that
+/// classify as `filter`, from `src` to `dst`.
+struct WitnessEvent {
+  core::FilterId filter{core::kInvalidId};
+  core::NodeId src{core::kInvalidId};
+  core::NodeId dst{core::kInvalidId};
+  u32 count{1};
+};
+
+/// A concrete event sequence predicted to make `rule` execute `action`.
+/// Serializes in the chaos repro style (one event per line, names not
+/// indices) so traces stay meaningful when tables are recompiled.
+struct Witness {
+  core::CondId rule{core::kInvalidId};
+  core::ActionId action{core::kInvalidId};
+  /// True when some step of the trace depends on a PROB draw or on a
+  /// comparison the abstraction could not decide; replay may need luck.
+  bool probabilistic{false};
+  std::vector<WitnessEvent> events;
+
+  std::string to_json(const core::TableSet& tables) const;
+  /// Throws std::runtime_error on malformed input or unknown names.
+  static Witness from_json(std::string_view text,
+                           const core::TableSet& tables);
+};
+
+/// Per-rule verdict: reachability of each action plus the worst-case
+/// number of times the rule can fire over any (finite prefix of a) run.
+struct RuleVerdict {
+  core::CondId rule{core::kInvalidId};
+  u32 src_line{0};
+  u32 src_col{0};
+  /// Per-action (index into CondEntry::actions): can it ever execute?
+  std::vector<bool> action_reachable;
+  /// Witness for the first reachable action, when any.
+  std::optional<Witness> witness;
+  u64 fire_bound{0};  ///< kUnbounded when a reachable cycle fires the rule
+
+  bool reachable() const {
+    for (bool r : action_reachable) {
+      if (r) return true;
+    }
+    return false;
+  }
+};
+
+struct VerifyOptions {
+  /// Exploration cap.  Hitting it makes the result incomplete: reachable
+  /// verdicts (and witnesses) stand, unreachable verdicts are suppressed.
+  std::size_t max_states{50000};
+  /// Cap on the small-constant bound K.  Constants above it stay decidable
+  /// against concrete values but force a fork against TOP/BOT.
+  i64 max_constant{256};
+};
+
+struct VerifyResult {
+  std::vector<RuleVerdict> rules;
+  bool has_stop{false};         ///< the script declares a STOP action
+  bool stop_reachable{false};
+  std::optional<Witness> stop_witness;
+  std::size_t states_explored{0};
+  bool complete{true};          ///< false: state cap hit
+  /// fsl-verify-* findings, sorted like lint output.
+  std::vector<Diagnostic> diagnostics;
+
+  /// Machine-readable report (schema "fsl_verify" v1): verdicts, bounds
+  /// and witness traces keyed by rule source location.
+  std::string to_json(const core::TableSet& tables) const;
+};
+
+/// Model-checks one compiled scenario.  The tables must come from a clean
+/// compile (verify relies on the rule-id ↔ condition-entry correspondence
+/// and the v3 provenance fields for source locations).
+VerifyResult verify_tables(const core::TableSet& tables,
+                           const VerifyOptions& opts = {});
+
+}  // namespace vwire::fsl::mc

@@ -15,7 +15,13 @@ namespace {
 
 constexpr u32 kMagic = 0x56575442;  // "VWTB"
 // v2: ActionEntry grew the RATE/PROB fault-modifier fields.
-constexpr u16 kVersion = 2;
+// v3: rule provenance — CondEntry carries its source position, ActionEntry
+//     carries the owning condition plus its own source position.  The
+//     reader still accepts v2 (provenance defaults to "unknown" and the
+//     action→condition back-references are reconstructed from the
+//     condition table).
+constexpr u16 kMinVersion = 2;
+constexpr u16 kVersion = 3;
 
 void put_ids(ByteWriter& w, const std::vector<u16>& v) {
   w.u16v(static_cast<u16>(v.size()));
@@ -113,6 +119,8 @@ Bytes serialize(const TableSet& t) {
     }
     put_ids(w, c.actions);
     put_ids(w, c.eval_nodes);
+    w.u32v(c.src_line);
+    w.u32v(c.src_col);
   }
 
   // Action table.
@@ -140,6 +148,9 @@ Bytes serialize(const TableSet& t) {
     u64 prob_bits = 0;
     std::memcpy(&prob_bits, &a.prob, sizeof prob_bits);
     w.u64v(prob_bits);
+    w.u16v(a.cond);
+    w.u32v(a.src_line);
+    w.u32v(a.src_col);
   }
   return w.take();
 }
@@ -147,7 +158,10 @@ Bytes serialize(const TableSet& t) {
 TableSet deserialize_tables(BytesView bytes) {
   ByteReader r(bytes);
   if (r.u32v() != kMagic) throw std::invalid_argument("bad table magic");
-  if (r.u16v() != kVersion) throw std::invalid_argument("bad table version");
+  const u16 version = r.u16v();
+  if (version < kMinVersion || version > kVersion) {
+    throw std::invalid_argument("bad table version");
+  }
   TableSet t;
   t.scenario_name = r.str();
   t.inactivity_timeout = Duration{static_cast<i64>(r.u64v())};
@@ -226,6 +240,10 @@ TableSet deserialize_tables(BytesView bytes) {
     }
     c.actions = get_ids(r);
     c.eval_nodes = get_ids(r);
+    if (version >= 3) {
+      c.src_line = r.u32v();
+      c.src_col = r.u32v();
+    }
     t.conditions.entries.push_back(std::move(c));
   }
 
@@ -255,7 +273,24 @@ TableSet deserialize_tables(BytesView bytes) {
     a.rate_n = r.u32v();
     const u64 prob_bits = r.u64v();
     std::memcpy(&a.prob, &prob_bits, sizeof a.prob);
+    if (version >= 3) {
+      a.cond = r.u16v();
+      a.src_line = r.u32v();
+      a.src_col = r.u32v();
+    }
     t.actions.entries.push_back(std::move(a));
+  }
+  if (version < 3) {
+    // Reconstruct the action → owning-condition back-references a v2
+    // producer never wrote, so TableSet::owning_cond stays O(1) for
+    // consumers regardless of the input version.
+    for (std::size_t c = 0; c < t.conditions.entries.size(); ++c) {
+      for (ActionId id : t.conditions.entries[c].actions) {
+        if (id < t.actions.entries.size()) {
+          t.actions.entries[id].cond = static_cast<CondId>(c);
+        }
+      }
+    }
   }
   return t;
 }

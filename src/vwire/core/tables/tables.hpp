@@ -158,6 +158,13 @@ struct CondEntry {
   std::vector<CondInstr> postfix;
   std::vector<ActionId> actions;    ///< in script order
   std::vector<NodeId> eval_nodes;   ///< where dependent actions live
+
+  // Rule provenance (table format v3): source position of the rule this
+  // condition was compiled from.  Makes the rule-id ↔ table-entry mapping
+  // queryable without the AST — verifier diagnostics and witness traces
+  // point back into the script.  0 = unknown (legacy v2 tables).
+  u32 src_line{0};
+  u32 src_col{0};
 };
 
 struct ConditionTable {
@@ -225,6 +232,14 @@ struct ActionEntry {
   // stream the engine derives from the scenario's effective seed.
   u32 rate_n{0};
   double prob{1.0};
+
+  // Rule provenance (table format v3): the owning condition (the rule this
+  // action belongs to) and the action's own source position.  kInvalidId /
+  // 0 on legacy v2 tables until `TableSet::owning_cond` reconstructs the
+  // back-reference from the condition table.
+  CondId cond{kInvalidId};
+  u32 src_line{0};
+  u32 src_col{0};
 };
 
 struct ActionTable {
@@ -244,6 +259,11 @@ struct TableSet {
   TermTable terms;
   ConditionTable conditions;
   ActionTable actions;
+
+  /// The condition (rule) owning action `id`: the v3 back-reference when
+  /// present, otherwise a scan of the condition table (legacy v2 input).
+  /// kInvalidId when the action is orphaned or `id` is out of range.
+  CondId owning_cond(ActionId id) const;
 };
 
 /// Wire (de)serialization for the control plane's INIT message.

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <system_error>
 
 #include "vwire/obs/json.hpp"
 
@@ -93,8 +94,12 @@ bool Daemon::start() {
   ::unlink(cfg_.socket_path.c_str());  // stale socket from a dead instance
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
+    // std::strerror is not thread-safe (concurrency-mt-unsafe); the
+    // error_code route allocates but never races.
     std::fprintf(stderr, "vwired: bind %s: %s\n", cfg_.socket_path.c_str(),
-                 std::strerror(errno));
+                 std::error_code(errno, std::system_category())
+                     .message()
+                     .c_str());
     return false;
   }
   if (::listen(listen_fd_, 16) != 0) {

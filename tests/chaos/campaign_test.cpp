@@ -98,6 +98,59 @@ TEST(Campaign, PlantedDuplicateDeliveryIsCaught) {
   EXPECT_TRUE(saw) << "expected the exactly-once audit to fire";
 }
 
+TEST(Campaign, VerifyPreflightRejectsDeadProvokingFault) {
+  // The deadsite fixture never enables its CHAOS counter, so a windowed
+  // provoking fault with pkt_lo >= 1 is provably unreachable — the
+  // verification pre-flight must refuse to run the trial and blame the
+  // generator, exactly like a lint failure.
+  CampaignConfig cfg;
+  cfg.fixture = "deadsite";
+  cfg.seed = 42;
+  cfg.trials = 1;
+  cfg.minimize = false;
+  Campaign campaign(cfg);
+
+  FaultSchedule s;
+  s.campaign_seed = 42;
+  s.trial_index = 1;
+  FaultEvent drop;
+  drop.kind = FaultKind::kFslDrop;
+  drop.pkt_lo = 5;
+  drop.pkt_hi = 8;
+  s.events = {drop};
+
+  const TrialResult r = campaign.run_schedule(s);
+  EXPECT_FALSE(r.ran);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].invariant, "generated-script-verify");
+}
+
+TEST(Campaign, VerifyPreflightPassesLiveSite) {
+  // The identical schedule on the healthy udp fixture (CHAOS enabled)
+  // must arm and run: the provoking fault is genuinely reachable.
+  CampaignConfig cfg;
+  cfg.fixture = "udp";
+  cfg.seed = 42;
+  cfg.trials = 1;
+  cfg.minimize = false;
+  Campaign campaign(cfg);
+
+  FaultSchedule s;
+  s.campaign_seed = 42;
+  s.trial_index = 1;
+  FaultEvent drop;
+  drop.kind = FaultKind::kFslDrop;
+  drop.pkt_lo = 5;
+  drop.pkt_hi = 8;
+  s.events = {drop};
+
+  const TrialResult r = campaign.run_schedule(s);
+  EXPECT_TRUE(r.ran);
+  for (const Violation& v : r.violations) {
+    EXPECT_NE(v.invariant, "generated-script-verify") << v.detail;
+  }
+}
+
 TEST(Campaign, MinimizationStripsDecoys) {
   Campaign campaign(small_fig7(42));
   const FaultSchedule bad = planted_dup_schedule();

@@ -10,6 +10,7 @@
 #include "vwire/chaos/generator.hpp"
 #include "vwire/core/fsl/compiler.hpp"
 #include "vwire/core/fsl/diagnostics.hpp"
+#include "vwire/core/fsl/verify.hpp"
 
 namespace vwire::chaos {
 namespace {
@@ -45,6 +46,51 @@ TEST(GeneratorLint, TwoHundredGeneratedScriptsLintClean) {
                           << " trial=" << trial << "\n"
                           << errs << "script:\n" << spec.script;
       ++checked;
+    }
+  }
+  EXPECT_EQ(checked, kScriptsTotal);
+}
+
+TEST(GeneratorVerify, ProvokingFaultsNeverProvablyDead) {
+  // The campaign's verification pre-flight (campaign.cpp) treats a
+  // PROVABLY-unreachable provoking packet fault as a generator bug.  Sweep
+  // the same seed range the lint contract covers and assert the checker
+  // never proves a generated fault dead; incomplete explorations make no
+  // claim and pass by construction.
+  const std::vector<std::string> fixtures = harness_names();
+  ASSERT_FALSE(fixtures.empty());
+  const std::size_t per_fixture =
+      (kScriptsTotal + fixtures.size() - 1) / fixtures.size();
+
+  std::size_t checked = 0;
+  for (const std::string& fixture : fixtures) {
+    for (std::size_t i = 0; i < per_fixture && checked < kScriptsTotal; ++i) {
+      const u64 campaign_seed = 0x5eedull + i / 7;
+      const u64 trial = i;
+      std::unique_ptr<TrialHarness> h = make_harness(fixture, trial);
+      const FaultSchedule schedule =
+          generate_schedule(campaign_seed, trial, h->schedule_template());
+      const ScenarioSpec spec =
+          h->make_spec(fsl_rules(schedule, h->fsl_site()));
+
+      fsl::CompileOptions opts;
+      opts.scenario = spec.scenario;
+      const fsl::CompileResult r = fsl::check_script(spec.script, opts);
+      ASSERT_TRUE(r.ok()) << "fixture=" << fixture << " trial=" << trial;
+      const fsl::mc::VerifyResult vr = fsl::mc::verify_tables(r.tables);
+      ++checked;
+      if (!vr.complete) continue;
+      for (const fsl::mc::RuleVerdict& rv : vr.rules) {
+        if (rv.reachable()) continue;
+        for (core::ActionId a : r.tables.conditions.entries[rv.rule].actions) {
+          EXPECT_FALSE(
+              core::is_packet_fault(r.tables.actions.entries[a].kind))
+              << "fixture=" << fixture << " seed=" << campaign_seed
+              << " trial=" << trial << ": provoking rule " << rv.rule
+              << " is provably unreachable\nscript:\n"
+              << spec.script;
+        }
+      }
     }
   }
   EXPECT_EQ(checked, kScriptsTotal);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "vwire/core/fsl/compiler.hpp"
+#include "vwire/util/bytes.hpp"
 
 namespace vwire::core {
 namespace {
@@ -120,6 +121,83 @@ TEST(TableSerialization, RejectsTruncatedBundle) {
   Bytes wire = serialize(original);
   wire.resize(wire.size() / 2);
   EXPECT_THROW(deserialize_tables(wire), std::exception);
+}
+
+TEST(TableSerialization, V3CarriesRuleProvenance) {
+  TableSet original = fsl::compile_script(kScript);
+  TableSet copy = deserialize_tables(serialize(original));
+  ASSERT_EQ(copy.conditions.entries.size(), original.conditions.entries.size());
+  for (std::size_t i = 0; i < original.conditions.entries.size(); ++i) {
+    EXPECT_EQ(copy.conditions.entries[i].src_line,
+              original.conditions.entries[i].src_line);
+    EXPECT_EQ(copy.conditions.entries[i].src_col,
+              original.conditions.entries[i].src_col);
+    EXPECT_GT(copy.conditions.entries[i].src_line, 0u);  // compiler filled it
+  }
+  ASSERT_EQ(copy.actions.entries.size(), original.actions.entries.size());
+  for (std::size_t i = 0; i < original.actions.entries.size(); ++i) {
+    EXPECT_EQ(copy.actions.entries[i].cond, original.actions.entries[i].cond);
+    // The back-reference agrees with the condition table's forward lists.
+    EXPECT_EQ(copy.owning_cond(static_cast<ActionId>(i)),
+              copy.actions.entries[i].cond);
+  }
+}
+
+TEST(TableSerialization, AcceptsV2WithoutProvenance) {
+  // A hand-built minimal v2 bundle: the pre-provenance layout ends every
+  // action at the PROB bits.  The reader must still accept it, defaulting
+  // provenance to "unknown" and reconstructing action→condition
+  // back-references from the condition table.
+  ByteWriter w;
+  w.u32v(0x56575442);  // "VWTB"
+  w.u16v(2);
+  w.str("legacy");
+  w.u64v(0);           // inactivity timeout
+  w.u16v(0);           // var names
+  w.u16v(0);           // filters
+  w.u16v(0);           // nodes
+  w.u16v(0);           // counters
+  w.u16v(0);           // terms
+  w.u16v(1);           // one condition...
+  w.u16v(0);           //   empty postfix (a (TRUE) rule)
+  w.u16v(1);           //   one action: id 0
+  w.u16v(0);
+  w.u16v(0);           //   no eval nodes
+  w.u16v(1);           // ...owning one action
+  w.u8v(6);            //   kind = kStop
+  w.u16v(0);           //   exec_node
+  w.u16v(0xffff);      //   filter
+  w.u16v(0xffff);      //   src_node
+  w.u16v(0xffff);      //   dst_node
+  w.u8v(0);            //   dir
+  w.u64v(0);           //   delay
+  w.u16v(0);           //   reorder_count
+  w.u16v(0);           //   reorder_order
+  w.u16v(0);           //   modify_bytes
+  w.u16v(0xffff);      //   fail_node
+  w.u16v(0xffff);      //   counter
+  w.u64v(0);           //   value
+  w.u32v(0);           //   rate_n
+  w.u64v(0);           //   prob bits
+
+  TableSet t = deserialize_tables(w.take());
+  EXPECT_EQ(t.scenario_name, "legacy");
+  ASSERT_EQ(t.conditions.entries.size(), 1u);
+  ASSERT_EQ(t.actions.entries.size(), 1u);
+  EXPECT_EQ(t.conditions.entries[0].src_line, 0u);  // provenance unknown
+  EXPECT_EQ(t.actions.entries[0].cond, 0u);         // reconstructed backref
+  EXPECT_EQ(t.owning_cond(0), 0u);
+}
+
+TEST(TableSerialization, RejectsUnknownVersions) {
+  ByteWriter w1;
+  w1.u32v(0x56575442);
+  w1.u16v(1);  // pre-v2: no longer readable
+  EXPECT_THROW(deserialize_tables(w1.take()), std::exception);
+  ByteWriter w4;
+  w4.u32v(0x56575442);
+  w4.u16v(4);  // from the future
+  EXPECT_THROW(deserialize_tables(w4.take()), std::exception);
 }
 
 TEST(TableSerialization, EmptyTablesSurvive) {

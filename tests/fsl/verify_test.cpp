@@ -1,0 +1,228 @@
+// fsl::mc — golden tests for the explicit-state scenario verifier
+// (DESIGN.md §13), pinned to the same corpus scripts the CLI's
+// verify_corpus_* ctest loop runs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "vwire/core/fsl/compiler.hpp"
+#include "vwire/core/fsl/lint.hpp"
+#include "vwire/core/fsl/verify.hpp"
+
+namespace vwire::fsl {
+namespace {
+
+std::string read_corpus(const std::string& name) {
+  const std::string path = std::string(VWIRE_LINT_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing corpus file " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+mc::VerifyResult verify_corpus(const std::string& name,
+                               const mc::VerifyOptions& opts = {}) {
+  return mc::verify_tables(compile_script(read_corpus(name)), opts);
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& ds,
+                       std::string_view rule) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : ds) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(VerifyDeadRule, CorpusDropRuleIsProvablyDead) {
+  const mc::VerifyResult vr = verify_corpus("verify/dead_rule.fsl");
+  ASSERT_TRUE(vr.complete);
+  ASSERT_EQ(vr.rules.size(), 4u);
+  EXPECT_TRUE(vr.rules[0].reachable());   // (TRUE) init rule
+  EXPECT_TRUE(vr.rules[1].reachable());   // REQ = 3 (the freeze)
+  EXPECT_FALSE(vr.rules[2].reachable());  // REQ = 5 — provably dead
+  EXPECT_TRUE(vr.rules[3].reachable());   // RSP = 2
+
+  ASSERT_EQ(count_rule(vr.diagnostics, "fsl-verify-dead-rule"), 1u);
+  for (const Diagnostic& d : vr.diagnostics) {
+    if (d.rule != "fsl-verify-dead-rule") continue;
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.loc.line, vr.rules[2].src_line);
+    EXPECT_EQ(d.loc.col, vr.rules[2].src_col);
+  }
+}
+
+TEST(VerifyDeadRule, PlainLintMissesIt) {
+  // The point of the checker: the flow-insensitive interval domain keeps
+  // REQ in [0, +inf) and cannot prove REQ = 5 unreachable.
+  CompileOptions opts;
+  opts.lint = true;
+  const CompileResult r = check_script(read_corpus("verify/dead_rule.fsl"),
+                                       opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(count_rule(r.diagnostics, "unsat-condition"), 0u);
+}
+
+TEST(VerifyDeadRule, FreezeRuleFiresExactlyOnce) {
+  const mc::VerifyResult vr = verify_corpus("verify/dead_rule.fsl");
+  ASSERT_TRUE(vr.complete);
+  EXPECT_EQ(vr.rules[1].fire_bound, 1u);  // REQ monotone, frozen at 3
+  EXPECT_EQ(vr.rules[2].fire_bound, 0u);  // dead rule never fires
+}
+
+TEST(VerifyDeadRule, WitnessPredictsThreeRequests) {
+  const mc::VerifyResult vr = verify_corpus("verify/dead_rule.fsl");
+  ASSERT_TRUE(vr.rules[1].witness.has_value());
+  const mc::Witness& w = *vr.rules[1].witness;
+  EXPECT_EQ(w.rule, vr.rules[1].rule);
+  u64 total = 0;
+  for (const mc::WitnessEvent& e : w.events) total += e.count;
+  EXPECT_EQ(total, 3u);  // exactly the packets that drive REQ to 3
+}
+
+TEST(VerifyStop, ReachableStopHasWitness) {
+  const mc::VerifyResult vr = verify_corpus("verify/dead_rule.fsl");
+  EXPECT_TRUE(vr.has_stop);
+  EXPECT_TRUE(vr.stop_reachable);
+  EXPECT_TRUE(vr.stop_witness.has_value());
+}
+
+TEST(VerifyStop, UnreachableStopWarns) {
+  const mc::VerifyResult vr = verify_corpus("verify/unreachable_stop.fsl");
+  ASSERT_TRUE(vr.complete);
+  EXPECT_TRUE(vr.has_stop);
+  EXPECT_FALSE(vr.stop_reachable);
+  EXPECT_FALSE(vr.stop_witness.has_value());
+  EXPECT_EQ(count_rule(vr.diagnostics, "fsl-verify-dead-rule"), 1u);
+  EXPECT_EQ(count_rule(vr.diagnostics, "fsl-verify-no-stop-path"), 1u);
+}
+
+TEST(VerifyLivelock, CrossNodeCycleFlagged) {
+  const mc::VerifyResult vr = verify_corpus("verify/livelock.fsl");
+  ASSERT_TRUE(vr.complete);
+  EXPECT_GE(count_rule(vr.diagnostics, "fsl-verify-livelock"), 1u);
+  // The reset rule and the ping-clear rule re-fire forever.
+  EXPECT_EQ(vr.rules[1].fire_bound, mc::kUnbounded);
+  EXPECT_EQ(vr.rules[2].fire_bound, mc::kUnbounded);
+}
+
+TEST(VerifyConflict, InfeasibleConflictNoted) {
+  const char* script =
+      "FILTER_TABLE\n"
+      "  udp_req: (23 1 0x11), (34 2 0x9c40), (36 2 0x0007)\n"
+      "END\n"
+      "NODE_TABLE\n"
+      "  client 00:00:00:00:00:01 10.0.0.1\n"
+      "  server 00:00:00:00:00:02 10.0.0.2\n"
+      "END\n"
+      "SCENARIO conflict\n"
+      "  REQ: (udp_req, client, server, RECV)\n"
+      "  (TRUE) >> ENABLE_CNTR(REQ);\n"
+      "  ((REQ = 2)) >> DISABLE_CNTR(REQ);\n"
+      "  ((REQ = 4)) >> DROP(udp_req, client, server, RECV); "
+      "DELAY(udp_req, client, server, RECV, 5ms);\n"
+      "  ((REQ = 1)) >> STOP;\n"
+      "END\n";
+  const mc::VerifyResult vr = mc::verify_tables(compile_script(script));
+  ASSERT_TRUE(vr.complete);
+  EXPECT_FALSE(vr.rules[2].reachable());
+  EXPECT_EQ(count_rule(vr.diagnostics, "fsl-verify-infeasible-conflict"), 1u);
+}
+
+TEST(VerifyStateCap, IncompleteSuppressesUnreachableVerdicts) {
+  mc::VerifyOptions opts;
+  opts.max_states = 2;
+  const mc::VerifyResult vr = verify_corpus("verify/dead_rule.fsl", opts);
+  EXPECT_FALSE(vr.complete);
+  for (const Diagnostic& d : vr.diagnostics) {
+    EXPECT_NE(d.severity, Severity::kError) << d.message;
+  }
+  EXPECT_EQ(count_rule(vr.diagnostics, "fsl-verify-state-cap"), 1u);
+}
+
+TEST(Witness, JsonRoundTripsThroughNames) {
+  const core::TableSet t = compile_script(read_corpus("verify/dead_rule.fsl"));
+  const mc::VerifyResult vr = mc::verify_tables(t);
+  ASSERT_TRUE(vr.rules[1].witness.has_value());
+  const mc::Witness& w = *vr.rules[1].witness;
+
+  const mc::Witness back = mc::Witness::from_json(w.to_json(t), t);
+  EXPECT_EQ(back.rule, w.rule);
+  EXPECT_EQ(back.action, w.action);
+  EXPECT_EQ(back.probabilistic, w.probabilistic);
+  ASSERT_EQ(back.events.size(), w.events.size());
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].filter, w.events[i].filter);
+    EXPECT_EQ(back.events[i].src, w.events[i].src);
+    EXPECT_EQ(back.events[i].dst, w.events[i].dst);
+    EXPECT_EQ(back.events[i].count, w.events[i].count);
+  }
+}
+
+TEST(Witness, FromJsonRejectsUnknownNames) {
+  const core::TableSet t = compile_script(read_corpus("verify/dead_rule.fsl"));
+  EXPECT_THROW(mc::Witness::from_json(
+                   R"({"v":1,"type":"verify_witness","rule":0,"action":0,)"
+                   R"("probabilistic":false,"events":)"
+                   R"([{"filter":"nope","src":"client","dst":"server",)"
+                   R"("count":1}]})",
+                   t),
+               std::exception);
+}
+
+TEST(VerifyJson, ReportCarriesVerdictsAndWitnesses) {
+  const core::TableSet t = compile_script(read_corpus("verify/dead_rule.fsl"));
+  const mc::VerifyResult vr = mc::verify_tables(t);
+  const std::string json = vr.to_json(t);
+  EXPECT_NE(json.find("\"type\":\"fsl_verify\""), std::string::npos);
+  EXPECT_NE(json.find("fsl-verify-dead-rule"), std::string::npos);
+  EXPECT_NE(json.find("verify_witness"), std::string::npos);
+}
+
+// --- satellite: interval-domain saturation at the u64 wrap boundary ------
+
+TEST(IntervalSatAdd, SaturatesInsteadOfWrapping) {
+  constexpr i64 kMax = std::numeric_limits<i64>::max();
+  constexpr i64 kMin = std::numeric_limits<i64>::min();
+  EXPECT_EQ(interval_sat_add(5, 7), 12);
+  EXPECT_EQ(interval_sat_add(kMax - 1, 10), kIntervalPosInf);
+  EXPECT_EQ(interval_sat_add(kMin + 1, -10), kIntervalNegInf);
+  // Sentinels absorb: the top element stays top even on decrement, so a
+  // counter at "+inf" can never wrap back into a finite (wrong) range.
+  EXPECT_EQ(interval_sat_add(kIntervalPosInf, -1000), kIntervalPosInf);
+  EXPECT_EQ(interval_sat_add(kIntervalNegInf, 1000), kIntervalNegInf);
+}
+
+TEST(IntervalSatAdd, OffsetPreservesSentinelBounds) {
+  const Interval iv{0, kIntervalPosInf};
+  const Interval up = interval_offset(iv, 3);
+  EXPECT_EQ(up.lo, 3);
+  EXPECT_EQ(up.hi, kIntervalPosInf);
+  const Interval down = interval_offset(Interval{kIntervalNegInf, 10}, -4);
+  EXPECT_EQ(down.lo, kIntervalNegInf);
+  EXPECT_EQ(down.hi, 6);
+}
+
+// --- satellite: deterministic diagnostic ordering ------------------------
+
+TEST(DiagnosticsSort, TiesBreakOnRuleThenSeverity) {
+  std::vector<Diagnostic> ds;
+  ds.push_back({{3, 1}, "warning-first", Severity::kWarning, "zz-check"});
+  ds.push_back({{3, 1}, "same-spot", Severity::kError, "aa-check"});
+  ds.push_back({{2, 9}, "earlier-line", Severity::kNote, "mm-check"});
+  ds.push_back({{3, 1}, "same-rule-note", Severity::kNote, "aa-check"});
+  sort_diagnostics(ds);
+  ASSERT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds[0].rule, "mm-check");  // line 2 before line 3
+  EXPECT_EQ(ds[1].rule, "aa-check");  // same loc: rule id breaks the tie
+  EXPECT_EQ(ds[1].severity, Severity::kError);  // then severity
+  EXPECT_EQ(ds[2].rule, "aa-check");
+  EXPECT_EQ(ds[2].severity, Severity::kNote);
+  EXPECT_EQ(ds[3].rule, "zz-check");
+}
+
+}  // namespace
+}  // namespace vwire::fsl
